@@ -1,0 +1,408 @@
+// Command ccexperiments regenerates every experiment table of
+// EXPERIMENTS.md (the per-figure reproduction index of DESIGN.md).
+//
+// Usage:
+//
+//	ccexperiments [-exp all|fig1|fig2|fig3|fig4|fig5|cm|sessions|dichotomy|consensus|census|crdt|linz|queue|waitfree|cci]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/paperfig"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	flag.Parse()
+	runners := map[string]func(){
+		"fig1": fig1, "fig2": fig2, "fig3": fig3,
+		"fig4": fig4, "fig5": fig5, "cm": cm,
+		"sessions": sessions, "dichotomy": dichotomy, "consensus": consensusExp,
+		"census": censusExp, "crdt": crdtExp, "linz": linzExp, "queue": queueExp, "waitfree": waitfreeExp, "cci": cciExp,
+	}
+	order := []string{"fig3", "fig1", "fig2", "fig4", "fig5", "cm", "sessions", "dichotomy", "consensus", "census", "crdt", "linz", "queue", "waitfree", "cci"}
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			runners[name]()
+			fmt.Println()
+		}
+		return
+	}
+	r, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ccexperiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	r()
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+// fig3 classifies the nine example histories of Fig. 3 and compares
+// the checkers' verdicts with the caption claims (experiment E3).
+func fig3() {
+	tb := stats.NewTable("fig", "caption", "criterion", "reading", "paper", "measured", "match")
+	for _, f := range paperfig.Fig3() {
+		for _, cl := range f.Claims {
+			h := f.FiniteHistory()
+			reading := "finite"
+			if cl.OmegaReading {
+				h = f.History()
+				reading = "ω"
+			}
+			got, _, err := check.Check(cl.Criterion, h, check.Options{})
+			must(err)
+			match := "OK"
+			if got != cl.Holds {
+				match = "MISMATCH"
+			}
+			tb.Add(f.Name, f.Caption, cl.Criterion.String(), reading, cl.Holds, got, match)
+		}
+	}
+	fmt.Print(tb)
+
+	fmt.Println("\nfull classification (ω reading where flagged):")
+	tb2 := stats.NewTable("fig", "EC", "UC", "PC", "WCC", "CCv", "CC", "CM", "SC")
+	for _, f := range paperfig.Fig3() {
+		clf, err := check.Classify(f.History(), check.Options{})
+		must(err)
+		row := []any{f.Name}
+		for _, c := range []check.Criterion{check.CritEC, check.CritUC, check.CritPC, check.CritWCC, check.CritCCv, check.CritCC, check.CritCM, check.CritSC} {
+			v, ok := clf[c]
+			switch {
+			case !ok:
+				row = append(row, "-")
+			case v:
+				row = append(row, "yes")
+			default:
+				row = append(row, "no")
+			}
+		}
+		tb2.Add(row...)
+	}
+	fmt.Print(tb2)
+}
+
+// fig1 verifies the hierarchy of criteria (experiment E1): every arrow
+// on the paper's map holds on the fixtures and on random histories, and
+// every arrow is strict (witnessed).
+func fig1() {
+	violations := 0
+	checked := 0
+	for _, f := range paperfig.Fig3() {
+		for _, h := range []*history.History{f.History(), f.FiniteHistory()} {
+			cl, err := check.Classify(h, check.Options{})
+			must(err)
+			violations += len(check.VerifyImplications(cl))
+			checked++
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	w2 := adt.NewWindowStream(2)
+	for trial := 0; trial < 200; trial++ {
+		b := history.NewBuilder(w2)
+		for p := 0; p < 2; p++ {
+			for i := 0; i < 3; i++ {
+				if rng.Intn(2) == 0 {
+					b.Append(p, spec.NewOp(spec.NewInput("w", rng.Intn(3)+1), spec.Bot))
+				} else {
+					b.Append(p, spec.NewOp(spec.NewInput("r"), spec.TupleOutput(rng.Intn(3), rng.Intn(3))))
+				}
+			}
+		}
+		cl, err := check.Classify(b.Build(), check.Options{})
+		must(err)
+		violations += len(check.VerifyImplications(cl))
+		checked++
+	}
+	fmt.Printf("implication arrows of Fig. 1 verified on %d histories: %d violations\n\n", checked, violations)
+
+	tb := stats.NewTable("separation", "witness", "holds")
+	for _, w := range []struct {
+		weaker, stronger check.Criterion
+		fixture          string
+	}{
+		{check.CritCC, check.CritSC, "3c"},
+		{check.CritCCv, check.CritSC, "3h"},
+		{check.CritWCC, check.CritCC, "3a"},
+		{check.CritCCv, check.CritCC, "3a"},
+		{check.CritCC, check.CritCCv, "3c"},
+		{check.CritPC, check.CritCC, "3e"},
+		{check.CritWCC, check.CritPC, "3h"},
+	} {
+		f, _ := paperfig.Fig3ByName(w.fixture)
+		h := f.History()
+		weak, _, err := check.Check(w.weaker, h, check.Options{})
+		must(err)
+		strong, _, err := check.Check(w.stronger, h, check.Options{})
+		must(err)
+		tb.Add(fmt.Sprintf("%v ⊋ %v", w.weaker, w.stronger), w.fixture, weak && !strong)
+	}
+	fmt.Print(tb)
+}
+
+// fig2 prints the time zones of each event of the Fig. 2-shaped
+// history (experiment E2).
+func fig2() {
+	h, extra := paperfig.Fig2History()
+	causal := check.CausalOrderFrom(h, extra)
+	if causal == nil {
+		must(fmt.Errorf("fig2 causal order cyclic"))
+	}
+	tb := stats.NewTable("event", "proc", "causal-past", "prog-past", "concurrent", "causal-future", "prog-future")
+	for e := 0; e < h.N(); e++ {
+		z := check.ZonesOf(h, causal, e)
+		tb.Add(fmt.Sprintf("σ%d", e+1), fmt.Sprintf("p%d", h.Events[e].Proc),
+			z.CausalPast.Count(), z.ProgramPast.Count(), z.ConcurrentPresent.Count(),
+			z.CausalFuture.Count(), z.ProgramFuture.Count())
+	}
+	fmt.Print(tb)
+}
+
+// verifySweep runs a mode over seeds, verifying small histories and
+// measuring message economy and convergence (experiments E4, E5).
+func verifySweep(mode core.Mode, crit check.Criterion) {
+	tb := stats.NewTable("n", "seeds", "verified", "msgs/update", "converged", "sim-time")
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		verified, converged := 0, 0
+		seeds := 10
+		var msgsPerUpd, simTime float64
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			cfg := workload.Config{
+				Procs: n, Ops: 9, Streams: 2, Size: 2,
+				WriteRatio: 0.5, Seed: seed, MaxStepsBetween: 3,
+			}
+			res := workload.Run(mode, cfg)
+			h := res.Cluster.Recorder.History()
+			ok, _, err := check.Check(crit, h, check.Options{})
+			must(err)
+			if ok {
+				verified++
+			}
+			if res.Cluster.Converged() {
+				converged++
+			}
+			if res.Writes > 0 {
+				msgsPerUpd += float64(res.Cluster.Net.Sent) / float64(res.Writes)
+			}
+			simTime += res.Cluster.Net.Now()
+		}
+		tb.Add(n, seeds, fmt.Sprintf("%d/%d", verified, seeds),
+			msgsPerUpd/float64(seeds), fmt.Sprintf("%d/%d", converged, seeds), simTime/float64(seeds))
+	}
+	fmt.Print(tb)
+}
+
+func fig4() {
+	fmt.Println("Fig. 4 (causally consistent window-stream array): every run must")
+	fmt.Println("verify CC (Prop. 6); convergence is NOT guaranteed (CC branch).")
+	verifySweep(core.ModeCC, check.CritCC)
+}
+
+func fig5() {
+	fmt.Println("Fig. 5 (causally convergent window-stream array): every run must")
+	fmt.Println("verify CCv (Prop. 7) AND converge at quiescence.")
+	verifySweep(core.ModeCCv, check.CritCCv)
+}
+
+// cm compares causal consistency and causal memory (experiment E8).
+func cm() {
+	mem := adt.NewMemory("x", "y")
+	rng := rand.New(rand.NewSource(99))
+	cmOnly, both, neither, ccOnly := 0, 0, 0, 0
+	trials := 300
+	for trial := 0; trial < trials; trial++ {
+		b := history.NewBuilder(mem)
+		val := 1
+		written := []int{0}
+		for p := 0; p < 2; p++ {
+			for i := 0; i < 3; i++ {
+				reg := []string{"x", "y"}[rng.Intn(2)]
+				if rng.Intn(2) == 0 {
+					b.Append(p, spec.NewOp(spec.NewInput("w"+reg, val), spec.Bot))
+					written = append(written, val)
+					val++
+				} else {
+					b.Append(p, spec.NewOp(spec.NewInput("r"+reg), spec.IntOutput(written[rng.Intn(len(written))])))
+				}
+			}
+		}
+		h := b.Build()
+		isCM, _, err := check.CM(h, check.Options{})
+		must(err)
+		isCC, _, err := check.CC(h, check.Options{})
+		must(err)
+		switch {
+		case isCM && isCC:
+			both++
+		case isCM:
+			cmOnly++
+		case isCC:
+			ccOnly++
+		default:
+			neither++
+		}
+	}
+	fmt.Printf("random distinct-value memory histories (%d trials):\n", trials)
+	fmt.Printf("  CC ∧ CM: %d   CM only: %d   CC only: %d   neither: %d\n", both, cmOnly, ccOnly, neither)
+	fmt.Println("  Prop. 3 (CC ⇒ CM): violated iff 'CC only' > 0")
+	fmt.Println("  Prop. 4 (CM ⇒ CC, distinct values): violated iff 'CM only' > 0")
+
+	f, _ := paperfig.Fig3ByName("3i")
+	h := f.History()
+	isCM, _, err := check.CM(h, check.Options{})
+	must(err)
+	isCC, _, err := check.CC(h, check.Options{})
+	must(err)
+	fmt.Printf("Fig. 3i (duplicated values): CM=%v CC=%v — the distinct-values\n", isCM, isCC)
+	fmt.Println("hypothesis of Prop. 4 is necessary.")
+}
+
+// sessions reports the session guarantees of runtime histories per mode
+// (experiment E11).
+func sessions() {
+	mem := adt.NewMemory("x", "y")
+	tb := stats.NewTable("mode", "runs", "RYW", "MR", "MW", "WFR")
+	for _, mode := range []core.Mode{core.ModeCC, core.ModeCCv, core.ModePC, core.ModeEC} {
+		counts := map[string]int{}
+		runs := 20
+		for seed := int64(1); seed <= int64(runs); seed++ {
+			c := core.NewCluster(3, mem, mode, seed)
+			rng := rand.New(rand.NewSource(seed * 29))
+			val, writes := 1, 0
+			for i := 0; i < 10; i++ {
+				p := rng.Intn(3)
+				reg := []string{"x", "y"}[rng.Intn(2)]
+				if rng.Intn(2) == 0 && writes < 6 {
+					c.Invoke(p, "w"+reg, val)
+					val++
+					writes++
+				} else {
+					c.Invoke(p, "r"+reg)
+				}
+				for d := rng.Intn(4); d > 0; d-- {
+					c.Net.Step()
+				}
+			}
+			c.Settle()
+			g, err := check.Sessions(c.Recorder.History(), check.Options{})
+			must(err)
+			if g.ReadYourWrites {
+				counts["RYW"]++
+			}
+			if g.MonotonicReads {
+				counts["MR"]++
+			}
+			if g.MonotonicWrites {
+				counts["MW"]++
+			}
+			if g.WritesFollowReads {
+				counts["WFR"]++
+			}
+		}
+		tb.Add(mode.String(), runs,
+			fmt.Sprintf("%d/%d", counts["RYW"], runs), fmt.Sprintf("%d/%d", counts["MR"], runs),
+			fmt.Sprintf("%d/%d", counts["MW"], runs), fmt.Sprintf("%d/%d", counts["WFR"], runs))
+	}
+	fmt.Print(tb)
+	fmt.Println("(sessions = processes; guarantees in the growing-view server model,")
+	fmt.Println(" violations attributed against the monotonic-view baseline)")
+}
+
+// dichotomy stages the PC-vs-EC incompatibility (experiment E10).
+func dichotomy() {
+	// CC branch: partition, concurrent writes, permanent divergence.
+	c := core.NewCluster(2, adt.NewWindowArray(1, 2), core.ModeCC, 7)
+	c.Net.Partition([]int{0}, []int{1})
+	c.Invoke(0, "w", 0, 1)
+	c.Invoke(1, "w", 0, 2)
+	c.Net.Run(0)
+	c.Net.Heal()
+	r0 := c.Invoke(0, "r", 0)
+	r1 := c.Invoke(1, "r", 0)
+	hPC, _, err := check.PC(c.Recorder.History(), check.Options{})
+	must(err)
+	fmt.Printf("CC runtime under partition: p0 reads %v, p1 reads %v — diverged=%v, PC=%v\n",
+		r0, r1, !r0.Equal(r1), hPC)
+
+	// CCv branch: same concurrent writes, convergence, PC lost.
+	c2 := core.NewCluster(2, adt.NewWindowArray(1, 2), core.ModeCCv, 7)
+	c2.Invoke(0, "w", 0, 1)
+	c2.Invoke(1, "w", 0, 2)
+	a0 := c2.Invoke(0, "r", 0)
+	a1 := c2.Invoke(1, "r", 0)
+	c2.Settle()
+	b0 := c2.Invoke(0, "r", 0)
+	b1 := c2.Invoke(1, "r", 0)
+	c2.Recorder.MarkOmega(0)
+	c2.Recorder.MarkOmega(1)
+	h := c2.Recorder.History()
+	isCCv, _, err := check.CCv(h, check.Options{})
+	must(err)
+	isPC, _, err := check.PC(h, check.Options{})
+	must(err)
+	fmt.Printf("CCv runtime: first reads %v/%v, final reads %v/%v — converged=%v, CCv=%v, PC=%v\n",
+		a0, a1, b0, b1, b0.Equal(b1), isCCv, isPC)
+	fmt.Println("wait-free systems must pick a branch: convergence (CCv) or pipelining (CC).")
+}
+
+// consensusExp demonstrates the consensus number of W_k (experiment E9).
+func consensusExp() {
+	tb := stats.NewTable("k", "rounds", "agreement", "validity")
+	for _, k := range []int{2, 3, 4, 5} {
+		rounds := 5
+		agree, valid := 0, 0
+		for round := 0; round < rounds; round++ {
+			obj := consensus.New(k)
+			decided := make([]int, k)
+			var wg sync.WaitGroup
+			for p := 0; p < k; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					decided[p], _ = obj.Propose(p, 10+p)
+				}(p)
+			}
+			wg.Wait()
+			obj.Close()
+			ok := true
+			for p := 1; p < k; p++ {
+				if decided[p] != decided[0] {
+					ok = false
+				}
+			}
+			if ok {
+				agree++
+			}
+			for p := 0; p < k; p++ {
+				if decided[0] == 10+p {
+					valid++
+					break
+				}
+			}
+		}
+		tb.Add(k, rounds, fmt.Sprintf("%d/%d", agree, rounds), fmt.Sprintf("%d/%d", valid, rounds))
+	}
+	fmt.Print(tb)
+	fmt.Println("(k processes reach consensus through a sequentially consistent W_k —")
+	fmt.Println(" the construction of Sec. 2.1; W_k has consensus number k)")
+}

@@ -1,0 +1,169 @@
+// Command ccheck classifies a distributed history against the paper's
+// consistency criteria.
+//
+// Usage:
+//
+//	ccheck [-witness] [-dot] [-timed] [-max-nodes N] [file]
+//
+// The history is read from the file argument (or stdin) in the format
+//
+//	adt: W2
+//	p0: w(1) r/(0,1) r/(1,2)*
+//	p1: w(2) r/(0,2) r/(1,2)*
+//
+// where a trailing '*' marks an ω-event (the final read repeats
+// forever; see the history package). The tool prints, for each
+// criterion, whether the history satisfies it; -witness additionally
+// prints the witness linearizations, and -dot dumps the history as a
+// Graphviz digraph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/porder"
+)
+
+func main() {
+	witness := flag.Bool("witness", false, "print witness linearizations")
+	dot := flag.Bool("dot", false, "print the history as Graphviz dot and exit")
+	maxNodes := flag.Int("max-nodes", 0, "search budget per checker (0 = default)")
+	timed := flag.Bool("timed", false, "read a timed history ([inv,res]op tokens) and decide linearizability")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if flag.NArg() > 0 {
+		data, err = os.ReadFile(flag.Arg(0))
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccheck:", err)
+		os.Exit(1)
+	}
+	if *timed {
+		checkTimed(string(data), check.Options{MaxNodes: *maxNodes}, *witness)
+		return
+	}
+	h, err := history.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccheck:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(h.Dot())
+		return
+	}
+
+	fmt.Printf("history over %s: %d events, %d processes\n\n", h.ADT.Name(), h.N(), len(h.Processes()))
+	opt := check.Options{MaxNodes: *maxNodes}
+	anyFail := false
+	for _, c := range check.AllCriteria {
+		ok, w, err := check.Check(c, h, opt)
+		switch {
+		case err == check.ErrNotMemory:
+			fmt.Printf("%-4s n/a (memory-only criterion)\n", c.String())
+			continue
+		case err != nil:
+			fmt.Printf("%-4s error: %v\n", c, err)
+			anyFail = true
+			continue
+		}
+		mark := "no"
+		if ok {
+			mark = "YES"
+		}
+		fmt.Printf("%-4s %s\n", c, mark)
+		if ok && *witness && w != nil {
+			printWitness(h, c, w)
+		}
+	}
+
+	if g, err := check.Sessions(h, opt); err == nil {
+		fmt.Printf("\nsession guarantees: RYW=%v MR=%v MW=%v WFR=%v\n",
+			g.ReadYourWrites, g.MonotonicReads, g.MonotonicWrites, g.WritesFollowReads)
+	}
+	if anyFail {
+		os.Exit(1)
+	}
+}
+
+// checkTimed decides linearizability of a timed history and, for
+// contrast, sequential consistency of its untimed projection — the
+// pair of verdicts that exhibits the Attiya-Welch separation.
+func checkTimed(text string, opt check.Options, witness bool) {
+	t, evs, err := history.ParseTimed(text)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccheck:", err)
+		os.Exit(1)
+	}
+	ops := make([]check.TimedOp, len(evs))
+	for i, ev := range evs {
+		ops[i] = check.TimedOp{Proc: ev.Proc, Op: ev.Op, Inv: ev.Inv, Res: ev.Res}
+	}
+	fmt.Printf("timed history over %s: %d operations\n\n", t.Name(), len(ops))
+	lin, order, err := check.Linearizable(t, ops, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccheck:", err)
+		os.Exit(1)
+	}
+	mark := "no"
+	if lin {
+		mark = "YES"
+	}
+	fmt.Printf("LIN  %s\n", mark)
+	if lin && witness {
+		parts := make([]string, len(order))
+		for i, e := range order {
+			parts[i] = ops[e].Op.String()
+		}
+		fmt.Printf("     lin: %s\n", strings.Join(parts, "."))
+	}
+	h := check.TimedToHistory(t, ops)
+	sc, w, err := check.SC(h, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccheck:", err)
+		os.Exit(1)
+	}
+	mark = "no"
+	if sc {
+		mark = "YES"
+	}
+	fmt.Printf("SC   %s (untimed projection)\n", mark)
+	if sc && witness && w != nil {
+		printWitness(h, check.CritSC, w)
+	}
+}
+
+func printWitness(h *history.History, c check.Criterion, w *check.Witness) {
+	all := porder.FullBitset(h.N())
+	switch {
+	case w.Linearization != nil:
+		fmt.Printf("     lin: %s\n", check.FormatLin(h, w.Linearization, all))
+	case w.PerProcess != nil:
+		for p, lin := range w.PerProcess {
+			if lin == nil {
+				continue
+			}
+			fmt.Printf("     p%d: %s\n", p, check.FormatLin(h, lin, h.ProcEvents(p)))
+		}
+	case w.PerEvent != nil:
+		for e, lin := range w.PerEvent {
+			if lin == nil {
+				continue
+			}
+			vis := porder.BitsetOf(h.N(), e)
+			if c == check.CritCC {
+				vis = h.ProcEvents(h.Events[e].Proc)
+			}
+			fmt.Printf("     %s: %s\n", h.Events[e].Op, check.FormatLin(h, lin, vis))
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command ccsim runs the replicated window-stream-array runtime on the
+// deterministic network simulator and reports throughput-shape
+// statistics: operations, messages per update, convergence, and
+// (optionally, for small runs) an exact consistency check of the
+// recorded history.
+//
+// Usage:
+//
+//	ccsim -mode CC|PC|EC|CCv -n 4 -ops 1000 -streams 4 -size 2 \
+//	      -write-ratio 0.5 -seed 1 [-check] [-omega]
+//	ccsim -adt Queue -mode CCv -n 3 -ops 500    # any adt.Lookup type
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func parseMode(s string) (core.Mode, error) {
+	switch strings.ToUpper(s) {
+	case "CC":
+		return core.ModeCC, nil
+	case "PC":
+		return core.ModePC, nil
+	case "EC":
+		return core.ModeEC, nil
+	case "CCV":
+		return core.ModeCCv, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want CC, PC, EC or CCv)", s)
+}
+
+func main() {
+	modeFlag := flag.String("mode", "CC", "consistency mode: CC, PC, EC, CCv")
+	n := flag.Int("n", 4, "number of processes")
+	ops := flag.Int("ops", 1000, "number of operations")
+	streams := flag.Int("streams", 4, "K: number of window streams")
+	size := flag.Int("size", 2, "k: window size")
+	writeRatio := flag.Float64("write-ratio", 0.5, "fraction of writes")
+	seed := flag.Int64("seed", 1, "random seed")
+	doCheck := flag.Bool("check", false, "verify the recorded history (exponential; keep -ops small)")
+	omega := flag.Bool("omega", false, "append quiescent ω-reads before checking")
+	adtFlag := flag.String("adt", "", "replicate this ADT (adt.Lookup name) instead of the window-stream array")
+	flag.Parse()
+
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(2)
+	}
+
+	cfg := workload.Config{
+		Procs: *n, Ops: *ops, Streams: *streams, Size: *size,
+		WriteRatio: *writeRatio, Seed: *seed, MaxStepsBetween: 4,
+	}
+	start := time.Now()
+	var res workload.Result
+	if *adtFlag != "" {
+		t, err := adt.Lookup(*adtFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccsim:", err)
+			os.Exit(2)
+		}
+		gen, err := workload.GeneratorFor(t, *writeRatio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccsim:", err)
+			os.Exit(2)
+		}
+		cluster := core.NewCluster(*n, t, mode, *seed)
+		res = workload.Result{Cluster: cluster}
+		rng := rand.New(rand.NewSource(*seed*2654435761 + 1))
+		for i := 0; i < *ops; i++ {
+			in := gen(rng, i)
+			cluster.Replicas[rng.Intn(*n)].Invoke(in)
+			if t.IsUpdate(in) {
+				res.Writes++
+			} else {
+				res.Reads++
+			}
+			for d := rng.Intn(cfg.MaxStepsBetween + 1); d > 0; d-- {
+				cluster.Net.Step()
+			}
+		}
+		cluster.Settle()
+		res.Messages = cluster.Net.Sent
+	} else {
+		res = workload.Run(mode, cfg)
+	}
+	elapsed := time.Since(start)
+	if *omega && *adtFlag == "" {
+		workload.FinalReads(res.Cluster, cfg.Streams)
+	}
+
+	c := res.Cluster
+	obj := fmt.Sprintf("W%d^%d", *size, *streams)
+	if *adtFlag != "" {
+		obj = *adtFlag
+	}
+	fmt.Printf("mode=%v adt=%s n=%d ops=%d (w=%d r=%d) seed=%d\n",
+		mode, obj, *n, *ops, res.Writes, res.Reads, *seed)
+	fmt.Printf("wall time      %v (%.0f ops/s host-side)\n", elapsed.Round(time.Microsecond),
+		float64(*ops)/elapsed.Seconds())
+	fmt.Printf("sim time       %.1f units\n", c.Net.Now())
+	fmt.Printf("messages       %d sent, %d delivered (%.2f msgs/update incl. flooding)\n",
+		c.Net.Sent, c.Net.Delivered, float64(c.Net.Sent)/maxf(1, float64(res.Writes)))
+	fmt.Printf("converged      %v\n", c.Converged())
+
+	if *doCheck {
+		h := c.Recorder.History()
+		want := map[core.Mode]check.Criterion{
+			core.ModeCC: check.CritCC, core.ModePC: check.CritPC,
+			core.ModeEC: check.CritEC, core.ModeCCv: check.CritCCv,
+		}[mode]
+		ok, _, err := check.Check(want, h, check.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsim: checker: %v (reduce -ops)\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checked        history satisfies %v: %v\n", want, ok)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

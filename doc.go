@@ -1,0 +1,20 @@
+// Package ccbm is a Go reproduction of "Causal Consistency: Beyond
+// Memory" (Perrin, Mostéfaoui, Jard — PPoPP 2016): a framework for
+// specifying shared objects by sequential transition systems and
+// consistency criteria, exact checkers for the paper's criteria
+// hierarchy (SC, PC, WCC, CC, CCv, EC/UC, causal memory, session
+// guarantees, plus linearizability on interval-timed histories), a
+// wait-free replicated-object runtime over a simulated asynchronous
+// message-passing system with reliable causal broadcast, the paper's
+// two window-stream algorithms (Fig. 4 and Fig. 5), an op-based CRDT
+// library realizing the eventual-consistency branch natively, an
+// exhaustive hierarchy census, and consensus-number demonstrations
+// (W_k and CAS).
+//
+// The implementation lives under internal/; see README.md for the
+// architecture, DESIGN.md for the system inventory and per-experiment
+// index, and EXPERIMENTS.md for the paper-versus-measured record
+// (E1–E19). The benchmarks in bench_test.go and bench_extra_test.go
+// regenerate the performance-shape results for every figure of the
+// paper and every extension ablation.
+package ccbm

@@ -1,0 +1,78 @@
+// Inventory: a replicated key-value inventory built on the OR-map
+// (internal/crdt), showing the conflict surface weak consistency
+// necessarily exposes — and how applications resolve it.
+//
+// Two warehouse nodes update stock counts without coordination. While
+// they work in parallel the same item can receive concurrent puts;
+// the OR-map keeps BOTH values (unlike a last-writer-wins register,
+// which would silently drop one), the application notices the
+// conflict at read time, and a later put — issued after both values
+// are visible — resolves it for everyone. Causal convergence
+// guarantees all nodes end with the same catalogue.
+//
+// Run with: go run ./examples/inventory
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/crdt"
+	"repro/internal/sim"
+)
+
+const (
+	itemBolts = iota
+	itemNuts
+	itemGears
+)
+
+var names = map[int]string{itemBolts: "bolts", itemNuts: "nuts", itemGears: "gears"}
+
+func main() {
+	nw := sim.New(2, 7)
+	east := crdt.NewORMap(nw, 0)
+	west := crdt.NewORMap(nw, 1)
+
+	// Initial stock, fully propagated.
+	east.Put(itemBolts, 100)
+	east.Put(itemNuts, 250)
+	nw.Run(0)
+
+	// Concurrent recounts of the same item at both sites, plus a new
+	// item in the west and a deletion in the east — all wait-free.
+	east.Put(itemBolts, 90)
+	west.Put(itemBolts, 80)
+	west.Put(itemGears, 40)
+	east.Delete(itemNuts)
+	nw.Run(0)
+
+	fmt.Println("after concurrent updates (both sites agree, conflicts kept):")
+	printCatalogue("east", east)
+	printCatalogue("west", west)
+
+	// The bolts count is in conflict: both recounts survive. Resolve
+	// by auditing and putting a value that supersedes both.
+	if vals := east.Get(itemBolts); len(vals) > 1 {
+		resolved := vals[0] // audit policy: take the lower count
+		fmt.Printf("\nbolts conflict %v -> resolving to %d\n", vals, resolved)
+		east.Put(itemBolts, resolved)
+	}
+	nw.Run(0)
+
+	fmt.Println("\nafter resolution:")
+	printCatalogue("east", east)
+	printCatalogue("west", west)
+	if east.Key() == west.Key() {
+		fmt.Println("\nconverged: both warehouses hold the same catalogue")
+	} else {
+		fmt.Println("\nDIVERGED — this must never happen")
+	}
+}
+
+func printCatalogue(site string, m *crdt.ORMap) {
+	fmt.Printf("  %s:", site)
+	for _, k := range m.Keys() {
+		fmt.Printf("  %s=%v", names[k], m.Get(k))
+	}
+	fmt.Println()
+}

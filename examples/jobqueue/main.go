@@ -1,0 +1,103 @@
+// Jobqueue: the paper's queue anomalies (Fig. 3f) and their fix
+// (Fig. 3g). Two workers pop jobs from a causally consistent FIFO
+// queue. Because weak criteria couple the transition and output parts
+// of pop loosely, two concurrent pops can return the SAME job while
+// another job is silently lost — causal consistency guarantees neither
+// existence nor unicity. The paper's remedy replaces pop with hd (read
+// the head) and rh(v) (remove the head only if it equals v): jobs may
+// then be processed twice, but none is ever lost.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+func popQueue() {
+	fmt.Println("-- Queue with pop (Fig. 3f) --")
+	cluster := core.NewCluster(2, adt.Queue{}, core.ModeCC, 3)
+	cluster.Invoke(0, "push", 1)
+	cluster.Invoke(0, "push", 2)
+	cluster.Settle() // both workers see queue [1, 2]
+
+	// Both workers pop concurrently (no delivery in between).
+	j0 := cluster.Invoke(0, "pop")
+	j1 := cluster.Invoke(1, "pop")
+	cluster.Settle()
+	// Each worker pops again after hearing about the other's pop.
+	k0 := cluster.Invoke(0, "pop")
+	k1 := cluster.Invoke(1, "pop")
+	cluster.Settle()
+
+	fmt.Printf("worker0 popped: %v then %v\n", j0, k0)
+	fmt.Printf("worker1 popped: %v then %v\n", j1, k1)
+	fmt.Println("job 1 ran twice, job 2 was lost: CC guarantees neither")
+	fmt.Println("unicity nor existence for pop (Fig. 3f).")
+	fmt.Println()
+}
+
+func hdRhQueue() {
+	fmt.Println("-- Queue with hd/rh (Fig. 3g) --")
+	cluster := core.NewCluster(2, adt.Queue2{}, core.ModeCC, 3)
+	cluster.Invoke(0, "push", 1)
+	cluster.Invoke(0, "push", 2)
+	cluster.Settle()
+
+	process := func(w int) []int {
+		var done []int
+		for i := 0; i < 2; i++ {
+			hd := cluster.Invoke(w, "hd")
+			if hd.Bot || len(hd.Vals) == 0 {
+				break
+			}
+			job := hd.Vals[0]
+			done = append(done, job)
+			cluster.Invoke(w, "rh", job) // remove only if still the head
+		}
+		return done
+	}
+
+	// Interleave the two workers without deliveries, then settle.
+	d0 := process(0)
+	d1 := process(1)
+	cluster.Settle()
+	// Drain what remains.
+	rest0 := process(0)
+	rest1 := process(1)
+	cluster.Settle()
+
+	fmt.Printf("worker0 processed: %v then %v\n", d0, rest0)
+	fmt.Printf("worker1 processed: %v then %v\n", d1, rest1)
+
+	seen := map[int]bool{}
+	for _, jobs := range [][]int{d0, d1, rest0, rest1} {
+		for _, j := range jobs {
+			seen[j] = true
+		}
+	}
+	lost := []int{}
+	for _, j := range []int{1, 2} {
+		if !seen[j] {
+			lost = append(lost, j)
+		}
+	}
+	fmt.Printf("lost jobs: %v — rh removes the head only when it matches,\n", lost)
+	fmt.Println("so every job is processed at least once (possibly twice).")
+}
+
+func main() {
+	popQueue()
+	hdRhQueue()
+	// Show the spec-side difference too: pop is update AND query; hd is
+	// a pure query, rh a pure update (Sec. 2.1's classification).
+	q, q2 := adt.Queue{}, adt.Queue2{}
+	fmt.Println()
+	fmt.Printf("pop: update=%v query=%v (coupled — the root of the anomaly)\n",
+		q.IsUpdate(spec.NewInput("pop")), q.IsQuery(spec.NewInput("pop")))
+	fmt.Printf("hd:  update=%v query=%v / rh: update=%v query=%v (decoupled)\n",
+		q2.IsUpdate(spec.NewInput("hd")), q2.IsQuery(spec.NewInput("hd")),
+		q2.IsUpdate(spec.NewInput("rh", 1)), q2.IsQuery(spec.NewInput("rh", 1)))
+}

@@ -1,0 +1,47 @@
+// Quickstart: three replicas share a causally consistent array of
+// window streams (the paper's Fig. 4 object) over the deterministic
+// network simulator. We perform a few writes and reads, print what each
+// replica observes, and then verify the recorded execution with the
+// causal-consistency checker — the full loop of this repository in
+// thirty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/core"
+)
+
+func main() {
+	// Three processes, an array of 2 window streams of size 2,
+	// causally consistent replication, deterministic seed.
+	cluster := core.NewCluster(3, adt.NewWindowArray(2, 2), core.ModeCC, 42)
+
+	// p0 writes 1 to stream 0; p1 concurrently writes 2 to the same
+	// stream. No messages have been delivered yet, so each sees only
+	// its own write.
+	cluster.Invoke(0, "w", 0, 1)
+	cluster.Invoke(1, "w", 0, 2)
+	fmt.Println("p0 reads stream 0:", cluster.Invoke(0, "r", 0)) // (0,1)
+	fmt.Println("p1 reads stream 0:", cluster.Invoke(1, "r", 0)) // (0,2)
+
+	// Deliver all in-flight messages (quiescence).
+	cluster.Settle()
+	fmt.Println("after settling:")
+	fmt.Println("p0 reads stream 0:", cluster.Invoke(0, "r", 0))
+	fmt.Println("p1 reads stream 0:", cluster.Invoke(1, "r", 0))
+	fmt.Println("p2 reads stream 0:", cluster.Invoke(2, "r", 0))
+
+	// Every execution of this runtime is causally consistent (Prop. 6);
+	// verify this very run with the exact checker.
+	h := cluster.Recorder.History()
+	ok, _, err := check.CC(h, check.Options{})
+	if err != nil {
+		log.Fatalf("checker error: %v", err)
+	}
+	fmt.Printf("\nrecorded history:\n%s", h)
+	fmt.Println("causally consistent:", ok)
+}

@@ -1,0 +1,409 @@
+package adt_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adt"
+	"repro/internal/spec"
+)
+
+func step(t *testing.T, a spec.ADT, q spec.State, method string, args ...int) (spec.State, spec.Output) {
+	t.Helper()
+	return stepIn(a, q, spec.NewInput(method, args...))
+}
+
+func stepIn(a spec.ADT, q spec.State, in spec.Input) (spec.State, spec.Output) {
+	return a.Step(q, in)
+}
+
+func TestWindowStreamSemantics(t *testing.T) {
+	w := adt.NewWindowStream(3)
+	q := w.Init()
+	if q.Key() != "0,0,0" {
+		t.Fatalf("init = %q", q.Key())
+	}
+	var out spec.Output
+	q, out = step(t, w, q, "w", 1)
+	if !out.Equal(spec.Bot) {
+		t.Fatalf("write output = %v", out)
+	}
+	q, _ = step(t, w, q, "w", 2)
+	_, out = step(t, w, q, "r")
+	if !out.Equal(spec.TupleOutput(0, 1, 2)) {
+		t.Fatalf("read = %v, want (0,1,2)", out)
+	}
+	q, _ = step(t, w, q, "w", 3)
+	q, _ = step(t, w, q, "w", 4)
+	_, out = step(t, w, q, "r")
+	if !out.Equal(spec.TupleOutput(2, 3, 4)) {
+		t.Fatalf("read = %v, want (2,3,4)", out)
+	}
+}
+
+// TestWindowStreamShiftProperty: after writing k values, a read returns
+// exactly the last k writes in order (testing/quick over write
+// sequences).
+func TestWindowStreamShiftProperty(t *testing.T) {
+	f := func(vals []int8, k8 uint8) bool {
+		k := int(k8%4) + 1
+		w := adt.NewWindowStream(k)
+		q := w.Init()
+		for _, v := range vals {
+			q, _ = w.Step(q, spec.NewInput("w", int(v)))
+		}
+		_, out := w.Step(q, spec.NewInput("r"))
+		if len(out.Vals) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			idx := len(vals) - k + i
+			want := 0
+			if idx >= 0 {
+				want = int(vals[idx])
+			}
+			if out.Vals[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowStreamReadIsPure(t *testing.T) {
+	w := adt.NewWindowStream(2)
+	q := w.Init()
+	q, _ = step(t, w, q, "w", 9)
+	q2, _ := step(t, w, q, "r")
+	if q2.Key() != q.Key() {
+		t.Fatal("read changed the state")
+	}
+	if w.IsUpdate(spec.NewInput("r")) || !w.IsQuery(spec.NewInput("r")) {
+		t.Fatal("read classification wrong")
+	}
+	if !w.IsUpdate(spec.NewInput("w", 1)) || w.IsQuery(spec.NewInput("w", 1)) {
+		t.Fatal("write classification wrong")
+	}
+}
+
+func TestWindowArraySemantics(t *testing.T) {
+	w := adt.NewWindowArray(2, 2)
+	q := w.Init()
+	q, _ = step(t, w, q, "w", 0, 1)
+	q, _ = step(t, w, q, "w", 1, 2)
+	q, _ = step(t, w, q, "w", 0, 3)
+	_, out := step(t, w, q, "r", 0)
+	if !out.Equal(spec.TupleOutput(1, 3)) {
+		t.Fatalf("stream 0 = %v", out)
+	}
+	_, out = step(t, w, q, "r", 1)
+	if !out.Equal(spec.TupleOutput(0, 2)) {
+		t.Fatalf("stream 1 = %v", out)
+	}
+}
+
+// TestWindowArrayIndependence: streams do not interfere (quick).
+func TestWindowArrayIndependence(t *testing.T) {
+	f := func(writes []uint8) bool {
+		w := adt.NewWindowArray(3, 2)
+		ref := [3]*refWindow{newRefWindow(2), newRefWindow(2), newRefWindow(2)}
+		q := w.Init()
+		for i, b := range writes {
+			x := int(b) % 3
+			v := i + 1
+			q, _ = w.Step(q, spec.NewInput("w", x, v))
+			ref[x].write(v)
+		}
+		for x := 0; x < 3; x++ {
+			_, out := w.Step(q, spec.NewInput("r", x))
+			for i, v := range ref[x].vals {
+				if out.Vals[i] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type refWindow struct{ vals []int }
+
+func newRefWindow(k int) *refWindow { return &refWindow{vals: make([]int, k)} }
+func (r *refWindow) write(v int) {
+	r.vals = append(r.vals[1:], v)
+}
+
+func TestMemorySemantics(t *testing.T) {
+	m := adt.NewMemory("x", "y")
+	q := m.Init()
+	_, out := step(t, m, q, "rx")
+	if !out.Equal(spec.IntOutput(0)) {
+		t.Fatalf("initial read = %v", out)
+	}
+	q, _ = step(t, m, q, "wx", 4)
+	q, _ = step(t, m, q, "wy", 6)
+	_, out = step(t, m, q, "rx")
+	if !out.Equal(spec.IntOutput(4)) {
+		t.Fatalf("rx = %v", out)
+	}
+	_, out = step(t, m, q, "ry")
+	if !out.Equal(spec.IntOutput(6)) {
+		t.Fatalf("ry = %v", out)
+	}
+	if !m.IsUpdate(spec.NewInput("wx", 1)) || m.IsUpdate(spec.NewInput("rx")) {
+		t.Fatal("memory update classification")
+	}
+}
+
+func TestMemoryRegisterIsolation(t *testing.T) {
+	m := adt.NewMemory("a", "b", "c")
+	q := m.Init()
+	q, _ = step(t, m, q, "wb", 9)
+	for _, reg := range []string{"a", "c"} {
+		_, out := step(t, m, q, "r"+reg)
+		if !out.Equal(spec.IntOutput(0)) {
+			t.Fatalf("register %s polluted: %v", reg, out)
+		}
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	qd := adt.Queue{}
+	q := qd.Init()
+	q, _ = step(t, qd, q, "push", 1)
+	q, _ = step(t, qd, q, "push", 2)
+	var out spec.Output
+	q, out = step(t, qd, q, "pop")
+	if !out.Equal(spec.IntOutput(1)) {
+		t.Fatalf("pop = %v, want 1", out)
+	}
+	q, out = step(t, qd, q, "pop")
+	if !out.Equal(spec.IntOutput(2)) {
+		t.Fatalf("pop = %v, want 2", out)
+	}
+	q, out = step(t, qd, q, "pop")
+	if !out.Equal(spec.Bot) {
+		t.Fatalf("empty pop = %v, want ⊥", out)
+	}
+	_ = q
+	if !qd.IsUpdate(spec.NewInput("pop")) || !qd.IsQuery(spec.NewInput("pop")) {
+		t.Fatal("pop must be both update and query (Sec. 2.1)")
+	}
+	if qd.IsQuery(spec.NewInput("push", 1)) {
+		t.Fatal("push must be a pure update")
+	}
+}
+
+func TestQueue2Semantics(t *testing.T) {
+	qd := adt.Queue2{}
+	q := qd.Init()
+	_, out := step(t, qd, q, "hd")
+	if !out.Equal(spec.Bot) {
+		t.Fatalf("empty hd = %v", out)
+	}
+	q, _ = step(t, qd, q, "push", 1)
+	q, _ = step(t, qd, q, "push", 2)
+	_, out = step(t, qd, q, "hd")
+	if !out.Equal(spec.IntOutput(1)) {
+		t.Fatalf("hd = %v", out)
+	}
+	// rh with the wrong value is a no-op: this is the Fig. 3g fix.
+	q, _ = step(t, qd, q, "rh", 9)
+	_, out = step(t, qd, q, "hd")
+	if !out.Equal(spec.IntOutput(1)) {
+		t.Fatalf("hd after rh(9) = %v, want 1", out)
+	}
+	q, _ = step(t, qd, q, "rh", 1)
+	_, out = step(t, qd, q, "hd")
+	if !out.Equal(spec.IntOutput(2)) {
+		t.Fatalf("hd after rh(1) = %v, want 2", out)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	sd := adt.Stack{}
+	q := sd.Init()
+	q, _ = step(t, sd, q, "push", 1)
+	q, _ = step(t, sd, q, "push", 2)
+	_, out := step(t, sd, q, "top")
+	if !out.Equal(spec.IntOutput(2)) {
+		t.Fatalf("top = %v", out)
+	}
+	q, out = step(t, sd, q, "pop")
+	if !out.Equal(spec.IntOutput(2)) {
+		t.Fatalf("pop = %v, want 2", out)
+	}
+	q, out = step(t, sd, q, "pop")
+	if !out.Equal(spec.IntOutput(1)) {
+		t.Fatalf("pop = %v, want 1", out)
+	}
+	_, out = step(t, sd, q, "pop")
+	if !out.Equal(spec.Bot) {
+		t.Fatalf("empty pop = %v", out)
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	cd := adt.Counter{}
+	q := cd.Init()
+	q, _ = step(t, cd, q, "inc")
+	q, _ = step(t, cd, q, "inc", 5)
+	q, _ = step(t, cd, q, "dec", 2)
+	_, out := step(t, cd, q, "get")
+	if !out.Equal(spec.IntOutput(4)) {
+		t.Fatalf("get = %v, want 4", out)
+	}
+}
+
+// TestCounterCommutes: increments commute — the fold over any
+// permutation yields the same sum (quick, two orders).
+func TestCounterCommutes(t *testing.T) {
+	f := func(deltas []int8) bool {
+		cd := adt.Counter{}
+		fwd, bwd := cd.Init(), cd.Init()
+		for i := range deltas {
+			fwd, _ = cd.Step(fwd, spec.NewInput("inc", int(deltas[i])))
+			bwd, _ = cd.Step(bwd, spec.NewInput("inc", int(deltas[len(deltas)-1-i])))
+		}
+		return fwd.Key() == bwd.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGSetSemantics(t *testing.T) {
+	gd := adt.GSet{}
+	q := gd.Init()
+	q, _ = step(t, gd, q, "add", 3)
+	q, _ = step(t, gd, q, "add", 1)
+	q, _ = step(t, gd, q, "add", 3) // duplicate
+	_, out := step(t, gd, q, "elems")
+	if !out.Equal(spec.TupleOutput(1, 3)) {
+		t.Fatalf("elems = %v", out)
+	}
+	_, out = step(t, gd, q, "has", 3)
+	if !out.Equal(spec.IntOutput(1)) {
+		t.Fatalf("has(3) = %v", out)
+	}
+	_, out = step(t, gd, q, "has", 2)
+	if !out.Equal(spec.IntOutput(0)) {
+		t.Fatalf("has(2) = %v", out)
+	}
+}
+
+func TestSequenceSemantics(t *testing.T) {
+	sd := adt.Sequence{}
+	q := sd.Init()
+	q, _ = step(t, sd, q, "ins", 0, 10)
+	q, _ = step(t, sd, q, "ins", 1, 30)
+	q, _ = step(t, sd, q, "ins", 1, 20)
+	_, out := step(t, sd, q, "read")
+	if !out.Equal(spec.TupleOutput(10, 20, 30)) {
+		t.Fatalf("read = %v", out)
+	}
+	q, _ = step(t, sd, q, "del", 1)
+	_, out = step(t, sd, q, "read")
+	if !out.Equal(spec.TupleOutput(10, 30)) {
+		t.Fatalf("read after del = %v", out)
+	}
+	// Clamping and out-of-range deletes are total-function behaviours.
+	q, _ = step(t, sd, q, "ins", 99, 40)
+	q, _ = step(t, sd, q, "del", 99)
+	_, out = step(t, sd, q, "read")
+	if !out.Equal(spec.TupleOutput(10, 30, 40)) {
+		t.Fatalf("read = %v", out)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for name, wantName := range map[string]string{
+		"W2":       "W2",
+		"W3^4":     "W3^4",
+		"M[a-c]":   "M[a,b,c]",
+		"M[x,y]":   "M[x,y]",
+		"Queue":    "Queue",
+		"Queue2":   "Queue2",
+		"Stack":    "Stack",
+		"Counter":  "Counter",
+		"GSet":     "GSet",
+		"Sequence": "Sequence",
+		"Register": "Register",
+	} {
+		a, err := adt.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if a.Name() != wantName {
+			t.Errorf("Lookup(%q).Name() = %q, want %q", name, a.Name(), wantName)
+		}
+	}
+	for _, bad := range []string{"", "W0", "Wx", "M[]", "Bogus", "M[z-a]"} {
+		if _, err := adt.Lookup(bad); err == nil {
+			t.Errorf("Lookup(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestStateKeyInjectivity: states reached by different write suffixes
+// have different keys; equal suffixes have equal keys (window stream).
+func TestStateKeyInjectivity(t *testing.T) {
+	f := func(a, b []int8) bool {
+		w := adt.NewWindowStream(3)
+		qa, qb := w.Init(), w.Init()
+		for _, v := range a {
+			qa, _ = w.Step(qa, spec.NewInput("w", int(v)))
+		}
+		for _, v := range b {
+			qb, _ = w.Step(qb, spec.NewInput("w", int(v)))
+		}
+		_, ra := w.Step(qa, spec.NewInput("r"))
+		_, rb := w.Step(qb, spec.NewInput("r"))
+		return (qa.Key() == qb.Key()) == ra.Equal(rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepDoesNotMutate: Step must return fresh states; mutating the
+// result of a read on the old state is a bug the checkers rely on not
+// existing.
+func TestStepDoesNotMutate(t *testing.T) {
+	for _, a := range []spec.ADT{
+		adt.NewWindowStream(2), adt.NewWindowArray(2, 2), adt.NewMemory("x"),
+		adt.Queue{}, adt.Queue2{}, adt.Stack{}, adt.Counter{}, adt.GSet{}, adt.Sequence{},
+	} {
+		q0 := a.Init()
+		key := q0.Key()
+		var ins []spec.Input
+		switch a.(type) {
+		case adt.WindowStream:
+			ins = []spec.Input{spec.NewInput("w", 1), spec.NewInput("r")}
+		case adt.WindowArray:
+			ins = []spec.Input{spec.NewInput("w", 0, 1), spec.NewInput("r", 0)}
+		case adt.Memory:
+			ins = []spec.Input{spec.NewInput("wx", 1), spec.NewInput("rx")}
+		case adt.Queue, adt.Queue2, adt.Stack:
+			ins = []spec.Input{spec.NewInput("push", 1), spec.NewInput("push", 2)}
+		case adt.Counter:
+			ins = []spec.Input{spec.NewInput("inc"), spec.NewInput("get")}
+		case adt.GSet:
+			ins = []spec.Input{spec.NewInput("add", 1), spec.NewInput("elems")}
+		case adt.Sequence:
+			ins = []spec.Input{spec.NewInput("ins", 0, 1), spec.NewInput("read")}
+		}
+		for _, in := range ins {
+			a.Step(q0, in)
+			if q0.Key() != key {
+				t.Fatalf("%s: Step mutated its input state", a.Name())
+			}
+		}
+	}
+}

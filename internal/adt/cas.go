@@ -1,0 +1,59 @@
+package adt
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// CASRegister is a register with compare-and-swap, the canonical
+// universal synchronization object of Sec. 2.1's classification: its
+// consensus number is ∞ (Herlihy [11]), in contrast with the register
+// (1) and the window stream W_k (k). It exists in this library to make
+// that classification executable — see internal/consensus.
+//
+// Methods:
+//
+//   - "w" with one argument writes the value (pure update, ⊥);
+//   - "r" reads the value (pure query);
+//   - "cas" with two arguments (expected, new) installs new iff the
+//     current value equals expected, returning 1 on success and 0 on
+//     failure — both an update and a query.
+type CASRegister struct{}
+
+// Name implements spec.ADT.
+func (CASRegister) Name() string { return "CAS" }
+
+// Init returns the default value 0.
+func (CASRegister) Init() spec.State { return newRegState(0) }
+
+// Step implements the compare-and-swap register semantics.
+func (CASRegister) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(regState)
+	switch in.Method {
+	case "w":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: cas-register write expects 1 argument, got %v", in))
+		}
+		return newRegState(in.Args[0]), spec.Bot
+	case "r":
+		return s, spec.IntOutput(s.v)
+	case "cas":
+		if len(in.Args) != 2 {
+			panic(fmt.Sprintf("adt: cas expects 2 arguments, got %v", in))
+		}
+		if s.v == in.Args[0] {
+			return newRegState(in.Args[1]), spec.IntOutput(1)
+		}
+		return s, spec.IntOutput(0)
+	default:
+		panic(fmt.Sprintf("adt: cas-register has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT: w always changes the state, cas
+// sometimes does.
+func (CASRegister) IsUpdate(in spec.Input) bool { return in.Method == "w" || in.Method == "cas" }
+
+// IsQuery implements spec.ADT: r and cas outputs depend on the state.
+func (CASRegister) IsQuery(in spec.Input) bool { return in.Method == "r" || in.Method == "cas" }

@@ -1,0 +1,98 @@
+package adt
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func step(t *testing.T, a spec.ADT, q spec.State, method string, args ...int) (spec.State, spec.Output) {
+	t.Helper()
+	return a.Step(q, spec.NewInput(method, args...))
+}
+
+func TestCASSemantics(t *testing.T) {
+	c := CASRegister{}
+	q := c.Init()
+	q, out := step(t, c, q, "cas", 0, 5)
+	if !out.Equal(spec.IntOutput(1)) {
+		t.Fatalf("cas(0,5) on 0: %v, want success 1", out)
+	}
+	q, out = step(t, c, q, "cas", 0, 9)
+	if !out.Equal(spec.IntOutput(0)) {
+		t.Fatalf("cas(0,9) on 5: %v, want failure 0", out)
+	}
+	q, out = step(t, c, q, "r")
+	if !out.Equal(spec.IntOutput(5)) {
+		t.Fatalf("read %v, want 5 (failed cas must not write)", out)
+	}
+	q, _ = step(t, c, q, "w", 7)
+	_, out = step(t, c, q, "r")
+	if !out.Equal(spec.IntOutput(7)) {
+		t.Fatalf("read %v after w(7)", out)
+	}
+}
+
+func TestCASClassification(t *testing.T) {
+	c := CASRegister{}
+	if !c.IsUpdate(spec.NewInput("cas", 0, 1)) || !c.IsQuery(spec.NewInput("cas", 0, 1)) {
+		t.Error("cas must be both update and query")
+	}
+	if !c.IsUpdate(spec.NewInput("w", 1)) || c.IsQuery(spec.NewInput("w", 1)) {
+		t.Error("w must be a pure update")
+	}
+	if c.IsUpdate(spec.NewInput("r")) || !c.IsQuery(spec.NewInput("r")) {
+		t.Error("r must be a pure query")
+	}
+}
+
+func TestRWSetSemantics(t *testing.T) {
+	s := RWSet{}
+	q := s.Init()
+	q, _ = step(t, s, q, "add", 3)
+	q, _ = step(t, s, q, "add", 1)
+	q, _ = step(t, s, q, "add", 3) // duplicate add is a no-op
+	q, out := step(t, s, q, "elems")
+	if !out.Equal(spec.TupleOutput(1, 3)) {
+		t.Fatalf("elems %v, want (1,3) sorted", out)
+	}
+	q, out = step(t, s, q, "has", 3)
+	if !out.Equal(spec.IntOutput(1)) {
+		t.Fatalf("has(3) %v", out)
+	}
+	q, _ = step(t, s, q, "rem", 3)
+	q, out = step(t, s, q, "has", 3)
+	if !out.Equal(spec.IntOutput(0)) {
+		t.Fatalf("has(3) after rem %v", out)
+	}
+	q, _ = step(t, s, q, "rem", 99) // absent remove is a no-op
+	_, out = step(t, s, q, "elems")
+	if !out.Equal(spec.TupleOutput(1)) {
+		t.Fatalf("elems %v, want (1)", out)
+	}
+}
+
+func TestRWSetStateKeyCanonical(t *testing.T) {
+	s := RWSet{}
+	qa := s.Init()
+	qa, _ = step(t, s, qa, "add", 2)
+	qa, _ = step(t, s, qa, "add", 1)
+	qb := s.Init()
+	qb, _ = step(t, s, qb, "add", 1)
+	qb, _ = step(t, s, qb, "add", 2)
+	if qa.Key() != qb.Key() {
+		t.Fatalf("insertion order leaked into the state key: %q vs %q", qa.Key(), qb.Key())
+	}
+}
+
+func TestLookupNewTypes(t *testing.T) {
+	for _, name := range []string{"CAS", "RWSet"} {
+		a, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("Lookup(%q).Name() = %q", name, a.Name())
+		}
+	}
+}

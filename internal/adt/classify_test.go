@@ -1,0 +1,107 @@
+package adt
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestUpdateQueryClassification pins the update/query classification
+// of every method of every type in the registry — Def. 1's taxonomy
+// (pure update, pure query, both), which the runtime and checkers key
+// all their behaviour on.
+func TestUpdateQueryClassification(t *testing.T) {
+	cases := []struct {
+		adtName string
+		in      spec.Input
+		update  bool
+		query   bool
+	}{
+		{"Register", spec.NewInput("w", 1), true, false},
+		{"Register", spec.NewInput("r"), false, true},
+		{"CAS", spec.NewInput("cas", 0, 1), true, true},
+		{"W2", spec.NewInput("w", 1), true, false},
+		{"W2", spec.NewInput("r"), false, true},
+		{"W2^3", spec.NewInput("w", 0, 1), true, false},
+		{"W2^3", spec.NewInput("r", 0), false, true},
+		{"M[a,b]", spec.NewInput("wa", 1), true, false},
+		{"M[a,b]", spec.NewInput("rb"), false, true},
+		{"Counter", spec.NewInput("inc"), true, false},
+		{"Counter", spec.NewInput("dec"), true, false},
+		{"Counter", spec.NewInput("get"), false, true},
+		{"GSet", spec.NewInput("add", 1), true, false},
+		{"GSet", spec.NewInput("has", 1), false, true},
+		{"GSet", spec.NewInput("elems"), false, true},
+		{"RWSet", spec.NewInput("add", 1), true, false},
+		{"RWSet", spec.NewInput("rem", 1), true, false},
+		{"RWSet", spec.NewInput("has", 1), false, true},
+		{"Queue", spec.NewInput("push", 1), true, false},
+		{"Queue", spec.NewInput("pop"), true, true}, // the coupled pop: both
+		{"Queue2", spec.NewInput("push", 1), true, false},
+		{"Queue2", spec.NewInput("hd"), false, true},
+		{"Queue2", spec.NewInput("rh", 1), true, false},
+		{"Stack", spec.NewInput("push", 1), true, false},
+		{"Stack", spec.NewInput("pop"), true, true},
+		{"Stack", spec.NewInput("top"), false, true},
+		{"Sequence", spec.NewInput("ins", 0, 65), true, false},
+		{"Sequence", spec.NewInput("del", 0), true, false},
+		{"Sequence", spec.NewInput("read"), false, true},
+	}
+	for _, tc := range cases {
+		a, err := Lookup(tc.adtName)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", tc.adtName, err)
+		}
+		if got := a.IsUpdate(tc.in); got != tc.update {
+			t.Errorf("%s.IsUpdate(%v) = %v, want %v", tc.adtName, tc.in, got, tc.update)
+		}
+		if got := a.IsQuery(tc.in); got != tc.query {
+			t.Errorf("%s.IsQuery(%v) = %v, want %v", tc.adtName, tc.in, got, tc.query)
+		}
+	}
+}
+
+// TestRegisterStepAndMemoryRoundTrip exercises the single-register and
+// memory transitions in-package: a write is visible to the matching
+// register only.
+func TestRegisterStepAndMemoryRoundTrip(t *testing.T) {
+	r := Register{}
+	q := r.Init()
+	q, out := r.Step(q, spec.NewInput("r"))
+	if !out.Equal(spec.IntOutput(0)) {
+		t.Fatalf("initial read %v, want 0", out)
+	}
+	q, _ = r.Step(q, spec.NewInput("w", 9))
+	_, out = r.Step(q, spec.NewInput("r"))
+	if !out.Equal(spec.IntOutput(9)) {
+		t.Fatalf("read %v after w(9)", out)
+	}
+
+	m := NewMemory("a", "b")
+	if got := m.Registers(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Registers() = %v", got)
+	}
+	qm := m.Init()
+	qm, _ = m.Step(qm, spec.NewInput("wa", 5))
+	_, out = m.Step(qm, spec.NewInput("rb"))
+	if !out.Equal(spec.IntOutput(0)) {
+		t.Fatalf("rb %v after wa(5), want 0 (registers independent)", out)
+	}
+	_, out = m.Step(qm, spec.NewInput("ra"))
+	if !out.Equal(spec.IntOutput(5)) {
+		t.Fatalf("ra %v after wa(5)", out)
+	}
+	if qm.Key() == m.Init().Key() {
+		t.Fatal("state key did not change after a write")
+	}
+}
+
+// TestLookupErrors: malformed names are rejected with errors, not
+// panics.
+func TestLookupErrors(t *testing.T) {
+	for _, name := range []string{"", "W0", "W2^0", "M[]", "Bogus", "M[a-"} {
+		if _, err := Lookup(name); err == nil {
+			t.Errorf("Lookup(%q) accepted", name)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package adt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// Counter is a shared integer counter, one of the data types the paper
+// names as not expressible through read/write semantic matching ("for a
+// counter the value returned by a query does not depend on one
+// particular update, but on all the updates that happened before it").
+//
+// Methods: "inc" and "dec" with an optional amount argument (pure
+// updates, default amount 1), and "get" (pure query).
+type Counter struct{}
+
+type counterState struct {
+	v   int
+	key string
+}
+
+func (s counterState) Key() string { return s.key }
+
+func newCounterState(v int) counterState { return counterState{v: v, key: strconv.Itoa(v)} }
+
+// Name implements spec.ADT.
+func (Counter) Name() string { return "Counter" }
+
+// Init returns the zero counter.
+func (Counter) Init() spec.State { return newCounterState(0) }
+
+// Step implements the counter semantics.
+func (Counter) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(counterState)
+	amount := func() int {
+		switch len(in.Args) {
+		case 0:
+			return 1
+		case 1:
+			return in.Args[0]
+		default:
+			panic(fmt.Sprintf("adt: %s expects at most 1 argument, got %v", in.Method, in))
+		}
+	}
+	switch in.Method {
+	case "inc":
+		return newCounterState(s.v + amount()), spec.Bot
+	case "dec":
+		return newCounterState(s.v - amount()), spec.Bot
+	case "get":
+		return s, spec.IntOutput(s.v)
+	default:
+		panic(fmt.Sprintf("adt: counter has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (Counter) IsUpdate(in spec.Input) bool { return in.Method == "inc" || in.Method == "dec" }
+
+// IsQuery implements spec.ADT.
+func (Counter) IsQuery(in spec.Input) bool { return in.Method == "get" }
+
+// GSet is a grow-only set of integers (the simplest convergent data
+// type; its updates commute, making it a useful control in the
+// hierarchy experiments: for GSet, causal consistency and causal
+// convergence admit the same histories on update-commuting workloads).
+//
+// Methods: "add" with one argument (pure update), "has" with one
+// argument (pure query, output 0/1), "elems" (pure query, output the
+// sorted tuple of members).
+type GSet struct{}
+
+type gsetState struct {
+	vals []int // sorted, deduplicated
+	key  string
+}
+
+func (s *gsetState) Key() string { return s.key }
+
+func newGSetState(vals []int) *gsetState {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return &gsetState{vals: vals, key: "{" + strings.Join(parts, ",") + "}"}
+}
+
+// Name implements spec.ADT.
+func (GSet) Name() string { return "GSet" }
+
+// Init returns the empty set.
+func (GSet) Init() spec.State { return newGSetState(nil) }
+
+// Step implements the grow-set semantics.
+func (GSet) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*gsetState)
+	switch in.Method {
+	case "add":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: add expects 1 argument, got %v", in))
+		}
+		v := in.Args[0]
+		i := sort.SearchInts(s.vals, v)
+		if i < len(s.vals) && s.vals[i] == v {
+			return s, spec.Bot
+		}
+		next := make([]int, 0, len(s.vals)+1)
+		next = append(next, s.vals[:i]...)
+		next = append(next, v)
+		next = append(next, s.vals[i:]...)
+		return newGSetState(next), spec.Bot
+	case "has":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: has expects 1 argument, got %v", in))
+		}
+		i := sort.SearchInts(s.vals, in.Args[0])
+		if i < len(s.vals) && s.vals[i] == in.Args[0] {
+			return s, spec.IntOutput(1)
+		}
+		return s, spec.IntOutput(0)
+	case "elems":
+		out := make([]int, len(s.vals))
+		copy(out, s.vals)
+		return s, spec.TupleOutput(out...)
+	default:
+		panic(fmt.Sprintf("adt: gset has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (GSet) IsUpdate(in spec.Input) bool { return in.Method == "add" }
+
+// IsQuery implements spec.ADT.
+func (GSet) IsQuery(in spec.Input) bool { return in.Method == "has" || in.Method == "elems" }
+
+// Sequence is an ordered sequence of integers supporting positional
+// insertion and deletion, modelling the collaborative-editing workload
+// of the CCI model the paper relates weak causal consistency to
+// (Sec. 3.2). A document is a sequence of symbols; concurrent inserts
+// at the same position are exactly the races that convergence criteria
+// must arbitrate.
+//
+// Methods: "ins" with arguments (pos, v) inserts v at position pos
+// (clamped to [0, len]); "del" with argument (pos) deletes the element
+// at pos if present; both are pure updates. "read" (pure query)
+// returns the whole sequence as a tuple.
+type Sequence struct{}
+
+// Name implements spec.ADT.
+func (Sequence) Name() string { return "Sequence" }
+
+// Init returns the empty sequence.
+func (Sequence) Init() spec.State { return newSeqIntState(nil) }
+
+// Step implements the sequence semantics.
+func (Sequence) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*seqIntState)
+	switch in.Method {
+	case "ins":
+		if len(in.Args) != 2 {
+			panic(fmt.Sprintf("adt: ins expects (pos, v), got %v", in))
+		}
+		pos, v := in.Args[0], in.Args[1]
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > len(s.vals) {
+			pos = len(s.vals)
+		}
+		next := make([]int, 0, len(s.vals)+1)
+		next = append(next, s.vals[:pos]...)
+		next = append(next, v)
+		next = append(next, s.vals[pos:]...)
+		return newSeqIntState(next), spec.Bot
+	case "del":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: del expects (pos), got %v", in))
+		}
+		pos := in.Args[0]
+		if pos < 0 || pos >= len(s.vals) {
+			return s, spec.Bot
+		}
+		next := make([]int, 0, len(s.vals)-1)
+		next = append(next, s.vals[:pos]...)
+		next = append(next, s.vals[pos+1:]...)
+		return newSeqIntState(next), spec.Bot
+	case "read":
+		out := make([]int, len(s.vals))
+		copy(out, s.vals)
+		return s, spec.TupleOutput(out...)
+	default:
+		panic(fmt.Sprintf("adt: sequence has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (Sequence) IsUpdate(in spec.Input) bool { return in.Method == "ins" || in.Method == "del" }
+
+// IsQuery implements spec.ADT.
+func (Sequence) IsQuery(in spec.Input) bool { return in.Method == "read" }

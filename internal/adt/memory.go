@@ -1,0 +1,154 @@
+package adt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// memState maps register names (by index into the Memory's name table)
+// to values. Values default to 0.
+type memState struct {
+	vals []int
+	key  string
+}
+
+func newMemState(vals []int) *memState {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return &memState{vals: vals, key: strings.Join(parts, ",")}
+}
+
+func (s *memState) Key() string { return s.key }
+
+// Memory is the integer memory M_X on a finite set of register names
+// (Def. 10): a pool of integer registers, each isomorphic to a window
+// stream of size 1. As the paper stresses, causal consistency is not
+// composable, so a causal memory is a causally consistent *pool* of
+// registers — hence memory is a single ADT, not a collection.
+//
+// Method naming follows the paper: for a register named "a", the write
+// is method "wa" with one argument and the read is method "ra" with no
+// arguments. Register names may be any non-empty strings not containing
+// parentheses; the paper uses single letters a..z.
+type Memory struct {
+	names []string
+	index map[string]int
+}
+
+// NewMemory returns M_X for the given register names.
+func NewMemory(names ...string) Memory {
+	if len(names) == 0 {
+		panic("adt: memory needs at least one register")
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	idx := make(map[string]int, len(sorted))
+	for i, n := range sorted {
+		if n == "" {
+			panic("adt: empty register name")
+		}
+		if _, dup := idx[n]; dup {
+			panic(fmt.Sprintf("adt: duplicate register name %q", n))
+		}
+		idx[n] = i
+	}
+	return Memory{names: sorted, index: idx}
+}
+
+// Registers returns the register names in canonical order.
+func (m Memory) Registers() []string { return append([]string(nil), m.names...) }
+
+// Name implements spec.ADT.
+func (m Memory) Name() string { return "M[" + strings.Join(m.names, ",") + "]" }
+
+// Init returns the all-zero memory.
+func (m Memory) Init() spec.State { return newMemState(make([]int, len(m.names))) }
+
+// decode splits a method like "wa"/"ra" into kind ('w' or 'r') and the
+// register index.
+func (m Memory) decode(method string) (byte, int) {
+	if len(method) < 2 {
+		panic(fmt.Sprintf("adt: memory has no method %q", method))
+	}
+	kind := method[0]
+	if kind != 'w' && kind != 'r' {
+		panic(fmt.Sprintf("adt: memory has no method %q", method))
+	}
+	reg, ok := m.index[method[1:]]
+	if !ok {
+		panic(fmt.Sprintf("adt: memory has no register %q", method[1:]))
+	}
+	return kind, reg
+}
+
+// Step implements δ and λ of Def. 10.
+func (m Memory) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*memState)
+	kind, reg := m.decode(in.Method)
+	switch kind {
+	case 'w':
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: memory write expects 1 argument, got %v", in))
+		}
+		next := make([]int, len(s.vals))
+		copy(next, s.vals)
+		next[reg] = in.Args[0]
+		return newMemState(next), spec.Bot
+	default: // 'r'
+		return s, spec.IntOutput(s.vals[reg])
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (m Memory) IsUpdate(in spec.Input) bool { return strings.HasPrefix(in.Method, "w") }
+
+// IsQuery implements spec.ADT.
+func (m Memory) IsQuery(in spec.Input) bool { return strings.HasPrefix(in.Method, "r") }
+
+// Register is a single integer register: a window stream of size 1 with
+// the memory-style method names "w" and "r" and scalar read output.
+// It is provided as the simplest possible ADT, used heavily in tests.
+type Register struct{}
+
+type regState struct {
+	v   int
+	key string
+}
+
+func (s regState) Key() string { return s.key }
+
+func newRegState(v int) regState { return regState{v: v, key: strconv.Itoa(v)} }
+
+// Name implements spec.ADT.
+func (Register) Name() string { return "Register" }
+
+// Init returns the default value 0.
+func (Register) Init() spec.State { return newRegState(0) }
+
+// Step implements the register semantics.
+func (Register) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(regState)
+	switch in.Method {
+	case "w":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: register write expects 1 argument, got %v", in))
+		}
+		return newRegState(in.Args[0]), spec.Bot
+	case "r":
+		return s, spec.IntOutput(s.v)
+	default:
+		panic(fmt.Sprintf("adt: register has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (Register) IsUpdate(in spec.Input) bool { return in.Method == "w" }
+
+// IsQuery implements spec.ADT.
+func (Register) IsQuery(in spec.Input) bool { return in.Method == "r" }

@@ -1,0 +1,182 @@
+package adt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// seqIntState is a generic immutable sequence-of-ints state shared by
+// the queue, stack and sequence types.
+type seqIntState struct {
+	vals []int
+	key  string
+}
+
+func newSeqIntState(vals []int) *seqIntState {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return &seqIntState{vals: vals, key: "[" + strings.Join(parts, ",") + "]"}
+}
+
+func (s *seqIntState) Key() string { return s.key }
+
+// Queue is the paper's first-in-first-out queue Q (Sec. 4.1, Fig. 3e/f):
+//
+//   - "push" with one argument appends v at the end (pure update, ⊥);
+//   - "pop" removes and returns the oldest element (update *and*
+//     query); on an empty queue it returns ⊥ and leaves the state
+//     unchanged, as in Fig. 3f's pop/⊥.
+//
+// The loose coupling of pop's transition and output parts under weak
+// criteria is exactly what Fig. 3f exposes (elements lost or popped
+// twice); Queue2 below is the paper's fix.
+type Queue struct{}
+
+// Name implements spec.ADT.
+func (Queue) Name() string { return "Queue" }
+
+// Init returns the empty queue.
+func (Queue) Init() spec.State { return newSeqIntState(nil) }
+
+// Step implements the queue semantics.
+func (Queue) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*seqIntState)
+	switch in.Method {
+	case "push":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: push expects 1 argument, got %v", in))
+		}
+		next := make([]int, len(s.vals)+1)
+		copy(next, s.vals)
+		next[len(s.vals)] = in.Args[0]
+		return newSeqIntState(next), spec.Bot
+	case "pop":
+		if len(s.vals) == 0 {
+			return s, spec.Bot
+		}
+		head := s.vals[0]
+		next := make([]int, len(s.vals)-1)
+		copy(next, s.vals[1:])
+		return newSeqIntState(next), spec.IntOutput(head)
+	default:
+		panic(fmt.Sprintf("adt: queue has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT: push and pop both change the state.
+func (Queue) IsUpdate(in spec.Input) bool { return in.Method == "push" || in.Method == "pop" }
+
+// IsQuery implements spec.ADT: pop observes the state (its output
+// depends on it); push does not.
+func (Queue) IsQuery(in spec.Input) bool { return in.Method == "pop" }
+
+// Queue2 is the paper's queue Q′ (Fig. 3g), where pop is split into a
+// pure query and a pure update so that weak criteria cannot lose
+// elements:
+//
+//   - "push" with one argument appends (pure update, ⊥);
+//   - "hd" returns the first element without removing it (pure query;
+//     ⊥ on empty);
+//   - "rh" with one argument removes the head if and only if it equals
+//     the argument (pure update, ⊥).
+type Queue2 struct{}
+
+// Name implements spec.ADT.
+func (Queue2) Name() string { return "Queue2" }
+
+// Init returns the empty queue.
+func (Queue2) Init() spec.State { return newSeqIntState(nil) }
+
+// Step implements the Q′ semantics.
+func (Queue2) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*seqIntState)
+	switch in.Method {
+	case "push":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: push expects 1 argument, got %v", in))
+		}
+		next := make([]int, len(s.vals)+1)
+		copy(next, s.vals)
+		next[len(s.vals)] = in.Args[0]
+		return newSeqIntState(next), spec.Bot
+	case "hd":
+		if len(s.vals) == 0 {
+			return s, spec.Bot
+		}
+		return s, spec.IntOutput(s.vals[0])
+	case "rh":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: rh expects 1 argument, got %v", in))
+		}
+		if len(s.vals) > 0 && s.vals[0] == in.Args[0] {
+			next := make([]int, len(s.vals)-1)
+			copy(next, s.vals[1:])
+			return newSeqIntState(next), spec.Bot
+		}
+		return s, spec.Bot
+	default:
+		panic(fmt.Sprintf("adt: queue2 has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (Queue2) IsUpdate(in spec.Input) bool { return in.Method == "push" || in.Method == "rh" }
+
+// IsQuery implements spec.ADT.
+func (Queue2) IsQuery(in spec.Input) bool { return in.Method == "hd" }
+
+// Stack is a last-in-first-out stack, the paper's running example for
+// operations that are both update and query (Sec. 2.1): pop deletes the
+// head (side effect) and returns its value (output).
+//
+// Methods: "push" (pure update), "pop" (update+query, ⊥ on empty),
+// "top" (pure query, ⊥ on empty).
+type Stack struct{}
+
+// Name implements spec.ADT.
+func (Stack) Name() string { return "Stack" }
+
+// Init returns the empty stack.
+func (Stack) Init() spec.State { return newSeqIntState(nil) }
+
+// Step implements the stack semantics; the top of the stack is the last
+// element of the state sequence.
+func (Stack) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*seqIntState)
+	switch in.Method {
+	case "push":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: push expects 1 argument, got %v", in))
+		}
+		next := make([]int, len(s.vals)+1)
+		copy(next, s.vals)
+		next[len(s.vals)] = in.Args[0]
+		return newSeqIntState(next), spec.Bot
+	case "pop":
+		if len(s.vals) == 0 {
+			return s, spec.Bot
+		}
+		top := s.vals[len(s.vals)-1]
+		next := make([]int, len(s.vals)-1)
+		copy(next, s.vals[:len(s.vals)-1])
+		return newSeqIntState(next), spec.IntOutput(top)
+	case "top":
+		if len(s.vals) == 0 {
+			return s, spec.Bot
+		}
+		return s, spec.IntOutput(s.vals[len(s.vals)-1])
+	default:
+		panic(fmt.Sprintf("adt: stack has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (Stack) IsUpdate(in spec.Input) bool { return in.Method == "push" || in.Method == "pop" }
+
+// IsQuery implements spec.ADT.
+func (Stack) IsQuery(in spec.Input) bool { return in.Method == "pop" || in.Method == "top" }

@@ -1,0 +1,105 @@
+package adt
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+var (
+	reWindow = regexp.MustCompile(`^W(\d+)$`)
+	reArray  = regexp.MustCompile(`^W(\d+)\^(\d+)$`)
+	reMemory = regexp.MustCompile(`^M\[([^\]]+)\]$`)
+)
+
+// Lookup resolves a textual ADT name, as used in history files and by
+// the command-line tools, to an ADT instance. Recognized forms:
+//
+//	W<k>           window stream of size k, e.g. "W2"
+//	W<k>^<K>       array of K window streams of size k, e.g. "W2^4"
+//	M[a,b,c]       integer memory with the given register names; a
+//	               range like M[a-e] expands to single letters
+//	Queue          FIFO queue with push/pop
+//	Queue2         FIFO queue with push/hd/rh (the paper's Q′)
+//	Stack          LIFO stack
+//	Counter        integer counter
+//	GSet           grow-only set
+//	Sequence       positional sequence (collaborative editing)
+//	Register       single integer register
+//	CAS            register with compare-and-swap
+//	RWSet          read-write set with add/rem/has/elems
+func Lookup(name string) (spec.ADT, error) {
+	name = strings.TrimSpace(name)
+	switch name {
+	case "Queue":
+		return Queue{}, nil
+	case "Queue2":
+		return Queue2{}, nil
+	case "Stack":
+		return Stack{}, nil
+	case "Counter":
+		return Counter{}, nil
+	case "GSet":
+		return GSet{}, nil
+	case "Sequence":
+		return Sequence{}, nil
+	case "Register":
+		return Register{}, nil
+	case "CAS":
+		return CASRegister{}, nil
+	case "RWSet":
+		return RWSet{}, nil
+	}
+	if m := reWindow.FindStringSubmatch(name); m != nil {
+		k, err := strconv.Atoi(m[1])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("adt: bad window size in %q", name)
+		}
+		return NewWindowStream(k), nil
+	}
+	if m := reArray.FindStringSubmatch(name); m != nil {
+		k, _ := strconv.Atoi(m[1])
+		bigK, _ := strconv.Atoi(m[2])
+		if k < 1 || bigK < 1 {
+			return nil, fmt.Errorf("adt: bad window array %q", name)
+		}
+		return NewWindowArray(bigK, k), nil
+	}
+	if m := reMemory.FindStringSubmatch(name); m != nil {
+		names, err := expandRegisterNames(m[1])
+		if err != nil {
+			return nil, err
+		}
+		return NewMemory(names...), nil
+	}
+	return nil, fmt.Errorf("adt: unknown data type %q", name)
+}
+
+// expandRegisterNames parses "a,b,c" or "a-e" (single-letter range, as
+// in the paper's M_[a-z]) into a list of register names.
+func expandRegisterNames(body string) ([]string, error) {
+	body = strings.TrimSpace(body)
+	if len(body) == 3 && body[1] == '-' {
+		lo, hi := body[0], body[2]
+		if lo > hi || lo < 'a' || hi > 'z' {
+			return nil, fmt.Errorf("adt: bad register range %q", body)
+		}
+		var names []string
+		for c := lo; c <= hi; c++ {
+			names = append(names, string(c))
+		}
+		return names, nil
+	}
+	var names []string
+	for _, f := range strings.Split(body, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("adt: empty register name in %q", body)
+		}
+		names = append(names, f)
+	}
+	return names, nil
+}

@@ -1,0 +1,100 @@
+package adt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// RWSet is the sequential read-write set: add and remove are pure
+// updates, membership and enumeration are pure queries. It is the
+// sequential specification against which the replicated sets of
+// internal/crdt are validated: an OR-set execution must be causally
+// consistent (indeed causally convergent) with THIS type — the
+// "beyond memory" move of the paper applied to the most common CRDT.
+//
+// Methods:
+//
+//   - "add" with one argument inserts (pure update, ⊥);
+//   - "rem" with one argument deletes (pure update, ⊥);
+//   - "has" with one argument returns 1/0 (pure query);
+//   - "elems" returns the sorted elements (pure query).
+type RWSet struct{}
+
+// rwState is a sorted-set state with a canonical key.
+type rwState struct {
+	vals []int // sorted
+	key  string
+}
+
+func newRWState(vals []int) *rwState {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return &rwState{vals: vals, key: "{" + strings.Join(parts, ",") + "}"}
+}
+
+// Key implements spec.State.
+func (s *rwState) Key() string { return s.key }
+
+// Name implements spec.ADT.
+func (RWSet) Name() string { return "RWSet" }
+
+// Init returns the empty set.
+func (RWSet) Init() spec.State { return newRWState(nil) }
+
+// Step implements the set semantics.
+func (RWSet) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*rwState)
+	arg := func() int {
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: %s expects 1 argument, got %v", in.Method, in))
+		}
+		return in.Args[0]
+	}
+	find := func(v int) int { return sort.SearchInts(s.vals, v) }
+	switch in.Method {
+	case "add":
+		v := arg()
+		i := find(v)
+		if i < len(s.vals) && s.vals[i] == v {
+			return s, spec.Bot
+		}
+		next := make([]int, 0, len(s.vals)+1)
+		next = append(next, s.vals[:i]...)
+		next = append(next, v)
+		next = append(next, s.vals[i:]...)
+		return newRWState(next), spec.Bot
+	case "rem":
+		v := arg()
+		i := find(v)
+		if i >= len(s.vals) || s.vals[i] != v {
+			return s, spec.Bot
+		}
+		next := make([]int, 0, len(s.vals)-1)
+		next = append(next, s.vals[:i]...)
+		next = append(next, s.vals[i+1:]...)
+		return newRWState(next), spec.Bot
+	case "has":
+		v := arg()
+		i := find(v)
+		if i < len(s.vals) && s.vals[i] == v {
+			return s, spec.IntOutput(1)
+		}
+		return s, spec.IntOutput(0)
+	case "elems":
+		return s, spec.Output{Vals: append([]int(nil), s.vals...)}
+	default:
+		panic(fmt.Sprintf("adt: rwset has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (RWSet) IsUpdate(in spec.Input) bool { return in.Method == "add" || in.Method == "rem" }
+
+// IsQuery implements spec.ADT.
+func (RWSet) IsQuery(in spec.Input) bool { return in.Method == "has" || in.Method == "elems" }

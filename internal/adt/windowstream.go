@@ -1,0 +1,183 @@
+// Package adt provides the concrete abstract data types used throughout
+// the paper and this reproduction: the window stream W_k (Def. 3) and
+// arrays thereof, integer registers and memory M_X (Def. 10), two FIFO
+// queue variants (Q with pop, Q' with hd/rh), and additional types the
+// paper motivates (stack, counter, set, sequence for collaborative
+// editing).
+//
+// Every type implements spec.ADT with immutable states; Step never
+// mutates its argument.
+package adt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// wsState is the state of a window stream: the last k written values,
+// oldest first (q1 ... qk in the paper's notation).
+type wsState struct {
+	vals []int
+	key  string
+}
+
+func newWSState(vals []int) *wsState {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return &wsState{vals: vals, key: strings.Join(parts, ",")}
+}
+
+func (s *wsState) Key() string { return s.key }
+
+// WindowStream is the integer window stream of size k (Def. 3): a
+// generalization of a register whose read returns the sequence of the
+// last k written values, missing values defaulting to 0.
+//
+// Methods: "w" with one argument (write, pure update, output ⊥) and
+// "r" with no arguments (read, pure query, output the k-tuple).
+type WindowStream struct {
+	K int
+}
+
+// NewWindowStream returns W_k. k must be at least 1.
+func NewWindowStream(k int) WindowStream {
+	if k < 1 {
+		panic("adt: window stream size must be >= 1")
+	}
+	return WindowStream{K: k}
+}
+
+// Name implements spec.ADT.
+func (w WindowStream) Name() string { return fmt.Sprintf("W%d", w.K) }
+
+// Init returns q0 = (0, ..., 0).
+func (w WindowStream) Init() spec.State { return newWSState(make([]int, w.K)) }
+
+// Step implements δ and λ of Def. 3.
+func (w WindowStream) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*wsState)
+	switch in.Method {
+	case "w":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: w expects 1 argument, got %v", in))
+		}
+		next := make([]int, w.K)
+		copy(next, s.vals[1:])
+		next[w.K-1] = in.Args[0]
+		return newWSState(next), spec.Bot
+	case "r":
+		out := make([]int, w.K)
+		copy(out, s.vals)
+		return s, spec.TupleOutput(out...)
+	default:
+		panic(fmt.Sprintf("adt: window stream has no method %q", in.Method))
+	}
+}
+
+// IsUpdate implements spec.ADT: only writes change the state.
+func (w WindowStream) IsUpdate(in spec.Input) bool { return in.Method == "w" }
+
+// IsQuery implements spec.ADT: only reads observe the state.
+func (w WindowStream) IsQuery(in spec.Input) bool { return in.Method == "r" }
+
+// waState is the state of an array of K window streams.
+type waState struct {
+	streams [][]int
+	key     string
+}
+
+func newWAState(streams [][]int) *waState {
+	var b strings.Builder
+	for i, s := range streams {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, v := range s {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(v))
+		}
+	}
+	return &waState{streams: streams, key: b.String()}
+}
+
+func (s *waState) Key() string { return s.key }
+
+// WindowArray is the array of K window streams of size k, W_k^K, the
+// object implemented by the paper's algorithms of Fig. 4 and Fig. 5.
+//
+// Methods: "w" with arguments (x, v) writes v to stream x; "r" with
+// argument (x) reads stream x.
+type WindowArray struct {
+	Streams int // K
+	Size    int // k
+}
+
+// NewWindowArray returns W_k^K.
+func NewWindowArray(streams, size int) WindowArray {
+	if streams < 1 || size < 1 {
+		panic("adt: window array needs K >= 1 and k >= 1")
+	}
+	return WindowArray{Streams: streams, Size: size}
+}
+
+// Name implements spec.ADT.
+func (w WindowArray) Name() string { return fmt.Sprintf("W%d^%d", w.Size, w.Streams) }
+
+// Init returns the all-zero array.
+func (w WindowArray) Init() spec.State {
+	streams := make([][]int, w.Streams)
+	for i := range streams {
+		streams[i] = make([]int, w.Size)
+	}
+	return newWAState(streams)
+}
+
+// Step implements the product transition system.
+func (w WindowArray) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
+	s := q.(*waState)
+	switch in.Method {
+	case "w":
+		if len(in.Args) != 2 {
+			panic(fmt.Sprintf("adt: warray w expects (x, v), got %v", in))
+		}
+		x := in.Args[0]
+		w.checkIndex(x)
+		streams := make([][]int, w.Streams)
+		copy(streams, s.streams)
+		next := make([]int, w.Size)
+		copy(next, s.streams[x][1:])
+		next[w.Size-1] = in.Args[1]
+		streams[x] = next
+		return newWAState(streams), spec.Bot
+	case "r":
+		if len(in.Args) != 1 {
+			panic(fmt.Sprintf("adt: warray r expects (x), got %v", in))
+		}
+		x := in.Args[0]
+		w.checkIndex(x)
+		out := make([]int, w.Size)
+		copy(out, s.streams[x])
+		return s, spec.TupleOutput(out...)
+	default:
+		panic(fmt.Sprintf("adt: window array has no method %q", in.Method))
+	}
+}
+
+func (w WindowArray) checkIndex(x int) {
+	if x < 0 || x >= w.Streams {
+		panic(fmt.Sprintf("adt: stream index %d out of range [0,%d)", x, w.Streams))
+	}
+}
+
+// IsUpdate implements spec.ADT.
+func (w WindowArray) IsUpdate(in spec.Input) bool { return in.Method == "w" }
+
+// IsQuery implements spec.ADT.
+func (w WindowArray) IsQuery(in spec.Input) bool { return in.Method == "r" }

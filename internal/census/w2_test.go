@@ -1,0 +1,120 @@
+package census
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/paperfig"
+	"repro/internal/spec"
+)
+
+// TestCensusW2FindsBranchSeparations enumerates all W2 histories of
+// the Fig. 3a/3c shape (2 processes × 2 ops) and checks that the
+// census machine-finds both directions of the two-branch split that
+// the paper demonstrates with those figures: a CCv-but-not-CC history
+// (the eventual-consistency branch does not give pipelining, mini-3a)
+// and a CC-but-not-CCv history (pipelining does not give convergence,
+// mini-3c). This is the census doing the paper's Fig. 3 work by brute
+// force.
+func TestCensusW2FindsBranchSeparations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("14k histories × 7 criteria")
+	}
+	res, err := Run(Config{
+		ADT:        adt.NewWindowStream(2),
+		Shape:      []int{2, 2},
+		Inputs:     []spec.Input{spec.NewInput("w", 1), spec.NewInput("w", 2), spec.NewInput("r")},
+		OutputsFor: WindowDomain(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 writes + 9 read outputs = 11 per slot, 4 slots.
+	if res.Total != 11*11*11*11 {
+		t.Fatalf("total %d, want 14641", res.Total)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("hierarchy violated on %d W2 histories", len(res.Violations))
+	}
+	// The Implications list has no CC↔CCv arrow (neither implies the
+	// other — the two-branch split), so look for the incomparability
+	// witnesses in the profiles.
+	var ccNotCCv, ccvNotCC *Separation
+	for i := range res.Profiles {
+		p := &res.Profiles[i]
+		hasCC := containsWord(p.Key, "CC")
+		hasCCv := containsWord(p.Key, "CCv")
+		switch {
+		case hasCCv && !hasCC && ccvNotCC == nil:
+			ccvNotCC = &Separation{Witness: p.Example}
+		case hasCC && !hasCCv && ccNotCCv == nil:
+			ccNotCCv = &Separation{Witness: p.Example}
+		}
+	}
+	// Census finding (recorded in EXPERIMENTS.md): the CC-but-not-CCv
+	// direction already separates at 2×2 (a four-event mini-3c), while
+	// the CCv-but-not-CC direction does NOT — the paper's Fig. 3a
+	// genuinely needs its second read per process (six events), which
+	// TestFig3aIsMinimalShape verifies at its true size.
+	if ccNotCCv == nil {
+		t.Error("no CC-but-not-CCv history found at the Fig. 3c shape")
+	}
+	if ccvNotCC != nil {
+		t.Errorf("unexpected CCv-but-not-CC history at 2×2:\n%s", ccvNotCC.Witness)
+	}
+	// Double-check the witnesses against the checkers directly.
+	if ccNotCCv != nil {
+		cc, _, err := check.CC(ccNotCCv.Witness, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccv, _, err := check.CCv(ccNotCCv.Witness, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cc || ccv {
+			t.Errorf("mini-3c witness misclassified: CC=%v CCv=%v\n%s", cc, ccv, ccNotCCv.Witness)
+		} else {
+			t.Logf("machine-found mini-3c (CC, not CCv):\n%s", ccNotCCv.Witness)
+		}
+	}
+}
+
+// TestFig3aIsMinimalShape confirms the other branch direction at its
+// true size: the paper's Fig. 3a history (2 processes × 3 ops) is
+// CCv but not CC, so the CCv⊄CC separation first appears one read
+// beyond the shape the census exhausted above.
+func TestFig3aIsMinimalShape(t *testing.T) {
+	f, ok := paperfig.Fig3ByName("3a")
+	if !ok {
+		t.Fatal("fixture 3a missing")
+	}
+	h := f.FiniteHistory()
+	ccv, _, err := check.CCv(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, _, err := check.CC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ccv || cc {
+		t.Fatalf("Fig. 3a: CCv=%v CC=%v, want CCv ∧ ¬CC", ccv, cc)
+	}
+}
+
+// containsWord reports whether the space-separated profile key has the
+// exact token w.
+func containsWord(key, w string) bool {
+	start := 0
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ' ' {
+			if key[start:i] == w {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}

@@ -1,0 +1,336 @@
+package check
+
+import (
+	"math/bits"
+
+	"repro/internal/history"
+	"repro/internal/porder"
+	"repro/internal/spec"
+)
+
+// The causal-family checkers (WCC, CC, CCv) share one search skeleton.
+//
+// A causal order → is searched as follows: events are "committed" one
+// at a time in a dynamically chosen order; when an event e is
+// committed, the search picks the set of extra updates X_e (among
+// already-committed updates) that e observes beyond what is forced by
+// program order and transitivity. The causal order is the transitive
+// closure of the program order plus the visibility edges {(u, e) : u ∈
+// X_e}; because every edge points into the event being committed, the
+// causal past ⌊e⌋ of a committed event never changes afterwards, so the
+// per-event admissibility requirement of each criterion can be checked
+// immediately and the search prunes early.
+//
+// Completeness: if a valid causal order →₀ (with per-event
+// linearizations) exists, committing events along any linear extension
+// of →₀ with X_e := (⌊e⌋₀ ∩ updates) reproduces exactly the update
+// content of every causal past, while our → ⊆ →₀ imposes no more
+// ordering than →₀ did, so every original per-event linearization
+// remains available. Soundness: the constructed → is a partial order
+// containing program order by construction, and the committed
+// constraints are precisely the definitions' requirements.
+//
+// ω-events (repeating pure queries standing for infinite suffixes,
+// Def. 7's cofiniteness) must observe every update: they can only be
+// committed once all updates are committed, and their visibility set is
+// forced to include all of them.
+
+// causalKind selects which criterion the shared search decides.
+type causalKind int
+
+const (
+	kindWCC causalKind = iota
+	kindCC
+	kindCCv
+)
+
+type causalSearcher struct {
+	h       *history.History
+	kind    causalKind
+	budget  *int
+	n       int
+	updates porder.Bitset
+	omega   porder.Bitset
+	// progPreds[e] = all strict program-order predecessors of e.
+	progPreds []porder.Bitset
+	// procVisible[e] = events of e's process (visibility set for CC).
+	procVisible []porder.Bitset
+
+	committed porder.Bitset
+	order     []int           // commit order (the total order ≤ for CCv)
+	pos       []int           // commit position per event (-1 if not committed)
+	pasts     []porder.Bitset // ⌊e⌋ \ {e} for committed events
+	perEvent  [][]int         // witness linearization per event
+	memo      map[string]bool // failed states: committed set + past fingerprint
+}
+
+func newCausalSearcher(h *history.History, kind causalKind, budget *int) *causalSearcher {
+	n := h.N()
+	cs := &causalSearcher{
+		h:         h,
+		kind:      kind,
+		budget:    budget,
+		n:         n,
+		updates:   h.Updates(),
+		omega:     h.OmegaEvents(),
+		progPreds: h.Prog().Preds(),
+		committed: porder.NewBitset(n),
+		pos:       make([]int, n),
+		pasts:     make([]porder.Bitset, n),
+		perEvent:  make([][]int, n),
+		memo:      make(map[string]bool),
+	}
+	for i := range cs.pos {
+		cs.pos[i] = -1
+	}
+	if kind == kindCC {
+		cs.procVisible = make([]porder.Bitset, n)
+		for p := range h.Processes() {
+			b := h.ProcEvents(p)
+			for _, e := range h.Processes()[p] {
+				cs.procVisible[e] = b
+			}
+		}
+	}
+	return cs
+}
+
+// run performs the search and reports success.
+func (cs *causalSearcher) run() bool {
+	if len(cs.order) == cs.n {
+		return true
+	}
+	*cs.budget--
+	if *cs.budget < 0 {
+		return false
+	}
+	key := cs.stateKey()
+	if cs.memo[key] {
+		return false
+	}
+	allUpdatesIn := cs.updates.SubsetOf(cs.committed)
+	for e := 0; e < cs.n; e++ {
+		if cs.committed.Has(e) {
+			continue
+		}
+		if !cs.progPreds[e].SubsetOf(cs.committed) {
+			continue
+		}
+		if cs.omega.Has(e) && !allUpdatesIn {
+			continue // ω-events observe every update
+		}
+		if cs.tryCommit(e) {
+			return true
+		}
+		if *cs.budget < 0 {
+			return false
+		}
+	}
+	if *cs.budget >= 0 {
+		cs.memo[key] = true
+	}
+	return false
+}
+
+// stateKey fingerprints the search state: the committed set plus each
+// committed event's past. Two branches that committed the same events
+// with the same pasts are interchangeable for the remaining search
+// (for CCv the commit order also fixes past linearizations, but those
+// are functions of the pasts and positions; positions are included via
+// the order of keys).
+func (cs *causalSearcher) stateKey() string {
+	key := cs.committed.Key()
+	for _, e := range cs.order {
+		key += "." + cs.pasts[e].Key()
+	}
+	return key
+}
+
+// tryCommit enumerates visibility choices for e and recurses.
+func (cs *causalSearcher) tryCommit(e int) bool {
+	// forced = program predecessors and their pasts.
+	forced := porder.NewBitset(cs.n)
+	cs.progPreds[e].ForEach(func(pr int) {
+		forced.Set(pr)
+		forced.UnionWith(cs.pasts[pr])
+	})
+
+	// Candidate extra updates: committed updates not already forced.
+	extra := cs.committed.Clone()
+	extra.IntersectWith(cs.updates)
+	extra.DiffWith(forced)
+	cand := extra.Elems()
+
+	commitWith := func(x []int) bool {
+		past := forced.Clone()
+		for _, u := range x {
+			past.Set(u)
+			past.UnionWith(cs.pasts[u])
+		}
+		lin, ok := cs.checkEvent(e, past)
+		if !ok {
+			return false
+		}
+		cs.committed.Set(e)
+		cs.pos[e] = len(cs.order)
+		cs.order = append(cs.order, e)
+		cs.pasts[e] = past
+		cs.perEvent[e] = lin
+		if cs.run() {
+			return true
+		}
+		cs.order = cs.order[:len(cs.order)-1]
+		cs.pos[e] = -1
+		cs.committed.Clear(e)
+		cs.pasts[e] = nil
+		cs.perEvent[e] = nil
+		return false
+	}
+
+	if cs.omega.Has(e) {
+		// Forced full visibility of all updates.
+		return commitWith(cand)
+	}
+	// Enumerate subsets of the candidates, smallest first: minimal
+	// visibility is most often sufficient and keeps later events freer.
+	if len(cand) > 24 {
+		// Unrealistically wide; treat as budget exhaustion.
+		*cs.budget = -1
+		return false
+	}
+	masks := make([]uint32, 0, 1<<len(cand))
+	for m := uint32(0); m < 1<<len(cand); m++ {
+		masks = append(masks, m)
+	}
+	// Order by popcount so minimal sets come first.
+	sortByPopcount(masks)
+	x := make([]int, 0, len(cand))
+	for _, m := range masks {
+		*cs.budget--
+		if *cs.budget < 0 {
+			return false
+		}
+		x = x[:0]
+		for i, u := range cand {
+			if m&(1<<uint(i)) != 0 {
+				x = append(x, u)
+			}
+		}
+		if commitWith(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortByPopcount(masks []uint32) {
+	// Counting sort over popcounts (≤ 32 buckets) keeps enumeration
+	// order deterministic.
+	var buckets [33][]uint32
+	for _, m := range masks {
+		c := bits.OnesCount32(m)
+		buckets[c] = append(buckets[c], m)
+	}
+	masks = masks[:0]
+	for _, b := range buckets {
+		masks = append(masks, b...)
+	}
+}
+
+// checkEvent verifies the criterion's per-event requirement for e with
+// causal past `past` (not containing e), returning a witness
+// linearization.
+func (cs *causalSearcher) checkEvent(e int, past porder.Bitset) ([]int, bool) {
+	include := past.Clone()
+	include.Set(e)
+	var visible porder.Bitset
+	switch cs.kind {
+	case kindCC:
+		// π(⌊e⌋, p): outputs of e's process are visible (Def. 9).
+		visible = cs.procVisible[e].Clone()
+		visible.IntersectWith(include)
+	default:
+		// π(⌊e⌋, {e}): only e's own output is visible (Defs. 8, 12).
+		visible = porder.NewBitset(cs.n)
+		visible.Set(e)
+	}
+
+	if cs.kind == kindCCv {
+		// The linearization is forced: ⌊e⌋ sorted by the shared total
+		// order ≤, which is the commit order, then e (Def. 12).
+		q := cs.h.ADT.Init()
+		lin := make([]int, 0, include.Count())
+		for _, f := range cs.order {
+			if !past.Has(f) {
+				continue
+			}
+			var out spec.Output
+			q, out = cs.h.ADT.Step(q, cs.h.Events[f].Op.In)
+			if visible.Has(f) && !cs.h.Events[f].Op.Hidden && !out.Equal(cs.h.Events[f].Op.Out) {
+				return nil, false
+			}
+			lin = append(lin, f)
+		}
+		_, out := cs.h.ADT.Step(q, cs.h.Events[e].Op.In)
+		if !cs.h.Events[e].Op.Hidden && !out.Equal(cs.h.Events[e].Op.Out) {
+			return nil, false
+		}
+		return append(lin, e), true
+	}
+
+	// WCC/CC: search for a linearization of ⌊e⌋ ∪ {e} respecting the
+	// constructed causal order (pasts of committed events are final).
+	ls := &linSearcher{t: cs.h.ADT, events: cs.h.Events, budget: cs.budget}
+	preds := func(f int) porder.Bitset {
+		if f == e {
+			return past
+		}
+		return cs.pasts[f]
+	}
+	return ls.findLin(include, visible, preds)
+}
+
+func runCausal(h *history.History, kind causalKind, opt Options) (bool, *Witness, error) {
+	if err := validateOmega(h); err != nil {
+		return false, nil, err
+	}
+	budget := opt.maxNodes()
+	cs := newCausalSearcher(h, kind, &budget)
+	ok := cs.run()
+	if budget < 0 {
+		return false, nil, ErrBudget
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	w := &Witness{
+		Order:    append([]int(nil), cs.order...),
+		Pasts:    append([]porder.Bitset(nil), cs.pasts...),
+		PerEvent: append([][]int(nil), cs.perEvent...),
+	}
+	return true, w, nil
+}
+
+// WCC reports whether the history is weakly causally consistent with
+// its ADT (Def. 8): there is a causal order → such that every event's
+// output is explained by some linearization of its causal past with all
+// other outputs hidden.
+func WCC(h *history.History, opt Options) (bool, *Witness, error) {
+	return runCausal(h, kindWCC, opt)
+}
+
+// CC reports whether the history is causally consistent with its ADT
+// (Def. 9): there is a causal order → such that every event's causal
+// past has a linearization that additionally reproduces the outputs of
+// the event's own process.
+func CC(h *history.History, opt Options) (bool, *Witness, error) {
+	return runCausal(h, kindCC, opt)
+}
+
+// CCv reports whether the history is causally convergent with its ADT
+// (Def. 12): there are a causal order → and a total order ≤ ⊇ → such
+// that each event is explained by its causal past linearized in the
+// shared order ≤.
+func CCv(h *history.History, opt Options) (bool, *Witness, error) {
+	return runCausal(h, kindCCv, opt)
+}

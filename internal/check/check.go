@@ -1,0 +1,130 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// Criterion identifies one of the consistency criteria studied in the
+// paper (Fig. 1) plus the memory-specific causal memory criterion.
+type Criterion int
+
+// The criteria, from weakest to strongest along the two branches of
+// Fig. 1.
+const (
+	CritEC  Criterion = iota // eventual consistency
+	CritUC                   // update consistency ([19])
+	CritPC                   // pipelined consistency (PRAM)
+	CritWCC                  // weak causal consistency (Def. 8)
+	CritCCv                  // causal convergence (Def. 12)
+	CritCC                   // causal consistency (Def. 9)
+	CritCM                   // causal memory (Def. 11; memory only)
+	CritSC                   // sequential consistency (Def. 5)
+)
+
+// AllCriteria lists every criterion in display order.
+var AllCriteria = []Criterion{CritEC, CritUC, CritPC, CritWCC, CritCCv, CritCC, CritCM, CritSC}
+
+// String returns the paper's abbreviation.
+func (c Criterion) String() string {
+	switch c {
+	case CritEC:
+		return "EC"
+	case CritUC:
+		return "UC"
+	case CritPC:
+		return "PC"
+	case CritWCC:
+		return "WCC"
+	case CritCCv:
+		return "CCv"
+	case CritCC:
+		return "CC"
+	case CritCM:
+		return "CM"
+	case CritSC:
+		return "SC"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Check runs a single criterion's checker.
+func Check(c Criterion, h *history.History, opt Options) (bool, *Witness, error) {
+	switch c {
+	case CritEC:
+		return EC(h, opt)
+	case CritUC:
+		return UC(h, opt)
+	case CritPC:
+		return PC(h, opt)
+	case CritWCC:
+		return WCC(h, opt)
+	case CritCCv:
+		return CCv(h, opt)
+	case CritCC:
+		return CC(h, opt)
+	case CritCM:
+		return CM(h, opt)
+	case CritSC:
+		return SC(h, opt)
+	default:
+		return false, nil, fmt.Errorf("check: unknown criterion %v", c)
+	}
+}
+
+// Classification maps each criterion to the outcome of its check.
+type Classification map[Criterion]bool
+
+// Classify runs every applicable checker on the history. CM is only
+// attempted on memory histories; its absence from the result map means
+// "not applicable". Checkers that exceed their budget surface an error.
+func Classify(h *history.History, opt Options) (Classification, error) {
+	out := make(Classification, len(AllCriteria))
+	for _, c := range AllCriteria {
+		ok, _, err := Check(c, h, opt)
+		if err != nil {
+			if c == CritCM && err == ErrNotMemory {
+				continue
+			}
+			return nil, fmt.Errorf("%v: %w", c, err)
+		}
+		out[c] = ok
+	}
+	return out, nil
+}
+
+// Implications returns the paper's Fig. 1 arrows as (stronger, weaker)
+// pairs: every C1-consistent history must also be C2-consistent.
+// CC ⇒ PC is Prop. 2's corollary; SC ⇒ CC and SC ⇒ CCv are the
+// "strongest" arrows; CCv ⇒ EC holds on the ω-encoding (the shared
+// total order makes ω-reads agree); CCv ⇒ UC is Sec. 5.1's remark on
+// strong update consistency.
+func Implications() [][2]Criterion {
+	return [][2]Criterion{
+		{CritSC, CritCC},
+		{CritSC, CritCCv},
+		{CritCC, CritPC},
+		{CritCC, CritWCC},
+		{CritCCv, CritWCC},
+		{CritCCv, CritEC},
+		{CritCCv, CritUC},
+		{CritUC, CritEC},
+	}
+}
+
+// VerifyImplications checks every Fig. 1 arrow on a classification and
+// returns the violated pairs (expected: none).
+func VerifyImplications(cl Classification) [][2]Criterion {
+	var bad [][2]Criterion
+	for _, imp := range Implications() {
+		stronger, weaker := imp[0], imp[1]
+		s, okS := cl[stronger]
+		w, okW := cl[weaker]
+		if okS && okW && s && !w {
+			bad = append(bad, imp)
+		}
+	}
+	return bad
+}

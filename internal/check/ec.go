@@ -1,0 +1,90 @@
+package check
+
+import (
+	"repro/internal/history"
+	"repro/internal/porder"
+)
+
+// EC reports whether the history is eventually consistent in the sense
+// of Vogels (Sec. 5.1): if the processes stop updating, all local
+// copies converge to a common state. On our encoding, the "limit" reads
+// are the ω-events; EC requires all ω-events with the same input to
+// return the same output. A history without ω-events is trivially EC
+// (nothing is observed "at infinity"). Note that plain EC does not
+// require the common state to be justified by any ordering of the
+// updates — see UC for the strengthened version.
+func EC(h *history.History, opt Options) (bool, *Witness, error) {
+	if err := validateOmega(h); err != nil {
+		return false, nil, err
+	}
+	type slot struct {
+		e int
+	}
+	byInput := make(map[string]slot)
+	for _, ev := range h.Events {
+		if !ev.Omega || ev.Op.Hidden {
+			continue
+		}
+		k := ev.Op.In.String()
+		if prev, ok := byInput[k]; ok {
+			if !h.Events[prev.e].Op.Out.Equal(ev.Op.Out) {
+				return false, nil, nil
+			}
+		} else {
+			byInput[k] = slot{e: ev.ID}
+		}
+	}
+	return true, &Witness{}, nil
+}
+
+// UC reports whether the history is update consistent (Perrin et al.,
+// IPDPS 2015 — the strengthening of eventual consistency the paper
+// cites as [19]): there exists a total order on all the updates,
+// containing the program order, such that every ω-event's output is
+// correct in the state reached after applying all updates in that
+// order. Causal convergence is strictly stronger (it additionally makes
+// the shared order a causal order and constrains every event, not only
+// the limit reads).
+func UC(h *history.History, opt Options) (bool, *Witness, error) {
+	if err := validateOmega(h); err != nil {
+		return false, nil, err
+	}
+	budget := opt.maxNodes()
+	updates := h.Updates()
+	omega := h.OmegaEvents()
+	if omega.Empty() {
+		return true, &Witness{}, nil
+	}
+
+	// Search over linearizations of the updates (respecting program
+	// order among them); at the end, check every ω-event.
+	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
+
+	// Build an include set of updates plus ω-events, with every update
+	// preceding every ω-event; ω outputs are visible, update outputs
+	// are not checked (hidden).
+	include := updates.Clone()
+	include.UnionWith(omega)
+	visible := omega.Clone()
+	base := predsFromRel(h.Prog())
+	preds := func(e int) porder.Bitset {
+		if omega.Has(e) {
+			p := base(e).Clone()
+			p.UnionWith(updates)
+			p.Clear(e)
+			return p
+		}
+		// Updates: program order restricted to updates.
+		p := base(e).Clone()
+		p.IntersectWith(updates)
+		return p
+	}
+	order, ok := ls.findLin(include, visible, preds)
+	if budget < 0 {
+		return false, nil, ErrBudget
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	return true, &Witness{Linearization: order}, nil
+}

@@ -1,0 +1,272 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// TestSequentialExecutionsAreSC: any history obtained by running the
+// ADT sequentially and splitting the operations across processes in
+// execution order is sequentially consistent — the checkers must accept
+// all ground-truth positives (quick).
+func TestSequentialExecutionsAreSC(t *testing.T) {
+	w2 := adt.NewWindowStream(2)
+	f := func(choices []uint8, procBits []bool) bool {
+		if len(choices) > 8 {
+			choices = choices[:8]
+		}
+		b := history.NewBuilder(w2)
+		q := w2.Init()
+		for i, ch := range choices {
+			var in spec.Input
+			if ch%2 == 0 {
+				in = spec.NewInput("w", int(ch%5)+1)
+			} else {
+				in = spec.NewInput("r")
+			}
+			var out spec.Output
+			q, out = w2.Step(q, in)
+			proc := 0
+			if i < len(procBits) && procBits[i] {
+				proc = 1
+			}
+			b.Append(proc, spec.NewOp(in, out))
+		}
+		h := b.Build()
+		ok, _, err := check.SC(h, check.Options{})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCWitnessIsValid: the witness linearization returned by the SC
+// checker must itself be admissible and respect program order.
+func TestSCWitnessIsValid(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := workload.Config{Procs: 2, Ops: 8, Streams: 2, Size: 2, WriteRatio: 0.5, Seed: seed, MaxStepsBetween: 6}
+		res := workload.Run(core.ModeCC, cfg)
+		h := res.Cluster.Recorder.History()
+		ok, w, err := check.SC(h, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue // CC histories need not be SC
+		}
+		if len(w.Linearization) != h.N() {
+			t.Fatalf("witness misses events: %v", w.Linearization)
+		}
+		if !spec.Admissible(h.ADT, h.Ops(w.Linearization)) {
+			t.Fatalf("witness linearization inadmissible: %v", w.Linearization)
+		}
+		pos := make([]int, h.N())
+		for i, e := range w.Linearization {
+			pos[e] = i
+		}
+		for i := 0; i < h.N(); i++ {
+			h.Prog().Succ[i].ForEach(func(j int) {
+				if pos[i] >= pos[j] {
+					t.Fatalf("witness violates program order %d -> %d", i, j)
+				}
+			})
+		}
+	}
+}
+
+// TestCCWitnessPastsAreDownwardClosed: the causal pasts reported by the
+// CC checker form a genuine causal order — downward closed and
+// containing the program order.
+func TestCCWitnessPastsAreDownwardClosed(t *testing.T) {
+	f, _ := paperFixture3e()
+	h := f
+	ok, w, err := check.CC(h, check.Options{})
+	if err != nil || !ok {
+		t.Fatalf("CC(3e history variant) = %v %v", ok, err)
+	}
+	for e := 0; e < h.N(); e++ {
+		past := w.Pasts[e]
+		if past == nil {
+			t.Fatalf("event %d has no past", e)
+		}
+		// Contains program past.
+		h.Prog().Preds()[e].ForEach(func(p int) {
+			if !past.Has(p) {
+				t.Fatalf("event %d past misses program predecessor %d", e, p)
+			}
+		})
+		// Downward closed.
+		past.ForEach(func(f int) {
+			w.Pasts[f].ForEach(func(g int) {
+				if !past.Has(g) {
+					t.Fatalf("past of %d not closed: %d in, %d out", e, f, g)
+				}
+			})
+		})
+	}
+}
+
+func paperFixture3e() (*history.History, bool) {
+	h := history.MustParse(`adt: Queue
+p0: push(1) pop/1
+p1: push(2) pop/2`)
+	return h, true
+}
+
+// TestBudgetExhaustion: a tiny budget must surface ErrBudget rather
+// than a wrong verdict.
+func TestBudgetExhaustion(t *testing.T) {
+	h := history.MustParse(`adt: W2
+p0: w(1) r/(0,1) w(3) r/(1,3)
+p1: w(2) r/(0,2) w(4) r/(2,4)`)
+	_, _, err := check.CC(h, check.Options{MaxNodes: 5})
+	if err != check.ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// TestOmegaUpdateRejected: ω-events must be pure queries.
+func TestOmegaUpdateRejected(t *testing.T) {
+	h := history.MustParse(`adt: W2
+p0: w(1)*`)
+	for _, c := range []check.Criterion{check.CritSC, check.CritPC, check.CritWCC, check.CritCC, check.CritCCv, check.CritEC, check.CritUC} {
+		if _, _, err := check.Check(c, h, check.Options{}); err != check.ErrOmegaUpdate {
+			t.Errorf("%v: err = %v, want ErrOmegaUpdate", c, err)
+		}
+	}
+}
+
+// TestUCSeparation: update consistency sits strictly between EC and
+// CCv. A history whose ω-reads agree but cannot be explained by any
+// update order is EC but not UC.
+func TestUCSeparation(t *testing.T) {
+	// Both processes converge on reading (2,1), but program order of
+	// the single writer forces w(1) before w(2), so the only final
+	// windows an update order allows is (1,2).
+	h := history.MustParse(`adt: W2
+p0: w(1) w(2) r/(2,1)*
+p1: r/(2,1)*`)
+	ec, _, err := check.EC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, _, err := check.UC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ec || uc {
+		t.Fatalf("want EC ∧ ¬UC, got EC=%v UC=%v", ec, uc)
+	}
+}
+
+// TestUCWitness: on a satisfiable instance UC returns the update order.
+func TestUCWitness(t *testing.T) {
+	h := history.MustParse(`adt: W2
+p0: w(1) r/(1,2)*
+p1: w(2) r/(1,2)*`)
+	ok, w, err := check.UC(h, check.Options{})
+	if err != nil || !ok {
+		t.Fatalf("UC = %v %v", ok, err)
+	}
+	if len(w.Linearization) != 4 { // two updates + two ω reads
+		t.Fatalf("witness = %v", w.Linearization)
+	}
+}
+
+// TestECDisagreementDetected: different ω outputs on the same input
+// violate EC.
+func TestECDisagreementDetected(t *testing.T) {
+	h := history.MustParse(`adt: W2
+p0: w(1) r/(0,1)*
+p1: w(2) r/(0,2)*`)
+	ok, _, err := check.EC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("diverging ω reads accepted as EC")
+	}
+}
+
+// TestECNoOmegaTrivial: a history without ω-events is trivially EC and
+// UC (nothing is observed at infinity).
+func TestECNoOmegaTrivial(t *testing.T) {
+	h := history.MustParse(`adt: W2
+p0: w(1) r/(0,2)`)
+	for _, c := range []check.Criterion{check.CritEC, check.CritUC} {
+		ok, _, err := check.Check(c, h, check.Options{})
+		if err != nil || !ok {
+			t.Fatalf("%v on ω-free history = %v %v, want true", c, ok, err)
+		}
+	}
+}
+
+// TestFormatLin renders witness words in the paper's notation.
+func TestFormatLin(t *testing.T) {
+	h := history.MustParse(`adt: W2
+p0: w(1) r/(0,1)`)
+	vis := h.ProcEvents(0)
+	got := check.FormatLin(h, []int{0, 1}, vis)
+	if got != "w(1)/⊥.r/(0,1)" {
+		t.Fatalf("FormatLin = %q", got)
+	}
+	none := check.FormatLin(h, []int{0, 1}, nil)
+	if none != "w(1)/⊥.r/(0,1)" {
+		t.Fatalf("FormatLin(nil vis) = %q", none)
+	}
+}
+
+// TestCheckerDeterminism: same history, same verdict and same witness
+// across repeated invocations (the searches are deterministic).
+func TestCheckerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		cfg := workload.Config{Procs: 3, Ops: 8, Streams: 2, Size: 2, WriteRatio: 0.5, Seed: rng.Int63(), MaxStepsBetween: 3}
+		res := workload.Run(core.ModeCC, cfg)
+		h := res.Cluster.Recorder.History()
+		ok1, w1, err1 := check.CC(h, check.Options{})
+		ok2, w2, err2 := check.CC(h, check.Options{})
+		if ok1 != ok2 || (err1 == nil) != (err2 == nil) {
+			t.Fatal("nondeterministic verdict")
+		}
+		if ok1 {
+			for e := range w1.PerEvent {
+				if len(w1.PerEvent[e]) != len(w2.PerEvent[e]) {
+					t.Fatal("nondeterministic witness")
+				}
+			}
+		}
+	}
+}
+
+// TestGeneralProgramOrders: the checkers accept histories whose program
+// order is a general DAG (fork/join), not just disjoint chains
+// (Sec. 2.2's general model).
+func TestGeneralProgramOrders(t *testing.T) {
+	w1 := adt.NewWindowStream(1)
+	b := history.NewBuilder(w1)
+	root := b.Append(0, spec.NewOp(spec.NewInput("w", 5), spec.Bot))
+	left := b.Append(1, spec.NewOp(spec.NewInput("r"), spec.IntOutput(5)))
+	right := b.Append(2, spec.NewOp(spec.NewInput("r"), spec.IntOutput(5)))
+	join := b.Append(3, spec.NewOp(spec.NewInput("r"), spec.IntOutput(5)))
+	b.Edge(root, left)
+	b.Edge(root, right)
+	b.Edge(left, join)
+	b.Edge(right, join)
+	h := b.Build()
+	for _, c := range []check.Criterion{check.CritSC, check.CritCC, check.CritWCC, check.CritCCv} {
+		ok, _, err := check.Check(c, h, check.Options{})
+		if err != nil || !ok {
+			t.Fatalf("%v on fork/join history = %v %v, want true", c, ok, err)
+		}
+	}
+}

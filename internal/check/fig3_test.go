@@ -1,0 +1,161 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/paperfig"
+)
+
+// TestFig3Classification verifies every caption claim of the paper's
+// Fig. 3 against the checkers (experiment E3 of DESIGN.md). Claims
+// marked OmegaReading are checked on the ω-flagged history, the others
+// on the literal finite history.
+func TestFig3Classification(t *testing.T) {
+	for _, f := range paperfig.Fig3() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			omega := f.History()
+			finite := f.FiniteHistory()
+			for _, claim := range f.Claims {
+				h := finite
+				if claim.OmegaReading {
+					h = omega
+				}
+				got, _, err := check.Check(claim.Criterion, h, check.Options{})
+				if err != nil {
+					t.Fatalf("%s: %v checker failed: %v", f.Name, claim.Criterion, err)
+				}
+				if got != claim.Holds {
+					t.Errorf("%s (%s): %v = %v, paper claims %v",
+						f.Name, f.Caption, claim.Criterion, got, claim.Holds)
+				}
+			}
+		})
+	}
+}
+
+// TestFig3aDetailed pins down the full classification of Fig. 3a under
+// the ω reading: causally convergent (and hence WCC, EC, UC) but not
+// pipelined consistent (and hence not CC, not SC).
+func TestFig3aDetailed(t *testing.T) {
+	f, _ := paperfig.Fig3ByName("3a")
+	h := f.History()
+	want := map[check.Criterion]bool{
+		check.CritEC:  true,
+		check.CritUC:  true,
+		check.CritWCC: true,
+		check.CritCCv: true,
+		check.CritPC:  false,
+		check.CritCC:  false,
+		check.CritSC:  false,
+	}
+	cl, err := check.Classify(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, exp := range want {
+		if cl[c] != exp {
+			t.Errorf("3a: %v = %v, want %v", c, cl[c], exp)
+		}
+	}
+}
+
+// TestFig3bBothReadings documents the dual reading of Fig. 3b: the
+// finite prefix is PC (and even WCC — without cofiniteness a causal
+// order need not make processes interact), while the ω reading is
+// neither WCC nor even eventually consistent (the two processes
+// disagree forever).
+func TestFig3bBothReadings(t *testing.T) {
+	f, _ := paperfig.Fig3ByName("3b")
+	finite := f.FiniteHistory()
+	omega := f.History()
+
+	for crit, want := range map[check.Criterion]bool{
+		check.CritPC: true, check.CritWCC: true, check.CritSC: false,
+	} {
+		got, _, err := check.Check(crit, finite, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("3b finite: %v = %v, want %v", crit, got, want)
+		}
+	}
+	for crit, want := range map[check.Criterion]bool{
+		check.CritPC: false, check.CritWCC: false, check.CritEC: false,
+		check.CritUC: false, check.CritCCv: false,
+	} {
+		got, _, err := check.Check(crit, omega, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("3b ω: %v = %v, want %v", crit, got, want)
+		}
+	}
+}
+
+// TestFig3cWitness checks that the CC witness for Fig. 3c matches the
+// paper's linearizations: each read sees both writes, ordered so that
+// its own value is last.
+func TestFig3cWitness(t *testing.T) {
+	f, _ := paperfig.Fig3ByName("3c")
+	h := f.History()
+	ok, w, err := check.CC(h, check.Options{})
+	if err != nil || !ok {
+		t.Fatalf("CC(3c) = %v, %v; want true", ok, err)
+	}
+	// Event ids: 0 = w(1), 1 = r/(2,1), 2 = w(2), 3 = r/(1,2).
+	if len(w.PerEvent[1]) != 3 {
+		t.Errorf("r/(2,1) witness linearization = %v, want both writes plus the read", w.PerEvent[1])
+	}
+	if len(w.PerEvent[3]) != 3 {
+		t.Errorf("r/(1,2) witness linearization = %v, want both writes plus the read", w.PerEvent[3])
+	}
+}
+
+// TestFig3gNoLostValues exercises the point of Fig. 3g: with the
+// hd/rh queue, an rh only removes the head when it matches, so the
+// "both processes remove the same element" race cannot delete an
+// unread element. Sequentially, rh(1) after the head became 2 is a
+// no-op.
+func TestFig3gNoLostValues(t *testing.T) {
+	f, _ := paperfig.Fig3ByName("3g")
+	h := f.History()
+	ok, _, err := check.CC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("Fig. 3g should be causally consistent")
+	}
+}
+
+// TestFig3iSessionGuaranteesRejected: the session-guarantee checkers
+// require distinct written values and must reject Fig. 3i, which
+// deliberately duplicates writes.
+func TestFig3iSessionGuaranteesRejected(t *testing.T) {
+	f, _ := paperfig.Fig3ByName("3i")
+	if _, err := check.Sessions(f.History(), check.Options{}); err != check.ErrDuplicateValues {
+		t.Errorf("Sessions(3i) error = %v, want ErrDuplicateValues", err)
+	}
+}
+
+// TestFig3ImplicationsHold runs the full classification of every
+// fixture (both readings) and asserts that no Fig. 1 arrow is violated
+// (experiment E1's inclusion direction on the paper's own examples).
+func TestFig3ImplicationsHold(t *testing.T) {
+	for _, f := range paperfig.Fig3() {
+		for _, h := range []*history.History{f.History(), f.FiniteHistory()} {
+			cl, err := check.Classify(h, check.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", f.Name, err)
+			}
+			if bad := check.VerifyImplications(cl); len(bad) != 0 {
+				t.Errorf("%s: hierarchy violations %v (classification %v)", f.Name, bad, cl)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Histories may contain hidden operations (Def. 2): the method called
+// is known but the return value was not observed — the parser produces
+// them for input-only tokens and runtimes produce them for updates
+// whose dummy outputs are irrelevant. Every checker must treat a
+// hidden event's output as unconstrained, including when the
+// projection π(E′,E″) would make that event's output visible.
+
+// hiddenCounterHistory: p0: inc(2) get/2 ; p1: get/2, updates hidden.
+func hiddenCounterHistory() *history.History {
+	b := history.NewBuilder(adt.Counter{})
+	b.Append(0, spec.HiddenOp(spec.NewInput("inc", 2)))
+	b.Append(0, spec.NewOp(spec.NewInput("get"), spec.IntOutput(2)))
+	b.Append(1, spec.NewOp(spec.NewInput("get"), spec.IntOutput(2)))
+	return b.Build()
+}
+
+func TestHiddenUpdatesAcceptedByAllCriteria(t *testing.T) {
+	h := hiddenCounterHistory()
+	for _, crit := range []Criterion{CritSC, CritCC, CritCCv, CritWCC, CritPC, CritEC, CritUC} {
+		ok, _, err := Check(crit, h, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", crit, err)
+		}
+		if !ok {
+			t.Errorf("%v rejected a history whose only oddity is hidden update outputs", crit)
+		}
+	}
+}
+
+// A hidden *query* constrains nothing either: the history below would
+// violate every criterion if the first read's output (99) were
+// visible, and must pass once that read is hidden.
+func TestHiddenQueryOutputUnconstrained(t *testing.T) {
+	b := history.NewBuilder(adt.Register{})
+	b.Append(0, spec.NewOp(spec.NewInput("w", 1), spec.Bot))
+	b.Append(0, spec.HiddenOp(spec.NewInput("r"))) // would be r/99: impossible if visible
+	b.Append(0, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
+	h := b.Build()
+	for _, crit := range []Criterion{CritSC, CritCC, CritCCv, CritWCC, CritPC} {
+		ok, _, err := Check(crit, h, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", crit, err)
+		}
+		if !ok {
+			t.Errorf("%v rejected a history with a hidden query", crit)
+		}
+	}
+
+	// Control: the same history with the impossible output visible is
+	// rejected by SC (and everything above PC on one process).
+	b2 := history.NewBuilder(adt.Register{})
+	b2.Append(0, spec.NewOp(spec.NewInput("w", 1), spec.Bot))
+	b2.Append(0, spec.NewOp(spec.NewInput("r"), spec.IntOutput(99)))
+	b2.Append(0, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
+	h2 := b2.Build()
+	ok, _, err := SC(h2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("SC accepted an impossible visible read")
+	}
+}

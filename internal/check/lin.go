@@ -1,0 +1,168 @@
+// Package check implements exact decision procedures for the paper's
+// consistency criteria: sequential consistency (Def. 5), pipelined
+// consistency (Def. 6), weak causal consistency (Def. 8), causal
+// consistency (Def. 9), causal convergence (Def. 12), causal memory
+// via writes-into orders (Def. 11), eventual/update consistency, and
+// Terry's four session guarantees.
+//
+// The checkers are sound and complete with respect to the formal
+// definitions on finite histories, with the ω-event convention of the
+// history package standing in for infinite executions (see that
+// package's documentation). All are exponential-time searches — the
+// underlying problems generalize the NP-hard verification of sequential
+// consistency — so they are intended for the small histories of the
+// paper's figures and for runtime-produced histories of bounded size.
+package check
+
+import (
+	"errors"
+
+	"repro/internal/history"
+	"repro/internal/porder"
+	"repro/internal/spec"
+)
+
+// ErrBudget is returned when a search exceeds Options.MaxNodes.
+var ErrBudget = errors.New("check: search budget exceeded")
+
+// ErrOmegaUpdate is returned when a history marks an update operation
+// as ω-repeating; the encoding only supports repeating pure queries.
+var ErrOmegaUpdate = errors.New("check: ω-events must be pure queries")
+
+// Options tunes the search procedures.
+type Options struct {
+	// MaxNodes bounds the total number of search-tree nodes explored by
+	// one checker invocation; 0 means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// DefaultMaxNodes is the default search budget.
+const DefaultMaxNodes = 20_000_000
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes <= 0 {
+		return DefaultMaxNodes
+	}
+	return o.MaxNodes
+}
+
+// linSearcher finds a linearization of a subset of a history's events,
+// conforming to the ADT's sequential specification, where only some
+// events' outputs are visible (the others are hidden operations in the
+// sense of Def. 2). It implements lin(H'.π(E', E”)) ∩ L(T) ≠ ∅
+// queries, the building block of every criterion.
+type linSearcher struct {
+	t      spec.ADT
+	events []history.Event
+	budget *int
+	memo   map[string]bool // visited (done, state) pairs that failed
+}
+
+// findLin searches for an order of the events in include, respecting
+// preds (required strict predecessors per event; only members of
+// include constrain), such that running the operations from the initial
+// state matches the recorded output of every event in visible. It
+// returns the witness order and whether one exists. If the budget runs
+// out it returns found=false with *budget < 0; callers translate that
+// into ErrBudget.
+func (ls *linSearcher) findLin(include, visible porder.Bitset, preds func(e int) porder.Bitset) ([]int, bool) {
+	n := len(ls.events)
+	if ls.memo == nil {
+		ls.memo = make(map[string]bool)
+	}
+	total := include.Count()
+	done := porder.NewBitset(n)
+	seq := make([]int, 0, total)
+
+	var rec func(q spec.State, placed int) bool
+	rec = func(q spec.State, placed int) bool {
+		if placed == total {
+			return true
+		}
+		*ls.budget--
+		if *ls.budget < 0 {
+			return false
+		}
+		key := done.Key() + "|" + q.Key()
+		if ls.memo[key] {
+			return false
+		}
+		ok := false
+		include.ForEach(func(e int) {
+			if ok || done.Has(e) {
+				return
+			}
+			p := preds(e).Clone()
+			p.IntersectWith(include)
+			if !p.SubsetOf(done) {
+				return
+			}
+			q2, out := ls.t.Step(q, ls.events[e].Op.In)
+			// Hidden operations (Def. 2) have no recorded output to
+			// match, whatever the visibility projection says.
+			if visible.Has(e) && !ls.events[e].Op.Hidden && !out.Equal(ls.events[e].Op.Out) {
+				return
+			}
+			done.Set(e)
+			seq = append(seq, e)
+			if rec(q2, placed+1) {
+				ok = true
+				return
+			}
+			seq = seq[:len(seq)-1]
+			done.Clear(e)
+		})
+		if !ok && *ls.budget >= 0 {
+			ls.memo[key] = true
+		}
+		return ok
+	}
+	if rec(ls.t.Init(), 0) {
+		out := make([]int, len(seq))
+		copy(out, seq)
+		return out, true
+	}
+	return nil, false
+}
+
+// predsFromRel adapts a transitively closed relation into a preds
+// function (predecessor bitsets are materialized once).
+func predsFromRel(rel *porder.Rel) func(e int) porder.Bitset {
+	preds := rel.Preds()
+	return func(e int) porder.Bitset { return preds[e] }
+}
+
+// validateOmega returns ErrOmegaUpdate if any ω-event is an update.
+func validateOmega(h *history.History) error {
+	for _, e := range h.Events {
+		if e.Omega && h.ADT.IsUpdate(e.Op.In) {
+			return ErrOmegaUpdate
+		}
+	}
+	return nil
+}
+
+// omegaPreds wraps base preds so that each ω-event additionally
+// requires every non-ω event (and, for determinism, nothing among
+// ω-events themselves): in an infinite execution the ω-event has copies
+// beyond any finite position, so every concrete event precedes some
+// copy, and since ω-events are pure queries a single representative
+// placed after everything is faithful.
+func omegaPreds(h *history.History, base func(e int) porder.Bitset, omegaSubset porder.Bitset) func(e int) porder.Bitset {
+	n := h.N()
+	nonOmega := porder.FullBitset(n)
+	for _, ev := range h.Events {
+		if ev.Omega {
+			nonOmega.Clear(ev.ID)
+		}
+	}
+	return func(e int) porder.Bitset {
+		if !omegaSubset.Has(e) {
+			return base(e)
+		}
+		p := base(e).Clone()
+		p.UnionWith(nonOmega)
+		p.Clear(e)
+		return p
+	}
+}

@@ -1,0 +1,247 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/spec"
+)
+
+func top(p int, op spec.Operation, inv, res float64) TimedOp {
+	return TimedOp{Proc: p, Op: op, Inv: inv, Res: res}
+}
+
+func w(v int) spec.Operation  { return spec.NewOp(spec.NewInput("w", v), spec.Bot) }
+func rd(v int) spec.Operation { return spec.NewOp(spec.NewInput("r"), spec.IntOutput(v)) }
+
+func TestLinearizableFreshRead(t *testing.T) {
+	ops := []TimedOp{
+		top(0, w(1), 0, 1),
+		top(1, rd(1), 2, 3),
+	}
+	ok, order, err := Linearizable(adt.Register{}, ops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("fresh read after completed write must be linearizable")
+	}
+	if len(order) != 2 || order[0] != 0 {
+		t.Fatalf("witness %v, want write first", order)
+	}
+}
+
+// TestStaleReadSeparatesLinFromSC is the classic separation [3]: a
+// read that returns the old value strictly after a write completed is
+// not linearizable, yet the same operations without real time are
+// sequentially consistent.
+func TestStaleReadSeparatesLinFromSC(t *testing.T) {
+	ops := []TimedOp{
+		top(0, w(1), 0, 1),
+		top(1, rd(0), 2, 3), // stale: reads 0 after w(1) responded
+	}
+	ok, _, err := Linearizable(adt.Register{}, ops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale read after completed write must not be linearizable")
+	}
+	sc, _, err := SC(TimedToHistory(adt.Register{}, ops), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc {
+		t.Fatal("the untimed projection is sequentially consistent (read ordered first)")
+	}
+}
+
+func TestOverlappingWriteFloats(t *testing.T) {
+	// The write overlaps both reads, so it may linearize between them.
+	ops := []TimedOp{
+		top(0, w(1), 0, 10),
+		top(1, rd(0), 1, 2),
+		top(1, rd(1), 3, 4),
+	}
+	ok, _, err := Linearizable(adt.Register{}, ops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("overlapping write must be allowed to take effect between the reads")
+	}
+}
+
+// TestSCNotLinTwoWriters: both writers then disagreeing reads in
+// strict sequence — SC can reorder a write after the first read, real
+// time cannot.
+func TestSCNotLinTwoWriters(t *testing.T) {
+	ops := []TimedOp{
+		top(0, w(1), 0, 1),
+		top(1, w(2), 0.5, 1.5),
+		top(0, rd(1), 2, 3),
+		top(1, rd(2), 4, 5),
+	}
+	ok, _, err := Linearizable(adt.Register{}, ops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("value cannot change between the sequential reads without an intervening write")
+	}
+	sc, _, err := SC(TimedToHistory(adt.Register{}, ops), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc {
+		t.Fatal("the untimed projection is sequentially consistent (w1 r1 w2 r2)")
+	}
+}
+
+func TestLinearizableCounter(t *testing.T) {
+	inc := spec.NewOp(spec.NewInput("inc"), spec.Bot)
+	get := func(v int) spec.Operation { return spec.NewOp(spec.NewInput("get"), spec.IntOutput(v)) }
+	ok, _, err := Linearizable(adt.Counter{}, []TimedOp{
+		top(0, inc, 0, 1),
+		top(1, get(0), 2, 3),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("get/0 after a completed inc is not linearizable")
+	}
+	ok, _, err = Linearizable(adt.Counter{}, []TimedOp{
+		top(0, inc, 0, 1),
+		top(1, get(1), 2, 3),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("get/1 after a completed inc is linearizable")
+	}
+}
+
+func TestPendingOperationAsHidden(t *testing.T) {
+	// A crashed writer's pending w(1) may or may not have taken
+	// effect; modelled as a hidden operation with an unbounded
+	// response time it can explain the second read.
+	ops := []TimedOp{
+		top(0, spec.HiddenOp(spec.NewInput("w", 1)), 0, math.Inf(1)),
+		top(1, rd(0), 1, 2),
+		top(1, rd(1), 3, 4),
+	}
+	ok, _, err := Linearizable(adt.Register{}, ops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("pending write must be allowed to take effect between the reads")
+	}
+}
+
+func TestTimedValidation(t *testing.T) {
+	if _, _, err := Linearizable(adt.Register{}, []TimedOp{top(0, w(1), 2, 1)}, Options{}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	ops := []TimedOp{
+		top(0, w(1), 0, 2),
+		top(0, w(2), 1, 3), // overlaps its own process
+	}
+	if _, _, err := Linearizable(adt.Register{}, ops, Options{}); err == nil {
+		t.Error("overlapping same-process operations accepted")
+	}
+}
+
+// TestSequentialExecutionsAreLinearizable generates random legal
+// sequential executions (an arbitrary interleaving run against the
+// sequential specification) and schedules each operation in its own
+// real-time slot: the result must always be linearizable, and its
+// untimed projection sequentially consistent.
+func TestSequentialExecutionsAreLinearizable(t *testing.T) {
+	reg := adt.Register{}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nproc := 2 + rng.Intn(2)
+		nops := 4 + rng.Intn(5)
+		q := reg.Init()
+		ops := make([]TimedOp, 0, nops)
+		for i := 0; i < nops; i++ {
+			p := rng.Intn(nproc)
+			var in spec.Input
+			if rng.Intn(2) == 0 {
+				in = spec.NewInput("w", rng.Intn(3))
+			} else {
+				in = spec.NewInput("r")
+			}
+			var out spec.Output
+			q, out = reg.Step(q, in)
+			ops = append(ops, top(p, spec.NewOp(in, out), float64(i), float64(i)+0.5))
+		}
+		ok, _, err := Linearizable(reg, ops, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: a sequential execution must be linearizable: %v", seed, ops)
+		}
+		sc, _, err := SC(TimedToHistory(reg, ops), Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sc {
+			t.Fatalf("seed %d: linearizable execution whose projection is not SC", seed)
+		}
+	}
+}
+
+// TestLinImpliesSCRandom: on arbitrary random timed histories (many of
+// them inconsistent), whenever the linearizability checker accepts,
+// the SC checker must accept the untimed projection — the Fig. 1 arrow
+// above SC, validated differentially between two independent search
+// procedures.
+func TestLinImpliesSCRandom(t *testing.T) {
+	reg := adt.Register{}
+	linCount := 0
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nproc := 2
+		nops := 3 + rng.Intn(4)
+		ops := make([]TimedOp, 0, nops)
+		clock := make([]float64, nproc)
+		for i := 0; i < nops; i++ {
+			p := rng.Intn(nproc)
+			var op spec.Operation
+			if rng.Intn(2) == 0 {
+				op = w(rng.Intn(2) + 1)
+			} else {
+				op = rd(rng.Intn(3)) // arbitrary, often impossible, output
+			}
+			inv := clock[p] + rng.Float64()
+			res := inv + 0.1 + 2*rng.Float64()
+			clock[p] = res
+			ops = append(ops, top(p, op, inv, res))
+		}
+		ok, _, err := Linearizable(reg, ops, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			continue
+		}
+		linCount++
+		sc, _, err := SC(TimedToHistory(reg, ops), Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sc {
+			t.Fatalf("seed %d: linearizable but not SC: %v", seed, ops)
+		}
+	}
+	if linCount == 0 {
+		t.Fatal("generator produced no linearizable histories; test is vacuous")
+	}
+}

@@ -1,0 +1,457 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/porder"
+)
+
+// This file implements the memory-specific criteria of Sec. 4.2: causal
+// memory (Def. 11, Ahamad et al.) via writes-into orders, and Terry's
+// four session guarantees (Sec. 1 and 4.1).
+
+// ErrNotMemory is returned when a memory-specific checker is applied to
+// a history over a non-memory ADT.
+var ErrNotMemory = errors.New("check: history is not over a memory ADT")
+
+// ErrDuplicateValues is returned by the session-guarantee checkers when
+// two writes to the same register write the same value; the guarantees
+// are classically defined under the distinct-values hypothesis the
+// paper discusses (Sec. 4.2, citing Misra).
+var ErrDuplicateValues = errors.New("check: session guarantees require distinct written values per register")
+
+// memOps describes a memory history: per event, whether it is a write
+// or read, its register, and its value.
+type memOps struct {
+	isWrite []bool
+	reg     []string
+	val     []int
+}
+
+func memoryOps(h *history.History) (*memOps, error) {
+	if _, ok := h.ADT.(adt.Memory); !ok {
+		return nil, ErrNotMemory
+	}
+	m := &memOps{
+		isWrite: make([]bool, h.N()),
+		reg:     make([]string, h.N()),
+		val:     make([]int, h.N()),
+	}
+	for _, ev := range h.Events {
+		method := ev.Op.In.Method
+		switch {
+		case strings.HasPrefix(method, "w"):
+			if len(ev.Op.In.Args) != 1 {
+				return nil, fmt.Errorf("check: malformed write %v", ev.Op)
+			}
+			m.isWrite[ev.ID] = true
+			m.reg[ev.ID] = method[1:]
+			m.val[ev.ID] = ev.Op.In.Args[0]
+		case strings.HasPrefix(method, "r"):
+			if ev.Op.Out.Bot || len(ev.Op.Out.Vals) != 1 {
+				return nil, fmt.Errorf("check: read %v has no scalar output", ev.Op)
+			}
+			m.reg[ev.ID] = method[1:]
+			m.val[ev.ID] = ev.Op.Out.Vals[0]
+		default:
+			return nil, fmt.Errorf("check: unknown memory method %q", method)
+		}
+	}
+	return m, nil
+}
+
+// CM reports whether a memory history is M_X-causal in the sense of
+// causal memory (Def. 11): there exists a writes-into order ⇝ (each
+// read bound to at most one write of the same register and value, reads
+// of 0 possibly unbound) whose union with the program order generates
+// an acyclic causal order →, such that every process can linearize the
+// whole history ordered by → with its own outputs visible.
+func CM(h *history.History, opt Options) (bool, *Witness, error) {
+	if err := validateOmega(h); err != nil {
+		return false, nil, err
+	}
+	mo, err := memoryOps(h)
+	if err != nil {
+		return false, nil, err
+	}
+	budget := opt.maxNodes()
+
+	// Candidate dictating writes per read.
+	n := h.N()
+	var reads []int
+	cands := make([][]int, n)
+	for e := 0; e < n; e++ {
+		if mo.isWrite[e] {
+			continue
+		}
+		reads = append(reads, e)
+		for w := 0; w < n; w++ {
+			if mo.isWrite[w] && mo.reg[w] == mo.reg[e] && mo.val[w] == mo.val[e] {
+				cands[e] = append(cands[e], w)
+			}
+		}
+		if mo.val[e] != 0 && len(cands[e]) == 0 {
+			return false, nil, nil // read of a never-written value
+		}
+		if mo.val[e] == 0 {
+			cands[e] = append(cands[e], -1) // unbound (initial value)
+		}
+	}
+
+	checkChoice := func(binding map[int]int) (bool, *Witness) {
+		rel := porder.NewRel(n)
+		for i := 0; i < n; i++ {
+			h.Prog().Succ[i].ForEach(func(j int) { rel.Add(i, j) })
+		}
+		for r, w := range binding {
+			if w >= 0 {
+				rel.Add(w, r)
+			}
+		}
+		if rel.HasCycle() {
+			return false, nil
+		}
+		closed := rel.TransitiveClosure()
+		wit := &Witness{PerProcess: make([][]int, len(h.Processes()))}
+		all := porder.FullBitset(n)
+		for p := range h.Processes() {
+			ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
+			visible := h.ProcEvents(p)
+			ownOmega := h.OmegaEvents()
+			ownOmega.IntersectWith(visible)
+			preds := omegaPreds(h, predsFromRel(closed), ownOmega)
+			order, ok := ls.findLin(all, visible, preds)
+			if !ok {
+				return false, nil
+			}
+			wit.PerProcess[p] = order
+		}
+		return true, wit
+	}
+
+	binding := make(map[int]int, len(reads))
+	var rec func(i int) (bool, *Witness)
+	rec = func(i int) (bool, *Witness) {
+		if budget < 0 {
+			return false, nil
+		}
+		if i == len(reads) {
+			return checkChoice(binding)
+		}
+		r := reads[i]
+		for _, w := range cands[r] {
+			budget--
+			binding[r] = w
+			if ok, wit := rec(i + 1); ok {
+				return true, wit
+			}
+		}
+		delete(binding, r)
+		return false, nil
+	}
+	ok, wit := rec(0)
+	if budget < 0 {
+		return false, nil, ErrBudget
+	}
+	return ok, wit, nil
+}
+
+// SessionGuarantees holds the outcome of the four session-guarantee
+// checks of Terry et al. (Sec. 1): Read Your Writes, Monotonic Reads,
+// Monotonic Writes, Writes Follow Reads. A false field means a
+// violation was attributed to that guarantee (see Sessions).
+type SessionGuarantees struct {
+	ReadYourWrites    bool
+	MonotonicReads    bool
+	MonotonicWrites   bool
+	WritesFollowReads bool
+}
+
+// All reports whether the four guarantees hold together.
+func (g SessionGuarantees) All() bool {
+	return g.ReadYourWrites && g.MonotonicReads && g.MonotonicWrites && g.WritesFollowReads
+}
+
+// sessionKind selects the constraint set of one guarantee.
+type sessionKind int
+
+const (
+	kindMR sessionKind = iota
+	kindMW
+	kindRYW
+	kindWFR
+)
+
+// Sessions checks Terry's four session guarantees on a memory history
+// whose written values are distinct per register (so each read has a
+// unique dictating write; Sec. 4.2 discusses why this hypothesis is
+// needed). Sessions are identified with processes.
+//
+// The model is Terry's server model specialized to replica-per-process
+// systems: each session observes a growing sequence of writes. A
+// guarantee holds for session p if there exists, for each of p's reads
+// in order, a write sequence T_r such that (a) the previous read's
+// sequence is a subsequence of T_r (the view only grows), (b) the last
+// write to the read register in T_r dictates the value read (absence
+// means the initial 0), and (c) the guarantee's specific closure holds:
+//
+//   - MR: nothing beyond (a)+(b) — the view is monotonic;
+//   - MW: every write in T_r is preceded by its session's earlier
+//     writes, in order;
+//   - RYW: p's own program-earlier writes belong to T_r;
+//   - WFR: every write w ∈ T_r whose session read some value before
+//     issuing w has that value's dictating write in T_r before w.
+//
+// Because MW/RYW/WFR strictly strengthen the monotonic-view baseline,
+// a failure of MR alone would make all of them fail; violations are
+// therefore attributed: MW/RYW/WFR are reported violated only when
+// their check fails while plain MR passes.
+func Sessions(h *history.History, opt Options) (SessionGuarantees, error) {
+	g := SessionGuarantees{}
+	mo, err := memoryOps(h)
+	if err != nil {
+		return g, err
+	}
+	n := h.N()
+
+	// Unique dictating writes (distinct-values hypothesis).
+	dict := make([]int, n) // -1 = initial value
+	writerOf := make(map[string]int)
+	for e := 0; e < n; e++ {
+		if !mo.isWrite[e] {
+			continue
+		}
+		key := fmt.Sprintf("%s=%d", mo.reg[e], mo.val[e])
+		if _, dup := writerOf[key]; dup {
+			return g, ErrDuplicateValues
+		}
+		writerOf[key] = e
+	}
+	for e := 0; e < n; e++ {
+		if mo.isWrite[e] {
+			dict[e] = -1
+			continue
+		}
+		w, ok := writerOf[fmt.Sprintf("%s=%d", mo.reg[e], mo.val[e])]
+		if !ok {
+			if mo.val[e] != 0 {
+				return g, fmt.Errorf("check: read %v has no matching write", h.Events[e].Op)
+			}
+			w = -1
+		}
+		dict[e] = w
+	}
+
+	var writes []int
+	for e := 0; e < n; e++ {
+		if mo.isWrite[e] {
+			writes = append(writes, e)
+		}
+	}
+	if len(writes) > 8 {
+		return g, fmt.Errorf("check: session-guarantee search supports at most 8 writes, history has %d", len(writes))
+	}
+	seqs := allSequences(writes)
+
+	s := &sessionChecker{h: h, mo: mo, dict: dict, seqs: seqs, budget: opt.maxNodes()}
+	raw := make(map[sessionKind]bool, 4)
+	for _, k := range []sessionKind{kindMR, kindMW, kindRYW, kindWFR} {
+		ok, err := s.check(k)
+		if err != nil {
+			return g, err
+		}
+		raw[k] = ok
+	}
+	g.MonotonicReads = raw[kindMR]
+	// Attribution: the stronger checks are meaningful only when the
+	// monotonic-view baseline holds.
+	g.MonotonicWrites = raw[kindMW] || !raw[kindMR]
+	g.ReadYourWrites = raw[kindRYW] || !raw[kindMR]
+	g.WritesFollowReads = raw[kindWFR] || !raw[kindMR]
+	return g, nil
+}
+
+// allSequences enumerates every ordered sequence over every subset of
+// the given elements (including the empty sequence).
+func allSequences(elems []int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, len(elems))
+	used := make([]bool, len(elems))
+	var rec func()
+	rec = func() {
+		seq := make([]int, len(cur))
+		copy(seq, cur)
+		out = append(out, seq)
+		for i, e := range elems {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, e)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+type sessionChecker struct {
+	h      *history.History
+	mo     *memOps
+	dict   []int
+	seqs   [][]int
+	budget int
+}
+
+// check decides one guarantee over every session.
+func (s *sessionChecker) check(kind sessionKind) (bool, error) {
+	for p := range s.h.Processes() {
+		ok, err := s.checkSession(p, kind)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (s *sessionChecker) checkSession(p int, kind sessionKind) (bool, error) {
+	var reads []int
+	for _, e := range s.h.Processes()[p] {
+		if !s.mo.isWrite[e] {
+			reads = append(reads, e)
+		}
+	}
+	if len(reads) == 0 {
+		return true, nil
+	}
+	memo := make(map[string]bool)
+	var rec func(i int, prev []int) (bool, error)
+	rec = func(i int, prev []int) (bool, error) {
+		if i == len(reads) {
+			return true, nil
+		}
+		key := fmt.Sprintf("%d|%v", i, prev)
+		if memo[key] {
+			return false, nil
+		}
+		r := reads[i]
+		for _, cand := range s.seqs {
+			s.budget--
+			if s.budget < 0 {
+				return false, ErrBudget
+			}
+			if !isSubsequence(prev, cand) {
+				continue
+			}
+			if !s.valueOK(r, cand) {
+				continue
+			}
+			if !s.closureOK(kind, p, r, cand) {
+				continue
+			}
+			ok, err := rec(i+1, cand)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		memo[key] = true
+		return false, nil
+	}
+	return rec(0, nil)
+}
+
+// isSubsequence reports whether a appears within b in order.
+func isSubsequence(a, b []int) bool {
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// valueOK checks that the last write to r's register in seq dictates
+// r's value.
+func (s *sessionChecker) valueOK(r int, seq []int) bool {
+	last := -1
+	for _, w := range seq {
+		if s.mo.reg[w] == s.mo.reg[r] {
+			last = w
+		}
+	}
+	return last == s.dict[r]
+}
+
+// closureOK checks the guarantee-specific constraint on seq.
+func (s *sessionChecker) closureOK(kind sessionKind, p, r int, seq []int) bool {
+	pos := make(map[int]int, len(seq))
+	for i, w := range seq {
+		pos[w] = i
+	}
+	prog := s.h.Prog()
+	switch kind {
+	case kindMR:
+		return true
+	case kindMW:
+		// Same-session earlier writes must be present, in order.
+		for _, w := range seq {
+			wp := s.h.Events[w].Proc
+			for _, w0 := range s.h.Processes()[wp] {
+				if w0 == w {
+					break
+				}
+				if !s.mo.isWrite[w0] || !prog.Has(w0, w) {
+					continue
+				}
+				p0, ok := pos[w0]
+				if !ok || p0 > pos[w] {
+					return false
+				}
+			}
+		}
+		return true
+	case kindRYW:
+		for _, w := range s.h.Processes()[p] {
+			if s.mo.isWrite[w] && prog.Has(w, r) {
+				if _, ok := pos[w]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	case kindWFR:
+		// For every write w in the view: any read its session made
+		// before issuing w must have its dictating write in the view,
+		// before w.
+		for _, w := range seq {
+			wp := s.h.Events[w].Proc
+			for _, r0 := range s.h.Processes()[wp] {
+				if r0 == w {
+					break
+				}
+				if s.mo.isWrite[r0] || !prog.Has(r0, w) || s.dict[r0] < 0 {
+					continue
+				}
+				p0, ok := pos[s.dict[r0]]
+				if !ok || p0 > pos[w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}

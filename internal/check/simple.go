@@ -1,0 +1,90 @@
+package check
+
+import (
+	"repro/internal/history"
+	"repro/internal/porder"
+	"repro/internal/spec"
+)
+
+// Witness carries evidence that a history satisfies a criterion. Not
+// every checker fills every field.
+type Witness struct {
+	// Linearization is the single witness order for SC.
+	Linearization []int
+	// PerProcess maps process index to its witness linearization (PC).
+	PerProcess [][]int
+	// Order is the witness causal order (WCC, CC) or total order (CCv)
+	// as a processing sequence; Pasts[e] is the causal past ⌊e⌋ \ {e}.
+	Order []int
+	Pasts []porder.Bitset
+	// PerEvent maps event id to the witness linearization of its causal
+	// past used to validate it (WCC, CC).
+	PerEvent [][]int
+}
+
+// FormatLin renders a witness order as the paper's dot-separated word.
+func FormatLin(h *history.History, order []int, visible porder.Bitset) string {
+	ops := make([]spec.Operation, len(order))
+	for i, e := range order {
+		op := h.Events[e].Op
+		if visible != nil && !visible.Has(e) {
+			op = op.Hide()
+		}
+		ops[i] = op
+	}
+	return spec.FormatSeq(ops)
+}
+
+// SC reports whether the history is sequentially consistent with its
+// ADT (Def. 5): lin(H) ∩ L(T) ≠ ∅. ω-events are placed after all
+// non-ω events (they repeat forever, so every event precedes almost
+// every copy).
+func SC(h *history.History, opt Options) (bool, *Witness, error) {
+	if err := validateOmega(h); err != nil {
+		return false, nil, err
+	}
+	budget := opt.maxNodes()
+	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
+	all := porder.FullBitset(h.N())
+	preds := omegaPreds(h, predsFromRel(h.Prog()), h.OmegaEvents())
+	order, ok := ls.findLin(all, all, preds)
+	if budget < 0 {
+		return false, nil, ErrBudget
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	return true, &Witness{Linearization: order}, nil
+}
+
+// PC reports whether the history is pipelined consistent with its ADT
+// (Def. 6): for every process p, lin(H.π(E_H, p)) ∩ L(T) ≠ ∅ — each
+// process must explain the whole history with all outputs hidden except
+// its own. The process's own ω-event, if any, is placed after every
+// other event; other processes' ω-events are hidden pure queries and
+// need no special treatment.
+func PC(h *history.History, opt Options) (bool, *Witness, error) {
+	if err := validateOmega(h); err != nil {
+		return false, nil, err
+	}
+	w := &Witness{PerProcess: make([][]int, len(h.Processes()))}
+	all := porder.FullBitset(h.N())
+	basePreds := predsFromRel(h.Prog())
+	for p := range h.Processes() {
+		budget := opt.maxNodes()
+		ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
+		visible := h.ProcEvents(p)
+		ownOmega := h.OmegaEvents()
+		ownOmega.IntersectWith(visible)
+		preds := omegaPreds(h, basePreds, ownOmega)
+		order, ok := ls.findLin(all, visible, preds)
+		if budget < 0 {
+			return false, nil, ErrBudget
+		}
+		if !ok {
+			return false, nil, nil
+		}
+		w.PerProcess[p] = order
+	}
+	return true, w, nil
+}

@@ -1,0 +1,191 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/porder"
+	"repro/internal/spec"
+)
+
+// This file validates witnesses *independently* of the search that
+// produced them: a small, direct transcription of Defs. 8, 9 and 12
+// that replays each per-event linearization against the sequential
+// specification. It exists as a safety net — the causal searchers are
+// heavily memoized and pruned, and a bug there would silently admit
+// bad histories; re-deriving every acceptance from first principles
+// catches that class of bug. The property tests run it on every
+// accepted random history.
+
+// ValidateCausalWitness checks that w is genuine evidence that h
+// satisfies the criterion crit (one of CritWCC, CritCC, CritCCv). It
+// returns nil when every requirement of the corresponding definition
+// holds, and a descriptive error otherwise.
+func ValidateCausalWitness(h *history.History, crit Criterion, w *Witness) error {
+	if w == nil {
+		return fmt.Errorf("check: nil witness")
+	}
+	n := h.N()
+	if len(w.Order) != n || len(w.Pasts) != n {
+		return fmt.Errorf("check: witness covers %d/%d events", len(w.Order), n)
+	}
+
+	// The commit order must be a permutation; position lookup.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, e := range w.Order {
+		if e < 0 || e >= n || pos[e] != -1 {
+			return fmt.Errorf("check: witness order is not a permutation")
+		}
+		pos[e] = i
+	}
+
+	progPreds := h.Prog().Preds()
+	updates := h.Updates()
+	omega := h.OmegaEvents()
+
+	for e := 0; e < n; e++ {
+		past := w.Pasts[e]
+		if past.Has(e) {
+			return fmt.Errorf("check: event %d contained in its own past", e)
+		}
+		// → contains 7→: program predecessors are in the past.
+		if !progPreds[e].SubsetOf(past) {
+			return fmt.Errorf("check: event %d: program past escapes causal past", e)
+		}
+		// → is transitive on the recorded pasts.
+		var terr error
+		past.ForEach(func(f int) {
+			if terr == nil && !w.Pasts[f].SubsetOf(past) {
+				terr = fmt.Errorf("check: event %d: causal past not downward closed at %d", e, f)
+			}
+			if terr == nil && pos[f] >= pos[e] {
+				terr = fmt.Errorf("check: event %d: past event %d not committed earlier", e, f)
+			}
+		})
+		if terr != nil {
+			return terr
+		}
+		// Cofiniteness encoding: ω-events see every update (Def. 7's
+		// role in our finite encoding).
+		if omega.Has(e) {
+			missing := updates.Clone()
+			missing.DiffWith(past)
+			missing.Clear(e)
+			if !missing.Empty() {
+				return fmt.Errorf("check: ω-event %d is missing updates from its causal past", e)
+			}
+		}
+	}
+
+	for e := 0; e < n; e++ {
+		visible := porder.NewBitset(n)
+		visible.Set(e)
+		if crit == CritCC {
+			p := h.Events[e].Proc
+			if p >= 0 {
+				visible.UnionWith(h.ProcEvents(p))
+			}
+		}
+		var lin []int
+		switch crit {
+		case CritCCv:
+			// Def. 12: the linearization is ⌊e⌋ sorted by the shared
+			// total order, then e.
+			lin = make([]int, 0, w.Pasts[e].Count()+1)
+			for _, f := range w.Order {
+				if w.Pasts[e].Has(f) {
+					lin = append(lin, f)
+				}
+			}
+			lin = append(lin, e)
+		case CritWCC, CritCC:
+			if len(w.PerEvent) != n || w.PerEvent[e] == nil {
+				return fmt.Errorf("check: event %d: missing per-event linearization", e)
+			}
+			lin = w.PerEvent[e]
+			// The linearization must be exactly ⌊e⌋ ∪ {e}, each once.
+			seen := porder.NewBitset(n)
+			for _, f := range lin {
+				if seen.Has(f) {
+					return fmt.Errorf("check: event %d: duplicate %d in linearization", e, f)
+				}
+				seen.Set(f)
+			}
+			want := w.Pasts[e].Clone()
+			want.Set(e)
+			if !seen.SubsetOf(want) || !want.SubsetOf(seen) {
+				return fmt.Errorf("check: event %d: linearization is not ⌊e⌋ ∪ {e}", e)
+			}
+			// It must respect the causal order among its members.
+			at := make(map[int]int, len(lin))
+			for i, f := range lin {
+				at[f] = i
+			}
+			for _, f := range lin {
+				var oerr error
+				w.Pasts[f].ForEach(func(g int) {
+					if j, ok := at[g]; ok && oerr == nil && j >= at[f] {
+						oerr = fmt.Errorf("check: event %d: linearization violates causal order %d → %d", e, g, f)
+					}
+				})
+				if oerr != nil {
+					return oerr
+				}
+			}
+		default:
+			return fmt.Errorf("check: ValidateCausalWitness does not handle %v", crit)
+		}
+		if err := replay(h, lin, visible); err != nil {
+			return fmt.Errorf("check: event %d: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// replay runs the operations of lin from the initial state, comparing
+// the output of every visible, non-hidden event with its record.
+func replay(h *history.History, lin []int, visible porder.Bitset) error {
+	q := h.ADT.Init()
+	for _, f := range lin {
+		var out spec.Output
+		q, out = h.ADT.Step(q, h.Events[f].Op.In)
+		if visible.Has(f) && !h.Events[f].Op.Hidden && !out.Equal(h.Events[f].Op.Out) {
+			return fmt.Errorf("replay: event %d output %v, recorded %v", f, out, h.Events[f].Op.Out)
+		}
+	}
+	return nil
+}
+
+// ValidateSCWitness checks an SC witness: a single admissible
+// linearization of all events respecting the program order.
+func ValidateSCWitness(h *history.History, w *Witness) error {
+	if w == nil || len(w.Linearization) != h.N() {
+		return fmt.Errorf("check: SC witness missing or incomplete")
+	}
+	pos := make([]int, h.N())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, e := range w.Linearization {
+		if e < 0 || e >= h.N() || pos[e] != -1 {
+			return fmt.Errorf("check: SC witness is not a permutation")
+		}
+		pos[e] = i
+	}
+	preds := h.Prog().Preds()
+	for e := 0; e < h.N(); e++ {
+		var perr error
+		preds[e].ForEach(func(f int) {
+			if perr == nil && pos[f] >= pos[e] {
+				perr = fmt.Errorf("check: SC witness violates program order %d 7→ %d", f, e)
+			}
+		})
+		if perr != nil {
+			return perr
+		}
+	}
+	return replay(h, w.Linearization, porder.FullBitset(h.N()))
+}

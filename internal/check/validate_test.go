@@ -1,0 +1,146 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/paperfig"
+	"repro/internal/spec"
+)
+
+// randomHistory builds a random (often inconsistent) history over the
+// given ADT using the provided op generator.
+func randomHistory(t spec.ADT, rng *rand.Rand, procs, opsPer int, gen func(rng *rand.Rand) spec.Operation) *history.History {
+	b := history.NewBuilder(t)
+	for p := 0; p < procs; p++ {
+		for i := 0; i < opsPer; i++ {
+			b.Append(p, gen(rng))
+		}
+	}
+	return b.Build()
+}
+
+// TestWitnessesValidate: every acceptance by WCC/CC/CCv/SC on random
+// register and window-stream histories must come with a witness that
+// the independent validator accepts — the anti-bug pact between the
+// memoized searchers and the plain replay of the definitions.
+func TestWitnessesValidate(t *testing.T) {
+	reg := adt.Register{}
+	w2 := adt.NewWindowStream(2)
+	genReg := func(rng *rand.Rand) spec.Operation {
+		if rng.Intn(2) == 0 {
+			return spec.NewOp(spec.NewInput("w", rng.Intn(3)+1), spec.Bot)
+		}
+		return spec.NewOp(spec.NewInput("r"), spec.IntOutput(rng.Intn(4)))
+	}
+	genW2 := func(rng *rand.Rand) spec.Operation {
+		if rng.Intn(2) == 0 {
+			return spec.NewOp(spec.NewInput("w", rng.Intn(3)+1), spec.Bot)
+		}
+		return spec.NewOp(spec.NewInput("r"), spec.TupleOutput(rng.Intn(3), rng.Intn(3)))
+	}
+
+	accepted := map[check.Criterion]int{}
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 400; trial++ {
+		var h *history.History
+		if trial%2 == 0 {
+			h = randomHistory(reg, rng, 2, 3, genReg)
+		} else {
+			h = randomHistory(w2, rng, 2, 3, genW2)
+		}
+		for _, crit := range []check.Criterion{check.CritWCC, check.CritCC, check.CritCCv} {
+			ok, w, err := check.Check(crit, h, check.Options{})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, crit, err)
+			}
+			if !ok {
+				continue
+			}
+			accepted[crit]++
+			if err := check.ValidateCausalWitness(h, crit, w); err != nil {
+				t.Fatalf("trial %d: %v accepted with invalid witness: %v\n%s", trial, crit, err, h)
+			}
+		}
+		ok, w, err := check.SC(h, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			accepted[check.CritSC]++
+			if err := check.ValidateSCWitness(h, w); err != nil {
+				t.Fatalf("trial %d: SC accepted with invalid witness: %v\n%s", trial, err, h)
+			}
+		}
+	}
+	for _, crit := range []check.Criterion{check.CritWCC, check.CritCC, check.CritCCv, check.CritSC} {
+		if accepted[crit] == 0 {
+			t.Errorf("%v never accepted a random history; validation test is vacuous", crit)
+		}
+	}
+}
+
+// TestPaperFigureWitnessesValidate runs the validator over the Fig. 3
+// fixtures for every criterion that accepts them.
+func TestPaperFigureWitnessesValidate(t *testing.T) {
+	for _, f := range paperfig.Fig3() {
+		for _, h := range []*history.History{f.History(), f.FiniteHistory()} {
+			for _, crit := range []check.Criterion{check.CritWCC, check.CritCC, check.CritCCv} {
+				ok, w, err := check.Check(crit, h, check.Options{})
+				if err != nil {
+					t.Fatalf("%s %v: %v", f.Name, crit, err)
+				}
+				if !ok {
+					continue
+				}
+				if err := check.ValidateCausalWitness(h, crit, w); err != nil {
+					t.Errorf("%s: %v witness invalid: %v", f.Name, crit, err)
+				}
+			}
+		}
+	}
+}
+
+// TestValidatorRejectsTampering: corrupting a genuine witness must be
+// detected (the validator is not a rubber stamp).
+func TestValidatorRejectsTampering(t *testing.T) {
+	b := history.NewBuilder(adt.Register{})
+	b.Append(0, spec.NewOp(spec.NewInput("w", 1), spec.Bot))
+	b.Append(0, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
+	b.Append(1, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
+	h := b.Build()
+
+	ok, w, err := check.CC(h, check.Options{})
+	if err != nil || !ok {
+		t.Fatalf("fixture must be CC: ok=%v err=%v", ok, err)
+	}
+	if err := check.ValidateCausalWitness(h, check.CritCC, w); err != nil {
+		t.Fatalf("genuine witness rejected: %v", err)
+	}
+
+	// Tamper 1: swap the commit order.
+	bad := *w
+	bad.Order = []int{w.Order[1], w.Order[0], w.Order[2]}
+	if err := check.ValidateCausalWitness(h, check.CritCC, &bad); err == nil {
+		t.Error("reordered witness accepted")
+	}
+
+	// Tamper 2: drop an event's program past from its causal past.
+	bad2 := *w
+	p2 := append(w.Pasts[:0:0], w.Pasts...)
+	p2[1] = p2[1].Clone()
+	p2[1].Clear(0) // event 1's program predecessor 0
+	bad2.Pasts = p2
+	if err := check.ValidateCausalWitness(h, check.CritCC, &bad2); err == nil {
+		t.Error("witness with truncated causal past accepted")
+	}
+
+	// Tamper 3: nil witness.
+	if err := check.ValidateCausalWitness(h, check.CritCC, nil); err == nil {
+		t.Error("nil witness accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package check
+
+import (
+	"repro/internal/history"
+	"repro/internal/porder"
+)
+
+// Zones partitions a history's events relative to one event e and a
+// causal order →, reproducing the six time zones of the paper's Fig. 2:
+// causal past, program past (a subset of the causal past), present
+// (e itself), concurrent present, causal future and program future
+// (a subset of the causal future). The more constraints the past
+// imposes on the present, the stronger the criterion.
+type Zones struct {
+	Event             int
+	CausalPast        porder.Bitset // {e' : e' → e}, without e
+	ProgramPast       porder.Bitset // {e' : e' 7→ e}
+	CausalFuture      porder.Bitset // {e' : e → e'}
+	ProgramFuture     porder.Bitset // {e' : e 7→ e'}
+	ConcurrentPresent porder.Bitset // incomparable with e in →
+}
+
+// ZonesOf computes the time zones of event e. prog must be the
+// history's transitively closed program order and causal a transitively
+// closed causal order containing it (both strict).
+func ZonesOf(h *history.History, causal *porder.Rel, e int) Zones {
+	n := h.N()
+	z := Zones{
+		Event:             e,
+		CausalPast:        porder.NewBitset(n),
+		ProgramPast:       porder.NewBitset(n),
+		CausalFuture:      porder.NewBitset(n),
+		ProgramFuture:     porder.NewBitset(n),
+		ConcurrentPresent: porder.NewBitset(n),
+	}
+	prog := h.Prog()
+	for f := 0; f < n; f++ {
+		if f == e {
+			continue
+		}
+		switch {
+		case causal.Has(f, e):
+			z.CausalPast.Set(f)
+			if prog.Has(f, e) {
+				z.ProgramPast.Set(f)
+			}
+		case causal.Has(e, f):
+			z.CausalFuture.Set(f)
+			if prog.Has(e, f) {
+				z.ProgramFuture.Set(f)
+			}
+		default:
+			z.ConcurrentPresent.Set(f)
+		}
+	}
+	return z
+}
+
+// CausalOrderFrom builds the transitively closed causal order generated
+// by the history's program order plus the given extra edges, returning
+// nil if the result is cyclic (hence not a causal order).
+func CausalOrderFrom(h *history.History, extra [][2]int) *porder.Rel {
+	rel := porder.NewRel(h.N())
+	for i := 0; i < h.N(); i++ {
+		h.Prog().Succ[i].ForEach(func(j int) { rel.Add(i, j) })
+	}
+	for _, e := range extra {
+		rel.Add(e[0], e[1])
+	}
+	if rel.HasCycle() {
+		return nil
+	}
+	return rel.TransitiveClosure()
+}

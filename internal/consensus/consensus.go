@@ -1,0 +1,57 @@
+// Package consensus demonstrates the consensus number of the window
+// stream (Sec. 2.1): a sequentially consistent window stream of size k
+// solves consensus among k processes — each process writes its proposal
+// and then returns the oldest non-default value it reads — so W_k has
+// consensus number k, and in particular a window stream of size 2 or
+// more cannot be built from registers alone.
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// Object is a one-shot consensus object for up to k processes, built on
+// a sequentially consistent window stream of size k (the paper's
+// construction). Proposed values must be strictly positive: 0 is the
+// stream's default value.
+type Object struct {
+	k       int
+	cluster *core.SCCluster
+}
+
+// New creates a consensus object for k processes over a live
+// sequentially consistent cluster.
+func New(k int) *Object {
+	return &Object{k: k, cluster: core.NewSCCluster(k, adt.NewWindowStream(k))}
+}
+
+// Close releases the underlying transport.
+func (o *Object) Close() { o.cluster.Close() }
+
+// Propose runs the consensus protocol for process p with value v > 0:
+// write the proposal into the shared window stream, read the window,
+// and decide the oldest non-default value. With at most k proposers on
+// a sequentially consistent W_k, the window never evicts the first
+// written proposal, so all processes decide the same value (agreement)
+// and that value was proposed by someone (validity).
+func (o *Object) Propose(p int, v int) (int, error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("consensus: proposed value must be positive, got %d", v)
+	}
+	if p < 0 || p >= o.k {
+		return 0, fmt.Errorf("consensus: process %d out of range [0,%d)", p, o.k)
+	}
+	r := o.cluster.Replicas[p]
+	r.Invoke(spec.NewInput("w", v))
+	out := r.Invoke(spec.NewInput("r"))
+	for _, x := range out.Vals {
+		if x != 0 {
+			return x, nil
+		}
+	}
+	return 0, fmt.Errorf("consensus: read returned no proposal (window %v)", out.Vals)
+}

@@ -1,0 +1,65 @@
+package consensus_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/consensus"
+)
+
+// TestConsensusWindowStream is experiment E9: k processes reach
+// consensus through a sequentially consistent window stream of size k
+// (Sec. 2.1) — agreement, validity and termination across many
+// interleavings.
+func TestConsensusWindowStream(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5} {
+		for round := 0; round < 8; round++ {
+			obj := consensus.New(k)
+			decided := make([]int, k)
+			errs := make([]error, k)
+			var wg sync.WaitGroup
+			for p := 0; p < k; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					decided[p], errs[p] = obj.Propose(p, 10+p)
+				}(p)
+			}
+			wg.Wait()
+			obj.Close()
+			for p := 0; p < k; p++ {
+				if errs[p] != nil {
+					t.Fatalf("k=%d: process %d: %v", k, p, errs[p])
+				}
+			}
+			// Agreement.
+			for p := 1; p < k; p++ {
+				if decided[p] != decided[0] {
+					t.Fatalf("k=%d round %d: agreement violated: %v", k, round, decided)
+				}
+			}
+			// Validity: the decided value was proposed.
+			valid := false
+			for p := 0; p < k; p++ {
+				if decided[0] == 10+p {
+					valid = true
+				}
+			}
+			if !valid {
+				t.Fatalf("k=%d: decided %d was never proposed", k, decided[0])
+			}
+		}
+	}
+}
+
+// TestProposeValidation covers the argument checks.
+func TestProposeValidation(t *testing.T) {
+	obj := consensus.New(2)
+	defer obj.Close()
+	if _, err := obj.Propose(0, 0); err == nil {
+		t.Error("Propose(0, 0) should reject the default value")
+	}
+	if _, err := obj.Propose(5, 1); err == nil {
+		t.Error("Propose with out-of-range process should fail")
+	}
+}

@@ -1,0 +1,47 @@
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// Universal is a one-shot consensus object for ANY number of
+// processes, built on a sequentially consistent compare-and-swap
+// register — Herlihy's universality [11], placed next to the window
+// stream construction to make Sec. 2.1's classification executable:
+// W_k solves consensus for exactly k processes, CAS for all n.
+type Universal struct {
+	n       int
+	cluster *core.SCCluster
+}
+
+// NewUniversal creates a consensus object for n processes over a live
+// sequentially consistent CAS register.
+func NewUniversal(n int) *Universal {
+	return &Universal{n: n, cluster: core.NewSCCluster(n, adt.CASRegister{})}
+}
+
+// Close releases the underlying transport.
+func (u *Universal) Close() { u.cluster.Close() }
+
+// Propose runs the one-shot protocol for process p with value v > 0:
+// cas(0, v), then read — the first successful cas fixes the decision
+// for everyone, regardless of how many processes participate.
+func (u *Universal) Propose(p int, v int) (int, error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("consensus: proposed value must be positive, got %d", v)
+	}
+	if p < 0 || p >= u.n {
+		return 0, fmt.Errorf("consensus: process %d out of range [0,%d)", p, u.n)
+	}
+	r := u.cluster.Replicas[p]
+	r.Invoke(spec.NewInput("cas", 0, v))
+	out := r.Invoke(spec.NewInput("r"))
+	if len(out.Vals) != 1 || out.Vals[0] == 0 {
+		return 0, fmt.Errorf("consensus: read returned %v after cas", out)
+	}
+	return out.Vals[0], nil
+}

@@ -1,0 +1,93 @@
+package consensus
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// TestUniversalConsensusAgreement: the CAS-based object reaches
+// agreement and validity for process counts well beyond any fixed k —
+// the consensus-number-∞ half of Sec. 2.1's classification.
+func TestUniversalConsensusAgreement(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		for round := 0; round < 3; round++ {
+			u := NewUniversal(n)
+			decided := make([]int, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					decided[p], errs[p] = u.Propose(p, 100+p)
+				}(p)
+			}
+			wg.Wait()
+			u.Close()
+			for p := 0; p < n; p++ {
+				if errs[p] != nil {
+					t.Fatalf("n=%d round=%d p=%d: %v", n, round, p, errs[p])
+				}
+				if decided[p] != decided[0] {
+					t.Fatalf("n=%d round=%d: p%d decided %d, p0 decided %d (agreement violated)",
+						n, round, p, decided[p], decided[0])
+				}
+			}
+			if decided[0] < 100 || decided[0] >= 100+n {
+				t.Fatalf("n=%d round=%d: decided %d was never proposed (validity violated)", n, round, decided[0])
+			}
+		}
+	}
+}
+
+func TestUniversalValidation(t *testing.T) {
+	u := NewUniversal(2)
+	defer u.Close()
+	if _, err := u.Propose(0, 0); err == nil {
+		t.Error("zero proposal accepted")
+	}
+	if _, err := u.Propose(5, 1); err == nil {
+		t.Error("out-of-range process accepted")
+	}
+}
+
+// TestWindowOverflowBreaksConsensus exhibits the other half of the
+// classification: the W_k protocol ("write, then decide the oldest
+// non-default value read") fails with k+1 proposers, because the
+// window can evict the earliest proposal between two reads. One
+// sequential schedule suffices as a counterexample.
+func TestWindowOverflowBreaksConsensus(t *testing.T) {
+	const k = 2
+	c := core.NewSCCluster(k+1, adt.NewWindowStream(k))
+	defer c.Close()
+
+	propose := func(p, v int) int {
+		r := c.Replicas[p]
+		r.Invoke(spec.NewInput("w", v))
+		out := r.Invoke(spec.NewInput("r"))
+		for _, x := range out.Vals {
+			if x != 0 {
+				return x
+			}
+		}
+		return 0
+	}
+
+	// p0 completes its whole protocol first: it writes 101 and decides
+	// it. Then p1 and p2 write, evicting 101 from the k=2 window;
+	// p2 decides p1's value. Disagreement — with only k proposers the
+	// eviction could never reach the first proposal.
+	d0 := propose(0, 101)
+	d1 := propose(1, 102)
+	d2 := propose(2, 103)
+	if d0 == d2 && d1 == d0 {
+		t.Fatalf("expected the overflow schedule to break agreement; all decided %d", d0)
+	}
+	if d0 != 101 {
+		t.Fatalf("p0 ran solo and must decide its own value, got %d", d0)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Cluster wires n replicas of one shared object over a deterministic
+// simulated network. It is the main experiment driver: tests and
+// benchmarks invoke operations on chosen replicas, control message
+// delivery, and extract the recorded history for the checkers.
+type Cluster struct {
+	Net      *sim.Network
+	Replicas []*Replica
+	Recorder *trace.Recorder
+	adt      spec.ADT
+}
+
+// NewCluster creates a simulated cluster of n replicas in the given
+// mode, all randomness derived from seed.
+func NewCluster(n int, t spec.ADT, mode Mode, seed int64) *Cluster {
+	nw := sim.New(n, seed)
+	rec := trace.New(t, n)
+	c := &Cluster{Net: nw, Recorder: rec, adt: t}
+	for i := 0; i < n; i++ {
+		c.Replicas = append(c.Replicas, NewReplica(nw, i, t, mode, rec))
+	}
+	return c
+}
+
+// DisableRecording detaches the trace recorder from every replica (for
+// benchmarks; see Replica.DisableRecording).
+func (c *Cluster) DisableRecording() {
+	for _, r := range c.Replicas {
+		r.DisableRecording()
+	}
+}
+
+// Invoke runs one operation on process p's replica (delivering no
+// messages; interleave with Step/Settle to control asynchrony).
+func (c *Cluster) Invoke(p int, method string, args ...int) spec.Output {
+	return c.Replicas[p].Invoke(spec.NewInput(method, args...))
+}
+
+// Settle delivers every in-flight message (bounded by maxSteps; 0
+// means unbounded) so that all live, connected replicas reach
+// quiescence.
+func (c *Cluster) Settle() { c.Net.Run(0) }
+
+// History returns the execution recorded so far.
+func (c *Cluster) History() *trace.Recorder { return c.Recorder }
+
+// Converged reports whether all live replicas have identical local
+// states.
+func (c *Cluster) Converged() bool {
+	var key string
+	first := true
+	for i, r := range c.Replicas {
+		if c.Net.Crashed(i) {
+			continue
+		}
+		k := r.StateKey()
+		if first {
+			key, first = k, false
+		} else if k != key {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveCluster wires n replicas over the goroutine transport for the
+// examples and the concurrency (race-detector) tests.
+type LiveCluster struct {
+	Net      *net.Live
+	Replicas []*Replica
+	Recorder *trace.Recorder
+}
+
+// NewLiveCluster creates a live cluster of n replicas in the given
+// mode.
+func NewLiveCluster(n int, t spec.ADT, mode Mode) *LiveCluster {
+	nw := net.NewLive(n)
+	rec := trace.New(t, n)
+	c := &LiveCluster{Net: nw, Recorder: rec}
+	for i := 0; i < n; i++ {
+		c.Replicas = append(c.Replicas, NewReplica(nw, i, t, mode, rec))
+	}
+	return c
+}
+
+// Close shuts the transport down.
+func (c *LiveCluster) Close() { c.Net.Close() }
+
+// SCCluster wires n sequentially consistent replicas over the live
+// transport (total order needs real waiting; see SCReplica).
+type SCCluster struct {
+	Net      *net.Live
+	Replicas []*SCReplica
+	Recorder *trace.Recorder
+}
+
+// NewSCCluster creates a live sequentially consistent cluster.
+func NewSCCluster(n int, t spec.ADT) *SCCluster {
+	nw := net.NewLive(n)
+	rec := trace.New(t, n)
+	c := &SCCluster{Net: nw, Recorder: rec}
+	for i := 0; i < n; i++ {
+		c.Replicas = append(c.Replicas, NewSCReplica(nw, i, t, rec))
+	}
+	return c
+}
+
+// Close shuts the transport down.
+func (c *SCCluster) Close() { c.Net.Close() }

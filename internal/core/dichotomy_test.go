@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/core"
+)
+
+// TestPCvsECDichotomy is experiment E10: pipelined (or causal)
+// consistency and eventual consistency cannot be combined in wait-free
+// systems (Sec. 1, citing [19]). We stage the Fig. 3a scenario — two
+// replicas write concurrently during a partition, then the partition
+// heals — and observe that:
+//
+//   - the CC runtime preserves pipelined consistency but the replicas
+//     never converge (each keeps its own arrival order forever);
+//   - the CCv runtime converges but the resulting history is exactly
+//     Fig. 3a's shape, which violates pipelined consistency.
+func TestPCvsECDichotomy(t *testing.T) {
+	t.Run("CC keeps PC, loses convergence", func(t *testing.T) {
+		c := core.NewCluster(2, adt.NewWindowArray(1, 2), core.ModeCC, 7)
+		c.Net.Partition([]int{0}, []int{1})
+		c.Invoke(0, "w", 0, 1)
+		c.Invoke(1, "w", 0, 2)
+		c.Invoke(0, "r", 0) // (0,1)
+		c.Invoke(1, "r", 0) // (0,2)
+		c.Net.Run(0)        // in-flight copies die at the partition
+		c.Net.Heal()
+		// Re-flood by new activity is not modelled; deliver the healed
+		// messages by re-broadcasting through fresh writes would change
+		// the experiment, so instead model the heal as late delivery:
+		// the flooding layer already dropped the cut messages, so the
+		// divergence below is permanent — exactly the point.
+		r0 := c.Invoke(0, "r", 0)
+		r1 := c.Invoke(1, "r", 0)
+		if r0.Equal(r1) {
+			t.Fatalf("replicas agreed (%v); partition should have split the orders", r0)
+		}
+		h := c.Recorder.History()
+		ok, _, err := check.PC(h, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("CC runtime broke pipelined consistency:\n%s", h)
+		}
+	})
+
+	t.Run("CCv converges, loses PC", func(t *testing.T) {
+		c := core.NewCluster(2, adt.NewWindowArray(1, 2), core.ModeCCv, 7)
+		// Both write concurrently; each reads its own before delivery.
+		c.Invoke(0, "w", 0, 1)
+		c.Invoke(1, "w", 0, 2)
+		r0a := c.Invoke(0, "r", 0)
+		r1a := c.Invoke(1, "r", 0)
+		c.Settle()
+		r0b := c.Invoke(0, "r", 0)
+		r1b := c.Invoke(1, "r", 0)
+		c.Recorder.MarkOmega(0)
+		c.Recorder.MarkOmega(1)
+		if !r0b.Equal(r1b) {
+			t.Fatalf("CCv replicas did not converge: %v vs %v", r0b, r1b)
+		}
+		if r0a.Equal(r1a) {
+			t.Fatalf("first reads should differ, got %v", r0a)
+		}
+		h := c.Recorder.History()
+		// The converged history is CCv but not PC — Fig. 3a reproduced
+		// from a live system rather than drawn by hand.
+		ccv, _, err := check.CCv(h, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, _, err := check.PC(h, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ccv || pc {
+			t.Fatalf("want CCv ∧ ¬PC, got CCv=%v PC=%v:\n%s", ccv, pc, h)
+		}
+	})
+}
+
+// TestPartitionedConvergenceAfterHeal: with the CCv runtime, replicas
+// that wrote on both sides of a partition converge once connectivity
+// returns and new messages flow — provided some copy survived. Here we
+// keep one process connected to both sides so flooding re-disseminates
+// after the heal.
+func TestPartitionedConvergenceAfterHeal(t *testing.T) {
+	c := core.NewCluster(3, adt.NewWindowArray(1, 3), core.ModeCCv, 11)
+	// Partition {0} | {2}; process 1 stays connected to both.
+	c.Net.Partition([]int{0}, []int{2})
+	c.Invoke(0, "w", 0, 1)
+	c.Invoke(2, "w", 0, 2)
+	c.Net.Run(0)
+	c.Net.Heal()
+	// Flooding via process 1 has already spread both writes (1 was
+	// never cut from either side).
+	c.Settle()
+	if !c.Converged() {
+		t.Fatalf("replicas did not converge after heal: %v / %v / %v",
+			c.Replicas[0].StateKey(), c.Replicas[1].StateKey(), c.Replicas[2].StateKey())
+	}
+}

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/core"
+)
+
+// TestCrashMidRunStillCC: fault injection for experiment E4 — crashing
+// processes mid-run must not compromise the causal consistency of the
+// survivors' histories (wait-free algorithms tolerate any number of
+// crashes, Sec. 6.1).
+func TestCrashMidRunStillCC(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		c := core.NewCluster(4, adt.NewWindowArray(2, 2), core.ModeCC, seed)
+		rng := rand.New(rand.NewSource(seed * 97))
+		val := 1
+		crashed := map[int]bool{}
+		for i := 0; i < 10; i++ {
+			// Crash a random process a third of the way in.
+			if i == 3 {
+				victim := rng.Intn(4)
+				c.Net.Crash(victim)
+				crashed[victim] = true
+			}
+			p := rng.Intn(4)
+			if crashed[p] {
+				continue // crashed processes stop invoking
+			}
+			if rng.Intn(2) == 0 {
+				c.Invoke(p, "w", rng.Intn(2), val)
+				val++
+			} else {
+				c.Invoke(p, "r", rng.Intn(2))
+			}
+			for d := rng.Intn(3); d > 0; d-- {
+				c.Net.Step()
+			}
+		}
+		c.Settle()
+		h := c.Recorder.History()
+		ok, _, err := check.CC(h, check.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: crash broke causal consistency:\n%s", seed, h)
+		}
+	}
+}
+
+// TestCrashMidRunCCvStillConverges: same fault injection for the CCv
+// runtime — the survivors must still converge and stay causally
+// convergent.
+func TestCrashMidRunCCvStillConverges(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		c := core.NewCluster(4, adt.NewWindowArray(2, 2), core.ModeCCv, seed)
+		rng := rand.New(rand.NewSource(seed * 89))
+		val := 1
+		victim := rng.Intn(4)
+		for i := 0; i < 10; i++ {
+			if i == 4 {
+				c.Net.Crash(victim)
+			}
+			p := rng.Intn(4)
+			if i >= 4 && p == victim {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				c.Invoke(p, "w", rng.Intn(2), val)
+				val++
+			} else {
+				c.Invoke(p, "r", rng.Intn(2))
+			}
+			for d := rng.Intn(3); d > 0; d-- {
+				c.Net.Step()
+			}
+		}
+		c.Settle()
+		if !c.Converged() {
+			t.Fatalf("seed %d: survivors diverged after crash", seed)
+		}
+		h := c.Recorder.History()
+		ok, _, err := check.CCv(h, check.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: crash broke causal convergence:\n%s", seed, h)
+		}
+	}
+}
+
+// TestUniformReliabilityAtRuntime: if any survivor applied an update
+// from a crashed origin, every survivor eventually applies it (the
+// flooding layer's uniform agreement, observed at the replica level).
+func TestUniformReliabilityAtRuntime(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		c := core.NewCluster(4, adt.NewWindowArray(1, 4), core.ModeCC, seed)
+		c.Invoke(0, "w", 0, 42)
+		// Deliver a random number of messages, then crash the origin.
+		rng := rand.New(rand.NewSource(seed))
+		for d := rng.Intn(4); d > 0; d-- {
+			c.Net.Step()
+		}
+		c.Net.Crash(0)
+		c.Settle()
+		sawIt := 0
+		for p := 1; p < 4; p++ {
+			out := c.Invoke(p, "r", 0)
+			if out.Vals[len(out.Vals)-1] == 42 {
+				sawIt++
+			}
+		}
+		if sawIt != 0 && sawIt != 3 {
+			t.Fatalf("seed %d: uniform reliability violated: %d/3 survivors saw the update", seed, sawIt)
+		}
+	}
+}

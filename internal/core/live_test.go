@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// TestLiveClusterConcurrent drives the CC runtime over the goroutine
+// transport with genuinely concurrent invokers, then checks the
+// recorded history. This is the same code path the examples use and
+// the main workout for the delivery-serialization logic under -race.
+func TestLiveClusterConcurrent(t *testing.T) {
+	c := core.NewLiveCluster(3, adt.NewWindowArray(2, 2), core.ModeCC)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := c.Replicas[p]
+			r.Invoke(spec.NewInput("w", p%2, p+1))
+			r.Invoke(spec.NewInput("r", p%2))
+			r.Invoke(spec.NewInput("w", (p+1)%2, p+4))
+		}(p)
+	}
+	wg.Wait()
+	c.Net.Quiesce()
+	// All replicas have applied all 6 updates.
+	for p, r := range c.Replicas {
+		if got := r.Stats().Applied; got != 6 {
+			t.Fatalf("replica %d applied %d updates, want 6", p, got)
+		}
+	}
+	h := c.Recorder.History()
+	ok, _, err := check.CC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("live CC run violated causal consistency:\n%s", h)
+	}
+}
+
+// TestLiveClusterCCvConverges: concurrent writers over the live
+// transport still converge under CCv once quiescent.
+func TestLiveClusterCCvConverges(t *testing.T) {
+	c := core.NewLiveCluster(4, adt.NewWindowArray(2, 3), core.ModeCCv)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := c.Replicas[p]
+			for i := 0; i < 10; i++ {
+				r.Invoke(spec.NewInput("w", i%2, p*100+i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	c.Net.Quiesce()
+	key := c.Replicas[0].StateKey()
+	for p := 1; p < 4; p++ {
+		if got := c.Replicas[p].StateKey(); got != key {
+			t.Fatalf("replica %d state %q differs from replica 0 %q", p, got, key)
+		}
+	}
+	// The op logs carry all 40 updates; compaction reclaims them all
+	// once every process has been heard from.
+	for p, r := range c.Replicas {
+		if r.LogLen() != 40 {
+			t.Fatalf("replica %d log has %d entries, want 40", p, r.LogLen())
+		}
+		if removed := r.CompactLog(); removed == 0 {
+			t.Fatalf("replica %d compacted nothing after full exchange", p)
+		}
+	}
+}
+
+// TestLiveClusterQueue: mixed update+query operations (pop) behave over
+// the live transport, and the recorded history checks out.
+func TestLiveClusterQueue(t *testing.T) {
+	c := core.NewLiveCluster(2, adt.Queue{}, core.ModeCC)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := c.Replicas[p]
+			r.Invoke(spec.NewInput("push", p+1))
+			r.Invoke(spec.NewInput("pop"))
+			r.Invoke(spec.NewInput("pop"))
+		}(p)
+	}
+	wg.Wait()
+	c.Net.Quiesce()
+	h := c.Recorder.History()
+	ok, _, err := check.CC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("live CC queue run violated causal consistency:\n%s", h)
+	}
+}

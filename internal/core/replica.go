@@ -1,0 +1,336 @@
+// Package core is the paper's primary contribution made runnable: a
+// wait-free replicated-object runtime for arbitrary abstract data
+// types, parameterized by consistency criterion. Every replica holds a
+// full copy of the object; operations complete without waiting for any
+// other process (Sec. 6.1), queries read local state, updates are
+// disseminated by broadcast and applied on delivery.
+//
+// The criterion is selected by the delivery discipline and the state
+// representation:
+//
+//   - CC  — causal broadcast, apply on delivery (generalizes Fig. 4
+//     from window-stream arrays to any ADT; Prop. 6's proof only uses
+//     the causal delivery order and local application, so the
+//     construction stays causally consistent for every ADT).
+//   - PC  — FIFO broadcast, apply on delivery (pipelined consistency;
+//     the PRAM construction).
+//   - EC  — unordered reliable broadcast; updates carry Lamport
+//     timestamps and are folded in timestamp order, so replicas
+//     converge but causality may be violated (eventual consistency
+//     without the causal guarantees).
+//   - CCv — causal broadcast plus Lamport timestamps, updates folded
+//     in timestamp order (generalizes Fig. 5; the shared total order
+//     is the timestamp order, which extends the causal order).
+//
+// SC (sequential consistency) is deliberately not in this list: it
+// cannot be wait-free (Sec. 1); see SCReplica.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/broadcast"
+	"repro/internal/net"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Mode selects the consistency criterion a replica implements.
+type Mode int
+
+// The wait-free modes.
+const (
+	ModeCC Mode = iota
+	ModePC
+	ModeEC
+	ModeCCv
+)
+
+// String returns the criterion abbreviation.
+func (m Mode) String() string {
+	switch m {
+	case ModeCC:
+		return "CC"
+	case ModePC:
+		return "PC"
+	case ModeEC:
+		return "EC"
+	case ModeCCv:
+		return "CCv"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// updMsg is the broadcast payload: one update operation.
+type updMsg struct {
+	In spec.Input
+	TS vclock.Timestamp // EC/CCv modes only
+}
+
+// stampedOp is a log entry for the timestamp-ordered modes.
+type stampedOp struct {
+	ts vclock.Timestamp
+	in spec.Input
+}
+
+// Replica is one process's copy of a shared object. All methods are
+// safe for concurrent use; Invoke never blocks on communication
+// (wait-freedom), so its latency is independent of network delays and
+// of other processes' failures.
+type Replica struct {
+	mu      sync.Mutex
+	ownCond *sync.Cond
+	id      int
+	t       spec.ADT
+	mode    Mode
+	bc      broadcast.Broadcaster
+	rec     *trace.Recorder
+	stats   Stats
+
+	// Apply-on-delivery modes (CC, PC).
+	state spec.State
+
+	// Timestamp-ordered modes (EC, CCv).
+	clock vclock.Lamport
+	log   []stampedOp
+	// base is the fold of the compacted (garbage-collected) stable
+	// prefix of the log; see CompactLog.
+	base spec.State
+	// lastVT[q] is the largest Lamport time seen from origin q, used
+	// to determine which log prefix is stable.
+	lastVT []int
+	// Replay cache: cacheState is the fold of base plus log[:cacheLen].
+	cacheState spec.State
+	cacheLen   int
+
+	// Output of this replica's own update deliveries, in order
+	// (local delivery is synchronous inside Broadcast).
+	ownOuts []spec.Output
+}
+
+// Stats counts a replica's activity.
+type Stats struct {
+	Invocations int64
+	Updates     int64
+	Queries     int64
+	Applied     int64 // update deliveries applied (own + remote)
+}
+
+// NewReplica creates the replica for process id over the transport and
+// registers its delivery handler. rec may be nil (no recording).
+func NewReplica(tr net.Transport, id int, t spec.ADT, mode Mode, rec *trace.Recorder) *Replica {
+	r := &Replica{id: id, t: t, mode: mode, rec: rec, state: t.Init()}
+	r.ownCond = sync.NewCond(&r.mu)
+	r.base = t.Init()
+	r.cacheState = r.base
+	r.lastVT = make([]int, tr.N())
+	switch mode {
+	case ModeCC, ModeCCv:
+		r.bc = broadcast.NewCausal(tr, id, r.onDeliver)
+	case ModePC:
+		r.bc = broadcast.NewFIFO(tr, id, r.onDeliver)
+	case ModeEC:
+		r.bc = broadcast.NewReliable(tr, id, r.onDeliver)
+	default:
+		panic(fmt.Sprintf("core: unknown mode %v", mode))
+	}
+	return r
+}
+
+// ID returns the replica's process id.
+func (r *Replica) ID() int { return r.id }
+
+// Mode returns the replica's consistency mode.
+func (r *Replica) Mode() Mode { return r.mode }
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// DisableRecording detaches the trace recorder, for long benchmark runs
+// whose histories would otherwise grow without bound. Call it before
+// invoking operations; it is not synchronized with concurrent Invokes.
+func (r *Replica) DisableRecording() { r.rec = nil }
+
+// Invoke executes one operation on the shared object and returns its
+// output. Pure queries read the local state; updates are broadcast and
+// take effect at every replica upon delivery (immediately at the
+// caller). The call never waits for the network.
+func (r *Replica) Invoke(in spec.Input) spec.Output {
+	isUpdate := r.t.IsUpdate(in)
+	var out spec.Output
+	if isUpdate {
+		var ts vclock.Timestamp
+		if r.mode == ModeEC || r.mode == ModeCCv {
+			r.mu.Lock()
+			ts = vclock.Timestamp{VT: r.clock.Time() + 1, PID: r.id} // Fig. 5 line 8: vtime+1
+			r.mu.Unlock()
+		}
+		// Local delivery is immediate: on the single-threaded simulator
+		// it happens synchronously inside Broadcast; on the live
+		// transport it may be handed to a concurrent delivery drainer,
+		// so wait for it (a local computation, not remote progress —
+		// wait-freedom is preserved).
+		r.bc.Broadcast(updMsg{In: in, TS: ts})
+		r.mu.Lock()
+		for len(r.ownOuts) == 0 {
+			r.ownCond.Wait()
+		}
+		out = r.ownOuts[0]
+		r.ownOuts = r.ownOuts[1:]
+		r.stats.Invocations++
+		r.stats.Updates++
+		r.mu.Unlock()
+	} else {
+		r.mu.Lock()
+		q := r.currentStateLocked()
+		_, out = r.t.Step(q, in)
+		r.stats.Invocations++
+		r.stats.Queries++
+		r.mu.Unlock()
+	}
+	if r.rec != nil {
+		r.rec.Record(r.id, in, out)
+	}
+	return out
+}
+
+// Read is a convenience for query methods without arguments.
+func (r *Replica) Read(method string, args ...int) spec.Output {
+	return r.Invoke(spec.NewInput(method, args...))
+}
+
+// onDeliver applies a delivered update.
+func (r *Replica) onDeliver(origin int, payload any) {
+	m, ok := payload.(updMsg)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	var out spec.Output
+	switch r.mode {
+	case ModeCC, ModePC:
+		r.state, out = r.t.Step(r.state, m.In)
+	case ModeEC, ModeCCv:
+		// Fig. 5 line 11: witness the timestamp, then insert the update
+		// at its timestamp-ordered position.
+		r.clock.Witness(m.TS.VT)
+		if m.TS.VT > r.lastVT[origin] {
+			r.lastVT[origin] = m.TS.VT
+		}
+		op := stampedOp{ts: m.TS, in: m.In}
+		pos := sort.Search(len(r.log), func(i int) bool { return m.TS.Less(r.log[i].ts) })
+		r.log = append(r.log, stampedOp{})
+		copy(r.log[pos+1:], r.log[pos:])
+		r.log[pos] = op
+		if pos < r.cacheLen {
+			// Mid-log insertion invalidates the replay cache.
+			r.cacheState = r.base
+			r.cacheLen = 0
+		}
+		if origin == r.id {
+			// The update's own output is computed in the state reached
+			// by the updates that precede it in the shared total order.
+			q := r.replayLocked(pos)
+			_, out = r.t.Step(q, m.In)
+		}
+	}
+	r.stats.Applied++
+	if origin == r.id {
+		r.ownOuts = append(r.ownOuts, out)
+		r.ownCond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// currentStateLocked returns the state a query observes.
+func (r *Replica) currentStateLocked() spec.State {
+	switch r.mode {
+	case ModeCC, ModePC:
+		return r.state
+	default:
+		return r.replayLocked(len(r.log))
+	}
+}
+
+// replayLocked folds base plus log[:n], advancing the cache when
+// possible.
+func (r *Replica) replayLocked(n int) spec.State {
+	if n >= r.cacheLen {
+		q := r.cacheState
+		for i := r.cacheLen; i < n; i++ {
+			q, _ = r.t.Step(q, r.log[i].in)
+		}
+		if n == len(r.log) {
+			r.cacheState, r.cacheLen = q, n
+		}
+		return q
+	}
+	q := r.base
+	for i := 0; i < n; i++ {
+		q, _ = r.t.Step(q, r.log[i].in)
+	}
+	return q
+}
+
+// CompactLog garbage-collects the stable prefix of the timestamp log
+// (EC/CCv modes): an entry is stable once every process has been heard
+// from with a strictly larger Lamport time — causal (hence per-origin
+// FIFO) delivery and clock monotonicity then guarantee no future update
+// can be ordered before it, so the prefix can be folded into a base
+// state without changing any future read. This is the generic
+// counterpart of Fig. 5's built-in truncation to the k newest cells
+// (the window array is, in effect, permanently compacted). It returns
+// the number of entries removed.
+//
+// Stability requires hearing from every process, so a silent process
+// blocks compaction — the classic price of log-based convergence.
+func (r *Replica) CompactLog() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mode != ModeEC && r.mode != ModeCCv {
+		return 0
+	}
+	stable := r.lastVT[0]
+	for _, vt := range r.lastVT[1:] {
+		if vt < stable {
+			stable = vt
+		}
+	}
+	idx := sort.Search(len(r.log), func(i int) bool { return r.log[i].ts.VT > stable })
+	if idx == 0 {
+		return 0
+	}
+	// Fold the prefix into the base and drop it.
+	q := r.base
+	for i := 0; i < idx; i++ {
+		q, _ = r.t.Step(q, r.log[i].in)
+	}
+	r.base = q
+	r.log = append([]stampedOp(nil), r.log[idx:]...)
+	r.cacheState, r.cacheLen = r.base, 0
+	return idx
+}
+
+// StateKey returns the canonical key of the replica's current local
+// state; two replicas with equal keys have converged.
+func (r *Replica) StateKey() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.currentStateLocked().Key()
+}
+
+// LogLen returns the number of updates the replica has applied to its
+// timestamp log (EC/CCv modes).
+func (r *Replica) LogLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.log)
+}

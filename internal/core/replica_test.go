@@ -1,0 +1,271 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// randomRun drives a cluster with a seeded random workload of writes
+// and reads on an array of window streams, interleaving invocations
+// with partial message delivery so that replicas observe genuinely
+// different orders. It keeps histories small enough for the exact
+// checkers.
+func randomRun(t *testing.T, mode core.Mode, seed int64, nProcs, nOps, streams, size int) *core.Cluster {
+	t.Helper()
+	c := core.NewCluster(nProcs, adt.NewWindowArray(streams, size), mode, seed)
+	rng := rand.New(rand.NewSource(seed * 7711))
+	val := 1
+	for i := 0; i < nOps; i++ {
+		p := rng.Intn(nProcs)
+		if rng.Intn(2) == 0 {
+			c.Invoke(p, "w", rng.Intn(streams), val)
+			val++
+		} else {
+			c.Invoke(p, "r", rng.Intn(streams))
+		}
+		// Deliver a random number of pending messages (possibly none),
+		// creating asynchrony between replicas.
+		for d := rng.Intn(4); d > 0; d-- {
+			c.Net.Step()
+		}
+	}
+	c.Settle()
+	return c
+}
+
+// TestProp6RuntimeHistoriesAreCC is Prop. 6 as a test: every history
+// admitted by the generic causal-broadcast replica (the Fig. 4
+// construction generalized to any ADT) is causally consistent — and, a
+// fortiori, pipelined and weakly causally consistent.
+func TestProp6RuntimeHistoriesAreCC(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		c := randomRun(t, core.ModeCC, seed, 3, 9, 2, 2)
+		h := c.Recorder.History()
+		for _, crit := range []check.Criterion{check.CritCC, check.CritPC, check.CritWCC} {
+			ok, _, err := check.Check(crit, h, check.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: %v: %v", seed, crit, err)
+			}
+			if !ok {
+				t.Fatalf("seed %d: ModeCC produced a non-%v history:\n%s", seed, crit, h)
+			}
+		}
+	}
+}
+
+// TestProp7RuntimeHistoriesAreCCv is Prop. 7 as a test: every history
+// admitted by the timestamp-ordered causal replica (the Fig. 5
+// construction generalized) is causally convergent.
+func TestProp7RuntimeHistoriesAreCCv(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		c := randomRun(t, core.ModeCCv, seed, 3, 9, 2, 2)
+		h := c.Recorder.History()
+		for _, crit := range []check.Criterion{check.CritCCv, check.CritWCC} {
+			ok, _, err := check.Check(crit, h, check.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: %v: %v", seed, crit, err)
+			}
+			if !ok {
+				t.Fatalf("seed %d: ModeCCv produced a non-%v history:\n%s", seed, crit, h)
+			}
+		}
+	}
+}
+
+// TestPCRuntimeHistoriesArePC: the FIFO-broadcast replica implements
+// pipelined consistency.
+func TestPCRuntimeHistoriesArePC(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		c := randomRun(t, core.ModePC, seed, 3, 9, 2, 2)
+		h := c.Recorder.History()
+		ok, _, err := check.PC(h, check.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: ModePC produced a non-PC history:\n%s", seed, h)
+		}
+	}
+}
+
+// TestConvergenceAfterQuiescence: the timestamp-ordered modes (EC and
+// CCv) drive every replica to the same state once all messages are
+// delivered — eventual consistency. The apply-on-delivery modes (CC,
+// PC) do NOT guarantee this: causal consistency and convergence are the
+// two irreconcilable branches (Sec. 1).
+func TestConvergenceAfterQuiescence(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeEC, core.ModeCCv} {
+		for seed := int64(1); seed <= 20; seed++ {
+			c := randomRun(t, mode, seed, 4, 20, 3, 2)
+			if !c.Converged() {
+				t.Fatalf("%v seed %d: replicas diverged after quiescence", mode, seed)
+			}
+		}
+	}
+}
+
+// TestCCMayDiverge demonstrates the other side of the dichotomy: with
+// apply-on-delivery and concurrent writes, causally consistent replicas
+// can remain permanently different (the Fig. 3a scenario). We force the
+// adversarial schedule: both processes write before any delivery.
+func TestCCMayDiverge(t *testing.T) {
+	c := core.NewCluster(2, adt.NewWindowArray(1, 2), core.ModeCC, 1)
+	c.Invoke(0, "w", 0, 1)
+	c.Invoke(1, "w", 0, 2)
+	c.Settle()
+	r0 := c.Invoke(0, "r", 0)
+	r1 := c.Invoke(1, "r", 0)
+	if r0.Equal(r1) {
+		t.Fatalf("expected divergence, both read %v", r0)
+	}
+	want := map[string]bool{"(1,2)": true, "(2,1)": true}
+	if !want[r0.String()] || !want[r1.String()] {
+		t.Fatalf("unexpected reads %v / %v", r0, r1)
+	}
+}
+
+// TestECViolatesCausality shows that the unordered (EC) mode can
+// deliver an update before one it causally depends on, which the causal
+// modes preclude: process 1 reads p0's second write while missing its
+// first for a while; with causal delivery the two arrive in order.
+func TestECViolatesCausality(t *testing.T) {
+	// Craft the scenario directly at the delivery layer: p0 writes a
+	// then b; the network delays the first write's messages long past
+	// the second's. Under EC mode, p1 applies w(b) before w(a).
+	c := core.NewCluster(2, adt.NewWindowArray(2, 1), core.ModeEC, 42)
+	c.Net.MinDelay, c.Net.MaxDelay = 50, 60
+	c.Invoke(0, "w", 0, 7) // stream 0 := 7 (the "question")
+	c.Net.MinDelay, c.Net.MaxDelay = 1, 2
+	c.Invoke(0, "w", 1, 8) // stream 1 := 8 (the "answer")
+	// Deliver only the fast message.
+	c.Net.RunFor(10)
+	sawAnswer := c.Invoke(1, "r", 1).Vals[0] == 8
+	sawQuestion := c.Invoke(1, "r", 0).Vals[0] == 7
+	if !sawAnswer || sawQuestion {
+		t.Fatalf("expected EC to expose the answer (got %v) without the question (got %v)", sawAnswer, sawQuestion)
+	}
+	c.Settle()
+
+	// Same schedule under causal delivery: the answer is buffered until
+	// the question arrives.
+	cc := core.NewCluster(2, adt.NewWindowArray(2, 1), core.ModeCC, 42)
+	cc.Net.MinDelay, cc.Net.MaxDelay = 50, 60
+	cc.Invoke(0, "w", 0, 7)
+	cc.Net.MinDelay, cc.Net.MaxDelay = 1, 2
+	cc.Invoke(0, "w", 1, 8)
+	cc.Net.RunFor(10)
+	if cc.Invoke(1, "r", 1).Vals[0] == 8 && cc.Invoke(1, "r", 0).Vals[0] != 7 {
+		t.Fatal("causal delivery exposed the answer before the question")
+	}
+	cc.Settle()
+}
+
+// TestWaitFreedomUnderCrash: operations on live replicas complete even
+// when every other process has crashed (wait-freedom, Sec. 6.1).
+func TestWaitFreedomUnderCrash(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeCC, core.ModeCCv, core.ModePC, core.ModeEC} {
+		c := core.NewCluster(3, adt.NewWindowArray(1, 2), mode, 9)
+		c.Net.Crash(1)
+		c.Net.Crash(2)
+		c.Invoke(0, "w", 0, 5)
+		out := c.Invoke(0, "r", 0)
+		if got := out.Vals[1]; got != 5 {
+			t.Fatalf("%v: survivor read %v, want own write 5", mode, out)
+		}
+		c.Settle()
+	}
+}
+
+// TestMixedUpdateQueryOps exercises an ADT whose operations are both
+// update and query (the queue's pop) under each wait-free mode: outputs
+// must be computed against the mode's own notion of current state, and
+// the recorded histories must satisfy the mode's criterion.
+func TestMixedUpdateQueryOps(t *testing.T) {
+	for _, tc := range []struct {
+		mode core.Mode
+		crit check.Criterion
+	}{{core.ModeCC, check.CritCC}, {core.ModeCCv, check.CritCCv}, {core.ModePC, check.CritPC}} {
+		for seed := int64(1); seed <= 10; seed++ {
+			c := core.NewCluster(2, adt.Queue{}, tc.mode, seed)
+			rng := rand.New(rand.NewSource(seed))
+			v := 1
+			for i := 0; i < 8; i++ {
+				p := rng.Intn(2)
+				if rng.Intn(2) == 0 {
+					c.Invoke(p, "push", v)
+					v++
+				} else {
+					c.Invoke(p, "pop")
+				}
+				for d := rng.Intn(3); d > 0; d-- {
+					c.Net.Step()
+				}
+			}
+			c.Settle()
+			h := c.Recorder.History()
+			ok, _, err := check.Check(tc.crit, h, check.Options{})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", tc.mode, seed, err)
+			}
+			if !ok {
+				t.Fatalf("%v seed %d: queue history violates %v:\n%s", tc.mode, seed, tc.crit, h)
+			}
+		}
+	}
+}
+
+// TestSCClusterIsSC drives the blocking sequentially consistent
+// replica over the live transport and checks the recorded history with
+// the SC checker.
+func TestSCClusterIsSC(t *testing.T) {
+	c := core.NewSCCluster(3, adt.NewWindowStream(2))
+	defer c.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := c.Replicas[p]
+			r.Invoke(spec.NewInput("w", p+1))
+			r.Invoke(spec.NewInput("r"))
+			r.Invoke(spec.NewInput("w", p+4))
+			r.Invoke(spec.NewInput("r"))
+		}(p)
+	}
+	wg.Wait()
+	c.Net.Quiesce()
+	h := c.Recorder.History()
+	ok, _, err := check.SC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("SC cluster produced a non-SC history:\n%s", h)
+	}
+}
+
+// TestStatsAccounting sanity-checks the replica counters: one broadcast
+// per update, zero per query (the message-economy shape of Fig. 4).
+func TestStatsAccounting(t *testing.T) {
+	c := core.NewCluster(3, adt.NewWindowArray(1, 2), core.ModeCC, 5)
+	c.Invoke(0, "w", 0, 1)
+	c.Invoke(0, "r", 0)
+	c.Invoke(0, "r", 0)
+	c.Settle()
+	st := c.Replicas[0].Stats()
+	if st.Updates != 1 || st.Queries != 2 {
+		t.Fatalf("stats = %+v, want 1 update / 2 queries", st)
+	}
+	// All three replicas applied the single update exactly once.
+	for p, r := range c.Replicas {
+		if got := r.Stats().Applied; got != 1 {
+			t.Fatalf("replica %d applied %d updates, want 1", p, got)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+)
+
+// TestOperationLatencyIndependentOfDelays is the wait-freedom claim of
+// Sec. 1 as an invariant: no Invoke on the weak-criteria replicas ever
+// advances simulated time, for any message-delay distribution — the
+// operation completes at the instant it is invoked, while convergence
+// time scales with the delays.
+func TestOperationLatencyIndependentOfDelays(t *testing.T) {
+	for _, mode := range []Mode{ModeCC, ModeCCv, ModePC, ModeEC} {
+		var prevConv float64
+		for _, scale := range []float64{1, 100} {
+			c := NewCluster(3, adt.NewWindowArray(2, 2), mode, 5)
+			c.DisableRecording()
+			c.Net.MinDelay = scale
+			c.Net.MaxDelay = 10 * scale
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 100; i++ {
+				p := rng.Intn(3)
+				before := c.Net.Now()
+				if rng.Intn(2) == 0 {
+					c.Invoke(p, "w", rng.Intn(2), i+1)
+				} else {
+					c.Invoke(p, "r", rng.Intn(2))
+				}
+				if after := c.Net.Now(); after != before {
+					t.Fatalf("%v scale=%g: operation %d advanced sim time %g -> %g (not wait-free)",
+						mode, scale, i, before, after)
+				}
+				if rng.Intn(3) == 0 {
+					c.Net.Step()
+				}
+			}
+			c.Settle()
+			conv := c.Net.Now()
+			if scale > 1 && conv <= prevConv {
+				t.Fatalf("%v: convergence time %g at scale %g not larger than %g at scale 1 — delays must cost quiescence, not operations",
+					mode, conv, scale, prevConv)
+			}
+			prevConv = conv
+		}
+	}
+}

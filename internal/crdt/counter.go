@@ -1,0 +1,107 @@
+package crdt
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/net"
+)
+
+// gcEff is the effect of a GCounter increment: the origin's entry grew
+// by Delta. Effects on different entries commute; effects on the same
+// entry are totally ordered by FIFO (a fortiori causal) delivery, and
+// addition commutes anyway.
+type gcEff struct {
+	Origin int
+	Delta  int
+}
+
+// GCounter is a grow-only counter: each process owns one entry of a
+// vector and may only add non-negative amounts to it; the value is the
+// sum of all entries.
+type GCounter struct {
+	node
+	entries []int
+}
+
+// NewGCounter creates the replica of a grow-only counter at process id
+// and registers it with the transport.
+func NewGCounter(t net.Transport, id int) *GCounter {
+	c := &GCounter{entries: make([]int, t.N())}
+	c.init(t, id, c.applyEff)
+	return c
+}
+
+// Inc adds delta (which must be non-negative) to the counter. It is
+// wait-free: the local value reflects the increment on return.
+func (c *GCounter) Inc(delta int) {
+	if delta < 0 {
+		panic(fmt.Sprintf("crdt: GCounter.Inc(%d): negative delta", delta))
+	}
+	c.update(gcEff{Origin: c.id, Delta: delta})
+}
+
+func (c *GCounter) applyEff(_ int, eff any) {
+	e := eff.(gcEff)
+	c.mu.Lock()
+	c.entries[e.Origin] += e.Delta
+	c.mu.Unlock()
+}
+
+// Value returns the current sum of all entries delivered locally.
+func (c *GCounter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := 0
+	for _, e := range c.entries {
+		v += e
+	}
+	return v
+}
+
+// Key returns a canonical digest of the observable state.
+func (c *GCounter) Key() string { return strconv.Itoa(c.Value()) }
+
+// pnEff is the effect of a PNCounter update; Delta may be negative.
+type pnEff struct {
+	Delta int
+}
+
+// PNCounter is a counter supporting increments and decrements. It is
+// the op-based realization of the sequential Counter ADT
+// (internal/adt): since additions commute, any delivery order of the
+// same effect set yields the same value.
+type PNCounter struct {
+	node
+	value int
+}
+
+// NewPNCounter creates the replica of a PN-counter at process id.
+func NewPNCounter(t net.Transport, id int) *PNCounter {
+	c := &PNCounter{}
+	c.init(t, id, c.applyEff)
+	return c
+}
+
+// Inc adds delta to the counter (delta may be any integer).
+func (c *PNCounter) Inc(delta int) { c.update(pnEff{Delta: delta}) }
+
+// Dec subtracts delta from the counter.
+func (c *PNCounter) Dec(delta int) { c.update(pnEff{Delta: -delta}) }
+
+func (c *PNCounter) applyEff(_ int, eff any) {
+	e := eff.(pnEff)
+	c.mu.Lock()
+	c.value += e.Delta
+	c.mu.Unlock()
+}
+
+// Value returns the sum of all deltas delivered locally.
+func (c *PNCounter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// Key returns a canonical digest of the observable state.
+func (c *PNCounter) Key() string { return strconv.Itoa(c.Value()) }

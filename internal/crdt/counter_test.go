@@ -1,0 +1,119 @@
+package crdt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestGCounterLocalVisibility(t *testing.T) {
+	g := NewGroup(3, 1, func(nw *sim.Network, id int) *GCounter { return NewGCounter(nw, id) })
+	g.Replicas[0].Inc(5)
+	if got := g.Replicas[0].Value(); got != 5 {
+		t.Fatalf("origin sees %d immediately, want 5", got)
+	}
+	if got := g.Replicas[1].Value(); got != 0 {
+		t.Fatalf("remote sees %d before delivery, want 0", got)
+	}
+	g.Settle()
+	for id, r := range g.Replicas {
+		if got := r.Value(); got != 5 {
+			t.Fatalf("replica %d: value %d after settle, want 5", id, got)
+		}
+	}
+}
+
+func TestGCounterNegativePanics(t *testing.T) {
+	g := NewGroup(2, 1, func(nw *sim.Network, id int) *GCounter { return NewGCounter(nw, id) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inc(-1) did not panic")
+		}
+	}()
+	g.Replicas[0].Inc(-1)
+}
+
+func TestPNCounterConcurrentMix(t *testing.T) {
+	g := NewGroup(3, 7, func(nw *sim.Network, id int) *PNCounter { return NewPNCounter(nw, id) })
+	g.Replicas[0].Inc(10)
+	g.Replicas[1].Dec(4)
+	g.Replicas[2].Inc(1)
+	g.Settle()
+	for id, r := range g.Replicas {
+		if got := r.Value(); got != 7 {
+			t.Fatalf("replica %d: value %d, want 7", id, got)
+		}
+	}
+	if !g.Converged() {
+		t.Fatalf("keys diverged: %v", g.Keys())
+	}
+}
+
+// TestPNCounterCommutes is the op-based CRDT property: any interleaving
+// of the same delta multiset yields the same value. The simulator's
+// random delays produce a different delivery order per seed; the final
+// value must not depend on it.
+func TestPNCounterCommutes(t *testing.T) {
+	deltas := []int{3, -1, 4, -1, 5, -9, 2, 6}
+	want := 0
+	for _, d := range deltas {
+		want += d
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		g := NewGroup(4, seed, func(nw *sim.Network, id int) *PNCounter { return NewPNCounter(nw, id) })
+		for i, d := range deltas {
+			g.Replicas[i%4].Inc(d)
+		}
+		g.Settle()
+		for id, r := range g.Replicas {
+			if got := r.Value(); got != want {
+				t.Fatalf("seed %d replica %d: value %d, want %d", seed, id, got, want)
+			}
+		}
+	}
+}
+
+// TestGCounterQuick: for arbitrary non-negative increments spread over
+// replicas and arbitrary seeds, every replica converges to the total.
+func TestGCounterQuick(t *testing.T) {
+	f := func(incs []uint8, seed int64) bool {
+		if len(incs) > 24 {
+			incs = incs[:24]
+		}
+		n := 3
+		g := NewGroup(n, seed, func(nw *sim.Network, id int) *GCounter { return NewGCounter(nw, id) })
+		want := 0
+		for i, d := range incs {
+			g.Replicas[i%n].Inc(int(d))
+			want += int(d)
+		}
+		g.Settle()
+		for _, r := range g.Replicas {
+			if r.Value() != want {
+				return false
+			}
+		}
+		return g.Converged()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCounterCrashedOriginStillPropagates(t *testing.T) {
+	// Uniform reliability by flooding: once any process has received
+	// p0's increment, every live process eventually gets it from the
+	// flooding relay, even though p0 crashes and its remaining
+	// in-flight copies are lost.
+	g := NewGroup(3, 11, func(nw *sim.Network, id int) *GCounter { return NewGCounter(nw, id) })
+	g.Replicas[0].Inc(9)
+	g.Net.Run(1) // exactly one delivery: one of p1/p2 has the message
+	g.Net.Crash(0)
+	g.Settle()
+	for _, id := range []int{1, 2} {
+		if got := g.Replicas[id].Value(); got != 9 {
+			t.Fatalf("replica %d: value %d after origin crash, want 9", id, got)
+		}
+	}
+}

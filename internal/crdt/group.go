@@ -1,0 +1,64 @@
+package crdt
+
+import (
+	"repro/internal/sim"
+)
+
+// Keyer is the convergence surface every replicated type exposes: a
+// canonical digest of its observable state. Two replicas converged
+// exactly when their keys are equal.
+type Keyer interface {
+	Key() string
+}
+
+// Group runs n replicas of one replicated type over the deterministic
+// network simulator — the standard experiment setup: build a group,
+// issue operations at chosen replicas, Settle, then assert
+// convergence.
+type Group[T Keyer] struct {
+	Net      *sim.Network
+	Replicas []T
+}
+
+// NewGroup builds n replicas over a fresh simulated network with the
+// given seed, one replica per process, using mk to construct each.
+func NewGroup[T Keyer](n int, seed int64, mk func(t *sim.Network, id int) T) *Group[T] {
+	nw := sim.New(n, seed)
+	g := &Group[T]{Net: nw, Replicas: make([]T, n)}
+	for i := 0; i < n; i++ {
+		g.Replicas[i] = mk(nw, i)
+	}
+	return g
+}
+
+// Settle delivers every in-flight message (runs the simulator to
+// quiescence).
+func (g *Group[T]) Settle() { g.Net.Run(0) }
+
+// Converged reports whether all live replicas have equal state keys.
+func (g *Group[T]) Converged() bool {
+	var ref string
+	first := true
+	for id, r := range g.Replicas {
+		if g.Net.Crashed(id) {
+			continue
+		}
+		k := r.Key()
+		if first {
+			ref, first = k, false
+		} else if k != ref {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys returns the state key of every replica, crashed or not, for
+// diagnostics.
+func (g *Group[T]) Keys() []string {
+	keys := make([]string, len(g.Replicas))
+	for i, r := range g.Replicas {
+		keys[i] = r.Key()
+	}
+	return keys
+}

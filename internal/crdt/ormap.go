@@ -1,0 +1,166 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/net"
+	"repro/internal/vclock"
+)
+
+// mapPut is the effect of an ORMap put: a tagged value for a key,
+// superseding exactly the tagged values the origin had observed for
+// that key. Concurrent puts to the same key survive side by side.
+type mapPut struct {
+	Key      int
+	Val      int
+	Tag      vclock.Timestamp
+	Replaces []vclock.Timestamp
+}
+
+// mapDel is the effect of an ORMap delete: the observed tags to drop.
+// A put concurrent with the delete survives — put wins, mirroring the
+// OR-set's add-wins resolution.
+type mapDel struct {
+	Key  int
+	Tags []vclock.Timestamp
+}
+
+// taggedVal is one live value of a key.
+type taggedVal struct {
+	val int
+	tag vclock.Timestamp
+}
+
+// ORMap is an observed-remove map from int keys to int values: Put
+// supersedes the values it observed (so a key normally holds one
+// value), Delete removes what it observed, and concurrent Puts to the
+// same key are BOTH kept until a later Put supersedes them — the
+// multi-value conflict surface of the MVRegister, per key, with the
+// observed-remove lifecycle of the ORSet. It is the shape of a
+// replicated document store built on causal delivery.
+type ORMap struct {
+	node
+	entries map[int][]taggedVal
+}
+
+// NewORMap creates the replica of an observed-remove map at process
+// id.
+func NewORMap(t net.Transport, id int) *ORMap {
+	m := &ORMap{entries: make(map[int][]taggedVal)}
+	m.init(t, id, m.applyEff)
+	return m
+}
+
+// Put maps k to v, superseding every value this replica currently
+// sees for k. Wait-free; locally visible on return.
+func (m *ORMap) Put(k, v int) {
+	m.mu.Lock()
+	cur := m.entries[k]
+	replaces := make([]vclock.Timestamp, len(cur))
+	for i, tv := range cur {
+		replaces[i] = tv.tag
+	}
+	eff := mapPut{Key: k, Val: v, Tag: m.stamp(), Replaces: replaces}
+	m.mu.Unlock()
+	m.update(eff)
+}
+
+// Delete removes k as currently observed; a concurrent Put survives.
+// Deleting an absent key is a no-op.
+func (m *ORMap) Delete(k int) {
+	m.mu.Lock()
+	cur := m.entries[k]
+	tags := make([]vclock.Timestamp, len(cur))
+	for i, tv := range cur {
+		tags[i] = tv.tag
+	}
+	m.mu.Unlock()
+	if len(tags) == 0 {
+		return
+	}
+	m.update(mapDel{Key: k, Tags: tags})
+}
+
+func (m *ORMap) applyEff(_ int, eff any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e := eff.(type) {
+	case mapPut:
+		m.witness(e.Tag)
+		m.dropTagsLocked(e.Key, e.Replaces)
+		m.entries[e.Key] = append(m.entries[e.Key], taggedVal{val: e.Val, tag: e.Tag})
+	case mapDel:
+		m.dropTagsLocked(e.Key, e.Tags)
+	default:
+		panic(fmt.Sprintf("crdt: ORMap: unknown effect %T", eff))
+	}
+}
+
+// dropTagsLocked removes the given tags from a key's live list.
+func (m *ORMap) dropTagsLocked(k int, tags []vclock.Timestamp) {
+	cur := m.entries[k]
+	if len(cur) == 0 {
+		return
+	}
+	dead := make(map[vclock.Timestamp]bool, len(tags))
+	for _, t := range tags {
+		dead[t] = true
+	}
+	kept := cur[:0]
+	for _, tv := range cur {
+		if !dead[tv.tag] {
+			kept = append(kept, tv)
+		}
+	}
+	if len(kept) == 0 {
+		delete(m.entries, k)
+	} else {
+		m.entries[k] = kept
+	}
+}
+
+// Get returns the sorted live values of k. Empty means absent; more
+// than one value exposes a concurrent-put conflict for the
+// application to resolve (e.g. by a fresh Put).
+func (m *ORMap) Get(k int) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.entries[k]
+	vals := make([]int, len(cur))
+	for i, tv := range cur {
+		vals[i] = tv.val
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// Contains reports whether k is present.
+func (m *ORMap) Contains(k int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries[k]) > 0
+}
+
+// Keys returns the sorted live keys.
+func (m *ORMap) Keys() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ks := make([]int, 0, len(m.entries))
+	for k := range m.entries {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Key returns a canonical digest of the observable state: every key
+// with its sorted value set.
+func (m *ORMap) Key() string {
+	var b strings.Builder
+	for _, k := range m.Keys() {
+		fmt.Fprintf(&b, "%d:%s;", k, intSetKey(m.Get(k)))
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package crdt
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func mapGroup(n int, seed int64) *Group[*ORMap] {
+	return NewGroup(n, seed, func(nw *sim.Network, id int) *ORMap { return NewORMap(nw, id) })
+}
+
+func TestORMapPutGetDelete(t *testing.T) {
+	g := mapGroup(2, 1)
+	g.Replicas[0].Put(1, 10)
+	g.Replicas[0].Put(2, 20)
+	g.Settle()
+	if got := g.Replicas[1].Get(1); !reflect.DeepEqual(got, []int{10}) {
+		t.Fatalf("Get(1) = %v, want [10]", got)
+	}
+	if got := g.Replicas[1].Keys(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Keys = %v", got)
+	}
+	g.Replicas[1].Delete(1)
+	g.Settle()
+	for id, r := range g.Replicas {
+		if r.Contains(1) {
+			t.Fatalf("replica %d still has key 1 after delete", id)
+		}
+	}
+}
+
+func TestORMapCausalPutSupersedes(t *testing.T) {
+	g := mapGroup(2, 3)
+	g.Replicas[0].Put(5, 1)
+	g.Settle()
+	g.Replicas[1].Put(5, 2) // has seen value 1: supersedes it
+	g.Settle()
+	for id, r := range g.Replicas {
+		if got := r.Get(5); !reflect.DeepEqual(got, []int{2}) {
+			t.Fatalf("replica %d: Get(5) = %v, want [2]", id, got)
+		}
+	}
+}
+
+func TestORMapConcurrentPutsConflict(t *testing.T) {
+	g := mapGroup(2, 5)
+	g.Replicas[0].Put(7, 100)
+	g.Replicas[1].Put(7, 200)
+	g.Settle()
+	want := []int{100, 200}
+	for id, r := range g.Replicas {
+		if got := r.Get(7); !reflect.DeepEqual(got, want) {
+			t.Fatalf("replica %d: Get(7) = %v, want both concurrent values %v", id, got, want)
+		}
+	}
+	// A later put that has seen both resolves the conflict.
+	g.Replicas[0].Put(7, 300)
+	g.Settle()
+	for id, r := range g.Replicas {
+		if got := r.Get(7); !reflect.DeepEqual(got, []int{300}) {
+			t.Fatalf("replica %d: Get(7) = %v after resolving put", id, got)
+		}
+	}
+}
+
+func TestORMapPutWinsOverConcurrentDelete(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := mapGroup(2, seed)
+		g.Replicas[0].Put(3, 1)
+		g.Settle()
+		g.Replicas[0].Put(3, 2) // concurrent with...
+		g.Replicas[1].Delete(3) // ...this delete, which only saw value 1
+		g.Settle()
+		if !g.Converged() {
+			t.Fatalf("seed %d: diverged: %v", seed, g.Keys())
+		}
+		for id, r := range g.Replicas {
+			if got := r.Get(3); !reflect.DeepEqual(got, []int{2}) {
+				t.Fatalf("seed %d replica %d: Get(3) = %v, want put-wins [2]", seed, id, got)
+			}
+		}
+	}
+}
+
+func TestORMapDeleteAbsentNoop(t *testing.T) {
+	g := mapGroup(2, 9)
+	g.Replicas[0].Delete(42)
+	g.Settle()
+	if g.Replicas[1].Contains(42) {
+		t.Fatal("phantom key after deleting absent key")
+	}
+	if !g.Converged() {
+		t.Fatalf("diverged: %v", g.Keys())
+	}
+}
+
+// TestORMapQuick: random put/delete scripts with partial propagation
+// converge on every seed.
+func TestORMapQuick(t *testing.T) {
+	type step struct {
+		Replica uint8
+		K, V    uint8
+		Delete  bool
+	}
+	f := func(script []step, seed int64) bool {
+		if len(script) > 30 {
+			script = script[:30]
+		}
+		n := 3
+		g := mapGroup(n, seed)
+		for i, s := range script {
+			r := g.Replicas[int(s.Replica)%n]
+			k := int(s.K % 5)
+			if s.Delete {
+				r.Delete(k)
+			} else {
+				r.Put(k, int(s.V))
+			}
+			if i%4 == 3 {
+				g.Net.Run(3)
+			}
+		}
+		g.Settle()
+		return g.Converged()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestORMapPartitionSync: the anti-entropy story holds for the map.
+func TestORMapPartitionSync(t *testing.T) {
+	g := mapGroup(2, 21)
+	g.Net.Partition([]int{0}, []int{1})
+	g.Replicas[0].Put(1, 11)
+	g.Replicas[1].Put(2, 22)
+	g.Settle()
+	g.Net.Heal()
+	g.Replicas[0].Sync()
+	g.Replicas[1].Sync()
+	g.Settle()
+	if !g.Converged() {
+		t.Fatalf("diverged after sync: %v", g.Keys())
+	}
+	if got := g.Replicas[0].Keys(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("merged keys %v", got)
+	}
+}

@@ -1,0 +1,211 @@
+package crdt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/net"
+	"repro/internal/vclock"
+)
+
+// rgaInsert is the effect of an RGA insertion: a new element with a
+// unique ID, anchored after an existing element (or rgaHead).
+type rgaInsert struct {
+	After vclock.Timestamp // anchor element; rgaHead for position 0
+	ID    vclock.Timestamp
+	Val   int
+}
+
+// rgaDelete is the effect of an RGA deletion: the element turns into a
+// tombstone (it must survive as an anchor for concurrent inserts).
+type rgaDelete struct {
+	ID vclock.Timestamp
+}
+
+// rgaHead anchors insertions at the beginning of the sequence.
+var rgaHead = vclock.Timestamp{VT: -1, PID: -1}
+
+// rgaElem is one sequence cell; deleted cells remain as tombstones.
+type rgaElem struct {
+	id      vclock.Timestamp
+	val     int
+	deleted bool
+}
+
+// RGA (replicated growable array) is a convergent sequence for
+// collaborative editing, after Roh et al.: each element carries a
+// unique timestamp ID; an insertion is anchored after an existing
+// element and, on application, skips over any elements with larger
+// IDs already sitting right of the anchor. Under causal delivery
+// (the anchor always arrives before elements anchored on it) all
+// replicas order every pair of elements identically, so the sequence
+// converges — the convergence half of the CCI model [23], with
+// intention preservation supplied by the anchor discipline.
+//
+// The value type is int (code points or opaque atom ids); the
+// examples layer renders runes.
+type RGA struct {
+	node
+	elems []rgaElem
+}
+
+// NewRGA creates the replica of a replicated sequence at process id.
+func NewRGA(t net.Transport, id int) *RGA {
+	r := &RGA{}
+	r.init(t, id, r.applyEff)
+	return r
+}
+
+// InsertAt inserts v so that it lands at visible position pos
+// (0 ≤ pos ≤ Len) of this replica's current view. Concurrent inserts
+// at the same position are ordered by their IDs, larger (younger)
+// first, so each editor's consecutive typing stays contiguous.
+func (r *RGA) InsertAt(pos int, v int) {
+	r.mu.Lock()
+	anchor := rgaHead
+	if pos > 0 {
+		i := r.visibleIndexLocked(pos - 1)
+		if i < 0 {
+			r.mu.Unlock()
+			panic(fmt.Sprintf("crdt: RGA.InsertAt(%d): position out of range", pos))
+		}
+		anchor = r.elems[i].id
+	}
+	eff := rgaInsert{After: anchor, ID: r.stamp(), Val: v}
+	r.mu.Unlock()
+	r.update(eff)
+}
+
+// DeleteAt removes the element at visible position pos of this
+// replica's current view.
+func (r *RGA) DeleteAt(pos int) {
+	r.mu.Lock()
+	i := r.visibleIndexLocked(pos)
+	if i < 0 {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("crdt: RGA.DeleteAt(%d): position out of range", pos))
+	}
+	eff := rgaDelete{ID: r.elems[i].id}
+	r.mu.Unlock()
+	r.update(eff)
+}
+
+// visibleIndexLocked maps a visible position to an index into elems,
+// or -1 when out of range. Callers hold r.mu.
+func (r *RGA) visibleIndexLocked(pos int) int {
+	seen := 0
+	for i := range r.elems {
+		if r.elems[i].deleted {
+			continue
+		}
+		if seen == pos {
+			return i
+		}
+		seen++
+	}
+	return -1
+}
+
+func (r *RGA) applyEff(_ int, eff any) {
+	switch e := eff.(type) {
+	case rgaInsert:
+		r.mu.Lock()
+		r.witness(e.ID)
+		// Find the anchor (position -1 = head)...
+		at := -1
+		if e.After != rgaHead {
+			for i := range r.elems {
+				if r.elems[i].id == e.After {
+					at = i
+					break
+				}
+			}
+			if at == -1 {
+				// Causal delivery guarantees the anchor's insert was
+				// applied first; reaching here is a protocol bug.
+				r.mu.Unlock()
+				panic(fmt.Sprintf("crdt: RGA: anchor %s not found", e.After))
+			}
+		}
+		// ...then skip right over elements with larger IDs. This is
+		// the RGA ordering rule: it totally orders the children of a
+		// common anchor by descending ID at every replica.
+		at++
+		for at < len(r.elems) && e.ID.Less(r.elems[at].id) {
+			at++
+		}
+		r.elems = append(r.elems, rgaElem{})
+		copy(r.elems[at+1:], r.elems[at:])
+		r.elems[at] = rgaElem{id: e.ID, val: e.Val}
+		r.mu.Unlock()
+	case rgaDelete:
+		r.mu.Lock()
+		for i := range r.elems {
+			if r.elems[i].id == e.ID {
+				r.elems[i].deleted = true
+				break
+			}
+		}
+		r.mu.Unlock()
+	default:
+		panic(fmt.Sprintf("crdt: RGA: unknown effect %T", eff))
+	}
+}
+
+// Snapshot returns the visible sequence.
+func (r *RGA) Snapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.elems))
+	for i := range r.elems {
+		if !r.elems[i].deleted {
+			out = append(out, r.elems[i].val)
+		}
+	}
+	return out
+}
+
+// Len returns the number of visible elements.
+func (r *RGA) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.elems {
+		if !r.elems[i].deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the visible sequence as text, interpreting values as
+// runes; non-printable values render as numbers in brackets.
+func (r *RGA) String() string {
+	var b strings.Builder
+	for _, v := range r.Snapshot() {
+		if v >= 32 && v < 0x10ffff {
+			b.WriteRune(rune(v))
+		} else {
+			fmt.Fprintf(&b, "[%d]", v)
+		}
+	}
+	return b.String()
+}
+
+// Key returns a canonical digest of the observable state (the visible
+// sequence with element identities — two replicas agree exactly when
+// their full cell lists agree).
+func (r *RGA) Key() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for i := range r.elems {
+		e := &r.elems[i]
+		if e.deleted {
+			fmt.Fprintf(&b, "(%s:x)", e.id)
+		} else {
+			fmt.Fprintf(&b, "(%s:%d)", e.id, e.val)
+		}
+	}
+	return b.String()
+}

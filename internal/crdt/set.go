@@ -1,0 +1,192 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/net"
+	"repro/internal/vclock"
+)
+
+// orAdd is the effect of an ORSet add: the value and the unique tag
+// minted for this particular add.
+type orAdd struct {
+	Val int
+	Tag vclock.Timestamp
+}
+
+// orRemove is the effect of an ORSet remove: the tags the origin had
+// observed for the value. Adds concurrent with the remove carry tags
+// not in Tags, so they survive — add wins.
+type orRemove struct {
+	Val  int
+	Tags []vclock.Timestamp
+}
+
+// ORSet is an observed-remove set: every add mints a unique tag, and a
+// remove deletes exactly the tags its origin had observed. An element
+// is present when it has at least one live tag. Under causal delivery
+// a remove is never applied before the adds it observed, so the type
+// needs no tombstones; concurrent add/remove of the same element
+// resolves to "add wins".
+type ORSet struct {
+	node
+	tags map[int]map[vclock.Timestamp]bool
+}
+
+// NewORSet creates the replica of an observed-remove set at process id.
+func NewORSet(t net.Transport, id int) *ORSet {
+	s := &ORSet{tags: make(map[int]map[vclock.Timestamp]bool)}
+	s.init(t, id, s.applyEff)
+	return s
+}
+
+// Add inserts v into the set. Wait-free; the element is locally
+// visible on return.
+func (s *ORSet) Add(v int) {
+	s.mu.Lock()
+	eff := orAdd{Val: v, Tag: s.stamp()}
+	s.mu.Unlock()
+	s.update(eff)
+}
+
+// Remove deletes v from the set as currently observed: adds of v this
+// replica has not yet seen are unaffected (add-wins semantics).
+// Removing an absent element is a no-op.
+func (s *ORSet) Remove(v int) {
+	s.mu.Lock()
+	observed := make([]vclock.Timestamp, 0, len(s.tags[v]))
+	for tag := range s.tags[v] {
+		observed = append(observed, tag)
+	}
+	s.mu.Unlock()
+	if len(observed) == 0 {
+		return
+	}
+	s.update(orRemove{Val: v, Tags: observed})
+}
+
+func (s *ORSet) applyEff(_ int, eff any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch e := eff.(type) {
+	case orAdd:
+		s.witness(e.Tag)
+		set := s.tags[e.Val]
+		if set == nil {
+			set = make(map[vclock.Timestamp]bool)
+			s.tags[e.Val] = set
+		}
+		set[e.Tag] = true
+	case orRemove:
+		set := s.tags[e.Val]
+		for _, tag := range e.Tags {
+			delete(set, tag)
+		}
+		if len(set) == 0 {
+			delete(s.tags, e.Val)
+		}
+	default:
+		panic(fmt.Sprintf("crdt: ORSet: unknown effect %T", eff))
+	}
+}
+
+// Contains reports whether v is currently in the set.
+func (s *ORSet) Contains(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tags[v]) > 0
+}
+
+// Elements returns the sorted elements of the set.
+func (s *ORSet) Elements() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vals := make([]int, 0, len(s.tags))
+	for v, set := range s.tags {
+		if len(set) > 0 {
+			vals = append(vals, v)
+		}
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// Key returns a canonical digest of the observable state (the element
+// set; tags are internal).
+func (s *ORSet) Key() string { return intSetKey(s.Elements()) }
+
+// tpEff is the effect of a TwoPhaseSet update.
+type tpEff struct {
+	Val    int
+	Remove bool
+}
+
+// TwoPhaseSet is the remove-wins two-phase set: an element may be
+// added and later removed, but never re-added — removal is permanent.
+// Both operation kinds commute pairwise, so the type converges under
+// any delivery order; it is included as the ablation contrast to
+// ORSet's add-wins resolution.
+type TwoPhaseSet struct {
+	node
+	added   map[int]bool
+	removed map[int]bool
+}
+
+// NewTwoPhaseSet creates the replica of a two-phase set at process id.
+func NewTwoPhaseSet(t net.Transport, id int) *TwoPhaseSet {
+	s := &TwoPhaseSet{added: make(map[int]bool), removed: make(map[int]bool)}
+	s.init(t, id, s.applyEff)
+	return s
+}
+
+// Add inserts v unless it was ever removed (anywhere).
+func (s *TwoPhaseSet) Add(v int) { s.update(tpEff{Val: v}) }
+
+// Remove deletes v permanently: no later or concurrent Add revives it.
+func (s *TwoPhaseSet) Remove(v int) { s.update(tpEff{Val: v, Remove: true}) }
+
+func (s *TwoPhaseSet) applyEff(_ int, eff any) {
+	e := eff.(tpEff)
+	s.mu.Lock()
+	if e.Remove {
+		s.removed[e.Val] = true
+	} else {
+		s.added[e.Val] = true
+	}
+	s.mu.Unlock()
+}
+
+// Contains reports whether v was added and never removed.
+func (s *TwoPhaseSet) Contains(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.added[v] && !s.removed[v]
+}
+
+// Elements returns the sorted elements currently in the set.
+func (s *TwoPhaseSet) Elements() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vals := make([]int, 0, len(s.added))
+	for v := range s.added {
+		if !s.removed[v] {
+			vals = append(vals, v)
+		}
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// Key returns a canonical digest of the observable state.
+func (s *TwoPhaseSet) Key() string { return intSetKey(s.Elements()) }
+
+// intSetKey renders a sorted int slice canonically.
+func intSetKey(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

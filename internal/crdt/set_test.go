@@ -1,0 +1,152 @@
+package crdt
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestORSetAddRemove(t *testing.T) {
+	g := NewGroup(2, 2, func(nw *sim.Network, id int) *ORSet { return NewORSet(nw, id) })
+	g.Replicas[0].Add(1)
+	g.Replicas[0].Add(2)
+	g.Settle()
+	g.Replicas[1].Remove(1)
+	g.Settle()
+	want := []int{2}
+	for id, r := range g.Replicas {
+		if got := r.Elements(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("replica %d: %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestORSetAddWins(t *testing.T) {
+	// p0 re-adds 1 concurrently with p1's remove: the remove only
+	// covers the tag p1 observed, so the concurrent add survives.
+	g := NewGroup(2, 4, func(nw *sim.Network, id int) *ORSet { return NewORSet(nw, id) })
+	g.Replicas[0].Add(1)
+	g.Settle()
+	g.Replicas[0].Add(1)    // concurrent with...
+	g.Replicas[1].Remove(1) // ...this remove
+	g.Settle()
+	for id, r := range g.Replicas {
+		if !r.Contains(1) {
+			t.Fatalf("replica %d: 1 absent, want add-wins semantics", id)
+		}
+	}
+	if !g.Converged() {
+		t.Fatalf("diverged: %v", g.Keys())
+	}
+}
+
+func TestORSetRemoveAbsentIsNoop(t *testing.T) {
+	g := NewGroup(2, 4, func(nw *sim.Network, id int) *ORSet { return NewORSet(nw, id) })
+	g.Replicas[0].Remove(42)
+	g.Settle()
+	if got := g.Replicas[1].Elements(); len(got) != 0 {
+		t.Fatalf("elements %v after removing absent value, want none", got)
+	}
+}
+
+func TestTwoPhaseSetRemoveWins(t *testing.T) {
+	// Same race as TestORSetAddWins, opposite resolution: the 2P-set's
+	// remove is permanent, so the concurrent re-add loses.
+	g := NewGroup(2, 4, func(nw *sim.Network, id int) *TwoPhaseSet { return NewTwoPhaseSet(nw, id) })
+	g.Replicas[0].Add(1)
+	g.Settle()
+	g.Replicas[0].Add(1)
+	g.Replicas[1].Remove(1)
+	g.Settle()
+	for id, r := range g.Replicas {
+		if r.Contains(1) {
+			t.Fatalf("replica %d: 1 present, want remove-wins semantics", id)
+		}
+	}
+	if !g.Converged() {
+		t.Fatalf("diverged: %v", g.Keys())
+	}
+}
+
+func TestTwoPhaseSetNoReAdd(t *testing.T) {
+	g := NewGroup(2, 8, func(nw *sim.Network, id int) *TwoPhaseSet { return NewTwoPhaseSet(nw, id) })
+	g.Replicas[0].Add(5)
+	g.Replicas[0].Remove(5)
+	g.Replicas[0].Add(5) // too late: removal is permanent
+	g.Settle()
+	for id, r := range g.Replicas {
+		if r.Contains(5) {
+			t.Fatalf("replica %d: 5 re-added after removal", id)
+		}
+	}
+}
+
+// TestORSetQuick drives a random script of adds and removes at random
+// replicas under random delivery orders and checks convergence — the
+// strong-EC property of op-based CRDTs over causal broadcast.
+func TestORSetQuick(t *testing.T) {
+	type step struct {
+		Replica uint8
+		Val     uint8
+		Remove  bool
+	}
+	f := func(script []step, seed int64) bool {
+		if len(script) > 30 {
+			script = script[:30]
+		}
+		n := 3
+		g := NewGroup(n, seed, func(nw *sim.Network, id int) *ORSet { return NewORSet(nw, id) })
+		for i, s := range script {
+			r := g.Replicas[int(s.Replica)%n]
+			v := int(s.Val % 8)
+			if s.Remove {
+				r.Remove(v)
+			} else {
+				r.Add(v)
+			}
+			// Occasionally let messages propagate mid-script so
+			// removes get something to observe.
+			if i%5 == 4 {
+				g.Net.Run(3)
+			}
+		}
+		g.Settle()
+		return g.Converged()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoPhaseSetQuick: same script shape, remove-wins resolution,
+// same convergence requirement.
+func TestTwoPhaseSetQuick(t *testing.T) {
+	type step struct {
+		Replica uint8
+		Val     uint8
+		Remove  bool
+	}
+	f := func(script []step, seed int64) bool {
+		if len(script) > 30 {
+			script = script[:30]
+		}
+		n := 3
+		g := NewGroup(n, seed, func(nw *sim.Network, id int) *TwoPhaseSet { return NewTwoPhaseSet(nw, id) })
+		for _, s := range script {
+			r := g.Replicas[int(s.Replica)%n]
+			v := int(s.Val % 8)
+			if s.Remove {
+				r.Remove(v)
+			} else {
+				r.Add(v)
+			}
+		}
+		g.Settle()
+		return g.Converged()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package crdt
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/net"
+)
+
+// State-based CRDTs are the other half of [22]: instead of
+// disseminating operations over reliable causal broadcast, a replica
+// occasionally gossips its whole state, and states merge by a
+// join-semilattice join. The trade-off this file makes executable:
+//
+//   - op-based types (the rest of this package) need reliable causal
+//     delivery but send constant-size effects;
+//   - state-based types need NO delivery guarantee at all — messages
+//     may be lost, duplicated or reordered arbitrarily — but ship the
+//     whole state each time.
+//
+// On the simulator, where partitions silently drop messages, the
+// op-based types need anti-entropy (Sync) after healing; the
+// state-based counter just keeps gossiping.
+
+// gossipMsg carries a full state snapshot.
+type gossipMsg struct {
+	Entries []int
+}
+
+// StateGCounter is a state-based grow-only counter: entries[i] counts
+// increments issued at process i; the join is the entrywise maximum;
+// the value is the sum. Any gossip pattern that eventually connects
+// every pair of replicas converges it.
+type StateGCounter struct {
+	mu      sync.Mutex
+	id      int
+	t       net.Transport
+	entries []int
+}
+
+// NewStateGCounter creates the replica at process id and registers it
+// with the transport.
+func NewStateGCounter(t net.Transport, id int) *StateGCounter {
+	c := &StateGCounter{id: id, t: t, entries: make([]int, t.N())}
+	t.Register(id, c.onReceive)
+	return c
+}
+
+// Inc adds delta (non-negative) to this replica's entry. Purely local:
+// nothing is sent until the next Gossip.
+func (c *StateGCounter) Inc(delta int) {
+	if delta < 0 {
+		panic("crdt: StateGCounter.Inc: negative delta")
+	}
+	c.mu.Lock()
+	c.entries[c.id] += delta
+	c.mu.Unlock()
+}
+
+// Gossip sends this replica's state to every other process. Loss,
+// duplication and reordering are all harmless: the join is
+// idempotent, commutative and monotone.
+func (c *StateGCounter) Gossip() {
+	c.mu.Lock()
+	snapshot := append([]int(nil), c.entries...)
+	c.mu.Unlock()
+	for q := 0; q < c.t.N(); q++ {
+		if q != c.id {
+			c.t.Send(c.id, q, gossipMsg{Entries: snapshot})
+		}
+	}
+}
+
+// onReceive merges an incoming snapshot (entrywise max).
+func (c *StateGCounter) onReceive(_ int, payload any) {
+	m, ok := payload.(gossipMsg)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	for i, e := range m.Entries {
+		if i < len(c.entries) && e > c.entries[i] {
+			c.entries[i] = e
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Value returns the sum of all entries.
+func (c *StateGCounter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := 0
+	for _, e := range c.entries {
+		v += e
+	}
+	return v
+}
+
+// Key returns a canonical digest of the observable state.
+func (c *StateGCounter) Key() string { return strconv.Itoa(c.Value()) }

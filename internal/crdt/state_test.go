@@ -1,0 +1,107 @@
+package crdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestStateGCounterBasicConvergence(t *testing.T) {
+	g := NewGroup(3, 1, func(nw *sim.Network, id int) *StateGCounter { return NewStateGCounter(nw, id) })
+	g.Replicas[0].Inc(5)
+	g.Replicas[1].Inc(3)
+	for _, r := range g.Replicas {
+		r.Gossip()
+	}
+	g.Settle()
+	for id, r := range g.Replicas {
+		if got := r.Value(); got != 8 {
+			t.Fatalf("replica %d: value %d, want 8", id, got)
+		}
+	}
+}
+
+// TestStateGCounterSurvivesMessageLoss is the state-based family's
+// selling point: drop gossip arbitrarily (partition with no
+// anti-entropy, duplicate gossip rounds) and a single surviving round
+// still converges everything — no reliable broadcast underneath.
+func TestStateGCounterSurvivesMessageLoss(t *testing.T) {
+	g := NewGroup(2, 3, func(nw *sim.Network, id int) *StateGCounter { return NewStateGCounter(nw, id) })
+	g.Net.Partition([]int{0}, []int{1})
+	g.Replicas[0].Inc(4)
+	g.Replicas[1].Inc(6)
+	g.Replicas[0].Gossip() // dropped by the partition
+	g.Replicas[1].Gossip() // dropped by the partition
+	g.Settle()
+	if g.Converged() {
+		t.Fatal("converged across a partition")
+	}
+	g.Net.Heal()
+	// One post-heal gossip round suffices — no Sync/anti-entropy
+	// needed, unlike the op-based types (TestSyncHealsPartition).
+	g.Replicas[0].Gossip()
+	g.Replicas[1].Gossip()
+	g.Settle()
+	if !g.Converged() {
+		t.Fatalf("diverged after gossip: %v", g.Keys())
+	}
+	if got := g.Replicas[0].Value(); got != 10 {
+		t.Fatalf("value %d, want 10", got)
+	}
+}
+
+// TestStateGCounterDuplicationIsHarmless: the join is idempotent, so
+// gossiping the same state many times cannot overcount.
+func TestStateGCounterDuplicationIsHarmless(t *testing.T) {
+	g := NewGroup(3, 5, func(nw *sim.Network, id int) *StateGCounter { return NewStateGCounter(nw, id) })
+	g.Replicas[0].Inc(7)
+	for i := 0; i < 5; i++ {
+		g.Replicas[0].Gossip()
+		g.Settle()
+	}
+	for id, r := range g.Replicas {
+		if got := r.Value(); got != 7 {
+			t.Fatalf("replica %d: value %d after duplicate gossip, want 7", id, got)
+		}
+	}
+}
+
+// TestStateGCounterRandomGossip: random increments, random gossip,
+// random partitions; after a heal and one all-pairs gossip round the
+// replicas agree on the total of all increments.
+func TestStateGCounterRandomGossip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		g := NewGroup(n, seed, func(nw *sim.Network, id int) *StateGCounter { return NewStateGCounter(nw, id) })
+		want := 0
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(6) {
+			case 0:
+				g.Net.Partition([]int{rng.Intn(n)}, []int{(rng.Intn(n-1) + 1 + rng.Intn(n)) % n})
+			case 1:
+				g.Net.Heal()
+			case 2:
+				g.Replicas[rng.Intn(n)].Gossip()
+			default:
+				d := rng.Intn(4)
+				g.Replicas[rng.Intn(n)].Inc(d)
+				want += d
+			}
+			if rng.Intn(3) == 0 {
+				g.Net.Run(rng.Intn(5))
+			}
+		}
+		g.Net.Heal()
+		for _, r := range g.Replicas {
+			r.Gossip()
+		}
+		g.Settle()
+		for id, r := range g.Replicas {
+			if got := r.Value(); got != want {
+				t.Fatalf("seed %d: replica %d value %d, want %d", seed, id, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets for the two text formats the CLI accepts. Run
+// with `go test -fuzz=FuzzParse ./internal/history` for continuous
+// fuzzing; under plain `go test` the seed corpus below runs as a
+// regression suite. The invariant in both cases: arbitrary input must
+// produce either a usable value or an error — never a panic, and
+// never both.
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"adt: W2\np0: w(1) r/(0,1) r/(1,2)*\np1: w(2) r/(0,2) r/(1,2)*\n",
+		"adt: Register\np0: w(1) r/1\n",
+		"adt: M[a-c]\np0: wa(1) rb/0\np1: wb(2) ra/1\n",
+		"adt: Queue\np0: push(1) pop/1\n",
+		"adt: Counter\np0: inc(2) get/2\np1: get/0*\n",
+		"# comment\nadt: W2\n\np0: w(1)\n",
+		"adt: Nope\np0: w(1)\n",
+		"p0: w(1)\n",
+		"adt: W2\nbroken line\n",
+		"adt: W2\np0: r/(1\n",
+		"adt: W2\np0: w(1)* r/(0,1)\n", // ω before end of process
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		// ω-misplacement is a documented builder panic (caller bug in
+		// programmatic use); the parser converts it into an error
+		// before reaching the builder — except the "ω not maximal"
+		// case, which Build reports by panic. Treat that one panic as
+		// an expected rejection.
+		defer func() {
+			if r := recover(); r != nil {
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "ω") && !strings.Contains(msg, "omega") {
+					panic(r)
+				}
+			}
+		}()
+		h, err := Parse(text)
+		if err == nil && h == nil {
+			t.Fatal("Parse returned neither history nor error")
+		}
+		if err != nil && h != nil {
+			t.Fatal("Parse returned both history and error")
+		}
+		if h != nil {
+			// The parsed history must be internally consistent.
+			_ = h.String()
+			if h.N() != len(h.Events) {
+				t.Fatal("event count mismatch")
+			}
+		}
+	})
+}
+
+func FuzzParseTimed(f *testing.F) {
+	seeds := []string{
+		"adt: Register\np0: [0,1]w(1)\np1: [2,3]r/0\n",
+		"adt: Register\np0: [0,inf]w(7)\n",
+		"adt: W2\np0: [0,1]w(1) [2,3]r/(0,1)\n",
+		"adt: Register\np0: [1,0]w(1)\n", // inverted interval: parser accepts, checker rejects
+		"adt: Register\np0: [x,1]w(1)\n",
+		"adt: Register\np0: w(1)\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		adtT, evs, err := ParseTimed(text)
+		if err == nil && adtT == nil {
+			t.Fatal("ParseTimed returned neither ADT nor error")
+		}
+		if err == nil {
+			for _, ev := range evs {
+				if ev.Proc < 0 {
+					t.Fatal("negative process index")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Package history implements the execution facet of the paper:
+// distributed histories (Def. 4) as labelled partial orders of events,
+// with program order, processes as maximal chains, projections, and an
+// ω-marking mechanism that encodes the infinite-history semantics the
+// causal-order definitions rely on (Def. 7).
+//
+// # ω-events and cofiniteness
+//
+// The paper's causal orders must satisfy cofiniteness: every event is
+// ordered before all but finitely many events. On finite histories this
+// is vacuous, yet several of the paper's examples (e.g. Fig. 3a) only
+// make sense when the drawn history is understood as the prefix of an
+// infinite execution in which the final reads repeat forever. We encode
+// this by allowing the *last* event of a process to carry an ω flag:
+// semantically, the event is repeated infinitely often with the same
+// label. A causal order on such a history must then place every event
+// in the causal past of each ω-event (some repetition of the ω-event
+// lies beyond any finite ignorance window, and all repetitions return
+// the same output).
+package history
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/porder"
+	"repro/internal/spec"
+)
+
+// Event is a single method execution by a process (Sec. 2.2).
+type Event struct {
+	ID    int            // dense index in the history
+	Proc  int            // process (maximal chain) index, -1 if none
+	Op    spec.Operation // label Λ(e)
+	Omega bool           // event repeats infinitely (see package doc)
+}
+
+// History is a distributed history H = (Σ, E, Λ, 7→) over a specific
+// ADT. The program order is stored transitively closed.
+type History struct {
+	ADT    spec.ADT
+	Events []Event
+
+	prog  *porder.Rel // strict program order 7→, transitively closed
+	procs [][]int     // events of each process, in program order
+}
+
+// N returns the number of events.
+func (h *History) N() int { return len(h.Events) }
+
+// Prog returns the strict program order, transitively closed. Callers
+// must not mutate it.
+func (h *History) Prog() *porder.Rel { return h.prog }
+
+// Processes returns the events of each process in program order. For
+// histories built from sequential processes this is the paper's P_H
+// (the maximal chains). Callers must not mutate the returned slices.
+func (h *History) Processes() [][]int { return h.procs }
+
+// ProcEvents returns the bitset of events belonging to process p.
+func (h *History) ProcEvents(p int) porder.Bitset {
+	b := porder.NewBitset(h.N())
+	for _, e := range h.procs[p] {
+		b.Set(e)
+	}
+	return b
+}
+
+// Updates returns the bitset of events labelled with update inputs.
+func (h *History) Updates() porder.Bitset {
+	b := porder.NewBitset(h.N())
+	for _, e := range h.Events {
+		if h.ADT.IsUpdate(e.Op.In) {
+			b.Set(e.ID)
+		}
+	}
+	return b
+}
+
+// Queries returns the bitset of events labelled with query inputs.
+func (h *History) Queries() porder.Bitset {
+	b := porder.NewBitset(h.N())
+	for _, e := range h.Events {
+		if h.ADT.IsQuery(e.Op.In) {
+			b.Set(e.ID)
+		}
+	}
+	return b
+}
+
+// OmegaEvents returns the bitset of ω-flagged events.
+func (h *History) OmegaEvents() porder.Bitset {
+	b := porder.NewBitset(h.N())
+	for _, e := range h.Events {
+		if e.Omega {
+			b.Set(e.ID)
+		}
+	}
+	return b
+}
+
+// HasOmega reports whether any event is ω-flagged.
+func (h *History) HasOmega() bool {
+	for _, e := range h.Events {
+		if e.Omega {
+			return true
+		}
+	}
+	return false
+}
+
+// StripOmega returns a copy of the history with all ω flags cleared,
+// i.e. the literal finite history. Events and order are shared
+// structurally (both are immutable by convention).
+func (h *History) StripOmega() *History {
+	events := make([]Event, len(h.Events))
+	copy(events, h.Events)
+	for i := range events {
+		events[i].Omega = false
+	}
+	return &History{ADT: h.ADT, Events: events, prog: h.prog, procs: h.procs}
+}
+
+// Ops returns the operations of the given event ids in order.
+func (h *History) Ops(ids []int) []spec.Operation {
+	ops := make([]spec.Operation, len(ids))
+	for i, id := range ids {
+		ops[i] = h.Events[id].Op
+	}
+	return ops
+}
+
+// String renders the history one process per line, using the text
+// format understood by Parse.
+func (h *History) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "adt: %s\n", h.ADT.Name())
+	for p, evs := range h.procs {
+		fmt.Fprintf(&b, "p%d:", p)
+		for _, id := range evs {
+			b.WriteByte(' ')
+			b.WriteString(h.Events[id].Op.String())
+			if h.Events[id].Omega {
+				b.WriteByte('*')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FromProcesses builds a history from per-process operation sequences,
+// the standard "collection of disjoint maximal chains" model of
+// communicating sequential processes.
+func FromProcesses(t spec.ADT, procs [][]spec.Operation) *History {
+	b := NewBuilder(t)
+	for p, ops := range procs {
+		for _, op := range ops {
+			b.Append(p, op)
+		}
+	}
+	return b.Build()
+}
+
+// Builder constructs histories incrementally. Events gain program-order
+// edges from the previous event of the same process automatically;
+// extra edges (for fork/join-style program orders) can be added with
+// Edge.
+type Builder struct {
+	adt    spec.ADT
+	events []Event
+	edges  [][2]int
+	last   map[int]int // proc -> last event id
+	procs  []int       // distinct procs in first-seen order
+}
+
+// NewBuilder returns an empty builder for the given ADT.
+func NewBuilder(t spec.ADT) *Builder {
+	return &Builder{adt: t, last: make(map[int]int)}
+}
+
+// Append adds an event for process proc with the given operation and
+// returns its id.
+func (b *Builder) Append(proc int, op spec.Operation) int {
+	id := len(b.events)
+	b.events = append(b.events, Event{ID: id, Proc: proc, Op: op})
+	if prev, ok := b.last[proc]; ok {
+		b.edges = append(b.edges, [2]int{prev, id})
+	} else {
+		b.procs = append(b.procs, proc)
+	}
+	b.last[proc] = id
+	return id
+}
+
+// AppendOmega adds an ω-flagged event (one that conceptually repeats
+// forever; it must end its process).
+func (b *Builder) AppendOmega(proc int, op spec.Operation) int {
+	id := b.Append(proc, op)
+	b.events[id].Omega = true
+	return id
+}
+
+// Edge adds an extra program-order edge from event i to event j,
+// allowing general partial orders (forks, joins, sensor networks —
+// Sec. 2.2's general model).
+func (b *Builder) Edge(i, j int) {
+	b.edges = append(b.edges, [2]int{i, j})
+}
+
+// Build finalizes the history. It panics if the program order has a
+// cycle or an ω-event is not maximal in its process — both are caller
+// bugs, not data-dependent conditions.
+func (b *Builder) Build() *History {
+	n := len(b.events)
+	rel := porder.NewRel(n)
+	for _, e := range b.edges {
+		rel.Add(e[0], e[1])
+	}
+	if rel.HasCycle() {
+		panic("history: program order has a cycle")
+	}
+	prog := rel.TransitiveClosure()
+
+	// Renumber processes densely in first-seen order.
+	procIdx := make(map[int]int, len(b.procs))
+	for i, p := range b.procs {
+		procIdx[p] = i
+	}
+	procs := make([][]int, len(b.procs))
+	events := make([]Event, n)
+	copy(events, b.events)
+	for i := range events {
+		pi := procIdx[events[i].Proc]
+		events[i].Proc = pi
+		procs[pi] = append(procs[pi], i)
+	}
+	for i := range events {
+		if events[i].Omega {
+			chain := procs[events[i].Proc]
+			if chain[len(chain)-1] != i {
+				panic("history: ω-event must be the last event of its process")
+			}
+		}
+	}
+	return &History{ADT: b.adt, Events: events, prog: prog, procs: procs}
+}

@@ -1,0 +1,169 @@
+package history_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+func TestFromProcesses(t *testing.T) {
+	w2 := adt.NewWindowStream(2)
+	h := history.FromProcesses(w2, [][]spec.Operation{
+		{spec.NewOp(spec.NewInput("w", 1), spec.Bot), spec.NewOp(spec.NewInput("r"), spec.TupleOutput(0, 1))},
+		{spec.NewOp(spec.NewInput("w", 2), spec.Bot)},
+	})
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if len(h.Processes()) != 2 {
+		t.Fatalf("processes = %v", h.Processes())
+	}
+	if !h.Prog().Has(0, 1) {
+		t.Fatal("missing program edge within process 0")
+	}
+	if h.Prog().Has(0, 2) || h.Prog().Has(2, 0) {
+		t.Fatal("cross-process events must be incomparable")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `adt: W2
+p0: w(1) r/(0,1) r/(1,2)*
+p1: w(2) r/(0,2) r/(1,2)*`
+	h := history.MustParse(text)
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.OmegaEvents().Count(); got != 2 {
+		t.Fatalf("ω count = %d", got)
+	}
+	// Re-parse the rendered form.
+	h2 := history.MustParse(h.String())
+	if h2.N() != h.N() || h2.String() != h.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", h, h2)
+	}
+}
+
+func TestParseUpdateTokensGetBotOutput(t *testing.T) {
+	h := history.MustParse("adt: W2\np0: w(1)")
+	op := h.Events[0].Op
+	if op.Hidden || !op.Out.Equal(spec.Bot) {
+		t.Fatalf("w(1) parsed as %v, want visible ⊥", op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"p0: w(1)",               // missing header
+		"adt: Bogus\np0: w(1)",   // unknown ADT
+		"adt: W2\nno colon here", // malformed line
+		"adt: W2\np0: w(",        // malformed op
+	} {
+		if _, err := history.Parse(text); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestUpdatesQueries(t *testing.T) {
+	h := history.MustParse("adt: Queue\np0: push(1) pop/1\np1: push(2)")
+	u := h.Updates()
+	if u.Count() != 3 { // push, pop, push are all updates
+		t.Fatalf("updates = %v", u)
+	}
+	q := h.Queries()
+	if q.Count() != 1 || !q.Has(1) {
+		t.Fatalf("queries = %v", q)
+	}
+}
+
+func TestStripOmega(t *testing.T) {
+	h := history.MustParse("adt: W2\np0: w(1) r/(0,1)*")
+	if !h.HasOmega() {
+		t.Fatal("ω flag lost in parsing")
+	}
+	f := h.StripOmega()
+	if f.HasOmega() {
+		t.Fatal("StripOmega kept a flag")
+	}
+	if h.OmegaEvents().Count() != 1 {
+		t.Fatal("StripOmega mutated the original")
+	}
+}
+
+func TestBuilderEdges(t *testing.T) {
+	// Fork/join: e0 -> e1, e0 -> e2, e1 -> e3, e2 -> e3.
+	w := adt.NewWindowStream(1)
+	b := history.NewBuilder(w)
+	e0 := b.Append(0, spec.NewOp(spec.NewInput("w", 1), spec.Bot))
+	e1 := b.Append(1, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
+	e2 := b.Append(2, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
+	e3 := b.Append(3, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
+	b.Edge(e0, e1)
+	b.Edge(e0, e2)
+	b.Edge(e1, e3)
+	b.Edge(e2, e3)
+	h := b.Build()
+	if !h.Prog().Has(e0, e3) {
+		t.Fatal("transitive closure missing e0 -> e3")
+	}
+	if h.Prog().Has(e1, e2) || h.Prog().Has(e2, e1) {
+		t.Fatal("fork branches must stay incomparable")
+	}
+}
+
+func TestBuilderCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cyclic program order did not panic")
+		}
+	}()
+	b := history.NewBuilder(adt.Register{})
+	e0 := b.Append(0, spec.NewOp(spec.NewInput("w", 1), spec.Bot))
+	e1 := b.Append(1, spec.NewOp(spec.NewInput("w", 2), spec.Bot))
+	b.Edge(e0, e1)
+	b.Edge(e1, e0)
+	b.Build()
+}
+
+func TestOmegaMustBeLastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-final ω event did not panic")
+		}
+	}()
+	b := history.NewBuilder(adt.Register{})
+	b.AppendOmega(0, spec.NewOp(spec.NewInput("r"), spec.IntOutput(0)))
+	b.Append(0, spec.NewOp(spec.NewInput("w", 1), spec.Bot))
+	b.Build()
+}
+
+func TestProcEvents(t *testing.T) {
+	h := history.MustParse("adt: W2\np0: w(1) r/(0,1)\np1: w(2)")
+	p0 := h.ProcEvents(0)
+	if p0.Count() != 2 || !p0.Has(0) || !p0.Has(1) {
+		t.Fatalf("p0 events = %v", p0)
+	}
+}
+
+func TestDot(t *testing.T) {
+	h := history.MustParse("adt: W2\np0: w(1) r/(0,1)\np1: w(2)")
+	dot := h.Dot()
+	for _, want := range []string{"digraph history", "cluster_p0", "cluster_p1", "e0 -> e1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestOps(t *testing.T) {
+	h := history.MustParse("adt: W2\np0: w(1) r/(0,1)")
+	ops := h.Ops([]int{1, 0})
+	if ops[0].In.Method != "r" || ops[1].In.Method != "w" {
+		t.Fatalf("Ops = %v", ops)
+	}
+}

@@ -1,0 +1,116 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/spec"
+)
+
+// Parse reads the textual history format used by the cmd tools and
+// tests:
+//
+//	adt: W2
+//	p0: w(1) r/(0,1) r/(1,2)*
+//	p1: w(2) r/(0,2) r/(1,2)*
+//
+// The first non-empty, non-comment line must name the ADT (see
+// adt.Lookup). Each following line gives one process: a label up to a
+// colon (the label text is ignored beyond ordering) followed by
+// whitespace-separated operations in spec.ParseOperation syntax. A
+// trailing '*' marks the ω-flag (the operation repeats forever; it must
+// be the last of its process). Lines starting with '#' are comments.
+func Parse(text string) (*History, error) {
+	var t spec.ADT
+	var b *Builder
+	proc := 0
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if t == nil {
+			name, ok := strings.CutPrefix(line, "adt:")
+			if !ok {
+				return nil, fmt.Errorf("history: line %d: expected 'adt: <name>' header, got %q", lineNo+1, line)
+			}
+			var err error
+			t, err = adt.Lookup(strings.TrimSpace(name))
+			if err != nil {
+				return nil, fmt.Errorf("history: line %d: %v", lineNo+1, err)
+			}
+			b = NewBuilder(t)
+			continue
+		}
+		_, body, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("history: line %d: expected 'label: ops...', got %q", lineNo+1, line)
+		}
+		for _, tok := range strings.Fields(body) {
+			omega := false
+			if strings.HasSuffix(tok, "*") {
+				omega = true
+				tok = strings.TrimSuffix(tok, "*")
+			}
+			op, err := spec.ParseOperation(tok)
+			if err != nil {
+				return nil, fmt.Errorf("history: line %d: %v", lineNo+1, err)
+			}
+			// A token without '/' denotes a visible operation with the
+			// dummy output ⊥ (the paper elides update outputs in its
+			// figures), not a hidden operation: hiding is performed by
+			// the checkers' projections, never written in source text.
+			if op.Hidden {
+				op = spec.NewOp(op.In, spec.Bot)
+			}
+			if omega {
+				b.AppendOmega(proc, op)
+			} else {
+				b.Append(proc, op)
+			}
+		}
+		proc++
+	}
+	if t == nil {
+		return nil, fmt.Errorf("history: empty input")
+	}
+	return b.Build(), nil
+}
+
+// MustParse is Parse for tests and package-level fixtures; it panics on
+// error.
+func MustParse(text string) *History {
+	h, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Dot renders the history as a Graphviz digraph: solid edges for the
+// covering relation of the program order, one subgraph rank per
+// process. Useful with cmd/ccheck -dot.
+func (h *History) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph history {\n  rankdir=LR;\n  node [shape=plaintext];\n")
+	for p, evs := range h.procs {
+		fmt.Fprintf(&b, "  subgraph cluster_p%d {\n    label=\"p%d\";\n", p, p)
+		for _, id := range evs {
+			label := h.Events[id].Op.String()
+			if h.Events[id].Omega {
+				label += "*"
+			}
+			fmt.Fprintf(&b, "    e%d [label=%q];\n", id, label)
+		}
+		b.WriteString("  }\n")
+	}
+	red := h.prog.TransitiveReduction()
+	for i := 0; i < red.N; i++ {
+		red.Succ[i].ForEach(func(j int) {
+			fmt.Fprintf(&b, "  e%d -> e%d;\n", i, j)
+		})
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

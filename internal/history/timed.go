@@ -1,0 +1,105 @@
+package history
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/spec"
+)
+
+// TimedEvent is one operation execution with a real-time interval, the
+// input of the linearizability checker (which is the one criterion
+// that needs real time; see internal/check). Inv < Res; Res may be
+// +Inf for an operation that never responded (a pending invocation,
+// usually written as a hidden operation).
+type TimedEvent struct {
+	Proc     int
+	Op       spec.Operation
+	Inv, Res float64
+}
+
+// ParseTimed reads the timed-history format of the cmd tools:
+//
+//	adt: Register
+//	p0: [0,1]w(1) [2,3]r/1
+//	p1: [1.5,2.5]r/0
+//	p2: [4,inf]w(9)
+//
+// Each operation is prefixed with its [invocation,response] interval;
+// "inf" marks an operation that never returned. Lines starting with
+// '#' are comments.
+func ParseTimed(text string) (spec.ADT, []TimedEvent, error) {
+	var t spec.ADT
+	var events []TimedEvent
+	proc := 0
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if t == nil {
+			name, ok := strings.CutPrefix(line, "adt:")
+			if !ok {
+				return nil, nil, fmt.Errorf("history: line %d: expected 'adt: <name>' header, got %q", lineNo+1, line)
+			}
+			var err error
+			t, err = adt.Lookup(strings.TrimSpace(name))
+			if err != nil {
+				return nil, nil, fmt.Errorf("history: line %d: %v", lineNo+1, err)
+			}
+			continue
+		}
+		_, body, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("history: line %d: expected 'label: ops...', got %q", lineNo+1, line)
+		}
+		for _, tok := range strings.Fields(body) {
+			ev, err := parseTimedToken(proc, tok)
+			if err != nil {
+				return nil, nil, fmt.Errorf("history: line %d: %v", lineNo+1, err)
+			}
+			events = append(events, ev)
+		}
+		proc++
+	}
+	if t == nil {
+		return nil, nil, fmt.Errorf("history: empty timed history")
+	}
+	return t, events, nil
+}
+
+// parseTimedToken parses one "[inv,res]op" token.
+func parseTimedToken(proc int, tok string) (TimedEvent, error) {
+	if !strings.HasPrefix(tok, "[") {
+		return TimedEvent{}, fmt.Errorf("timed operation %q must start with [inv,res]", tok)
+	}
+	end := strings.Index(tok, "]")
+	if end < 0 {
+		return TimedEvent{}, fmt.Errorf("timed operation %q: unterminated interval", tok)
+	}
+	parts := strings.Split(tok[1:end], ",")
+	if len(parts) != 2 {
+		return TimedEvent{}, fmt.Errorf("timed operation %q: interval needs two endpoints", tok)
+	}
+	inv, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return TimedEvent{}, fmt.Errorf("timed operation %q: bad invocation time: %v", tok, err)
+	}
+	var res float64
+	if r := strings.TrimSpace(parts[1]); r == "inf" {
+		res = math.Inf(1)
+	} else {
+		res, err = strconv.ParseFloat(r, 64)
+		if err != nil {
+			return TimedEvent{}, fmt.Errorf("timed operation %q: bad response time: %v", tok, err)
+		}
+	}
+	op, err := spec.ParseOperation(tok[end+1:])
+	if err != nil {
+		return TimedEvent{}, err
+	}
+	return TimedEvent{Proc: proc, Op: op, Inv: inv, Res: res}, nil
+}

@@ -1,0 +1,79 @@
+package history
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseTimedBasic(t *testing.T) {
+	adtT, evs, err := ParseTimed(`
+# the Attiya-Welch stale read
+adt: Register
+p0: [0,1]w(1)
+p1: [2,3]r/0 [4.5,5]r/1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adtT.Name() != "Register" {
+		t.Fatalf("adt %q", adtT.Name())
+	}
+	if len(evs) != 3 {
+		t.Fatalf("events %d, want 3", len(evs))
+	}
+	if evs[0].Proc != 0 || evs[1].Proc != 1 || evs[2].Proc != 1 {
+		t.Fatalf("proc assignment wrong: %+v", evs)
+	}
+	if evs[2].Inv != 4.5 || evs[2].Res != 5 {
+		t.Fatalf("interval parse wrong: %+v", evs[2])
+	}
+	if evs[0].Op.In.Method != "w" || evs[0].Op.In.Args[0] != 1 {
+		t.Fatalf("op parse wrong: %+v", evs[0].Op)
+	}
+}
+
+func TestParseTimedPendingInf(t *testing.T) {
+	_, evs, err := ParseTimed("adt: Register\np0: [0,inf]w(7)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(evs[0].Res, 1) {
+		t.Fatalf("res %v, want +Inf", evs[0].Res)
+	}
+	if !evs[0].Op.Hidden {
+		t.Fatalf("input-only token must parse as hidden, got %+v", evs[0].Op)
+	}
+}
+
+func TestParseTimedErrors(t *testing.T) {
+	cases := []string{
+		"p0: [0,1]w(1)",                // missing adt header
+		"adt: Nope\np0: [0,1]w(1)",     // unknown adt
+		"adt: Register\np0: w(1)",      // missing interval
+		"adt: Register\np0: [0w(1)",    // unterminated interval
+		"adt: Register\np0: [0]w(1)",   // one endpoint
+		"adt: Register\np0: [x,1]w(1)", // bad number
+		"adt: Register\np0: [0,1]w(1]", // bad op
+		"",                             // empty
+	}
+	for _, c := range cases {
+		if _, _, err := ParseTimed(c); err == nil {
+			t.Errorf("ParseTimed(%q) accepted", c)
+		}
+	}
+}
+
+func TestParseTimedRoundTripThroughChecker(t *testing.T) {
+	// The parsed stale-read history must reproduce the separation.
+	_, evs, err := ParseTimed("adt: Register\np0: [0,1]w(1)\np1: [2,3]r/0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Res != 3 {
+		t.Fatalf("parse: %+v", evs)
+	}
+	if !strings.Contains(evs[1].Op.String(), "r/0") {
+		t.Fatalf("op render: %v", evs[1].Op)
+	}
+}

@@ -1,0 +1,153 @@
+// Package net defines the message-passing abstraction shared by the
+// deterministic simulator (internal/sim) and the live goroutine
+// transport defined here. The model is the paper's Sec. 6.1: n
+// asynchronous sequential processes, point-to-point messages with
+// arbitrary finite delays, crash-stop failures, no bound on the number
+// of crashes.
+package net
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Handler consumes a message delivered to a process. Handlers of a
+// single process are never invoked concurrently (processes are
+// sequential); handlers of different processes may be, depending on
+// the transport.
+type Handler func(from int, payload any)
+
+// Transport moves opaque payloads between n processes.
+type Transport interface {
+	// N returns the number of processes.
+	N() int
+	// Register installs the message handler for process id. It must be
+	// called for every process before any Send.
+	Register(id int, h Handler)
+	// Send queues a message from process `from` to process `to`. It
+	// never blocks on delivery (asynchronous system).
+	Send(from, to int, payload any)
+	// Crash stops a process: it no longer receives messages and its
+	// sends are dropped.
+	Crash(id int)
+	// Crashed reports whether the process has crashed.
+	Crashed(id int) bool
+}
+
+// Live is a goroutine-based Transport: each process owns a mailbox
+// goroutine draining a queue, so handlers of one process run
+// sequentially while processes run genuinely in parallel. It is used by
+// the examples and the blocking SC/consensus implementations; the
+// deterministic experiments use internal/sim instead.
+type Live struct {
+	n      int
+	mu     sync.Mutex
+	idle   *sync.Cond
+	inbox  []chan liveMsg
+	hs     []Handler
+	dead   []bool
+	inFly  int
+	closed bool
+}
+
+type liveMsg struct {
+	from    int
+	payload any
+}
+
+// NewLive creates a live transport for n processes.
+func NewLive(n int) *Live {
+	l := &Live{
+		n:     n,
+		inbox: make([]chan liveMsg, n),
+		hs:    make([]Handler, n),
+		dead:  make([]bool, n),
+	}
+	l.idle = sync.NewCond(&l.mu)
+	for i := range l.inbox {
+		l.inbox[i] = make(chan liveMsg, 1024)
+	}
+	return l
+}
+
+// N implements Transport.
+func (l *Live) N() int { return l.n }
+
+// Register implements Transport and starts the process's mailbox
+// goroutine.
+func (l *Live) Register(id int, h Handler) {
+	l.mu.Lock()
+	if l.hs[id] != nil {
+		l.mu.Unlock()
+		panic(fmt.Sprintf("net: process %d registered twice", id))
+	}
+	l.hs[id] = h
+	l.mu.Unlock()
+	go func() {
+		for m := range l.inbox[id] {
+			l.mu.Lock()
+			dead := l.dead[id]
+			l.mu.Unlock()
+			if !dead {
+				h(m.from, m.payload)
+			}
+			l.mu.Lock()
+			l.inFly--
+			if l.inFly == 0 {
+				l.idle.Broadcast()
+			}
+			l.mu.Unlock()
+		}
+	}()
+}
+
+// Send implements Transport.
+func (l *Live) Send(from, to int, payload any) {
+	l.mu.Lock()
+	if l.closed || l.dead[from] || l.dead[to] {
+		l.mu.Unlock()
+		return
+	}
+	l.inFly++
+	l.mu.Unlock()
+	l.inbox[to] <- liveMsg{from: from, payload: payload}
+}
+
+// Crash implements Transport.
+func (l *Live) Crash(id int) {
+	l.mu.Lock()
+	l.dead[id] = true
+	l.mu.Unlock()
+}
+
+// Crashed implements Transport.
+func (l *Live) Crashed(id int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead[id]
+}
+
+// Quiesce blocks until no message is in flight or being handled. It is
+// a test/experiment convenience: with no new invocations, quiescence
+// means every broadcast has been delivered everywhere.
+func (l *Live) Quiesce() {
+	l.mu.Lock()
+	for l.inFly != 0 {
+		l.idle.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// Close shuts the mailboxes down. Pending messages are discarded.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	for _, ch := range l.inbox {
+		close(ch)
+	}
+}

@@ -1,0 +1,121 @@
+package net_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/net"
+)
+
+func TestLiveDelivery(t *testing.T) {
+	lv := net.NewLive(2)
+	defer lv.Close()
+	var got atomic.Int64
+	lv.Register(0, func(int, any) {})
+	lv.Register(1, func(from int, payload any) {
+		if from == 0 && payload == "hi" {
+			got.Add(1)
+		}
+	})
+	lv.Send(0, 1, "hi")
+	lv.Quiesce()
+	if got.Load() != 1 {
+		t.Fatalf("deliveries = %d", got.Load())
+	}
+}
+
+func TestLiveSequentialPerProcess(t *testing.T) {
+	lv := net.NewLive(2)
+	defer lv.Close()
+	var mu sync.Mutex
+	var order []int
+	inHandler := false
+	lv.Register(0, func(int, any) {})
+	lv.Register(1, func(_ int, payload any) {
+		mu.Lock()
+		if inHandler {
+			t.Error("handler re-entered concurrently")
+		}
+		inHandler = true
+		order = append(order, payload.(int))
+		inHandler = false
+		mu.Unlock()
+	})
+	for i := 0; i < 100; i++ {
+		lv.Send(0, 1, i)
+	}
+	lv.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 100 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	// Same-sender messages through one mailbox arrive in order.
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestLiveCrash(t *testing.T) {
+	lv := net.NewLive(2)
+	defer lv.Close()
+	var got atomic.Int64
+	lv.Register(0, func(int, any) {})
+	lv.Register(1, func(int, any) { got.Add(1) })
+	lv.Crash(1)
+	if !lv.Crashed(1) {
+		t.Fatal("Crashed(1) = false")
+	}
+	lv.Send(0, 1, "x")
+	lv.Quiesce()
+	if got.Load() != 0 {
+		t.Fatal("crashed process handled a message")
+	}
+}
+
+func TestLiveConcurrentSenders(t *testing.T) {
+	lv := net.NewLive(4)
+	defer lv.Close()
+	var got atomic.Int64
+	for i := 0; i < 4; i++ {
+		lv.Register(i, func(int, any) { got.Add(1) })
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				lv.Send(s, (s+1)%4, i)
+			}
+		}(s)
+	}
+	wg.Wait()
+	lv.Quiesce()
+	if got.Load() != 200 {
+		t.Fatalf("deliveries = %d, want 200", got.Load())
+	}
+}
+
+func TestLiveCloseIdempotent(t *testing.T) {
+	lv := net.NewLive(1)
+	lv.Register(0, func(int, any) {})
+	lv.Close()
+	lv.Close() // must not panic
+	lv.Send(0, 0, "dropped")
+}
+
+func TestLiveDoubleRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double register did not panic")
+		}
+	}()
+	lv := net.NewLive(1)
+	defer lv.Close()
+	lv.Register(0, func(int, any) {})
+	lv.Register(0, func(int, any) {})
+}

@@ -1,0 +1,178 @@
+package porder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	s := NewBitset(130)
+	if !s.Empty() {
+		t.Fatal("new bitset not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Set(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) = false after Set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Clear(64)
+	if s.Has(64) {
+		t.Fatal("Has(64) after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestBitsetHasOutOfRange(t *testing.T) {
+	s := NewBitset(10)
+	if s.Has(1000) {
+		t.Fatal("Has out of range must be false")
+	}
+}
+
+func TestBitsetElemsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		want := map[int]bool{}
+		s := NewBitset(n)
+		for i := 0; i < n/3; i++ {
+			e := rng.Intn(n)
+			want[e] = true
+			s.Set(e)
+		}
+		got := s.Elems()
+		if len(got) != len(want) {
+			t.Fatalf("Elems len %d, want %d", len(got), len(want))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatal("Elems not strictly increasing")
+			}
+		}
+		for _, e := range got {
+			if !want[e] {
+				t.Fatalf("unexpected element %d", e)
+			}
+		}
+	}
+}
+
+// TestBitsetSetAlgebra checks set-algebra identities with testing/quick:
+// (A ∪ B) ∩ A = A, (A \ B) ∩ B = ∅, A ⊆ A ∪ B.
+func TestBitsetSetAlgebra(t *testing.T) {
+	f := func(a, b []bool) bool {
+		n := len(a)
+		if len(b) > n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		A, B := NewBitset(n), NewBitset(n)
+		for i, v := range a {
+			if v {
+				A.Set(i)
+			}
+		}
+		for i, v := range b {
+			if v {
+				B.Set(i)
+			}
+		}
+		union := A.Clone()
+		union.UnionWith(B)
+		if !A.SubsetOf(union) || !B.SubsetOf(union) {
+			return false
+		}
+		inter := union.Clone()
+		inter.IntersectWith(A)
+		if !inter.Equal(A) {
+			return false
+		}
+		diff := A.Clone()
+		diff.DiffWith(B)
+		if diff.Intersects(B) {
+			return false
+		}
+		back := diff.Clone()
+		back.UnionWith(B)
+		if !A.SubsetOf(back) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitsetKeyInjective: distinct sets have distinct keys (within one
+// universe size).
+func TestBitsetKeyInjective(t *testing.T) {
+	f := func(a, b []bool) bool {
+		n := len(a)
+		if len(b) > n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		A, B := NewBitset(n), NewBitset(n)
+		for i, v := range a {
+			if v {
+				A.Set(i)
+			}
+		}
+		for i, v := range b {
+			if v {
+				B.Set(i)
+			}
+		}
+		return (A.Key() == B.Key()) == A.Equal(B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetForEachOrder(t *testing.T) {
+	s := BitsetOf(100, 3, 70, 4, 99)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{3, 4, 70, 99}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFullBitset(t *testing.T) {
+	s := FullBitset(70)
+	if s.Count() != 70 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Has(70) {
+		t.Fatal("FullBitset(70) must not contain 70")
+	}
+}
+
+func TestBitsetString(t *testing.T) {
+	s := BitsetOf(10, 1, 3)
+	if s.String() != "{1, 3}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if NewBitset(4).String() != "{}" {
+		t.Fatal("empty set string")
+	}
+}

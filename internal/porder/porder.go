@@ -1,0 +1,305 @@
+package porder
+
+import "sort"
+
+// Rel is a binary relation on {0, ..., n-1}, stored as successor
+// bitsets: Succ[i] is the set of j with i R j. Rel is used both for
+// strict orders (irreflexive) and for their reflexive closures; the
+// consistency checkers always work with the strict form and treat
+// reflexivity separately, matching the paper's ⌊e⌋ = {e' : e' → e}
+// convention where e ∈ ⌊e⌋ is handled explicitly.
+type Rel struct {
+	N    int
+	Succ []Bitset
+}
+
+// NewRel returns the empty relation on n elements.
+func NewRel(n int) *Rel {
+	r := &Rel{N: n, Succ: make([]Bitset, n)}
+	for i := range r.Succ {
+		r.Succ[i] = NewBitset(n)
+	}
+	return r
+}
+
+// Clone returns a deep copy of r.
+func (r *Rel) Clone() *Rel {
+	c := &Rel{N: r.N, Succ: make([]Bitset, r.N)}
+	for i := range r.Succ {
+		c.Succ[i] = r.Succ[i].Clone()
+	}
+	return c
+}
+
+// Add inserts the pair (i, j).
+func (r *Rel) Add(i, j int) { r.Succ[i].Set(j) }
+
+// Has reports whether (i, j) is in the relation.
+func (r *Rel) Has(i, j int) bool { return r.Succ[i].Has(j) }
+
+// TransitiveClosure returns the transitive closure of r as a new
+// relation. It uses the standard iterated-union algorithm over bitset
+// rows (O(n^2) bitset unions in the worst case, fine at our scales).
+func (r *Rel) TransitiveClosure() *Rel {
+	c := r.Clone()
+	// Repeated relaxation in reverse topological style: iterate until
+	// fixpoint. For small n this is simplest and robust to cycles.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < c.N; i++ {
+			before := c.Succ[i].Clone()
+			c.Succ[i].ForEach(func(j int) {
+				c.Succ[i].UnionWith(c.Succ[j])
+			})
+			if !before.Equal(c.Succ[i]) {
+				changed = true
+			}
+		}
+	}
+	return c
+}
+
+// HasCycle reports whether the relation, viewed as a directed graph,
+// contains a cycle (including self-loops).
+func (r *Rel) HasCycle() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, r.N)
+	var visit func(i int) bool
+	visit = func(i int) bool {
+		color[i] = grey
+		cyc := false
+		r.Succ[i].ForEach(func(j int) {
+			if cyc {
+				return
+			}
+			switch color[j] {
+			case grey:
+				cyc = true
+			case white:
+				if visit(j) {
+					cyc = true
+				}
+			}
+		})
+		color[i] = black
+		return cyc
+	}
+	for i := 0; i < r.N; i++ {
+		if color[i] == white && visit(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Preds returns, as a new slice of bitsets, the predecessor sets of the
+// relation: Preds()[j] = {i : i R j}.
+func (r *Rel) Preds() []Bitset {
+	p := make([]Bitset, r.N)
+	for j := range p {
+		p[j] = NewBitset(r.N)
+	}
+	for i := 0; i < r.N; i++ {
+		r.Succ[i].ForEach(func(j int) {
+			p[j].Set(i)
+		})
+	}
+	return p
+}
+
+// TopoSort returns one topological order of the relation, or ok=false
+// if it has a cycle.
+func (r *Rel) TopoSort() (order []int, ok bool) {
+	indeg := make([]int, r.N)
+	for i := 0; i < r.N; i++ {
+		r.Succ[i].ForEach(func(j int) { indeg[j]++ })
+	}
+	var ready []int
+	for i := 0; i < r.N; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, i)
+		r.Succ[i].ForEach(func(j int) {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		})
+	}
+	return order, len(order) == r.N
+}
+
+// LinearExtensions calls f on every linear extension of the strict
+// partial order r (which must be acyclic and transitively closed or at
+// least a DAG). The slice passed to f is reused between calls; callers
+// must copy it if they retain it. If f returns false, enumeration stops
+// early and LinearExtensions returns false; otherwise it returns true
+// after exhausting all extensions.
+func (r *Rel) LinearExtensions(f func(order []int) bool) bool {
+	preds := r.Preds()
+	done := NewBitset(r.N)
+	order := make([]int, 0, r.N)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == r.N {
+			return f(order)
+		}
+		for i := 0; i < r.N; i++ {
+			if done.Has(i) {
+				continue
+			}
+			if !preds[i].SubsetOf(done) {
+				continue
+			}
+			done.Set(i)
+			order = append(order, i)
+			if !rec() {
+				return false
+			}
+			order = order[:len(order)-1]
+			done.Clear(i)
+		}
+		return true
+	}
+	return rec()
+}
+
+// CountLinearExtensions returns the number of linear extensions of r,
+// capped at limit (pass a negative limit for no cap). Useful for tests
+// and for sizing checker search spaces.
+func (r *Rel) CountLinearExtensions(limit int) int {
+	n := 0
+	r.LinearExtensions(func([]int) bool {
+		n++
+		return limit < 0 || n < limit
+	})
+	return n
+}
+
+// TransitiveReduction returns the covering relation of a transitively
+// closed DAG: the minimal relation whose transitive closure is r.
+func (r *Rel) TransitiveReduction() *Rel {
+	tc := r.TransitiveClosure()
+	red := NewRel(r.N)
+	for i := 0; i < r.N; i++ {
+		tc.Succ[i].ForEach(func(j int) {
+			// Keep (i,j) unless there is k with i R k R j.
+			direct := true
+			tc.Succ[i].ForEach(func(k int) {
+				if k != j && tc.Succ[k].Has(j) {
+					direct = false
+				}
+			})
+			if direct {
+				red.Add(i, j)
+			}
+		})
+	}
+	return red
+}
+
+// DownSet returns the strict down-set {i : i R+ j} of j in the
+// transitively closed relation r.
+func (r *Rel) DownSet(j int) Bitset {
+	d := NewBitset(r.N)
+	for i := 0; i < r.N; i++ {
+		if r.Succ[i].Has(j) {
+			d.Set(i)
+		}
+	}
+	return d
+}
+
+// IsPartialOrder reports whether r is a strict partial order:
+// irreflexive and acyclic (transitivity is not required of the
+// representation; callers close it themselves).
+func (r *Rel) IsPartialOrder() bool {
+	for i := 0; i < r.N; i++ {
+		if r.Succ[i].Has(i) {
+			return false
+		}
+	}
+	return !r.HasCycle()
+}
+
+// Comparable reports whether i and j are ordered either way in the
+// transitively closed relation r.
+func (r *Rel) Comparable(i, j int) bool {
+	return i == j || r.Has(i, j) || r.Has(j, i)
+}
+
+// MaximalChains calls f on every maximal chain (maximal totally ordered
+// subset) of the transitively closed strict partial order r, each chain
+// given in increasing order. The slice is reused; copy to retain. This
+// implements the paper's P_H ("processes" as maximal chains, Sec. 2.2).
+// Enumeration can be exponential; histories here are small.
+func (r *Rel) MaximalChains(f func(chain []int) bool) bool {
+	preds := r.Preds()
+	minimal := NewBitset(r.N)
+	for i := 0; i < r.N; i++ {
+		if preds[i].Empty() {
+			minimal.Set(i)
+		}
+	}
+	chain := make([]int, 0, r.N)
+	var rec func(last int) bool
+	rec = func(last int) bool {
+		// Extensions: events strictly above last that are comparable to
+		// every element of the chain (automatic: chain is totally ordered
+		// and last is its max, so successor of last suffices), choosing
+		// only immediate candidates = successors of last.
+		extended := false
+		cont := true
+		r.Succ[last].ForEach(func(j int) {
+			if !cont {
+				return
+			}
+			// j extends the chain; to enumerate maximal chains without
+			// duplicates we only pick j that is a *minimal* successor of
+			// last (no k with last R k R j).
+			isMin := true
+			r.Succ[last].ForEach(func(k int) {
+				if k != j && r.Succ[k].Has(j) {
+					isMin = false
+				}
+			})
+			if !isMin {
+				return
+			}
+			extended = true
+			chain = append(chain, j)
+			if !rec(j) {
+				cont = false
+			}
+			chain = chain[:len(chain)-1]
+		})
+		if !cont {
+			return false
+		}
+		if !extended {
+			return f(chain)
+		}
+		return true
+	}
+	ok := true
+	minimal.ForEach(func(i int) {
+		if !ok {
+			return
+		}
+		chain = append(chain[:0], i)
+		if !rec(i) {
+			ok = false
+		}
+	})
+	return ok
+}

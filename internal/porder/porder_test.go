@@ -1,0 +1,268 @@
+package porder
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainRel builds the union of disjoint chains (like program orders).
+func chainRel(n int, chains [][]int) *Rel {
+	r := NewRel(n)
+	for _, c := range chains {
+		for i := 1; i < len(c); i++ {
+			r.Add(c[i-1], c[i])
+		}
+	}
+	return r
+}
+
+func TestTransitiveClosureChain(t *testing.T) {
+	r := chainRel(4, [][]int{{0, 1, 2, 3}})
+	tc := r.TransitiveClosure()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := i < j
+			if tc.Has(i, j) != want {
+				t.Fatalf("tc(%d,%d) = %v, want %v", i, j, tc.Has(i, j), want)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosureIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		r := NewRel(n)
+		// Random DAG: only edges i < j.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					r.Add(i, j)
+				}
+			}
+		}
+		tc := r.TransitiveClosure()
+		tc2 := tc.TransitiveClosure()
+		for i := 0; i < n; i++ {
+			if !tc.Succ[i].Equal(tc2.Succ[i]) {
+				t.Fatal("closure not idempotent")
+			}
+		}
+		// Transitivity.
+		for i := 0; i < n; i++ {
+			tc.Succ[i].ForEach(func(j int) {
+				tc.Succ[j].ForEach(func(k int) {
+					if !tc.Has(i, k) {
+						t.Fatalf("not transitive: %d->%d->%d", i, j, k)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	r := NewRel(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if r.HasCycle() {
+		t.Fatal("chain reported cyclic")
+	}
+	r.Add(2, 0)
+	if !r.HasCycle() {
+		t.Fatal("3-cycle not detected")
+	}
+	s := NewRel(1)
+	s.Add(0, 0)
+	if !s.HasCycle() {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	r := chainRel(6, [][]int{{0, 2, 4}, {1, 3, 5}})
+	order, ok := r.TopoSort()
+	if !ok || len(order) != 6 {
+		t.Fatalf("TopoSort = %v, %v", order, ok)
+	}
+	pos := make([]int, 6)
+	for i, e := range order {
+		pos[e] = i
+	}
+	for i := 0; i < 6; i++ {
+		r.Succ[i].ForEach(func(j int) {
+			if pos[i] >= pos[j] {
+				t.Fatalf("order %v violates edge %d->%d", order, i, j)
+			}
+		})
+	}
+	c := NewRel(2)
+	c.Add(0, 1)
+	c.Add(1, 0)
+	if _, ok := c.TopoSort(); ok {
+		t.Fatal("TopoSort accepted a cycle")
+	}
+}
+
+// TestLinearExtensionsCount checks the count against the binomial
+// formula for two disjoint chains: C(a+b, a) interleavings.
+func TestLinearExtensionsCount(t *testing.T) {
+	binom := func(n, k int) int {
+		res := 1
+		for i := 0; i < k; i++ {
+			res = res * (n - i) / (i + 1)
+		}
+		return res
+	}
+	for _, tc := range []struct{ a, b int }{{1, 1}, {2, 2}, {3, 2}, {3, 3}, {4, 2}} {
+		chains := [][]int{{}, {}}
+		for i := 0; i < tc.a; i++ {
+			chains[0] = append(chains[0], i)
+		}
+		for i := 0; i < tc.b; i++ {
+			chains[1] = append(chains[1], tc.a+i)
+		}
+		r := chainRel(tc.a+tc.b, chains)
+		got := r.CountLinearExtensions(-1)
+		want := binom(tc.a+tc.b, tc.a)
+		if got != want {
+			t.Fatalf("chains %d/%d: %d extensions, want %d", tc.a, tc.b, got, want)
+		}
+	}
+}
+
+func TestLinearExtensionsRespectOrder(t *testing.T) {
+	r := chainRel(5, [][]int{{0, 1}, {2, 3, 4}})
+	tc := r.TransitiveClosure()
+	ok := r.LinearExtensions(func(order []int) bool {
+		pos := make([]int, 5)
+		for i, e := range order {
+			pos[e] = i
+		}
+		for i := 0; i < 5; i++ {
+			bad := false
+			tc.Succ[i].ForEach(func(j int) {
+				if pos[i] >= pos[j] {
+					bad = true
+				}
+			})
+			if bad {
+				t.Fatalf("extension %v violates order", order)
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("enumeration aborted")
+	}
+}
+
+func TestLinearExtensionsEarlyStop(t *testing.T) {
+	r := NewRel(4) // empty order: 24 extensions
+	count := 0
+	r.LinearExtensions(func([]int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop after %d, want 5", count)
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	r := chainRel(3, [][]int{{0, 1, 2}})
+	r.Add(0, 2) // redundant edge
+	red := r.TransitiveReduction()
+	if red.Has(0, 2) {
+		t.Fatal("reduction kept redundant edge")
+	}
+	if !red.Has(0, 1) || !red.Has(1, 2) {
+		t.Fatal("reduction lost covering edges")
+	}
+}
+
+func TestDownSet(t *testing.T) {
+	r := chainRel(4, [][]int{{0, 1, 2, 3}}).TransitiveClosure()
+	d := r.DownSet(2)
+	if !d.Has(0) || !d.Has(1) || d.Has(2) || d.Has(3) {
+		t.Fatalf("DownSet(2) = %v", d)
+	}
+}
+
+func TestIsPartialOrder(t *testing.T) {
+	r := chainRel(3, [][]int{{0, 1, 2}})
+	if !r.IsPartialOrder() {
+		t.Fatal("chain rejected")
+	}
+	r.Add(0, 0)
+	if r.IsPartialOrder() {
+		t.Fatal("reflexive pair accepted")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	r := chainRel(4, [][]int{{0, 1}, {2, 3}}).TransitiveClosure()
+	if !r.Comparable(0, 1) || !r.Comparable(1, 0) || !r.Comparable(2, 2) {
+		t.Fatal("chain elements must be comparable")
+	}
+	if r.Comparable(0, 2) {
+		t.Fatal("cross-chain elements must be incomparable")
+	}
+}
+
+// TestMaximalChains enumerates the maximal chains of two disjoint
+// chains plus a diamond.
+func TestMaximalChains(t *testing.T) {
+	r := chainRel(5, [][]int{{0, 1, 2}, {3, 4}}).TransitiveClosure()
+	var chains [][]int
+	r.MaximalChains(func(c []int) bool {
+		cp := make([]int, len(c))
+		copy(cp, c)
+		chains = append(chains, cp)
+		return true
+	})
+	if len(chains) != 2 {
+		t.Fatalf("chains = %v, want 2 chains", chains)
+	}
+
+	// Diamond 0 < {1,2} < 3: two maximal chains.
+	d := NewRel(4)
+	d.Add(0, 1)
+	d.Add(0, 2)
+	d.Add(1, 3)
+	d.Add(2, 3)
+	dc := d.TransitiveClosure()
+	count := 0
+	dc.MaximalChains(func(c []int) bool {
+		if len(c) != 3 {
+			t.Fatalf("diamond chain %v, want length 3", c)
+		}
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("diamond has %d maximal chains, want 2", count)
+	}
+}
+
+func TestPredsMatchesSucc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 8
+	r := NewRel(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Intn(4) == 0 {
+				r.Add(i, j)
+			}
+		}
+	}
+	p := r.Preds()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Has(i, j) != p[j].Has(i) {
+				t.Fatalf("preds/succ mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

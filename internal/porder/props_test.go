@@ -1,0 +1,151 @@
+package porder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random DAG on n nodes: each edge (i,j) with i<j
+// is present with probability ~p/255.
+func randomDAG(n int, p uint8, seed int64) *Rel {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRel(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if uint8(rng.Intn(256)) < p {
+				r.Add(i, j)
+			}
+		}
+	}
+	return r
+}
+
+// TestClosureIsTransitiveAndMinimal: the transitive closure contains
+// the relation, is transitive, and adds nothing that is not forced.
+func TestClosureIsTransitiveAndMinimal(t *testing.T) {
+	f := func(p uint8, seed int64) bool {
+		const n = 7
+		r := randomDAG(n, p, seed)
+		c := r.TransitiveClosure()
+		// Contains r.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Has(i, j) && !c.Has(i, j) {
+					return false
+				}
+			}
+		}
+		// Transitive.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if c.Has(i, j) && c.Has(j, k) && !c.Has(i, k) {
+						return false
+					}
+				}
+			}
+		}
+		// Idempotent (fixed point).
+		cc := c.TransitiveClosure()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if c.Has(i, j) != cc.Has(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReductionClosureRoundTrip: closing the transitive reduction
+// gives back the closure — the reduction loses no order.
+func TestReductionClosureRoundTrip(t *testing.T) {
+	f := func(p uint8, seed int64) bool {
+		const n = 7
+		c := randomDAG(n, p, seed).TransitiveClosure()
+		red := c.TransitiveReduction()
+		back := red.TransitiveClosure()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if c.Has(i, j) != back.Has(i, j) {
+					return false
+				}
+				// The reduction is a subset of the closure.
+				if red.Has(i, j) && !c.Has(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopoSortIsLinearExtension: every topological sort respects the
+// closed order, uses each node once, and Preds/Succs agree with it.
+func TestTopoSortIsLinearExtension(t *testing.T) {
+	f := func(p uint8, seed int64) bool {
+		const n = 8
+		c := randomDAG(n, p, seed).TransitiveClosure()
+		order, ok := c.TopoSort()
+		if !ok || len(order) != n {
+			return false
+		}
+		pos := make([]int, n)
+		for i, e := range order {
+			pos[e] = i
+		}
+		preds := c.Preds()
+		for j := 0; j < n; j++ {
+			bad := false
+			preds[j].ForEach(func(i int) {
+				if pos[i] >= pos[j] {
+					bad = true
+				}
+			})
+			if bad {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDownSetIsDownwardClosed: DownSet(j) is the set of strict
+// predecessors of j; on a transitively closed relation it is downward
+// closed, excludes j itself, and equals Preds()[j].
+func TestDownSetIsDownwardClosed(t *testing.T) {
+	f := func(p uint8, seedRaw uint8, seed int64) bool {
+		const n = 7
+		c := randomDAG(n, p, seed).TransitiveClosure()
+		j := int(seedRaw) % n
+		ds := c.DownSet(j)
+		if ds.Has(j) {
+			return false
+		}
+		preds := c.Preds()
+		if !ds.SubsetOf(preds[j]) || !preds[j].SubsetOf(ds) {
+			return false
+		}
+		bad := false
+		ds.ForEach(func(e int) {
+			if !preds[e].SubsetOf(ds) {
+				bad = true
+			}
+		})
+		return !bad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

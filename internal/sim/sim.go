@@ -1,0 +1,187 @@
+// Package sim provides a deterministic discrete-event simulation of the
+// paper's system model (Sec. 6.1): asynchronous message passing with
+// arbitrary finite delays, crash-stop failures and (optionally)
+// temporary partitions. All scheduling randomness flows from an
+// explicit seed, so every experiment is reproducible bit-for-bit.
+//
+// The simulator substitutes for the real distributed testbed the paper
+// assumes: it preserves the properties the algorithms depend on —
+// unbounded but finite delays, no global clock, reliable links between
+// live, connected processes — while making adversarial schedules
+// reproducible and checkable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/net"
+)
+
+// Network is a deterministic discrete-event implementation of
+// net.Transport.
+type Network struct {
+	n        int
+	rng      *rand.Rand
+	now      float64
+	seq      int64
+	queue    eventHeap
+	handlers []net.Handler
+	dead     []bool
+	blocked  map[[2]int]bool // directed link cut (partitions)
+
+	// Delay bounds for message latency, sampled uniformly.
+	MinDelay, MaxDelay float64
+
+	// Stats.
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+}
+
+type event struct {
+	at      float64
+	seq     int64
+	from    int
+	to      int
+	payload any
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// New creates a network of n processes with the given seed. The default
+// delay distribution is uniform in [1, 10) simulated time units.
+func New(n int, seed int64) *Network {
+	return &Network{
+		n:        n,
+		rng:      rand.New(rand.NewSource(seed)),
+		handlers: make([]net.Handler, n),
+		dead:     make([]bool, n),
+		blocked:  make(map[[2]int]bool),
+		MinDelay: 1,
+		MaxDelay: 10,
+	}
+}
+
+// N implements net.Transport.
+func (nw *Network) N() int { return nw.n }
+
+// Register implements net.Transport.
+func (nw *Network) Register(id int, h net.Handler) {
+	if nw.handlers[id] != nil {
+		panic(fmt.Sprintf("sim: process %d registered twice", id))
+	}
+	nw.handlers[id] = h
+}
+
+// Send implements net.Transport: the message is scheduled for delivery
+// after a random delay. Messages between live, connected processes are
+// never lost (reliable links); messages to or from crashed processes
+// and across a partition are dropped.
+func (nw *Network) Send(from, to int, payload any) {
+	if nw.dead[from] {
+		nw.Dropped++
+		return
+	}
+	nw.Sent++
+	delay := nw.MinDelay
+	if nw.MaxDelay > nw.MinDelay {
+		delay += nw.rng.Float64() * (nw.MaxDelay - nw.MinDelay)
+	}
+	nw.seq++
+	heap.Push(&nw.queue, event{at: nw.now + delay, seq: nw.seq, from: from, to: to, payload: payload})
+}
+
+// Crash implements net.Transport.
+func (nw *Network) Crash(id int) { nw.dead[id] = true }
+
+// Crashed implements net.Transport.
+func (nw *Network) Crashed(id int) bool { return nw.dead[id] }
+
+// Partition cuts both directions of every link between group a and
+// group b. Heal re-opens them. Messages already in flight across the
+// cut are dropped at delivery time, modelling loss during the
+// partition; the broadcast layers' flooding recovers them afterwards if
+// any connected process received a copy — matching the paper's
+// reliable-broadcast assumption, which is implementable only between
+// eventually-connected processes.
+func (nw *Network) Partition(a, b []int) {
+	for _, i := range a {
+		for _, j := range b {
+			nw.blocked[[2]int{i, j}] = true
+			nw.blocked[[2]int{j, i}] = true
+		}
+	}
+}
+
+// Heal removes every partition cut.
+func (nw *Network) Heal() { nw.blocked = make(map[[2]int]bool) }
+
+// Now returns the current simulated time.
+func (nw *Network) Now() float64 { return nw.now }
+
+// Step delivers the next pending message, if any, and reports whether
+// one was delivered (or dropped).
+func (nw *Network) Step() bool {
+	for nw.queue.Len() > 0 {
+		ev := heap.Pop(&nw.queue).(event)
+		nw.now = ev.at
+		if nw.dead[ev.to] || nw.dead[ev.from] || nw.blocked[[2]int{ev.from, ev.to}] {
+			nw.Dropped++
+			return true
+		}
+		nw.Delivered++
+		h := nw.handlers[ev.to]
+		if h == nil {
+			panic(fmt.Sprintf("sim: no handler for process %d", ev.to))
+		}
+		h(ev.from, ev.payload)
+		return true
+	}
+	return false
+}
+
+// Run delivers messages until the network is quiet or maxSteps is
+// reached (0 = unbounded). It returns the number of deliveries
+// performed. A quiet network with wait-free replicas means every
+// broadcast has reached every live connected process.
+func (nw *Network) Run(maxSteps int) int {
+	steps := 0
+	for nw.Step() {
+		steps++
+		if maxSteps > 0 && steps >= maxSteps {
+			break
+		}
+	}
+	return steps
+}
+
+// RunFor delivers messages with timestamps up to the given simulated
+// time horizon.
+func (nw *Network) RunFor(until float64) {
+	for nw.queue.Len() > 0 && nw.queue[0].at <= until {
+		nw.Step()
+	}
+	if nw.now < until {
+		nw.now = until
+	}
+}
+
+// Pending returns the number of undelivered messages.
+func (nw *Network) Pending() int { return nw.queue.Len() }
+
+// Rand exposes the network's seeded RNG so that drivers can derive
+// workload randomness from the same seed.
+func (nw *Network) Rand() *rand.Rand { return nw.rng }

@@ -1,0 +1,304 @@
+// Package spec implements the specification facet of shared objects
+// from "Causal Consistency: Beyond Memory" (Perrin, Mostéfaoui, Jard,
+// PPoPP 2016): abstract data types as transducers (Def. 1), operations
+// and hidden operations, and sequential specifications L(T) (Def. 2).
+//
+// An ADT is a 6-tuple (Σi, Σo, Q, q0, δ, λ). We represent inputs as a
+// method name plus integer arguments, outputs as either ⊥ or a tuple of
+// integers, and states as opaque values carrying a canonical string key
+// so that search procedures can memoize on them. Both δ and λ must be
+// total: Step must succeed on every (state, input) pair.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Input is an element of the input alphabet Σi: a method invocation
+// with integer arguments (the paper's data types all range over N).
+type Input struct {
+	Method string
+	Args   []int
+}
+
+// NewInput builds an input value.
+func NewInput(method string, args ...int) Input {
+	return Input{Method: method, Args: args}
+}
+
+// String renders the input as method(a1,a2,...).
+func (in Input) String() string {
+	if len(in.Args) == 0 {
+		return in.Method
+	}
+	parts := make([]string, len(in.Args))
+	for i, a := range in.Args {
+		parts[i] = strconv.Itoa(a)
+	}
+	return in.Method + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Equal reports whether two inputs are identical.
+func (in Input) Equal(o Input) bool {
+	if in.Method != o.Method || len(in.Args) != len(o.Args) {
+		return false
+	}
+	for i := range in.Args {
+		if in.Args[i] != o.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Output is an element of the output alphabet Σo: either ⊥ (Bot), used
+// by pure updates such as writes and pushes, or a tuple of integers
+// (a single integer is a 1-tuple; a window-stream read is a k-tuple).
+type Output struct {
+	Bot  bool
+	Vals []int
+}
+
+// Bot is the ⊥ output.
+var Bot = Output{Bot: true}
+
+// IntOutput returns the 1-tuple output (v).
+func IntOutput(v int) Output { return Output{Vals: []int{v}} }
+
+// TupleOutput returns the tuple output (vs...).
+func TupleOutput(vs ...int) Output { return Output{Vals: vs} }
+
+// Equal reports whether two outputs are identical.
+func (o Output) Equal(p Output) bool {
+	if o.Bot != p.Bot || len(o.Vals) != len(p.Vals) {
+		return false
+	}
+	for i := range o.Vals {
+		if o.Vals[i] != p.Vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders ⊥ as "⊥", a 1-tuple as its value, and a longer tuple
+// as (v1,v2,...).
+func (o Output) String() string {
+	if o.Bot {
+		return "⊥"
+	}
+	if len(o.Vals) == 1 {
+		return strconv.Itoa(o.Vals[0])
+	}
+	parts := make([]string, len(o.Vals))
+	for i, v := range o.Vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Operation is an element of Σ = (Σi × Σo) ∪ Σi: either a full
+// operation σi/σo, or a hidden operation σi whose return value is
+// unknown (Def. 2). Hidden operations contribute their side effect to a
+// sequential history but their output is not checked.
+type Operation struct {
+	In     Input
+	Out    Output
+	Hidden bool
+}
+
+// NewOp builds a visible operation σi/σo.
+func NewOp(in Input, out Output) Operation { return Operation{In: in, Out: out} }
+
+// HiddenOp builds a hidden operation σi.
+func HiddenOp(in Input) Operation { return Operation{In: in, Hidden: true} }
+
+// Hide returns a copy of op with its output hidden.
+func (op Operation) Hide() Operation { return Operation{In: op.In, Hidden: true} }
+
+// String renders σi/σo, or just σi for hidden operations.
+func (op Operation) String() string {
+	if op.Hidden {
+		return op.In.String()
+	}
+	return op.In.String() + "/" + op.Out.String()
+}
+
+// State is an abstract state q ∈ Q. Key must be a canonical encoding:
+// two states are equal iff their keys are equal. States are immutable
+// once created; Step returns fresh states.
+type State interface {
+	Key() string
+}
+
+// ADT is an abstract data type T = (Σi, Σo, Q, q0, δ, λ) (Def. 1).
+//
+// Step combines δ and λ: Step(q, σi) = (δ(q, σi), λ(q, σi)). Step must
+// be total — every input is accepted in every state (shared objects
+// "must respond in all circumstances"). Unknown methods should panic,
+// as that is a program bug, not a data-type behaviour.
+//
+// IsUpdate reports whether σi is an update (δ is not always a loop) and
+// IsQuery whether it is a query (λ depends on the state). An operation
+// may be both (e.g. pop); a pure query is not an update; a pure update
+// is not a query. These are declared per ADT rather than computed from
+// the transition system, which may be infinite.
+type ADT interface {
+	Name() string
+	Init() State
+	Step(q State, in Input) (State, Output)
+	IsUpdate(in Input) bool
+	IsQuery(in Input) bool
+}
+
+// Run folds a sequence of inputs from the initial state and returns the
+// final state and the outputs produced.
+func Run(t ADT, ins []Input) (State, []Output) {
+	q := t.Init()
+	outs := make([]Output, len(ins))
+	for i, in := range ins {
+		q, outs[i] = t.Step(q, in)
+	}
+	return q, outs
+}
+
+// Admissible reports whether the finite sequence of (possibly hidden)
+// operations is a sequential history admissible for T, i.e. belongs to
+// the sequential specification L(T) (Def. 2). Since δ and λ are total,
+// every finite prefix of a run extends to an infinite recognized
+// sequence, so membership reduces to checking each visible output along
+// the unique run.
+func Admissible(t ADT, seq []Operation) bool {
+	q := t.Init()
+	for _, op := range seq {
+		next, out := t.Step(q, op.In)
+		if !op.Hidden && !out.Equal(op.Out) {
+			return false
+		}
+		q = next
+	}
+	return true
+}
+
+// FirstViolation returns the index of the first operation whose visible
+// output disagrees with the specification, or -1 if the sequence is
+// admissible. Useful for diagnostics and tests.
+func FirstViolation(t ADT, seq []Operation) int {
+	q := t.Init()
+	for i, op := range seq {
+		next, out := t.Step(q, op.In)
+		if !op.Hidden && !out.Equal(op.Out) {
+			return i
+		}
+		q = next
+	}
+	return -1
+}
+
+// FormatSeq renders a sequence of operations as a dot-separated word,
+// mirroring the paper's linearization notation, e.g.
+// "w(1).r/(0,1).w(2)".
+func FormatSeq(seq []Operation) string {
+	parts := make([]string, len(seq))
+	for i, op := range seq {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// ParseInput parses "method" or "method(a1,a2)" into an Input. It is
+// the inverse of Input.String for well-formed text.
+func ParseInput(s string) (Input, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		if s == "" {
+			return Input{}, fmt.Errorf("spec: empty input")
+		}
+		return Input{Method: s}, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return Input{}, fmt.Errorf("spec: malformed input %q", s)
+	}
+	method := s[:open]
+	body := s[open+1 : len(s)-1]
+	in := Input{Method: method}
+	if strings.TrimSpace(body) == "" {
+		return in, nil
+	}
+	for _, f := range strings.Split(body, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return Input{}, fmt.Errorf("spec: bad argument in %q: %v", s, err)
+		}
+		in.Args = append(in.Args, v)
+	}
+	return in, nil
+}
+
+// ParseOutput parses "⊥"/"bot", "v", or "(v1,v2,...)" into an Output.
+func ParseOutput(s string) (Output, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "⊥", "bot", "_":
+		return Bot, nil
+	}
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		body := s[1 : len(s)-1]
+		var vals []int
+		if strings.TrimSpace(body) != "" {
+			for _, f := range strings.Split(body, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return Output{}, fmt.Errorf("spec: bad output %q: %v", s, err)
+				}
+				vals = append(vals, v)
+			}
+		}
+		return Output{Vals: vals}, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return Output{}, fmt.Errorf("spec: bad output %q: %v", s, err)
+	}
+	return IntOutput(v), nil
+}
+
+// ParseOperation parses "in/out", "in" (hidden), with in and out in the
+// syntax of ParseInput/ParseOutput. A '*' suffix (ω marker) must be
+// stripped by the caller; this function rejects it.
+func ParseOperation(s string) (Operation, error) {
+	s = strings.TrimSpace(s)
+	// Split on the last '/' that is outside parentheses.
+	depth, slash := 0, -1
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '/':
+			if depth == 0 {
+				slash = i
+			}
+		}
+	}
+	if slash < 0 {
+		in, err := ParseInput(s)
+		if err != nil {
+			return Operation{}, err
+		}
+		return HiddenOp(in), nil
+	}
+	in, err := ParseInput(s[:slash])
+	if err != nil {
+		return Operation{}, err
+	}
+	out, err := ParseOutput(s[slash+1:])
+	if err != nil {
+		return Operation{}, err
+	}
+	return NewOp(in, out), nil
+}

@@ -1,0 +1,191 @@
+package spec_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adt"
+	"repro/internal/spec"
+)
+
+func TestInputString(t *testing.T) {
+	cases := map[string]spec.Input{
+		"r":        spec.NewInput("r"),
+		"w(5)":     spec.NewInput("w", 5),
+		"ins(1,2)": spec.NewInput("ins", 1, 2),
+	}
+	for want, in := range cases {
+		if in.String() != want {
+			t.Errorf("String() = %q, want %q", in.String(), want)
+		}
+	}
+}
+
+func TestOutputString(t *testing.T) {
+	if spec.Bot.String() != "⊥" {
+		t.Errorf("Bot = %q", spec.Bot.String())
+	}
+	if spec.IntOutput(7).String() != "7" {
+		t.Errorf("IntOutput(7) = %q", spec.IntOutput(7).String())
+	}
+	if spec.TupleOutput(1, 2).String() != "(1,2)" {
+		t.Errorf("TupleOutput = %q", spec.TupleOutput(1, 2).String())
+	}
+}
+
+func TestOutputEqual(t *testing.T) {
+	if !spec.Bot.Equal(spec.Bot) {
+		t.Error("⊥ ≠ ⊥")
+	}
+	if spec.Bot.Equal(spec.IntOutput(0)) {
+		t.Error("⊥ = 0")
+	}
+	if spec.TupleOutput(1, 2).Equal(spec.TupleOutput(2, 1)) {
+		t.Error("(1,2) = (2,1)")
+	}
+	if !spec.TupleOutput().Equal(spec.Output{Vals: []int{}}) {
+		t.Error("empty tuples differ")
+	}
+}
+
+func TestParseInputRoundTrip(t *testing.T) {
+	f := func(method uint8, args []int8) bool {
+		m := []string{"r", "w", "push", "pop", "ins"}[int(method)%5]
+		in := spec.Input{Method: m}
+		for _, a := range args {
+			in.Args = append(in.Args, int(a))
+		}
+		parsed, err := spec.ParseInput(in.String())
+		return err == nil && parsed.Equal(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseOperationRoundTrip(t *testing.T) {
+	for _, s := range []string{"w(1)", "r/(0,1)", "pop/3", "pop/⊥", "rx/0", "ins(0,5)", "r/()"} {
+		op, err := spec.ParseOperation(s)
+		if err != nil {
+			t.Fatalf("ParseOperation(%q): %v", s, err)
+		}
+		back, err := spec.ParseOperation(op.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", op.String(), err)
+		}
+		if back.String() != op.String() {
+			t.Fatalf("round trip %q -> %q", op.String(), back.String())
+		}
+	}
+}
+
+func TestParseOperationHidden(t *testing.T) {
+	op, err := spec.ParseOperation("pop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Hidden {
+		t.Fatal("slash-less token must parse as hidden")
+	}
+	if got := op.String(); got != "pop" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "w(", "w(a)", "r/x", "r/(1,a)"} {
+		if _, err := spec.ParseOperation(s); err == nil {
+			t.Errorf("ParseOperation(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestHide(t *testing.T) {
+	op := spec.NewOp(spec.NewInput("r"), spec.IntOutput(3))
+	h := op.Hide()
+	if !h.Hidden || h.In.Method != "r" {
+		t.Fatalf("Hide = %v", h)
+	}
+}
+
+func TestAdmissibleRegister(t *testing.T) {
+	reg := adt.Register{}
+	good := []spec.Operation{
+		spec.NewOp(spec.NewInput("r"), spec.IntOutput(0)),
+		spec.NewOp(spec.NewInput("w", 5), spec.Bot),
+		spec.NewOp(spec.NewInput("r"), spec.IntOutput(5)),
+	}
+	if !spec.Admissible(reg, good) {
+		t.Fatal("admissible sequence rejected")
+	}
+	bad := []spec.Operation{
+		spec.NewOp(spec.NewInput("w", 5), spec.Bot),
+		spec.NewOp(spec.NewInput("r"), spec.IntOutput(7)),
+	}
+	if spec.Admissible(reg, bad) {
+		t.Fatal("inadmissible sequence accepted")
+	}
+	if got := spec.FirstViolation(reg, bad); got != 1 {
+		t.Fatalf("FirstViolation = %d, want 1", got)
+	}
+	if got := spec.FirstViolation(reg, good); got != -1 {
+		t.Fatalf("FirstViolation = %d, want -1", got)
+	}
+}
+
+// TestAdmissibleHiddenOps: hidden operations contribute their side
+// effect but their output is never checked (Def. 2).
+func TestAdmissibleHiddenOps(t *testing.T) {
+	q := adt.Queue{}
+	seq := []spec.Operation{
+		spec.NewOp(spec.NewInput("push", 1), spec.Bot),
+		spec.HiddenOp(spec.NewInput("pop")), // removes 1, output unknown
+		spec.NewOp(spec.NewInput("pop"), spec.Bot),
+	}
+	if !spec.Admissible(q, seq) {
+		t.Fatal("hidden pop's side effect not applied")
+	}
+}
+
+// TestAdmissiblePrefixClosed: prefixes of admissible sequences are
+// admissible (L(T) is prefix-closed by construction, as used in
+// Prop. 2's proof).
+func TestAdmissiblePrefixClosed(t *testing.T) {
+	w2 := adt.NewWindowStream(2)
+	seq := []spec.Operation{
+		spec.NewOp(spec.NewInput("w", 1), spec.Bot),
+		spec.NewOp(spec.NewInput("r"), spec.TupleOutput(0, 1)),
+		spec.NewOp(spec.NewInput("w", 2), spec.Bot),
+		spec.NewOp(spec.NewInput("r"), spec.TupleOutput(1, 2)),
+	}
+	for i := 0; i <= len(seq); i++ {
+		if !spec.Admissible(w2, seq[:i]) {
+			t.Fatalf("prefix of length %d rejected", i)
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	w2 := adt.NewWindowStream(2)
+	state, outs := spec.Run(w2, []spec.Input{
+		spec.NewInput("w", 1),
+		spec.NewInput("w", 2),
+		spec.NewInput("r"),
+	})
+	if state.Key() != "1,2" {
+		t.Fatalf("state = %q", state.Key())
+	}
+	if !outs[2].Equal(spec.TupleOutput(1, 2)) {
+		t.Fatalf("read = %v", outs[2])
+	}
+}
+
+func TestFormatSeq(t *testing.T) {
+	seq := []spec.Operation{
+		spec.NewOp(spec.NewInput("w", 1), spec.Bot),
+		spec.HiddenOp(spec.NewInput("r")),
+	}
+	if got := spec.FormatSeq(seq); got != "w(1)/⊥.r" {
+		t.Fatalf("FormatSeq = %q", got)
+	}
+}

@@ -1,0 +1,82 @@
+package stats_test
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := stats.Summarize(nil)
+	if s.Count != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+// TestSummarizeProperties via testing/quick: min ≤ p50 ≤ p95 ≤ max and
+// mean within [min, max].
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := stats.Summarize(xs)
+		if s.Count != len(xs) {
+			return false
+		}
+		ordered := s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+		meanOK := s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return ordered && meanOK && s.Min == sorted[0] && s.Max == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryStringIsFinite(t *testing.T) {
+	s := stats.Summarize([]float64{1})
+	if strings.Contains(s.String(), "NaN") || math.IsNaN(s.Mean) {
+		t.Fatalf("summary = %v", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := stats.NewTable("mode", "ops/s", "msgs")
+	tb.Add("CC", 1234.5678, 42)
+	tb.Add("CCv", 99.9, 7)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table rendering:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "mode") || !strings.Contains(lines[2], "1234.57") {
+		t.Fatalf("table content:\n%s", out)
+	}
+	// Columns aligned: header and rows share prefix widths.
+	if len(lines[1]) < len("mode") {
+		t.Fatal("separator too short")
+	}
+}

@@ -1,0 +1,81 @@
+// Package trace records executions of the replicated-object runtime as
+// distributed histories, so that the consistency checkers can verify
+// runtime behaviour (Prop. 6 and Prop. 7 as executable tests).
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Recorder accumulates one operation sequence per process. It is safe
+// for concurrent use (the live transport invokes processes from
+// different goroutines).
+type Recorder struct {
+	mu    sync.Mutex
+	adt   spec.ADT
+	procs [][]spec.Operation
+	omega []bool // per process: last op flagged ω
+}
+
+// New creates a recorder for n processes over the given ADT.
+func New(t spec.ADT, n int) *Recorder {
+	return &Recorder{adt: t, procs: make([][]spec.Operation, n), omega: make([]bool, n)}
+}
+
+// Record appends an operation to process p's sequence.
+func (r *Recorder) Record(p int, in spec.Input, out spec.Output) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[p] = append(r.procs[p], spec.NewOp(in, out))
+	r.omega[p] = false
+}
+
+// MarkOmega flags the last operation of process p as ω-repeating (used
+// when an experiment's final quiescent reads stand for the infinite
+// tail of the execution).
+func (r *Recorder) MarkOmega(p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.procs[p]) == 0 {
+		panic("trace: MarkOmega on empty process")
+	}
+	r.omega[p] = true
+}
+
+// Len returns the number of operations recorded for process p.
+func (r *Recorder) Len(p int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.procs[p])
+}
+
+// Total returns the number of operations recorded across all processes.
+func (r *Recorder) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, p := range r.procs {
+		n += len(p)
+	}
+	return n
+}
+
+// History builds the distributed history recorded so far.
+func (r *Recorder) History() *history.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := history.NewBuilder(r.adt)
+	for p, ops := range r.procs {
+		for i, op := range ops {
+			if r.omega[p] && i == len(ops)-1 {
+				b.AppendOmega(p, op)
+			} else {
+				b.Append(p, op)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,78 @@
+package trace_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func TestRecorderHistory(t *testing.T) {
+	rec := trace.New(adt.NewWindowStream(2), 2)
+	rec.Record(0, spec.NewInput("w", 1), spec.Bot)
+	rec.Record(1, spec.NewInput("r"), spec.TupleOutput(0, 1))
+	rec.Record(0, spec.NewInput("r"), spec.TupleOutput(0, 1))
+	if rec.Len(0) != 2 || rec.Len(1) != 1 || rec.Total() != 3 {
+		t.Fatalf("lengths wrong: %d %d %d", rec.Len(0), rec.Len(1), rec.Total())
+	}
+	h := rec.History()
+	if h.N() != 3 {
+		t.Fatalf("history has %d events", h.N())
+	}
+	if len(h.Processes()) != 2 {
+		t.Fatalf("processes = %d", len(h.Processes()))
+	}
+	// Program order within process 0, none across.
+	p0 := h.Processes()[0]
+	if !h.Prog().Has(p0[0], p0[1]) {
+		t.Fatal("missing program edge")
+	}
+}
+
+func TestMarkOmega(t *testing.T) {
+	rec := trace.New(adt.NewWindowStream(2), 1)
+	rec.Record(0, spec.NewInput("r"), spec.TupleOutput(0, 0))
+	rec.MarkOmega(0)
+	h := rec.History()
+	if !h.Events[0].Omega {
+		t.Fatal("ω flag lost")
+	}
+	// A further record clears the flag (only the final op can be ω).
+	rec.Record(0, spec.NewInput("r"), spec.TupleOutput(0, 0))
+	h = rec.History()
+	if h.Events[0].Omega || h.Events[1].Omega {
+		t.Fatal("stale ω flag")
+	}
+}
+
+func TestMarkOmegaEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkOmega on empty process did not panic")
+		}
+	}()
+	trace.New(adt.NewWindowStream(2), 1).MarkOmega(0)
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := trace.New(adt.Counter{}, 4)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Record(p, spec.NewInput("inc"), spec.Bot)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if rec.Total() != 400 {
+		t.Fatalf("Total = %d", rec.Total())
+	}
+	if rec.History().N() != 400 {
+		t.Fatal("history event count wrong")
+	}
+}

@@ -1,0 +1,142 @@
+// Package vclock provides the logical clocks used by the broadcast and
+// replication layers: Lamport scalar clocks with (time, pid) timestamp
+// pairs (used by the causal-convergence algorithm of Fig. 5) and vector
+// clocks (used to implement reliable causal broadcast).
+package vclock
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Timestamp is a Lamport timestamp pair (VT, PID). Pairs are totally
+// ordered lexicographically: (vt, j) < (vt', j') iff vt < vt' or
+// vt = vt' and j < j'. Process ids are assumed unique and totally
+// ordered, as in the paper (Sec. 6.3).
+type Timestamp struct {
+	VT  int
+	PID int
+}
+
+// Less reports whether t < u in the total timestamp order.
+func (t Timestamp) Less(u Timestamp) bool {
+	if t.VT != u.VT {
+		return t.VT < u.VT
+	}
+	return t.PID < u.PID
+}
+
+// LessEq reports whether t ≤ u.
+func (t Timestamp) LessEq(u Timestamp) bool { return t == u || t.Less(u) }
+
+// String renders (vt, pid).
+func (t Timestamp) String() string { return fmt.Sprintf("(%d,%d)", t.VT, t.PID) }
+
+// Lamport is a Lamport logical clock (Lamport 1978). The zero value is
+// a clock at time 0.
+type Lamport struct {
+	time int
+}
+
+// Tick advances the clock for a local event and returns the new time.
+func (c *Lamport) Tick() int {
+	c.time++
+	return c.time
+}
+
+// Witness merges an observed remote time into the clock, implementing
+// the max rule of line 11 in Fig. 5.
+func (c *Lamport) Witness(t int) {
+	if t > c.time {
+		c.time = t
+	}
+}
+
+// Time returns the current clock value.
+func (c *Lamport) Time() int { return c.time }
+
+// VC is a vector clock over n processes. VCs are the standard carrier
+// of causal-delivery conditions in reliable causal broadcast.
+type VC []int
+
+// New returns the zero vector clock for n processes.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Incr increments component i and returns the clock for chaining.
+func (v VC) Incr(i int) VC {
+	v[i]++
+	return v
+}
+
+// Merge sets v to the componentwise maximum of v and u.
+func (v VC) Merge(u VC) {
+	for i := range v {
+		if u[i] > v[i] {
+			v[i] = u[i]
+		}
+	}
+}
+
+// LessEq reports whether v ≤ u componentwise (v happened-before-or-
+// equals u).
+func (v VC) LessEq(u VC) bool {
+	for i := range v {
+		if v[i] > u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports whether v < u: v ≤ u and v ≠ u.
+func (v VC) Less(u VC) bool { return v.LessEq(u) && !u.LessEq(v) }
+
+// Concurrent reports whether v and u are incomparable.
+func (v VC) Concurrent(u VC) bool { return !v.LessEq(u) && !u.LessEq(v) }
+
+// Equal reports componentwise equality.
+func (v VC) Equal(u VC) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i := range v {
+		if v[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CausallyReady reports whether a message stamped with clock m from
+// process sender may be delivered at a process whose delivered-state
+// vector is v: m[sender] = v[sender]+1 and m[k] ≤ v[k] for k ≠ sender.
+// This is the classical Birman-Schiper-Stephenson delivery condition.
+func CausallyReady(m, v VC, sender int) bool {
+	for k := range m {
+		if k == sender {
+			if m[k] != v[k]+1 {
+				return false
+			}
+		} else if m[k] > v[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as [a b c].
+func (v VC) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.Itoa(x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,149 @@
+package vclock_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+)
+
+func TestTimestampOrder(t *testing.T) {
+	a := vclock.Timestamp{VT: 1, PID: 2}
+	b := vclock.Timestamp{VT: 2, PID: 0}
+	c := vclock.Timestamp{VT: 1, PID: 3}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("vt comparison wrong")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Fatal("pid tiebreak wrong")
+	}
+	if !a.LessEq(a) || a.Less(a) {
+		t.Fatal("reflexivity wrong")
+	}
+}
+
+// TestTimestampTotalOrder: trichotomy and transitivity via quick.
+func TestTimestampTotalOrder(t *testing.T) {
+	tri := func(a, b vclock.Timestamp) bool {
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	trans := func(a, b, c vclock.Timestamp) bool {
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(trans, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLamportClock(t *testing.T) {
+	var c vclock.Lamport
+	if c.Time() != 0 {
+		t.Fatal("zero clock not 0")
+	}
+	if c.Tick() != 1 || c.Tick() != 2 {
+		t.Fatal("tick sequence wrong")
+	}
+	c.Witness(10)
+	if c.Time() != 10 {
+		t.Fatal("witness did not advance")
+	}
+	c.Witness(5)
+	if c.Time() != 10 {
+		t.Fatal("witness regressed")
+	}
+	if c.Tick() != 11 {
+		t.Fatal("tick after witness wrong")
+	}
+}
+
+func TestVCMergeLessEq(t *testing.T) {
+	a := vclock.VC{1, 2, 3}
+	b := vclock.VC{2, 1, 3}
+	if a.LessEq(b) || b.LessEq(a) {
+		t.Fatal("incomparable clocks compared")
+	}
+	if !a.Concurrent(b) {
+		t.Fatal("concurrency not detected")
+	}
+	m := a.Clone()
+	m.Merge(b)
+	if !m.Equal(vclock.VC{2, 2, 3}) {
+		t.Fatalf("merge = %v", m)
+	}
+	if !a.LessEq(m) || !b.LessEq(m) {
+		t.Fatal("merge not an upper bound")
+	}
+	if !a.Less(m) {
+		t.Fatal("strict less wrong")
+	}
+}
+
+// TestVCMergeIsLub: merge is the least upper bound (quick).
+func TestVCMergeIsLub(t *testing.T) {
+	f := func(a, b [4]uint8) bool {
+		va, vb := vclock.New(4), vclock.New(4)
+		for i := 0; i < 4; i++ {
+			va[i], vb[i] = int(a[i]), int(b[i])
+		}
+		m := va.Clone()
+		m.Merge(vb)
+		if !va.LessEq(m) || !vb.LessEq(m) {
+			return false
+		}
+		// Any other upper bound dominates m.
+		u := vclock.New(4)
+		for i := 0; i < 4; i++ {
+			u[i] = max(va[i], vb[i])
+		}
+		return m.Equal(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCausallyReady(t *testing.T) {
+	// Delivered nothing yet; p0's first message is ready, second is not.
+	v := vclock.New(2)
+	m1 := vclock.VC{1, 0}
+	m2 := vclock.VC{2, 0}
+	if !vclock.CausallyReady(m1, v, 0) {
+		t.Fatal("first message must be ready")
+	}
+	if vclock.CausallyReady(m2, v, 0) {
+		t.Fatal("second message delivered before first")
+	}
+	// A message depending on an undelivered foreign message waits.
+	dep := vclock.VC{1, 1}
+	if vclock.CausallyReady(dep, vclock.New(2), 1) {
+		t.Fatal("dependent message delivered too early")
+	}
+	if !vclock.CausallyReady(dep, vclock.VC{1, 0}, 1) {
+		t.Fatal("dependency satisfied but not ready")
+	}
+}
+
+func TestVCString(t *testing.T) {
+	if got := (vclock.VC{1, 0, 2}).String(); got != "[1 0 2]" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (vclock.Timestamp{VT: 3, PID: 1}).String(); got != "(3,1)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/spec"
+)
+
+// OpGen produces a random invocation for a specific ADT: step is a
+// monotone counter the generator may use to make written values
+// distinct (distinct values keep the exact checkers sharp, per the
+// Prop. 4 hypothesis).
+type OpGen func(rng *rand.Rand, step int) spec.Input
+
+// GeneratorFor returns a random-operation generator for any ADT
+// produced by adt.Lookup. writeRatio is the probability of choosing
+// an update operation where the type has a pure-update/pure-query
+// split; types whose operations are inherently mixed (queues) use it
+// to bias between producing and consuming.
+func GeneratorFor(t spec.ADT, writeRatio float64) (OpGen, error) {
+	switch a := t.(type) {
+	case adt.Register:
+		return func(rng *rand.Rand, step int) spec.Input {
+			if rng.Float64() < writeRatio {
+				return spec.NewInput("w", step+1)
+			}
+			return spec.NewInput("r")
+		}, nil
+	case adt.CASRegister:
+		return func(rng *rand.Rand, step int) spec.Input {
+			switch {
+			case rng.Float64() < writeRatio/2:
+				return spec.NewInput("w", step+1)
+			case rng.Float64() < writeRatio:
+				return spec.NewInput("cas", rng.Intn(step+1), step+1)
+			default:
+				return spec.NewInput("r")
+			}
+		}, nil
+	case adt.WindowStream:
+		return func(rng *rand.Rand, step int) spec.Input {
+			if rng.Float64() < writeRatio {
+				return spec.NewInput("w", step+1)
+			}
+			return spec.NewInput("r")
+		}, nil
+	case adt.WindowArray:
+		return func(rng *rand.Rand, step int) spec.Input {
+			x := rng.Intn(a.Streams)
+			if rng.Float64() < writeRatio {
+				return spec.NewInput("w", x, step+1)
+			}
+			return spec.NewInput("r", x)
+		}, nil
+	case adt.Memory:
+		regs := a.Registers()
+		return func(rng *rand.Rand, step int) spec.Input {
+			reg := regs[rng.Intn(len(regs))]
+			if rng.Float64() < writeRatio {
+				return spec.NewInput("w"+reg, step+1)
+			}
+			return spec.NewInput("r" + reg)
+		}, nil
+	case adt.Counter:
+		return func(rng *rand.Rand, step int) spec.Input {
+			switch {
+			case rng.Float64() >= writeRatio:
+				return spec.NewInput("get")
+			case rng.Intn(2) == 0:
+				return spec.NewInput("inc", 1+rng.Intn(3))
+			default:
+				return spec.NewInput("dec", 1+rng.Intn(2))
+			}
+		}, nil
+	case adt.GSet:
+		return func(rng *rand.Rand, step int) spec.Input {
+			if rng.Float64() < writeRatio {
+				return spec.NewInput("add", rng.Intn(8))
+			}
+			if rng.Intn(2) == 0 {
+				return spec.NewInput("has", rng.Intn(8))
+			}
+			return spec.NewInput("elems")
+		}, nil
+	case adt.RWSet:
+		return func(rng *rand.Rand, step int) spec.Input {
+			switch {
+			case rng.Float64() >= writeRatio:
+				if rng.Intn(2) == 0 {
+					return spec.NewInput("has", rng.Intn(8))
+				}
+				return spec.NewInput("elems")
+			case rng.Intn(3) == 0:
+				return spec.NewInput("rem", rng.Intn(8))
+			default:
+				return spec.NewInput("add", rng.Intn(8))
+			}
+		}, nil
+	case adt.Queue:
+		return func(rng *rand.Rand, step int) spec.Input {
+			if rng.Float64() < writeRatio {
+				return spec.NewInput("push", step+1)
+			}
+			return spec.NewInput("pop")
+		}, nil
+	case adt.Queue2:
+		return func(rng *rand.Rand, step int) spec.Input {
+			switch {
+			case rng.Float64() < writeRatio:
+				return spec.NewInput("push", step+1)
+			case rng.Intn(2) == 0:
+				return spec.NewInput("hd")
+			default:
+				// rh of a small value: usually a no-op unless it
+				// matches the head, which is the type's point.
+				return spec.NewInput("rh", rng.Intn(step+1))
+			}
+		}, nil
+	case adt.Stack:
+		return func(rng *rand.Rand, step int) spec.Input {
+			switch {
+			case rng.Float64() < writeRatio:
+				return spec.NewInput("push", step+1)
+			case rng.Intn(2) == 0:
+				return spec.NewInput("top")
+			default:
+				return spec.NewInput("pop")
+			}
+		}, nil
+	case adt.Sequence:
+		return func(rng *rand.Rand, step int) spec.Input {
+			switch {
+			case rng.Float64() < writeRatio:
+				return spec.NewInput("ins", rng.Intn(step+1), 'a'+rng.Intn(26))
+			case rng.Intn(3) == 0:
+				return spec.NewInput("del", rng.Intn(step+1))
+			default:
+				return spec.NewInput("read")
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("workload: no generator for ADT %s", t.Name())
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// TestGeneratorForAllRegistryTypes: every ADT the registry can
+// produce has a generator, and 200 generated operations run against
+// the sequential spec without panics (the spec functions are total).
+func TestGeneratorForAllRegistryTypes(t *testing.T) {
+	names := []string{"Register", "CAS", "W2", "W3^2", "M[a-c]", "Counter", "GSet", "RWSet", "Queue", "Queue2", "Stack", "Sequence"}
+	for _, name := range names {
+		a, err := adt.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		gen, err := GeneratorFor(a, 0.5)
+		if err != nil {
+			t.Fatalf("GeneratorFor(%q): %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		q := a.Init()
+		updates, queries := 0, 0
+		for i := 0; i < 200; i++ {
+			in := gen(rng, i)
+			q, _ = a.Step(q, in)
+			if a.IsUpdate(in) {
+				updates++
+			}
+			if a.IsQuery(in) {
+				queries++
+			}
+		}
+		if updates == 0 {
+			t.Errorf("%s: generator produced no updates", name)
+		}
+		if queries == 0 {
+			t.Errorf("%s: generator produced no queries", name)
+		}
+	}
+}
+
+// TestGeneratorUnknownADT: a type outside the registry is reported,
+// not silently defaulted.
+func TestGeneratorUnknownADT(t *testing.T) {
+	if _, err := GeneratorFor(fakeADT{}, 0.5); err == nil {
+		t.Fatal("unknown ADT accepted")
+	}
+}
+
+type fakeADT struct{}
+
+func (fakeADT) Name() string                                               { return "fake" }
+func (fakeADT) Init() spec.State                                           { return nil }
+func (fakeADT) Step(q spec.State, in spec.Input) (spec.State, spec.Output) { return q, spec.Bot }
+func (fakeADT) IsUpdate(spec.Input) bool                                   { return false }
+func (fakeADT) IsQuery(spec.Input) bool                                    { return true }
+
+// TestGeneratedRuntimeHistoriesSatisfyMode drives small generated
+// workloads for several ADTs through the CC and CCv runtimes and
+// verifies the recorded histories with the exact checkers — the
+// ccsim -adt -check loop as a regression test.
+func TestGeneratedRuntimeHistoriesSatisfyMode(t *testing.T) {
+	cases := []struct {
+		adtName string
+		mode    core.Mode
+		crit    check.Criterion
+		ops     int
+	}{
+		{"Counter", core.ModeCC, check.CritCC, 12},
+		{"Counter", core.ModeCCv, check.CritCCv, 12},
+		{"RWSet", core.ModeCCv, check.CritCCv, 10},
+		{"Queue", core.ModeCC, check.CritCC, 9},
+		{"Stack", core.ModeCCv, check.CritCCv, 9},
+		{"CAS", core.ModeCC, check.CritCC, 10},
+	}
+	for _, tc := range cases {
+		a, err := adt.Lookup(tc.adtName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := GeneratorFor(a, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 4; seed++ {
+			c := core.NewCluster(3, a, tc.mode, seed)
+			rng := rand.New(rand.NewSource(seed * 17))
+			for i := 0; i < tc.ops; i++ {
+				c.Replicas[rng.Intn(3)].Invoke(gen(rng, i))
+				for d := rng.Intn(4); d > 0; d-- {
+					c.Net.Step()
+				}
+			}
+			c.Settle()
+			ok, _, err := check.Check(tc.crit, c.Recorder.History(), check.Options{})
+			if err != nil {
+				t.Fatalf("%s/%v seed %d: %v", tc.adtName, tc.mode, seed, err)
+			}
+			if !ok {
+				t.Fatalf("%s/%v seed %d: recorded history violates %v:\n%s",
+					tc.adtName, tc.mode, seed, tc.crit, c.Recorder.History())
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// This file drives the paper's queue discussion (Sec. 4.1, Figs.
+// 3e–3g): under weak criteria the coupled pop loses elements (2 is
+// never popped) and duplicates them (1 is popped twice), while the
+// decoupled Q′ (hd + rh) consumes every element at least once. The
+// harness makes those anomalies *rates* instead of anecdotes.
+
+// QueueConfig parameterizes a queue anomaly run.
+type QueueConfig struct {
+	Procs  int
+	Pushes int // total elements pushed, values 1..Pushes (all distinct)
+	Seed   int64
+	// MaxStepsBetween bounds random message deliveries between
+	// operations (0 = fully asynchronous until the final settle).
+	MaxStepsBetween int
+}
+
+// QueueStats counts consumption anomalies for one run.
+type QueueStats struct {
+	Pushed     int
+	Consumed   int // pop (or hd+rh) results, counting multiplicity
+	Lost       int // values never consumed by any process
+	Duplicated int // extra consumptions beyond the first, summed
+}
+
+// consume tallies one returned element.
+func (s *QueueStats) consume(counts map[int]int, v int) {
+	s.Consumed++
+	counts[v]++
+	if counts[v] > 1 {
+		s.Duplicated++
+	}
+}
+
+func (s *QueueStats) finish(counts map[int]int) {
+	for v := 1; v <= s.Pushed; v++ {
+		if counts[v] == 0 {
+			s.Lost++
+		}
+	}
+}
+
+// RunQueue drives the coupled-pop queue Q under the given replication
+// mode: random interleaved pushes and pops, then a settle, then every
+// process drains its local replica. Exactly-once consumption would
+// have Lost == 0 and Duplicated == 0; weak modes violate both.
+func RunQueue(mode core.Mode, cfg QueueConfig) QueueStats {
+	c := core.NewCluster(cfg.Procs, adt.Queue{}, mode, cfg.Seed)
+	c.DisableRecording()
+	rng := rand.New(rand.NewSource(cfg.Seed*48271 + 7))
+	stats := QueueStats{Pushed: cfg.Pushes}
+	counts := make(map[int]int, cfg.Pushes)
+
+	next := 1
+	for next <= cfg.Pushes {
+		p := rng.Intn(cfg.Procs)
+		if rng.Intn(2) == 0 {
+			c.Invoke(p, "push", next)
+			next++
+		} else {
+			if out := c.Invoke(p, "pop"); !out.Bot {
+				stats.consume(counts, out.Vals[0])
+			}
+		}
+		for d := rng.Intn(cfg.MaxStepsBetween + 1); d > 0; d-- {
+			c.Net.Step()
+		}
+	}
+	c.Settle()
+	for p := 0; p < cfg.Procs; p++ {
+		for {
+			out := c.Invoke(p, "pop")
+			if out.Bot {
+				break
+			}
+			stats.consume(counts, out.Vals[0])
+		}
+		c.Settle()
+	}
+	stats.finish(counts)
+	return stats
+}
+
+// RunQueue2 drives the paper's Q′ (hd + remove-head): a consumer reads
+// the head and then removes exactly the value it saw. Elements can
+// still be consumed at more than one process, but none can vanish —
+// the at-least-once guarantee Fig. 3g illustrates.
+func RunQueue2(mode core.Mode, cfg QueueConfig) QueueStats {
+	c := core.NewCluster(cfg.Procs, adt.Queue2{}, mode, cfg.Seed)
+	c.DisableRecording()
+	rng := rand.New(rand.NewSource(cfg.Seed*48271 + 7))
+	stats := QueueStats{Pushed: cfg.Pushes}
+	counts := make(map[int]int, cfg.Pushes)
+
+	consumeOne := func(p int) {
+		out := c.Invoke(p, "hd")
+		if out.Bot {
+			return
+		}
+		v := out.Vals[0]
+		c.Invoke(p, "rh", v)
+		stats.consume(counts, v)
+	}
+
+	next := 1
+	for next <= cfg.Pushes {
+		p := rng.Intn(cfg.Procs)
+		if rng.Intn(2) == 0 {
+			c.Invoke(p, "push", next)
+			next++
+		} else {
+			consumeOne(p)
+		}
+		for d := rng.Intn(cfg.MaxStepsBetween + 1); d > 0; d-- {
+			c.Net.Step()
+		}
+	}
+	c.Settle()
+	for p := 0; p < cfg.Procs; p++ {
+		for {
+			out := c.Invoke(p, "hd")
+			if out.Bot {
+				break
+			}
+			v := out.Vals[0]
+			c.Invoke(p, "rh", v)
+			stats.consume(counts, v)
+		}
+		c.Settle()
+	}
+	stats.finish(counts)
+	return stats
+}
+
+// RunQueueSC drives the coupled-pop queue on the sequentially
+// consistent baseline (live transport, sequential driver): the
+// exactly-once control group.
+func RunQueueSC(cfg QueueConfig) QueueStats {
+	c := core.NewSCCluster(cfg.Procs, adt.Queue{})
+	defer c.Close()
+	rng := rand.New(rand.NewSource(cfg.Seed*48271 + 7))
+	stats := QueueStats{Pushed: cfg.Pushes}
+	counts := make(map[int]int, cfg.Pushes)
+
+	next := 1
+	for next <= cfg.Pushes {
+		p := rng.Intn(cfg.Procs)
+		if rng.Intn(2) == 0 {
+			c.Replicas[p].Invoke(spec.NewInput("push", next))
+			next++
+		} else {
+			if out := c.Replicas[p].Invoke(spec.NewInput("pop")); !out.Bot {
+				stats.consume(counts, out.Vals[0])
+			}
+		}
+	}
+	c.Net.Quiesce()
+	for p := 0; p < cfg.Procs; p++ {
+		for {
+			out := c.Replicas[p].Invoke(spec.NewInput("pop"))
+			if out.Bot {
+				break
+			}
+			stats.consume(counts, out.Vals[0])
+		}
+		c.Net.Quiesce()
+	}
+	stats.finish(counts)
+	return stats
+}

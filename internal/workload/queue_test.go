@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func qcfg(seed int64) QueueConfig {
+	return QueueConfig{Procs: 3, Pushes: 12, Seed: seed, MaxStepsBetween: 3}
+}
+
+// TestQueueSCExactlyOnce: the sequentially consistent control group
+// consumes every element exactly once.
+func TestQueueSCExactlyOnce(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s := RunQueueSC(qcfg(seed))
+		if s.Lost != 0 || s.Duplicated != 0 {
+			t.Fatalf("seed %d: SC queue lost %d, duplicated %d — must be exactly-once", seed, s.Lost, s.Duplicated)
+		}
+		if s.Consumed != s.Pushed {
+			t.Fatalf("seed %d: consumed %d of %d", seed, s.Consumed, s.Pushed)
+		}
+	}
+}
+
+// TestQueueCCAnomaliesExist: over enough seeds the causally consistent
+// coupled-pop queue exhibits both anomalies of Sec. 4.1 — elements
+// lost (Fig. 3f: 2 is never popped) and duplicated (1 popped twice).
+func TestQueueCCAnomaliesExist(t *testing.T) {
+	lost, dup := 0, 0
+	for seed := int64(1); seed <= 30; seed++ {
+		s := RunQueue(core.ModeCC, qcfg(seed))
+		lost += s.Lost
+		dup += s.Duplicated
+	}
+	if lost == 0 {
+		t.Error("CC queue never lost an element over 30 seeds; Sec. 4.1 predicts losses")
+	}
+	if dup == 0 {
+		t.Error("CC queue never duplicated an element over 30 seeds; Sec. 4.1 predicts duplicates")
+	}
+}
+
+// TestQueue2NeverLoses: the decoupled Q′ can duplicate consumption but
+// never lose an element — the at-least-once guarantee of Fig. 3g —
+// under every weak mode.
+func TestQueue2NeverLoses(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeCC, core.ModeCCv, core.ModePC, core.ModeEC} {
+		for seed := int64(1); seed <= 10; seed++ {
+			s := RunQueue2(mode, qcfg(seed))
+			if s.Lost != 0 {
+				t.Fatalf("%v seed %d: Q' lost %d elements — hd/rh must be at-least-once", mode, seed, s.Lost)
+			}
+		}
+	}
+}
+
+// TestQueueConservation: whatever the mode, consumption accounting is
+// conserved: consumed = pushed - lost + duplicated.
+func TestQueueConservation(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeCC, core.ModeCCv, core.ModePC, core.ModeEC} {
+		for seed := int64(1); seed <= 10; seed++ {
+			s := RunQueue(mode, qcfg(seed))
+			if s.Consumed != s.Pushed-s.Lost+s.Duplicated {
+				t.Fatalf("%v seed %d: conservation broken: %+v", mode, seed, s)
+			}
+		}
+	}
+}

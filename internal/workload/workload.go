@@ -1,0 +1,82 @@
+// Package workload generates the driver workloads for the experiments
+// and benchmarks: seeded random mixes of reads and writes on window
+// stream arrays (the object of Fig. 4 and Fig. 5), with configurable
+// process counts, operation mixes, and delivery interleavings.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+)
+
+// Config parameterizes a window-stream-array workload.
+type Config struct {
+	Procs      int     // number of processes
+	Ops        int     // total operations
+	Streams    int     // K
+	Size       int     // k
+	WriteRatio float64 // fraction of writes (0..1)
+	Seed       int64
+	// MaxStepsBetween is the maximum number of message deliveries
+	// performed between consecutive operations (drawn uniformly),
+	// controlling how asynchronous the run is. 0 delivers nothing until
+	// the end.
+	MaxStepsBetween int
+}
+
+// Result summarizes a driven run.
+type Result struct {
+	Cluster  *core.Cluster
+	Writes   int
+	Reads    int
+	Messages int64
+}
+
+// Run builds a cluster in the given mode and drives the workload,
+// settling the network at the end.
+func Run(mode core.Mode, cfg Config) Result {
+	c := core.NewCluster(cfg.Procs, adt.NewWindowArray(cfg.Streams, cfg.Size), mode, cfg.Seed)
+	res := Drive(c, cfg)
+	return res
+}
+
+// Drive runs the workload against an existing cluster.
+func Drive(c *core.Cluster, cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed*2654435761 + 1))
+	res := Result{Cluster: c}
+	val := 1
+	for i := 0; i < cfg.Ops; i++ {
+		p := rng.Intn(cfg.Procs)
+		x := rng.Intn(cfg.Streams)
+		if rng.Float64() < cfg.WriteRatio {
+			c.Invoke(p, "w", x, val)
+			val++
+			res.Writes++
+		} else {
+			c.Invoke(p, "r", x)
+			res.Reads++
+		}
+		if cfg.MaxStepsBetween > 0 {
+			for d := rng.Intn(cfg.MaxStepsBetween + 1); d > 0; d-- {
+				c.Net.Step()
+			}
+		}
+	}
+	c.Settle()
+	res.Messages = c.Net.Sent
+	return res
+}
+
+// FinalReads performs one quiescent read of every stream on every
+// process and marks them ω, turning the run into a checkable
+// "limit" history for the convergence criteria.
+func FinalReads(c *core.Cluster, streams int) {
+	for p := range c.Replicas {
+		for x := 0; x < streams; x++ {
+			c.Invoke(p, "r", x)
+		}
+		c.Recorder.MarkOmega(p)
+	}
+}

@@ -1,0 +1,67 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestRunShape(t *testing.T) {
+	cfg := workload.Config{
+		Procs: 4, Ops: 100, Streams: 3, Size: 2,
+		WriteRatio: 0.5, Seed: 1, MaxStepsBetween: 3,
+	}
+	res := workload.Run(core.ModeCC, cfg)
+	if res.Writes+res.Reads != 100 {
+		t.Fatalf("ops = %d + %d", res.Writes, res.Reads)
+	}
+	if res.Writes == 0 || res.Reads == 0 {
+		t.Fatalf("degenerate mix: %d writes %d reads", res.Writes, res.Reads)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages sent")
+	}
+	if res.Cluster.Recorder.Total() != 100 {
+		t.Fatalf("recorded %d ops", res.Cluster.Recorder.Total())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := workload.Config{
+		Procs: 3, Ops: 60, Streams: 2, Size: 2,
+		WriteRatio: 0.4, Seed: 77, MaxStepsBetween: 2,
+	}
+	a := workload.Run(core.ModeCCv, cfg)
+	b := workload.Run(core.ModeCCv, cfg)
+	if a.Writes != b.Writes || a.Messages != b.Messages {
+		t.Fatal("same seed, different run")
+	}
+	ha, hb := a.Cluster.Recorder.History(), b.Cluster.Recorder.History()
+	if ha.String() != hb.String() {
+		t.Fatal("same seed, different histories")
+	}
+}
+
+// TestFinalReadsOmega: the quiescent final reads are ω-flagged and make
+// the CCv run checkable for eventual consistency.
+func TestFinalReadsOmega(t *testing.T) {
+	cfg := workload.Config{
+		Procs: 3, Ops: 12, Streams: 2, Size: 2,
+		WriteRatio: 0.7, Seed: 5, MaxStepsBetween: 2,
+	}
+	res := workload.Run(core.ModeCCv, cfg)
+	workload.FinalReads(res.Cluster, cfg.Streams)
+	h := res.Cluster.Recorder.History()
+	if h.OmegaEvents().Count() != 3 {
+		t.Fatalf("ω events = %d, want one per process", h.OmegaEvents().Count())
+	}
+	ok, _, err := check.EC(h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("CCv workload is not eventually consistent at quiescence")
+	}
+}

@@ -1,0 +1,262 @@
+// Package wsarray contains faithful transcriptions of the paper's two
+// algorithms for an array of K window streams of size k: the causally
+// consistent implementation of Fig. 4 and the causally convergent
+// implementation of Fig. 5. They are the specialized counterparts of
+// the generic core.Replica modes (which the tests cross-validate
+// against); unlike the generic replicas they store only the k newest
+// values per stream, exactly as the pseudocode does.
+package wsarray
+
+import (
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/broadcast"
+	"repro/internal/net"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// ccMsg is Fig. 4's Mess(x, v).
+type ccMsg struct {
+	X, V int
+}
+
+// CCArray is the algorithm of Fig. 4: a causally consistent array of K
+// window streams of size k. Writes causally broadcast (x, v); upon
+// delivery each process shifts the stream and appends the value; reads
+// return the local stream. Every operation completes without waiting
+// (wait-freedom, hence fault-tolerance).
+type CCArray struct {
+	mu  sync.Mutex
+	id  int
+	k   int
+	str [][]int // stri ∈ N^{K×k}
+	bc  *broadcast.Causal
+	rec *trace.Recorder
+}
+
+// NewCCArray creates process id's replica (code for p_i in Fig. 4).
+func NewCCArray(tr net.Transport, id, streams, size int, rec *trace.Recorder) *CCArray {
+	a := &CCArray{id: id, k: size, rec: rec, str: make([][]int, streams)}
+	for x := range a.str {
+		a.str[x] = make([]int, size) // [0, ..., 0]
+	}
+	a.bc = broadcast.NewCausal(tr, id, a.onReceive)
+	return a
+}
+
+// Read implements fun read(x): it simply returns the corresponding
+// local state (Fig. 4 line 4).
+func (a *CCArray) Read(x int) []int {
+	a.mu.Lock()
+	out := make([]int, a.k)
+	copy(out, a.str[x])
+	a.mu.Unlock()
+	if a.rec != nil {
+		a.rec.Record(a.id, spec.NewInput("r", x), spec.TupleOutput(out...))
+	}
+	return out
+}
+
+// Write implements fun write(x, v): causal broadcast Mess(x, v)
+// (Fig. 4 line 7). The local application happens through the
+// broadcast's immediate local delivery.
+func (a *CCArray) Write(x, v int) {
+	a.bc.Broadcast(ccMsg{X: x, V: v})
+	if a.rec != nil {
+		a.rec.Record(a.id, spec.NewInput("w", x, v), spec.Bot)
+	}
+}
+
+// onReceive implements "on receive Mess(x, v)" (Fig. 4 lines 9-14):
+// shift the old values and insert the new value at the end.
+func (a *CCArray) onReceive(_ int, payload any) {
+	m, ok := payload.(ccMsg)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	s := a.str[m.X]
+	for y := 0; y <= a.k-2; y++ {
+		s[y] = s[y+1]
+	}
+	s[a.k-1] = m.V
+	a.mu.Unlock()
+}
+
+// StateKey fingerprints the local state for convergence measurements.
+func (a *CCArray) StateKey() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return stateKey(a.str)
+}
+
+func stateKey(str [][]int) string {
+	w := adt.NewWindowArray(len(str), len(str[0]))
+	q := w.Init()
+	for x, s := range str {
+		for _, v := range s {
+			q, _ = w.Step(q, spec.NewInput("w", x, v))
+		}
+	}
+	return q.Key()
+}
+
+// ccvMsg is Fig. 5's Mess(x, v, vt, j).
+type ccvMsg struct {
+	X, V int
+	TS   vclock.Timestamp
+}
+
+// ccvCell is one stream cell: a value and the timestamp of the write
+// that produced it — Fig. 5's structure (v, (vt, j)).
+type ccvCell struct {
+	V  int
+	TS vclock.Timestamp
+}
+
+// CCvArray is the algorithm of Fig. 5: a causally convergent array of
+// K window streams of size k. Writes carry Lamport timestamps; upon
+// delivery each process inserts the value at its timestamp-ordered
+// position, so all replicas converge to the same state once they have
+// the same writes, while causal broadcast keeps the shared order
+// compatible with causality.
+//
+// Note on fidelity: the HAL text extraction of Fig. 5's insertion loop
+// reads "while y < k−1 ∧ str[x][y][1] ≤ (vt,j)", which (inserting at
+// y−1 afterwards) would file a strictly newest value one slot short of
+// the end, breaking the ascending-timestamp invariant. We implement
+// the evidently intended insertion — shift every strictly older cell
+// left, insert at the vacated slot, drop the value if it is older than
+// all k cells — which is the unique behaviour satisfying Prop. 7; the
+// checker-backed tests (TestFig5AlwaysCausallyConvergent and the
+// equivalence test against the generic CCv replica) confirm it.
+type CCvArray struct {
+	mu      sync.Mutex
+	id      int
+	k       int
+	str     [][]ccvCell // stri ∈ N^{K×k×(1+2)}
+	clock   vclock.Lamport
+	bc      *broadcast.Causal
+	rec     *trace.Recorder
+	literal bool // use the (buggy) literal HAL pseudocode; see NewCCvArrayLiteral
+}
+
+// NewCCvArray creates process id's replica (code for p_i in Fig. 5).
+func NewCCvArray(tr net.Transport, id, streams, size int, rec *trace.Recorder) *CCvArray {
+	a := &CCvArray{id: id, k: size, rec: rec, str: make([][]ccvCell, streams)}
+	for x := range a.str {
+		a.str[x] = make([]ccvCell, size) // [0, (0,0)] cells
+	}
+	a.bc = broadcast.NewCausal(tr, id, a.onReceive)
+	return a
+}
+
+// NewCCvArrayLiteral creates a replica that runs the insertion loop
+// exactly as the HAL text extraction prints it ("while y < k−1 ∧
+// str[x][y][1] ≤ (vt,j)" with the insert at y−1). It exists as an
+// executable refutation of that reading: TestFig5LiteralIsBroken shows
+// it violates the ascending-timestamp invariant and convergence, which
+// is how we justified the corrected insertion in NewCCvArray.
+func NewCCvArrayLiteral(tr net.Transport, id, streams, size int, rec *trace.Recorder) *CCvArray {
+	a := &CCvArray{id: id, k: size, rec: rec, literal: true, str: make([][]ccvCell, streams)}
+	for x := range a.str {
+		a.str[x] = make([]ccvCell, size)
+	}
+	a.bc = broadcast.NewCausal(tr, id, a.onReceive)
+	return a
+}
+
+// Read implements fun read(x): it strips the timestamps from the local
+// state (Fig. 5 line 5).
+func (a *CCvArray) Read(x int) []int {
+	a.mu.Lock()
+	out := make([]int, a.k)
+	for y, c := range a.str[x] {
+		out[y] = c.V
+	}
+	a.mu.Unlock()
+	if a.rec != nil {
+		a.rec.Record(a.id, spec.NewInput("r", x), spec.TupleOutput(out...))
+	}
+	return out
+}
+
+// Write implements fun write(x, v): causal broadcast of
+// Mess(x, v, vtime+1, i) (Fig. 5 line 8).
+func (a *CCvArray) Write(x, v int) {
+	a.mu.Lock()
+	ts := vclock.Timestamp{VT: a.clock.Time() + 1, PID: a.id}
+	a.mu.Unlock()
+	a.bc.Broadcast(ccvMsg{X: x, V: v, TS: ts})
+	if a.rec != nil {
+		a.rec.Record(a.id, spec.NewInput("w", x, v), spec.Bot)
+	}
+}
+
+// onReceive implements "on receive Mess(x, v, vt, j)" (Fig. 5 lines
+// 10-20): update the Lamport clock, then insert the value at its
+// timestamp-ordered position in the stream, dropping it if it is older
+// than every retained cell.
+func (a *CCvArray) onReceive(_ int, payload any) {
+	m, ok := payload.(ccvMsg)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	a.clock.Witness(m.TS.VT) // line 11: vtime ← max(vtime, vt)
+	s := a.str[m.X]
+	y := 0
+	if a.literal {
+		// Lines 12-19 verbatim from the HAL extraction: the loop bound
+		// y < k-1 stops one shift short when the value is newer than
+		// every retained cell, filing it at k-2 instead of k-1.
+		for y < a.k-1 && s[y].TS.LessEq(m.TS) {
+			s[y] = s[y+1]
+			y++
+		}
+		if y != 0 {
+			s[y-1] = ccvCell{V: m.V, TS: m.TS}
+		}
+		a.mu.Unlock()
+		return
+	}
+	for y < a.k && s[y].TS.LessEq(m.TS) {
+		if y+1 < a.k {
+			s[y] = s[y+1]
+		}
+		y++
+	}
+	if y != 0 {
+		s[y-1] = ccvCell{V: m.V, TS: m.TS} // line 18
+	}
+	a.mu.Unlock()
+}
+
+// StateKey fingerprints the visible (timestamp-stripped) local state.
+func (a *CCvArray) StateKey() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	str := make([][]int, len(a.str))
+	for x, s := range a.str {
+		str[x] = make([]int, a.k)
+		for y, c := range s {
+			str[x][y] = c.V
+		}
+	}
+	return stateKey(str)
+}
+
+// Timestamps returns the timestamp column of stream x (ascending if the
+// invariant holds) — used by tests to check the sortedness invariant.
+func (a *CCvArray) Timestamps(x int) []vclock.Timestamp {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]vclock.Timestamp, a.k)
+	for y, c := range a.str[x] {
+		out[y] = c.TS
+	}
+	return out
+}

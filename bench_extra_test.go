@@ -88,7 +88,7 @@ func BenchmarkRGATyping(b *testing.B) {
 	}
 }
 
-// BenchmarkCRDTvsGenericCCv is the ablation of DESIGN.md §5: the same
+// BenchmarkCRDTvsGenericCCv: the same
 // counter workload through the native PN-counter (constant-time apply)
 // and through the generic timestamp-log CCv runtime (sorted-log
 // insert + replay on read). Shape: the native type stays flat as

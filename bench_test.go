@@ -1,7 +1,7 @@
 package ccbm
 
 // The benchmark harness: one benchmark per figure of the paper plus
-// the ablations called out in DESIGN.md. Absolute numbers depend on the
+// the extension ablations. Absolute numbers depend on the
 // host; the reproduced *shapes* are:
 //
 //   Fig. 1  — checker costs across the criteria hierarchy (stronger
@@ -42,6 +42,7 @@ func BenchmarkFig3Classify(b *testing.B) {
 		b.Run(f.Name, func(b *testing.B) {
 			omega := f.History()
 			finite := f.FiniteHistory()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, cl := range f.Claims {
@@ -66,6 +67,7 @@ func BenchmarkFig1HierarchyCheck(b *testing.B) {
 	for _, c := range []check.Criterion{check.CritEC, check.CritUC, check.CritPC, check.CritWCC, check.CritCCv, check.CritCC, check.CritSC} {
 		c := c
 		b.Run(c.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := check.Check(c, h, check.Options{}); err != nil {
 					b.Fatal(err)
@@ -142,7 +144,7 @@ func BenchmarkFig5CCv(b *testing.B) {
 
 // BenchmarkFig5Specialized: the exact Fig. 5 window-array algorithm
 // (in-place timestamp insertion) versus the generic timestamp-log
-// replica it specializes — the ablation DESIGN.md calls out.
+// replica it specializes.
 func BenchmarkFig5Specialized(b *testing.B) {
 	const n, streams, size = 3, 4, 4
 	b.Run("wsarray", func(b *testing.B) {

@@ -1,0 +1,153 @@
+// Command ccbench measures the exact consistency checkers over the
+// paper's Fig. 1 / Fig. 3 fixtures and emits the result as JSON, so
+// that the repository can keep a perf trajectory across changes in
+// BENCH_checkers.json (see README.md for the workflow).
+//
+// Usage:
+//
+//	ccbench -label "my change"                 # print one run object
+//	ccbench -label "my change" -append FILE   # append to a JSON array
+//
+// Each run records ns/op, B/op and allocs/op per benchmark:
+//
+//	fig1/<criterion>  one full Check of the Fig. 3c history
+//	fig3/<subfigure>  all caption claims of one Fig. 3 history
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/paperfig"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Run is one ccbench invocation.
+type Run struct {
+	Label   string            `json:"label"`
+	Date    string            `json:"date"`
+	Go      string            `json:"go"`
+	GoosArc string            `json:"platform"`
+	Results map[string]Result `json:"results"`
+}
+
+func measure(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	if r.N == 0 {
+		// testing.Benchmark returns a zero result when the body calls
+		// b.Fatal (e.g. a checker reports an error); dividing by N
+		// would record NaN and the real failure would be lost.
+		fmt.Fprintf(os.Stderr, "ccbench: benchmark %s failed (checker error?)\n", name)
+		os.Exit(1)
+	}
+	return Result{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	label := flag.String("label", "", "label recorded with the run")
+	appendTo := flag.String("append", "", "append the run to this JSON-array file")
+	flag.Parse()
+
+	run := Run{
+		Label:   *label,
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GoosArc: runtime.GOOS + "/" + runtime.GOARCH,
+		Results: make(map[string]Result),
+	}
+
+	// fig1: every criterion of the hierarchy against the Fig. 3c
+	// history (mirrors BenchmarkFig1HierarchyCheck).
+	f3c, ok := paperfig.Fig3ByName("3c")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "ccbench: fixture 3c missing from paperfig.Fig3")
+		os.Exit(1)
+	}
+	h3c := f3c.History()
+	for _, c := range []check.Criterion{
+		check.CritEC, check.CritUC, check.CritPC, check.CritWCC,
+		check.CritCCv, check.CritCC, check.CritSC,
+	} {
+		run.Results["fig1/"+c.String()] = measure("fig1/"+c.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := check.Check(c, h3c, check.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// fig3: every caption claim of every sub-figure (mirrors
+	// BenchmarkFig3Classify).
+	for _, f := range paperfig.Fig3() {
+		omega := f.History()
+		finite := f.FiniteHistory()
+		run.Results["fig3/"+f.Name] = measure("fig3/"+f.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, cl := range f.Claims {
+					h := finite
+					if cl.OmegaReading {
+						h = omega
+					}
+					if _, _, err := check.Check(cl.Criterion, h, check.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+
+	if *appendTo == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(run); err != nil {
+			fmt.Fprintln(os.Stderr, "ccbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var runs []Run
+	data, err := os.ReadFile(*appendTo)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &runs); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %s is not a JSON array of runs: %v\n", *appendTo, err)
+			os.Exit(1)
+		}
+	case !os.IsNotExist(err):
+		// Any error other than "no file yet" must not silently discard
+		// the recorded trajectory.
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+	runs = append(runs, run)
+	data, err = json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*appendTo, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ccbench: appended %q to %s (%d runs)\n", *label, *appendTo, len(runs))
+}

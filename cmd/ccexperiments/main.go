@@ -1,5 +1,5 @@
 // Command ccexperiments regenerates every experiment table of
-// EXPERIMENTS.md (the per-figure reproduction index of DESIGN.md).
+// the experiment battery (per-figure reproduction; see README.md).
 //
 // Usage:
 //

@@ -12,9 +12,9 @@
 // (W_k and CAS).
 //
 // The implementation lives under internal/; see README.md for the
-// architecture, DESIGN.md for the system inventory and per-experiment
-// index, and EXPERIMENTS.md for the paper-versus-measured record
-// (E1–E19). The benchmarks in bench_test.go and bench_extra_test.go
-// regenerate the performance-shape results for every figure of the
-// paper and every extension ablation.
+// architecture, the benchmark workflow and the BENCH_checkers.json
+// performance record. The benchmarks in bench_test.go and
+// bench_extra_test.go regenerate the performance-shape results for
+// every figure of the paper and every extension ablation; cmd/ccbench
+// snapshots the checker numbers into BENCH_checkers.json.
 package ccbm

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/spec"
+	"repro/internal/xhash"
 )
 
 // Counter is a shared integer counter, one of the data types the paper
@@ -19,13 +20,14 @@ import (
 type Counter struct{}
 
 type counterState struct {
-	v   int
-	key string
+	v int
 }
 
-func (s counterState) Key() string { return s.key }
+func (s counterState) Key() string { return strconv.Itoa(s.v) }
 
-func newCounterState(v int) counterState { return counterState{v: v, key: strconv.Itoa(v)} }
+func (s counterState) Hash64() uint64 { return xhash.Int(xhash.Seed, s.v) }
+
+func newCounterState(v int) counterState { return counterState{v: v} }
 
 // Name implements spec.ADT.
 func (Counter) Name() string { return "Counter" }
@@ -76,17 +78,21 @@ type GSet struct{}
 
 type gsetState struct {
 	vals []int // sorted, deduplicated
-	key  string
+	hash uint64
 }
 
-func (s *gsetState) Key() string { return s.key }
-
-func newGSetState(vals []int) *gsetState {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
+func (s *gsetState) Key() string {
+	parts := make([]string, len(s.vals))
+	for i, v := range s.vals {
 		parts[i] = strconv.Itoa(v)
 	}
-	return &gsetState{vals: vals, key: "{" + strings.Join(parts, ",") + "}"}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (s *gsetState) Hash64() uint64 { return s.hash }
+
+func newGSetState(vals []int) *gsetState {
+	return &gsetState{vals: vals, hash: xhash.Ints(xhash.Seed, vals)}
 }
 
 // Name implements spec.ADT.
@@ -123,9 +129,9 @@ func (GSet) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 		}
 		return s, spec.IntOutput(0)
 	case "elems":
-		out := make([]int, len(s.vals))
-		copy(out, s.vals)
-		return s, spec.TupleOutput(out...)
+		// Outputs are read-only (see spec.Output), so the state's own
+		// sorted slice can back the tuple without a copy.
+		return s, spec.Output{Vals: s.vals}
 	default:
 		panic(fmt.Sprintf("adt: gset has no method %q", in.Method))
 	}
@@ -154,7 +160,7 @@ type Sequence struct{}
 func (Sequence) Name() string { return "Sequence" }
 
 // Init returns the empty sequence.
-func (Sequence) Init() spec.State { return newSeqIntState(nil) }
+func (Sequence) Init() spec.State { return newSeqIntStateN(0).seal() }
 
 // Step implements the sequence semantics.
 func (Sequence) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
@@ -171,11 +177,11 @@ func (Sequence) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 		if pos > len(s.vals) {
 			pos = len(s.vals)
 		}
-		next := make([]int, 0, len(s.vals)+1)
-		next = append(next, s.vals[:pos]...)
-		next = append(next, v)
-		next = append(next, s.vals[pos:]...)
-		return newSeqIntState(next), spec.Bot
+		next := newSeqIntStateN(len(s.vals) + 1)
+		copy(next.vals, s.vals[:pos])
+		next.vals[pos] = v
+		copy(next.vals[pos+1:], s.vals[pos:])
+		return next.seal(), spec.Bot
 	case "del":
 		if len(in.Args) != 1 {
 			panic(fmt.Sprintf("adt: del expects (pos), got %v", in))
@@ -184,14 +190,13 @@ func (Sequence) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 		if pos < 0 || pos >= len(s.vals) {
 			return s, spec.Bot
 		}
-		next := make([]int, 0, len(s.vals)-1)
-		next = append(next, s.vals[:pos]...)
-		next = append(next, s.vals[pos+1:]...)
-		return newSeqIntState(next), spec.Bot
+		next := newSeqIntStateN(len(s.vals) - 1)
+		copy(next.vals, s.vals[:pos])
+		copy(next.vals[pos:], s.vals[pos+1:])
+		return next.seal(), spec.Bot
 	case "read":
-		out := make([]int, len(s.vals))
-		copy(out, s.vals)
-		return s, spec.TupleOutput(out...)
+		// Outputs are read-only (see spec.Output): share the sequence.
+		return s, spec.Output{Vals: s.vals}
 	default:
 		panic(fmt.Sprintf("adt: sequence has no method %q", in.Method))
 	}

@@ -1,0 +1,58 @@
+package adt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestStateHash64Consistency drives every ADT through random operation
+// sequences and checks the spec.State fingerprint contract on every
+// reached state: equal keys ⇒ equal fingerprints, and (smoke) no
+// fingerprint collision between states with distinct keys.
+func TestStateHash64Consistency(t *testing.T) {
+	types := []struct {
+		t   spec.ADT
+		ops []spec.Input
+	}{
+		{NewWindowStream(2), []spec.Input{spec.NewInput("w", 1), spec.NewInput("w", 2), spec.NewInput("r")}},
+		{NewWindowArray(2, 2), []spec.Input{spec.NewInput("w", 0, 1), spec.NewInput("w", 1, 2), spec.NewInput("r", 0)}},
+		{Queue{}, []spec.Input{spec.NewInput("push", 1), spec.NewInput("push", 2), spec.NewInput("pop")}},
+		{Queue2{}, []spec.Input{spec.NewInput("push", 1), spec.NewInput("rh", 1), spec.NewInput("hd")}},
+		{Stack{}, []spec.Input{spec.NewInput("push", 1), spec.NewInput("push", 2), spec.NewInput("pop")}},
+		{Counter{}, []spec.Input{spec.NewInput("inc"), spec.NewInput("dec"), spec.NewInput("get")}},
+		{GSet{}, []spec.Input{spec.NewInput("add", 1), spec.NewInput("add", 2), spec.NewInput("has", 1)}},
+		{Sequence{}, []spec.Input{spec.NewInput("ins", 0, 1), spec.NewInput("ins", 1, 2), spec.NewInput("del", 0)}},
+		{Register{}, []spec.Input{spec.NewInput("w", 1), spec.NewInput("w", 2), spec.NewInput("r")}},
+		{CASRegister{}, []spec.Input{spec.NewInput("w", 1), spec.NewInput("cas", 1, 2), spec.NewInput("r")}},
+		{RWSet{}, []spec.Input{spec.NewInput("add", 1), spec.NewInput("rem", 1), spec.NewInput("has", 1)}},
+		{NewMemory("a", "b"), []spec.Input{spec.NewInput("wa", 1), spec.NewInput("wb", 2), spec.NewInput("ra")}},
+	}
+	for _, tc := range types {
+		t.Run(tc.t.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			hashOf := make(map[string]uint64) // key -> fingerprint
+			keyOf := make(map[uint64]string)  // fingerprint -> key
+			record := func(q spec.State) {
+				k, h := q.Key(), q.Hash64()
+				if prev, ok := hashOf[k]; ok && prev != h {
+					t.Fatalf("state %q hashed to both %#x and %#x", k, prev, h)
+				}
+				hashOf[k] = h
+				if prev, ok := keyOf[h]; ok && prev != k {
+					t.Fatalf("fingerprint collision: %q and %q both hash to %#x", prev, k, h)
+				}
+				keyOf[h] = k
+			}
+			for trial := 0; trial < 50; trial++ {
+				q := tc.t.Init()
+				record(q)
+				for step := 0; step < 8; step++ {
+					q, _ = tc.t.Step(q, tc.ops[rng.Intn(len(tc.ops))])
+					record(q)
+				}
+			}
+		})
+	}
+}

@@ -7,24 +7,45 @@ import (
 	"strings"
 
 	"repro/internal/spec"
+	"repro/internal/xhash"
 )
 
 // memState maps register names (by index into the Memory's name table)
-// to values. Values default to 0.
+// to values. Values default to 0. Small register pools live in the
+// inline buffer, so a successor state costs one allocation.
 type memState struct {
 	vals []int
-	key  string
+	hash uint64
+	buf  [8]int
 }
 
-func newMemState(vals []int) *memState {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
+// newMemStateN returns a state with an uninitialized (zeroed) pool of
+// k registers; the caller fills vals and then calls seal.
+func newMemStateN(k int) *memState {
+	s := &memState{}
+	if k <= len(s.buf) {
+		s.vals = s.buf[:k:k]
+	} else {
+		s.vals = make([]int, k)
+	}
+	return s
+}
+
+// seal computes the fingerprint once the register content is final.
+func (s *memState) seal() *memState {
+	s.hash = xhash.Ints(xhash.Seed, s.vals)
+	return s
+}
+
+func (s *memState) Key() string {
+	parts := make([]string, len(s.vals))
+	for i, v := range s.vals {
 		parts[i] = strconv.Itoa(v)
 	}
-	return &memState{vals: vals, key: strings.Join(parts, ",")}
+	return strings.Join(parts, ",")
 }
 
-func (s *memState) Key() string { return s.key }
+func (s *memState) Hash64() uint64 { return s.hash }
 
 // Memory is the integer memory M_X on a finite set of register names
 // (Def. 10): a pool of integer registers, each isomorphic to a window
@@ -68,7 +89,7 @@ func (m Memory) Registers() []string { return append([]string(nil), m.names...) 
 func (m Memory) Name() string { return "M[" + strings.Join(m.names, ",") + "]" }
 
 // Init returns the all-zero memory.
-func (m Memory) Init() spec.State { return newMemState(make([]int, len(m.names))) }
+func (m Memory) Init() spec.State { return newMemStateN(len(m.names)).seal() }
 
 // decode splits a method like "wa"/"ra" into kind ('w' or 'r') and the
 // register index.
@@ -96,10 +117,10 @@ func (m Memory) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 		if len(in.Args) != 1 {
 			panic(fmt.Sprintf("adt: memory write expects 1 argument, got %v", in))
 		}
-		next := make([]int, len(s.vals))
-		copy(next, s.vals)
-		next[reg] = in.Args[0]
-		return newMemState(next), spec.Bot
+		next := newMemStateN(len(s.vals))
+		copy(next.vals, s.vals)
+		next.vals[reg] = in.Args[0]
+		return next.seal(), spec.Bot
 	default: // 'r'
 		return s, spec.IntOutput(s.vals[reg])
 	}
@@ -117,13 +138,14 @@ func (m Memory) IsQuery(in spec.Input) bool { return strings.HasPrefix(in.Method
 type Register struct{}
 
 type regState struct {
-	v   int
-	key string
+	v int
 }
 
-func (s regState) Key() string { return s.key }
+func (s regState) Key() string { return strconv.Itoa(s.v) }
 
-func newRegState(v int) regState { return regState{v: v, key: strconv.Itoa(v)} }
+func (s regState) Hash64() uint64 { return xhash.Int(xhash.Seed, s.v) }
+
+func newRegState(v int) regState { return regState{v: v} }
 
 // Name implements spec.ADT.
 func (Register) Name() string { return "Register" }

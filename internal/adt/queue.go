@@ -6,24 +6,69 @@ import (
 	"strings"
 
 	"repro/internal/spec"
+	"repro/internal/xhash"
 )
 
 // seqIntState is a generic immutable sequence-of-ints state shared by
-// the queue, stack and sequence types.
+// the queue, stack and sequence types. The fingerprint is precomputed
+// (Hash64 is on the checkers' hot path); the string key is built on
+// demand, as it is only read by diagnostics. Short sequences live in
+// the inline buffer, so a successor state costs one allocation.
 type seqIntState struct {
 	vals []int
-	key  string
+	hash uint64
+	buf  [8]int
 }
 
-func newSeqIntState(vals []int) *seqIntState {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
+// newSeqIntStateN returns a state with an uninitialized sequence of n
+// values; the caller fills vals and then calls seal.
+func newSeqIntStateN(n int) *seqIntState {
+	s := &seqIntState{}
+	if n <= len(s.buf) {
+		s.vals = s.buf[:n:n]
+	} else {
+		s.vals = make([]int, n)
+	}
+	return s
+}
+
+// seal computes the fingerprint once the content is final.
+func (s *seqIntState) seal() *seqIntState {
+	s.hash = xhash.Ints(xhash.Seed, s.vals)
+	return s
+}
+
+// pushBack returns a new state with v appended.
+func (s *seqIntState) pushBack(v int) *seqIntState {
+	n := newSeqIntStateN(len(s.vals) + 1)
+	copy(n.vals, s.vals)
+	n.vals[len(s.vals)] = v
+	return n.seal()
+}
+
+// dropFront returns a new state without the first element.
+func (s *seqIntState) dropFront() *seqIntState {
+	n := newSeqIntStateN(len(s.vals) - 1)
+	copy(n.vals, s.vals[1:])
+	return n.seal()
+}
+
+// dropBack returns a new state without the last element.
+func (s *seqIntState) dropBack() *seqIntState {
+	n := newSeqIntStateN(len(s.vals) - 1)
+	copy(n.vals, s.vals[:len(s.vals)-1])
+	return n.seal()
+}
+
+func (s *seqIntState) Key() string {
+	parts := make([]string, len(s.vals))
+	for i, v := range s.vals {
 		parts[i] = strconv.Itoa(v)
 	}
-	return &seqIntState{vals: vals, key: "[" + strings.Join(parts, ",") + "]"}
+	return "[" + strings.Join(parts, ",") + "]"
 }
 
-func (s *seqIntState) Key() string { return s.key }
+func (s *seqIntState) Hash64() uint64 { return s.hash }
 
 // Queue is the paper's first-in-first-out queue Q (Sec. 4.1, Fig. 3e/f):
 //
@@ -41,7 +86,7 @@ type Queue struct{}
 func (Queue) Name() string { return "Queue" }
 
 // Init returns the empty queue.
-func (Queue) Init() spec.State { return newSeqIntState(nil) }
+func (Queue) Init() spec.State { return newSeqIntStateN(0).seal() }
 
 // Step implements the queue semantics.
 func (Queue) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
@@ -51,18 +96,13 @@ func (Queue) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 		if len(in.Args) != 1 {
 			panic(fmt.Sprintf("adt: push expects 1 argument, got %v", in))
 		}
-		next := make([]int, len(s.vals)+1)
-		copy(next, s.vals)
-		next[len(s.vals)] = in.Args[0]
-		return newSeqIntState(next), spec.Bot
+		return s.pushBack(in.Args[0]), spec.Bot
 	case "pop":
 		if len(s.vals) == 0 {
 			return s, spec.Bot
 		}
 		head := s.vals[0]
-		next := make([]int, len(s.vals)-1)
-		copy(next, s.vals[1:])
-		return newSeqIntState(next), spec.IntOutput(head)
+		return s.dropFront(), spec.IntOutput(head)
 	default:
 		panic(fmt.Sprintf("adt: queue has no method %q", in.Method))
 	}
@@ -90,7 +130,7 @@ type Queue2 struct{}
 func (Queue2) Name() string { return "Queue2" }
 
 // Init returns the empty queue.
-func (Queue2) Init() spec.State { return newSeqIntState(nil) }
+func (Queue2) Init() spec.State { return newSeqIntStateN(0).seal() }
 
 // Step implements the Q′ semantics.
 func (Queue2) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
@@ -100,10 +140,7 @@ func (Queue2) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 		if len(in.Args) != 1 {
 			panic(fmt.Sprintf("adt: push expects 1 argument, got %v", in))
 		}
-		next := make([]int, len(s.vals)+1)
-		copy(next, s.vals)
-		next[len(s.vals)] = in.Args[0]
-		return newSeqIntState(next), spec.Bot
+		return s.pushBack(in.Args[0]), spec.Bot
 	case "hd":
 		if len(s.vals) == 0 {
 			return s, spec.Bot
@@ -114,9 +151,7 @@ func (Queue2) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 			panic(fmt.Sprintf("adt: rh expects 1 argument, got %v", in))
 		}
 		if len(s.vals) > 0 && s.vals[0] == in.Args[0] {
-			next := make([]int, len(s.vals)-1)
-			copy(next, s.vals[1:])
-			return newSeqIntState(next), spec.Bot
+			return s.dropFront(), spec.Bot
 		}
 		return s, spec.Bot
 	default:
@@ -142,7 +177,7 @@ type Stack struct{}
 func (Stack) Name() string { return "Stack" }
 
 // Init returns the empty stack.
-func (Stack) Init() spec.State { return newSeqIntState(nil) }
+func (Stack) Init() spec.State { return newSeqIntStateN(0).seal() }
 
 // Step implements the stack semantics; the top of the stack is the last
 // element of the state sequence.
@@ -153,18 +188,13 @@ func (Stack) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 		if len(in.Args) != 1 {
 			panic(fmt.Sprintf("adt: push expects 1 argument, got %v", in))
 		}
-		next := make([]int, len(s.vals)+1)
-		copy(next, s.vals)
-		next[len(s.vals)] = in.Args[0]
-		return newSeqIntState(next), spec.Bot
+		return s.pushBack(in.Args[0]), spec.Bot
 	case "pop":
 		if len(s.vals) == 0 {
 			return s, spec.Bot
 		}
 		top := s.vals[len(s.vals)-1]
-		next := make([]int, len(s.vals)-1)
-		copy(next, s.vals[:len(s.vals)-1])
-		return newSeqIntState(next), spec.IntOutput(top)
+		return s.dropBack(), spec.IntOutput(top)
 	case "top":
 		if len(s.vals) == 0 {
 			return s, spec.Bot

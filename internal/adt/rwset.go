@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/spec"
+	"repro/internal/xhash"
 )
 
 // RWSet is the sequential read-write set: add and remove are pure
@@ -27,19 +28,24 @@ type RWSet struct{}
 // rwState is a sorted-set state with a canonical key.
 type rwState struct {
 	vals []int // sorted
-	key  string
+	hash uint64
 }
 
 func newRWState(vals []int) *rwState {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
-		parts[i] = strconv.Itoa(v)
-	}
-	return &rwState{vals: vals, key: "{" + strings.Join(parts, ",") + "}"}
+	return &rwState{vals: vals, hash: xhash.Ints(xhash.Seed, vals)}
 }
 
 // Key implements spec.State.
-func (s *rwState) Key() string { return s.key }
+func (s *rwState) Key() string {
+	parts := make([]string, len(s.vals))
+	for i, v := range s.vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Hash64 implements spec.State.
+func (s *rwState) Hash64() uint64 { return s.hash }
 
 // Name implements spec.ADT.
 func (RWSet) Name() string { return "RWSet" }
@@ -87,7 +93,8 @@ func (RWSet) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
 		}
 		return s, spec.IntOutput(0)
 	case "elems":
-		return s, spec.Output{Vals: append([]int(nil), s.vals...)}
+		// Outputs are read-only (see spec.Output): share the sorted slice.
+		return s, spec.Output{Vals: s.vals}
 	default:
 		panic(fmt.Sprintf("adt: rwset has no method %q", in.Method))
 	}

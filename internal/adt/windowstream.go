@@ -15,24 +15,46 @@ import (
 	"strings"
 
 	"repro/internal/spec"
+	"repro/internal/xhash"
 )
 
 // wsState is the state of a window stream: the last k written values,
-// oldest first (q1 ... qk in the paper's notation).
+// oldest first (q1 ... qk in the paper's notation). Small windows live
+// in the inline buffer, so constructing a successor state costs a
+// single allocation on the checkers' hot path.
 type wsState struct {
 	vals []int
-	key  string
+	hash uint64
+	buf  [8]int
 }
 
-func newWSState(vals []int) *wsState {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
+// newWSStateN returns a state with an uninitialized (zeroed) window of
+// k values; the caller fills vals and then calls seal.
+func newWSStateN(k int) *wsState {
+	s := &wsState{}
+	if k <= len(s.buf) {
+		s.vals = s.buf[:k:k]
+	} else {
+		s.vals = make([]int, k)
+	}
+	return s
+}
+
+// seal computes the fingerprint once the window content is final.
+func (s *wsState) seal() *wsState {
+	s.hash = xhash.Ints(xhash.Seed, s.vals)
+	return s
+}
+
+func (s *wsState) Key() string {
+	parts := make([]string, len(s.vals))
+	for i, v := range s.vals {
 		parts[i] = strconv.Itoa(v)
 	}
-	return &wsState{vals: vals, key: strings.Join(parts, ",")}
+	return strings.Join(parts, ",")
 }
 
-func (s *wsState) Key() string { return s.key }
+func (s *wsState) Hash64() uint64 { return s.hash }
 
 // WindowStream is the integer window stream of size k (Def. 3): a
 // generalization of a register whose read returns the sequence of the
@@ -56,7 +78,7 @@ func NewWindowStream(k int) WindowStream {
 func (w WindowStream) Name() string { return fmt.Sprintf("W%d", w.K) }
 
 // Init returns q0 = (0, ..., 0).
-func (w WindowStream) Init() spec.State { return newWSState(make([]int, w.K)) }
+func (w WindowStream) Init() spec.State { return newWSStateN(w.K).seal() }
 
 // Step implements δ and λ of Def. 3.
 func (w WindowStream) Step(q spec.State, in spec.Input) (spec.State, spec.Output) {
@@ -66,14 +88,14 @@ func (w WindowStream) Step(q spec.State, in spec.Input) (spec.State, spec.Output
 		if len(in.Args) != 1 {
 			panic(fmt.Sprintf("adt: w expects 1 argument, got %v", in))
 		}
-		next := make([]int, w.K)
-		copy(next, s.vals[1:])
-		next[w.K-1] = in.Args[0]
-		return newWSState(next), spec.Bot
+		next := newWSStateN(w.K)
+		copy(next.vals, s.vals[1:])
+		next.vals[w.K-1] = in.Args[0]
+		return next.seal(), spec.Bot
 	case "r":
-		out := make([]int, w.K)
-		copy(out, s.vals)
-		return s, spec.TupleOutput(out...)
+		// Outputs are read-only (see spec.Output): the immutable state's
+		// own window can back the k-tuple without a copy.
+		return s, spec.Output{Vals: s.vals}
 	default:
 		panic(fmt.Sprintf("adt: window stream has no method %q", in.Method))
 	}
@@ -88,26 +110,34 @@ func (w WindowStream) IsQuery(in spec.Input) bool { return in.Method == "r" }
 // waState is the state of an array of K window streams.
 type waState struct {
 	streams [][]int
-	key     string
+	hash    uint64
 }
 
 func newWAState(streams [][]int) *waState {
+	h := xhash.Mix(xhash.Seed, uint64(len(streams)))
+	for _, s := range streams {
+		h = xhash.Ints(h, s)
+	}
+	return &waState{streams: streams, hash: h}
+}
+
+func (s *waState) Key() string {
 	var b strings.Builder
-	for i, s := range streams {
+	for i, str := range s.streams {
 		if i > 0 {
 			b.WriteByte('|')
 		}
-		for j, v := range s {
+		for j, v := range str {
 			if j > 0 {
 				b.WriteByte(',')
 			}
 			b.WriteString(strconv.Itoa(v))
 		}
 	}
-	return &waState{streams: streams, key: b.String()}
+	return b.String()
 }
 
-func (s *waState) Key() string { return s.key }
+func (s *waState) Hash64() uint64 { return s.hash }
 
 // WindowArray is the array of K window streams of size k, W_k^K, the
 // object implemented by the paper's algorithms of Fig. 4 and Fig. 5.
@@ -162,9 +192,7 @@ func (w WindowArray) Step(q spec.State, in spec.Input) (spec.State, spec.Output)
 		}
 		x := in.Args[0]
 		w.checkIndex(x)
-		out := make([]int, w.Size)
-		copy(out, s.streams[x])
-		return s, spec.TupleOutput(out...)
+		return s, spec.Output{Vals: s.streams[x]}
 	default:
 		panic(fmt.Sprintf("adt: window array has no method %q", in.Method))
 	}

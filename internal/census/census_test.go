@@ -57,7 +57,7 @@ func TestCensusRegisterTwoByTwo(t *testing.T) {
 	if !found[[2]check.Criterion{check.CritSC, check.CritCC}] {
 		t.Error("no separation witness for SC ⊊ CC at 2×2 register histories")
 	}
-	// A finding of the census (recorded in EXPERIMENTS.md): at this
+	// A finding of the census: at this
 	// size, causal convergence over a single register already implies
 	// sequential consistency — the paper's CCv⊊SC witness (Fig. 3h)
 	// genuinely needs more registers. Since SC ⇒ CCv always, the two

@@ -52,7 +52,7 @@ func TestCensusW2FindsBranchSeparations(t *testing.T) {
 			ccNotCCv = &Separation{Witness: p.Example}
 		}
 	}
-	// Census finding (recorded in EXPERIMENTS.md): the CC-but-not-CCv
+	// Census finding: the CC-but-not-CCv
 	// direction already separates at 2×2 (a four-event mini-3c), while
 	// the CCv-but-not-CC direction does NOT — the paper's Fig. 3a
 	// genuinely needs its second read per process (six events), which

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/porder"
-	"repro/internal/spec"
+	"repro/internal/xhash"
 )
 
 // The causal-family checkers (WCC, CC, CCv) share one search skeleton.
@@ -34,6 +34,12 @@ import (
 // Def. 7's cofiniteness) must observe every update: they can only be
 // committed once all updates are committed, and their visibility set is
 // forced to include all of them.
+//
+// The search loop is allocation-free in steady state: the failed-state
+// memo is keyed by an incrementally maintained 64-bit fingerprint,
+// visibility subsets are enumerated lazily with Gosper's hack, and all
+// per-node working sets live in per-depth scratch frames sized once at
+// construction.
 
 // causalKind selects which criterion the shared search decides.
 type causalKind int
@@ -44,6 +50,31 @@ const (
 	kindCCv
 )
 
+// maxSubsetCands bounds the width of one commit's visibility-subset
+// enumeration. Enumeration is lazy over uint64 masks, so the bound is
+// the word width (with margin for Gosper's carry), not a memory cap —
+// a search that wide is hopeless anyway and surfaces as ErrBudget.
+const maxSubsetCands = 62
+
+// eagerFrameLimit bounds the history size for which the per-depth int
+// scratch (candidate lists, witness buffers — O(n²) ints in total) is
+// preallocated in one slab; larger histories grow those buffers lazily
+// per reached depth.
+const eagerFrameLimit = 256
+
+// csFrame is the per-depth scratch of tryCommit: the forced visibility
+// set, the candidate past under construction, the candidate update
+// list and the subset currently tried. Depth d commits at most one
+// event at a time, so one frame per depth suffices; pasts[e] of a
+// committed event aliases its frame's past buffer until uncommit.
+type csFrame struct {
+	forced porder.Bitset
+	past   porder.Bitset
+	cand   []int
+	x      []int
+	lin    []int // witness linearization buffer for the event committed here
+}
+
 type causalSearcher struct {
 	h       *history.History
 	kind    causalKind
@@ -53,44 +84,107 @@ type causalSearcher struct {
 	omega   porder.Bitset
 	// progPreds[e] = all strict program-order predecessors of e.
 	progPreds []porder.Bitset
-	// procVisible[e] = events of e's process (visibility set for CC).
-	procVisible []porder.Bitset
 
 	committed porder.Bitset
 	order     []int           // commit order (the total order ≤ for CCv)
 	pos       []int           // commit position per event (-1 if not committed)
 	pasts     []porder.Bitset // ⌊e⌋ \ {e} for committed events
 	perEvent  [][]int         // witness linearization per event
-	memo      map[string]bool // failed states: committed set + past fingerprint
+
+	// memo holds fingerprints of failed states; stateHash is the
+	// current state's fingerprint, maintained incrementally across
+	// commit/uncommit (hashStack saves the pre-commit value per depth).
+	memo      map[uint64]struct{}
+	stateHash uint64
+	hashStack []uint64
+
+	frames []csFrame
+
+	// Reusable per-event check machinery: one linearization engine for
+	// the whole search (epoch-separated memo), plus scratch for the
+	// include/visible projections. The engine's preds slice is cs.pasts
+	// itself: commitWith publishes the tentative past in pasts[e] before
+	// checkEvent runs, so no per-event predecessor indirection exists.
+	ls      linSearcher
+	include porder.Bitset
+	visible porder.Bitset
+
+	budgetVal int // backing store for budget when the caller has none
 }
 
-func newCausalSearcher(h *history.History, kind causalKind, budget *int) *causalSearcher {
+func newCausalSearcher(h *history.History, kind causalKind, maxNodes int) *causalSearcher {
 	n := h.N()
 	cs := &causalSearcher{
 		h:         h,
 		kind:      kind,
-		budget:    budget,
 		n:         n,
-		updates:   h.Updates(),
-		omega:     h.OmegaEvents(),
-		progPreds: h.Prog().Preds(),
-		committed: porder.NewBitset(n),
-		pos:       make([]int, n),
+		updates:   h.UpdatesView(),
+		omega:     h.OmegaView(),
+		progPreds: h.ProgPreds(),
 		pasts:     make([]porder.Bitset, n),
 		perEvent:  make([][]int, n),
-		memo:      make(map[string]bool),
+		memo:      make(map[uint64]struct{}),
+		stateHash: xhash.Seed,
+		frames:    make([]csFrame, n),
+		budgetVal: maxNodes,
+	}
+	cs.budget = &cs.budgetVal
+	cs.ls = linSearcher{
+		t: h.ADT, events: h.Events, budget: cs.budget,
+		// The causal search issues one linearization query per candidate
+		// commit over overlapping pasts, so transition caching pays for
+		// itself (see linSearcher.steps). One failed-state memo serves
+		// both searches: the commit-level keys are order-sensitive folds
+		// and the per-event keys are epoch-mixed, so the two key
+		// populations cannot collide except by 64-bit accident.
+		memo:  cs.memo,
+		steps: make(map[stepKey]stepVal),
+	}
+	// All fixed-size working memory comes out of two slabs: one for
+	// every scratch bitset (per-depth frames plus the searcher's own),
+	// one for every scratch int slice. This keeps construction at a
+	// handful of allocations regardless of history size. The int slab
+	// is quadratic in n, so beyond eagerFrameLimit events the frames'
+	// int buffers start nil instead and grow on first use at each
+	// depth (append-amortized) — exact checking at that scale is only
+	// feasible for trivially-satisfiable histories anyway, and an
+	// upfront O(n²) allocation would dwarf the search's real footprint.
+	words := (n + 63) / 64
+	bitSlab := make(porder.Bitset, (2*n+5)*words+n)
+	cut := func(k int) porder.Bitset {
+		b := bitSlab[: k*words : k*words]
+		bitSlab = bitSlab[k*words:]
+		return b
+	}
+	cs.committed = cut(1)
+	cs.include = cut(1)
+	cs.visible = cut(1)
+	cs.ls.done = cut(1)
+	cs.ls.scratch = cut(1)
+	for i := range cs.frames {
+		cs.frames[i] = csFrame{forced: cut(1), past: cut(1)}
+	}
+	cs.hashStack = []uint64(bitSlab[:0:n]) // remaining slab words back the hash stack
+	if n <= eagerFrameLimit {
+		intSlab := make([]int, n*(3*n+1)+2*n)
+		cutInts := func(k int) []int {
+			s := intSlab[:0:k]
+			intSlab = intSlab[k:]
+			return s
+		}
+		for i := range cs.frames {
+			cs.frames[i].cand = cutInts(n)
+			cs.frames[i].x = cutInts(n)
+			cs.frames[i].lin = cutInts(n + 1)
+		}
+		cs.order = cutInts(n)
+		cs.pos = cutInts(n)[:n]
+	} else {
+		cs.order = make([]int, 0, n)
+		cs.pos = make([]int, n)
 	}
 	for i := range cs.pos {
 		cs.pos[i] = -1
-	}
-	if kind == kindCC {
-		cs.procVisible = make([]porder.Bitset, n)
-		for p := range h.Processes() {
-			b := h.ProcEvents(p)
-			for _, e := range h.Processes()[p] {
-				cs.procVisible[e] = b
-			}
-		}
 	}
 	return cs
 }
@@ -104,8 +198,15 @@ func (cs *causalSearcher) run() bool {
 	if *cs.budget < 0 {
 		return false
 	}
-	key := cs.stateKey()
-	if cs.memo[key] {
+	// stateHash fingerprints the committed set plus each committed
+	// event's past, folded in commit order — the same information the
+	// memo used to key on as a built string. Two branches that
+	// committed the same events with the same pasts are interchangeable
+	// for the remaining search (for CCv the commit order also fixes
+	// past linearizations, but those are functions of the pasts and
+	// positions, which the order-sensitive fold captures).
+	key := cs.stateHash
+	if _, failed := cs.memo[key]; failed {
 		return false
 	}
 	allUpdatesIn := cs.updates.SubsetOf(cs.committed)
@@ -127,186 +228,223 @@ func (cs *causalSearcher) run() bool {
 		}
 	}
 	if *cs.budget >= 0 {
-		cs.memo[key] = true
+		cs.memo[key] = struct{}{}
 	}
 	return false
-}
-
-// stateKey fingerprints the search state: the committed set plus each
-// committed event's past. Two branches that committed the same events
-// with the same pasts are interchangeable for the remaining search
-// (for CCv the commit order also fixes past linearizations, but those
-// are functions of the pasts and positions; positions are included via
-// the order of keys).
-func (cs *causalSearcher) stateKey() string {
-	key := cs.committed.Key()
-	for _, e := range cs.order {
-		key += "." + cs.pasts[e].Key()
-	}
-	return key
 }
 
 // tryCommit enumerates visibility choices for e and recurses.
 func (cs *causalSearcher) tryCommit(e int) bool {
+	fr := &cs.frames[len(cs.order)]
+
 	// forced = program predecessors and their pasts.
-	forced := porder.NewBitset(cs.n)
-	cs.progPreds[e].ForEach(func(pr int) {
-		forced.Set(pr)
-		forced.UnionWith(cs.pasts[pr])
-	})
+	forced := fr.forced
+	forced.ClearAll()
+	for wi, w := range cs.progPreds[e] {
+		for w != 0 {
+			pr := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			forced.Set(pr)
+			forced.UnionWith(cs.pasts[pr])
+		}
+	}
 
 	// Candidate extra updates: committed updates not already forced.
-	extra := cs.committed.Clone()
-	extra.IntersectWith(cs.updates)
-	extra.DiffWith(forced)
-	cand := extra.Elems()
-
-	commitWith := func(x []int) bool {
-		past := forced.Clone()
-		for _, u := range x {
-			past.Set(u)
-			past.UnionWith(cs.pasts[u])
+	fr.cand = fr.cand[:0]
+	for wi := range cs.committed {
+		w := cs.committed[wi] & cs.updates[wi] &^ forced[wi]
+		for w != 0 {
+			fr.cand = append(fr.cand, wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
 		}
-		lin, ok := cs.checkEvent(e, past)
-		if !ok {
-			return false
-		}
-		cs.committed.Set(e)
-		cs.pos[e] = len(cs.order)
-		cs.order = append(cs.order, e)
-		cs.pasts[e] = past
-		cs.perEvent[e] = lin
-		if cs.run() {
-			return true
-		}
-		cs.order = cs.order[:len(cs.order)-1]
-		cs.pos[e] = -1
-		cs.committed.Clear(e)
-		cs.pasts[e] = nil
-		cs.perEvent[e] = nil
-		return false
 	}
 
 	if cs.omega.Has(e) {
 		// Forced full visibility of all updates.
-		return commitWith(cand)
+		return cs.commitWith(e, fr, fr.cand)
 	}
-	// Enumerate subsets of the candidates, smallest first: minimal
-	// visibility is most often sufficient and keeps later events freer.
-	if len(cand) > 24 {
+
+	// Enumerate subsets of the candidates lazily, smallest first:
+	// minimal visibility is most often sufficient and keeps later
+	// events freer. Within each popcount class, Gosper's hack yields
+	// the masks in increasing numeric order, so the enumeration order
+	// is identical to the materialized popcount-sorted enumeration it
+	// replaces — without the 2^k mask slice.
+	k := len(fr.cand)
+	if k > maxSubsetCands {
 		// Unrealistically wide; treat as budget exhaustion.
 		*cs.budget = -1
 		return false
 	}
-	masks := make([]uint32, 0, 1<<len(cand))
-	for m := uint32(0); m < 1<<len(cand); m++ {
-		masks = append(masks, m)
-	}
-	// Order by popcount so minimal sets come first.
-	sortByPopcount(masks)
-	x := make([]int, 0, len(cand))
-	for _, m := range masks {
-		*cs.budget--
-		if *cs.budget < 0 {
-			return false
-		}
-		x = x[:0]
-		for i, u := range cand {
-			if m&(1<<uint(i)) != 0 {
-				x = append(x, u)
+	limit := uint64(1) << k
+	for c := 0; c <= k; c++ {
+		m := uint64(1)<<c - 1 // smallest mask with popcount c
+		for {
+			*cs.budget--
+			if *cs.budget < 0 {
+				return false
 			}
-		}
-		if commitWith(x) {
-			return true
+			fr.x = fr.x[:0]
+			for mm := m; mm != 0; mm &= mm - 1 {
+				fr.x = append(fr.x, fr.cand[bits.TrailingZeros64(mm)])
+			}
+			if cs.commitWith(e, fr, fr.x) {
+				return true
+			}
+			if m == 0 {
+				break
+			}
+			// Gosper's hack: next mask with the same popcount.
+			u := m & -m
+			w := m + u
+			m = w | (((m ^ w) / u) >> 2)
+			if m >= limit {
+				break
+			}
 		}
 	}
 	return false
 }
 
-func sortByPopcount(masks []uint32) {
-	// Counting sort over popcounts (≤ 32 buckets) keeps enumeration
-	// order deterministic.
-	var buckets [33][]uint32
-	for _, m := range masks {
-		c := bits.OnesCount32(m)
-		buckets[c] = append(buckets[c], m)
+// commitWith builds e's past from the forced set plus the chosen extra
+// updates x, checks the criterion, and recurses on success. The
+// tentative past is published in pasts[e] up front so that the
+// linearization engine can read predecessor sets straight from
+// cs.pasts (e is not yet committed, so nothing else reads it).
+func (cs *causalSearcher) commitWith(e int, fr *csFrame, x []int) bool {
+	past := fr.past
+	past.CopyFrom(fr.forced)
+	for _, u := range x {
+		past.Set(u)
+		past.UnionWith(cs.pasts[u])
 	}
-	masks = masks[:0]
-	for _, b := range buckets {
-		masks = append(masks, b...)
+	cs.pasts[e] = past
+	lin, ok := cs.checkEvent(e, past, fr)
+	if !ok {
+		cs.pasts[e] = nil
+		return false
 	}
+	cs.committed.Set(e)
+	cs.pos[e] = len(cs.order)
+	cs.order = append(cs.order, e)
+	cs.perEvent[e] = lin
+	cs.hashStack = append(cs.hashStack, cs.stateHash)
+	cs.stateHash = xhash.Mix(xhash.Mix(cs.stateHash, uint64(e)), past.Hash64())
+	if cs.run() {
+		return true
+	}
+	cs.stateHash = cs.hashStack[len(cs.hashStack)-1]
+	cs.hashStack = cs.hashStack[:len(cs.hashStack)-1]
+	cs.order = cs.order[:len(cs.order)-1]
+	cs.pos[e] = -1
+	cs.committed.Clear(e)
+	cs.pasts[e] = nil
+	cs.perEvent[e] = nil
+	return false
 }
 
 // checkEvent verifies the criterion's per-event requirement for e with
 // causal past `past` (not containing e), returning a witness
-// linearization.
-func (cs *causalSearcher) checkEvent(e int, past porder.Bitset) ([]int, bool) {
-	include := past.Clone()
-	include.Set(e)
-	var visible porder.Bitset
-	switch cs.kind {
-	case kindCC:
-		// π(⌊e⌋, p): outputs of e's process are visible (Def. 9).
-		visible = cs.procVisible[e].Clone()
-		visible.IntersectWith(include)
-	default:
-		// π(⌊e⌋, {e}): only e's own output is visible (Defs. 8, 12).
-		visible = porder.NewBitset(cs.n)
-		visible.Set(e)
-	}
-
+// linearization. The witness lives in fr.lin (per-depth scratch); it
+// is only cloned if the whole search succeeds.
+func (cs *causalSearcher) checkEvent(e int, past porder.Bitset, fr *csFrame) ([]int, bool) {
 	if cs.kind == kindCCv {
 		// The linearization is forced: ⌊e⌋ sorted by the shared total
-		// order ≤, which is the commit order, then e (Def. 12).
-		q := cs.h.ADT.Init()
-		lin := make([]int, 0, include.Count())
+		// order ≤, which is the commit order, then e (Def. 12). Only
+		// e's own output is visible (π(⌊e⌋, {e}), Def. 12), so the
+		// replay checks nothing until the final step.
+		q := cs.ls.initState()
+		lin := fr.lin[:0]
 		for _, f := range cs.order {
 			if !past.Has(f) {
 				continue
 			}
-			var out spec.Output
-			q, out = cs.h.ADT.Step(q, cs.h.Events[f].Op.In)
-			if visible.Has(f) && !cs.h.Events[f].Op.Hidden && !out.Equal(cs.h.Events[f].Op.Out) {
-				return nil, false
-			}
+			q, _ = cs.ls.step(q, q.Hash64(), f)
 			lin = append(lin, f)
 		}
-		_, out := cs.h.ADT.Step(q, cs.h.Events[e].Op.In)
+		_, out := cs.ls.step(q, q.Hash64(), e)
 		if !cs.h.Events[e].Op.Hidden && !out.Equal(cs.h.Events[e].Op.Out) {
 			return nil, false
 		}
-		return append(lin, e), true
+		lin = append(lin, e)
+		fr.lin = lin
+		return lin, true
 	}
 
 	// WCC/CC: search for a linearization of ⌊e⌋ ∪ {e} respecting the
 	// constructed causal order (pasts of committed events are final).
-	ls := &linSearcher{t: cs.h.ADT, events: cs.h.Events, budget: cs.budget}
-	preds := func(f int) porder.Bitset {
-		if f == e {
-			return past
+	include := cs.include
+	include.CopyFrom(past)
+	include.Set(e)
+	visible := cs.visible
+	if cs.kind == kindCC {
+		// π(⌊e⌋, p): outputs of e's process are visible (Def. 9).
+		// Events outside every process (Proc < 0, possible in general
+		// partial orders) have no process outputs to reproduce.
+		if p := cs.h.Events[e].Proc; p >= 0 {
+			visible.CopyFrom(cs.h.ProcEventsView(p))
+			visible.IntersectWith(include)
+		} else {
+			visible.ClearAll()
 		}
-		return cs.pasts[f]
+	} else {
+		// π(⌊e⌋, {e}): only e's own output is visible (Def. 8).
+		visible.ClearAll()
+		visible.Set(e)
 	}
-	return ls.findLin(include, visible, preds)
+	lin, ok := cs.ls.findLinInto(fr.lin, include, visible, cs.pasts)
+	if ok {
+		fr.lin = lin
+	}
+	return lin, ok
 }
 
 func runCausal(h *history.History, kind causalKind, opt Options) (bool, *Witness, error) {
 	if err := validateOmega(h); err != nil {
 		return false, nil, err
 	}
-	budget := opt.maxNodes()
-	cs := newCausalSearcher(h, kind, &budget)
+	cs := newCausalSearcher(h, kind, opt.maxNodes())
 	ok := cs.run()
-	if budget < 0 {
+	if cs.budgetVal < 0 {
 		return false, nil, ErrBudget
 	}
 	if !ok {
 		return false, nil, nil
 	}
+	// The committed pasts and per-event linearizations alias the
+	// searcher's scratch frames; clone them (via two slabs) so the
+	// witness owns its memory.
+	words := (cs.n + 63) / 64
+	pastSlab := make(porder.Bitset, cs.n*words)
+	pasts := make([]porder.Bitset, len(cs.pasts))
+	for i, p := range cs.pasts {
+		if p != nil {
+			row := pastSlab[:words:words]
+			pastSlab = pastSlab[words:]
+			copy(row, p)
+			pasts[i] = row
+		}
+	}
+	total := cs.n
+	for _, l := range cs.perEvent {
+		total += len(l)
+	}
+	linSlab := make([]int, total)
+	order := linSlab[:0:cs.n]
+	linSlab = linSlab[cs.n:]
+	perEvent := make([][]int, len(cs.perEvent))
+	for i, l := range cs.perEvent {
+		if l != nil {
+			row := linSlab[:len(l):len(l)]
+			linSlab = linSlab[len(l):]
+			copy(row, l)
+			perEvent[i] = row
+		}
+	}
 	w := &Witness{
-		Order:    append([]int(nil), cs.order...),
-		Pasts:    append([]porder.Bitset(nil), cs.pasts...),
-		PerEvent: append([][]int(nil), cs.perEvent...),
+		Order:    append(order, cs.order...),
+		Pasts:    pasts,
+		PerEvent: perEvent,
 	}
 	return true, w, nil
 }

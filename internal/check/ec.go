@@ -50,8 +50,8 @@ func UC(h *history.History, opt Options) (bool, *Witness, error) {
 		return false, nil, err
 	}
 	budget := opt.maxNodes()
-	updates := h.Updates()
-	omega := h.OmegaEvents()
+	updates := h.UpdatesView()
+	omega := h.OmegaView()
 	if omega.Empty() {
 		return true, &Witness{}, nil
 	}
@@ -62,22 +62,23 @@ func UC(h *history.History, opt Options) (bool, *Witness, error) {
 
 	// Build an include set of updates plus ω-events, with every update
 	// preceding every ω-event; ω outputs are visible, update outputs
-	// are not checked (hidden).
+	// are not checked (hidden). Predecessor sets are materialized once:
+	// ω-events require every update, updates require their
+	// program-order update predecessors.
 	include := updates.Clone()
 	include.UnionWith(omega)
-	visible := omega.Clone()
-	base := predsFromRel(h.Prog())
-	preds := func(e int) porder.Bitset {
+	visible := omega
+	base := h.ProgPreds()
+	preds := make([]porder.Bitset, h.N())
+	for e := range preds {
+		p := base[e].Clone()
 		if omega.Has(e) {
-			p := base(e).Clone()
 			p.UnionWith(updates)
 			p.Clear(e)
-			return p
+		} else {
+			p.IntersectWith(updates)
 		}
-		// Updates: program order restricted to updates.
-		p := base(e).Clone()
-		p.IntersectWith(updates)
-		return p
+		preds[e] = p
 	}
 	order, ok := ls.findLin(include, visible, preds)
 	if budget < 0 {

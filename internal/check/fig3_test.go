@@ -9,7 +9,7 @@ import (
 )
 
 // TestFig3Classification verifies every caption claim of the paper's
-// Fig. 3 against the checkers (experiment E3 of DESIGN.md). Claims
+// Fig. 3 against the checkers. Claims
 // marked OmegaReading are checked on the ω-flagged history, the others
 // on the literal finite history.
 func TestFig3Classification(t *testing.T) {

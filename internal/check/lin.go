@@ -12,14 +12,28 @@
 // underlying problems generalize the NP-hard verification of sequential
 // consistency — so they are intended for the small histories of the
 // paper's figures and for runtime-produced histories of bounded size.
+//
+// Because the searches are exponential, per-node constant factors
+// decide how large a history is checkable in practice. The search core
+// is therefore written to be allocation-free in steady state: memo
+// tables are keyed by 64-bit fingerprints (porder.Bitset.Hash64,
+// spec.State.Hash64) rather than built strings, scratch bitsets are
+// reused across nodes, and subset enumeration is lazy (see causal.go).
+// Fingerprint memoization is probabilistic — a 64-bit collision could
+// in principle prune a live branch — but over the ≤ DefaultMaxNodes
+// states a search can visit, the collision probability is ~10⁻¹²,
+// far below the chance of a hardware fault, and the census and
+// differential tests cross-check the checkers against each other.
 package check
 
 import (
 	"errors"
+	"math/bits"
 
 	"repro/internal/history"
 	"repro/internal/porder"
 	"repro/internal/spec"
+	"repro/internal/xhash"
 )
 
 // ErrBudget is returned when a search exceeds Options.MaxNodes.
@@ -51,85 +65,158 @@ func (o Options) maxNodes() int {
 // events' outputs are visible (the others are hidden operations in the
 // sense of Def. 2). It implements lin(H'.π(E', E”)) ∩ L(T) ≠ ∅
 // queries, the building block of every criterion.
+//
+// One linSearcher may serve many queries (the causal checkers issue
+// one per candidate commit): all scratch state is reused across
+// queries, and the failed-state memo is shared, with a per-query epoch
+// folded into every fingerprint so entries from different queries can
+// never match.
 type linSearcher struct {
 	t      spec.ADT
 	events []history.Event
 	budget *int
-	memo   map[string]bool // visited (done, state) pairs that failed
+	memo   map[uint64]struct{} // failed (epoch, done, state) fingerprints
+	epoch  uint64
+
+	// q0 caches t.Init() (states are immutable, so one instance serves
+	// every query). steps, when non-nil, memoizes δ/λ by (state
+	// fingerprint, event): the causal checkers issue one query per
+	// candidate commit and revisit the same few states constantly, so
+	// a cached transition (a map probe) beats rebuilding an immutable
+	// state; single-query searchers (SC, PC, UC, CM, linearizability)
+	// leave it nil and call Step directly, as most transitions are
+	// visited once. Both caches are query-independent and live for the
+	// searcher's lifetime.
+	q0    spec.State
+	steps map[stepKey]stepVal
+
+	// Query context, fixed for the duration of one findLin call.
+	include porder.Bitset
+	visible porder.Bitset
+	preds   []porder.Bitset
+	total   int
+
+	// Scratch reused across queries.
+	done    porder.Bitset
+	scratch porder.Bitset
+	seq     []int
+}
+
+type stepKey struct {
+	q uint64 // state fingerprint
+	e int32  // event id (fixed input + expected output)
+}
+
+type stepVal struct {
+	q   spec.State
+	out spec.Output
+}
+
+// step applies event e's input to state q (with fingerprint qh),
+// memoized. Like the fingerprint memo tables, it trusts Hash64 to
+// identify states.
+func (ls *linSearcher) step(q spec.State, qh uint64, e int) (spec.State, spec.Output) {
+	if ls.steps == nil {
+		return ls.t.Step(q, ls.events[e].Op.In)
+	}
+	sk := stepKey{q: qh, e: int32(e)}
+	sv, ok := ls.steps[sk]
+	if !ok {
+		sv.q, sv.out = ls.t.Step(q, ls.events[e].Op.In)
+		ls.steps[sk] = sv
+	}
+	return sv.q, sv.out
+}
+
+// initState returns the cached initial state.
+func (ls *linSearcher) initState() spec.State {
+	if ls.q0 == nil {
+		ls.q0 = ls.t.Init()
+	}
+	return ls.q0
 }
 
 // findLin searches for an order of the events in include, respecting
-// preds (required strict predecessors per event; only members of
-// include constrain), such that running the operations from the initial
-// state matches the recorded output of every event in visible. It
-// returns the witness order and whether one exists. If the budget runs
-// out it returns found=false with *budget < 0; callers translate that
-// into ErrBudget.
-func (ls *linSearcher) findLin(include, visible porder.Bitset, preds func(e int) porder.Bitset) ([]int, bool) {
+// preds (required strict predecessors per event, one materialized
+// bitset per event; only members of include constrain), such that
+// running the operations from the initial state matches the recorded
+// output of every event in visible. It returns the witness order and
+// whether one exists. If the budget runs out it returns found=false
+// with *budget < 0; callers translate that into ErrBudget.
+func (ls *linSearcher) findLin(include, visible porder.Bitset, preds []porder.Bitset) ([]int, bool) {
+	return ls.findLinInto(nil, include, visible, preds)
+}
+
+// findLinInto is findLin with a caller-provided witness buffer: on
+// success the witness overwrites dst[:0] (growing it as needed) — the
+// causal checkers pass per-depth scratch so that successful per-event
+// queries allocate nothing in steady state.
+func (ls *linSearcher) findLinInto(dst []int, include, visible porder.Bitset, preds []porder.Bitset) ([]int, bool) {
 	n := len(ls.events)
 	if ls.memo == nil {
-		ls.memo = make(map[string]bool)
+		ls.memo = make(map[uint64]struct{})
 	}
-	total := include.Count()
-	done := porder.NewBitset(n)
-	seq := make([]int, 0, total)
-
-	var rec func(q spec.State, placed int) bool
-	rec = func(q spec.State, placed int) bool {
-		if placed == total {
-			return true
-		}
-		*ls.budget--
-		if *ls.budget < 0 {
-			return false
-		}
-		key := done.Key() + "|" + q.Key()
-		if ls.memo[key] {
-			return false
-		}
-		ok := false
-		include.ForEach(func(e int) {
-			if ok || done.Has(e) {
-				return
-			}
-			p := preds(e).Clone()
-			p.IntersectWith(include)
-			if !p.SubsetOf(done) {
-				return
-			}
-			q2, out := ls.t.Step(q, ls.events[e].Op.In)
-			// Hidden operations (Def. 2) have no recorded output to
-			// match, whatever the visibility projection says.
-			if visible.Has(e) && !ls.events[e].Op.Hidden && !out.Equal(ls.events[e].Op.Out) {
-				return
-			}
-			done.Set(e)
-			seq = append(seq, e)
-			if rec(q2, placed+1) {
-				ok = true
-				return
-			}
-			seq = seq[:len(seq)-1]
-			done.Clear(e)
-		})
-		if !ok && *ls.budget >= 0 {
-			ls.memo[key] = true
-		}
-		return ok
+	ls.epoch++
+	ls.include, ls.visible, ls.preds = include, visible, preds
+	ls.total = include.Count()
+	if len(ls.done)*64 < n {
+		ls.done = porder.NewBitset(n)
+		ls.scratch = porder.NewBitset(n)
+	} else {
+		ls.done.ClearAll()
 	}
-	if rec(ls.t.Init(), 0) {
-		out := make([]int, len(seq))
-		copy(out, seq)
-		return out, true
+	ls.seq = ls.seq[:0]
+	if ls.rec(ls.initState(), 0) {
+		return append(dst[:0], ls.seq...), true
 	}
 	return nil, false
 }
 
-// predsFromRel adapts a transitively closed relation into a preds
-// function (predecessor bitsets are materialized once).
-func predsFromRel(rel *porder.Rel) func(e int) porder.Bitset {
-	preds := rel.Preds()
-	return func(e int) porder.Bitset { return preds[e] }
+// rec extends the partial linearization by one event and recurses.
+func (ls *linSearcher) rec(q spec.State, placed int) bool {
+	if placed == ls.total {
+		return true
+	}
+	*ls.budget--
+	if *ls.budget < 0 {
+		return false
+	}
+	qh := q.Hash64()
+	key := xhash.Mix(xhash.Mix(ls.epoch, ls.done.Hash64()), qh)
+	if _, failed := ls.memo[key]; failed {
+		return false
+	}
+	for wi, w := range ls.include {
+		for w != 0 {
+			e := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if ls.done.Has(e) {
+				continue
+			}
+			ls.scratch.CopyFrom(ls.preds[e])
+			ls.scratch.IntersectWith(ls.include)
+			if !ls.scratch.SubsetOf(ls.done) {
+				continue
+			}
+			q2, out := ls.step(q, qh, e)
+			// Hidden operations (Def. 2) have no recorded output to
+			// match, whatever the visibility projection says.
+			if ls.visible.Has(e) && !ls.events[e].Op.Hidden && !out.Equal(ls.events[e].Op.Out) {
+				continue
+			}
+			ls.done.Set(e)
+			ls.seq = append(ls.seq, e)
+			if ls.rec(q2, placed+1) {
+				return true
+			}
+			ls.seq = ls.seq[:len(ls.seq)-1]
+			ls.done.Clear(e)
+		}
+	}
+	if *ls.budget >= 0 {
+		ls.memo[key] = struct{}{}
+	}
+	return false
 }
 
 // validateOmega returns ErrOmegaUpdate if any ω-event is an update.
@@ -142,13 +229,16 @@ func validateOmega(h *history.History) error {
 	return nil
 }
 
-// omegaPreds wraps base preds so that each ω-event additionally
-// requires every non-ω event (and, for determinism, nothing among
-// ω-events themselves): in an infinite execution the ω-event has copies
-// beyond any finite position, so every concrete event precedes some
-// copy, and since ω-events are pure queries a single representative
-// placed after everything is faithful.
-func omegaPreds(h *history.History, base func(e int) porder.Bitset, omegaSubset porder.Bitset) func(e int) porder.Bitset {
+// omegaPreds augments base preds so that each ω-event in omegaSubset
+// additionally requires every non-ω event (and, for determinism,
+// nothing among ω-events themselves): in an infinite execution the
+// ω-event has copies beyond any finite position, so every concrete
+// event precedes some copy, and since ω-events are pure queries a
+// single representative placed after everything is faithful.
+//
+// The result is a fresh slice sharing the non-augmented rows of base;
+// base itself is never mutated.
+func omegaPreds(h *history.History, base []porder.Bitset, omegaSubset porder.Bitset) []porder.Bitset {
 	n := h.N()
 	nonOmega := porder.FullBitset(n)
 	for _, ev := range h.Events {
@@ -156,13 +246,13 @@ func omegaPreds(h *history.History, base func(e int) porder.Bitset, omegaSubset 
 			nonOmega.Clear(ev.ID)
 		}
 	}
-	return func(e int) porder.Bitset {
-		if !omegaSubset.Has(e) {
-			return base(e)
-		}
-		p := base(e).Clone()
+	out := make([]porder.Bitset, n)
+	copy(out, base)
+	omegaSubset.ForEach(func(e int) {
+		p := base[e].Clone()
 		p.UnionWith(nonOmega)
 		p.Clear(e)
-		return p
-	}
+		out[e] = p
+	})
+	return out
 }

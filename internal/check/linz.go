@@ -87,7 +87,7 @@ func Linearizable(t spec.ADT, ops []TimedOp, opt Options) (bool, []int, error) {
 	}
 	budget := opt.maxNodes()
 	ls := &linSearcher{t: t, events: events, budget: &budget}
-	order, ok := ls.findLin(porder.FullBitset(n), porder.FullBitset(n), func(e int) porder.Bitset { return preds[e] })
+	order, ok := ls.findLin(porder.FullBitset(n), porder.FullBitset(n), preds)
 	if budget < 0 {
 		return false, nil, ErrBudget
 	}

@@ -25,11 +25,21 @@ var ErrNotMemory = errors.New("check: history is not over a memory ADT")
 var ErrDuplicateValues = errors.New("check: session guarantees require distinct written values per register")
 
 // memOps describes a memory history: per event, whether it is a write
-// or read, its register, and its value.
+// or read, its register (as a dense integer id — the search loops
+// compare and pack register identities, so strings are resolved once
+// here), and its value.
 type memOps struct {
 	isWrite []bool
-	reg     []string
+	reg     []int
 	val     []int
+	regName []string // id -> name, for diagnostics
+}
+
+// regVal packs a (register, value) identity for map keys without any
+// string formatting.
+type regVal struct {
+	reg int
+	val int
 }
 
 func memoryOps(h *history.History) (*memOps, error) {
@@ -38,8 +48,18 @@ func memoryOps(h *history.History) (*memOps, error) {
 	}
 	m := &memOps{
 		isWrite: make([]bool, h.N()),
-		reg:     make([]string, h.N()),
+		reg:     make([]int, h.N()),
 		val:     make([]int, h.N()),
+	}
+	regID := make(map[string]int)
+	intern := func(name string) int {
+		id, ok := regID[name]
+		if !ok {
+			id = len(m.regName)
+			regID[name] = id
+			m.regName = append(m.regName, name)
+		}
+		return id
 	}
 	for _, ev := range h.Events {
 		method := ev.Op.In.Method
@@ -49,13 +69,13 @@ func memoryOps(h *history.History) (*memOps, error) {
 				return nil, fmt.Errorf("check: malformed write %v", ev.Op)
 			}
 			m.isWrite[ev.ID] = true
-			m.reg[ev.ID] = method[1:]
+			m.reg[ev.ID] = intern(method[1:])
 			m.val[ev.ID] = ev.Op.In.Args[0]
 		case strings.HasPrefix(method, "r"):
 			if ev.Op.Out.Bot || len(ev.Op.Out.Vals) != 1 {
 				return nil, fmt.Errorf("check: read %v has no scalar output", ev.Op)
 			}
-			m.reg[ev.ID] = method[1:]
+			m.reg[ev.ID] = intern(method[1:])
 			m.val[ev.ID] = ev.Op.Out.Vals[0]
 		default:
 			return nil, fmt.Errorf("check: unknown memory method %q", method)
@@ -116,14 +136,15 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 			return false, nil
 		}
 		closed := rel.TransitiveClosure()
+		closedPreds := closed.Preds()
 		wit := &Witness{PerProcess: make([][]int, len(h.Processes()))}
 		all := porder.FullBitset(n)
 		for p := range h.Processes() {
 			ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
-			visible := h.ProcEvents(p)
+			visible := h.ProcEventsView(p)
 			ownOmega := h.OmegaEvents()
 			ownOmega.IntersectWith(visible)
-			preds := omegaPreds(h, predsFromRel(closed), ownOmega)
+			preds := omegaPreds(h, closedPreds, ownOmega)
 			order, ok := ls.findLin(all, visible, preds)
 			if !ok {
 				return false, nil
@@ -220,12 +241,12 @@ func Sessions(h *history.History, opt Options) (SessionGuarantees, error) {
 
 	// Unique dictating writes (distinct-values hypothesis).
 	dict := make([]int, n) // -1 = initial value
-	writerOf := make(map[string]int)
+	writerOf := make(map[regVal]int)
 	for e := 0; e < n; e++ {
 		if !mo.isWrite[e] {
 			continue
 		}
-		key := fmt.Sprintf("%s=%d", mo.reg[e], mo.val[e])
+		key := regVal{reg: mo.reg[e], val: mo.val[e]}
 		if _, dup := writerOf[key]; dup {
 			return g, ErrDuplicateValues
 		}
@@ -236,7 +257,7 @@ func Sessions(h *history.History, opt Options) (SessionGuarantees, error) {
 			dict[e] = -1
 			continue
 		}
-		w, ok := writerOf[fmt.Sprintf("%s=%d", mo.reg[e], mo.val[e])]
+		w, ok := writerOf[regVal{reg: mo.reg[e], val: mo.val[e]}]
 		if !ok {
 			if mo.val[e] != 0 {
 				return g, fmt.Errorf("check: read %v has no matching write", h.Events[e].Op)
@@ -257,7 +278,16 @@ func Sessions(h *history.History, opt Options) (SessionGuarantees, error) {
 	}
 	seqs := allSequences(writes)
 
-	s := &sessionChecker{h: h, mo: mo, dict: dict, seqs: seqs, budget: opt.maxNodes()}
+	widx := make([]int, n)
+	pos := make([]int, n)
+	for e := range widx {
+		widx[e] = -1
+		pos[e] = -1
+	}
+	for i, w := range writes {
+		widx[w] = i
+	}
+	s := &sessionChecker{h: h, mo: mo, dict: dict, seqs: seqs, budget: opt.maxNodes(), widx: widx, pos: pos}
 	raw := make(map[sessionKind]bool, 4)
 	for _, k := range []sessionKind{kindMR, kindMW, kindRYW, kindWFR} {
 		ok, err := s.check(k)
@@ -307,6 +337,8 @@ type sessionChecker struct {
 	dict   []int
 	seqs   [][]int
 	budget int
+	widx   []int // event id -> dense write index (for memo packing), -1 otherwise
+	pos    []int // scratch: event id -> position in the current sequence, -1 otherwise
 }
 
 // check decides one guarantee over every session.
@@ -333,13 +365,21 @@ func (s *sessionChecker) checkSession(p int, kind sessionKind) (bool, error) {
 	if len(reads) == 0 {
 		return true, nil
 	}
-	memo := make(map[string]bool)
+	memo := make(map[uint64]bool)
 	var rec func(i int, prev []int) (bool, error)
 	rec = func(i int, prev []int) (bool, error) {
 		if i == len(reads) {
 			return true, nil
 		}
-		key := fmt.Sprintf("%d|%v", i, prev)
+		// Pack (read index, view sequence) into one word: the view is a
+		// sequence over at most 8 distinct writes, folded base-9 (digit
+		// 0 terminates, so prefixes cannot collide), the read index in
+		// the low half.
+		acc := uint64(0)
+		for _, w := range prev {
+			acc = acc*9 + uint64(s.widx[w]+1)
+		}
+		key := acc<<32 | uint64(i)
 		if memo[key] {
 			return false, nil
 		}
@@ -395,12 +435,23 @@ func (s *sessionChecker) valueOK(r int, seq []int) bool {
 	return last == s.dict[r]
 }
 
-// closureOK checks the guarantee-specific constraint on seq.
+// closureOK checks the guarantee-specific constraint on seq. The
+// event-position index is kept in the reusable s.pos scratch (reset on
+// exit), so the check allocates nothing.
 func (s *sessionChecker) closureOK(kind sessionKind, p, r int, seq []int) bool {
-	pos := make(map[int]int, len(seq))
+	pos := s.pos
 	for i, w := range seq {
 		pos[w] = i
 	}
+	ok := s.closureHolds(kind, p, r, seq)
+	for _, w := range seq {
+		pos[w] = -1
+	}
+	return ok
+}
+
+func (s *sessionChecker) closureHolds(kind sessionKind, p, r int, seq []int) bool {
+	pos := s.pos
 	prog := s.h.Prog()
 	switch kind {
 	case kindMR:
@@ -416,8 +467,7 @@ func (s *sessionChecker) closureOK(kind sessionKind, p, r int, seq []int) bool {
 				if !s.mo.isWrite[w0] || !prog.Has(w0, w) {
 					continue
 				}
-				p0, ok := pos[w0]
-				if !ok || p0 > pos[w] {
+				if pos[w0] < 0 || pos[w0] > pos[w] {
 					return false
 				}
 			}
@@ -426,7 +476,7 @@ func (s *sessionChecker) closureOK(kind sessionKind, p, r int, seq []int) bool {
 	case kindRYW:
 		for _, w := range s.h.Processes()[p] {
 			if s.mo.isWrite[w] && prog.Has(w, r) {
-				if _, ok := pos[w]; !ok {
+				if pos[w] < 0 {
 					return false
 				}
 			}
@@ -445,8 +495,8 @@ func (s *sessionChecker) closureOK(kind sessionKind, p, r int, seq []int) bool {
 				if s.mo.isWrite[r0] || !prog.Has(r0, w) || s.dict[r0] < 0 {
 					continue
 				}
-				p0, ok := pos[s.dict[r0]]
-				if !ok || p0 > pos[w] {
+				p0 := pos[s.dict[r0]]
+				if p0 < 0 || p0 > pos[w] {
 					return false
 				}
 			}

@@ -46,7 +46,7 @@ func SC(h *history.History, opt Options) (bool, *Witness, error) {
 	budget := opt.maxNodes()
 	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
 	all := porder.FullBitset(h.N())
-	preds := omegaPreds(h, predsFromRel(h.Prog()), h.OmegaEvents())
+	preds := omegaPreds(h, h.ProgPreds(), h.OmegaView())
 	order, ok := ls.findLin(all, all, preds)
 	if budget < 0 {
 		return false, nil, ErrBudget
@@ -69,11 +69,11 @@ func PC(h *history.History, opt Options) (bool, *Witness, error) {
 	}
 	w := &Witness{PerProcess: make([][]int, len(h.Processes()))}
 	all := porder.FullBitset(h.N())
-	basePreds := predsFromRel(h.Prog())
+	basePreds := h.ProgPreds()
 	for p := range h.Processes() {
 		budget := opt.maxNodes()
 		ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
-		visible := h.ProcEvents(p)
+		visible := h.ProcEventsView(p)
 		ownOmega := h.OmegaEvents()
 		ownOmega.IntersectWith(visible)
 		preds := omegaPreds(h, basePreds, ownOmega)

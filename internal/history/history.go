@@ -43,6 +43,15 @@ type History struct {
 
 	prog  *porder.Rel // strict program order 7→, transitively closed
 	procs [][]int     // events of each process, in program order
+
+	// Derived sets, computed once at Build so that the exponential
+	// checkers can read them without per-invocation allocation. All are
+	// immutable after Build; the *View accessors expose them shared,
+	// the classic accessors return defensive clones.
+	updates  porder.Bitset
+	omega    porder.Bitset
+	preds    []porder.Bitset // prog.Preds()
+	procBits []porder.Bitset // per-process event bitsets
 }
 
 // N returns the number of events.
@@ -59,23 +68,21 @@ func (h *History) Processes() [][]int { return h.procs }
 
 // ProcEvents returns the bitset of events belonging to process p.
 func (h *History) ProcEvents(p int) porder.Bitset {
-	b := porder.NewBitset(h.N())
-	for _, e := range h.procs[p] {
-		b.Set(e)
-	}
-	return b
+	return h.procBits[p].Clone()
 }
+
+// ProcEventsView returns the bitset of events belonging to process p,
+// shared with the history. Callers must not mutate it.
+func (h *History) ProcEventsView(p int) porder.Bitset { return h.procBits[p] }
 
 // Updates returns the bitset of events labelled with update inputs.
 func (h *History) Updates() porder.Bitset {
-	b := porder.NewBitset(h.N())
-	for _, e := range h.Events {
-		if h.ADT.IsUpdate(e.Op.In) {
-			b.Set(e.ID)
-		}
-	}
-	return b
+	return h.updates.Clone()
 }
+
+// UpdatesView returns the update-event bitset shared with the history.
+// Callers must not mutate it.
+func (h *History) UpdatesView() porder.Bitset { return h.updates }
 
 // Queries returns the bitset of events labelled with query inputs.
 func (h *History) Queries() porder.Bitset {
@@ -90,14 +97,17 @@ func (h *History) Queries() porder.Bitset {
 
 // OmegaEvents returns the bitset of ω-flagged events.
 func (h *History) OmegaEvents() porder.Bitset {
-	b := porder.NewBitset(h.N())
-	for _, e := range h.Events {
-		if e.Omega {
-			b.Set(e.ID)
-		}
-	}
-	return b
+	return h.omega.Clone()
 }
+
+// OmegaView returns the ω-event bitset shared with the history.
+// Callers must not mutate it.
+func (h *History) OmegaView() porder.Bitset { return h.omega }
+
+// ProgPreds returns the program-order predecessor sets, shared with
+// the history (ProgPreds()[e] = {e' : e' 7→ e}). Callers must not
+// mutate them.
+func (h *History) ProgPreds() []porder.Bitset { return h.preds }
 
 // HasOmega reports whether any event is ω-flagged.
 func (h *History) HasOmega() bool {
@@ -118,7 +128,13 @@ func (h *History) StripOmega() *History {
 	for i := range events {
 		events[i].Omega = false
 	}
-	return &History{ADT: h.ADT, Events: events, prog: h.prog, procs: h.procs}
+	return &History{
+		ADT: h.ADT, Events: events, prog: h.prog, procs: h.procs,
+		updates:  h.updates,
+		omega:    porder.NewBitset(len(events)),
+		preds:    h.preds,
+		procBits: h.procBits,
+	}
 }
 
 // Ops returns the operations of the given event ids in order.
@@ -243,5 +259,24 @@ func (b *Builder) Build() *History {
 			}
 		}
 	}
-	return &History{ADT: b.adt, Events: events, prog: prog, procs: procs}
+	h := &History{ADT: b.adt, Events: events, prog: prog, procs: procs}
+	h.updates = porder.NewBitset(n)
+	h.omega = porder.NewBitset(n)
+	for _, e := range events {
+		if b.adt.IsUpdate(e.Op.In) {
+			h.updates.Set(e.ID)
+		}
+		if e.Omega {
+			h.omega.Set(e.ID)
+		}
+	}
+	h.preds = prog.Preds()
+	h.procBits = make([]porder.Bitset, len(procs))
+	for p, evs := range procs {
+		h.procBits[p] = porder.NewBitset(n)
+		for _, e := range evs {
+			h.procBits[p].Set(e)
+		}
+	}
+	return h
 }

@@ -10,8 +10,8 @@
 // prose of Sec. 3.2, and (g) is only sketched). Each fixture records
 // which reading was encoded. Histories whose caption claims rely on
 // the infinite-execution interpretation (cofiniteness of causal
-// orders, Def. 7) carry ω flags on their final reads; EXPERIMENTS.md
-// reports classifications under both the finite and ω readings.
+// orders, Def. 7) carry ω flags on their final reads; the experiment
+// battery reports classifications under both the finite and ω readings.
 package paperfig
 
 import (
@@ -70,7 +70,7 @@ p1: w(2) r/(0,2)*`,
 				// PC holds for the literal finite prefix; the WCC
 				// refutation needs cofiniteness, i.e. the ω reading
 				// (on the ω reading PC fails too — the figure's two
-				// claims use the two readings, see EXPERIMENTS.md).
+				// claims use the two readings).
 				{check.CritPC, true, false},
 				{check.CritWCC, false, true},
 			},

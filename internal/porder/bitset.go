@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"repro/internal/xhash"
 )
 
 // Bitset is a set of small non-negative integers backed by uint64 words.
@@ -28,6 +30,25 @@ func (s Bitset) Clone() Bitset {
 	c := make(Bitset, len(s))
 	copy(c, s)
 	return c
+}
+
+// CopyFrom overwrites s with the contents of t, clearing any trailing
+// words of s beyond t's length. It panics if s is shorter than t.
+func (s Bitset) CopyFrom(t Bitset) {
+	n := copy(s, t)
+	if n < len(t) {
+		panic("porder: CopyFrom into a shorter bitset")
+	}
+	for i := n; i < len(s); i++ {
+		s[i] = 0
+	}
+}
+
+// ClearAll removes every element, keeping the capacity.
+func (s Bitset) ClearAll() {
+	for i := range s {
+		s[i] = 0
+	}
 }
 
 // Set adds i to the set. It panics if i is out of capacity, which always
@@ -122,7 +143,7 @@ func (s Bitset) Intersects(t Bitset) bool {
 
 // Elems returns the elements of s in increasing order.
 func (s Bitset) Elems() []int {
-	var out []int
+	out := make([]int, 0, s.Count())
 	for wi, w := range s {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
@@ -142,6 +163,19 @@ func (s Bitset) ForEach(f func(i int)) {
 			w &= w - 1
 		}
 	}
+}
+
+// Hash64 returns a 64-bit fingerprint of the set, suitable as a memo
+// key: Equal sets always hash alike (including the word count, so two
+// sets of different capacity never accidentally share fingerprints),
+// and distinct sets collide with probability ~2⁻⁶⁴. Computing it
+// allocates nothing.
+func (s Bitset) Hash64() uint64 {
+	h := xhash.Mix(xhash.Seed, uint64(len(s)))
+	for _, w := range s {
+		h = xhash.Mix(h, w)
+	}
+	return h
 }
 
 // Key returns a compact string usable as a map key.

@@ -142,6 +142,104 @@ func TestBitsetKeyInjective(t *testing.T) {
 	}
 }
 
+// TestBitsetHash64EqualImpliesEqualHash: the fingerprint contract the
+// checkers' memo tables rely on — A.Equal(B) ⇒ A.Hash64() == B.Hash64()
+// — checked with testing/quick over random universes. The converse is
+// only probabilistic and is exercised by the collision smoke test.
+func TestBitsetHash64EqualImpliesEqualHash(t *testing.T) {
+	f := func(a, b []bool) bool {
+		n := len(a)
+		if len(b) > n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		A, B := NewBitset(n), NewBitset(n)
+		for i, v := range a {
+			if v {
+				A.Set(i)
+			}
+		}
+		for i, v := range b {
+			if v {
+				B.Set(i)
+			}
+		}
+		if A.Equal(B) && A.Hash64() != B.Hash64() {
+			return false
+		}
+		// An independently built copy must also agree.
+		C := A.Clone()
+		return C.Hash64() == A.Hash64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitsetHash64CollisionSmoke hashes thousands of random distinct
+// sets over random universes and requires zero collisions — with
+// 64-bit fingerprints, a single collision among ~10⁴ sets happens with
+// probability ~10⁻¹², so any observed collision means the mixer is
+// broken, not unlucky.
+func TestBitsetHash64CollisionSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seen := make(map[uint64]string)
+	sets := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		for k := 0; k < 25; k++ {
+			s := NewBitset(n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					s.Set(i)
+				}
+			}
+			key := s.Key()
+			h := s.Hash64()
+			if prev, ok := seen[h]; ok && prev != key {
+				t.Fatalf("Hash64 collision: %q and %q both hash to %#x", prev, key, h)
+			}
+			seen[h] = key
+			sets++
+		}
+	}
+	if len(seen) < sets/2 {
+		t.Fatalf("only %d distinct hashes for %d sets", len(seen), sets)
+	}
+}
+
+// TestBitsetHash64LengthSensitive: sets with identical words but
+// different word counts (capacities) must not share fingerprints, so
+// that Equal (which compares lengths) and Hash64 agree.
+func TestBitsetHash64LengthSensitive(t *testing.T) {
+	a := BitsetOf(64, 3, 17)
+	b := BitsetOf(128, 3, 17)
+	if a.Hash64() == b.Hash64() {
+		t.Fatal("fingerprints of different-capacity sets collide")
+	}
+}
+
+func TestBitsetCopyFromAndClearAll(t *testing.T) {
+	src := BitsetOf(100, 1, 64, 99)
+	dst := FullBitset(100)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom: got %v, want %v", dst, src)
+	}
+	// Copy from a shorter set clears the tail words.
+	short := BitsetOf(64, 2)
+	dst.CopyFrom(short)
+	if dst.Has(99) || dst.Count() != 1 || !dst.Has(2) {
+		t.Fatalf("CopyFrom shorter: got %v", dst)
+	}
+	dst.ClearAll()
+	if !dst.Empty() {
+		t.Fatal("ClearAll left elements behind")
+	}
+}
+
 func TestBitsetForEachOrder(t *testing.T) {
 	s := BitsetOf(100, 3, 70, 4, 99)
 	var got []int

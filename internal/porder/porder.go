@@ -97,11 +97,14 @@ func (r *Rel) HasCycle() bool {
 }
 
 // Preds returns, as a new slice of bitsets, the predecessor sets of the
-// relation: Preds()[j] = {i : i R j}.
+// relation: Preds()[j] = {i : i R j}. The rows are carved out of one
+// backing slab, so the call costs two allocations regardless of N.
 func (r *Rel) Preds() []Bitset {
+	words := (r.N + 63) / 64
+	slab := make(Bitset, r.N*words)
 	p := make([]Bitset, r.N)
 	for j := range p {
-		p[j] = NewBitset(r.N)
+		p[j] = slab[j*words : (j+1)*words : (j+1)*words]
 	}
 	for i := 0; i < r.N; i++ {
 		r.Succ[i].ForEach(func(j int) {

@@ -56,6 +56,10 @@ func (in Input) Equal(o Input) bool {
 // Output is an element of the output alphabet Σo: either ⊥ (Bot), used
 // by pure updates such as writes and pushes, or a tuple of integers
 // (a single integer is a 1-tuple; a window-stream read is a k-tuple).
+//
+// Outputs are read-only values: Vals may alias memory shared with an
+// ADT state or the small-integer cache below, so callers must never
+// mutate it. The checkers only ever compare outputs with Equal.
 type Output struct {
 	Bot  bool
 	Vals []int
@@ -64,8 +68,24 @@ type Output struct {
 // Bot is the ⊥ output.
 var Bot = Output{Bot: true}
 
+// smallVals backs IntOutput for the values the paper's histories
+// actually use, so that query steps in the exponential searches do not
+// allocate a fresh 1-tuple per node.
+var smallVals = func() [256][1]int {
+	var t [256][1]int
+	for i := range t {
+		t[i][0] = i
+	}
+	return t
+}()
+
 // IntOutput returns the 1-tuple output (v).
-func IntOutput(v int) Output { return Output{Vals: []int{v}} }
+func IntOutput(v int) Output {
+	if v >= 0 && v < len(smallVals) {
+		return Output{Vals: smallVals[v][:]}
+	}
+	return Output{Vals: []int{v}}
+}
 
 // TupleOutput returns the tuple output (vs...).
 func TupleOutput(vs ...int) Output { return Output{Vals: vs} }
@@ -129,8 +149,17 @@ func (op Operation) String() string {
 // State is an abstract state q ∈ Q. Key must be a canonical encoding:
 // two states are equal iff their keys are equal. States are immutable
 // once created; Step returns fresh states.
+//
+// Hash64 is the fingerprint the search procedures memoize on: equal
+// states (equal keys) must return equal fingerprints, and distinct
+// states of the same ADT must collide only with ~2⁻⁶⁴ probability
+// (fold the state's content through xhash.Mix). Hash64 is on every
+// search hot path and must not allocate — implementations precompute
+// it at construction; Key, by contrast, is only used by diagnostics
+// and convergence assertions and may build its string on demand.
 type State interface {
 	Key() string
+	Hash64() uint64
 }
 
 // ADT is an abstract data type T = (Σi, Σo, Q, q0, δ, λ) (Def. 1).

@@ -9,7 +9,7 @@ import (
 )
 
 // TestFig5LiteralIsBroken is the ablation behind our Fig. 5 fidelity
-// note (see wsarray.NewCCvArrayLiteral and EXPERIMENTS.md): running
+// note (see wsarray.NewCCvArrayLiteral): running
 // the insertion loop exactly as the HAL text extraction prints it
 // files a strictly-newest value one slot short of the end, so the
 // ascending-timestamp invariant — and with it convergence — breaks on

@@ -1,0 +1,41 @@
+// Package xhash provides the 64-bit fingerprint mixer shared by the
+// search memo tables of internal/check, the bitset fingerprints of
+// internal/porder and the state fingerprints of internal/adt.
+//
+// The checkers memoize failed search states by fingerprint instead of
+// by canonical string key: a state is folded word by word into a
+// uint64 with Mix, whose full-avalanche finalizer (the splitmix64
+// output permutation) makes accidental collisions across the ≤ 2^32
+// states a budgeted search can visit vanishingly unlikely. Inputs are
+// not adversarial — they come from the histories being checked — so a
+// keyed hash is unnecessary.
+package xhash
+
+// Seed is the canonical starting value for incremental fingerprints
+// (the FNV-1a 64-bit offset basis; any fixed odd constant would do).
+const Seed uint64 = 0xcbf29ce484222325
+
+// Mix folds one 64-bit word into a running fingerprint. It is the
+// splitmix64 output permutation applied to h + v + γ where γ is the
+// golden-ratio increment; sequential folding makes the result depend
+// on the order of the folded words.
+func Mix(h, v uint64) uint64 {
+	x := h + v + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Int folds a signed integer into a running fingerprint.
+func Int(h uint64, v int) uint64 { return Mix(h, uint64(v)) }
+
+// Ints folds a slice of signed integers, length first so that
+// sequences that are prefixes of one another cannot collide with
+// equal-content states of different lengths.
+func Ints(h uint64, vs []int) uint64 {
+	h = Mix(h, uint64(len(vs)))
+	for _, v := range vs {
+		h = Mix(h, uint64(v))
+	}
+	return h
+}

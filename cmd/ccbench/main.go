@@ -10,8 +10,12 @@
 //
 // Each run records ns/op, B/op and allocs/op per benchmark:
 //
-//	fig1/<criterion>  one full Check of the Fig. 3c history
-//	fig3/<subfigure>  all caption claims of one Fig. 3 history
+//	fig1/<criterion>        one full Check of the Fig. 3c history
+//	fig3/<subfigure>        all caption claims of one Fig. 3 history
+//	fig3/<subfigure>/parN   same claims with Options.Parallelism=N
+//	                        (recorded when -parallelism > 1; the
+//	                        sequential/parallel pairs are the data the
+//	                        README's speedup table quotes)
 package main
 
 import (
@@ -40,6 +44,7 @@ type Run struct {
 	Date    string            `json:"date"`
 	Go      string            `json:"go"`
 	GoosArc string            `json:"platform"`
+	Procs   int               `json:"procs,omitempty"` // GOMAXPROCS of the run
 	Results map[string]Result `json:"results"`
 }
 
@@ -62,6 +67,7 @@ func measure(name string, f func(b *testing.B)) Result {
 func main() {
 	label := flag.String("label", "", "label recorded with the run")
 	appendTo := flag.String("append", "", "append the run to this JSON-array file")
+	parallelism := flag.Int("parallelism", 0, "also record fig3 runs with Options.Parallelism=N (0 = skip)")
 	flag.Parse()
 
 	run := Run{
@@ -69,6 +75,7 @@ func main() {
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GoosArc: runtime.GOOS + "/" + runtime.GOARCH,
+		Procs:   runtime.GOMAXPROCS(0),
 		Results: make(map[string]Result),
 	}
 
@@ -95,11 +102,12 @@ func main() {
 	}
 
 	// fig3: every caption claim of every sub-figure (mirrors
-	// BenchmarkFig3Classify).
-	for _, f := range paperfig.Fig3() {
+	// BenchmarkFig3Classify), sequentially and — when requested — with
+	// the causal searches forked over -parallelism subtree workers.
+	claimBench := func(f paperfig.Fixture, opt check.Options) func(b *testing.B) {
 		omega := f.History()
 		finite := f.FiniteHistory()
-		run.Results["fig3/"+f.Name] = measure("fig3/"+f.Name, func(b *testing.B) {
+		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, cl := range f.Claims {
@@ -107,12 +115,19 @@ func main() {
 					if cl.OmegaReading {
 						h = omega
 					}
-					if _, _, err := check.Check(cl.Criterion, h, check.Options{}); err != nil {
+					if _, _, err := check.Check(cl.Criterion, h, opt); err != nil {
 						b.Fatal(err)
 					}
 				}
 			}
-		})
+		}
+	}
+	for _, f := range paperfig.Fig3() {
+		run.Results["fig3/"+f.Name] = measure("fig3/"+f.Name, claimBench(f, check.Options{}))
+		if *parallelism > 1 {
+			name := fmt.Sprintf("fig3/%s/par%d", f.Name, *parallelism)
+			run.Results[name] = measure(name, claimBench(f, check.Options{Parallelism: *parallelism}))
+		}
 	}
 
 	if *appendTo == "" {

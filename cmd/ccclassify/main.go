@@ -1,0 +1,257 @@
+// Command ccclassify is the batch front end of the checkers: it
+// streams many histories through the check package's bounded worker
+// pool (check.ClassifyAll) and emits one JSON object per history, in
+// input order, as results become available.
+//
+// Usage:
+//
+//	ccclassify [flags] [file|dir ...]
+//
+// Each argument is a history file in the parser's format, or a
+// directory walked for *.txt files (*.timed.txt files are skipped —
+// they are interval histories for ccheck -timed). With no arguments a
+// single history is read from stdin.
+//
+// Flags:
+//
+//	-workers N        histories classified concurrently (default GOMAXPROCS)
+//	-parallelism N    subtree workers per causal search (default 1; the
+//	                  product workers×parallelism is the core budget)
+//	-timeout D        per-criterion wall clock, e.g. 2s (default none)
+//	-max-nodes N      per-criterion search budget (default check.DefaultMaxNodes)
+//	-criteria LIST    comma-separated subset, e.g. SC,CC,CCv (default all)
+//
+// Output (one line per history):
+//
+//	{"index":0,"name":"fig3c.txt","results":{"SC":{"satisfied":false,...}},...}
+//
+// A criterion that exceeds its budget carries "budget_exceeded":true,
+// a timed-out one "timed_out":true; neither aborts the batch. The exit
+// status is 1 if any history failed to parse or any checker returned a
+// hard error, 0 otherwise (timeouts and budget exhaustion are reported
+// data, not failures).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/history"
+)
+
+type critResult struct {
+	Satisfied      *bool  `json:"satisfied,omitempty"`
+	TimedOut       bool   `json:"timed_out,omitempty"`
+	BudgetExceeded bool   `json:"budget_exceeded,omitempty"`
+	Error          string `json:"error,omitempty"`
+	ElapsedNs      int64  `json:"elapsed_ns"`
+}
+
+type histResult struct {
+	Index      int                   `json:"index"`
+	Name       string                `json:"name"`
+	Error      string                `json:"error,omitempty"` // parse error
+	Results    map[string]critResult `json:"results,omitempty"`
+	Profile    string                `json:"profile,omitempty"` // satisfied criteria, weakest first
+	Violations []string              `json:"lattice_violations,omitempty"`
+}
+
+func parseCriteria(list string) ([]check.Criterion, error) {
+	if list == "" {
+		return nil, nil
+	}
+	byName := make(map[string]check.Criterion)
+	for _, c := range check.AllCriteria {
+		byName[c.String()] = c
+	}
+	var out []check.Criterion
+	for _, name := range strings.Split(list, ",") {
+		c, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown criterion %q (have %v)", name, check.AllCriteria)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// collect expands the arguments into named history texts. Unreadable
+// files surface as items with a load error so the batch keeps going.
+type source struct {
+	name string
+	text string
+	err  error
+}
+
+func collect(args []string) []source {
+	if len(args) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		return []source{{name: "stdin", text: string(data), err: err}}
+	}
+	var out []source
+	addFile := func(path string) {
+		data, err := os.ReadFile(path)
+		out = append(out, source{name: path, text: string(data), err: err})
+	}
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			out = append(out, source{name: arg, err: err})
+			continue
+		}
+		if !st.IsDir() {
+			addFile(arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".timed.txt") {
+				return nil
+			}
+			addFile(path)
+			return nil
+		})
+		if err != nil {
+			out = append(out, source{name: arg, err: err})
+		}
+	}
+	return out
+}
+
+func render(r check.BatchResult, parseErr error) histResult {
+	hr := histResult{Index: r.Item.Index, Name: r.Item.Name}
+	if parseErr != nil {
+		hr.Error = parseErr.Error()
+		return hr
+	}
+	hr.Results = make(map[string]critResult, len(r.Outcomes))
+	for c, o := range r.Outcomes {
+		cr := critResult{
+			TimedOut:       o.TimedOut,
+			BudgetExceeded: o.BudgetExceeded,
+			ElapsedNs:      o.Elapsed.Nanoseconds(),
+		}
+		if o.Err != nil {
+			cr.Error = o.Err.Error()
+		} else if !o.TimedOut {
+			sat := o.Satisfied
+			cr.Satisfied = &sat
+		}
+		hr.Results[c.String()] = cr
+	}
+	var profile []string
+	for _, c := range check.AllCriteria {
+		if r.Class[c] {
+			profile = append(profile, c.String())
+		}
+	}
+	hr.Profile = strings.Join(profile, " ")
+	for _, v := range r.LatticeViolations {
+		hr.Violations = append(hr.Violations, fmt.Sprintf("%v=>%v", v[0], v[1]))
+	}
+	return hr
+}
+
+func main() {
+	workers := flag.Int("workers", 0, "histories classified concurrently (0 = GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 1, "subtree workers per causal search")
+	timeout := flag.Duration("timeout", 0, "per-criterion wall-clock timeout (0 = none)")
+	maxNodes := flag.Int("max-nodes", 0, "per-criterion search budget (0 = default)")
+	criteriaList := flag.String("criteria", "", "comma-separated criteria subset (default all)")
+	flag.Parse()
+
+	criteria, err := parseCriteria(*criteriaList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccclassify:", err)
+		os.Exit(2)
+	}
+
+	// Load and parse everything up front (cheap next to checking);
+	// parse failures bypass the engine and are rendered in place when
+	// their turn in the output order comes.
+	srcs := collect(flag.Args())
+	parseErrs := make([]error, len(srcs))
+	var ok []check.BatchItem
+	for i, s := range srcs {
+		if s.err != nil {
+			parseErrs[i] = s.err
+			continue
+		}
+		h, err := history.Parse(s.text)
+		if err != nil {
+			parseErrs[i] = err
+			continue
+		}
+		ok = append(ok, check.BatchItem{Index: i, Name: s.name, H: h})
+	}
+	classifiable := make(chan check.BatchItem)
+	go func() {
+		defer close(classifiable)
+		for _, it := range ok {
+			classifiable <- it
+		}
+	}()
+
+	results := check.ClassifyAll(classifiable, check.BatchOptions{
+		Options:  check.Options{MaxNodes: *maxNodes, Parallelism: *parallelism},
+		Workers:  *workers,
+		Timeout:  *timeout,
+		Criteria: criteria,
+	})
+
+	// Reorder into input order, emitting each line as soon as its
+	// predecessors are out.
+	enc := json.NewEncoder(os.Stdout)
+	pending := make(map[int]histResult)
+	nextIdx := 0
+	hardFail := false
+	flush := func() {
+		for {
+			hr, ok := pending[nextIdx]
+			if !ok {
+				// A parse failure never enters the engine; render it
+				// here the moment its turn comes.
+				if nextIdx < len(srcs) && parseErrs[nextIdx] != nil {
+					hr = render(check.BatchResult{Item: check.BatchItem{Index: nextIdx, Name: srcs[nextIdx].name}}, parseErrs[nextIdx])
+				} else {
+					return
+				}
+			}
+			delete(pending, nextIdx)
+			if hr.Error != "" {
+				hardFail = true
+			}
+			for _, cr := range hr.Results {
+				if cr.Error != "" && !cr.BudgetExceeded {
+					hardFail = true
+				}
+			}
+			if err := enc.Encode(hr); err != nil {
+				fmt.Fprintln(os.Stderr, "ccclassify:", err)
+				os.Exit(1)
+			}
+			nextIdx++
+		}
+	}
+	for r := range results {
+		pending[r.Item.Index] = render(r, nil)
+		flush()
+	}
+	flush()
+	if nextIdx != len(srcs) {
+		fmt.Fprintf(os.Stderr, "ccclassify: internal: emitted %d of %d results\n", nextIdx, len(srcs))
+		os.Exit(1)
+	}
+	if hardFail {
+		os.Exit(1)
+	}
+}

@@ -17,4 +17,11 @@
 // bench_extra_test.go regenerate the performance-shape results for
 // every figure of the paper and every extension ablation; cmd/ccbench
 // snapshots the checker numbers into BENCH_checkers.json.
+//
+// Classification scales out along two axes: check.Options.Parallelism
+// forks the causal-family searches of a single history into
+// deterministic subtree tasks, and check.ClassifyAll streams batches
+// of histories through a bounded worker pool with per-criterion
+// timeouts — cmd/ccclassify is the batch front end emitting one JSON
+// object per history.
 package ccbm

@@ -23,7 +23,6 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/check"
 	"repro/internal/history"
@@ -142,24 +141,23 @@ func (cfg *Config) Size() (int, error) {
 	return total, nil
 }
 
-// job is one complete history with its enumeration index.
-type job struct {
-	idx int
-	h   *history.History
-}
-
-// Run enumerates and classifies the whole space.
+// Run enumerates and classifies the whole space. The classification
+// fan-out rides the check package's batch engine (ClassifyAll): one
+// bounded worker pool across histories, with cfg.Options — including
+// per-history Parallelism for the causal searches — passed through to
+// every checker. Aggregation is single-threaded on the result stream,
+// which makes it deterministic without locking.
 func Run(cfg Config) (*Result, error) {
 	if len(cfg.Shape) == 0 || len(cfg.Inputs) == 0 || cfg.OutputsFor == nil {
 		return nil, fmt.Errorf("census: Shape, Inputs and OutputsFor are required")
 	}
 	criteria := cfg.criteria()
 
-	jobs := make(chan job, 256)
+	items := make(chan check.BatchItem, 256)
 	errc := make(chan error, 1)
 	go func() {
-		defer close(jobs)
-		if err := enumerate(cfg, jobs); err != nil {
+		defer close(items)
+		if err := enumerate(cfg, items); err != nil {
 			select {
 			case errc <- err:
 			default:
@@ -172,73 +170,74 @@ func Run(cfg Config) (*Result, error) {
 		workers = runtime.NumCPU()
 	}
 	var (
-		mu       sync.Mutex
 		total    int
 		counts   = make(map[check.Criterion]int, len(criteria))
 		profiles = make(map[string]*Profile)
 		viol     []Separation
 		seps     = make(map[[2]check.Criterion]*Separation)
+		firstErr error
 	)
-	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				cl := make(check.Classification, len(criteria))
-				failed := false
-				for _, c := range criteria {
-					ok, _, err := check.Check(c, jb.h, cfg.Options)
-					if err != nil {
-						select {
-						case errc <- fmt.Errorf("census: history %d: %v: %w", jb.idx, c, err):
-						default:
-						}
-						failed = true
-						break
-					}
-					cl[c] = ok
-				}
-				if failed {
-					continue
-				}
-				mu.Lock()
-				total++
-				key := profileKey(criteria, cl)
-				p := profiles[key]
-				if p == nil {
-					p = &Profile{Key: key, Example: jb.h, exampleIdx: jb.idx}
-					profiles[key] = p
-				} else if jb.idx < p.exampleIdx {
-					p.Example, p.exampleIdx = jb.h, jb.idx
-				}
-				p.Count++
-				for _, c := range criteria {
-					if cl[c] {
-						counts[c]++
-					}
-				}
-				for _, imp := range check.Implications() {
-					s, okS := cl[imp[0]]
-					w, okW := cl[imp[1]]
-					if !okS || !okW {
-						continue
-					}
-					if s && !w {
-						viol = append(viol, Separation{Stronger: imp[0], Weaker: imp[1], Witness: jb.h, Index: jb.idx})
-					}
-					if w && !s {
-						cur := seps[imp]
-						if cur == nil || jb.idx < cur.Index {
-							seps[imp] = &Separation{Stronger: imp[0], Weaker: imp[1], Witness: jb.h, Index: jb.idx}
-						}
-					}
-				}
-				mu.Unlock()
+	results := check.ClassifyAll(items, check.BatchOptions{
+		Options:  cfg.Options,
+		Workers:  workers,
+		Criteria: criteria,
+	})
+	for r := range results {
+		if firstErr != nil {
+			continue // drain so the workers can exit
+		}
+		cl := r.Class
+		bad := false
+		for _, c := range criteria {
+			o, ok := r.Outcomes[c]
+			if !ok {
+				continue // CM on a non-memory ADT
 			}
-		}()
+			if o.Err != nil {
+				firstErr = fmt.Errorf("census: history %d: %v: %w", r.Item.Index, c, o.Err)
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		h, idx := r.Item.H, r.Item.Index
+		total++
+		key := profileKey(criteria, cl)
+		p := profiles[key]
+		if p == nil {
+			p = &Profile{Key: key, Example: h, exampleIdx: idx}
+			profiles[key] = p
+		} else if idx < p.exampleIdx {
+			p.Example, p.exampleIdx = h, idx
+		}
+		p.Count++
+		for _, c := range criteria {
+			if cl[c] {
+				counts[c]++
+			}
+		}
+		for _, imp := range check.Implications() {
+			s, okS := cl[imp[0]]
+			w, okW := cl[imp[1]]
+			if !okS || !okW {
+				continue
+			}
+			if s && !w {
+				viol = append(viol, Separation{Stronger: imp[0], Weaker: imp[1], Witness: h, Index: idx})
+			}
+			if w && !s {
+				cur := seps[imp]
+				if cur == nil || idx < cur.Index {
+					seps[imp] = &Separation{Stronger: imp[0], Weaker: imp[1], Witness: h, Index: idx}
+				}
+			}
+		}
 	}
-	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	select {
 	case err := <-errc:
@@ -295,7 +294,7 @@ func profileKey(criteria []check.Criterion, cl check.Classification) string {
 
 // enumerate generates every history of the configured shape, assigning
 // first inputs then outputs slot by slot.
-func enumerate(cfg Config, out chan<- job) error {
+func enumerate(cfg Config, out chan<- check.BatchItem) error {
 	slots := 0
 	for _, s := range cfg.Shape {
 		slots += s
@@ -325,7 +324,7 @@ func enumerate(cfg Config, out chan<- job) error {
 					b.Append(procOf[i], op)
 				}
 			}
-			out <- job{idx: idx, h: b.Build()}
+			out <- check.BatchItem{Index: idx, H: b.Build()}
 			idx++
 			return
 		}

@@ -1,0 +1,216 @@
+package check
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+)
+
+// The batch engine: stream many histories through a bounded worker
+// pool and classify each against every requested criterion, with an
+// optional per-criterion wall-clock timeout. This is the scale path
+// the cmd tools and the census build on — the per-history exponential
+// searches stay single-threaded by default (cross-history parallelism
+// has no coordination cost), while Options.Parallelism can additionally
+// fan out the causal searches of each history when the batch is small
+// and the histories are big.
+
+// BatchItem is one history to classify. Index is echoed back in the
+// result so streaming consumers can restore input order; Name is free
+// text for reporting (file name, enumeration index, ...).
+type BatchItem struct {
+	Index int
+	Name  string
+	H     *history.History
+}
+
+// CriterionOutcome is the result of one checker on one history.
+type CriterionOutcome struct {
+	// Satisfied is meaningful only when Err == nil and !TimedOut.
+	Satisfied bool
+	// TimedOut reports that the per-criterion timeout elapsed before
+	// the checker finished.
+	TimedOut bool
+	// BudgetExceeded reports that the checker ran out of MaxNodes
+	// (Err is then a *ErrBudgetExceeded).
+	BudgetExceeded bool
+	// Err is the checker error, if any (budget, ω-encoding, ...).
+	Err error
+	// Elapsed is the checker's wall-clock time.
+	Elapsed time.Duration
+}
+
+// BatchResult is the classification of one history.
+type BatchResult struct {
+	Item BatchItem
+	// Outcomes holds one entry per attempted criterion. CM on a
+	// non-memory history is skipped entirely (no entry), mirroring
+	// Classify.
+	Outcomes map[Criterion]CriterionOutcome
+	// Class collects the Satisfied verdicts of the criteria that
+	// completed cleanly — the subset of Outcomes usable as a
+	// Classification.
+	Class Classification
+	// LatticeViolations lists the Fig. 1 implication arrows violated by
+	// Class (expected empty; non-empty means a checker bug).
+	LatticeViolations [][2]Criterion
+}
+
+// Err returns the first criterion error in AllCriteria order, nil if
+// every attempted checker completed (timeouts are not errors).
+func (r *BatchResult) Err() error {
+	for _, c := range AllCriteria {
+		if o, ok := r.Outcomes[c]; ok && o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}
+
+// BatchOptions tunes ClassifyAll.
+type BatchOptions struct {
+	// Options is passed to every checker invocation (MaxNodes,
+	// Parallelism for the per-history causal searches, ...). The
+	// Interrupt field must be nil; the engine installs its own.
+	Options
+	// Workers bounds the number of histories classified concurrently;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Timeout bounds each (history, criterion) check's wall-clock time;
+	// 0 means no timeout. A timed-out check reports TimedOut instead of
+	// a verdict and the search is interrupted promptly (see
+	// Options.Interrupt).
+	Timeout time.Duration
+	// Criteria selects the checkers to run; nil means AllCriteria
+	// (with CM auto-skipped on non-memory histories).
+	Criteria []Criterion
+}
+
+func (o BatchOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o BatchOptions) criteria() []Criterion {
+	if o.Criteria != nil {
+		return o.Criteria
+	}
+	return AllCriteria
+}
+
+// classifyOne runs every requested criterion on one item.
+func classifyOne(it BatchItem, opt BatchOptions) BatchResult {
+	res := BatchResult{
+		Item:     it,
+		Outcomes: make(map[Criterion]CriterionOutcome),
+		Class:    make(Classification),
+	}
+	for _, c := range opt.criteria() {
+		out := checkWithTimeout(c, it.H, opt.Options, opt.Timeout)
+		if errors.Is(out.Err, ErrNotMemory) {
+			continue // criterion not applicable, mirror Classify
+		}
+		res.Outcomes[c] = out
+		if out.Err == nil && !out.TimedOut {
+			res.Class[c] = out.Satisfied
+		}
+	}
+	res.LatticeViolations = VerifyImplications(res.Class)
+	return res
+}
+
+// checkWithTimeout runs one checker, bounding its wall-clock time.
+// The timeout path sets an interrupt flag the search-based checkers
+// poll every few thousand nodes, so the worker goroutine below is
+// reclaimed almost immediately after the timer fires; the engine still
+// waits only for the timer, not the unwind.
+func checkWithTimeout(c Criterion, h *history.History, opt Options, timeout time.Duration) CriterionOutcome {
+	start := time.Now()
+	if timeout <= 0 {
+		ok, _, err := Check(c, h, opt)
+		return outcome(ok, err, false, start)
+	}
+	intr := &atomic.Bool{}
+	opt.Interrupt = intr
+	type reply struct {
+		ok  bool
+		err error
+	}
+	done := make(chan reply, 1)
+	go func() {
+		ok, _, err := Check(c, h, opt)
+		done <- reply{ok, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		if errors.Is(r.err, ErrInterrupted) {
+			// The timer fired while the reply was in flight.
+			return outcome(false, nil, true, start)
+		}
+		return outcome(r.ok, r.err, false, start)
+	case <-timer.C:
+		intr.Store(true)
+		return outcome(false, nil, true, start)
+	}
+}
+
+func outcome(ok bool, err error, timedOut bool, start time.Time) CriterionOutcome {
+	return CriterionOutcome{
+		Satisfied:      ok,
+		TimedOut:       timedOut,
+		BudgetExceeded: errors.Is(err, ErrBudget),
+		Err:            err,
+		Elapsed:        time.Since(start),
+	}
+}
+
+// ClassifyAll streams items through a bounded worker pool and emits
+// one BatchResult per item. The output channel is unordered (use
+// BatchItem.Index to restore input order) and is closed once every
+// item has been classified. The items channel must be closed by the
+// producer; consuming the result channel to the end is required to
+// release the workers.
+func ClassifyAll(items <-chan BatchItem, opt BatchOptions) <-chan BatchResult {
+	out := make(chan BatchResult, opt.workers())
+	var wg sync.WaitGroup
+	wg.Add(opt.workers())
+	for w := 0; w < opt.workers(); w++ {
+		go func() {
+			defer wg.Done()
+			for it := range items {
+				out <- classifyOne(it, opt)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// ClassifyBatch is ClassifyAll over a slice, returning results in
+// input order. Index is overwritten with the slice position.
+func ClassifyBatch(items []BatchItem, opt BatchOptions) []BatchResult {
+	in := make(chan BatchItem)
+	go func() {
+		for i, it := range items {
+			it.Index = i
+			in <- it
+		}
+		close(in)
+	}()
+	res := make([]BatchResult, len(items))
+	for r := range ClassifyAll(in, opt) {
+		res[r.Item.Index] = r
+	}
+	return res
+}

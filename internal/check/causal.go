@@ -94,9 +94,25 @@ type causalSearcher struct {
 	// memo holds fingerprints of failed states; stateHash is the
 	// current state's fingerprint, maintained incrementally across
 	// commit/uncommit (hashStack saves the pre-commit value per depth).
+	// In parallel mode the commit-level entries live in shard instead —
+	// a lock-sharded table the subtree tasks share — while memo keeps
+	// serving the (epoch-mixed, task-private) per-event lin queries.
 	memo      map[uint64]struct{}
+	shard     *shardedMemo
 	stateHash uint64
 	hashStack []uint64
+
+	// feed, when non-nil, refills the budget in chunks from a shared
+	// pool and carries interrupt/cancel signals (see parallel.go).
+	feed *feeder
+
+	// next is the continuation commitWith invokes after a successful
+	// commit: cs.run for the ordinary recursive search, or the
+	// frontier expander's depth-limited descent in parallel mode.
+	// Routing the recursion through one field keeps tryCommit the
+	// single source of the (event, visibility subset) enumeration
+	// order, which the parallel determinism guarantee depends on.
+	next func() bool
 
 	frames []csFrame
 
@@ -186,6 +202,7 @@ func newCausalSearcher(h *history.History, kind causalKind, maxNodes int) *causa
 	for i := range cs.pos {
 		cs.pos[i] = -1
 	}
+	cs.next = cs.run
 	return cs
 }
 
@@ -195,7 +212,7 @@ func (cs *causalSearcher) run() bool {
 		return true
 	}
 	*cs.budget--
-	if *cs.budget < 0 {
+	if *cs.budget < 0 && !cs.feed.refill() {
 		return false
 	}
 	// stateHash fingerprints the committed set plus each committed
@@ -206,7 +223,11 @@ func (cs *causalSearcher) run() bool {
 	// past linearizations, but those are functions of the pasts and
 	// positions, which the order-sensitive fold captures).
 	key := cs.stateHash
-	if _, failed := cs.memo[key]; failed {
+	if cs.shard != nil {
+		if cs.shard.failed(key) {
+			return false
+		}
+	} else if _, failed := cs.memo[key]; failed {
 		return false
 	}
 	allUpdatesIn := cs.updates.SubsetOf(cs.committed)
@@ -228,7 +249,11 @@ func (cs *causalSearcher) run() bool {
 		}
 	}
 	if *cs.budget >= 0 {
-		cs.memo[key] = struct{}{}
+		if cs.shard != nil {
+			cs.shard.add(key)
+		} else {
+			cs.memo[key] = struct{}{}
+		}
 	}
 	return false
 }
@@ -273,7 +298,7 @@ func (cs *causalSearcher) tryCommit(e int) bool {
 	k := len(fr.cand)
 	if k > maxSubsetCands {
 		// Unrealistically wide; treat as budget exhaustion.
-		*cs.budget = -1
+		cs.exhaust()
 		return false
 	}
 	limit := uint64(1) << k
@@ -281,7 +306,7 @@ func (cs *causalSearcher) tryCommit(e int) bool {
 		m := uint64(1)<<c - 1 // smallest mask with popcount c
 		for {
 			*cs.budget--
-			if *cs.budget < 0 {
+			if *cs.budget < 0 && !cs.feed.refill() {
 				return false
 			}
 			fr.x = fr.x[:0]
@@ -324,15 +349,30 @@ func (cs *causalSearcher) commitWith(e int, fr *csFrame, x []int) bool {
 		cs.pasts[e] = nil
 		return false
 	}
+	cs.push(e, past, lin)
+	if cs.next() {
+		return true
+	}
+	cs.pop(e)
+	return false
+}
+
+// push performs the commit bookkeeping for e once checkEvent accepted
+// it: pasts[e] must already hold the (frame-aliased) past. pop undoes
+// it. The pair is shared by the sequential recursion (commitWith), the
+// parallel frontier expansion and the per-task prefix replay, so all
+// three maintain the state — including the incremental fingerprint —
+// identically.
+func (cs *causalSearcher) push(e int, past porder.Bitset, lin []int) {
 	cs.committed.Set(e)
 	cs.pos[e] = len(cs.order)
 	cs.order = append(cs.order, e)
 	cs.perEvent[e] = lin
 	cs.hashStack = append(cs.hashStack, cs.stateHash)
 	cs.stateHash = xhash.Mix(xhash.Mix(cs.stateHash, uint64(e)), past.Hash64())
-	if cs.run() {
-		return true
-	}
+}
+
+func (cs *causalSearcher) pop(e int) {
 	cs.stateHash = cs.hashStack[len(cs.hashStack)-1]
 	cs.hashStack = cs.hashStack[:len(cs.hashStack)-1]
 	cs.order = cs.order[:len(cs.order)-1]
@@ -340,7 +380,14 @@ func (cs *causalSearcher) commitWith(e int, fr *csFrame, x []int) bool {
 	cs.committed.Clear(e)
 	cs.pasts[e] = nil
 	cs.perEvent[e] = nil
-	return false
+}
+
+// exhaust forces the search to unwind as budget-exhausted.
+func (cs *causalSearcher) exhaust() {
+	*cs.budget = -1
+	if cs.feed != nil {
+		cs.feed.exhausted = true
+	}
 }
 
 // checkEvent verifies the criterion's per-event requirement for e with
@@ -403,17 +450,37 @@ func runCausal(h *history.History, kind causalKind, opt Options) (bool, *Witness
 	if err := validateOmega(h); err != nil {
 		return false, nil, err
 	}
+	if opt.parallelism() > 1 && h.N() >= minParallelEvents {
+		return runCausalParallel(h, kind, opt)
+	}
 	cs := newCausalSearcher(h, kind, opt.maxNodes())
+	if opt.Interrupt != nil {
+		// Route the budget through a chunked pool so the searcher polls
+		// the interrupt flag at least every feederChunk nodes. The node
+		// count at which the budget runs out is unchanged (the pool
+		// hands out exactly maxNodes in total).
+		cs.feed = newFeeder(newBudgetPool(opt.maxNodes()), opt.Interrupt, nil, cs.budget)
+		cs.ls.feed = cs.feed
+		cs.budgetVal = 0
+	}
 	ok := cs.run()
+	if cs.feed != nil && cs.feed.interrupted {
+		return false, nil, ErrInterrupted
+	}
 	if cs.budgetVal < 0 {
 		return false, nil, ErrBudget
 	}
 	if !ok {
 		return false, nil, nil
 	}
-	// The committed pasts and per-event linearizations alias the
-	// searcher's scratch frames; clone them (via two slabs) so the
-	// witness owns its memory.
+	return true, cs.witness(), nil
+}
+
+// witness clones the committed pasts and per-event linearizations out
+// of the searcher's scratch frames (via two slabs) so the returned
+// Witness owns its memory. It must only be called after a successful
+// run.
+func (cs *causalSearcher) witness() *Witness {
 	words := (cs.n + 63) / 64
 	pastSlab := make(porder.Bitset, cs.n*words)
 	pasts := make([]porder.Bitset, len(cs.pasts))
@@ -441,12 +508,11 @@ func runCausal(h *history.History, kind causalKind, opt Options) (bool, *Witness
 			perEvent[i] = row
 		}
 	}
-	w := &Witness{
+	return &Witness{
 		Order:    append(order, cs.order...),
 		Pasts:    pasts,
 		PerEvent: perEvent,
 	}
-	return true, w, nil
 }
 
 // WCC reports whether the history is weakly causally consistent with

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/history"
@@ -50,8 +51,37 @@ func (c Criterion) String() string {
 	}
 }
 
-// Check runs a single criterion's checker.
+// ErrBudgetExceeded is the typed error Check returns when a checker
+// runs out of its MaxNodes search budget, so batch callers can tell
+// resource exhaustion apart from genuine verdicts and from parse or
+// encoding errors. It unwraps to ErrBudget: both
+// errors.Is(err, check.ErrBudget) and
+// errors.As(err, *(*check.ErrBudgetExceeded)) hold, even after further
+// %w wrapping.
+type ErrBudgetExceeded struct {
+	Criterion Criterion
+	MaxNodes  int
+}
+
+func (e *ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("check: %v search budget exceeded (MaxNodes=%d)", e.Criterion, e.MaxNodes)
+}
+
+// Unwrap ties the typed error to the ErrBudget sentinel the individual
+// checkers return.
+func (e *ErrBudgetExceeded) Unwrap() error { return ErrBudget }
+
+// Check runs a single criterion's checker. Budget exhaustion surfaces
+// as *ErrBudgetExceeded carrying the criterion and the budget.
 func Check(c Criterion, h *history.History, opt Options) (bool, *Witness, error) {
+	ok, w, err := checkRaw(c, h, opt)
+	if errors.Is(err, ErrBudget) && !errors.As(err, new(*ErrBudgetExceeded)) {
+		err = &ErrBudgetExceeded{Criterion: c, MaxNodes: opt.maxNodes()}
+	}
+	return ok, w, err
+}
+
+func checkRaw(c Criterion, h *history.History, opt Options) (bool, *Witness, error) {
 	switch c {
 	case CritEC:
 		return EC(h, opt)

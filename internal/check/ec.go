@@ -59,6 +59,7 @@ func UC(h *history.History, opt Options) (bool, *Witness, error) {
 	// Search over linearizations of the updates (respecting program
 	// order among them); at the end, check every ω-event.
 	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
+	feed := ls.attachInterrupt(opt, &budget)
 
 	// Build an include set of updates plus ω-events, with every update
 	// preceding every ω-event; ω outputs are visible, update outputs
@@ -81,6 +82,9 @@ func UC(h *history.History, opt Options) (bool, *Witness, error) {
 		preds[e] = p
 	}
 	order, ok := ls.findLin(include, visible, preds)
+	if feed.wasInterrupted() {
+		return false, nil, ErrInterrupted
+	}
 	if budget < 0 {
 		return false, nil, ErrBudget
 	}

@@ -29,6 +29,7 @@ package check
 import (
 	"errors"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/history"
 	"repro/internal/porder"
@@ -39,6 +40,11 @@ import (
 // ErrBudget is returned when a search exceeds Options.MaxNodes.
 var ErrBudget = errors.New("check: search budget exceeded")
 
+// ErrInterrupted is returned when a search is abandoned because
+// Options.Interrupt was set (typically by a batch caller's per-criterion
+// timeout, see ClassifyAll) before the search could finish.
+var ErrInterrupted = errors.New("check: search interrupted")
+
 // ErrOmegaUpdate is returned when a history marks an update operation
 // as ω-repeating; the encoding only supports repeating pure queries.
 var ErrOmegaUpdate = errors.New("check: ω-events must be pure queries")
@@ -48,6 +54,26 @@ type Options struct {
 	// MaxNodes bounds the total number of search-tree nodes explored by
 	// one checker invocation; 0 means DefaultMaxNodes.
 	MaxNodes int
+
+	// Parallelism, when > 1, lets the causal-family checkers (WCC, CC,
+	// CCv) fork the top levels of their commit decision tree into that
+	// many concurrently searched subtree tasks. Verdicts and witnesses
+	// are bit-for-bit identical to the sequential search whenever the
+	// node budget is not exhausted; only the point at which a
+	// budget-bound search gives up may shift, because the budget is
+	// drawn from a shared pool in chunks. 0 and 1 mean sequential.
+	// The non-causal checkers ignore the field (their searches are
+	// either trivial or per-process, and the batch engine parallelizes
+	// across histories instead).
+	Parallelism int
+
+	// Interrupt, when non-nil, is polled by every search-based checker
+	// Check dispatches to (SC, PC, UC, CM, Linearizable and the causal
+	// family; EC is a linear scan with nothing to interrupt); setting
+	// it makes the checker unwind promptly and return ErrInterrupted.
+	// It is how ClassifyAll implements per-criterion timeouts without
+	// abandoning unbounded goroutines.
+	Interrupt *atomic.Bool
 }
 
 // DefaultMaxNodes is the default search budget.
@@ -58,6 +84,13 @@ func (o Options) maxNodes() int {
 		return DefaultMaxNodes
 	}
 	return o.MaxNodes
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // linSearcher finds a linearization of a subset of a history's events,
@@ -75,8 +108,13 @@ type linSearcher struct {
 	t      spec.ADT
 	events []history.Event
 	budget *int
-	memo   map[uint64]struct{} // failed (epoch, done, state) fingerprints
-	epoch  uint64
+	// feed, when non-nil, tops the budget back up in chunks from a
+	// shared pool and carries the interrupt/cancel signals (see
+	// parallel.go); a nil feed leaves the classic "count down from
+	// MaxNodes" behaviour untouched.
+	feed  *feeder
+	memo  map[uint64]struct{} // failed (epoch, done, state) fingerprints
+	epoch uint64
 
 	// q0 caches t.Init() (states are immutable, so one instance serves
 	// every query). steps, when non-nil, memoizes δ/λ by (state
@@ -136,6 +174,25 @@ func (ls *linSearcher) initState() spec.State {
 	return ls.q0
 }
 
+// attachInterrupt routes the searcher's budget through a chunked pool
+// when opt.Interrupt is set, so that the search polls the flag at
+// least every feederChunk nodes; the total node budget is unchanged.
+// It returns the feeder (nil when no interrupt was requested) for the
+// caller to distinguish ErrInterrupted from ErrBudget afterwards.
+func (ls *linSearcher) attachInterrupt(opt Options, budget *int) *feeder {
+	if opt.Interrupt == nil {
+		return nil
+	}
+	f := newFeeder(newBudgetPool(*budget), opt.Interrupt, nil, budget)
+	*budget = 0
+	ls.feed = f
+	return f
+}
+
+// wasInterrupted is a nil-safe accessor for callers that may not have
+// attached a feeder at all.
+func (f *feeder) wasInterrupted() bool { return f != nil && f.interrupted }
+
 // findLin searches for an order of the events in include, respecting
 // preds (required strict predecessors per event, one materialized
 // bitset per event; only members of include constrain), such that
@@ -178,7 +235,7 @@ func (ls *linSearcher) rec(q spec.State, placed int) bool {
 		return true
 	}
 	*ls.budget--
-	if *ls.budget < 0 {
+	if *ls.budget < 0 && !ls.feed.refill() {
 		return false
 	}
 	qh := q.Hash64()

@@ -87,7 +87,11 @@ func Linearizable(t spec.ADT, ops []TimedOp, opt Options) (bool, []int, error) {
 	}
 	budget := opt.maxNodes()
 	ls := &linSearcher{t: t, events: events, budget: &budget}
+	feed := ls.attachInterrupt(opt, &budget)
 	order, ok := ls.findLin(porder.FullBitset(n), porder.FullBitset(n), preds)
+	if feed.wasInterrupted() {
+		return false, nil, ErrInterrupted
+	}
 	if budget < 0 {
 		return false, nil, ErrBudget
 	}

@@ -99,6 +99,14 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 		return false, nil, err
 	}
 	budget := opt.maxNodes()
+	// One feeder serves the whole CM search (the writes-into
+	// enumeration and every per-process linearization inside it share
+	// the budget), so a batch timeout reclaims the search promptly.
+	var feed *feeder
+	if opt.Interrupt != nil {
+		feed = newFeeder(newBudgetPool(budget), opt.Interrupt, nil, &budget)
+		budget = 0
+	}
 
 	// Candidate dictating writes per read.
 	n := h.N()
@@ -140,7 +148,7 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 		wit := &Witness{PerProcess: make([][]int, len(h.Processes()))}
 		all := porder.FullBitset(n)
 		for p := range h.Processes() {
-			ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
+			ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget, feed: feed}
 			visible := h.ProcEventsView(p)
 			ownOmega := h.OmegaEvents()
 			ownOmega.IntersectWith(visible)
@@ -157,7 +165,7 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 	binding := make(map[int]int, len(reads))
 	var rec func(i int) (bool, *Witness)
 	rec = func(i int) (bool, *Witness) {
-		if budget < 0 {
+		if budget < 0 && !feed.refill() {
 			return false, nil
 		}
 		if i == len(reads) {
@@ -175,6 +183,9 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 		return false, nil
 	}
 	ok, wit := rec(0)
+	if feed.wasInterrupted() {
+		return false, nil, ErrInterrupted
+	}
 	if budget < 0 {
 		return false, nil, ErrBudget
 	}

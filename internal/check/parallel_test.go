@@ -1,0 +1,247 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// The differential harness for the parallel classification pipeline:
+// the parallel causal searchers must agree with the sequential ones —
+// verdict, error AND witness, bit for bit — on the paper's corpus, an
+// exhaustive mini-census and seeded random histories. Run with -race
+// to also exercise the sharded memo and budget pool under the race
+// detector (the CI race job does).
+
+// forceParallel drops the small-history gate so that the tiny test
+// histories actually exercise the forked path, restoring it on
+// cleanup. Tests in this package run sequentially (none call
+// t.Parallel), so the write is safe.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := minParallelEvents
+	minParallelEvents = 2
+	t.Cleanup(func() { minParallelEvents = old })
+}
+
+// parFig3Texts is the Fig. 3 corpus (the same texts paperfig encodes;
+// kept inline because importing paperfig from package check would be
+// cyclic).
+var parFig3Texts = []string{
+	"adt: W2\np0: w(1) r/(0,1) r/(1,2)*\np1: w(2) r/(0,2) r/(1,2)*",
+	"adt: W2\np0: w(1) r/(0,1)*\np1: w(2) r/(0,2)*",
+	"adt: W2\np0: w(1) r/(2,1)\np1: w(2) r/(1,2)",
+	"adt: W2\np0: w(1) r/(0,1)\np1: w(2) r/(1,2)",
+	"adt: Queue\np0: push(1) pop/1 pop/1 push(3)\np1: push(2) pop/3 push(1)",
+	"adt: Queue\np0: pop/1 pop/_\np1: push(1) push(2) pop/1 pop/_",
+	"adt: Queue2\np0: hd/1 rh(1) hd/2 rh(2)\np1: push(1) push(2) hd/1 rh(1) hd/2 rh(2)",
+	"adt: M[a-e]\np0: wa(1) wc(2) wd(1) rb/0 re/1 rc/3\np1: wb(1) wc(3) we(1) ra/0 rd/1 rc/3",
+	"adt: M[a-d]\np0: wa(1) wa(2) wb(3) rd/3 rc/1 wa(1)\np1: wc(1) wc(2) wd(3) rb/3 ra/1 wc(1)",
+}
+
+// compareParSeq checks parallel against sequential on all three causal
+// criteria, including witness equality.
+func compareParSeq(t *testing.T, h *history.History, name string, par int) {
+	t.Helper()
+	for _, c := range []Criterion{CritWCC, CritCC, CritCCv} {
+		okS, wS, errS := Check(c, h, Options{})
+		okP, wP, errP := Check(c, h, Options{Parallelism: par})
+		if okS != okP || (errS == nil) != (errP == nil) {
+			t.Fatalf("%s: %v: sequential (%v, %v) != parallel (%v, %v)", name, c, okS, errS, okP, errP)
+		}
+		if !reflect.DeepEqual(wS, wP) {
+			t.Fatalf("%s: %v: witness diverged\nseq: %+v\npar: %+v", name, c, wS, wP)
+		}
+	}
+}
+
+func TestParallelFig3Corpus(t *testing.T) {
+	forceParallel(t)
+	for _, text := range parFig3Texts {
+		h := history.MustParse(text)
+		name := strings.SplitN(text, "\n", 2)[0]
+		compareParSeq(t, h, name, 8)
+		compareParSeq(t, h.StripOmega(), name+" (finite)", 8)
+	}
+}
+
+// TestParallelMiniCensusW1 exhaustively cross-checks parallel vs
+// sequential over every W1 history of shape [2,2] with inputs
+// {w(1), w(2), r} and read outputs in {0,1,2} — the same space the
+// seed-vs-rewrite differential test enumerates.
+func TestParallelMiniCensusW1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	forceParallel(t)
+	w1 := adt.NewWindowStream(1)
+	ops := []spec.Operation{
+		spec.NewOp(spec.NewInput("w", 1), spec.Bot),
+		spec.NewOp(spec.NewInput("w", 2), spec.Bot),
+		spec.NewOp(spec.NewInput("r"), spec.IntOutput(0)),
+		spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)),
+		spec.NewOp(spec.NewInput("r"), spec.IntOutput(2)),
+	}
+	var idx [4]int
+	for idx[0] = 0; idx[0] < len(ops); idx[0]++ {
+		for idx[1] = 0; idx[1] < len(ops); idx[1]++ {
+			for idx[2] = 0; idx[2] < len(ops); idx[2]++ {
+				for idx[3] = 0; idx[3] < len(ops); idx[3]++ {
+					b := history.NewBuilder(w1)
+					b.Append(0, ops[idx[0]])
+					b.Append(0, ops[idx[1]])
+					b.Append(1, ops[idx[2]])
+					b.Append(1, ops[idx[3]])
+					compareParSeq(t, b.Build(), fmt.Sprintf("census[%d%d%d%d]", idx[0], idx[1], idx[2], idx[3]), 4)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRandomHistories covers ≥200 seeded random histories
+// (same generator as the seed-vs-rewrite differential test).
+func TestParallelRandomHistories(t *testing.T) {
+	forceParallel(t)
+	rounds := 250
+	if testing.Short() {
+		rounds = 60
+	}
+	r := rand.New(rand.NewSource(20160312))
+	for i := 0; i < rounds; i++ {
+		h := randomHistory(r)
+		compareParSeq(t, h, fmt.Sprintf("random[%d] %s", i, h.ADT.Name()), 8)
+	}
+}
+
+// TestParallelWitnessDeterministic re-runs the parallel checker many
+// times on histories with many witnesses and requires the identical
+// witness every time — the bit-for-bit determinism guarantee.
+func TestParallelWitnessDeterministic(t *testing.T) {
+	forceParallel(t)
+	for _, text := range []string{
+		"adt: M[a-e]\np0: wa(1) wc(2) wd(1) rb/0 re/1 rc/3\np1: wb(1) wc(3) we(1) ra/0 rd/1 rc/3",
+		"adt: W2\np0: w(1) r/(0,1) r/(1,2)*\np1: w(2) r/(0,2) r/(1,2)*",
+	} {
+		h := history.MustParse(text)
+		for _, c := range []Criterion{CritWCC, CritCCv} {
+			_, ref, err := Check(c, h, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				_, w, err := Check(c, h, Options{Parallelism: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ref, w) {
+					t.Fatalf("%v run %d: witness diverged from sequential", c, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRaceStress hammers the forked path with Parallelism=8
+// and several histories classified concurrently — its value is under
+// `go test -race`, where it drives the sharded memo, the budget pool
+// and the cancellation flags across goroutines.
+func TestParallelRaceStress(t *testing.T) {
+	forceParallel(t)
+	var wg sync.WaitGroup
+	for rep := 0; rep < 4; rep++ {
+		for _, text := range parFig3Texts {
+			wg.Add(1)
+			go func(text string) {
+				defer wg.Done()
+				h := history.MustParse(text)
+				for _, c := range []Criterion{CritWCC, CritCC, CritCCv} {
+					if _, _, err := Check(c, h, Options{Parallelism: 8}); err != nil {
+						t.Errorf("%q %v: %v", strings.SplitN(text, "\n", 2)[0], c, err)
+					}
+				}
+			}(text)
+		}
+	}
+	wg.Wait()
+}
+
+// TestParallelBudgetExhaustion pins that a starved parallel search
+// reports budget exhaustion (as the typed error) rather than a wrong
+// verdict.
+func TestParallelBudgetExhaustion(t *testing.T) {
+	forceParallel(t)
+	h := history.MustParse(parFig3Texts[7]) // 3h, 12 events
+	_, _, err := Check(CritCCv, h, Options{Parallelism: 4, MaxNodes: 50})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("starved parallel search: err = %v, want ErrBudget", err)
+	}
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Criterion != CritCCv || be.MaxNodes != 50 {
+		t.Fatalf("starved parallel search: err = %#v, want *ErrBudgetExceeded{CCv, 50}", err)
+	}
+}
+
+// TestParallelInterrupt pins that setting Options.Interrupt aborts a
+// parallel search with ErrInterrupted.
+func TestParallelInterrupt(t *testing.T) {
+	forceParallel(t)
+	h := history.MustParse(parFig3Texts[7])
+	intr := &atomic.Bool{}
+	intr.Store(true) // pre-interrupted: must abort on the first poll
+	_, _, err := Check(CritCCv, h, Options{Parallelism: 4, Interrupt: intr})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("pre-interrupted search: err = %v, want ErrInterrupted", err)
+	}
+}
+
+// TestSequentialInterrupt covers the interrupt plumbing of the
+// non-parallel searchers (SC, PC, UC and the sequential causal path).
+func TestSequentialInterrupt(t *testing.T) {
+	h := history.MustParse(parFig3Texts[7])
+	hOmega := history.MustParse(parFig3Texts[0]) // UC only searches when ω-events exist
+	intr := &atomic.Bool{}
+	intr.Store(true)
+	for _, c := range []Criterion{CritSC, CritPC, CritWCC, CritCC, CritCCv} {
+		_, _, err := Check(c, h, Options{Interrupt: intr})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("%v: err = %v, want ErrInterrupted", c, err)
+		}
+	}
+	if _, _, err := Check(CritUC, hOmega, Options{Interrupt: intr}); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("UC: err = %v, want ErrInterrupted", err)
+	}
+	hMem := history.MustParse(parFig3Texts[8]) // 3i: a memory history, for CM
+	if _, _, err := Check(CritCM, hMem, Options{Interrupt: intr}); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("CM: err = %v, want ErrInterrupted", err)
+	}
+	// And an interrupt arriving mid-search, from another goroutine.
+	intr2 := &atomic.Bool{}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Check(CritCCv, h, Options{Interrupt: intr2})
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	intr2.Store(true)
+	select {
+	case err := <-done:
+		// Either the search finished before the flag landed (fine) or
+		// it was interrupted.
+		if err != nil && !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("mid-search interrupt: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("interrupted search did not unwind")
+	}
+}

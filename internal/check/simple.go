@@ -45,9 +45,13 @@ func SC(h *history.History, opt Options) (bool, *Witness, error) {
 	}
 	budget := opt.maxNodes()
 	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
+	feed := ls.attachInterrupt(opt, &budget)
 	all := porder.FullBitset(h.N())
 	preds := omegaPreds(h, h.ProgPreds(), h.OmegaView())
 	order, ok := ls.findLin(all, all, preds)
+	if feed.wasInterrupted() {
+		return false, nil, ErrInterrupted
+	}
 	if budget < 0 {
 		return false, nil, ErrBudget
 	}
@@ -73,11 +77,15 @@ func PC(h *history.History, opt Options) (bool, *Witness, error) {
 	for p := range h.Processes() {
 		budget := opt.maxNodes()
 		ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
+		feed := ls.attachInterrupt(opt, &budget)
 		visible := h.ProcEventsView(p)
 		ownOmega := h.OmegaEvents()
 		ownOmega.IntersectWith(visible)
 		preds := omegaPreds(h, basePreds, ownOmega)
 		order, ok := ls.findLin(all, visible, preds)
+		if feed.wasInterrupted() {
+			return false, nil, ErrInterrupted
+		}
 		if budget < 0 {
 			return false, nil, ErrBudget
 		}

@@ -15,6 +15,8 @@
 package paperfig
 
 import (
+	"fmt"
+
 	"repro/internal/check"
 	"repro/internal/history"
 )
@@ -157,6 +159,32 @@ p1: wc(1) wc(2) wd(3) rb/3 ra/1 wc(1)`,
 			Notes: "The duplicated writes (wa(1) twice on p0, wc(1) twice on p1) let a writes-into order bind each read to the wrong write (Sec. 4.2): causal memory accepts the history while causal consistency rejects it.",
 		},
 	}
+}
+
+// VerifyClaims checks every caption claim of the fixture against the
+// exact checkers and returns the first mismatch (or checker error) as
+// a non-nil error. opt flows through to the checkers, so callers can
+// pick budgets and — via Options.Parallelism — fan the causal searches
+// out over all cores. It is the pass/fail claim oracle used by the
+// tests; tools that need each verdict individually (cmd/ccexperiments'
+// E3 table, cmd/ccbench's timing loop) iterate Claims themselves.
+func (f Fixture) VerifyClaims(opt check.Options) error {
+	omega := f.History()
+	finite := f.FiniteHistory()
+	for _, cl := range f.Claims {
+		h := finite
+		if cl.OmegaReading {
+			h = omega
+		}
+		got, _, err := check.Check(cl.Criterion, h, opt)
+		if err != nil {
+			return fmt.Errorf("fig %s: %v: %w", f.Name, cl.Criterion, err)
+		}
+		if got != cl.Holds {
+			return fmt.Errorf("fig %s: %v = %v, caption claims %v", f.Name, cl.Criterion, got, cl.Holds)
+		}
+	}
+	return nil
 }
 
 // Fig3ByName returns the named fixture.

@@ -33,6 +33,20 @@ func TestFixturesParse(t *testing.T) {
 	}
 }
 
+// TestVerifyClaims runs the fixtures' claim oracle sequentially and
+// with the causal searches forked over 4 subtree workers; the parallel
+// pipeline must reproduce every caption verdict.
+func TestVerifyClaims(t *testing.T) {
+	for _, f := range paperfig.Fig3() {
+		if err := f.VerifyClaims(check.Options{}); err != nil {
+			t.Errorf("sequential: %v", err)
+		}
+		if err := f.VerifyClaims(check.Options{Parallelism: 4}); err != nil {
+			t.Errorf("parallel: %v", err)
+		}
+	}
+}
+
 func TestFig3ByName(t *testing.T) {
 	f, ok := paperfig.Fig3ByName("3c")
 	if !ok || f.Name != "3c" {

@@ -13,17 +13,18 @@ package ccbm
 //     instantaneous on the paper-sized histories we produce.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/census"
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/crdt"
-	"repro/internal/sim"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/census"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/crdt"
+	"github.com/paper-repro/ccbm/internal/sim"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // BenchmarkCRDTUpdate measures one update (broadcast + local apply +
@@ -170,7 +171,7 @@ func BenchmarkLinearizable(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("ops=%d", nops), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ok, _, err := check.Linearizable(reg, ops, check.Options{})
+				ok, _, err := check.Linearizable(context.Background(), reg, ops, check.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -18,20 +18,21 @@ package ccbm
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/broadcast"
-	"repro/internal/check"
-	"repro/internal/consensus"
-	"repro/internal/core"
-	"repro/internal/paperfig"
-	"repro/internal/sim"
-	"repro/internal/trace"
-	"repro/internal/workload"
-	"repro/internal/wsarray"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/broadcast"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/consensus"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/paperfig"
+	"github.com/paper-repro/ccbm/internal/sim"
+	"github.com/paper-repro/ccbm/internal/trace"
+	"github.com/paper-repro/ccbm/internal/workload"
+	"github.com/paper-repro/ccbm/internal/wsarray"
 )
 
 // BenchmarkFig3Classify decides every caption claim of Fig. 3 (the
@@ -50,7 +51,7 @@ func BenchmarkFig3Classify(b *testing.B) {
 					if cl.OmegaReading {
 						h = omega
 					}
-					if _, _, err := check.Check(cl.Criterion, h, check.Options{}); err != nil {
+					if _, _, err := check.Check(context.Background(), cl.Criterion, h, check.Options{}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -69,7 +70,7 @@ func BenchmarkFig1HierarchyCheck(b *testing.B) {
 		b.Run(c.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := check.Check(c, h, check.Options{}); err != nil {
+				if _, _, err := check.Check(context.Background(), c, h, check.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -260,7 +261,7 @@ func BenchmarkCheckerScaling(b *testing.B) {
 			h := res.Cluster.Recorder.History()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := check.CC(h, check.Options{}); err != nil {
+				if _, _, err := check.CC(context.Background(), h, check.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,153 @@
+package cc_test
+
+// The API-lock test: the exported surface of the public facade (cc,
+// cc/checker, cc/histories) is rendered to a canonical text and
+// compared against testdata/api.golden. Any addition, removal or
+// signature change fails the test until the golden file is
+// regenerated — run with UPDATE_APILOCK=1 to rewrite it — making API
+// drift a reviewed, deliberate act rather than an accident.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// facadeDirs lists the locked packages, relative to this file's
+// directory (the cc package root).
+var facadeDirs = []string{".", "checker", "histories"}
+
+// apiSurface renders the exported declarations of one package
+// directory, one line per identifier, deterministically sorted.
+func apiSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	var lines []string
+	for pkgName, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv != nil || !d.Name.IsExported() {
+						continue // methods live on aliased engine types
+					}
+					lines = append(lines, pkgName+": "+renderFunc(t, fset, d))
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								lines = append(lines, fmt.Sprintf("%s: type %s%s", pkgName, s.Name.Name, typeKind(s)))
+							}
+						case *ast.ValueSpec:
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									lines = append(lines, fmt.Sprintf("%s: %s %s", pkgName, kind, n.Name))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// renderFunc prints a function declaration's signature without its
+// body or doc comment, collapsed onto one line.
+func renderFunc(t *testing.T, fset *token.FileSet, d *ast.FuncDecl) string {
+	t.Helper()
+	clone := *d
+	clone.Body = nil
+	clone.Doc = nil
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, &clone); err != nil {
+		t.Fatalf("print %s: %v", d.Name.Name, err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// typeKind classifies a type spec: alias, struct, interface or other.
+func typeKind(s *ast.TypeSpec) string {
+	if s.Assign != token.NoPos {
+		return " = (alias)"
+	}
+	switch s.Type.(type) {
+	case *ast.StructType:
+		return " (struct)"
+	case *ast.InterfaceType:
+		return " (interface)"
+	default:
+		return ""
+	}
+}
+
+func TestAPILock(t *testing.T) {
+	var all []string
+	for _, dir := range facadeDirs {
+		all = append(all, apiSurface(t, dir)...)
+	}
+	got := strings.Join(all, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "api.golden")
+	if os.Getenv("UPDATE_APILOCK") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d identifiers)", golden, len(all))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_APILOCK=1 to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Show a per-line diff, the kind of drift this test exists to flag.
+	gotSet := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	wantSet := strings.Split(strings.TrimSuffix(string(want), "\n"), "\n")
+	in := func(xs []string, x string) bool {
+		for _, v := range xs {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range wantSet {
+		if !in(gotSet, w) {
+			t.Errorf("removed or changed: %s", w)
+		}
+	}
+	for _, g := range gotSet {
+		if !in(wantSet, g) {
+			t.Errorf("added or changed:   %s", g)
+		}
+	}
+	t.Error("public API surface drifted from cc/testdata/api.golden; " +
+		"if intentional, regenerate with UPDATE_APILOCK=1 go test ./cc/")
+}

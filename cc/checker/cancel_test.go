@@ -1,0 +1,122 @@
+package checker_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/cc/histories"
+)
+
+// The context-cancellation contract: every registered criterion must
+// unwind within its poll interval once the context dies. The searches
+// poll at least every few thousand nodes (microseconds of work), so
+// the generous wall-clock bounds here fail only if a checker stops
+// honoring ctx altogether.
+
+// cancelHistory returns a history the given criterion accepts as
+// input: the memory history for the memory-only criteria, a W2
+// history (with an ω-read so UC actually searches) otherwise.
+func cancelHistory(c checker.Criterion) *histories.History {
+	if c.MemoryOnly {
+		return histories.MustParse(fig3i)
+	}
+	return histories.MustParse(`adt: W2
+p0: w(1) r/(0,1) r/(1,2)*
+p1: w(2) r/(0,2) r/(1,2)*`)
+}
+
+// TestPreCancelledContext pins that a context cancelled before the
+// call returns context.Canceled from every registered criterion
+// without any search work.
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, c := range checker.All() {
+		res, err := checker.Check(ctx, c.Name, cancelHistory(c))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", c.Name, err)
+			continue
+		}
+		if res == nil || res.Exhausted != checker.CauseCanceled {
+			t.Errorf("%s: res = %+v, want Exhausted = canceled", c.Name, res)
+		}
+		if res != nil && res.Explored != 0 {
+			t.Errorf("%s: explored %d nodes under a dead context", c.Name, res.Explored)
+		}
+	}
+}
+
+// TestDeadlineUnwindsPromptly drives every registered criterion into a
+// 1ms deadline on a history whose searches run much longer, and
+// requires the call back within a poll interval (bounded far above at
+// 5s for CI noise). A criterion that legitimately finishes inside the
+// deadline reports a clean verdict, which also passes — EC, for
+// example, is a linear scan.
+func TestDeadlineUnwindsPromptly(t *testing.T) {
+	// Fig. 3h over M[a-e]: the hardest of the paper's fixtures (its
+	// CCv claim alone takes tens of milliseconds), so most criteria
+	// are still searching when the deadline lands.
+	hard := histories.MustParse(`adt: M[a-e]
+p0: wa(1) wc(2) wd(1) rb/0 re/1 rc/3
+p1: wb(1) wc(3) we(1) ra/0 rd/1 rc/3`)
+	for _, c := range checker.All() {
+		h := hard
+		if c.MemoryOnly {
+			h = histories.MustParse(fig3i)
+		}
+		type reply struct {
+			res *checker.Result
+			err error
+		}
+		done := make(chan reply, 1)
+		start := time.Now()
+		go func() {
+			res, err := checker.Check(context.Background(), c.Name, h,
+				checker.WithTimeout(time.Millisecond))
+			done <- reply{res, err}
+		}()
+		select {
+		case r := <-done:
+			if r.err != nil {
+				t.Errorf("%s: err = %v", c.Name, r.err)
+				continue
+			}
+			if r.res.Exhausted != "" && r.res.Exhausted != checker.CauseTimeout {
+				t.Errorf("%s: Exhausted = %q, want timeout or clean finish", c.Name, r.res.Exhausted)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: did not unwind within 5s of a 1ms deadline (elapsed %v)",
+				c.Name, time.Since(start))
+		}
+	}
+}
+
+// TestMidSearchCancel cancels a long causal search from another
+// goroutine and requires prompt unwinding with the context error.
+func TestMidSearchCancel(t *testing.T) {
+	h := histories.MustParse(`adt: M[a-e]
+p0: wa(1) wc(2) wd(1) rb/0 re/1 rc/3
+p1: wb(1) wc(3) we(1) ra/0 rd/1 rc/3`)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := checker.Check(ctx, "CCv", h)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// Either the search finished before the cancellation landed
+		// (fine) or it must report the cancellation.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-search cancel: err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled search did not unwind within 5s")
+	}
+}

@@ -1,0 +1,262 @@
+package checker_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/cc/histories"
+)
+
+// fig3c is the paper's Fig. 3c history: causally consistent but not
+// sequentially consistent and not causally convergent.
+const fig3c = `adt: W2
+p0: w(1) r/(2,1)
+p1: w(2) r/(1,2)`
+
+// fig3i is a memory history (Fig. 3i): CM but not CC.
+const fig3i = `adt: M[a-d]
+p0: wa(1) wa(2) wb(3) rd/3 rc/1 wa(1)
+p1: wc(1) wc(2) wd(3) rb/3 ra/1 wc(1)`
+
+func TestCheckVerdicts(t *testing.T) {
+	h := histories.MustParse(fig3c)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		criterion string
+		want      bool
+	}{
+		{"CC", true}, {"WCC", true}, {"PC", true}, {"SC", false}, {"CCv", false},
+	} {
+		res, err := checker.Check(ctx, tc.criterion, h)
+		if err != nil {
+			t.Fatalf("Check(%s): %v", tc.criterion, err)
+		}
+		if res.Satisfied != tc.want {
+			t.Errorf("Check(%s) = %v, want %v", tc.criterion, res.Satisfied, tc.want)
+		}
+		if res.Criterion != tc.criterion {
+			t.Errorf("Check(%s): res.Criterion = %q", tc.criterion, res.Criterion)
+		}
+		if res.Satisfied && res.Witness == nil {
+			t.Errorf("Check(%s): satisfied without witness", tc.criterion)
+		}
+		if tc.criterion != "EC" && res.Explored == 0 {
+			t.Errorf("Check(%s): no explored nodes recorded", tc.criterion)
+		}
+	}
+}
+
+func TestCheckUnknownCriterion(t *testing.T) {
+	h := histories.MustParse(fig3c)
+	_, err := checker.Check(context.Background(), "nope", h)
+	if err == nil || !strings.Contains(err.Error(), `"nope"`) || !strings.Contains(err.Error(), "SC") {
+		t.Fatalf("unknown criterion: err = %v, want mention of the name and the registry", err)
+	}
+}
+
+func TestCheckNotMemory(t *testing.T) {
+	h := histories.MustParse(fig3c)
+	_, err := checker.Check(context.Background(), "CM", h)
+	if !errors.Is(err, checker.ErrNotMemory) {
+		t.Fatalf("CM on W2 history: err = %v, want ErrNotMemory", err)
+	}
+	res, err := checker.Check(context.Background(), "CM", histories.MustParse(fig3i))
+	if err != nil || !res.Satisfied {
+		t.Fatalf("CM on 3i = (%v, %v), want satisfied", res, err)
+	}
+}
+
+func TestCheckBudgetExhaustion(t *testing.T) {
+	h := histories.MustParse(fig3c)
+	res, err := checker.Check(context.Background(), "CC", h, checker.WithBudget(3))
+	if !errors.Is(err, checker.ErrBudget) {
+		t.Fatalf("starved check: err = %v, want ErrBudget", err)
+	}
+	if res == nil || res.Exhausted != checker.CauseBudget {
+		t.Fatalf("starved check: res = %+v, want Exhausted = budget", res)
+	}
+	if res.Satisfied || res.Witness != nil {
+		t.Fatalf("starved check claims a verdict: %+v", res)
+	}
+}
+
+func TestRegisterUserCriterion(t *testing.T) {
+	// A toy criterion: the history has at least one update. Registered
+	// once for the whole test binary (the registry is global).
+	name := "HasUpdate"
+	if _, dup := checker.Lookup(name); !dup {
+		checker.MustRegister(checker.Criterion{
+			Name: name,
+			Doc:  "at least one update event (test criterion)",
+			Func: func(ctx context.Context, h *histories.History, p checker.Params) (bool, *checker.Witness, error) {
+				if err := ctx.Err(); err != nil {
+					return false, nil, err
+				}
+				p.CountNodes(int64(h.N()))
+				for _, e := range h.Events {
+					if h.ADT.IsUpdate(e.Op.In) {
+						return true, &checker.Witness{}, nil
+					}
+				}
+				return false, nil, nil
+			},
+		})
+	}
+	h := histories.MustParse(fig3c)
+	res, err := checker.Check(context.Background(), name, h)
+	if err != nil || !res.Satisfied {
+		t.Fatalf("Check(%s) = (%+v, %v), want satisfied", name, res, err)
+	}
+	if res.Explored != int64(h.N()) {
+		t.Errorf("CountNodes not surfaced: Explored = %d, want %d", res.Explored, h.N())
+	}
+
+	// The registry rejects duplicates and malformed entries.
+	if err := checker.Register(checker.Criterion{Name: name, Func: nil}); err == nil {
+		t.Error("Register with nil Func succeeded")
+	}
+	if err := checker.Register(checker.Criterion{Name: "", Func: func(context.Context, *histories.History, checker.Params) (bool, *checker.Witness, error) {
+		return false, nil, nil
+	}}); err == nil {
+		t.Error("Register with empty name succeeded")
+	}
+
+	// The Classifier dispatches it next to the built-ins.
+	cl := checker.NewClassifier(checker.WithCriteria("SC", "CC", name))
+	ir, err := cl.Classify(context.Background(), h)
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	for _, want := range []string{"SC", "CC", name} {
+		if _, ok := ir.Results[want]; !ok {
+			t.Errorf("Classifier missing %q: %v", want, ir.Results)
+		}
+	}
+	if !ir.Results[name].Satisfied {
+		t.Errorf("Classifier: %s not satisfied", name)
+	}
+	if ir.Results["SC"].Satisfied || !ir.Results["CC"].Satisfied {
+		t.Errorf("Classifier built-in verdicts wrong: %+v", ir.Results)
+	}
+}
+
+func TestClassifierStream(t *testing.T) {
+	texts := []string{fig3c, fig3i, fig3c}
+	in := make(chan checker.Item)
+	go func() {
+		defer close(in)
+		for i, text := range texts {
+			in <- checker.Item{Index: i, Name: "h", H: histories.MustParse(text)}
+		}
+	}()
+	out, err := checker.NewClassifier().Stream(context.Background(), in)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	seen := 0
+	for r := range out {
+		seen++
+		if e := r.Err(); e != nil {
+			t.Fatalf("item %d: %v", r.Item.Index, e)
+		}
+		if len(r.LatticeViolations) > 0 {
+			t.Fatalf("item %d: lattice violations %v", r.Item.Index, r.LatticeViolations)
+		}
+		if r.Item.Index == 0 || r.Item.Index == 2 {
+			if !r.Results["CC"].Satisfied || r.Results["SC"].Satisfied {
+				t.Errorf("item %d: wrong verdicts %+v", r.Item.Index, r.Results)
+			}
+			wantProfile := []string{"EC", "UC", "PC", "WCC", "CC"}
+			if strings.Join(r.Profile, " ") != strings.Join(wantProfile, " ") {
+				t.Errorf("item %d: profile %v, want %v", r.Item.Index, r.Profile, wantProfile)
+			}
+		} else if _, ok := r.Results["CM"]; !ok {
+			t.Errorf("item 1 (memory history): CM skipped: %v", r.Results)
+		}
+	}
+	if seen != len(texts) {
+		t.Fatalf("Stream emitted %d results, want %d", seen, len(texts))
+	}
+}
+
+func TestClassifierUnknownCriterion(t *testing.T) {
+	in := make(chan checker.Item)
+	close(in)
+	_, err := checker.NewClassifier(checker.WithCriteria("bogus")).Stream(context.Background(), in)
+	if err == nil || !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("Stream with unknown criterion: err = %v", err)
+	}
+}
+
+func TestClassifyAndImplications(t *testing.T) {
+	cl, err := checker.Classify(context.Background(), histories.MustParse(fig3c))
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if !cl["CC"] || cl["SC"] {
+		t.Fatalf("Classify verdicts wrong: %v", cl)
+	}
+	if _, ok := cl["CM"]; ok {
+		t.Fatalf("Classify reported CM on a non-memory history: %v", cl)
+	}
+	if bad := checker.VerifyImplications(cl); len(bad) > 0 {
+		t.Fatalf("implication violations: %v", bad)
+	}
+	// A fabricated classification with a broken arrow is caught.
+	if bad := checker.VerifyImplications(checker.Classification{"SC": true, "CC": false}); len(bad) != 1 {
+		t.Fatalf("fabricated violation not caught: %v", bad)
+	}
+}
+
+func TestLinearizableFacade(t *testing.T) {
+	reg, err := cc.LookupADT("Register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classic stale read: SC but not linearizable.
+	stale := []checker.TimedOp{
+		{Proc: 0, Op: cc.NewOp(cc.NewInput("w", 1), cc.Bot), Inv: 0, Res: 1},
+		{Proc: 1, Op: cc.NewOp(cc.NewInput("r"), cc.IntOutput(0)), Inv: 2, Res: 3},
+	}
+	res, err := checker.Linearizable(context.Background(), reg, stale)
+	if err != nil || res.Satisfied {
+		t.Fatalf("stale read: Linearizable = (%+v, %v), want unsatisfied", res, err)
+	}
+	sc, err := checker.Check(context.Background(), "SC", checker.TimedToHistory(reg, stale))
+	if err != nil || !sc.Satisfied {
+		t.Fatalf("stale read: SC = (%+v, %v), want satisfied", sc, err)
+	}
+}
+
+func TestSessionsFacade(t *testing.T) {
+	g, err := checker.Sessions(histories.MustParse(`adt: M[x]
+p0: wx(1) rx/1
+p1: rx/1`))
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
+	if !g.All() {
+		t.Fatalf("Sessions = %+v, want all guarantees", g)
+	}
+}
+
+func TestTimeoutCause(t *testing.T) {
+	// A W2 history with enough events that the causal search outlives a
+	// microscopic timeout; the result must report CauseTimeout with a
+	// nil error (WithTimeout's own deadline is data, not failure).
+	h := histories.MustParse(`adt: M[a-e]
+p0: wa(1) wc(2) wd(1) rb/0 re/1 rc/3
+p1: wb(1) wc(3) we(1) ra/0 rd/1 rc/3`)
+	res, err := checker.Check(context.Background(), "CC", h, checker.WithTimeout(time.Nanosecond))
+	if err != nil {
+		t.Fatalf("timed-out check: err = %v, want nil", err)
+	}
+	if res.Exhausted != checker.CauseTimeout {
+		t.Fatalf("timed-out check: res = %+v, want Exhausted = timeout", res)
+	}
+}

@@ -1,0 +1,75 @@
+package checker
+
+import (
+	"context"
+
+	"github.com/paper-repro/ccbm/cc/histories"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/porder"
+)
+
+// Classification maps criterion names to verdicts. A missing entry
+// means the criterion was not applicable (memory-only criteria on
+// non-memory histories).
+type Classification map[string]bool
+
+// Classify runs every built-in criterion on the history and returns
+// the verdict map. Memory-only criteria are skipped on non-memory
+// histories; any other checker error (budget, ω-encoding, a cancelled
+// context) aborts the classification. For per-criterion timeouts,
+// statistics or user-registered criteria, use a Classifier instead.
+func Classify(ctx context.Context, h *histories.History, opts ...Option) (Classification, error) {
+	p := newParams(opts)
+	cctx := ctx
+	if p.Timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
+	cl, err := check.Classify(cctx, h, p.engine())
+	if err != nil {
+		return nil, err
+	}
+	out := make(Classification, len(cl))
+	for c, ok := range cl {
+		out[c.String()] = ok
+	}
+	return out, nil
+}
+
+// VerifyImplications checks every Fig. 1 arrow on a classification
+// and returns the violated (stronger, weaker) pairs — expected none;
+// anything else indicates a checker bug.
+func VerifyImplications(cl Classification) [][2]string {
+	var bad [][2]string
+	for _, imp := range Implications() {
+		s, okS := cl[imp[0]]
+		w, okW := cl[imp[1]]
+		if okS && okW && s && !w {
+			bad = append(bad, imp)
+		}
+	}
+	return bad
+}
+
+// The time-zone view of Fig. 2: how a causal order partitions a
+// history around one event.
+
+// Zones partitions a history's events relative to one event and a
+// causal order, reproducing the six time zones of the paper's Fig. 2.
+type Zones = check.Zones
+
+// CausalOrder is a strict, transitively closed order over a history's
+// events, as built by CausalOrderFrom.
+type CausalOrder = porder.Rel
+
+// CausalOrderFrom builds a causal order: the transitive closure of
+// the history's program order plus the given extra (from, to) edges.
+func CausalOrderFrom(h *histories.History, extra [][2]int) *CausalOrder {
+	return check.CausalOrderFrom(h, extra)
+}
+
+// ZonesOf computes the time zones of event e under the causal order.
+func ZonesOf(h *histories.History, causal *CausalOrder, e int) Zones {
+	return check.ZonesOf(h, causal, e)
+}

@@ -1,0 +1,149 @@
+// Package checker is the public facade over the engine's consistency
+// checkers: a string-keyed registry of criteria, context-aware
+// single-history checking with functional options, and a streaming
+// batch classifier.
+//
+// The paper's criteria (EC, UC, PC, WCC, CCv, CC, CM, SC) are
+// registered at init time; user-defined criteria register through the
+// same API and are dispatched uniformly — by checker.Check, by the
+// Classifier, and by the command-line tools' -criteria flags.
+package checker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/paper-repro/ccbm/cc/histories"
+	"github.com/paper-repro/ccbm/internal/check"
+)
+
+// CheckFunc is the decision procedure of a registered criterion. It
+// reports whether the history satisfies the criterion, with an
+// optional witness. Implementations must honor ctx — returning
+// ctx.Err() promptly once the context is cancelled or past its
+// deadline — and should return an error wrapping ErrBudget when they
+// abandon the search after Params.Budget nodes, and ErrNotMemory when
+// the criterion only applies to memory histories.
+type CheckFunc func(ctx context.Context, h *histories.History, p Params) (bool, *Witness, error)
+
+// Criterion is one entry of the registry: a named consistency
+// criterion and its decision procedure.
+type Criterion struct {
+	// Name is the registry key, e.g. "SC". Case-sensitive, non-empty,
+	// unique.
+	Name string
+	// Doc is a one-line description, shown by the tools' -list flags.
+	Doc string
+	// MemoryOnly marks criteria that only apply to memory histories
+	// (the built-in CM); batch callers skip them on other ADTs.
+	MemoryOnly bool
+	// Func decides the criterion.
+	Func CheckFunc
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Criterion
+	order  []string
+}{byName: make(map[string]Criterion)}
+
+// Register adds a criterion to the registry. It fails on an empty
+// name, a nil Func, or a name that is already registered (the
+// built-ins claim EC, UC, PC, WCC, CCv, CC, CM and SC).
+func Register(c Criterion) error {
+	if c.Name == "" {
+		return fmt.Errorf("checker: Register: empty criterion name")
+	}
+	if c.Func == nil {
+		return fmt.Errorf("checker: Register %q: nil Func", c.Name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[c.Name]; dup {
+		return fmt.Errorf("checker: Register %q: already registered", c.Name)
+	}
+	registry.byName[c.Name] = c
+	registry.order = append(registry.order, c.Name)
+	return nil
+}
+
+// MustRegister is Register for package init blocks; it panics on
+// error.
+func MustRegister(c Criterion) {
+	if err := Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a criterion name.
+func Lookup(name string) (Criterion, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	c, ok := registry.byName[name]
+	return c, ok
+}
+
+// All returns every registered criterion in registration order: the
+// built-ins from weakest to strongest along the paper's Fig. 1
+// branches (EC, UC, PC, WCC, CCv, CC, CM, SC), then user-defined
+// criteria in the order they registered.
+func All() []Criterion {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Criterion, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.byName[name])
+	}
+	return out
+}
+
+// Names returns the registered criterion names in registration order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// builtinOf maps registered built-in names back to the engine's
+// criterion enum, so the Classifier can route them through the batch
+// engine's native path.
+var builtinOf = make(map[string]check.Criterion)
+
+var builtinDocs = map[check.Criterion]string{
+	check.CritEC:  "eventual consistency (Vogels): all ω-reads of one input agree",
+	check.CritUC:  "update consistency: some total update order explains the limit reads",
+	check.CritPC:  "pipelined consistency (PRAM): each process explains the history alone",
+	check.CritWCC: "weak causal consistency (Def. 8): causal order + per-event explanation",
+	check.CritCCv: "causal convergence (Def. 12): causal order inside one shared total order",
+	check.CritCC:  "causal consistency (Def. 9): causal order + per-process explanation",
+	check.CritCM:  "causal memory (Def. 11): writes-into order, memory histories only",
+	check.CritSC:  "sequential consistency (Def. 5): one linearization explains everything",
+}
+
+func init() {
+	for _, c := range check.AllCriteria {
+		c := c
+		builtinOf[c.String()] = c
+		MustRegister(Criterion{
+			Name:       c.String(),
+			Doc:        builtinDocs[c],
+			MemoryOnly: c == check.CritCM,
+			Func: func(ctx context.Context, h *histories.History, p Params) (bool, *Witness, error) {
+				return check.Check(ctx, c, h, p.engine())
+			},
+		})
+	}
+}
+
+// Implications returns the paper's Fig. 1 arrows among the built-in
+// criteria as (stronger, weaker) name pairs: every history satisfying
+// the first also satisfies the second.
+func Implications() [][2]string {
+	imps := check.Implications()
+	out := make([][2]string, len(imps))
+	for i, imp := range imps {
+		out[i] = [2]string{imp[0].String(), imp[1].String()}
+	}
+	return out
+}

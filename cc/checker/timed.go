@@ -1,0 +1,66 @@
+package checker
+
+import (
+	"context"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/histories"
+	"github.com/paper-repro/ccbm/internal/check"
+)
+
+// TimedOp is one completed method execution with its real-time
+// [invocation,response] interval — the input of the linearizability
+// checker, the one criterion that constrains real time and therefore
+// does not operate on plain histories (or live in the registry).
+type TimedOp = check.TimedOp
+
+// LinCriterion is the Result.Criterion value Linearizable reports.
+const LinCriterion = "LIN"
+
+// Linearizable reports whether the timed history is linearizable with
+// respect to t: some total order of the operations, admissible for t,
+// extends the real-time precedence relation. The witness (on success)
+// is the linearization as indices into ops. Options, context handling
+// and the Result contract are exactly Check's.
+func Linearizable(ctx context.Context, t cc.ADT, ops []TimedOp, opts ...Option) (*Result, error) {
+	c := Criterion{
+		Name: LinCriterion,
+		Func: func(ctx context.Context, _ *histories.History, p Params) (bool, *Witness, error) {
+			ok, order, err := check.Linearizable(ctx, t, ops, p.engine())
+			if !ok || err != nil {
+				return false, nil, err
+			}
+			return true, &Witness{Linearization: order}, nil
+		},
+	}
+	return runCriterion(ctx, c, nil, newParams(opts))
+}
+
+// TimedToHistory forgets real time, keeping only the per-process
+// program order — the projection under which linearizability
+// questions become sequential-consistency questions.
+func TimedToHistory(t cc.ADT, ops []TimedOp) *histories.History {
+	return check.TimedToHistory(t, ops)
+}
+
+// TimedOps converts parsed timed events (histories.ParseTimed) into
+// the checker's input.
+func TimedOps(evs []histories.TimedEvent) []TimedOp {
+	ops := make([]TimedOp, len(evs))
+	for i, ev := range evs {
+		ops[i] = TimedOp{Proc: ev.Proc, Op: ev.Op, Inv: ev.Inv, Res: ev.Res}
+	}
+	return ops
+}
+
+// SessionGuarantees holds the outcome of Terry's four session
+// guarantees (Read Your Writes, Monotonic Reads, Monotonic Writes,
+// Writes Follow Reads).
+type SessionGuarantees = check.SessionGuarantees
+
+// Sessions checks Terry's four session guarantees on a memory history
+// whose written values are distinct per register (ErrDuplicateValues
+// otherwise; ErrNotMemory on non-memory ADTs).
+func Sessions(h *histories.History, opts ...Option) (SessionGuarantees, error) {
+	return check.Sessions(h, newParams(opts).engine())
+}

@@ -1,0 +1,56 @@
+package checker
+
+import (
+	"fmt"
+
+	"github.com/paper-repro/ccbm/cc/histories"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/porder"
+)
+
+// Witness carries the evidence justifying a positive verdict. Its
+// shape depends on the criterion: a single linearization (SC, UC,
+// linearizability), per-process linearizations (PC, CM), or a causal
+// order with per-event linearizations (WCC, CC, CCv).
+type Witness = check.Witness
+
+// FormatLin renders a witness order as the paper's dot-separated word
+// with every output visible.
+func FormatLin(h *histories.History, order []int) string {
+	return check.FormatLin(h, order, porder.FullBitset(h.N()))
+}
+
+// FormatWitness renders a witness into human-readable lines, one per
+// linearization, using the projection the criterion actually checked
+// (full visibility for SC, per-process for PC/CM, per-event for the
+// causal family). The criterion name selects the projection; it must
+// be the one the witness came from.
+func FormatWitness(h *histories.History, criterion string, w *Witness) []string {
+	if w == nil {
+		return nil
+	}
+	var out []string
+	switch {
+	case w.Linearization != nil:
+		out = append(out, fmt.Sprintf("lin: %s", FormatLin(h, w.Linearization)))
+	case w.PerProcess != nil:
+		for p, lin := range w.PerProcess {
+			if lin == nil {
+				continue
+			}
+			out = append(out, fmt.Sprintf("p%d: %s", p, check.FormatLin(h, lin, h.ProcEvents(p))))
+		}
+	case w.PerEvent != nil:
+		for e, lin := range w.PerEvent {
+			if lin == nil {
+				continue
+			}
+			vis := porder.BitsetOf(h.N(), e)
+			if criterion == check.CritCC.String() {
+				vis = h.ProcEvents(h.Events[e].Proc)
+			}
+			out = append(out, fmt.Sprintf("%s: %s", h.Events[e].Op, check.FormatLin(h, lin, vis)))
+		}
+	}
+	return out
+}

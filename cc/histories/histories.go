@@ -1,0 +1,66 @@
+// Package histories is the public facade over the engine's history
+// model: distributed histories (Def. 4 of the paper) as labelled
+// partial orders of events, a builder for constructing them
+// programmatically, and the two text formats the command-line tools
+// speak (plain histories and interval-timed histories).
+//
+// The types are aliases of the engine's: a *histories.History is a
+// *internal/history.History, so values built here flow into
+// cc/checker (and into the internal runtime's recorders) without
+// conversion.
+package histories
+
+import (
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/internal/history"
+)
+
+type (
+	// History is a distributed history H = (Σ, E, Λ, 7→) over an ADT:
+	// events, transitively-closed program order, processes as maximal
+	// chains, and the ω-marking that encodes infinite executions.
+	History = history.History
+	// Event is a single method execution by a process.
+	Event = history.Event
+	// Builder accumulates events process by process (plus optional
+	// cross-process edges) and derives the immutable History.
+	Builder = history.Builder
+	// TimedEvent is one operation execution with a real-time
+	// [invocation,response] interval — the input of the
+	// linearizability checker.
+	TimedEvent = history.TimedEvent
+)
+
+// Parse reads the textual history format used by the tools and tests:
+//
+//	adt: W2
+//	p0: w(1) r/(0,1) r/(1,2)*
+//	p1: w(2) r/(0,2) r/(1,2)*
+//
+// The first non-empty, non-comment line names the ADT (cc.LookupADT);
+// each following line gives one process's operations, a trailing '*'
+// marking an ω-event (the final read repeats forever). Lines starting
+// with '#' are comments.
+func Parse(text string) (*History, error) { return history.Parse(text) }
+
+// MustParse is Parse for tests and fixtures; it panics on error.
+func MustParse(text string) *History { return history.MustParse(text) }
+
+// ParseTimed reads the timed-history format:
+//
+//	adt: Register
+//	p0: [0,1]w(1) [2,3]r/1
+//	p1: [1.5,2.5]r/0
+//
+// Each operation is prefixed with its [invocation,response] interval;
+// "inf" marks an operation that never returned.
+func ParseTimed(text string) (cc.ADT, []TimedEvent, error) { return history.ParseTimed(text) }
+
+// NewBuilder starts an empty history over the given ADT.
+func NewBuilder(t cc.ADT) *Builder { return history.NewBuilder(t) }
+
+// FromProcesses builds a history from per-process operation sequences,
+// the common case of sequential processes with no cross-process edges.
+func FromProcesses(t cc.ADT, procs [][]cc.Operation) *History {
+	return history.FromProcesses(t, procs)
+}

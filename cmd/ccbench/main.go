@@ -12,13 +12,14 @@
 //
 //	fig1/<criterion>        one full Check of the Fig. 3c history
 //	fig3/<subfigure>        all caption claims of one Fig. 3 history
-//	fig3/<subfigure>/parN   same claims with Options.Parallelism=N
+//	fig3/<subfigure>/parN   same claims with checker.WithParallelism(N)
 //	                        (recorded when -parallelism > 1; the
 //	                        sequential/parallel pairs are the data the
 //	                        README's speedup table quotes)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,8 +28,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/check"
-	"repro/internal/paperfig"
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/internal/paperfig"
 )
 
 // Result is one benchmark measurement.
@@ -87,14 +88,12 @@ func main() {
 		os.Exit(1)
 	}
 	h3c := f3c.History()
-	for _, c := range []check.Criterion{
-		check.CritEC, check.CritUC, check.CritPC, check.CritWCC,
-		check.CritCCv, check.CritCC, check.CritSC,
-	} {
-		run.Results["fig1/"+c.String()] = measure("fig1/"+c.String(), func(b *testing.B) {
+	ctx := context.Background()
+	for _, c := range []string{"EC", "UC", "PC", "WCC", "CCv", "CC", "SC"} {
+		run.Results["fig1/"+c] = measure("fig1/"+c, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := check.Check(c, h3c, check.Options{}); err != nil {
+				if _, err := checker.Check(ctx, c, h3c); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -104,7 +103,7 @@ func main() {
 	// fig3: every caption claim of every sub-figure (mirrors
 	// BenchmarkFig3Classify), sequentially and — when requested — with
 	// the causal searches forked over -parallelism subtree workers.
-	claimBench := func(f paperfig.Fixture, opt check.Options) func(b *testing.B) {
+	claimBench := func(f paperfig.Fixture, opts ...checker.Option) func(b *testing.B) {
 		omega := f.History()
 		finite := f.FiniteHistory()
 		return func(b *testing.B) {
@@ -115,7 +114,7 @@ func main() {
 					if cl.OmegaReading {
 						h = omega
 					}
-					if _, _, err := check.Check(cl.Criterion, h, opt); err != nil {
+					if _, err := checker.Check(ctx, cl.Criterion.String(), h, opts...); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -123,10 +122,10 @@ func main() {
 		}
 	}
 	for _, f := range paperfig.Fig3() {
-		run.Results["fig3/"+f.Name] = measure("fig3/"+f.Name, claimBench(f, check.Options{}))
+		run.Results["fig3/"+f.Name] = measure("fig3/"+f.Name, claimBench(f))
 		if *parallelism > 1 {
 			name := fmt.Sprintf("fig3/%s/par%d", f.Name, *parallelism)
-			run.Results[name] = measure(name, claimBench(f, check.Options{Parallelism: *parallelism}))
+			run.Results[name] = measure(name, claimBench(f, checker.WithParallelism(*parallelism)))
 		}
 	}
 

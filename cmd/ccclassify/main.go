@@ -1,11 +1,12 @@
 // Command ccclassify is the batch front end of the checkers: it
-// streams many histories through the check package's bounded worker
-// pool (check.ClassifyAll) and emits one JSON object per history, in
-// input order, as results become available.
+// streams many histories through cc/checker's Classifier (the bounded
+// worker pool of the engine's batch classifier) and emits one JSON
+// object per history, in input order, as results become available.
 //
 // Usage:
 //
 //	ccclassify [flags] [file|dir ...]
+//	ccclassify -list
 //
 // Each argument is a history file in the parser's format, or a
 // directory walked for *.txt files (*.timed.txt files are skipped —
@@ -18,21 +19,26 @@
 //	-parallelism N    subtree workers per causal search (default 1; the
 //	                  product workers×parallelism is the core budget)
 //	-timeout D        per-criterion wall clock, e.g. 2s (default none)
-//	-max-nodes N      per-criterion search budget (default check.DefaultMaxNodes)
-//	-criteria LIST    comma-separated subset, e.g. SC,CC,CCv (default all)
+//	-max-nodes N      per-criterion search budget (default checker.DefaultBudget)
+//	-criteria LIST    comma-separated subset of the registered criteria
+//	                  (default all; -list prints the registry)
 //
 // Output (one line per history):
 //
 //	{"index":0,"name":"fig3c.txt","results":{"SC":{"satisfied":false,...}},...}
 //
-// A criterion that exceeds its budget carries "budget_exceeded":true,
-// a timed-out one "timed_out":true; neither aborts the batch. The exit
-// status is 1 if any history failed to parse or any checker returned a
-// hard error, 0 otherwise (timeouts and budget exhaustion are reported
-// data, not failures).
+// A criterion that exceeds its budget carries "exhausted":"budget", a
+// timed-out one "exhausted":"timeout"; neither aborts the batch. The
+// exit status is 1 if any history failed to parse or any checker
+// returned a hard error, 0 otherwise (timeouts and budget exhaustion
+// are reported data, not failures).
+//
+// The -criteria names are resolved through cc/checker's registry, so
+// a build that registers extra criteria classifies against them too.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,16 +48,17 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/check"
-	"repro/internal/history"
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/cc/histories"
 )
 
 type critResult struct {
-	Satisfied      *bool  `json:"satisfied,omitempty"`
-	TimedOut       bool   `json:"timed_out,omitempty"`
-	BudgetExceeded bool   `json:"budget_exceeded,omitempty"`
-	Error          string `json:"error,omitempty"`
-	ElapsedNs      int64  `json:"elapsed_ns"`
+	Satisfied  *bool  `json:"satisfied,omitempty"`
+	Exhausted  string `json:"exhausted,omitempty"` // "budget", "timeout", "canceled"
+	Error      string `json:"error,omitempty"`
+	ExploredN  int64  `json:"explored_nodes"`
+	ElapsedNs  int64  `json:"elapsed_ns"`
+	hardFailed bool
 }
 
 type histResult struct {
@@ -61,25 +68,6 @@ type histResult struct {
 	Results    map[string]critResult `json:"results,omitempty"`
 	Profile    string                `json:"profile,omitempty"` // satisfied criteria, weakest first
 	Violations []string              `json:"lattice_violations,omitempty"`
-}
-
-func parseCriteria(list string) ([]check.Criterion, error) {
-	if list == "" {
-		return nil, nil
-	}
-	byName := make(map[string]check.Criterion)
-	for _, c := range check.AllCriteria {
-		byName[c.String()] = c
-	}
-	var out []check.Criterion
-	for _, name := range strings.Split(list, ",") {
-		c, ok := byName[strings.TrimSpace(name)]
-		if !ok {
-			return nil, fmt.Errorf("unknown criterion %q (have %v)", name, check.AllCriteria)
-		}
-		out = append(out, c)
-	}
-	return out, nil
 }
 
 // collect expands the arguments into named history texts. Unreadable
@@ -127,36 +115,31 @@ func collect(args []string) []source {
 	return out
 }
 
-func render(r check.BatchResult, parseErr error) histResult {
+func render(r checker.ItemResult, parseErr error) histResult {
 	hr := histResult{Index: r.Item.Index, Name: r.Item.Name}
 	if parseErr != nil {
 		hr.Error = parseErr.Error()
 		return hr
 	}
-	hr.Results = make(map[string]critResult, len(r.Outcomes))
-	for c, o := range r.Outcomes {
+	hr.Results = make(map[string]critResult, len(r.Results))
+	for name, res := range r.Results {
 		cr := critResult{
-			TimedOut:       o.TimedOut,
-			BudgetExceeded: o.BudgetExceeded,
-			ElapsedNs:      o.Elapsed.Nanoseconds(),
+			Exhausted: string(res.Exhausted),
+			ExploredN: res.Explored,
+			ElapsedNs: res.Elapsed.Nanoseconds(),
 		}
-		if o.Err != nil {
-			cr.Error = o.Err.Error()
-		} else if !o.TimedOut {
-			sat := o.Satisfied
+		if res.Err != nil && res.Exhausted != checker.CauseBudget {
+			cr.Error = res.Err.Error()
+			cr.hardFailed = true
+		} else if res.Exhausted == "" {
+			sat := res.Satisfied
 			cr.Satisfied = &sat
 		}
-		hr.Results[c.String()] = cr
+		hr.Results[name] = cr
 	}
-	var profile []string
-	for _, c := range check.AllCriteria {
-		if r.Class[c] {
-			profile = append(profile, c.String())
-		}
-	}
-	hr.Profile = strings.Join(profile, " ")
+	hr.Profile = strings.Join(r.Profile, " ")
 	for _, v := range r.LatticeViolations {
-		hr.Violations = append(hr.Violations, fmt.Sprintf("%v=>%v", v[0], v[1]))
+		hr.Violations = append(hr.Violations, fmt.Sprintf("%s=>%s", v[0], v[1]))
 	}
 	return hr
 }
@@ -166,47 +149,66 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "subtree workers per causal search")
 	timeout := flag.Duration("timeout", 0, "per-criterion wall-clock timeout (0 = none)")
 	maxNodes := flag.Int("max-nodes", 0, "per-criterion search budget (0 = default)")
-	criteriaList := flag.String("criteria", "", "comma-separated criteria subset (default all)")
+	criteriaList := flag.String("criteria", "", "comma-separated criteria subset (default all registered)")
+	list := flag.Bool("list", false, "list the registered criteria and exit")
 	flag.Parse()
 
-	criteria, err := parseCriteria(*criteriaList)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccclassify:", err)
-		os.Exit(2)
+	if *list {
+		for _, c := range checker.All() {
+			doc := c.Doc
+			if c.MemoryOnly {
+				doc += " [memory only]"
+			}
+			fmt.Printf("%-4s %s\n", c.Name, doc)
+		}
+		return
+	}
+
+	opts := []checker.Option{
+		checker.WithBudget(*maxNodes),
+		checker.WithParallelism(*parallelism),
+		checker.WithTimeout(*timeout),
+		checker.WithWorkers(*workers),
+	}
+	if *criteriaList != "" {
+		var names []string
+		for _, name := range strings.Split(*criteriaList, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+		opts = append(opts, checker.WithCriteria(names...))
 	}
 
 	// Load and parse everything up front (cheap next to checking);
-	// parse failures bypass the engine and are rendered in place when
-	// their turn in the output order comes.
+	// parse failures bypass the classifier and are rendered in place
+	// when their turn in the output order comes.
 	srcs := collect(flag.Args())
 	parseErrs := make([]error, len(srcs))
-	var ok []check.BatchItem
+	items := make([]checker.Item, 0, len(srcs))
 	for i, s := range srcs {
 		if s.err != nil {
 			parseErrs[i] = s.err
 			continue
 		}
-		h, err := history.Parse(s.text)
+		h, err := histories.Parse(s.text)
 		if err != nil {
 			parseErrs[i] = err
 			continue
 		}
-		ok = append(ok, check.BatchItem{Index: i, Name: s.name, H: h})
+		items = append(items, checker.Item{Index: i, Name: s.name, H: h})
 	}
-	classifiable := make(chan check.BatchItem)
+	in := make(chan checker.Item)
 	go func() {
-		defer close(classifiable)
-		for _, it := range ok {
-			classifiable <- it
+		defer close(in)
+		for _, it := range items {
+			in <- it
 		}
 	}()
 
-	results := check.ClassifyAll(classifiable, check.BatchOptions{
-		Options:  check.Options{MaxNodes: *maxNodes, Parallelism: *parallelism},
-		Workers:  *workers,
-		Timeout:  *timeout,
-		Criteria: criteria,
-	})
+	results, err := checker.NewClassifier(opts...).Stream(context.Background(), in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccclassify:", err)
+		os.Exit(2)
+	}
 
 	// Reorder into input order, emitting each line as soon as its
 	// predecessors are out.
@@ -218,10 +220,10 @@ func main() {
 		for {
 			hr, ok := pending[nextIdx]
 			if !ok {
-				// A parse failure never enters the engine; render it
+				// A parse failure never enters the classifier; render it
 				// here the moment its turn comes.
 				if nextIdx < len(srcs) && parseErrs[nextIdx] != nil {
-					hr = render(check.BatchResult{Item: check.BatchItem{Index: nextIdx, Name: srcs[nextIdx].name}}, parseErrs[nextIdx])
+					hr = render(checker.ItemResult{Item: checker.Item{Index: nextIdx, Name: srcs[nextIdx].name}}, parseErrs[nextIdx])
 				} else {
 					return
 				}
@@ -231,7 +233,7 @@ func main() {
 				hardFail = true
 			}
 			for _, cr := range hr.Results {
-				if cr.Error != "" && !cr.BudgetExceeded {
+				if cr.hardFailed {
 					hardFail = true
 				}
 			}

@@ -4,15 +4,15 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/adt"
-	"repro/internal/census"
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/crdt"
-	"repro/internal/sim"
-	"repro/internal/spec"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/census"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/crdt"
+	"github.com/paper-repro/ccbm/internal/sim"
+	"github.com/paper-repro/ccbm/internal/stats"
+	"github.com/paper-repro/ccbm/internal/workload"
 )
 
 // censusExp exhaustively classifies every small history of fixed
@@ -23,32 +23,31 @@ func censusExp() {
 	regCfg := census.Config{
 		ADT:        adt.Register{},
 		Shape:      []int{2, 2},
-		Inputs:     []spec.Input{spec.NewInput("w", 1), spec.NewInput("w", 2), spec.NewInput("r")},
+		Inputs:     []cc.Input{cc.NewInput("w", 1), cc.NewInput("w", 2), cc.NewInput("r")},
 		OutputsFor: census.RegisterDomain(2),
 	}
-	crits := []check.Criterion{check.CritEC, check.CritUC, check.CritPC, check.CritWCC, check.CritCCv, check.CritCC, check.CritSC}
 
 	fmt.Println("register, 2 processes x 2 ops, finite reading:")
 	res, err := census.Run(regCfg)
 	must(err)
-	fmt.Print(res.FormatTable(crits))
+	fmt.Print(res.FormatTable(nil))
 
 	fmt.Println("\nregister, 2 processes x 2 ops, ω reading (final queries repeat forever):")
 	regCfg.Omega = true
 	resOm, err := census.Run(regCfg)
 	must(err)
-	fmt.Print(resOm.FormatTable(crits))
+	fmt.Print(resOm.FormatTable(nil))
 
 	fmt.Println("\nwindow stream W2, processes 2 x (2,1) ops, finite reading:")
 	w2 := census.Config{
 		ADT:        adt.NewWindowStream(2),
 		Shape:      []int{2, 1},
-		Inputs:     []spec.Input{spec.NewInput("w", 1), spec.NewInput("w", 2), spec.NewInput("r")},
+		Inputs:     []cc.Input{cc.NewInput("w", 1), cc.NewInput("w", 2), cc.NewInput("r")},
 		OutputsFor: census.WindowDomain(2),
 	}
 	resW, err := census.Run(w2)
 	must(err)
-	fmt.Print(resW.FormatTable(crits))
+	fmt.Print(resW.FormatTable(nil))
 }
 
 // crdtExp measures the native op-based CRDTs (experiment E14): for
@@ -213,42 +212,39 @@ func crdtExp() {
 // linearizable, and random sequential executions are always both.
 func linzExp() {
 	reg := adt.Register{}
-	stale := []check.TimedOp{
-		{Proc: 0, Op: spec.NewOp(spec.NewInput("w", 1), spec.Bot), Inv: 0, Res: 1},
-		{Proc: 1, Op: spec.NewOp(spec.NewInput("r"), spec.IntOutput(0)), Inv: 2, Res: 3},
+	stale := []checker.TimedOp{
+		{Proc: 0, Op: cc.NewOp(cc.NewInput("w", 1), cc.Bot), Inv: 0, Res: 1},
+		{Proc: 1, Op: cc.NewOp(cc.NewInput("r"), cc.IntOutput(0)), Inv: 2, Res: 3},
 	}
-	lin, _, err := check.Linearizable(reg, stale, check.Options{})
+	lin, err := checker.Linearizable(bg, reg, stale)
 	must(err)
-	sc, _, err := check.SC(check.TimedToHistory(reg, stale), check.Options{})
-	must(err)
-	fmt.Printf("stale read after completed write: linearizable=%v, SC=%v (the [3] separation)\n", lin, sc)
+	sc := workloadCheck("SC", checker.TimedToHistory(reg, stale))
+	fmt.Printf("stale read after completed write: linearizable=%v, SC=%v (the [3] separation)\n", lin.Satisfied, sc)
 
 	rng := rand.New(rand.NewSource(123))
 	trials, linOK, scOK := 100, 0, 0
 	for trial := 0; trial < trials; trial++ {
 		q := reg.Init()
 		nops := 4 + rng.Intn(4)
-		ops := make([]check.TimedOp, 0, nops)
+		ops := make([]checker.TimedOp, 0, nops)
 		for i := 0; i < nops; i++ {
-			in := spec.NewInput("r")
+			in := cc.NewInput("r")
 			if rng.Intn(2) == 0 {
-				in = spec.NewInput("w", rng.Intn(3))
+				in = cc.NewInput("w", rng.Intn(3))
 			}
-			var out spec.Output
+			var out cc.Output
 			q, out = reg.Step(q, in)
-			ops = append(ops, check.TimedOp{
-				Proc: rng.Intn(3), Op: spec.NewOp(in, out),
+			ops = append(ops, checker.TimedOp{
+				Proc: rng.Intn(3), Op: cc.NewOp(in, out),
 				Inv: float64(i), Res: float64(i) + 0.5,
 			})
 		}
-		ok, _, err := check.Linearizable(reg, ops, check.Options{})
+		res, err := checker.Linearizable(bg, reg, ops)
 		must(err)
-		if ok {
+		if res.Satisfied {
 			linOK++
 		}
-		ok2, _, err := check.SC(check.TimedToHistory(reg, ops), check.Options{})
-		must(err)
-		if ok2 {
+		if workloadCheck("SC", checker.TimedToHistory(reg, ops)) {
 			scOK++
 		}
 	}

@@ -7,22 +7,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sync"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/consensus"
-	"repro/internal/core"
-	"repro/internal/history"
-	"repro/internal/paperfig"
-	"repro/internal/spec"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/cc/histories"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/consensus"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/paperfig"
+	"github.com/paper-repro/ccbm/internal/stats"
+	"github.com/paper-repro/ccbm/internal/workload"
 )
+
+// bg is the battery's ambient context; individual experiments pass it
+// to every facade check.
+var bg = context.Background()
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
@@ -57,6 +62,15 @@ func must(err error) {
 	}
 }
 
+// workloadCheck runs one registered criterion and returns the verdict,
+// exiting on any checker error (the battery's histories are small
+// enough that exhaustion is a bug).
+func workloadCheck(criterion string, h *histories.History) bool {
+	res, err := checker.Check(bg, criterion, h)
+	must(err)
+	return res.Satisfied
+}
+
 // fig3 classifies the nine example histories of Fig. 3 and compares
 // the checkers' verdicts with the caption claims (experiment E3).
 func fig3() {
@@ -69,8 +83,9 @@ func fig3() {
 				h = f.History()
 				reading = "ω"
 			}
-			got, _, err := check.Check(cl.Criterion, h, check.Options{})
+			res, err := checker.Check(bg, cl.Criterion.String(), h)
 			must(err)
+			got := res.Satisfied
 			match := "OK"
 			if got != cl.Holds {
 				match = "MISMATCH"
@@ -83,10 +98,10 @@ func fig3() {
 	fmt.Println("\nfull classification (ω reading where flagged):")
 	tb2 := stats.NewTable("fig", "EC", "UC", "PC", "WCC", "CCv", "CC", "CM", "SC")
 	for _, f := range paperfig.Fig3() {
-		clf, err := check.Classify(f.History(), check.Options{})
+		clf, err := checker.Classify(bg, f.History())
 		must(err)
 		row := []any{f.Name}
-		for _, c := range []check.Criterion{check.CritEC, check.CritUC, check.CritPC, check.CritWCC, check.CritCCv, check.CritCC, check.CritCM, check.CritSC} {
+		for _, c := range []string{"EC", "UC", "PC", "WCC", "CCv", "CC", "CM", "SC"} {
 			v, ok := clf[c]
 			switch {
 			case !ok:
@@ -109,53 +124,53 @@ func fig1() {
 	violations := 0
 	checked := 0
 	for _, f := range paperfig.Fig3() {
-		for _, h := range []*history.History{f.History(), f.FiniteHistory()} {
-			cl, err := check.Classify(h, check.Options{})
+		for _, h := range []*histories.History{f.History(), f.FiniteHistory()} {
+			cl, err := checker.Classify(bg, h)
 			must(err)
-			violations += len(check.VerifyImplications(cl))
+			violations += len(checker.VerifyImplications(cl))
 			checked++
 		}
 	}
 	rng := rand.New(rand.NewSource(7))
 	w2 := adt.NewWindowStream(2)
 	for trial := 0; trial < 200; trial++ {
-		b := history.NewBuilder(w2)
+		b := histories.NewBuilder(w2)
 		for p := 0; p < 2; p++ {
 			for i := 0; i < 3; i++ {
 				if rng.Intn(2) == 0 {
-					b.Append(p, spec.NewOp(spec.NewInput("w", rng.Intn(3)+1), spec.Bot))
+					b.Append(p, cc.NewOp(cc.NewInput("w", rng.Intn(3)+1), cc.Bot))
 				} else {
-					b.Append(p, spec.NewOp(spec.NewInput("r"), spec.TupleOutput(rng.Intn(3), rng.Intn(3))))
+					b.Append(p, cc.NewOp(cc.NewInput("r"), cc.TupleOutput(rng.Intn(3), rng.Intn(3))))
 				}
 			}
 		}
-		cl, err := check.Classify(b.Build(), check.Options{})
+		cl, err := checker.Classify(bg, b.Build())
 		must(err)
-		violations += len(check.VerifyImplications(cl))
+		violations += len(checker.VerifyImplications(cl))
 		checked++
 	}
 	fmt.Printf("implication arrows of Fig. 1 verified on %d histories: %d violations\n\n", checked, violations)
 
 	tb := stats.NewTable("separation", "witness", "holds")
 	for _, w := range []struct {
-		weaker, stronger check.Criterion
+		weaker, stronger string
 		fixture          string
 	}{
-		{check.CritCC, check.CritSC, "3c"},
-		{check.CritCCv, check.CritSC, "3h"},
-		{check.CritWCC, check.CritCC, "3a"},
-		{check.CritCCv, check.CritCC, "3a"},
-		{check.CritCC, check.CritCCv, "3c"},
-		{check.CritPC, check.CritCC, "3e"},
-		{check.CritWCC, check.CritPC, "3h"},
+		{"CC", "SC", "3c"},
+		{"CCv", "SC", "3h"},
+		{"WCC", "CC", "3a"},
+		{"CCv", "CC", "3a"},
+		{"CC", "CCv", "3c"},
+		{"PC", "CC", "3e"},
+		{"WCC", "PC", "3h"},
 	} {
 		f, _ := paperfig.Fig3ByName(w.fixture)
 		h := f.History()
-		weak, _, err := check.Check(w.weaker, h, check.Options{})
+		weak, err := checker.Check(bg, w.weaker, h)
 		must(err)
-		strong, _, err := check.Check(w.stronger, h, check.Options{})
+		strong, err := checker.Check(bg, w.stronger, h)
 		must(err)
-		tb.Add(fmt.Sprintf("%v ⊋ %v", w.weaker, w.stronger), w.fixture, weak && !strong)
+		tb.Add(fmt.Sprintf("%s ⊋ %s", w.weaker, w.stronger), w.fixture, weak.Satisfied && !strong.Satisfied)
 	}
 	fmt.Print(tb)
 }
@@ -164,13 +179,13 @@ func fig1() {
 // history (experiment E2).
 func fig2() {
 	h, extra := paperfig.Fig2History()
-	causal := check.CausalOrderFrom(h, extra)
+	causal := checker.CausalOrderFrom(h, extra)
 	if causal == nil {
 		must(fmt.Errorf("fig2 causal order cyclic"))
 	}
 	tb := stats.NewTable("event", "proc", "causal-past", "prog-past", "concurrent", "causal-future", "prog-future")
 	for e := 0; e < h.N(); e++ {
-		z := check.ZonesOf(h, causal, e)
+		z := checker.ZonesOf(h, causal, e)
 		tb.Add(fmt.Sprintf("σ%d", e+1), fmt.Sprintf("p%d", h.Events[e].Proc),
 			z.CausalPast.Count(), z.ProgramPast.Count(), z.ConcurrentPresent.Count(),
 			z.CausalFuture.Count(), z.ProgramFuture.Count())
@@ -180,7 +195,7 @@ func fig2() {
 
 // verifySweep runs a mode over seeds, verifying small histories and
 // measuring message economy and convergence (experiments E4, E5).
-func verifySweep(mode core.Mode, crit check.Criterion) {
+func verifySweep(mode core.Mode, crit string) {
 	tb := stats.NewTable("n", "seeds", "verified", "msgs/update", "converged", "sim-time")
 	for _, n := range []int{2, 3, 4, 6, 8} {
 		verified, converged := 0, 0
@@ -193,9 +208,7 @@ func verifySweep(mode core.Mode, crit check.Criterion) {
 			}
 			res := workload.Run(mode, cfg)
 			h := res.Cluster.Recorder.History()
-			ok, _, err := check.Check(crit, h, check.Options{})
-			must(err)
-			if ok {
+			if workloadCheck(crit, h) {
 				verified++
 			}
 			if res.Cluster.Converged() {
@@ -215,13 +228,13 @@ func verifySweep(mode core.Mode, crit check.Criterion) {
 func fig4() {
 	fmt.Println("Fig. 4 (causally consistent window-stream array): every run must")
 	fmt.Println("verify CC (Prop. 6); convergence is NOT guaranteed (CC branch).")
-	verifySweep(core.ModeCC, check.CritCC)
+	verifySweep(core.ModeCC, "CC")
 }
 
 func fig5() {
 	fmt.Println("Fig. 5 (causally convergent window-stream array): every run must")
 	fmt.Println("verify CCv (Prop. 7) AND converge at quiescence.")
-	verifySweep(core.ModeCCv, check.CritCCv)
+	verifySweep(core.ModeCCv, "CCv")
 }
 
 // cm compares causal consistency and causal memory (experiment E8).
@@ -231,26 +244,24 @@ func cm() {
 	cmOnly, both, neither, ccOnly := 0, 0, 0, 0
 	trials := 300
 	for trial := 0; trial < trials; trial++ {
-		b := history.NewBuilder(mem)
+		b := histories.NewBuilder(mem)
 		val := 1
 		written := []int{0}
 		for p := 0; p < 2; p++ {
 			for i := 0; i < 3; i++ {
 				reg := []string{"x", "y"}[rng.Intn(2)]
 				if rng.Intn(2) == 0 {
-					b.Append(p, spec.NewOp(spec.NewInput("w"+reg, val), spec.Bot))
+					b.Append(p, cc.NewOp(cc.NewInput("w"+reg, val), cc.Bot))
 					written = append(written, val)
 					val++
 				} else {
-					b.Append(p, spec.NewOp(spec.NewInput("r"+reg), spec.IntOutput(written[rng.Intn(len(written))])))
+					b.Append(p, cc.NewOp(cc.NewInput("r"+reg), cc.IntOutput(written[rng.Intn(len(written))])))
 				}
 			}
 		}
 		h := b.Build()
-		isCM, _, err := check.CM(h, check.Options{})
-		must(err)
-		isCC, _, err := check.CC(h, check.Options{})
-		must(err)
+		isCM := workloadCheck("CM", h)
+		isCC := workloadCheck("CC", h)
 		switch {
 		case isCM && isCC:
 			both++
@@ -269,10 +280,8 @@ func cm() {
 
 	f, _ := paperfig.Fig3ByName("3i")
 	h := f.History()
-	isCM, _, err := check.CM(h, check.Options{})
-	must(err)
-	isCC, _, err := check.CC(h, check.Options{})
-	must(err)
+	isCM := workloadCheck("CM", h)
+	isCC := workloadCheck("CC", h)
 	fmt.Printf("Fig. 3i (duplicated values): CM=%v CC=%v — the distinct-values\n", isCM, isCC)
 	fmt.Println("hypothesis of Prop. 4 is necessary.")
 }
@@ -304,7 +313,7 @@ func sessions() {
 				}
 			}
 			c.Settle()
-			g, err := check.Sessions(c.Recorder.History(), check.Options{})
+			g, err := checker.Sessions(c.Recorder.History())
 			must(err)
 			if g.ReadYourWrites {
 				counts["RYW"]++
@@ -339,8 +348,7 @@ func dichotomy() {
 	c.Net.Heal()
 	r0 := c.Invoke(0, "r", 0)
 	r1 := c.Invoke(1, "r", 0)
-	hPC, _, err := check.PC(c.Recorder.History(), check.Options{})
-	must(err)
+	hPC := workloadCheck("PC", c.Recorder.History())
 	fmt.Printf("CC runtime under partition: p0 reads %v, p1 reads %v — diverged=%v, PC=%v\n",
 		r0, r1, !r0.Equal(r1), hPC)
 
@@ -356,10 +364,8 @@ func dichotomy() {
 	c2.Recorder.MarkOmega(0)
 	c2.Recorder.MarkOmega(1)
 	h := c2.Recorder.History()
-	isCCv, _, err := check.CCv(h, check.Options{})
-	must(err)
-	isPC, _, err := check.PC(h, check.Options{})
-	must(err)
+	isCCv := workloadCheck("CCv", h)
+	isPC := workloadCheck("PC", h)
 	fmt.Printf("CCv runtime: first reads %v/%v, final reads %v/%v — converged=%v, CCv=%v, PC=%v\n",
 		a0, a1, b0, b1, b0.Equal(b1), isCCv, isPC)
 	fmt.Println("wait-free systems must pick a branch: convergence (CCv) or pipelining (CC).")

@@ -1,9 +1,10 @@
-// Command ccheck classifies a distributed history against the paper's
-// consistency criteria.
+// Command ccheck classifies a distributed history against the
+// registered consistency criteria.
 //
 // Usage:
 //
-//	ccheck [-witness] [-dot] [-timed] [-max-nodes N] [file]
+//	ccheck [-criteria LIST] [-witness] [-dot] [-timed] [-max-nodes N] [-timeout D] [file]
+//	ccheck -list
 //
 // The history is read from the file argument (or stdin) in the format
 //
@@ -12,33 +13,54 @@
 //	p1: w(2) r/(0,2) r/(1,2)*
 //
 // where a trailing '*' marks an ω-event (the final read repeats
-// forever; see the history package). The tool prints, for each
-// criterion, whether the history satisfies it; -witness additionally
-// prints the witness linearizations, and -dot dumps the history as a
-// Graphviz digraph.
+// forever; see cc/histories). The tool prints, for each criterion,
+// whether the history satisfies it; -witness additionally prints the
+// witness linearizations, and -dot dumps the history as a Graphviz
+// digraph.
+//
+// -criteria selects a comma-separated subset of the registered
+// criteria (default: all of them, in registry order); -list prints
+// the registry and exits. The criteria are resolved through
+// cc/checker's registry, so a program that registers its own
+// criterion and reuses this command's source sees it dispatched like
+// the built-ins.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"repro/internal/check"
-	"repro/internal/history"
-	"repro/internal/porder"
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/cc/histories"
 )
 
 func main() {
 	witness := flag.Bool("witness", false, "print witness linearizations")
 	dot := flag.Bool("dot", false, "print the history as Graphviz dot and exit")
 	maxNodes := flag.Int("max-nodes", 0, "search budget per checker (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-criterion wall-clock timeout (0 = none)")
 	timed := flag.Bool("timed", false, "read a timed history ([inv,res]op tokens) and decide linearizability")
+	criteriaList := flag.String("criteria", "", "comma-separated criteria subset (default: all registered)")
+	list := flag.Bool("list", false, "list the registered criteria and exit")
 	flag.Parse()
 
+	if *list {
+		printRegistry(os.Stdout)
+		return
+	}
+
+	criteria, err := selectCriteria(*criteriaList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccheck:", err)
+		os.Exit(2)
+	}
+
 	var data []byte
-	var err error
 	if flag.NArg() > 0 {
 		data, err = os.ReadFile(flag.Arg(0))
 	} else {
@@ -48,11 +70,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
 		os.Exit(1)
 	}
+	ctx := context.Background()
+	opts := []checker.Option{checker.WithBudget(*maxNodes), checker.WithTimeout(*timeout)}
 	if *timed {
-		checkTimed(string(data), check.Options{MaxNodes: *maxNodes}, *witness)
+		checkTimed(ctx, string(data), *witness, opts)
 		return
 	}
-	h, err := history.Parse(string(data))
+	h, err := histories.Parse(string(data))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
 		os.Exit(1)
@@ -63,30 +87,38 @@ func main() {
 	}
 
 	fmt.Printf("history over %s: %d events, %d processes\n\n", h.ADT.Name(), h.N(), len(h.Processes()))
-	opt := check.Options{MaxNodes: *maxNodes}
 	anyFail := false
-	for _, c := range check.AllCriteria {
-		ok, w, err := check.Check(c, h, opt)
+	for _, c := range criteria {
+		res, err := checker.Check(ctx, c.Name, h, opts...)
 		switch {
-		case err == check.ErrNotMemory:
-			fmt.Printf("%-4s n/a (memory-only criterion)\n", c.String())
+		case errors.Is(err, checker.ErrNotMemory):
+			fmt.Printf("%-4s n/a (memory-only criterion)\n", c.Name)
+			continue
+		case res != nil && res.Exhausted != "":
+			// No verdict: the budget ran out or the deadline fired. The
+			// exit code still reports failure — a single-history tool
+			// that cannot conclude has failed its job.
+			fmt.Printf("%-4s unknown (%s after %d nodes)\n", c.Name, res.Exhausted, res.Explored)
+			anyFail = true
 			continue
 		case err != nil:
-			fmt.Printf("%-4s error: %v\n", c, err)
+			fmt.Printf("%-4s error: %v\n", c.Name, err)
 			anyFail = true
 			continue
 		}
 		mark := "no"
-		if ok {
+		if res.Satisfied {
 			mark = "YES"
 		}
-		fmt.Printf("%-4s %s\n", c, mark)
-		if ok && *witness && w != nil {
-			printWitness(h, c, w)
+		fmt.Printf("%-4s %s\n", c.Name, mark)
+		if res.Satisfied && *witness {
+			for _, line := range checker.FormatWitness(h, c.Name, res.Witness) {
+				fmt.Printf("     %s\n", line)
+			}
 		}
 	}
 
-	if g, err := check.Sessions(h, opt); err == nil {
+	if g, err := checker.Sessions(h); err == nil {
 		fmt.Printf("\nsession guarantees: RYW=%v MR=%v MW=%v WFR=%v\n",
 			g.ReadYourWrites, g.MonotonicReads, g.MonotonicWrites, g.WritesFollowReads)
 	}
@@ -95,75 +127,85 @@ func main() {
 	}
 }
 
+// selectCriteria resolves the -criteria flag against the registry;
+// empty means every registered criterion in registry order.
+func selectCriteria(list string) ([]checker.Criterion, error) {
+	if list == "" {
+		return checker.All(), nil
+	}
+	var out []checker.Criterion
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := checker.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown criterion %q (registered: %s)",
+				name, strings.Join(checker.Names(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func printRegistry(w io.Writer) {
+	for _, c := range checker.All() {
+		doc := c.Doc
+		if c.MemoryOnly {
+			doc += " [memory only]"
+		}
+		fmt.Fprintf(w, "%-4s %s\n", c.Name, doc)
+	}
+}
+
 // checkTimed decides linearizability of a timed history and, for
 // contrast, sequential consistency of its untimed projection — the
 // pair of verdicts that exhibits the Attiya-Welch separation.
-func checkTimed(text string, opt check.Options, witness bool) {
-	t, evs, err := history.ParseTimed(text)
+func checkTimed(ctx context.Context, text string, witness bool, opts []checker.Option) {
+	t, evs, err := histories.ParseTimed(text)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
 		os.Exit(1)
 	}
-	ops := make([]check.TimedOp, len(evs))
-	for i, ev := range evs {
-		ops[i] = check.TimedOp{Proc: ev.Proc, Op: ev.Op, Inv: ev.Inv, Res: ev.Res}
-	}
+	ops := checker.TimedOps(evs)
 	fmt.Printf("timed history over %s: %d operations\n\n", t.Name(), len(ops))
-	lin, order, err := check.Linearizable(t, ops, opt)
+	res, err := checker.Linearizable(ctx, t, ops, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
+		os.Exit(1)
+	}
+	if res.Exhausted != "" {
+		fmt.Printf("LIN  unknown (%s after %d nodes)\n", res.Exhausted, res.Explored)
 		os.Exit(1)
 	}
 	mark := "no"
-	if lin {
+	if res.Satisfied {
 		mark = "YES"
 	}
 	fmt.Printf("LIN  %s\n", mark)
-	if lin && witness {
-		parts := make([]string, len(order))
-		for i, e := range order {
+	if res.Satisfied && witness && res.Witness != nil {
+		parts := make([]string, len(res.Witness.Linearization))
+		for i, e := range res.Witness.Linearization {
 			parts[i] = ops[e].Op.String()
 		}
 		fmt.Printf("     lin: %s\n", strings.Join(parts, "."))
 	}
-	h := check.TimedToHistory(t, ops)
-	sc, w, err := check.SC(h, opt)
+	h := checker.TimedToHistory(t, ops)
+	scRes, err := checker.Check(ctx, "SC", h, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
 		os.Exit(1)
 	}
+	if scRes.Exhausted != "" {
+		fmt.Printf("SC   unknown (%s after %d nodes, untimed projection)\n", scRes.Exhausted, scRes.Explored)
+		os.Exit(1)
+	}
 	mark = "no"
-	if sc {
+	if scRes.Satisfied {
 		mark = "YES"
 	}
 	fmt.Printf("SC   %s (untimed projection)\n", mark)
-	if sc && witness && w != nil {
-		printWitness(h, check.CritSC, w)
-	}
-}
-
-func printWitness(h *history.History, c check.Criterion, w *check.Witness) {
-	all := porder.FullBitset(h.N())
-	switch {
-	case w.Linearization != nil:
-		fmt.Printf("     lin: %s\n", check.FormatLin(h, w.Linearization, all))
-	case w.PerProcess != nil:
-		for p, lin := range w.PerProcess {
-			if lin == nil {
-				continue
-			}
-			fmt.Printf("     p%d: %s\n", p, check.FormatLin(h, lin, h.ProcEvents(p)))
-		}
-	case w.PerEvent != nil:
-		for e, lin := range w.PerEvent {
-			if lin == nil {
-				continue
-			}
-			vis := porder.BitsetOf(h.N(), e)
-			if c == check.CritCC {
-				vis = h.ProcEvents(h.Events[e].Proc)
-			}
-			fmt.Printf("     %s: %s\n", h.Events[e].Op, check.FormatLin(h, lin, vis))
+	if scRes.Satisfied && witness {
+		for _, line := range checker.FormatWitness(h, "SC", scRes.Witness) {
+			fmt.Printf("     %s\n", line)
 		}
 	}
 }

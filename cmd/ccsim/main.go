@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,10 +20,10 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/workload"
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/workload"
 )
 
 func parseMode(s string) (core.Mode, error) {
@@ -116,17 +117,17 @@ func main() {
 
 	if *doCheck {
 		h := c.Recorder.History()
-		want := map[core.Mode]check.Criterion{
-			core.ModeCC: check.CritCC, core.ModePC: check.CritPC,
-			core.ModeEC: check.CritEC, core.ModeCCv: check.CritCCv,
+		want := map[core.Mode]string{
+			core.ModeCC: "CC", core.ModePC: "PC",
+			core.ModeEC: "EC", core.ModeCCv: "CCv",
 		}[mode]
-		ok, _, err := check.Check(want, h, check.Options{})
+		res, err := checker.Check(context.Background(), want, h)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccsim: checker: %v (reduce -ops)\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("checked        history satisfies %v: %v\n", want, ok)
-		if !ok {
+		fmt.Printf("checked        history satisfies %s: %v (%d nodes explored)\n", want, res.Satisfied, res.Explored)
+		if !res.Satisfied {
 			os.Exit(1)
 		}
 	}

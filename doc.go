@@ -11,17 +11,39 @@
 // exhaustive hierarchy census, and consensus-number demonstrations
 // (W_k and CAS).
 //
-// The implementation lives under internal/; see README.md for the
-// architecture, the benchmark workflow and the BENCH_checkers.json
-// performance record. The benchmarks in bench_test.go and
-// bench_extra_test.go regenerate the performance-shape results for
-// every figure of the paper and every extension ablation; cmd/ccbench
+// # Public API
+//
+// The library is consumed through the cc facade — the contract — while
+// the engine lives under internal/ and may change freely:
+//
+//   - cc: the sequential-specification model (operations, inputs,
+//     outputs, ADTs) and the textual ADT registry.
+//   - cc/histories: distributed histories, their builder, and the text
+//     formats the tools speak.
+//   - cc/checker: the criteria themselves — a string-keyed registry
+//     (checker.Register / Lookup / All) dispatching built-in and
+//     user-defined criteria uniformly, context-aware checking
+//     (checker.Check(ctx, "CC", h, opts...) with WithBudget,
+//     WithParallelism, WithTimeout), a unified Result (verdict,
+//     witness, explored nodes, wall time, exhaustion cause), and the
+//     streaming batch Classifier.
+//
+// Cancellation is idiomatic context.Context end to end: every search
+// polls ctx at a bounded node cadence and unwinds promptly on
+// cancellation or deadline. The exported surface is pinned by the
+// API-lock test (cc/testdata/api.golden).
+//
+// All five cmd/ tools and all seven examples/ programs are built on
+// the facade; see README.md for the architecture, the benchmark
+// workflow and the BENCH_checkers.json performance record. The
+// benchmarks in bench_test.go and bench_extra_test.go regenerate the
+// performance-shape results for every figure of the paper; cmd/ccbench
 // snapshots the checker numbers into BENCH_checkers.json.
 //
-// Classification scales out along two axes: check.Options.Parallelism
-// forks the causal-family searches of a single history into
-// deterministic subtree tasks, and check.ClassifyAll streams batches
-// of histories through a bounded worker pool with per-criterion
-// timeouts — cmd/ccclassify is the batch front end emitting one JSON
-// object per history.
+// Classification scales out along two axes: WithParallelism forks the
+// causal-family searches of a single history into deterministic
+// subtree tasks, and the Classifier streams batches of histories
+// through a bounded worker pool with per-criterion timeouts —
+// cmd/ccclassify is the batch front end emitting one JSON object per
+// history.
 package ccbm

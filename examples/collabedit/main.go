@@ -14,8 +14,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/adt"
-	"repro/internal/core"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
 )
 
 func render(vals []int) string {

@@ -11,9 +11,9 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/adt"
-	"repro/internal/core"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
 )
 
 func popQueue() {
@@ -96,8 +96,8 @@ func main() {
 	q, q2 := adt.Queue{}, adt.Queue2{}
 	fmt.Println()
 	fmt.Printf("pop: update=%v query=%v (coupled — the root of the anomaly)\n",
-		q.IsUpdate(spec.NewInput("pop")), q.IsQuery(spec.NewInput("pop")))
+		q.IsUpdate(cc.NewInput("pop")), q.IsQuery(cc.NewInput("pop")))
 	fmt.Printf("hd:  update=%v query=%v / rh: update=%v query=%v (decoupled)\n",
-		q2.IsUpdate(spec.NewInput("hd")), q2.IsQuery(spec.NewInput("hd")),
-		q2.IsUpdate(spec.NewInput("rh", 1)), q2.IsQuery(spec.NewInput("rh", 1)))
+		q2.IsUpdate(cc.NewInput("hd")), q2.IsQuery(cc.NewInput("hd")),
+		q2.IsUpdate(cc.NewInput("rh", 1)), q2.IsQuery(cc.NewInput("rh", 1)))
 }

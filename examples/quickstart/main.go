@@ -7,12 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
+	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
 )
 
 func main() {
@@ -38,10 +39,10 @@ func main() {
 	// Every execution of this runtime is causally consistent (Prop. 6);
 	// verify this very run with the exact checker.
 	h := cluster.Recorder.History()
-	ok, _, err := check.CC(h, check.Options{})
+	res, err := checker.Check(context.Background(), "CC", h)
 	if err != nil {
 		log.Fatalf("checker error: %v", err)
 	}
 	fmt.Printf("\nrecorded history:\n%s", h)
-	fmt.Println("causally consistent:", ok)
+	fmt.Println("causally consistent:", res.Satisfied)
 }

@@ -14,8 +14,8 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/crdt"
-	"repro/internal/net"
+	"github.com/paper-repro/ccbm/internal/crdt"
+	"github.com/paper-repro/ccbm/internal/net"
 )
 
 const (

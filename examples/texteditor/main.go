@@ -15,8 +15,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/crdt"
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/crdt"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 func main() {

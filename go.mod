@@ -1,3 +1,3 @@
-module repro
+module github.com/paper-repro/ccbm
 
 go 1.24

@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/adt"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 func step(t *testing.T, a spec.ADT, q spec.State, method string, args ...int) (spec.State, spec.Output) {

@@ -3,7 +3,7 @@ package adt
 import (
 	"fmt"
 
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // CASRegister is a register with compare-and-swap, the canonical

@@ -3,7 +3,7 @@ package adt
 import (
 	"testing"
 
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 func step(t *testing.T, a spec.ADT, q spec.State, method string, args ...int) (spec.State, spec.Output) {

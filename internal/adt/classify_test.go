@@ -3,7 +3,7 @@ package adt
 import (
 	"testing"
 
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // TestUpdateQueryClassification pins the update/query classification

@@ -6,8 +6,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/spec"
-	"repro/internal/xhash"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // Counter is a shared integer counter, one of the data types the paper

@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // TestStateHash64Consistency drives every ADT through random operation

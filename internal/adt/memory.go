@@ -6,8 +6,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/spec"
-	"repro/internal/xhash"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // memState maps register names (by index into the Memory's name table)

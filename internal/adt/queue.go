@@ -5,8 +5,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/spec"
-	"repro/internal/xhash"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // seqIntState is a generic immutable sequence-of-ints state shared by

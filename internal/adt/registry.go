@@ -6,7 +6,7 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 var (

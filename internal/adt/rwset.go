@@ -6,8 +6,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/spec"
-	"repro/internal/xhash"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // RWSet is the sequential read-write set: add and remove are pure

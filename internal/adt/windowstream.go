@@ -14,8 +14,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/spec"
-	"repro/internal/xhash"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // wsState is the state of a window stream: the last k written values,

@@ -17,8 +17,8 @@ package broadcast
 import (
 	"sync"
 
-	"repro/internal/net"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // Deliver consumes a delivered application payload; origin is the

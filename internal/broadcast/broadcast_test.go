@@ -6,9 +6,9 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/broadcast"
-	"repro/internal/net"
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/broadcast"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 // recorder collects deliveries per process.

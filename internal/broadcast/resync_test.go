@@ -4,7 +4,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 // collector accumulates deliveries in order, concurrency-safe.

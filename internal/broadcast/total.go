@@ -4,8 +4,8 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/net"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // Total is Lamport-timestamp total-order broadcast (the classic

@@ -19,14 +19,15 @@
 package census
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 
-	"repro/internal/check"
-	"repro/internal/history"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Config describes the enumeration space.
@@ -84,6 +85,7 @@ type Separation struct {
 // Result aggregates a census run.
 type Result struct {
 	Total      int
+	Criteria   []check.Criterion // the criteria classified, in run order
 	Counts     map[check.Criterion]int
 	Profiles   []Profile
 	Violations []Separation // implication arrows violated (expected empty)
@@ -148,6 +150,13 @@ func (cfg *Config) Size() (int, error) {
 // every checker. Aggregation is single-threaded on the result stream,
 // which makes it deterministic without locking.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a caller-controlled context: cancellation
+// aborts the in-flight checks within their poll interval and surfaces
+// ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.Shape) == 0 || len(cfg.Inputs) == 0 || cfg.OutputsFor == nil {
 		return nil, fmt.Errorf("census: Shape, Inputs and OutputsFor are required")
 	}
@@ -177,7 +186,7 @@ func Run(cfg Config) (*Result, error) {
 		seps     = make(map[[2]check.Criterion]*Separation)
 		firstErr error
 	)
-	results := check.ClassifyAll(items, check.BatchOptions{
+	results := check.ClassifyAll(ctx, items, check.BatchOptions{
 		Options:  cfg.Options,
 		Workers:  workers,
 		Criteria: criteria,
@@ -245,7 +254,7 @@ func Run(cfg Config) (*Result, error) {
 	default:
 	}
 
-	res := &Result{Total: total, Counts: counts}
+	res := &Result{Total: total, Criteria: criteria, Counts: counts}
 	for _, p := range profiles {
 		res.Profiles = append(res.Profiles, *p)
 	}
@@ -375,8 +384,11 @@ func WindowDomain(maxVal int) func(in spec.Input) []spec.Output {
 
 // FormatTable renders the census as the experiment table: one row per
 // criterion with admitted counts and fractions, then the profile
-// distribution.
+// distribution. A nil criteria list means the criteria of the run.
 func (r *Result) FormatTable(criteria []check.Criterion) string {
+	if criteria == nil {
+		criteria = r.Criteria
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "histories: %d\n", r.Total)
 	fmt.Fprintf(&b, "%-6s %10s %8s\n", "crit", "admitted", "frac")

@@ -5,9 +5,9 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 func regConfig(shape []int) Config {

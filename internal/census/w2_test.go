@@ -1,12 +1,13 @@
 package census
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/paperfig"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/paperfig"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // TestCensusW2FindsBranchSeparations enumerates all W2 histories of
@@ -65,11 +66,11 @@ func TestCensusW2FindsBranchSeparations(t *testing.T) {
 	}
 	// Double-check the witnesses against the checkers directly.
 	if ccNotCCv != nil {
-		cc, _, err := check.CC(ccNotCCv.Witness, check.Options{})
+		cc, _, err := check.CC(context.Background(), ccNotCCv.Witness, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ccv, _, err := check.CCv(ccNotCCv.Witness, check.Options{})
+		ccv, _, err := check.CCv(context.Background(), ccNotCCv.Witness, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,11 +92,11 @@ func TestFig3aIsMinimalShape(t *testing.T) {
 		t.Fatal("fixture 3a missing")
 	}
 	h := f.FiniteHistory()
-	ccv, _, err := check.CCv(h, check.Options{})
+	ccv, _, err := check.CCv(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cc, _, err := check.CC(h, check.Options{})
+	cc, _, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

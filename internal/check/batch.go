@@ -1,13 +1,13 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/history"
+	"github.com/paper-repro/ccbm/internal/history"
 )
 
 // The batch engine: stream many histories through a bounded worker
@@ -38,10 +38,24 @@ type CriterionOutcome struct {
 	// BudgetExceeded reports that the checker ran out of MaxNodes
 	// (Err is then a *ErrBudgetExceeded).
 	BudgetExceeded bool
-	// Err is the checker error, if any (budget, ω-encoding, ...).
+	// Err is the checker error, if any (budget, ω-encoding, a
+	// cancelled batch context, ...).
 	Err error
+	// Explored is the number of search-tree nodes the checker visited.
+	Explored int64
 	// Elapsed is the checker's wall-clock time.
 	Elapsed time.Duration
+}
+
+// ExtraChecker is a caller-supplied criterion the batch engine runs
+// alongside the built-in ones, through the same worker pool and
+// timeout machinery. The public facade's registry uses it to dispatch
+// user-registered criteria; Fn follows the built-in checkers' contract
+// (ctx.Err() on cancellation, ErrNotMemory to skip, ErrBudget wrapping
+// on exhaustion).
+type ExtraChecker struct {
+	Name string
+	Fn   func(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error)
 }
 
 // BatchResult is the classification of one history.
@@ -51,6 +65,9 @@ type BatchResult struct {
 	// non-memory history is skipped entirely (no entry), mirroring
 	// Classify.
 	Outcomes map[Criterion]CriterionOutcome
+	// ExtraOutcomes holds one entry per attempted ExtraChecker, keyed
+	// by its name; extras returning ErrNotMemory are skipped like CM.
+	ExtraOutcomes map[string]CriterionOutcome
 	// Class collects the Satisfied verdicts of the criteria that
 	// completed cleanly — the subset of Outcomes usable as a
 	// Classification.
@@ -60,11 +77,17 @@ type BatchResult struct {
 	LatticeViolations [][2]Criterion
 }
 
-// Err returns the first criterion error in AllCriteria order, nil if
-// every attempted checker completed (timeouts are not errors).
+// Err returns the first criterion error in AllCriteria order (then
+// ExtraChecker order), nil if every attempted checker completed
+// (timeouts are not errors).
 func (r *BatchResult) Err() error {
 	for _, c := range AllCriteria {
 		if o, ok := r.Outcomes[c]; ok && o.Err != nil {
+			return o.Err
+		}
+	}
+	for _, o := range r.ExtraOutcomes {
+		if o.Err != nil {
 			return o.Err
 		}
 	}
@@ -74,20 +97,25 @@ func (r *BatchResult) Err() error {
 // BatchOptions tunes ClassifyAll.
 type BatchOptions struct {
 	// Options is passed to every checker invocation (MaxNodes,
-	// Parallelism for the per-history causal searches, ...). The
-	// Interrupt field must be nil; the engine installs its own.
+	// Parallelism for the per-history causal searches, ...). The Stats
+	// field must be nil; the engine installs a private one per check
+	// and reports the count in CriterionOutcome.Explored.
 	Options
 	// Workers bounds the number of histories classified concurrently;
 	// 0 means GOMAXPROCS.
 	Workers int
 	// Timeout bounds each (history, criterion) check's wall-clock time;
 	// 0 means no timeout. A timed-out check reports TimedOut instead of
-	// a verdict and the search is interrupted promptly (see
-	// Options.Interrupt).
+	// a verdict: the engine runs the checker under a context deadline,
+	// which the search polls every few thousand nodes, so the check
+	// returns within its poll interval of the deadline.
 	Timeout time.Duration
 	// Criteria selects the checkers to run; nil means AllCriteria
 	// (with CM auto-skipped on non-memory histories).
 	Criteria []Criterion
+	// Extra lists caller-defined criteria to run in addition to
+	// Criteria.
+	Extra []ExtraChecker
 }
 
 func (o BatchOptions) workers() int {
@@ -105,14 +133,18 @@ func (o BatchOptions) criteria() []Criterion {
 }
 
 // classifyOne runs every requested criterion on one item.
-func classifyOne(it BatchItem, opt BatchOptions) BatchResult {
+func classifyOne(ctx context.Context, it BatchItem, opt BatchOptions) BatchResult {
 	res := BatchResult{
 		Item:     it,
 		Outcomes: make(map[Criterion]CriterionOutcome),
 		Class:    make(Classification),
 	}
 	for _, c := range opt.criteria() {
-		out := checkWithTimeout(c, it.H, opt.Options, opt.Timeout)
+		out := checkWithTimeout(ctx, opt.Options, opt.Timeout,
+			func(ctx context.Context, o Options) (bool, error) {
+				ok, _, err := Check(ctx, c, it.H, o)
+				return ok, err
+			})
 		if errors.Is(out.Err, ErrNotMemory) {
 			continue // criterion not applicable, mirror Classify
 		}
@@ -121,53 +153,53 @@ func classifyOne(it BatchItem, opt BatchOptions) BatchResult {
 			res.Class[c] = out.Satisfied
 		}
 	}
+	for _, ex := range opt.Extra {
+		fn := ex.Fn
+		out := checkWithTimeout(ctx, opt.Options, opt.Timeout,
+			func(ctx context.Context, o Options) (bool, error) {
+				ok, _, err := fn(ctx, it.H, o)
+				return ok, err
+			})
+		if errors.Is(out.Err, ErrNotMemory) {
+			continue
+		}
+		if res.ExtraOutcomes == nil {
+			res.ExtraOutcomes = make(map[string]CriterionOutcome)
+		}
+		res.ExtraOutcomes[ex.Name] = out
+	}
 	res.LatticeViolations = VerifyImplications(res.Class)
 	return res
 }
 
-// checkWithTimeout runs one checker, bounding its wall-clock time.
-// The timeout path sets an interrupt flag the search-based checkers
-// poll every few thousand nodes, so the worker goroutine below is
-// reclaimed almost immediately after the timer fires; the engine still
-// waits only for the timer, not the unwind.
-func checkWithTimeout(c Criterion, h *history.History, opt Options, timeout time.Duration) CriterionOutcome {
+// checkWithTimeout runs one checker, bounding its wall-clock time with
+// a context deadline. The search-based checkers poll the context every
+// few thousand nodes, so the call returns within that poll interval of
+// the deadline — no helper goroutine is needed. A deadline raised by
+// the per-criterion timer reports TimedOut; a cancellation (or earlier
+// deadline) of the batch context itself surfaces as the outcome error.
+func checkWithTimeout(ctx context.Context, opt Options, timeout time.Duration, fn func(context.Context, Options) (bool, error)) CriterionOutcome {
 	start := time.Now()
-	if timeout <= 0 {
-		ok, _, err := Check(c, h, opt)
-		return outcome(ok, err, false, start)
+	stats := &Stats{}
+	opt.Stats = stats
+	cctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
-	intr := &atomic.Bool{}
-	opt.Interrupt = intr
-	type reply struct {
-		ok  bool
-		err error
+	ok, err := fn(cctx, opt)
+	timedOut := false
+	if timeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctxErr(ctx) == nil {
+		// The per-criterion timer fired, not the caller's context.
+		ok, err, timedOut = false, nil, true
 	}
-	done := make(chan reply, 1)
-	go func() {
-		ok, _, err := Check(c, h, opt)
-		done <- reply{ok, err}
-	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case r := <-done:
-		if errors.Is(r.err, ErrInterrupted) {
-			// The timer fired while the reply was in flight.
-			return outcome(false, nil, true, start)
-		}
-		return outcome(r.ok, r.err, false, start)
-	case <-timer.C:
-		intr.Store(true)
-		return outcome(false, nil, true, start)
-	}
-}
-
-func outcome(ok bool, err error, timedOut bool, start time.Time) CriterionOutcome {
 	return CriterionOutcome{
 		Satisfied:      ok,
 		TimedOut:       timedOut,
 		BudgetExceeded: errors.Is(err, ErrBudget),
 		Err:            err,
+		Explored:       stats.Nodes,
 		Elapsed:        time.Since(start),
 	}
 }
@@ -177,8 +209,14 @@ func outcome(ok bool, err error, timedOut bool, start time.Time) CriterionOutcom
 // BatchItem.Index to restore input order) and is closed once every
 // item has been classified. The items channel must be closed by the
 // producer; consuming the result channel to the end is required to
-// release the workers.
-func ClassifyAll(items <-chan BatchItem, opt BatchOptions) <-chan BatchResult {
+// release the workers. Cancelling ctx makes in-flight checks unwind
+// within their poll interval; the remaining items still flow through
+// (draining the input keeps producers unblocked), each reporting
+// ctx.Err() in its outcomes.
+func ClassifyAll(ctx context.Context, items <-chan BatchItem, opt BatchOptions) <-chan BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make(chan BatchResult, opt.workers())
 	var wg sync.WaitGroup
 	wg.Add(opt.workers())
@@ -186,7 +224,7 @@ func ClassifyAll(items <-chan BatchItem, opt BatchOptions) <-chan BatchResult {
 		go func() {
 			defer wg.Done()
 			for it := range items {
-				out <- classifyOne(it, opt)
+				out <- classifyOne(ctx, it, opt)
 			}
 		}()
 	}
@@ -199,7 +237,7 @@ func ClassifyAll(items <-chan BatchItem, opt BatchOptions) <-chan BatchResult {
 
 // ClassifyBatch is ClassifyAll over a slice, returning results in
 // input order. Index is overwritten with the slice position.
-func ClassifyBatch(items []BatchItem, opt BatchOptions) []BatchResult {
+func ClassifyBatch(ctx context.Context, items []BatchItem, opt BatchOptions) []BatchResult {
 	in := make(chan BatchItem)
 	go func() {
 		for i, it := range items {
@@ -209,7 +247,7 @@ func ClassifyBatch(items []BatchItem, opt BatchOptions) []BatchResult {
 		close(in)
 	}()
 	res := make([]BatchResult, len(items))
-	for r := range ClassifyAll(in, opt) {
+	for r := range ClassifyAll(ctx, in, opt) {
 		res[r.Item.Index] = r
 	}
 	return res

@@ -1,13 +1,14 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
-	"repro/internal/history"
+	"github.com/paper-repro/ccbm/internal/history"
 )
 
 // TestErrBudgetExceededTyped pins the typed budget error contract:
@@ -17,7 +18,7 @@ import (
 // distinguish resource exhaustion from real verdicts.
 func TestErrBudgetExceededTyped(t *testing.T) {
 	h := history.MustParse("adt: M[a-e]\np0: wa(1) wc(2) wd(1) rb/0 re/1 rc/3\np1: wb(1) wc(3) we(1) ra/0 rd/1 rc/3")
-	_, _, err := Check(CritCCv, h, Options{MaxNodes: 10})
+	_, _, err := Check(context.Background(), CritCCv, h, Options{MaxNodes: 10})
 	if err == nil {
 		t.Fatal("MaxNodes=10 did not exhaust the budget")
 	}
@@ -36,7 +37,7 @@ func TestErrBudgetExceededTyped(t *testing.T) {
 	}
 
 	// Through Classify's %w wrapping.
-	_, cerr := Classify(h, Options{MaxNodes: 10})
+	_, cerr := Classify(context.Background(), h, Options{MaxNodes: 10})
 	if cerr == nil {
 		t.Fatal("Classify did not surface the budget error")
 	}
@@ -65,7 +66,7 @@ func TestClassifyBatchMatchesClassify(t *testing.T) {
 		h := randomHistory(r)
 		items = append(items, BatchItem{Name: fmt.Sprintf("random-%d", i), H: h})
 	}
-	res := ClassifyBatch(items, BatchOptions{Workers: 4})
+	res := ClassifyBatch(context.Background(), items, BatchOptions{Workers: 4})
 	if len(res) != len(items) {
 		t.Fatalf("got %d results for %d items", len(res), len(items))
 	}
@@ -79,7 +80,7 @@ func TestClassifyBatchMatchesClassify(t *testing.T) {
 		if len(r.LatticeViolations) > 0 {
 			t.Fatalf("%s: lattice violations %v", r.Item.Name, r.LatticeViolations)
 		}
-		want, err := Classify(items[i].H, Options{})
+		want, err := Classify(context.Background(), items[i].H, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func TestClassifyAllStreams(t *testing.T) {
 		close(in)
 	}()
 	seen := make(map[int]bool)
-	for r := range ClassifyAll(in, BatchOptions{Workers: 3}) {
+	for r := range ClassifyAll(context.Background(), in, BatchOptions{Workers: 3}) {
 		if seen[r.Item.Index] {
 			t.Fatalf("index %d delivered twice", r.Item.Index)
 		}
@@ -123,7 +124,7 @@ func TestClassifyAllStreams(t *testing.T) {
 // failing the whole batch.
 func TestClassifyBatchBudget(t *testing.T) {
 	items := batchCorpus(t)
-	res := ClassifyBatch(items[7:8], BatchOptions{Options: Options{MaxNodes: 10}})
+	res := ClassifyBatch(context.Background(), items[7:8], BatchOptions{Options: Options{MaxNodes: 10}})
 	o, ok := res[0].Outcomes[CritCCv]
 	if !ok {
 		t.Fatal("no CCv outcome")
@@ -146,7 +147,7 @@ func TestClassifyBatchBudget(t *testing.T) {
 func TestClassifyBatchTimeout(t *testing.T) {
 	items := batchCorpus(t)[7:8] // 3h: the 12-event memory history
 	start := time.Now()
-	res := ClassifyBatch(items, BatchOptions{Timeout: time.Nanosecond})
+	res := ClassifyBatch(context.Background(), items, BatchOptions{Timeout: time.Nanosecond})
 	if el := time.Since(start); el > 30*time.Second {
 		t.Fatalf("timeout batch took %v", el)
 	}
@@ -168,8 +169,8 @@ func TestClassifyBatchTimeout(t *testing.T) {
 
 	// And with a generous timeout nothing times out and verdicts match
 	// the plain path.
-	res = ClassifyBatch(items, BatchOptions{Timeout: time.Minute})
-	want, err := Classify(items[0].H, Options{})
+	res = ClassifyBatch(context.Background(), items, BatchOptions{Timeout: time.Minute})
+	want, err := Classify(context.Background(), items[0].H, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,12 @@
 package check
 
 import (
+	"context"
 	"math/bits"
 
-	"repro/internal/history"
-	"repro/internal/porder"
-	"repro/internal/xhash"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // The causal-family checkers (WCC, CC, CCv) share one search skeleton.
@@ -446,26 +447,32 @@ func (cs *causalSearcher) checkEvent(e int, past porder.Bitset, fr *csFrame) ([]
 	return lin, ok
 }
 
-func runCausal(h *history.History, kind causalKind, opt Options) (bool, *Witness, error) {
+func runCausal(ctx context.Context, h *history.History, kind causalKind, opt Options) (bool, *Witness, error) {
 	if err := validateOmega(h); err != nil {
 		return false, nil, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return false, nil, err
+	}
 	if opt.parallelism() > 1 && h.N() >= minParallelEvents {
-		return runCausalParallel(h, kind, opt)
+		return runCausalParallel(ctx, h, kind, opt)
 	}
 	cs := newCausalSearcher(h, kind, opt.maxNodes())
-	if opt.Interrupt != nil {
+	if opt.Stats != nil {
+		defer func() { opt.Stats.Nodes += cs.explored(opt.maxNodes()) }()
+	}
+	if ctx != nil && ctx.Done() != nil {
 		// Route the budget through a chunked pool so the searcher polls
-		// the interrupt flag at least every feederChunk nodes. The node
-		// count at which the budget runs out is unchanged (the pool
-		// hands out exactly maxNodes in total).
-		cs.feed = newFeeder(newBudgetPool(opt.maxNodes()), opt.Interrupt, nil, cs.budget)
+		// ctx.Err() at least every feederChunk nodes. The node count at
+		// which the budget runs out is unchanged (the pool hands out
+		// exactly maxNodes in total).
+		cs.feed = newFeeder(newBudgetPool(opt.maxNodes()), ctx, nil, cs.budget)
 		cs.ls.feed = cs.feed
 		cs.budgetVal = 0
 	}
 	ok := cs.run()
 	if cs.feed != nil && cs.feed.interrupted {
-		return false, nil, ErrInterrupted
+		return false, nil, ctx.Err()
 	}
 	if cs.budgetVal < 0 {
 		return false, nil, ErrBudget
@@ -474,6 +481,17 @@ func runCausal(h *history.History, kind causalKind, opt Options) (bool, *Witness
 		return false, nil, nil
 	}
 	return true, cs.witness(), nil
+}
+
+// explored returns the number of nodes this searcher consumed out of
+// an initial budget of `total`, whether the countdown was local or
+// routed through a feeder's chunked pool.
+func (cs *causalSearcher) explored(total int) int64 {
+	var pool *budgetPool
+	if cs.feed != nil {
+		pool = cs.feed.pool
+	}
+	return spentNodes(total, pool, cs.budgetVal)
 }
 
 // witness clones the committed pasts and per-event linearizations out
@@ -519,22 +537,22 @@ func (cs *causalSearcher) witness() *Witness {
 // its ADT (Def. 8): there is a causal order → such that every event's
 // output is explained by some linearization of its causal past with all
 // other outputs hidden.
-func WCC(h *history.History, opt Options) (bool, *Witness, error) {
-	return runCausal(h, kindWCC, opt)
+func WCC(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error) {
+	return runCausal(ctx, h, kindWCC, opt)
 }
 
 // CC reports whether the history is causally consistent with its ADT
 // (Def. 9): there is a causal order → such that every event's causal
 // past has a linearization that additionally reproduces the outputs of
 // the event's own process.
-func CC(h *history.History, opt Options) (bool, *Witness, error) {
-	return runCausal(h, kindCC, opt)
+func CC(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error) {
+	return runCausal(ctx, h, kindCC, opt)
 }
 
 // CCv reports whether the history is causally convergent with its ADT
 // (Def. 12): there are a causal order → and a total order ≤ ⊇ → such
 // that each event is explained by its causal past linearized in the
 // shared order ≤.
-func CCv(h *history.History, opt Options) (bool, *Witness, error) {
-	return runCausal(h, kindCCv, opt)
+func CCv(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error) {
+	return runCausal(ctx, h, kindCCv, opt)
 }

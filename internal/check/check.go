@@ -1,10 +1,11 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
-	"repro/internal/history"
+	"github.com/paper-repro/ccbm/internal/history"
 )
 
 // Criterion identifies one of the consistency criteria studied in the
@@ -71,34 +72,38 @@ func (e *ErrBudgetExceeded) Error() string {
 // checkers return.
 func (e *ErrBudgetExceeded) Unwrap() error { return ErrBudget }
 
-// Check runs a single criterion's checker. Budget exhaustion surfaces
-// as *ErrBudgetExceeded carrying the criterion and the budget.
-func Check(c Criterion, h *history.History, opt Options) (bool, *Witness, error) {
-	ok, w, err := checkRaw(c, h, opt)
+// Check runs a single criterion's checker. A cancelled or expired
+// context surfaces as ctx.Err(); budget exhaustion surfaces as
+// *ErrBudgetExceeded carrying the criterion and the budget.
+func Check(ctx context.Context, c Criterion, h *history.History, opt Options) (bool, *Witness, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ok, w, err := checkRaw(ctx, c, h, opt)
 	if errors.Is(err, ErrBudget) && !errors.As(err, new(*ErrBudgetExceeded)) {
 		err = &ErrBudgetExceeded{Criterion: c, MaxNodes: opt.maxNodes()}
 	}
 	return ok, w, err
 }
 
-func checkRaw(c Criterion, h *history.History, opt Options) (bool, *Witness, error) {
+func checkRaw(ctx context.Context, c Criterion, h *history.History, opt Options) (bool, *Witness, error) {
 	switch c {
 	case CritEC:
-		return EC(h, opt)
+		return EC(ctx, h, opt)
 	case CritUC:
-		return UC(h, opt)
+		return UC(ctx, h, opt)
 	case CritPC:
-		return PC(h, opt)
+		return PC(ctx, h, opt)
 	case CritWCC:
-		return WCC(h, opt)
+		return WCC(ctx, h, opt)
 	case CritCCv:
-		return CCv(h, opt)
+		return CCv(ctx, h, opt)
 	case CritCC:
-		return CC(h, opt)
+		return CC(ctx, h, opt)
 	case CritCM:
-		return CM(h, opt)
+		return CM(ctx, h, opt)
 	case CritSC:
-		return SC(h, opt)
+		return SC(ctx, h, opt)
 	default:
 		return false, nil, fmt.Errorf("check: unknown criterion %v", c)
 	}
@@ -110,10 +115,10 @@ type Classification map[Criterion]bool
 // Classify runs every applicable checker on the history. CM is only
 // attempted on memory histories; its absence from the result map means
 // "not applicable". Checkers that exceed their budget surface an error.
-func Classify(h *history.History, opt Options) (Classification, error) {
+func Classify(ctx context.Context, h *history.History, opt Options) (Classification, error) {
 	out := make(Classification, len(AllCriteria))
 	for _, c := range AllCriteria {
-		ok, _, err := Check(c, h, opt)
+		ok, _, err := Check(ctx, c, h, opt)
 		if err != nil {
 			if c == CritCM && err == ErrNotMemory {
 				continue

@@ -1,10 +1,11 @@
 package check_test
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/check"
-	"repro/internal/history"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/history"
 )
 
 // TestCMBasic: a trivially causal memory history is CM, and a read of a
@@ -14,7 +15,7 @@ func TestCMBasic(t *testing.T) {
 p0: wx(1)
 p1: rx/1 wy(2)
 p2: ry/2 rx/1`)
-	ok, w, err := check.CM(h, check.Options{})
+	ok, w, err := check.CM(context.Background(), h, check.Options{})
 	if err != nil || !ok {
 		t.Fatalf("CM = %v %v", ok, err)
 	}
@@ -23,7 +24,7 @@ p2: ry/2 rx/1`)
 	}
 	bad := history.MustParse(`adt: M[x]
 p0: rx/9`)
-	ok, _, err = check.CM(bad, check.Options{})
+	ok, _, err = check.CM(context.Background(), bad, check.Options{})
 	if err != nil || ok {
 		t.Fatalf("CM accepted a read of a never-written value (%v %v)", ok, err)
 	}
@@ -35,7 +36,7 @@ func TestCMInitialReads(t *testing.T) {
 	h := history.MustParse(`adt: M[x]
 p0: rx/0 wx(1)
 p1: rx/0 rx/1`)
-	ok, _, err := check.CM(h, check.Options{})
+	ok, _, err := check.CM(context.Background(), h, check.Options{})
 	if err != nil || !ok {
 		t.Fatalf("CM = %v %v", ok, err)
 	}
@@ -53,7 +54,7 @@ func TestCMRejectsStale(t *testing.T) {
 	h := history.MustParse(`adt: M[x,y]
 p0: ry/2 wx(1)
 p1: rx/1 wy(2)`)
-	ok, _, err := check.CM(h, check.Options{})
+	ok, _, err := check.CM(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ p1: rx/1 wy(2)`)
 func TestCMNonMemoryRejected(t *testing.T) {
 	h := history.MustParse(`adt: Queue
 p0: push(1) pop/1`)
-	if _, _, err := check.CM(h, check.Options{}); err != check.ErrNotMemory {
+	if _, _, err := check.CM(context.Background(), h, check.Options{}); err != check.ErrNotMemory {
 		t.Fatalf("err = %v, want ErrNotMemory", err)
 	}
 	if _, err := check.Sessions(h, check.Options{}); err != check.ErrNotMemory {
@@ -82,11 +83,11 @@ func TestCMFigure3iMiniature(t *testing.T) {
 p0: wa(1) wa(2) wb(3) rd/3 rc/1 wa(1)
 p1: wc(1) wc(2) wd(3) rb/3 ra/1 wc(1)`
 	h := history.MustParse(f)
-	cm, _, err := check.CM(h, check.Options{})
+	cm, _, err := check.CM(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cc, _, err := check.CC(h, check.Options{})
+	cc, _, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

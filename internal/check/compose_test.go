@@ -1,14 +1,15 @@
 package check_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/history"
-	"repro/internal/paperfig"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/paperfig"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // projectRegister extracts the sub-history of a memory history that
@@ -42,7 +43,7 @@ func TestNonComposability(t *testing.T) {
 	}
 	h := f.History()
 
-	whole, _, err := check.CC(h, check.Options{})
+	whole, _, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestNonComposability(t *testing.T) {
 		if sub.N() == 0 {
 			t.Fatalf("register %s has no events", reg)
 		}
-		ok, _, err := check.CC(sub, check.Options{})
+		ok, _, err := check.CC(context.Background(), sub, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,13 +74,13 @@ func TestProjectionsOfSCHistoryAreSC(t *testing.T) {
 	h := history.MustParse(`adt: M[x,y]
 p0: wx(1) ry/2
 p1: wy(2) rx/1`)
-	ok, _, err := check.SC(h, check.Options{})
+	ok, _, err := check.SC(context.Background(), h, check.Options{})
 	if err != nil || !ok {
 		t.Fatalf("base history should be SC (ok=%v err=%v)", ok, err)
 	}
 	for _, reg := range []string{"x", "y"} {
 		sub := projectRegister(t, h, reg)
-		ok, _, err := check.SC(sub, check.Options{})
+		ok, _, err := check.SC(context.Background(), sub, check.Options{})
 		if err != nil || !ok {
 			t.Fatalf("projection on %s not SC (ok=%v err=%v)", reg, ok, err)
 		}

@@ -1,16 +1,17 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
 	"strings"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/history"
-	"repro/internal/porder"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // This file is the safety net for the allocation-free search core: a
@@ -454,7 +455,7 @@ func compareCores(t *testing.T, h *history.History, label string) {
 	t.Helper()
 	opt := Options{MaxNodes: 500_000}
 	for _, c := range diffCriteria {
-		got, _, gotErr := Check(c, h, opt)
+		got, _, gotErr := Check(context.Background(), c, h, opt)
 		want, wantErr := refCheck(c, h, opt)
 		if got != want || (gotErr == nil) != (wantErr == nil) {
 			t.Errorf("%s: %v: new core = (%v, %v), reference = (%v, %v)\nhistory:\n%s",
@@ -637,14 +638,14 @@ func TestCCvFig3eMemoSoundness(t *testing.T) {
 	h := history.MustParse(`adt: Queue
 p0: push(1) pop/1 pop/1 push(3)
 p1: push(2) pop/3 push(1)`)
-	ccv, _, err := CCv(h, Options{})
+	ccv, _, err := CCv(context.Background(), h, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ccv {
 		t.Error("CCv(fig3e) = false, want true (the seed's unsound memo verdict)")
 	}
-	cc, _, err := CC(h, Options{})
+	cc, _, err := CC(context.Background(), h, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,10 @@
 package check
 
 import (
-	"repro/internal/history"
-	"repro/internal/porder"
+	"context"
+
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
 )
 
 // EC reports whether the history is eventually consistent in the sense
@@ -13,8 +15,11 @@ import (
 // (nothing is observed "at infinity"). Note that plain EC does not
 // require the common state to be justified by any ordering of the
 // updates — see UC for the strengthened version.
-func EC(h *history.History, opt Options) (bool, *Witness, error) {
+func EC(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error) {
 	if err := validateOmega(h); err != nil {
+		return false, nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return false, nil, err
 	}
 	type slot struct {
@@ -45,11 +50,13 @@ func EC(h *history.History, opt Options) (bool, *Witness, error) {
 // order. Causal convergence is strictly stronger (it additionally makes
 // the shared order a causal order and constrains every event, not only
 // the limit reads).
-func UC(h *history.History, opt Options) (bool, *Witness, error) {
+func UC(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error) {
 	if err := validateOmega(h); err != nil {
 		return false, nil, err
 	}
-	budget := opt.maxNodes()
+	if err := ctxErr(ctx); err != nil {
+		return false, nil, err
+	}
 	updates := h.UpdatesView()
 	omega := h.OmegaView()
 	if omega.Empty() {
@@ -58,8 +65,9 @@ func UC(h *history.History, opt Options) (bool, *Witness, error) {
 
 	// Search over linearizations of the updates (respecting program
 	// order among them); at the end, check every ω-event.
-	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
-	feed := ls.attachInterrupt(opt, &budget)
+	run := newSearchRun(ctx, opt)
+	defer run.record(opt)
+	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &run.budget, feed: run.feed}
 
 	// Build an include set of updates plus ω-events, with every update
 	// preceding every ω-event; ω outputs are visible, update outputs
@@ -82,11 +90,8 @@ func UC(h *history.History, opt Options) (bool, *Witness, error) {
 		preds[e] = p
 	}
 	order, ok := ls.findLin(include, visible, preds)
-	if feed.wasInterrupted() {
-		return false, nil, ErrInterrupted
-	}
-	if budget < 0 {
-		return false, nil, ErrBudget
+	if err := run.err(); err != nil {
+		return false, nil, err
 	}
 	if !ok {
 		return false, nil, nil

@@ -1,16 +1,17 @@
 package check_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/history"
-	"repro/internal/spec"
-	"repro/internal/workload"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/workload"
 )
 
 // TestSequentialExecutionsAreSC: any history obtained by running the
@@ -41,7 +42,7 @@ func TestSequentialExecutionsAreSC(t *testing.T) {
 			b.Append(proc, spec.NewOp(in, out))
 		}
 		h := b.Build()
-		ok, _, err := check.SC(h, check.Options{})
+		ok, _, err := check.SC(context.Background(), h, check.Options{})
 		return err == nil && ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
@@ -56,7 +57,7 @@ func TestSCWitnessIsValid(t *testing.T) {
 		cfg := workload.Config{Procs: 2, Ops: 8, Streams: 2, Size: 2, WriteRatio: 0.5, Seed: seed, MaxStepsBetween: 6}
 		res := workload.Run(core.ModeCC, cfg)
 		h := res.Cluster.Recorder.History()
-		ok, w, err := check.SC(h, check.Options{})
+		ok, w, err := check.SC(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func TestSCWitnessIsValid(t *testing.T) {
 func TestCCWitnessPastsAreDownwardClosed(t *testing.T) {
 	f, _ := paperFixture3e()
 	h := f
-	ok, w, err := check.CC(h, check.Options{})
+	ok, w, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil || !ok {
 		t.Fatalf("CC(3e history variant) = %v %v", ok, err)
 	}
@@ -128,7 +129,7 @@ func TestBudgetExhaustion(t *testing.T) {
 	h := history.MustParse(`adt: W2
 p0: w(1) r/(0,1) w(3) r/(1,3)
 p1: w(2) r/(0,2) w(4) r/(2,4)`)
-	_, _, err := check.CC(h, check.Options{MaxNodes: 5})
+	_, _, err := check.CC(context.Background(), h, check.Options{MaxNodes: 5})
 	if err != check.ErrBudget {
 		t.Fatalf("err = %v, want ErrBudget", err)
 	}
@@ -139,7 +140,7 @@ func TestOmegaUpdateRejected(t *testing.T) {
 	h := history.MustParse(`adt: W2
 p0: w(1)*`)
 	for _, c := range []check.Criterion{check.CritSC, check.CritPC, check.CritWCC, check.CritCC, check.CritCCv, check.CritEC, check.CritUC} {
-		if _, _, err := check.Check(c, h, check.Options{}); err != check.ErrOmegaUpdate {
+		if _, _, err := check.Check(context.Background(), c, h, check.Options{}); err != check.ErrOmegaUpdate {
 			t.Errorf("%v: err = %v, want ErrOmegaUpdate", c, err)
 		}
 	}
@@ -155,11 +156,11 @@ func TestUCSeparation(t *testing.T) {
 	h := history.MustParse(`adt: W2
 p0: w(1) w(2) r/(2,1)*
 p1: r/(2,1)*`)
-	ec, _, err := check.EC(h, check.Options{})
+	ec, _, err := check.EC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	uc, _, err := check.UC(h, check.Options{})
+	uc, _, err := check.UC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestUCWitness(t *testing.T) {
 	h := history.MustParse(`adt: W2
 p0: w(1) r/(1,2)*
 p1: w(2) r/(1,2)*`)
-	ok, w, err := check.UC(h, check.Options{})
+	ok, w, err := check.UC(context.Background(), h, check.Options{})
 	if err != nil || !ok {
 		t.Fatalf("UC = %v %v", ok, err)
 	}
@@ -188,7 +189,7 @@ func TestECDisagreementDetected(t *testing.T) {
 	h := history.MustParse(`adt: W2
 p0: w(1) r/(0,1)*
 p1: w(2) r/(0,2)*`)
-	ok, _, err := check.EC(h, check.Options{})
+	ok, _, err := check.EC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestECNoOmegaTrivial(t *testing.T) {
 	h := history.MustParse(`adt: W2
 p0: w(1) r/(0,2)`)
 	for _, c := range []check.Criterion{check.CritEC, check.CritUC} {
-		ok, _, err := check.Check(c, h, check.Options{})
+		ok, _, err := check.Check(context.Background(), c, h, check.Options{})
 		if err != nil || !ok {
 			t.Fatalf("%v on ω-free history = %v %v, want true", c, ok, err)
 		}
@@ -233,8 +234,8 @@ func TestCheckerDeterminism(t *testing.T) {
 		cfg := workload.Config{Procs: 3, Ops: 8, Streams: 2, Size: 2, WriteRatio: 0.5, Seed: rng.Int63(), MaxStepsBetween: 3}
 		res := workload.Run(core.ModeCC, cfg)
 		h := res.Cluster.Recorder.History()
-		ok1, w1, err1 := check.CC(h, check.Options{})
-		ok2, w2, err2 := check.CC(h, check.Options{})
+		ok1, w1, err1 := check.CC(context.Background(), h, check.Options{})
+		ok2, w2, err2 := check.CC(context.Background(), h, check.Options{})
 		if ok1 != ok2 || (err1 == nil) != (err2 == nil) {
 			t.Fatal("nondeterministic verdict")
 		}
@@ -264,7 +265,7 @@ func TestGeneralProgramOrders(t *testing.T) {
 	b.Edge(right, join)
 	h := b.Build()
 	for _, c := range []check.Criterion{check.CritSC, check.CritCC, check.CritWCC, check.CritCCv} {
-		ok, _, err := check.Check(c, h, check.Options{})
+		ok, _, err := check.Check(context.Background(), c, h, check.Options{})
 		if err != nil || !ok {
 			t.Fatalf("%v on fork/join history = %v %v, want true", c, ok, err)
 		}

@@ -1,11 +1,12 @@
 package check_test
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/check"
-	"repro/internal/history"
-	"repro/internal/paperfig"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/paperfig"
 )
 
 // TestFig3Classification verifies every caption claim of the paper's
@@ -23,7 +24,7 @@ func TestFig3Classification(t *testing.T) {
 				if claim.OmegaReading {
 					h = omega
 				}
-				got, _, err := check.Check(claim.Criterion, h, check.Options{})
+				got, _, err := check.Check(context.Background(), claim.Criterion, h, check.Options{})
 				if err != nil {
 					t.Fatalf("%s: %v checker failed: %v", f.Name, claim.Criterion, err)
 				}
@@ -51,7 +52,7 @@ func TestFig3aDetailed(t *testing.T) {
 		check.CritCC:  false,
 		check.CritSC:  false,
 	}
-	cl, err := check.Classify(h, check.Options{})
+	cl, err := check.Classify(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFig3bBothReadings(t *testing.T) {
 	for crit, want := range map[check.Criterion]bool{
 		check.CritPC: true, check.CritWCC: true, check.CritSC: false,
 	} {
-		got, _, err := check.Check(crit, finite, check.Options{})
+		got, _, err := check.Check(context.Background(), crit, finite, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func TestFig3bBothReadings(t *testing.T) {
 		check.CritPC: false, check.CritWCC: false, check.CritEC: false,
 		check.CritUC: false, check.CritCCv: false,
 	} {
-		got, _, err := check.Check(crit, omega, check.Options{})
+		got, _, err := check.Check(context.Background(), crit, omega, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestFig3bBothReadings(t *testing.T) {
 func TestFig3cWitness(t *testing.T) {
 	f, _ := paperfig.Fig3ByName("3c")
 	h := f.History()
-	ok, w, err := check.CC(h, check.Options{})
+	ok, w, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil || !ok {
 		t.Fatalf("CC(3c) = %v, %v; want true", ok, err)
 	}
@@ -124,7 +125,7 @@ func TestFig3cWitness(t *testing.T) {
 func TestFig3gNoLostValues(t *testing.T) {
 	f, _ := paperfig.Fig3ByName("3g")
 	h := f.History()
-	ok, _, err := check.CC(h, check.Options{})
+	ok, _, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestFig3iSessionGuaranteesRejected(t *testing.T) {
 func TestFig3ImplicationsHold(t *testing.T) {
 	for _, f := range paperfig.Fig3() {
 		for _, h := range []*history.History{f.History(), f.FiniteHistory()} {
-			cl, err := check.Classify(h, check.Options{})
+			cl, err := check.Classify(context.Background(), h, check.Options{})
 			if err != nil {
 				t.Fatalf("%s: %v", f.Name, err)
 			}

@@ -1,11 +1,12 @@
 package check
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/history"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Sec. 2.2 allows the program order to be ANY partial order with
@@ -48,7 +49,7 @@ func TestForkJoinReadSeesAJoinedWrite(t *testing.T) {
 	} {
 		h := forkJoinHistory(tc.out)
 		for _, crit := range []Criterion{CritWCC, CritCC, CritCCv, CritSC} {
-			ok, _, err := Check(crit, h, Options{})
+			ok, _, err := Check(context.Background(), crit, h, Options{})
 			if err != nil {
 				t.Fatalf("out=%d %v: %v", tc.out, crit, err)
 			}
@@ -62,7 +63,7 @@ func TestForkJoinReadSeesAJoinedWrite(t *testing.T) {
 func TestForkJoinHierarchyHolds(t *testing.T) {
 	// The Fig. 1 arrows hold on DAG program orders too.
 	for _, out := range []int{0, 1, 2, 9} {
-		cl, err := Classify(forkJoinHistory(out), Options{})
+		cl, err := Classify(context.Background(), forkJoinHistory(out), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func TestDiamondConcurrentBranches(t *testing.T) {
 		return b.Build()
 	}
 	// Reading 1 then 2 is causally consistent (w1 delivered, then w2).
-	ok, _, err := CC(build(1, 2), Options{})
+	ok, _, err := CC(context.Background(), build(1, 2), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestDiamondConcurrentBranches(t *testing.T) {
 	b.Append(3, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
 	b.Append(3, spec.NewOp(spec.NewInput("r"), spec.IntOutput(2)))
 	b.Append(3, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
-	ok, _, err = CC(b.Build(), Options{})
+	ok, _, err = CC(context.Background(), b.Build(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

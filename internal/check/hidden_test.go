@@ -1,11 +1,12 @@
 package check
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/history"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Histories may contain hidden operations (Def. 2): the method called
@@ -27,7 +28,7 @@ func hiddenCounterHistory() *history.History {
 func TestHiddenUpdatesAcceptedByAllCriteria(t *testing.T) {
 	h := hiddenCounterHistory()
 	for _, crit := range []Criterion{CritSC, CritCC, CritCCv, CritWCC, CritPC, CritEC, CritUC} {
-		ok, _, err := Check(crit, h, Options{})
+		ok, _, err := Check(context.Background(), crit, h, Options{})
 		if err != nil {
 			t.Fatalf("%v: %v", crit, err)
 		}
@@ -47,7 +48,7 @@ func TestHiddenQueryOutputUnconstrained(t *testing.T) {
 	b.Append(0, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
 	h := b.Build()
 	for _, crit := range []Criterion{CritSC, CritCC, CritCCv, CritWCC, CritPC} {
-		ok, _, err := Check(crit, h, Options{})
+		ok, _, err := Check(context.Background(), crit, h, Options{})
 		if err != nil {
 			t.Fatalf("%v: %v", crit, err)
 		}
@@ -63,7 +64,7 @@ func TestHiddenQueryOutputUnconstrained(t *testing.T) {
 	b2.Append(0, spec.NewOp(spec.NewInput("r"), spec.IntOutput(99)))
 	b2.Append(0, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
 	h2 := b2.Build()
-	ok, _, err := SC(h2, Options{})
+	ok, _, err := SC(context.Background(), h2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,29 +27,27 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"math/bits"
-	"sync/atomic"
 
-	"repro/internal/history"
-	"repro/internal/porder"
-	"repro/internal/spec"
-	"repro/internal/xhash"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // ErrBudget is returned when a search exceeds Options.MaxNodes.
 var ErrBudget = errors.New("check: search budget exceeded")
 
-// ErrInterrupted is returned when a search is abandoned because
-// Options.Interrupt was set (typically by a batch caller's per-criterion
-// timeout, see ClassifyAll) before the search could finish.
-var ErrInterrupted = errors.New("check: search interrupted")
-
 // ErrOmegaUpdate is returned when a history marks an update operation
 // as ω-repeating; the encoding only supports repeating pure queries.
 var ErrOmegaUpdate = errors.New("check: ω-events must be pure queries")
 
-// Options tunes the search procedures.
+// Options tunes the search procedures. Cancellation and deadlines are
+// not options: every search-based checker takes a context.Context and
+// polls ctx.Err() at least every feederChunk explored nodes, unwinding
+// promptly with the context's error.
 type Options struct {
 	// MaxNodes bounds the total number of search-tree nodes explored by
 	// one checker invocation; 0 means DefaultMaxNodes.
@@ -67,13 +65,17 @@ type Options struct {
 	// across histories instead).
 	Parallelism int
 
-	// Interrupt, when non-nil, is polled by every search-based checker
-	// Check dispatches to (SC, PC, UC, CM, Linearizable and the causal
-	// family; EC is a linear scan with nothing to interrupt); setting
-	// it makes the checker unwind promptly and return ErrInterrupted.
-	// It is how ClassifyAll implements per-criterion timeouts without
-	// abandoning unbounded goroutines.
-	Interrupt *atomic.Bool
+	// Stats, when non-nil, accumulates search statistics across the
+	// checker invocations that receive this Options value. It must not
+	// be shared between concurrent invocations (the batch engine
+	// installs a private one per check).
+	Stats *Stats
+}
+
+// Stats counts the work checker invocations performed.
+type Stats struct {
+	// Nodes is the number of search-tree nodes explored.
+	Nodes int64
 }
 
 // DefaultMaxNodes is the default search budget.
@@ -174,19 +176,93 @@ func (ls *linSearcher) initState() spec.State {
 	return ls.q0
 }
 
-// attachInterrupt routes the searcher's budget through a chunked pool
-// when opt.Interrupt is set, so that the search polls the flag at
-// least every feederChunk nodes; the total node budget is unchanged.
-// It returns the feeder (nil when no interrupt was requested) for the
-// caller to distinguish ErrInterrupted from ErrBudget afterwards.
-func (ls *linSearcher) attachInterrupt(opt Options, budget *int) *feeder {
-	if opt.Interrupt == nil {
+// searchRun couples one checker invocation's budget countdown with the
+// optional context-cancellation feeder and the explored-node tally.
+// When ctx is cancellable the budget is routed through a chunked pool
+// so the search polls ctx.Err() at least every feederChunk nodes; an
+// uncancellable context (context.Background(), context.TODO(), nil)
+// keeps the classic zero-overhead "count down from MaxNodes"
+// behaviour, so the hot sequential path pays nothing for the plumbing.
+type searchRun struct {
+	ctx     context.Context
+	initial int
+	budget  int
+	pool    *budgetPool
+	feed    *feeder
+}
+
+func newSearchRun(ctx context.Context, opt Options) *searchRun {
+	r := &searchRun{ctx: ctx, initial: opt.maxNodes()}
+	if ctx != nil && ctx.Done() != nil {
+		r.pool = newBudgetPool(r.initial)
+		r.feed = newFeeder(r.pool, ctx, nil, &r.budget)
+	} else {
+		r.budget = r.initial
+	}
+	return r
+}
+
+// explored returns the number of search nodes consumed so far.
+func (r *searchRun) explored() int64 {
+	return spentNodes(r.initial, r.pool, r.budget)
+}
+
+// spentNodes computes how many nodes a search consumed out of an
+// initial budget: against the chunked pool's remainder when the
+// countdown was routed through one (minus the unspent local chunk),
+// against the local countdown otherwise, clamped to [0, initial].
+// Shared by searchRun and the causal searcher so the Explored
+// statistic is accounted identically everywhere.
+func spentNodes(initial int, pool *budgetPool, local int) int64 {
+	var spent int
+	if pool != nil {
+		left := int(pool.left.Load())
+		if left < 0 {
+			left = 0
+		}
+		spent = initial - left
+		if local > 0 {
+			spent -= local
+		}
+	} else {
+		spent = initial - local
+	}
+	if spent < 0 {
+		spent = 0
+	}
+	if spent > initial {
+		spent = initial
+	}
+	return int64(spent)
+}
+
+// record adds the run's work to the caller's stats, if requested.
+func (r *searchRun) record(opt Options) {
+	if opt.Stats != nil {
+		opt.Stats.Nodes += r.explored()
+	}
+}
+
+// err translates the run's terminal state into the checker error: the
+// context's error if the search was interrupted, ErrBudget if the node
+// budget ran out, nil otherwise.
+func (r *searchRun) err() error {
+	if r.feed.wasInterrupted() {
+		return r.ctx.Err()
+	}
+	if r.budget < 0 {
+		return ErrBudget
+	}
+	return nil
+}
+
+// ctxErr is a nil-safe ctx.Err(), for the entry check every checker
+// performs so a pre-cancelled context returns before any search work.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
 		return nil
 	}
-	f := newFeeder(newBudgetPool(*budget), opt.Interrupt, nil, budget)
-	*budget = 0
-	ls.feed = f
-	return f
+	return ctx.Err()
 }
 
 // wasInterrupted is a nil-safe accessor for callers that may not have

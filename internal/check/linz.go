@@ -1,12 +1,13 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"repro/internal/history"
-	"repro/internal/porder"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // This file adds the one strong criterion the paper discusses but does
@@ -67,8 +68,11 @@ func validateTimed(ops []TimedOp) error {
 // invocations whose response was never observed can be modelled as
 // hidden with Res = +Inf) are admitted like everywhere else in the
 // package.
-func Linearizable(t spec.ADT, ops []TimedOp, opt Options) (bool, []int, error) {
+func Linearizable(ctx context.Context, t spec.ADT, ops []TimedOp, opt Options) (bool, []int, error) {
 	if err := validateTimed(ops); err != nil {
+		return false, nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return false, nil, err
 	}
 	n := len(ops)
@@ -85,15 +89,12 @@ func Linearizable(t spec.ADT, ops []TimedOp, opt Options) (bool, []int, error) {
 			}
 		}
 	}
-	budget := opt.maxNodes()
-	ls := &linSearcher{t: t, events: events, budget: &budget}
-	feed := ls.attachInterrupt(opt, &budget)
+	run := newSearchRun(ctx, opt)
+	defer run.record(opt)
+	ls := &linSearcher{t: t, events: events, budget: &run.budget, feed: run.feed}
 	order, ok := ls.findLin(porder.FullBitset(n), porder.FullBitset(n), preds)
-	if feed.wasInterrupted() {
-		return false, nil, ErrInterrupted
-	}
-	if budget < 0 {
-		return false, nil, ErrBudget
+	if err := run.err(); err != nil {
+		return false, nil, err
 	}
 	if !ok {
 		return false, nil, nil

@@ -1,12 +1,13 @@
 package check
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 func top(p int, op spec.Operation, inv, res float64) TimedOp {
@@ -21,7 +22,7 @@ func TestLinearizableFreshRead(t *testing.T) {
 		top(0, w(1), 0, 1),
 		top(1, rd(1), 2, 3),
 	}
-	ok, order, err := Linearizable(adt.Register{}, ops, Options{})
+	ok, order, err := Linearizable(context.Background(), adt.Register{}, ops, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,14 +43,14 @@ func TestStaleReadSeparatesLinFromSC(t *testing.T) {
 		top(0, w(1), 0, 1),
 		top(1, rd(0), 2, 3), // stale: reads 0 after w(1) responded
 	}
-	ok, _, err := Linearizable(adt.Register{}, ops, Options{})
+	ok, _, err := Linearizable(context.Background(), adt.Register{}, ops, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Fatal("stale read after completed write must not be linearizable")
 	}
-	sc, _, err := SC(TimedToHistory(adt.Register{}, ops), Options{})
+	sc, _, err := SC(context.Background(), TimedToHistory(adt.Register{}, ops), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestOverlappingWriteFloats(t *testing.T) {
 		top(1, rd(0), 1, 2),
 		top(1, rd(1), 3, 4),
 	}
-	ok, _, err := Linearizable(adt.Register{}, ops, Options{})
+	ok, _, err := Linearizable(context.Background(), adt.Register{}, ops, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +85,14 @@ func TestSCNotLinTwoWriters(t *testing.T) {
 		top(0, rd(1), 2, 3),
 		top(1, rd(2), 4, 5),
 	}
-	ok, _, err := Linearizable(adt.Register{}, ops, Options{})
+	ok, _, err := Linearizable(context.Background(), adt.Register{}, ops, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Fatal("value cannot change between the sequential reads without an intervening write")
 	}
-	sc, _, err := SC(TimedToHistory(adt.Register{}, ops), Options{})
+	sc, _, err := SC(context.Background(), TimedToHistory(adt.Register{}, ops), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestSCNotLinTwoWriters(t *testing.T) {
 func TestLinearizableCounter(t *testing.T) {
 	inc := spec.NewOp(spec.NewInput("inc"), spec.Bot)
 	get := func(v int) spec.Operation { return spec.NewOp(spec.NewInput("get"), spec.IntOutput(v)) }
-	ok, _, err := Linearizable(adt.Counter{}, []TimedOp{
+	ok, _, err := Linearizable(context.Background(), adt.Counter{}, []TimedOp{
 		top(0, inc, 0, 1),
 		top(1, get(0), 2, 3),
 	}, Options{})
@@ -113,7 +114,7 @@ func TestLinearizableCounter(t *testing.T) {
 	if ok {
 		t.Fatal("get/0 after a completed inc is not linearizable")
 	}
-	ok, _, err = Linearizable(adt.Counter{}, []TimedOp{
+	ok, _, err = Linearizable(context.Background(), adt.Counter{}, []TimedOp{
 		top(0, inc, 0, 1),
 		top(1, get(1), 2, 3),
 	}, Options{})
@@ -134,7 +135,7 @@ func TestPendingOperationAsHidden(t *testing.T) {
 		top(1, rd(0), 1, 2),
 		top(1, rd(1), 3, 4),
 	}
-	ok, _, err := Linearizable(adt.Register{}, ops, Options{})
+	ok, _, err := Linearizable(context.Background(), adt.Register{}, ops, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,14 +145,14 @@ func TestPendingOperationAsHidden(t *testing.T) {
 }
 
 func TestTimedValidation(t *testing.T) {
-	if _, _, err := Linearizable(adt.Register{}, []TimedOp{top(0, w(1), 2, 1)}, Options{}); err == nil {
+	if _, _, err := Linearizable(context.Background(), adt.Register{}, []TimedOp{top(0, w(1), 2, 1)}, Options{}); err == nil {
 		t.Error("inverted interval accepted")
 	}
 	ops := []TimedOp{
 		top(0, w(1), 0, 2),
 		top(0, w(2), 1, 3), // overlaps its own process
 	}
-	if _, _, err := Linearizable(adt.Register{}, ops, Options{}); err == nil {
+	if _, _, err := Linearizable(context.Background(), adt.Register{}, ops, Options{}); err == nil {
 		t.Error("overlapping same-process operations accepted")
 	}
 }
@@ -181,14 +182,14 @@ func TestSequentialExecutionsAreLinearizable(t *testing.T) {
 			q, out = reg.Step(q, in)
 			ops = append(ops, top(p, spec.NewOp(in, out), float64(i), float64(i)+0.5))
 		}
-		ok, _, err := Linearizable(reg, ops, Options{})
+		ok, _, err := Linearizable(context.Background(), reg, ops, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		if !ok {
 			t.Fatalf("seed %d: a sequential execution must be linearizable: %v", seed, ops)
 		}
-		sc, _, err := SC(TimedToHistory(reg, ops), Options{})
+		sc, _, err := SC(context.Background(), TimedToHistory(reg, ops), Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -225,7 +226,7 @@ func TestLinImpliesSCRandom(t *testing.T) {
 			clock[p] = res
 			ops = append(ops, top(p, op, inv, res))
 		}
-		ok, _, err := Linearizable(reg, ops, Options{})
+		ok, _, err := Linearizable(context.Background(), reg, ops, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -233,7 +234,7 @@ func TestLinImpliesSCRandom(t *testing.T) {
 			continue
 		}
 		linCount++
-		sc, _, err := SC(TimedToHistory(reg, ops), Options{})
+		sc, _, err := SC(context.Background(), TimedToHistory(reg, ops), Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -1,13 +1,14 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
-	"repro/internal/adt"
-	"repro/internal/history"
-	"repro/internal/porder"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
 )
 
 // This file implements the memory-specific criteria of Sec. 4.2: causal
@@ -90,7 +91,7 @@ func memoryOps(h *history.History) (*memOps, error) {
 // of 0 possibly unbound) whose union with the program order generates
 // an acyclic causal order →, such that every process can linearize the
 // whole history ordered by → with its own outputs visible.
-func CM(h *history.History, opt Options) (bool, *Witness, error) {
+func CM(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error) {
 	if err := validateOmega(h); err != nil {
 		return false, nil, err
 	}
@@ -98,15 +99,15 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 	if err != nil {
 		return false, nil, err
 	}
-	budget := opt.maxNodes()
-	// One feeder serves the whole CM search (the writes-into
-	// enumeration and every per-process linearization inside it share
-	// the budget), so a batch timeout reclaims the search promptly.
-	var feed *feeder
-	if opt.Interrupt != nil {
-		feed = newFeeder(newBudgetPool(budget), opt.Interrupt, nil, &budget)
-		budget = 0
+	if err := ctxErr(ctx); err != nil {
+		return false, nil, err
 	}
+	// One run serves the whole CM search (the writes-into enumeration
+	// and every per-process linearization inside it share the budget),
+	// so a cancelled context reclaims the search promptly.
+	run := newSearchRun(ctx, opt)
+	defer run.record(opt)
+	feed := run.feed
 
 	// Candidate dictating writes per read.
 	n := h.N()
@@ -148,7 +149,7 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 		wit := &Witness{PerProcess: make([][]int, len(h.Processes()))}
 		all := porder.FullBitset(n)
 		for p := range h.Processes() {
-			ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget, feed: feed}
+			ls := &linSearcher{t: h.ADT, events: h.Events, budget: &run.budget, feed: feed}
 			visible := h.ProcEventsView(p)
 			ownOmega := h.OmegaEvents()
 			ownOmega.IntersectWith(visible)
@@ -165,7 +166,7 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 	binding := make(map[int]int, len(reads))
 	var rec func(i int) (bool, *Witness)
 	rec = func(i int) (bool, *Witness) {
-		if budget < 0 && !feed.refill() {
+		if run.budget < 0 && !feed.refill() {
 			return false, nil
 		}
 		if i == len(reads) {
@@ -173,7 +174,7 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 		}
 		r := reads[i]
 		for _, w := range cands[r] {
-			budget--
+			run.budget--
 			binding[r] = w
 			if ok, wit := rec(i + 1); ok {
 				return true, wit
@@ -183,11 +184,8 @@ func CM(h *history.History, opt Options) (bool, *Witness, error) {
 		return false, nil
 	}
 	ok, wit := rec(0)
-	if feed.wasInterrupted() {
-		return false, nil, ErrInterrupted
-	}
-	if budget < 0 {
-		return false, nil, ErrBudget
+	if err := run.err(); err != nil {
+		return false, nil, err
 	}
 	return ok, wit, nil
 }

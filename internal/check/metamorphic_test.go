@@ -1,14 +1,15 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/history"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Metamorphic properties of the classification pipeline: the paper's
@@ -31,7 +32,7 @@ import (
 // classifyOrFail classifies with the default options.
 func classifyOrFail(t *testing.T, h *history.History, name string) Classification {
 	t.Helper()
-	cl, err := Classify(h, Options{})
+	cl, err := Classify(context.Background(), h, Options{})
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}

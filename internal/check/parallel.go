@@ -1,11 +1,12 @@
 package check
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/history"
-	"repro/internal/porder"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
 )
 
 // Parallel mode for the causal-family searchers.
@@ -99,14 +100,15 @@ func (p *budgetPool) put(n int) {
 }
 
 // feeder tops a searcher's countdown budget back up from the shared
-// pool and carries the two abort signals: the caller's interrupt flag
-// and the task's cancellation flag. A nil feeder (the sequential,
-// non-interruptible configuration) refuses every refill, which leaves
-// the classic "count down from MaxNodes and stop" behaviour.
+// pool and carries the two abort signals: the caller's context (whose
+// cancellation or deadline interrupts the search) and the task's
+// cancellation flag. A nil feeder (the sequential, uncancellable
+// configuration) refuses every refill, which leaves the classic
+// "count down from MaxNodes and stop" behaviour.
 type feeder struct {
 	pool   *budgetPool
-	intr   *atomic.Bool // caller-level interrupt (Options.Interrupt)
-	cancel *atomic.Bool // task-level cancellation (sibling won)
+	ctx    context.Context // caller-level cancellation; nil = never
+	cancel *atomic.Bool    // task-level cancellation (sibling won)
 	budget *int
 
 	interrupted bool
@@ -114,8 +116,8 @@ type feeder struct {
 	exhausted   bool
 }
 
-func newFeeder(pool *budgetPool, intr, cancel *atomic.Bool, budget *int) *feeder {
-	return &feeder{pool: pool, intr: intr, cancel: cancel, budget: budget}
+func newFeeder(pool *budgetPool, ctx context.Context, cancel *atomic.Bool, budget *int) *feeder {
+	return &feeder{pool: pool, ctx: ctx, cancel: cancel, budget: budget}
 }
 
 // refill is called when the local budget dips below zero; it reports
@@ -129,7 +131,7 @@ func (f *feeder) refill() bool {
 	if f.exhausted || f.cancelled || f.interrupted {
 		return false
 	}
-	if f.intr != nil && f.intr.Load() {
+	if f.ctx != nil && f.ctx.Err() != nil {
 		f.interrupted = true
 		return false
 	}
@@ -322,10 +324,21 @@ func (cs *causalSearcher) replayPrefix(steps []prefixStep) bool {
 
 // runCausalParallel is the parallel counterpart of the sequential body
 // of runCausal; see the file comment for the determinism argument.
-func runCausalParallel(h *history.History, kind causalKind, opt Options) (bool, *Witness, error) {
+func runCausalParallel(ctx context.Context, h *history.History, kind causalKind, opt Options) (bool, *Witness, error) {
 	par := opt.parallelism()
 	pool := newBudgetPool(opt.maxNodes())
 	shard := newShardedMemo()
+	if opt.Stats != nil {
+		// Every feeder releases its unspent chunk back to the pool, so
+		// at return time the pool deficit is exactly the explored count.
+		defer func() {
+			left := int(pool.left.Load())
+			if left < 0 {
+				left = 0
+			}
+			opt.Stats.Nodes += int64(opt.maxNodes() - left)
+		}()
+	}
 
 	// Frontier expansion on a root searcher, deepening until there are
 	// enough tasks to keep the workers busy. Each deepening re-expands
@@ -333,7 +346,7 @@ func runCausalParallel(h *history.History, kind causalKind, opt Options) (bool, 
 	// between rounds); the duplicated work is bounded by maxForkDepth
 	// levels of the top of the tree.
 	root := newCausalSearcher(h, kind, 0)
-	root.feed = newFeeder(pool, opt.Interrupt, nil, root.budget)
+	root.feed = newFeeder(pool, ctx, nil, root.budget)
 	root.ls.feed = root.feed
 	target := par * parallelForkFactor
 	var tasks []*causalTask
@@ -346,7 +359,7 @@ func runCausalParallel(h *history.History, kind causalKind, opt Options) (bool, 
 			return true, root.witness(), nil
 		}
 		if root.feed.interrupted {
-			return false, nil, ErrInterrupted
+			return false, nil, ctx.Err()
 		}
 		if *root.budget < 0 {
 			return false, nil, ErrBudget
@@ -390,7 +403,7 @@ func runCausalParallel(h *history.History, kind causalKind, opt Options) (bool, 
 					continue
 				}
 				cs := newCausalSearcher(h, kind, 0)
-				feed := newFeeder(pool, opt.Interrupt, &t.cancel, cs.budget)
+				feed := newFeeder(pool, ctx, &t.cancel, cs.budget)
 				cs.feed = feed
 				cs.ls.feed = feed
 				cs.shard = shard
@@ -430,8 +443,8 @@ func runCausalParallel(h *history.History, kind causalKind, opt Options) (bool, 
 		case taskFailed:
 			continue
 		default:
-			if t.feed != nil && t.feed.interrupted || opt.Interrupt != nil && opt.Interrupt.Load() {
-				return false, nil, ErrInterrupted
+			if t.feed != nil && t.feed.interrupted || ctx != nil && ctx.Err() != nil {
+				return false, nil, ctx.Err()
 			}
 			return false, nil, ErrBudget
 		}

@@ -1,19 +1,19 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
-	"repro/internal/adt"
-	"repro/internal/history"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // The differential harness for the parallel classification pipeline:
@@ -54,8 +54,8 @@ var parFig3Texts = []string{
 func compareParSeq(t *testing.T, h *history.History, name string, par int) {
 	t.Helper()
 	for _, c := range []Criterion{CritWCC, CritCC, CritCCv} {
-		okS, wS, errS := Check(c, h, Options{})
-		okP, wP, errP := Check(c, h, Options{Parallelism: par})
+		okS, wS, errS := Check(context.Background(), c, h, Options{})
+		okP, wP, errP := Check(context.Background(), c, h, Options{Parallelism: par})
 		if okS != okP || (errS == nil) != (errP == nil) {
 			t.Fatalf("%s: %v: sequential (%v, %v) != parallel (%v, %v)", name, c, okS, errS, okP, errP)
 		}
@@ -135,12 +135,12 @@ func TestParallelWitnessDeterministic(t *testing.T) {
 	} {
 		h := history.MustParse(text)
 		for _, c := range []Criterion{CritWCC, CritCCv} {
-			_, ref, err := Check(c, h, Options{})
+			_, ref, err := Check(context.Background(), c, h, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for i := 0; i < 10; i++ {
-				_, w, err := Check(c, h, Options{Parallelism: 8})
+				_, w, err := Check(context.Background(), c, h, Options{Parallelism: 8})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -166,7 +166,7 @@ func TestParallelRaceStress(t *testing.T) {
 				defer wg.Done()
 				h := history.MustParse(text)
 				for _, c := range []Criterion{CritWCC, CritCC, CritCCv} {
-					if _, _, err := Check(c, h, Options{Parallelism: 8}); err != nil {
+					if _, _, err := Check(context.Background(), c, h, Options{Parallelism: 8}); err != nil {
 						t.Errorf("%q %v: %v", strings.SplitN(text, "\n", 2)[0], c, err)
 					}
 				}
@@ -182,7 +182,7 @@ func TestParallelRaceStress(t *testing.T) {
 func TestParallelBudgetExhaustion(t *testing.T) {
 	forceParallel(t)
 	h := history.MustParse(parFig3Texts[7]) // 3h, 12 events
-	_, _, err := Check(CritCCv, h, Options{Parallelism: 4, MaxNodes: 50})
+	_, _, err := Check(context.Background(), CritCCv, h, Options{Parallelism: 4, MaxNodes: 50})
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("starved parallel search: err = %v, want ErrBudget", err)
 	}
@@ -192,56 +192,57 @@ func TestParallelBudgetExhaustion(t *testing.T) {
 	}
 }
 
-// TestParallelInterrupt pins that setting Options.Interrupt aborts a
-// parallel search with ErrInterrupted.
-func TestParallelInterrupt(t *testing.T) {
+// TestParallelCancel pins that a cancelled context aborts a parallel
+// search with the context's error.
+func TestParallelCancel(t *testing.T) {
 	forceParallel(t)
 	h := history.MustParse(parFig3Texts[7])
-	intr := &atomic.Bool{}
-	intr.Store(true) // pre-interrupted: must abort on the first poll
-	_, _, err := Check(CritCCv, h, Options{Parallelism: 4, Interrupt: intr})
-	if !errors.Is(err, ErrInterrupted) {
-		t.Fatalf("pre-interrupted search: err = %v, want ErrInterrupted", err)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: must abort on the first poll
+	_, _, err := Check(ctx, CritCCv, h, Options{Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled search: err = %v, want context.Canceled", err)
 	}
 }
 
-// TestSequentialInterrupt covers the interrupt plumbing of the
-// non-parallel searchers (SC, PC, UC and the sequential causal path).
-func TestSequentialInterrupt(t *testing.T) {
+// TestSequentialCancel covers the context plumbing of the non-parallel
+// searchers (SC, PC, UC and the sequential causal path).
+func TestSequentialCancel(t *testing.T) {
 	h := history.MustParse(parFig3Texts[7])
 	hOmega := history.MustParse(parFig3Texts[0]) // UC only searches when ω-events exist
-	intr := &atomic.Bool{}
-	intr.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	for _, c := range []Criterion{CritSC, CritPC, CritWCC, CritCC, CritCCv} {
-		_, _, err := Check(c, h, Options{Interrupt: intr})
-		if !errors.Is(err, ErrInterrupted) {
-			t.Fatalf("%v: err = %v, want ErrInterrupted", c, err)
+		_, _, err := Check(ctx, c, h, Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", c, err)
 		}
 	}
-	if _, _, err := Check(CritUC, hOmega, Options{Interrupt: intr}); !errors.Is(err, ErrInterrupted) {
-		t.Fatalf("UC: err = %v, want ErrInterrupted", err)
+	if _, _, err := Check(ctx, CritUC, hOmega, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("UC: err = %v, want context.Canceled", err)
 	}
 	hMem := history.MustParse(parFig3Texts[8]) // 3i: a memory history, for CM
-	if _, _, err := Check(CritCM, hMem, Options{Interrupt: intr}); !errors.Is(err, ErrInterrupted) {
-		t.Fatalf("CM: err = %v, want ErrInterrupted", err)
+	if _, _, err := Check(ctx, CritCM, hMem, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CM: err = %v, want context.Canceled", err)
 	}
-	// And an interrupt arriving mid-search, from another goroutine.
-	intr2 := &atomic.Bool{}
+	// And a cancellation arriving mid-search, from another goroutine.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := Check(CritCCv, h, Options{Interrupt: intr2})
+		_, _, err := Check(ctx2, CritCCv, h, Options{})
 		done <- err
 	}()
 	time.Sleep(time.Millisecond)
-	intr2.Store(true)
+	cancel2()
 	select {
 	case err := <-done:
-		// Either the search finished before the flag landed (fine) or
-		// it was interrupted.
-		if err != nil && !errors.Is(err, ErrInterrupted) {
-			t.Fatalf("mid-search interrupt: %v", err)
+		// Either the search finished before the cancellation landed
+		// (fine) or it was interrupted.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-search cancel: %v", err)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("interrupted search did not unwind")
+		t.Fatal("cancelled search did not unwind")
 	}
 }

@@ -1,9 +1,11 @@
 package check
 
 import (
-	"repro/internal/history"
-	"repro/internal/porder"
-	"repro/internal/spec"
+	"context"
+
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Witness carries evidence that a history satisfies a criterion. Not
@@ -39,21 +41,21 @@ func FormatLin(h *history.History, order []int, visible porder.Bitset) string {
 // ADT (Def. 5): lin(H) ∩ L(T) ≠ ∅. ω-events are placed after all
 // non-ω events (they repeat forever, so every event precedes almost
 // every copy).
-func SC(h *history.History, opt Options) (bool, *Witness, error) {
+func SC(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error) {
 	if err := validateOmega(h); err != nil {
 		return false, nil, err
 	}
-	budget := opt.maxNodes()
-	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
-	feed := ls.attachInterrupt(opt, &budget)
+	if err := ctxErr(ctx); err != nil {
+		return false, nil, err
+	}
+	run := newSearchRun(ctx, opt)
+	defer run.record(opt)
+	ls := &linSearcher{t: h.ADT, events: h.Events, budget: &run.budget, feed: run.feed}
 	all := porder.FullBitset(h.N())
 	preds := omegaPreds(h, h.ProgPreds(), h.OmegaView())
 	order, ok := ls.findLin(all, all, preds)
-	if feed.wasInterrupted() {
-		return false, nil, ErrInterrupted
-	}
-	if budget < 0 {
-		return false, nil, ErrBudget
+	if err := run.err(); err != nil {
+		return false, nil, err
 	}
 	if !ok {
 		return false, nil, nil
@@ -67,27 +69,27 @@ func SC(h *history.History, opt Options) (bool, *Witness, error) {
 // its own. The process's own ω-event, if any, is placed after every
 // other event; other processes' ω-events are hidden pure queries and
 // need no special treatment.
-func PC(h *history.History, opt Options) (bool, *Witness, error) {
+func PC(ctx context.Context, h *history.History, opt Options) (bool, *Witness, error) {
 	if err := validateOmega(h); err != nil {
+		return false, nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return false, nil, err
 	}
 	w := &Witness{PerProcess: make([][]int, len(h.Processes()))}
 	all := porder.FullBitset(h.N())
 	basePreds := h.ProgPreds()
 	for p := range h.Processes() {
-		budget := opt.maxNodes()
-		ls := &linSearcher{t: h.ADT, events: h.Events, budget: &budget}
-		feed := ls.attachInterrupt(opt, &budget)
+		run := newSearchRun(ctx, opt)
+		ls := &linSearcher{t: h.ADT, events: h.Events, budget: &run.budget, feed: run.feed}
 		visible := h.ProcEventsView(p)
 		ownOmega := h.OmegaEvents()
 		ownOmega.IntersectWith(visible)
 		preds := omegaPreds(h, basePreds, ownOmega)
 		order, ok := ls.findLin(all, visible, preds)
-		if feed.wasInterrupted() {
-			return false, nil, ErrInterrupted
-		}
-		if budget < 0 {
-			return false, nil, ErrBudget
+		run.record(opt)
+		if err := run.err(); err != nil {
+			return false, nil, err
 		}
 		if !ok {
 			return false, nil, nil

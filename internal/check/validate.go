@@ -3,9 +3,9 @@ package check
 import (
 	"fmt"
 
-	"repro/internal/history"
-	"repro/internal/porder"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // This file validates witnesses *independently* of the search that

@@ -1,15 +1,16 @@
 package check_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
-	"repro/internal/check"
+	"github.com/paper-repro/ccbm/internal/check"
 
-	"repro/internal/adt"
-	"repro/internal/history"
-	"repro/internal/paperfig"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/paperfig"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // randomHistory builds a random (often inconsistent) history over the
@@ -54,7 +55,7 @@ func TestWitnessesValidate(t *testing.T) {
 			h = randomHistory(w2, rng, 2, 3, genW2)
 		}
 		for _, crit := range []check.Criterion{check.CritWCC, check.CritCC, check.CritCCv} {
-			ok, w, err := check.Check(crit, h, check.Options{})
+			ok, w, err := check.Check(context.Background(), crit, h, check.Options{})
 			if err != nil {
 				t.Fatalf("trial %d %v: %v", trial, crit, err)
 			}
@@ -66,7 +67,7 @@ func TestWitnessesValidate(t *testing.T) {
 				t.Fatalf("trial %d: %v accepted with invalid witness: %v\n%s", trial, crit, err, h)
 			}
 		}
-		ok, w, err := check.SC(h, check.Options{})
+		ok, w, err := check.SC(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestPaperFigureWitnessesValidate(t *testing.T) {
 	for _, f := range paperfig.Fig3() {
 		for _, h := range []*history.History{f.History(), f.FiniteHistory()} {
 			for _, crit := range []check.Criterion{check.CritWCC, check.CritCC, check.CritCCv} {
-				ok, w, err := check.Check(crit, h, check.Options{})
+				ok, w, err := check.Check(context.Background(), crit, h, check.Options{})
 				if err != nil {
 					t.Fatalf("%s %v: %v", f.Name, crit, err)
 				}
@@ -114,7 +115,7 @@ func TestValidatorRejectsTampering(t *testing.T) {
 	b.Append(1, spec.NewOp(spec.NewInput("r"), spec.IntOutput(1)))
 	h := b.Build()
 
-	ok, w, err := check.CC(h, check.Options{})
+	ok, w, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil || !ok {
 		t.Fatalf("fixture must be CC: ok=%v err=%v", ok, err)
 	}

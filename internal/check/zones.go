@@ -1,8 +1,8 @@
 package check
 
 import (
-	"repro/internal/history"
-	"repro/internal/porder"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/porder"
 )
 
 // Zones partitions a history's events relative to one event e and a

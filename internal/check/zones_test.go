@@ -1,11 +1,12 @@
 package check_test
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/check"
-	"repro/internal/paperfig"
-	"repro/internal/porder"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/paperfig"
+	"github.com/paper-repro/ccbm/internal/porder"
 )
 
 // TestFig2TimeZones is experiment E2: on the 12-event, 3-process
@@ -97,7 +98,7 @@ func TestCausalOrderFromRejectsCycles(t *testing.T) {
 func TestZonesWitnessOrder(t *testing.T) {
 	f, _ := paperfig.Fig3ByName("3c")
 	h := f.History()
-	ok, w, err := check.CC(h, check.Options{})
+	ok, w, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil || !ok {
 		t.Fatalf("CC(3c) = %v %v", ok, err)
 	}

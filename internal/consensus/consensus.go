@@ -9,9 +9,9 @@ package consensus
 import (
 	"fmt"
 
-	"repro/internal/adt"
-	"repro/internal/core"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Object is a one-shot consensus object for up to k processes, built on

@@ -4,7 +4,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/consensus"
+	"github.com/paper-repro/ccbm/internal/consensus"
 )
 
 // TestConsensusWindowStream is experiment E9: k processes reach

@@ -3,9 +3,9 @@ package consensus
 import (
 	"fmt"
 
-	"repro/internal/adt"
-	"repro/internal/core"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Universal is a one-shot consensus object for ANY number of

@@ -4,9 +4,9 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/core"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // TestUniversalConsensusAgreement: the CAS-based object reaches

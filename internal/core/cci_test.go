@@ -3,7 +3,7 @@ package core
 import (
 	"testing"
 
-	"repro/internal/adt"
+	"github.com/paper-repro/ccbm/internal/adt"
 )
 
 // TestGenericCCvSequenceInterleaves pins down experiment E19's generic

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"repro/internal/net"
-	"repro/internal/sim"
-	"repro/internal/spec"
-	"repro/internal/trace"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/sim"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/trace"
 )
 
 // Cluster wires n replicas of one shared object over a deterministic

@@ -4,8 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/core"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
 )
 
 // TestCompactLogPreservesReads: compacting the stable prefix of a CCv

@@ -1,11 +1,12 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
 )
 
 // TestPCvsECDichotomy is experiment E10: pipelined (or causal)
@@ -39,7 +40,7 @@ func TestPCvsECDichotomy(t *testing.T) {
 			t.Fatalf("replicas agreed (%v); partition should have split the orders", r0)
 		}
 		h := c.Recorder.History()
-		ok, _, err := check.PC(h, check.Options{})
+		ok, _, err := check.PC(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,11 +70,11 @@ func TestPCvsECDichotomy(t *testing.T) {
 		h := c.Recorder.History()
 		// The converged history is CCv but not PC — Fig. 3a reproduced
 		// from a live system rather than drawn by hand.
-		ccv, _, err := check.CCv(h, check.Options{})
+		ccv, _, err := check.CCv(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		pc, _, err := check.PC(h, check.Options{})
+		pc, _, err := check.PC(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,12 +1,13 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
 )
 
 // TestCrashMidRunStillCC: fault injection for experiment E4 — crashing
@@ -42,7 +43,7 @@ func TestCrashMidRunStillCC(t *testing.T) {
 		}
 		c.Settle()
 		h := c.Recorder.History()
-		ok, _, err := check.CC(h, check.Options{})
+		ok, _, err := check.CC(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -84,7 +85,7 @@ func TestCrashMidRunCCvStillConverges(t *testing.T) {
 			t.Fatalf("seed %d: survivors diverged after crash", seed)
 		}
 		h := c.Recorder.History()
-		ok, _, err := check.CCv(h, check.Options{})
+		ok, _, err := check.CCv(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -1,13 +1,14 @@
 package core_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // TestLiveClusterConcurrent drives the CC runtime over the goroutine
@@ -37,7 +38,7 @@ func TestLiveClusterConcurrent(t *testing.T) {
 		}
 	}
 	h := c.Recorder.History()
-	ok, _, err := check.CC(h, check.Options{})
+	ok, _, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestLiveClusterQueue(t *testing.T) {
 	wg.Wait()
 	c.Net.Quiesce()
 	h := c.Recorder.History()
-	ok, _, err := check.CC(h, check.Options{})
+	ok, _, err := check.CC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,11 +31,11 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/broadcast"
-	"repro/internal/net"
-	"repro/internal/spec"
-	"repro/internal/trace"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/broadcast"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/trace"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // Mode selects the consistency criterion a replica implements.

@@ -1,14 +1,15 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // randomRun drives a cluster with a seeded random workload of writes
@@ -48,7 +49,7 @@ func TestProp6RuntimeHistoriesAreCC(t *testing.T) {
 		c := randomRun(t, core.ModeCC, seed, 3, 9, 2, 2)
 		h := c.Recorder.History()
 		for _, crit := range []check.Criterion{check.CritCC, check.CritPC, check.CritWCC} {
-			ok, _, err := check.Check(crit, h, check.Options{})
+			ok, _, err := check.Check(context.Background(), crit, h, check.Options{})
 			if err != nil {
 				t.Fatalf("seed %d: %v: %v", seed, crit, err)
 			}
@@ -67,7 +68,7 @@ func TestProp7RuntimeHistoriesAreCCv(t *testing.T) {
 		c := randomRun(t, core.ModeCCv, seed, 3, 9, 2, 2)
 		h := c.Recorder.History()
 		for _, crit := range []check.Criterion{check.CritCCv, check.CritWCC} {
-			ok, _, err := check.Check(crit, h, check.Options{})
+			ok, _, err := check.Check(context.Background(), crit, h, check.Options{})
 			if err != nil {
 				t.Fatalf("seed %d: %v: %v", seed, crit, err)
 			}
@@ -84,7 +85,7 @@ func TestPCRuntimeHistoriesArePC(t *testing.T) {
 	for seed := int64(1); seed <= 30; seed++ {
 		c := randomRun(t, core.ModePC, seed, 3, 9, 2, 2)
 		h := c.Recorder.History()
-		ok, _, err := check.PC(h, check.Options{})
+		ok, _, err := check.PC(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -209,7 +210,7 @@ func TestMixedUpdateQueryOps(t *testing.T) {
 			}
 			c.Settle()
 			h := c.Recorder.History()
-			ok, _, err := check.Check(tc.crit, h, check.Options{})
+			ok, _, err := check.Check(context.Background(), tc.crit, h, check.Options{})
 			if err != nil {
 				t.Fatalf("%v seed %d: %v", tc.mode, seed, err)
 			}
@@ -241,7 +242,7 @@ func TestSCClusterIsSC(t *testing.T) {
 	wg.Wait()
 	c.Net.Quiesce()
 	h := c.Recorder.History()
-	ok, _, err := check.SC(h, check.Options{})
+	ok, _, err := check.SC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

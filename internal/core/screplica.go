@@ -3,10 +3,10 @@ package core
 import (
 	"sync"
 
-	"repro/internal/broadcast"
-	"repro/internal/net"
-	"repro/internal/spec"
-	"repro/internal/trace"
+	"github.com/paper-repro/ccbm/internal/broadcast"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/trace"
 )
 
 // SCReplica implements sequential consistency with the classic

@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/adt"
+	"github.com/paper-repro/ccbm/internal/adt"
 )
 
 // TestOperationLatencyIndependentOfDelays is the wait-freedom claim of

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
-	"repro/internal/net"
+	"github.com/paper-repro/ccbm/internal/net"
 )
 
 // gcEff is the effect of a GCounter increment: the origin's entry grew

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 func TestGCounterLocalVisibility(t *testing.T) {

@@ -36,9 +36,9 @@ package crdt
 import (
 	"sync"
 
-	"repro/internal/broadcast"
-	"repro/internal/net"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/broadcast"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // node is the machinery shared by every replicated type: identity, a

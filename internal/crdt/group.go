@@ -1,7 +1,7 @@
 package crdt
 
 import (
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 // Keyer is the convergence surface every replicated type exposes: a

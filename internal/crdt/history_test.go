@@ -1,14 +1,15 @@
 package crdt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/history"
-	"repro/internal/sim"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/sim"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // These tests close the loop between the CRDT implementations and the
@@ -63,7 +64,7 @@ func TestPNCounterHistoryIsCausallyConvergent(t *testing.T) {
 		}
 		h := b.Build()
 		for _, crit := range []check.Criterion{check.CritWCC, check.CritCCv} {
-			ok, _, err := check.Check(crit, h, check.Options{})
+			ok, _, err := check.Check(context.Background(), crit, h, check.Options{})
 			if err != nil {
 				t.Fatalf("seed %d: %v: %v", seed, crit, err)
 			}
@@ -123,7 +124,7 @@ func TestLWWRegisterHistoryIsCausallyConvergent(t *testing.T) {
 			reps[p].read()
 		}
 		h := b.Build()
-		ok, _, err := check.Check(check.CritCCv, h, check.Options{})
+		ok, _, err := check.Check(context.Background(), check.CritCCv, h, check.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -223,7 +224,7 @@ func TestORSetHistoryIsWeaklyCausallyConsistent(t *testing.T) {
 			reps[p].elems()
 		}
 		h := b.Build()
-		ok, _, err := check.Check(check.CritWCC, h, check.Options{})
+		ok, _, err := check.Check(context.Background(), check.CritWCC, h, check.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -5,8 +5,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/net"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // mapPut is the effect of an ORMap put: a tagged value for a key,

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 func mapGroup(n int, seed int64) *Group[*ORMap] {

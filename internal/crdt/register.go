@@ -5,8 +5,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/net"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // lwwEff is the effect of a LWWRegister write: a value with a unique

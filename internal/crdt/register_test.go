@@ -4,7 +4,7 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 func TestLWWRegisterCausalOverwrite(t *testing.T) {

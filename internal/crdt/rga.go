@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/net"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // rgaInsert is the effect of an RGA insertion: a new element with a

@@ -5,8 +5,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/net"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // orAdd is the effect of an ORSet add: the value and the unique tag

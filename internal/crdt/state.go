@@ -4,7 +4,7 @@ import (
 	"strconv"
 	"sync"
 
-	"repro/internal/net"
+	"github.com/paper-repro/ccbm/internal/net"
 )
 
 // State-based CRDTs are the other half of [22]: instead of

@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 // TestSyncHealsPartition: the simulator drops messages crossing a

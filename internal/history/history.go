@@ -23,8 +23,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/porder"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/porder"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Event is a single method execution by a process (Sec. 2.2).

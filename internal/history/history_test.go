@@ -4,9 +4,9 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/history"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 func TestFromProcesses(t *testing.T) {

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/adt"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Parse reads the textual history format used by the cmd tools and

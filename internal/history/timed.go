@@ -6,8 +6,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/adt"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // TimedEvent is one operation execution with a real-time interval, the

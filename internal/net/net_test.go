@@ -5,7 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/net"
+	"github.com/paper-repro/ccbm/internal/net"
 )
 
 func TestLiveDelivery(t *testing.T) {

@@ -15,10 +15,11 @@
 package paperfig
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/check"
-	"repro/internal/history"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/history"
 )
 
 // Claim is a caption claim: the history satisfies (or not) a criterion.
@@ -169,6 +170,13 @@ p1: wc(1) wc(2) wd(3) rb/3 ra/1 wc(1)`,
 // tests; tools that need each verdict individually (cmd/ccexperiments'
 // E3 table, cmd/ccbench's timing loop) iterate Claims themselves.
 func (f Fixture) VerifyClaims(opt check.Options) error {
+	return f.VerifyClaimsContext(context.Background(), opt)
+}
+
+// VerifyClaimsContext is VerifyClaims under a caller-controlled
+// context: cancellation or deadline expiry aborts the claim loop with
+// ctx.Err().
+func (f Fixture) VerifyClaimsContext(ctx context.Context, opt check.Options) error {
 	omega := f.History()
 	finite := f.FiniteHistory()
 	for _, cl := range f.Claims {
@@ -176,7 +184,7 @@ func (f Fixture) VerifyClaims(opt check.Options) error {
 		if cl.OmegaReading {
 			h = omega
 		}
-		got, _, err := check.Check(cl.Criterion, h, opt)
+		got, _, err := check.Check(ctx, cl.Criterion, h, opt)
 		if err != nil {
 			return fmt.Errorf("fig %s: %v: %w", f.Name, cl.Criterion, err)
 		}

@@ -3,8 +3,8 @@ package paperfig_test
 import (
 	"testing"
 
-	"repro/internal/check"
-	"repro/internal/paperfig"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/paperfig"
 )
 
 func TestFixturesParse(t *testing.T) {

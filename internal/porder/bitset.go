@@ -13,7 +13,7 @@ import (
 	"math/bits"
 	"strings"
 
-	"repro/internal/xhash"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // Bitset is a set of small non-negative integers backed by uint64 words.

@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/net"
+	"github.com/paper-repro/ccbm/internal/net"
 )
 
 // Network is a deterministic discrete-event implementation of

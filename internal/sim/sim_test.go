@@ -3,8 +3,8 @@ package sim_test
 import (
 	"testing"
 
-	"repro/internal/net"
-	"repro/internal/sim"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/sim"
 )
 
 // collect registers recording handlers on every process.

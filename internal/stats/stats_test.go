@@ -7,7 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/stats"
+	"github.com/paper-repro/ccbm/internal/stats"
 )
 
 func TestSummarize(t *testing.T) {

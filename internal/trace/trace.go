@@ -6,8 +6,8 @@ package trace
 import (
 	"sync"
 
-	"repro/internal/history"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/history"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Recorder accumulates one operation sequence per process. It is safe

@@ -4,9 +4,9 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/spec"
-	"repro/internal/trace"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/trace"
 )
 
 func TestRecorderHistory(t *testing.T) {

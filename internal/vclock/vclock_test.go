@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 func TestTimestampOrder(t *testing.T) {

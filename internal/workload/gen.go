@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/adt"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // OpGen produces a random invocation for a specific ADT: step is a

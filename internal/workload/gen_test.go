@@ -1,13 +1,14 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // TestGeneratorForAllRegistryTypes: every ADT the registry can
@@ -99,7 +100,7 @@ func TestGeneratedRuntimeHistoriesSatisfyMode(t *testing.T) {
 				}
 			}
 			c.Settle()
-			ok, _, err := check.Check(tc.crit, c.Recorder.History(), check.Options{})
+			ok, _, err := check.Check(context.Background(), tc.crit, c.Recorder.History(), check.Options{})
 			if err != nil {
 				t.Fatalf("%s/%v seed %d: %v", tc.adtName, tc.mode, seed, err)
 			}

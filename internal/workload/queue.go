@@ -3,9 +3,9 @@ package workload
 import (
 	"math/rand"
 
-	"repro/internal/adt"
-	"repro/internal/core"
-	"repro/internal/spec"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // This file drives the paper's queue discussion (Sec. 4.1, Figs.

@@ -3,7 +3,7 @@ package workload
 import (
 	"testing"
 
-	"repro/internal/core"
+	"github.com/paper-repro/ccbm/internal/core"
 )
 
 func qcfg(seed int64) QueueConfig {

@@ -7,8 +7,8 @@ package workload
 import (
 	"math/rand"
 
-	"repro/internal/adt"
-	"repro/internal/core"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/core"
 )
 
 // Config parameterizes a window-stream-array workload.

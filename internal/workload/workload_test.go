@@ -1,11 +1,12 @@
 package workload_test
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/workload"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/workload"
 )
 
 func TestRunShape(t *testing.T) {
@@ -57,7 +58,7 @@ func TestFinalReadsOmega(t *testing.T) {
 	if h.OmegaEvents().Count() != 3 {
 		t.Fatalf("ω events = %d, want one per process", h.OmegaEvents().Count())
 	}
-	ok, _, err := check.EC(h, check.Options{})
+	ok, _, err := check.EC(context.Background(), h, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,8 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/sim"
-	"repro/internal/wsarray"
+	"github.com/paper-repro/ccbm/internal/sim"
+	"github.com/paper-repro/ccbm/internal/wsarray"
 )
 
 // TestFig5LiteralIsBroken is the ablation behind our Fig. 5 fidelity

@@ -10,12 +10,12 @@ package wsarray
 import (
 	"sync"
 
-	"repro/internal/adt"
-	"repro/internal/broadcast"
-	"repro/internal/net"
-	"repro/internal/spec"
-	"repro/internal/trace"
-	"repro/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/broadcast"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/trace"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // ccMsg is Fig. 4's Mess(x, v).

@@ -1,15 +1,16 @@
 package wsarray_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
-	"repro/internal/adt"
-	"repro/internal/check"
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/trace"
-	"repro/internal/wsarray"
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/sim"
+	"github.com/paper-repro/ccbm/internal/trace"
+	"github.com/paper-repro/ccbm/internal/wsarray"
 )
 
 // ccCluster wires n Fig. 4 replicas on a simulated network.
@@ -56,7 +57,7 @@ func TestFig4AlwaysCausallyConsistent(t *testing.T) {
 		}
 		nw.Run(0)
 		h := rec.History()
-		ok, _, err := check.CC(h, check.Options{})
+		ok, _, err := check.CC(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -89,7 +90,7 @@ func TestFig5AlwaysCausallyConvergent(t *testing.T) {
 		}
 		nw.Run(0)
 		h := rec.History()
-		ok, _, err := check.CCv(h, check.Options{})
+		ok, _, err := check.CCv(context.Background(), h, check.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -4,12 +4,13 @@ package ccbm
 // each must parse and classify exactly as its header comment claims.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
-	"repro/internal/check"
-	"repro/internal/history"
+	"github.com/paper-repro/ccbm/internal/check"
+	"github.com/paper-repro/ccbm/internal/history"
 )
 
 func TestSampleHistoryFiles(t *testing.T) {
@@ -32,7 +33,7 @@ func TestSampleHistoryFiles(t *testing.T) {
 			t.Fatalf("%s: %v", tc.file, err)
 		}
 		for crit, want := range tc.expect {
-			got, _, err := check.Check(crit, h, check.Options{})
+			got, _, err := check.Check(context.Background(), crit, h, check.Options{})
 			if err != nil {
 				t.Fatalf("%s %v: %v", tc.file, crit, err)
 			}
@@ -56,11 +57,11 @@ func TestSampleTimedHistoryFile(t *testing.T) {
 	for i, ev := range evs {
 		ops[i] = check.TimedOp{Proc: ev.Proc, Op: ev.Op, Inv: ev.Inv, Res: ev.Res}
 	}
-	lin, _, err := check.Linearizable(adtT, ops, check.Options{})
+	lin, _, err := check.Linearizable(context.Background(), adtT, ops, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc, _, err := check.SC(check.TimedToHistory(adtT, ops), check.Options{})
+	sc, _, err := check.SC(context.Background(), check.TimedToHistory(adtT, ops), check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,347 @@
+// Package cluster is the serving layer of the ccbm runtime: a live,
+// sharded multi-object service over the paper's wait-free replicated
+// object construction (Sec. 6), with an online consistency monitor.
+//
+// A Cluster hosts many named objects of any registered ADT. Objects
+// are hash-sharded across independent replica groups; each group is n
+// processes (internal/core.Station) over one live transport, running
+// the delivery discipline of the configured criterion (CC, PC, EC or
+// CCv). Updates ride batched broadcasts on the hot path; queries read
+// replica-local state, so every operation is wait-free.
+//
+// Clients speak through Sessions. A Session is pinned to one replica
+// per shard, which gives it the paper's "sequential process" view:
+// its operations execute in program order against a single replica,
+// and its updates are visible to its own later operations. A Session
+// must not be used from two goroutines at once (give each client
+// goroutine its own).
+//
+// The online monitor samples objects at creation and records their
+// first operations as a timed history; completed windows stream into
+// cc/checker's Classifier, so the cluster continuously spot-checks the
+// criterion it claims while serving traffic. See Monitor for exactly
+// what a sampled verdict does and does not guarantee.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/net"
+)
+
+// ErrClosed reports an operation against a cluster that has been
+// Closed — a shutdown-in-progress condition, not a data error.
+var ErrClosed = errors.New("cluster: closed")
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Shards is the number of independent replica groups objects are
+	// hashed across; default 1.
+	Shards int
+	// Replicas is the number of processes per group; default 3.
+	Replicas int
+	// Criterion selects the group's consistency criterion: "CC"
+	// (default), "PC", "EC" or "CCv".
+	Criterion string
+	// BatchOps is the maximum number of updates per broadcast batch;
+	// default 32, 1 disables batching.
+	BatchOps int
+	// BatchWait bounds how long an update waits for its batch to fill;
+	// default 200µs.
+	BatchWait time.Duration
+	// Monitor configures the online consistency monitor.
+	Monitor MonitorConfig
+}
+
+func (c *Config) fill() error {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Criterion == "" {
+		c.Criterion = "CC"
+	}
+	mode, err := core.ParseMode(c.Criterion)
+	if err != nil {
+		return err
+	}
+	// Canonicalize the spelling: the monitor passes the criterion name
+	// to the checker registry, whose keys are case-sensitive ("CCv");
+	// an uncanonicalized "ccv" would silently disable the monitor.
+	c.Criterion = mode.String()
+	if c.BatchOps == 0 {
+		c.BatchOps = 32
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 200 * time.Microsecond
+	}
+	return nil
+}
+
+// shard is one replica group over its own transport.
+type shard struct {
+	net      *net.Live
+	stations []*core.Station
+}
+
+// object is the cluster-level record of a named object.
+type object struct {
+	name    string
+	adtName string
+	t       cc.ADT
+	shard   int
+	rec     *objRecorder // non-nil when the monitor sampled it
+}
+
+// Cluster is a live, sharded multi-object service.
+type Cluster struct {
+	cfg    Config
+	mode   core.Mode
+	shards []*shard
+	mon    *Monitor
+	start  time.Time
+
+	mu      sync.RWMutex
+	objects map[string]*object
+	closed  bool
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	mode, _ := core.ParseMode(cfg.Criterion)
+	c := &Cluster{
+		cfg:     cfg,
+		mode:    mode,
+		objects: make(map[string]*object),
+		start:   time.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{net: net.NewLive(cfg.Replicas)}
+		for r := 0; r < cfg.Replicas; r++ {
+			sh.stations = append(sh.stations, core.NewStation(sh.net, r, mode,
+				core.StationConfig{BatchOps: cfg.BatchOps, BatchWait: cfg.BatchWait}))
+		}
+		c.shards = append(c.shards, sh)
+	}
+	c.mon = newMonitor(cfg.Monitor, cfg.Criterion)
+	return c, nil
+}
+
+// shardOf hashes an object name onto a shard.
+func (c *Cluster) shardOf(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(c.shards)))
+}
+
+// Criterion returns the configured consistency criterion.
+func (c *Cluster) Criterion() string { return c.cfg.Criterion }
+
+// Monitor returns the cluster's online monitor.
+func (c *Cluster) Monitor() *Monitor { return c.mon }
+
+// CreateObject registers a named object of the given registered ADT
+// ("Counter", "Register", "W2^4", "M[a-c]", ...) on every replica of
+// its shard. Creating an existing object is a no-op when the type
+// matches and an error otherwise.
+func (c *Cluster) CreateObject(name, adtName string) error {
+	t, err := cc.LookupADT(adtName)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if o, ok := c.objects[name]; ok {
+		if o.adtName != adtName {
+			return fmt.Errorf("cluster: object %q already exists with ADT %s", name, o.adtName)
+		}
+		return nil
+	}
+	o := &object{name: name, adtName: adtName, t: t, shard: c.shardOf(name)}
+	for _, st := range c.shards[o.shard].stations {
+		if err := st.EnsureObject(name, adtName); err != nil {
+			return err
+		}
+	}
+	o.rec = c.mon.maybeSample(name, t)
+	c.objects[name] = o
+	return nil
+}
+
+// Objects returns the names of the registered objects, sorted.
+func (c *Cluster) Objects() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.objects))
+	for n := range c.objects {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Session opens the client view for session id: operations routed
+// through it are pinned to replica id mod Replicas of each shard, in
+// program order. Sessions are cheap; open one per client goroutine
+// (a Session must not be used concurrently, or its program order —
+// and the monitor's recorded history — becomes meaningless).
+func (c *Cluster) Session(id int) *Session {
+	// Euclidean mod keeps negative ids valid without aliasing them onto
+	// their positive counterparts (the id is also the monitor's proc).
+	r := id % c.cfg.Replicas
+	if r < 0 {
+		r += c.cfg.Replicas
+	}
+	return &Session{c: c, id: id, replica: r}
+}
+
+// Session is one client's sequential view of the cluster.
+type Session struct {
+	c       *Cluster
+	id      int
+	replica int
+}
+
+// ID returns the session id.
+func (s *Session) ID() int { return s.id }
+
+// Invoke executes one operation on a named object.
+func (s *Session) Invoke(object string, in cc.Input) (cc.Output, error) {
+	c := s.c
+	c.mu.RLock()
+	o, ok := c.objects[object]
+	c.mu.RUnlock()
+	if !ok {
+		return cc.Output{}, fmt.Errorf("cluster: unknown object %q", object)
+	}
+	st := c.shards[o.shard].stations[s.replica]
+	if o.rec == nil {
+		return st.Invoke(object, in)
+	}
+	inv := time.Since(c.start).Seconds()
+	out, err := st.Invoke(object, in)
+	if err == nil {
+		o.rec.record(s.id, cc.NewOp(in, out), inv, time.Since(c.start).Seconds())
+	}
+	return out, err
+}
+
+// Call is Invoke with the method/args convenience.
+func (s *Session) Call(object, method string, args ...int) (cc.Output, error) {
+	return s.Invoke(object, cc.NewInput(method, args...))
+}
+
+// CrashReplica crash-stops one process of one shard: it stops
+// receiving, its queued deliveries are dropped, and its sends are
+// discarded — while its sessions keep being served wait-free from the
+// now-partitioned local state (the paper's crash model at serving
+// granularity). There is no heal; crash testing is the point.
+func (c *Cluster) CrashReplica(shardIdx, replica int) error {
+	if shardIdx < 0 || shardIdx >= len(c.shards) {
+		return fmt.Errorf("cluster: no shard %d", shardIdx)
+	}
+	if replica < 0 || replica >= c.cfg.Replicas {
+		return fmt.Errorf("cluster: no replica %d", replica)
+	}
+	c.shards[shardIdx].net.Crash(replica)
+	return nil
+}
+
+// Compact garbage-collects the stable prefix of every CCv replica's
+// update logs (see core.Station.Compact); it returns the total number
+// of entries folded away. Call it periodically on long-lived CCv
+// clusters; other criteria return 0.
+func (c *Cluster) Compact() int {
+	total := 0
+	for _, sh := range c.shards {
+		for _, st := range sh.stations {
+			total += st.Compact()
+		}
+	}
+	return total
+}
+
+// ShardStats is the per-shard slice of a Stats snapshot.
+type ShardStats struct {
+	Crashed  []bool
+	Stations []core.StationStats
+}
+
+// Stats is a point-in-time snapshot of the cluster's activity.
+// Totals sums every station's counters; its Objects field is the
+// cluster-level count of distinct objects (the per-station Objects
+// gauges would multiply-count each object once per replica).
+type Stats struct {
+	Uptime   time.Duration
+	Objects  int
+	Criteria string
+	Totals   core.StationStats
+	Shards   []ShardStats
+}
+
+// Stats snapshots every station's counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.RLock()
+	nobj := len(c.objects)
+	c.mu.RUnlock()
+	s := Stats{
+		Uptime:   time.Since(c.start),
+		Objects:  nobj,
+		Criteria: c.cfg.Criterion,
+	}
+	s.Totals.Objects = nobj
+	for _, sh := range c.shards {
+		var ss ShardStats
+		for r, st := range sh.stations {
+			t := st.Stats()
+			ss.Stations = append(ss.Stations, t)
+			ss.Crashed = append(ss.Crashed, sh.net.Crashed(r))
+			s.Totals.Invocations += t.Invocations
+			s.Totals.Updates += t.Updates
+			s.Totals.Queries += t.Queries
+			s.Totals.Applied += t.Applied
+			s.Totals.Broadcasts += t.Broadcasts
+			s.Totals.BatchedOps += t.BatchedOps
+			s.Totals.LogLen += t.LogLen
+		}
+		s.Shards = append(s.Shards, ss)
+	}
+	return s
+}
+
+// Close flushes every station, shuts the transports down, and closes
+// the monitor (submitting any open sampled windows). Idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, sh := range c.shards {
+		for _, st := range sh.stations {
+			st.Close()
+		}
+	}
+	for _, sh := range c.shards {
+		sh.net.Close()
+	}
+	c.mon.Close()
+	return nil
+}

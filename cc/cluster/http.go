@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/internal/core"
+)
+
+// NewHTTPHandler exposes a cluster over HTTP/JSON — the wire surface
+// cmd/ccserved serves and cmd/ccload drives:
+//
+//	POST /v1/objects  {"name":"cart:1","adt":"Counter"}
+//	POST /v1/invoke   {"session":7,"object":"cart:1","method":"inc","args":[1]}
+//	POST /v1/crash    {"shard":0,"replica":1}
+//	GET  /v1/stats
+//	GET  /v1/monitor            (full verdict list: /v1/monitor?verdicts=1)
+//	GET  /v1/healthz
+//
+// Sessions are identified by the client-chosen "session" integer; all
+// requests carrying the same id must come from one sequential client
+// (see Session).
+type httpServer struct {
+	c *Cluster
+}
+
+// NewHTTPHandler builds the HTTP/JSON front-end for c.
+func NewHTTPHandler(c *Cluster) http.Handler {
+	s := &httpServer{c: c}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/objects", s.createObject)
+	mux.HandleFunc("POST /v1/invoke", s.invoke)
+	mux.HandleFunc("POST /v1/crash", s.crash)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /v1/monitor", s.monitor)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "criterion": c.Criterion()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *httpServer) createObject(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		ADT  string `json:"adt"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" || req.ADT == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need name and adt"))
+		return
+	}
+	if _, err := cc.LookupADT(req.ADT); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.c.CreateObject(req.Name, req.ADT); err != nil {
+		// A valid request can still fail two ways: the cluster is
+		// draining (retryable) or the name is taken by another type.
+		code := http.StatusConflict
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// InvokeResponse is the wire form of one operation's result.
+type InvokeResponse struct {
+	Output string `json:"output"`
+	Bot    bool   `json:"bot"`
+	Vals   []int  `json:"vals,omitempty"`
+}
+
+func (s *httpServer) invoke(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session int    `json:"session"`
+		Object  string `json:"object"`
+		Method  string `json:"method"`
+		Args    []int  `json:"args"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.c.Session(req.Session).Invoke(req.Object, cc.NewInput(req.Method, req.Args...))
+	if err != nil {
+		// Shutdown in progress is retryable and not the client's fault;
+		// everything else here is an unknown object.
+		code := http.StatusNotFound
+		if errors.Is(err, core.ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InvokeResponse{Output: out.String(), Bot: out.Bot, Vals: out.Vals})
+}
+
+func (s *httpServer) crash(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shard   int `json:"shard"`
+		Replica int `json:"replica"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.c.CrashReplica(req.Shard, req.Replica); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *httpServer) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.c.Stats())
+}
+
+func (s *httpServer) monitor(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"summary": s.c.Monitor().Summary()}
+	if r.URL.Query().Get("verdicts") != "" {
+		resp["verdicts"] = s.c.Monitor().Verdicts()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/checker"
+)
+
+// MonitorConfig tunes the online consistency monitor.
+type MonitorConfig struct {
+	// Disable turns the monitor off entirely.
+	Disable bool
+	// SampleEvery samples one in N created objects (1 = every object);
+	// default 4.
+	SampleEvery int
+	// WindowOps is the number of operations a sampled object's checked
+	// window holds; default 24. Windows much larger than this make the
+	// exact checkers the bottleneck.
+	WindowOps int
+	// Grace is how long a full window keeps accepting the operations
+	// that were already in flight at its cutoff; default 250ms.
+	Grace time.Duration
+	// Criteria overrides the checked criteria (registered names);
+	// default: exactly the criterion the cluster claims.
+	Criteria []string
+	// Budget bounds each check's search nodes (0 = checker default).
+	Budget int
+	// Timeout bounds each check's wall clock; default 2s.
+	Timeout time.Duration
+	// Workers bounds concurrent checks; default 1 (keep the monitor off
+	// the serving path's cores).
+	Workers int
+}
+
+func (m *MonitorConfig) fill(criterion string) {
+	if m.SampleEvery <= 0 {
+		m.SampleEvery = 4
+	}
+	if m.WindowOps <= 0 {
+		m.WindowOps = 24
+	}
+	if m.Grace <= 0 {
+		m.Grace = 250 * time.Millisecond
+	}
+	if len(m.Criteria) == 0 {
+		m.Criteria = []string{criterion}
+	}
+	if m.Timeout <= 0 {
+		m.Timeout = 2 * time.Second
+	}
+	if m.Workers <= 0 {
+		m.Workers = 1
+	}
+}
+
+// Verdict is the outcome of one criterion on one sampled window.
+type Verdict struct {
+	Object    string        `json:"object"`
+	Criterion string        `json:"criterion"`
+	Satisfied bool          `json:"satisfied"`
+	Exhausted checker.Cause `json:"exhausted,omitempty"`
+	Err       string        `json:"err,omitempty"`
+	Ops       int           `json:"ops"`
+	Sessions  int           `json:"sessions"`
+	Explored  int64         `json:"explored"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+// Summary aggregates the monitor's output so far.
+type Summary struct {
+	SampledObjects   int       `json:"sampled_objects"`
+	WindowsSubmitted int       `json:"windows_submitted"`
+	WindowsDropped   int       `json:"windows_dropped"`
+	Verdicts         int       `json:"verdicts"`
+	Satisfied        int       `json:"satisfied"`
+	Violations       []Verdict `json:"violations,omitempty"`
+	// Exhausted counts verdict-less outcomes whose search ran out of
+	// budget or time; Errors counts hard checker failures. The two are
+	// different signals: many Exhausted means the windows are too
+	// expensive, any Errors means the monitor hookup is broken.
+	Exhausted int `json:"exhausted"`
+	Errors    int `json:"errors"`
+}
+
+// Monitor spot-checks the criterion the cluster claims, online: a
+// sample of objects is designated at creation, each sampled object's
+// first WindowOps operations are recorded as a timed history (proc =
+// session id), and every completed window streams into a
+// checker.Classifier running the claimed criterion.
+//
+// The contract of a sampled verdict, precisely:
+//
+//   - A window is a causally closed fragment: an operation enters it
+//     only if it was invoked (updates) or completed (queries) before
+//     the window's cutoff, so every update a recorded query observed
+//     is itself in the window (an update observed by a query with
+//     res ≤ cutoff was invoked before that query completed).
+//   - "Satisfied" therefore means: this fragment of the live execution
+//     admits a witness for the criterion. It is evidence, not proof,
+//     for the run as a whole — unsampled objects, operations after the
+//     window, and exhausted searches are unchecked.
+//   - "Not satisfied" on a clean (non-exhausted) verdict is a real
+//     consistency violation of the recorded fragment, with one
+//     caveat: an update whose session stalled longer than Grace after
+//     the cutoff may be missing from the window, which can manifest as
+//     a spurious violation. Treat violations as alarms to investigate,
+//     not as proof by themselves.
+//   - Budget- or timeout-exhausted verdicts say nothing either way
+//     (the exact checkers are exponential in the worst case).
+//   - EC is near-vacuous on sampled windows: the EC checker constrains
+//     only ω-flagged (infinitely repeated) reads, which live windows
+//     never contain, so an EC cluster's verdicts are trivially
+//     satisfied. Monitoring earns its keep on CC, CCv and PC; for EC
+//     it is a liveness signal only (windows flow end to end).
+type Monitor struct {
+	cfg      MonitorConfig
+	disabled bool
+
+	in     chan checker.Item
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	created   int // objects seen by maybeSample
+	recs      []*objRecorder
+	verdicts  []Verdict
+	submitted int
+	dropped   int
+	closed    bool
+	seq       int
+}
+
+func newMonitor(cfg MonitorConfig, criterion string) *Monitor {
+	if cfg.Disable {
+		return &Monitor{disabled: true, done: make(chan struct{})}
+	}
+	cfg.fill(criterion)
+	m := &Monitor{
+		cfg:  cfg,
+		in:   make(chan checker.Item, 64),
+		done: make(chan struct{}),
+	}
+	opts := []checker.Option{
+		checker.WithCriteria(cfg.Criteria...),
+		checker.WithTimeout(cfg.Timeout),
+		checker.WithWorkers(cfg.Workers),
+	}
+	if cfg.Budget > 0 {
+		opts = append(opts, checker.WithBudget(cfg.Budget))
+	}
+	cl := checker.NewClassifier(opts...)
+	ctx, cancel := context.WithCancel(context.Background())
+	m.cancel = cancel
+	out, err := cl.Stream(ctx, m.in)
+	if err != nil {
+		// Unknown criterion name in Criteria: degrade to disabled
+		// rather than take the serving path down.
+		cancel()
+		m.disabled = true
+		close(m.done)
+		return m
+	}
+	go m.collect(out)
+	return m
+}
+
+// collect folds classifier results into verdicts.
+func (m *Monitor) collect(out <-chan checker.ItemResult) {
+	defer close(m.done)
+	for r := range out {
+		m.mu.Lock()
+		for _, name := range m.cfg.Criteria {
+			res, ok := r.Results[name]
+			if !ok {
+				continue
+			}
+			v := Verdict{
+				Object:    r.Item.Name,
+				Criterion: name,
+				Satisfied: res.Satisfied,
+				Exhausted: res.Exhausted,
+				Ops:       r.Item.H.N(),
+				Sessions:  len(r.Item.H.Processes()),
+				Explored:  res.Explored,
+				ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+			}
+			if res.Err != nil && res.Exhausted == "" {
+				v.Err = res.Err.Error()
+			}
+			m.verdicts = append(m.verdicts, v)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// maybeSample decides at creation whether to record the object;
+// non-nil means sampled.
+func (m *Monitor) maybeSample(name string, t cc.ADT) *objRecorder {
+	if m.disabled {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	i := m.created
+	m.created++
+	if i%m.cfg.SampleEvery != 0 {
+		return nil
+	}
+	rec := &objRecorder{m: m, obj: name, t: t}
+	m.recs = append(m.recs, rec)
+	return rec
+}
+
+// submit hands a finalized window to the classifier without ever
+// blocking the serving path: a full input buffer drops the window.
+func (m *Monitor) submit(obj string, t cc.ADT, ops []checker.TimedOp) {
+	h := checker.TimedToHistory(t, ops)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.seq++
+	item := checker.Item{Index: m.seq, Name: obj, H: h}
+	select {
+	case m.in <- item:
+		m.submitted++
+	default:
+		m.dropped++
+	}
+	m.mu.Unlock()
+}
+
+// Verdicts returns a snapshot of every verdict produced so far.
+func (m *Monitor) Verdicts() []Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Verdict(nil), m.verdicts...)
+}
+
+// Summary aggregates the verdicts produced so far.
+func (m *Monitor) Summary() Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Summary{
+		SampledObjects:   len(m.recs),
+		WindowsSubmitted: m.submitted,
+		WindowsDropped:   m.dropped,
+		Verdicts:         len(m.verdicts),
+	}
+	for _, v := range m.verdicts {
+		switch {
+		case v.Err != "":
+			s.Errors++
+		case v.Exhausted != "":
+			s.Exhausted++
+		case v.Satisfied:
+			s.Satisfied++
+		default:
+			s.Violations = append(s.Violations, v)
+		}
+	}
+	return s
+}
+
+// Close finalizes open windows (submitting those with at least two
+// operations), stops the classifier input, and waits for in-flight
+// checks to produce their verdicts.
+func (m *Monitor) Close() {
+	if m.disabled {
+		return
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	recs := append([]*objRecorder(nil), m.recs...)
+	m.mu.Unlock()
+	for _, r := range recs {
+		r.finalize(true)
+	}
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	close(m.in)
+	<-m.done
+}
+
+// objRecorder records one sampled object's window.
+type objRecorder struct {
+	m   *Monitor
+	obj string
+	t   cc.ADT
+
+	mu     sync.Mutex
+	ops    []checker.TimedOp
+	cutoff float64 // 0 until the window fills
+	done   bool
+}
+
+// record appends one completed operation. Once the window has filled,
+// only operations already in flight at the cutoff are accepted —
+// updates by invocation time, queries by completion time — which keeps
+// the window causally closed (see Monitor).
+func (r *objRecorder) record(session int, op cc.Operation, inv, res float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return
+	}
+	if r.cutoff > 0 {
+		isUpdate := r.t.IsUpdate(op.In)
+		if (isUpdate && inv > r.cutoff) || (!isUpdate && res > r.cutoff) {
+			return
+		}
+		if isUpdate && res > r.cutoff {
+			// The update belongs to the window (invoked before the
+			// cutoff) but completed after it, so its recorded output may
+			// reference updates the window excludes (e.g. a pop that
+			// returned a post-cutoff push). Record it hidden (Def. 2):
+			// its state effect stays, its output needs no justification.
+			// Its replayed effect can only diverge from reality past the
+			// point where an excluded update was applied — and no
+			// admitted query observes that region (any such query would
+			// have res > cutoff), so the window stays sound.
+			op = cc.HiddenOp(op.In)
+		}
+	}
+	r.ops = append(r.ops, checker.TimedOp{Proc: session, Op: op, Inv: inv, Res: res})
+	if r.cutoff == 0 && len(r.ops) >= r.m.cfg.WindowOps {
+		// The cutoff must cover every operation already recorded: record
+		// calls can land out of res order (a session may be descheduled
+		// between computing res and acquiring the lock), and a cutoff
+		// below a recorded query's res would re-admit the closure race
+		// the rule exists to prevent.
+		for _, o := range r.ops {
+			if o.Res > r.cutoff {
+				r.cutoff = o.Res
+			}
+		}
+		time.AfterFunc(r.m.cfg.Grace, func() { r.finalize(false) })
+	}
+}
+
+// finalize closes the window and submits it. force (at monitor Close)
+// submits even a half-filled window, as long as it has two operations.
+func (r *objRecorder) finalize(force bool) {
+	r.mu.Lock()
+	if r.done || (r.cutoff == 0 && !force) {
+		r.mu.Unlock()
+		return
+	}
+	r.done = true
+	ops := r.ops
+	r.mu.Unlock()
+	if len(ops) < 2 {
+		return
+	}
+	r.m.submit(r.obj, r.t, ops)
+}

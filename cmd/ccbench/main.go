@@ -26,9 +26,9 @@ import (
 	"os"
 	"runtime"
 	"testing"
-	"time"
 
 	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/internal/benchrec"
 	"github.com/paper-repro/ccbm/internal/paperfig"
 )
 
@@ -37,16 +37,6 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// Run is one ccbench invocation.
-type Run struct {
-	Label   string            `json:"label"`
-	Date    string            `json:"date"`
-	Go      string            `json:"go"`
-	GoosArc string            `json:"platform"`
-	Procs   int               `json:"procs,omitempty"` // GOMAXPROCS of the run
-	Results map[string]Result `json:"results"`
 }
 
 func measure(name string, f func(b *testing.B)) Result {
@@ -71,14 +61,9 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "also record fig3 runs with Options.Parallelism=N (0 = skip)")
 	flag.Parse()
 
-	run := Run{
-		Label:   *label,
-		Date:    time.Now().UTC().Format(time.RFC3339),
-		Go:      runtime.Version(),
-		GoosArc: runtime.GOOS + "/" + runtime.GOARCH,
-		Procs:   runtime.GOMAXPROCS(0),
-		Results: make(map[string]Result),
-	}
+	results := make(map[string]Result)
+	run := benchrec.New(*label, results)
+	run.Procs = runtime.GOMAXPROCS(0)
 
 	// fig1: every criterion of the hierarchy against the Fig. 3c
 	// history (mirrors BenchmarkFig1HierarchyCheck).
@@ -90,7 +75,7 @@ func main() {
 	h3c := f3c.History()
 	ctx := context.Background()
 	for _, c := range []string{"EC", "UC", "PC", "WCC", "CCv", "CC", "SC"} {
-		run.Results["fig1/"+c] = measure("fig1/"+c, func(b *testing.B) {
+		results["fig1/"+c] = measure("fig1/"+c, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := checker.Check(ctx, c, h3c); err != nil {
@@ -122,10 +107,10 @@ func main() {
 		}
 	}
 	for _, f := range paperfig.Fig3() {
-		run.Results["fig3/"+f.Name] = measure("fig3/"+f.Name, claimBench(f))
+		results["fig3/"+f.Name] = measure("fig3/"+f.Name, claimBench(f))
 		if *parallelism > 1 {
 			name := fmt.Sprintf("fig3/%s/par%d", f.Name, *parallelism)
-			run.Results[name] = measure(name, claimBench(f, checker.WithParallelism(*parallelism)))
+			results[name] = measure(name, claimBench(f, checker.WithParallelism(*parallelism)))
 		}
 	}
 
@@ -139,29 +124,10 @@ func main() {
 		return
 	}
 
-	var runs []Run
-	data, err := os.ReadFile(*appendTo)
-	switch {
-	case err == nil:
-		if err := json.Unmarshal(data, &runs); err != nil {
-			fmt.Fprintf(os.Stderr, "ccbench: %s is not a JSON array of runs: %v\n", *appendTo, err)
-			os.Exit(1)
-		}
-	case !os.IsNotExist(err):
-		// Any error other than "no file yet" must not silently discard
-		// the recorded trajectory.
-		fmt.Fprintln(os.Stderr, "ccbench:", err)
-		os.Exit(1)
-	}
-	runs = append(runs, run)
-	data, err = json.MarshalIndent(runs, "", "  ")
+	n, err := benchrec.Append(*appendTo, run)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccbench:", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*appendTo, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "ccbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("ccbench: appended %q to %s (%d runs)\n", *label, *appendTo, len(runs))
+	fmt.Printf("ccbench: appended %q to %s (%d runs)\n", *label, *appendTo, n)
 }

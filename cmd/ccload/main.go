@@ -1,0 +1,287 @@
+// Command ccload is the closed-loop load generator for ccserved: N
+// client goroutines, each with its own session, drive a mixed-ADT
+// object population over HTTP — optionally with a Zipf-skewed object
+// popularity, the workload shape that separates batched from unbatched
+// hot paths — and report sustained throughput, latency percentiles,
+// the realized write ratio, and the server's online monitor summary.
+//
+// Usage:
+//
+//	ccload -addr http://127.0.0.1:8344 -clients 8 -duration 5s \
+//	       -objects 16 -adt mixed -write-ratio 0.3 -skew 1.1 \
+//	       [-bench-out BENCH_runtime.json -label "..."] [-require-verdicts]
+//
+// -bench-out appends a labelled entry (BENCH_checkers.json style) so a
+// run becomes a recorded, comparable measurement. -require-verdicts
+// exits non-zero unless the server's monitor produced at least one
+// verdict during the run — the CI smoke contract.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/benchrec"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/stats"
+	"github.com/paper-repro/ccbm/internal/workload"
+)
+
+// mixedADTs is the default object population for -adt mixed.
+var mixedADTs = []string{"Counter", "Register", "GSet", "RWSet", "Queue2", "Stack"}
+
+type target struct {
+	name string
+	t    spec.ADT
+	gen  workload.OpGen
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8344", "ccserved base URL")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients (one session each)")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	objects := flag.Int("objects", 16, "number of objects to create and drive")
+	adtFlag := flag.String("adt", "mixed", `ADT for every object, or "mixed" to cycle a standard set`)
+	writeRatio := flag.Float64("write-ratio", 0.3, "update fraction of the generated mix")
+	skew := flag.Float64("skew", 1.1, "Zipf exponent for object popularity (0 = uniform)")
+	seed := flag.Int64("seed", 1, "random seed")
+	benchOut := flag.String("bench-out", "", "append a labelled result entry to this JSON file")
+	label := flag.String("label", "", "label for the bench entry")
+	requireVerdicts := flag.Bool("require-verdicts", false, "exit non-zero unless the monitor produced verdicts")
+	flag.Parse()
+	if *clients < 1 || *objects < 1 {
+		fmt.Fprintln(os.Stderr, "ccload: -clients and -objects must be at least 1")
+		os.Exit(2)
+	}
+	if *skew != 0 && *skew <= 1 {
+		// rand.NewZipf needs s > 1; silently degrading to uniform would
+		// record a bench entry whose skew field lies about the run.
+		fmt.Fprintln(os.Stderr, "ccload: -skew must be 0 (uniform) or > 1 (Zipf exponent)")
+		os.Exit(2)
+	}
+
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}}
+
+	// Wait for the server, then create the object population.
+	if err := waitHealthy(httpc, *addr, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "ccload:", err)
+		os.Exit(1)
+	}
+	targets := make([]target, *objects)
+	for i := range targets {
+		name := fmt.Sprintf("obj-%03d", i)
+		adtName := *adtFlag
+		if adtName == "mixed" {
+			adtName = mixedADTs[i%len(mixedADTs)]
+		}
+		t, err := adt.Lookup(adtName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccload:", err)
+			os.Exit(2)
+		}
+		gen, err := workload.GeneratorFor(t, *writeRatio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccload:", err)
+			os.Exit(2)
+		}
+		if err := postJSON(httpc, *addr+"/v1/objects", map[string]string{"name": name, "adt": adtName}, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ccload: create:", err)
+			os.Exit(1)
+		}
+		targets[i] = target{name: name, t: t, gen: gen}
+	}
+
+	// Closed loop: every client owns one session and waits for each
+	// response before sending the next operation.
+	var (
+		ops, writes, reads, errs atomic.Int64
+		mu                       sync.Mutex
+		latencies                []float64 // µs, sampled 1 in 16
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for cl := 0; cl < *clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed*7919 + int64(cl)))
+			var zipf *rand.Zipf
+			if *skew > 1 {
+				zipf = rand.NewZipf(rng, *skew, 1, uint64(len(targets)-1))
+			}
+			var local []float64
+			for step := 0; time.Now().Before(deadline); step++ {
+				var tg target
+				if zipf != nil {
+					tg = targets[zipf.Uint64()]
+				} else {
+					tg = targets[rng.Intn(len(targets))]
+				}
+				in := tg.gen(rng, step)
+				req := map[string]any{"session": cl, "object": tg.name, "method": in.Method, "args": in.Args}
+				t0 := time.Now()
+				err := postJSON(httpc, *addr+"/v1/invoke", req, nil)
+				lat := time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				ops.Add(1)
+				if tg.t.IsUpdate(in) {
+					writes.Add(1)
+				} else {
+					reads.Add(1)
+				}
+				if step%16 == 0 {
+					local = append(local, float64(lat.Microseconds()))
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(cl)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := ops.Load()
+	opsPerSec := float64(total) / elapsed.Seconds()
+	lat := stats.Summarize(latencies)
+	realized := 0.0
+	if total > 0 {
+		realized = float64(writes.Load()) / float64(total)
+	}
+
+	var mon struct {
+		Summary map[string]any `json:"summary"`
+	}
+	if err := getJSON(httpc, *addr+"/v1/monitor", &mon); err != nil {
+		fmt.Fprintln(os.Stderr, "ccload: monitor:", err)
+	}
+
+	fmt.Printf("ccload: %d ops in %v (%.0f ops/s), %d errors\n", total, elapsed.Round(time.Millisecond), opsPerSec, errs.Load())
+	fmt.Printf("mix     w=%d r=%d (realized write ratio %.3f of requested %.2f)\n",
+		writes.Load(), reads.Load(), realized, *writeRatio)
+	fmt.Printf("latency sampled %s µs\n", lat.String())
+	monJSON, _ := json.Marshal(mon.Summary)
+	fmt.Printf("monitor %s\n", monJSON)
+
+	verdicts := monFloat(mon.Summary, "verdicts")
+	violations := 0
+	if vs, ok := mon.Summary["violations"].([]any); ok {
+		violations = len(vs)
+	}
+	if *benchOut != "" {
+		lbl := *label
+		if lbl == "" {
+			lbl = "ccload run"
+		}
+		entry := benchrec.New(lbl, map[string]any{
+			"config": map[string]any{
+				"clients": *clients, "objects": *objects, "adt": *adtFlag,
+				"write_ratio": *writeRatio, "skew": *skew, "duration": duration.String(),
+			},
+			"ops":                  total,
+			"ops_per_sec":          round1(opsPerSec),
+			"errors":               errs.Load(),
+			"realized_write_ratio": round3(realized),
+			"latency_us": map[string]any{
+				"p50": lat.P50, "p95": lat.P95, "p99": lat.P99, "mean": round1(lat.Mean),
+			},
+			"monitor": mon.Summary,
+		})
+		if _, err := benchrec.Append(*benchOut, entry); err != nil {
+			fmt.Fprintln(os.Stderr, "ccload: bench-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %s\n", *benchOut)
+	}
+	if *requireVerdicts && verdicts == 0 {
+		fmt.Fprintln(os.Stderr, "ccload: monitor produced no verdicts")
+		os.Exit(1)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "ccload: monitor reported %d violations\n", violations)
+		os.Exit(1)
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "ccload: no operation completed")
+		os.Exit(1)
+	}
+}
+
+func monFloat(m map[string]any, key string) float64 {
+	if m == nil {
+		return 0
+	}
+	f, _ := m[key].(float64)
+	return f
+}
+
+func round1(f float64) float64 { return float64(int64(f*10)) / 10 }
+func round3(f float64) float64 { return float64(int64(f*1000)) / 1000 }
+
+func waitHealthy(c *http.Client, addr string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := c.Get(addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy within %v: %v", addr, within, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func postJSON(c *http.Client, url string, body any, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func getJSON(c *http.Client, url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

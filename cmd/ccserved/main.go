@@ -1,0 +1,120 @@
+// Command ccserved serves a live, sharded multi-object replicated
+// store (cc/cluster) over HTTP, continuously self-checking the
+// consistency criterion it claims via the online monitor.
+//
+// Usage:
+//
+//	ccserved -addr :8344 -criterion CCv -shards 4 -replicas 3 \
+//	         -batch-ops 32 -batch-wait 200us \
+//	         -monitor-sample 4 -monitor-window 24 -monitor-timeout 2s
+//
+// Endpoints (see cluster.NewHTTPHandler): POST /v1/objects, POST
+// /v1/invoke, POST /v1/crash, GET /v1/stats, GET /v1/monitor, GET
+// /v1/healthz. On SIGINT/SIGTERM the server drains, closes the
+// cluster (flushing batches and finalizing sampled windows) and
+// prints the monitor summary; a monitor violation makes the exit
+// status non-zero so harnesses notice.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	criterion := flag.String("criterion", "CC", "consistency criterion: CC, PC, EC, CCv")
+	shards := flag.Int("shards", 4, "number of replica groups objects are hashed across")
+	replicas := flag.Int("replicas", 3, "replicas per shard")
+	batchOps := flag.Int("batch-ops", 32, "max updates per broadcast batch (1 disables batching)")
+	batchWait := flag.Duration("batch-wait", 200*time.Microsecond, "max time an update waits for its batch")
+	monSample := flag.Int("monitor-sample", 4, "monitor samples 1 in N objects (0 disables the monitor)")
+	monWindow := flag.Int("monitor-window", 24, "operations per sampled window")
+	monTimeout := flag.Duration("monitor-timeout", 2*time.Second, "wall-clock bound per online check")
+	monBudget := flag.Int("monitor-budget", 0, "search-node bound per online check (0 = checker default)")
+	compactEvery := flag.Duration("compact-every", 5*time.Second, "CCv log compaction interval (0 disables)")
+	flag.Parse()
+
+	cfg := cluster.Config{
+		Shards:    *shards,
+		Replicas:  *replicas,
+		Criterion: *criterion,
+		BatchOps:  *batchOps,
+		BatchWait: *batchWait,
+		Monitor: cluster.MonitorConfig{
+			Disable:     *monSample <= 0,
+			SampleEvery: *monSample,
+			WindowOps:   *monWindow,
+			Timeout:     *monTimeout,
+			Budget:      *monBudget,
+		},
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccserved:", err)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: cluster.NewHTTPHandler(c)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	var stopCompact chan struct{}
+	if *compactEvery > 0 {
+		stopCompact = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*compactEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					c.Compact()
+				case <-stopCompact:
+					return
+				}
+			}
+		}()
+	}
+
+	fmt.Printf("ccserved: criterion=%s shards=%d replicas=%d batch=%d addr=%s\n",
+		c.Criterion(), *shards, *replicas, *batchOps, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("ccserved: %v, draining\n", s)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "ccserved:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if stopCompact != nil {
+		close(stopCompact)
+	}
+	c.Close()
+
+	sum := c.Monitor().Summary()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fmt.Println("ccserved: final stats")
+	enc.Encode(c.Stats().Totals)
+	fmt.Println("ccserved: monitor summary")
+	enc.Encode(sum)
+	if len(sum.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "ccserved: %d monitor violations\n", len(sum.Violations))
+		os.Exit(1)
+	}
+}

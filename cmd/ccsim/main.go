@@ -9,36 +9,27 @@
 //	ccsim -mode CC|PC|EC|CCv -n 4 -ops 1000 -streams 4 -size 2 \
 //	      -write-ratio 0.5 -seed 1 [-check] [-omega]
 //	ccsim -adt Queue -mode CCv -n 3 -ops 500    # any adt.Lookup type
+//
+// -omega appends each process's quiescent reads (flagged ω) before
+// checking; it works for the window-stream array and for any -adt type
+// with a pure query (Queue has none and is rejected).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 	"time"
 
 	"github.com/paper-repro/ccbm/cc/checker"
 	"github.com/paper-repro/ccbm/internal/adt"
 	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 	"github.com/paper-repro/ccbm/internal/workload"
 )
-
-func parseMode(s string) (core.Mode, error) {
-	switch strings.ToUpper(s) {
-	case "CC":
-		return core.ModeCC, nil
-	case "PC":
-		return core.ModePC, nil
-	case "EC":
-		return core.ModeEC, nil
-	case "CCV":
-		return core.ModeCCv, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (want CC, PC, EC or CCv)", s)
-}
 
 func main() {
 	modeFlag := flag.String("mode", "CC", "consistency mode: CC, PC, EC, CCv")
@@ -53,7 +44,7 @@ func main() {
 	adtFlag := flag.String("adt", "", "replicate this ADT (adt.Lookup name) instead of the window-stream array")
 	flag.Parse()
 
-	mode, err := parseMode(*modeFlag)
+	mode, err := core.ParseMode(*modeFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccsim:", err)
 		os.Exit(2)
@@ -65,12 +56,22 @@ func main() {
 	}
 	start := time.Now()
 	var res workload.Result
+	var genericADT spec.ADT
 	if *adtFlag != "" {
 		t, err := adt.Lookup(*adtFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccsim:", err)
 			os.Exit(2)
 		}
+		if *omega {
+			// Fail before the run, not after it: ω-reads need a pure
+			// query to repeat at quiescence.
+			if _, ok := workload.QuiescentReads(t); !ok {
+				fmt.Fprintf(os.Stderr, "ccsim: -omega is not supported for ADT %s: it has no pure query to repeat at quiescence\n", t.Name())
+				os.Exit(2)
+			}
+		}
+		genericADT = t
 		gen, err := workload.GeneratorFor(t, *writeRatio)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccsim:", err)
@@ -97,8 +98,15 @@ func main() {
 		res = workload.Run(mode, cfg)
 	}
 	elapsed := time.Since(start)
-	if *omega && *adtFlag == "" {
-		workload.FinalReads(res.Cluster, cfg.Streams)
+	if *omega {
+		if genericADT != nil {
+			if err := workload.FinalReadsFor(res.Cluster, genericADT); err != nil {
+				fmt.Fprintln(os.Stderr, "ccsim:", err)
+				os.Exit(2)
+			}
+		} else {
+			workload.FinalReads(res.Cluster, cfg.Streams)
+		}
 	}
 
 	c := res.Cluster
@@ -106,8 +114,8 @@ func main() {
 	if *adtFlag != "" {
 		obj = *adtFlag
 	}
-	fmt.Printf("mode=%v adt=%s n=%d ops=%d (w=%d r=%d) seed=%d\n",
-		mode, obj, *n, *ops, res.Writes, res.Reads, *seed)
+	fmt.Printf("mode=%v adt=%s n=%d ops=%d (w=%d r=%d, realized write ratio %.3f of requested %.2f) seed=%d\n",
+		mode, obj, *n, *ops, res.Writes, res.Reads, res.RealizedWriteRatio(), *writeRatio, *seed)
 	fmt.Printf("wall time      %v (%.0f ops/s host-side)\n", elapsed.Round(time.Microsecond),
 		float64(*ops)/elapsed.Seconds())
 	fmt.Printf("sim time       %.1f units\n", c.Net.Now())
@@ -123,7 +131,14 @@ func main() {
 		}[mode]
 		res, err := checker.Check(context.Background(), want, h)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ccsim: checker: %v (reduce -ops)\n", err)
+			// Only budget exhaustion is fixable by shrinking the run;
+			// other errors (unknown criterion, cancellation, malformed
+			// history) get no misleading hint.
+			hint := ""
+			if errors.Is(err, checker.ErrBudget) {
+				hint = " (search budget exhausted; reduce -ops)"
+			}
+			fmt.Fprintf(os.Stderr, "ccsim: checker: %v%s\n", err, hint)
 			os.Exit(1)
 		}
 		fmt.Printf("checked        history satisfies %s: %v (%d nodes explored)\n", want, res.Satisfied, res.Explored)

@@ -27,13 +27,22 @@
 //     WithParallelism, WithTimeout), a unified Result (verdict,
 //     witness, explored nodes, wall time, exhaustion cause), and the
 //     streaming batch Classifier.
+//   - cc/cluster: the serving layer — a live, sharded multi-object
+//     service over the Sec. 6 runtime (named objects of any registered
+//     ADT, hash-sharded replica groups, batched causal broadcast,
+//     per-session replica affinity, crash injection) with an online
+//     monitor that streams sampled per-object timed windows back into
+//     the Classifier, so a running cluster continuously spot-checks
+//     the criterion it claims. cmd/ccserved serves it over HTTP and
+//     cmd/ccload load-tests it (BENCH_runtime.json records measured
+//     runs); see the package docs for the exact verdict contract.
 //
 // Cancellation is idiomatic context.Context end to end: every search
 // polls ctx at a bounded node cadence and unwinds promptly on
 // cancellation or deadline. The exported surface is pinned by the
 // API-lock test (cc/testdata/api.golden).
 //
-// All five cmd/ tools and all seven examples/ programs are built on
+// All cmd/ tools and all seven examples/ programs are built on
 // the facade; see README.md for the architecture, the benchmark
 // workflow and the BENCH_checkers.json performance record. The
 // benchmarks in bench_test.go and bench_extra_test.go regenerate the

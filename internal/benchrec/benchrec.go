@@ -1,0 +1,63 @@
+// Package benchrec is the shared writer for the repo's BENCH_*.json
+// performance records: JSON arrays of labelled run entries
+// (label/date/toolchain/platform/results), appended to by cmd/ccbench
+// (checker microbenchmarks) and cmd/ccload (runtime load runs).
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Entry is one recorded run. Results is free-form per tool (ccbench
+// records per-benchmark ns/bytes/allocs, ccload records a throughput/
+// latency/monitor report).
+type Entry struct {
+	Label    string `json:"label"`
+	Date     string `json:"date"`
+	Go       string `json:"go"`
+	Platform string `json:"platform"`
+	Procs    int    `json:"procs,omitempty"` // GOMAXPROCS of the run, when relevant
+	Results  any    `json:"results"`
+}
+
+// New stamps an entry with the current time and toolchain.
+func New(label string, results any) Entry {
+	return Entry{
+		Label:    label,
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		Go:       runtime.Version(),
+		Platform: runtime.GOOS + "/" + runtime.GOARCH,
+		Results:  results,
+	}
+}
+
+// Append appends the entry to the JSON-array file, creating the file
+// when missing and preserving existing entries verbatim. It returns
+// the new number of entries.
+func Append(path string, e Entry) (int, error) {
+	var entries []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return 0, fmt.Errorf("%s is not a JSON array of runs: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return 0, err
+	}
+	entries = append(entries, raw)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}

@@ -25,6 +25,15 @@ import (
 // broadcasting process.
 type Deliver func(origin int, payload any)
 
+// DeliverVC is Deliver plus the message's causal vector stamp. The
+// stamp is assigned atomically with the causal ordering decision, so a
+// consumer that derives a total order from it (e.g. the CCv runtime's
+// timestamp order: the stamp's coordinate sum, origin-tie-broken) gets
+// an order that provably extends causality — with no window between an
+// application-level clock read and the broadcast, which on the live
+// transport would race concurrent deliveries.
+type DeliverVC func(origin int, vc vclock.VC, payload any)
+
 // Broadcaster is the interface shared by all layers.
 type Broadcaster interface {
 	// Broadcast disseminates the payload to all processes, delivering
@@ -52,11 +61,17 @@ type outQueue struct {
 	mu       sync.Mutex
 	queue    []delivery
 	draining bool
-	out      Deliver
+	out      DeliverVC
+}
+
+// plain adapts a stamp-less Deliver to the queue's callback type.
+func plain(d Deliver) DeliverVC {
+	return func(origin int, _ vclock.VC, payload any) { d(origin, payload) }
 }
 
 type delivery struct {
 	origin  int
+	vc      vclock.VC
 	payload any
 }
 
@@ -74,7 +89,7 @@ func (q *outQueue) dispatch(ds []delivery) {
 		d := q.queue[0]
 		q.queue = q.queue[1:]
 		q.mu.Unlock()
-		q.out(d.origin, d.payload)
+		q.out(d.origin, d.vc, d.payload)
 		q.mu.Lock()
 	}
 	q.draining = false
@@ -198,9 +213,9 @@ type Reliable struct {
 // NewReliable creates the layer for process id and registers it with
 // the transport.
 func NewReliable(t net.Transport, id int, d Deliver) *Reliable {
-	r := &Reliable{out: &outQueue{out: d}}
+	r := &Reliable{out: &outQueue{out: plain(d)}}
 	r.core = newRelCore(t, id, func(env envelope) {
-		r.out.dispatch([]delivery{{env.ID.Origin, env.Payload}})
+		r.out.dispatch([]delivery{{origin: env.ID.Origin, payload: env.Payload}})
 	})
 	return r
 }
@@ -220,7 +235,7 @@ type FIFO struct {
 
 // NewFIFO creates the layer for process id.
 func NewFIFO(t net.Transport, id int, d Deliver) *FIFO {
-	f := &FIFO{next: make([]int, t.N()), hold: make(map[msgID]envelope), out: &outQueue{out: d}}
+	f := &FIFO{next: make([]int, t.N()), hold: make(map[msgID]envelope), out: &outQueue{out: plain(d)}}
 	for i := range f.next {
 		f.next[i] = 1
 	}
@@ -242,7 +257,7 @@ func (f *FIFO) onEnv(env envelope) {
 			if e, ok := f.hold[id]; ok {
 				delete(f.hold, id)
 				f.next[origin]++
-				ready = append(ready, delivery{e.ID.Origin, e.Payload})
+				ready = append(ready, delivery{origin: e.ID.Origin, payload: e.Payload})
 				progress = true
 			}
 		}
@@ -268,6 +283,13 @@ type Causal struct {
 
 // NewCausal creates the layer for process id.
 func NewCausal(t net.Transport, id int, d Deliver) *Causal {
+	return NewCausalVC(t, id, plain(d))
+}
+
+// NewCausalVC creates the layer for process id with a delivery
+// callback that also receives each message's causal stamp (see
+// DeliverVC).
+func NewCausalVC(t net.Transport, id int, d DeliverVC) *Causal {
 	c := &Causal{id: id, vc: vclock.New(t.N()), out: &outQueue{out: d}}
 	c.core = newRelCore(t, id, c.onEnv)
 	return c
@@ -293,7 +315,7 @@ func (c *Causal) onEnv(env envelope) {
 			e := c.hold[i]
 			if vclock.CausallyReady(e.VC, c.vc, e.ID.Origin) {
 				c.vc[e.ID.Origin]++
-				ready = append(ready, delivery{e.ID.Origin, e.Payload})
+				ready = append(ready, delivery{origin: e.ID.Origin, vc: e.VC, payload: e.Payload})
 				c.hold = append(c.hold[:i], c.hold[i+1:]...)
 				progress = true
 				i--

@@ -28,7 +28,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 	"sync"
 
 	"github.com/paper-repro/ccbm/internal/broadcast"
@@ -49,7 +49,8 @@ const (
 	ModeCCv
 )
 
-// String returns the criterion abbreviation.
+// String returns the criterion abbreviation — the exact spelling the
+// checker registry uses.
 func (m Mode) String() string {
 	switch m {
 	case ModeCC:
@@ -65,16 +66,27 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode resolves a criterion abbreviation, case-insensitively, to
+// its Mode. Round-tripping through Mode.String canonicalizes the
+// spelling.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "CC":
+		return ModeCC, nil
+	case "PC":
+		return ModePC, nil
+	case "EC":
+		return ModeEC, nil
+	case "CCV":
+		return ModeCCv, nil
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (want CC, PC, EC or CCv)", s)
+}
+
 // updMsg is the broadcast payload: one update operation.
 type updMsg struct {
 	In spec.Input
 	TS vclock.Timestamp // EC/CCv modes only
-}
-
-// stampedOp is a log entry for the timestamp-ordered modes.
-type stampedOp struct {
-	ts vclock.Timestamp
-	in spec.Input
 }
 
 // Replica is one process's copy of a shared object. All methods are
@@ -94,18 +106,14 @@ type Replica struct {
 	// Apply-on-delivery modes (CC, PC).
 	state spec.State
 
-	// Timestamp-ordered modes (EC, CCv).
+	// Timestamp-ordered modes (EC, CCv): Lamport clock plus the shared
+	// timestamp-ordered log with its replay cache (tsLog); its base is
+	// the fold of the compacted stable prefix, see CompactLog.
 	clock vclock.Lamport
-	log   []stampedOp
-	// base is the fold of the compacted (garbage-collected) stable
-	// prefix of the log; see CompactLog.
-	base spec.State
+	tl    *tsLog[vclock.Timestamp]
 	// lastVT[q] is the largest Lamport time seen from origin q, used
 	// to determine which log prefix is stable.
 	lastVT []int
-	// Replay cache: cacheState is the fold of base plus log[:cacheLen].
-	cacheState spec.State
-	cacheLen   int
 
 	// Output of this replica's own update deliveries, in order
 	// (local delivery is synchronous inside Broadcast).
@@ -125,8 +133,7 @@ type Stats struct {
 func NewReplica(tr net.Transport, id int, t spec.ADT, mode Mode, rec *trace.Recorder) *Replica {
 	r := &Replica{id: id, t: t, mode: mode, rec: rec, state: t.Init()}
 	r.ownCond = sync.NewCond(&r.mu)
-	r.base = t.Init()
-	r.cacheState = r.base
+	r.tl = newTSLog(t, vclock.Timestamp.Less)
 	r.lastVT = make([]int, tr.N())
 	switch mode {
 	case ModeCC, ModeCCv:
@@ -225,20 +232,11 @@ func (r *Replica) onDeliver(origin int, payload any) {
 		if m.TS.VT > r.lastVT[origin] {
 			r.lastVT[origin] = m.TS.VT
 		}
-		op := stampedOp{ts: m.TS, in: m.In}
-		pos := sort.Search(len(r.log), func(i int) bool { return m.TS.Less(r.log[i].ts) })
-		r.log = append(r.log, stampedOp{})
-		copy(r.log[pos+1:], r.log[pos:])
-		r.log[pos] = op
-		if pos < r.cacheLen {
-			// Mid-log insertion invalidates the replay cache.
-			r.cacheState = r.base
-			r.cacheLen = 0
-		}
+		pos := r.tl.insert(m.TS, m.In)
 		if origin == r.id {
 			// The update's own output is computed in the state reached
 			// by the updates that precede it in the shared total order.
-			q := r.replayLocked(pos)
+			q := r.tl.replay(pos)
 			_, out = r.t.Step(q, m.In)
 		}
 	}
@@ -256,28 +254,8 @@ func (r *Replica) currentStateLocked() spec.State {
 	case ModeCC, ModePC:
 		return r.state
 	default:
-		return r.replayLocked(len(r.log))
+		return r.tl.state()
 	}
-}
-
-// replayLocked folds base plus log[:n], advancing the cache when
-// possible.
-func (r *Replica) replayLocked(n int) spec.State {
-	if n >= r.cacheLen {
-		q := r.cacheState
-		for i := r.cacheLen; i < n; i++ {
-			q, _ = r.t.Step(q, r.log[i].in)
-		}
-		if n == len(r.log) {
-			r.cacheState, r.cacheLen = q, n
-		}
-		return q
-	}
-	q := r.base
-	for i := 0; i < n; i++ {
-		q, _ = r.t.Step(q, r.log[i].in)
-	}
-	return q
 }
 
 // CompactLog garbage-collects the stable prefix of the timestamp log
@@ -304,19 +282,8 @@ func (r *Replica) CompactLog() int {
 			stable = vt
 		}
 	}
-	idx := sort.Search(len(r.log), func(i int) bool { return r.log[i].ts.VT > stable })
-	if idx == 0 {
-		return 0
-	}
-	// Fold the prefix into the base and drop it.
-	q := r.base
-	for i := 0; i < idx; i++ {
-		q, _ = r.t.Step(q, r.log[i].in)
-	}
-	r.base = q
-	r.log = append([]stampedOp(nil), r.log[idx:]...)
-	r.cacheState, r.cacheLen = r.base, 0
-	return idx
+	// Fold the stable prefix into the base and drop it.
+	return r.tl.compact(func(ts vclock.Timestamp) bool { return ts.VT <= stable })
 }
 
 // StateKey returns the canonical key of the replica's current local
@@ -332,5 +299,5 @@ func (r *Replica) StateKey() string {
 func (r *Replica) LogLen() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.log)
+	return r.tl.size()
 }

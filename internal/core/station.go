@@ -1,0 +1,475 @@
+package core
+
+// Station is the serving-layer counterpart of Replica: one process's
+// copy of MANY named objects, all disseminated over a single broadcast
+// layer, with update batching on the hot path. A replica group of n
+// Stations over one transport forms a shard of the multi-object
+// service (cc/cluster); clients may invoke one Station from many
+// goroutines concurrently (unlike Replica, whose contract is the
+// paper's sequential process).
+//
+// The consistency criterion is per-group, selected exactly as for
+// Replica: CC (causal broadcast, apply on delivery), PC (FIFO), EC
+// (unordered + timestamp-ordered fold), CCv (causal + timestamp-
+// ordered fold). For CCv the total-order timestamp is derived from the
+// causal layer's own vector stamp (its coordinate sum, tie-broken by
+// origin), which the layer assigns atomically with the causal ordering
+// decision — so the timestamp order extends causality by construction
+// even when deliveries race invocations, with no application-level
+// Lamport window.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/paper-repro/ccbm/internal/adt"
+	"github.com/paper-repro/ccbm/internal/broadcast"
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/spec"
+	"github.com/paper-repro/ccbm/internal/vclock"
+)
+
+// ErrClosed reports an update submitted to a closed station — a
+// shutdown-in-progress condition, distinct from data errors like an
+// unknown object.
+var ErrClosed = errors.New("core: station closed")
+
+// StationConfig tunes a station's hot path.
+type StationConfig struct {
+	// BatchOps is the maximum number of updates carried by one
+	// broadcast message; <= 1 disables batching (every update is its
+	// own broadcast).
+	BatchOps int
+	// BatchWait bounds how long an enqueued update may wait for the
+	// batch to fill before it is flushed anyway. Ignored when batching
+	// is disabled; 0 defaults to 200µs.
+	BatchWait time.Duration
+}
+
+// totalTS orders updates in the timestamp modes (EC, CCv): time, then
+// intra-batch position, then origin.
+type totalTS struct {
+	VT  int // EC: origin Lamport time; CCv: causal-stamp coordinate sum
+	Seq int // position within the batch
+	PID int // origin process, the tie-breaker
+}
+
+func (a totalTS) less(b totalTS) bool {
+	if a.VT != b.VT {
+		return a.VT < b.VT
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	return a.PID < b.PID
+}
+
+// wireOp is one update on the wire.
+type wireOp struct {
+	Obj string // object name
+	ADT string // ADT registry name, creates the object lazily on first delivery
+	In  spec.Input
+	ID  uint64 // origin-local id routing the output back to the invoker
+	VT  int    // EC only: origin-assigned Lamport time
+}
+
+// batchMsg is the broadcast payload: a batch of updates applied in
+// order on delivery.
+type batchMsg struct {
+	Ops []wireOp
+}
+
+// stObject is the per-object replicated state.
+type stObject struct {
+	t       spec.ADT
+	adtName string
+
+	// Apply-on-delivery modes (CC, PC).
+	state spec.State
+
+	// Timestamp-ordered modes (EC, CCv): the shared timestamp-ordered
+	// log with its replay cache.
+	tl *tsLog[totalTS]
+}
+
+// StationStats counts a station's activity.
+type StationStats struct {
+	Invocations int64
+	Updates     int64
+	Queries     int64
+	Applied     int64 // update deliveries applied (own + remote, all objects)
+	Broadcasts  int64 // batches sent
+	BatchedOps  int64 // updates carried by those batches
+	Objects     int   // named objects hosted
+	LogLen      int   // timestamp-log entries across objects (EC/CCv)
+}
+
+// Station is one process of a multi-object replica group. All methods
+// are safe for concurrent use by many client sessions.
+type Station struct {
+	id   int
+	mode Mode
+	bc   broadcast.Broadcaster
+
+	mu      sync.Mutex
+	objs    map[string]*stObject
+	outs    map[uint64]spec.Output
+	outCond *sync.Cond
+	tsHigh  int   // EC: Lamport high-water (assigned ∨ witnessed)
+	lastVT  []int // per-origin largest timestamp seen, for compaction
+	stats   StationStats
+
+	batchMu  sync.Mutex
+	pending  []wireOp
+	nextID   uint64
+	timer    *time.Timer
+	closed   bool
+	batchOps int
+	wait     time.Duration
+
+	// flushMu serializes take+broadcast, so batches leave in the order
+	// their timestamps were assigned (EC) and a quiescence check can
+	// rule out an in-flight flush by acquiring it.
+	flushMu sync.Mutex
+}
+
+// NewStation creates the station for process id over the transport and
+// registers its delivery handler.
+func NewStation(tr net.Transport, id int, mode Mode, cfg StationConfig) *Station {
+	s := &Station{
+		id:       id,
+		mode:     mode,
+		objs:     make(map[string]*stObject),
+		outs:     make(map[uint64]spec.Output),
+		lastVT:   make([]int, tr.N()),
+		batchOps: cfg.BatchOps,
+		wait:     cfg.BatchWait,
+	}
+	if s.wait <= 0 {
+		s.wait = 200 * time.Microsecond
+	}
+	s.outCond = sync.NewCond(&s.mu)
+	switch mode {
+	case ModeCC, ModeCCv:
+		s.bc = broadcast.NewCausalVC(tr, id, s.onDeliverVC)
+	case ModePC:
+		s.bc = broadcast.NewFIFO(tr, id, s.onDeliver)
+	case ModeEC:
+		s.bc = broadcast.NewReliable(tr, id, s.onDeliver)
+	default:
+		panic(fmt.Sprintf("core: unknown mode %v", mode))
+	}
+	return s
+}
+
+// ID returns the station's process id.
+func (s *Station) ID() int { return s.id }
+
+// Mode returns the group's consistency mode.
+func (s *Station) Mode() Mode { return s.mode }
+
+// EnsureObject creates the named object locally if it does not exist.
+// Call it on every station of the group before routing traffic for the
+// object (remote stations also create lazily on first delivery, so a
+// missed call only affects queries racing the first update).
+func (s *Station) EnsureObject(name, adtName string) error {
+	t, err := adt.Lookup(adtName)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objs[name]; !ok {
+		s.createLocked(name, adtName, t)
+	}
+	return nil
+}
+
+func (s *Station) createLocked(name, adtName string, t spec.ADT) *stObject {
+	o := &stObject{t: t, adtName: adtName, state: t.Init(), tl: newTSLog(t, totalTS.less)}
+	s.objs[name] = o
+	s.stats.Objects = len(s.objs)
+	return o
+}
+
+// ensureLocked resolves an object at delivery time, creating it from
+// its wire ADT name when this station has not seen it yet.
+func (s *Station) ensureLocked(name, adtName string) *stObject {
+	if o, ok := s.objs[name]; ok {
+		return o
+	}
+	t, err := adt.Lookup(adtName)
+	if err != nil {
+		return nil // unknown type on the wire: drop, counted nowhere
+	}
+	return s.createLocked(name, adtName, t)
+}
+
+// Objects returns the names of the objects hosted, sorted.
+func (s *Station) Objects() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.objs))
+	for n := range s.objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns a snapshot of the station's counters.
+func (s *Station) Stats() StationStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.LogLen = 0
+	for _, o := range s.objs {
+		st.LogLen += o.tl.size()
+	}
+	return st
+}
+
+// Invoke executes one operation on the named object. Queries read the
+// local state; updates are enqueued on the current batch, broadcast,
+// and complete when the local delivery applies them (never waiting for
+// remote progress — wait-freedom is preserved, batching only delays
+// the local flush by at most BatchWait).
+func (s *Station) Invoke(obj string, in spec.Input) (spec.Output, error) {
+	s.mu.Lock()
+	o, ok := s.objs[obj]
+	if !ok {
+		s.mu.Unlock()
+		return spec.Output{}, fmt.Errorf("core: unknown object %q", obj)
+	}
+	if !o.t.IsUpdate(in) {
+		q := o.queryStateLocked(s.mode)
+		_, out := o.t.Step(q, in)
+		s.stats.Invocations++
+		s.stats.Queries++
+		s.mu.Unlock()
+		return out, nil
+	}
+	s.stats.Invocations++
+	s.stats.Updates++
+	s.mu.Unlock()
+
+	id, err := s.enqueue(wireOp{Obj: obj, ADT: o.adtName, In: in})
+	if err != nil {
+		return spec.Output{}, err
+	}
+	return s.await(id), nil
+}
+
+// enqueue adds an update to the pending batch, flushing when full (or
+// scheduling a timed flush when the batch just opened), and returns
+// the op id to await.
+func (s *Station) enqueue(op wireOp) (uint64, error) {
+	s.batchMu.Lock()
+	if s.closed {
+		s.batchMu.Unlock()
+		return 0, fmt.Errorf("station %d: %w", s.id, ErrClosed)
+	}
+	s.nextID++
+	op.ID = s.nextID
+	s.pending = append(s.pending, op)
+	switch {
+	case s.batchOps <= 1 || len(s.pending) >= s.batchOps:
+		s.batchMu.Unlock()
+		s.Flush()
+	case len(s.pending) == 1:
+		s.timer = time.AfterFunc(s.wait, s.Flush)
+		s.batchMu.Unlock()
+	default:
+		s.batchMu.Unlock()
+	}
+	return op.ID, nil
+}
+
+// takeLocked claims the pending batch and cancels its flush timer.
+func (s *Station) takeLocked() []wireOp {
+	ops := s.pending
+	s.pending = nil
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	return ops
+}
+
+// Flush broadcasts the pending batch, if any. It runs when a batch
+// fills, on the batch timer, and at Close; callers never need it for
+// correctness.
+func (s *Station) Flush() {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.batchMu.Lock()
+	ops := s.takeLocked()
+	s.batchMu.Unlock()
+	s.broadcast(ops)
+}
+
+// broadcast stamps (EC) and disseminates one batch. Local delivery —
+// synchronous inside Broadcast or handed to a concurrent delivery
+// drainer — produces the per-op outputs the invokers await.
+func (s *Station) broadcast(ops []wireOp) {
+	if len(ops) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.mode == ModeEC {
+		// Origin-assigned Lamport times: unique per (VT, PID) because
+		// tsHigh never decreases, monotone enough for the fold order;
+		// EC makes no causality promise for them to violate.
+		for i := range ops {
+			ops[i].VT = s.tsHigh + 1 + i
+		}
+		s.tsHigh += len(ops)
+	}
+	s.stats.Broadcasts++
+	s.stats.BatchedOps += int64(len(ops))
+	s.mu.Unlock()
+	s.bc.Broadcast(batchMsg{Ops: ops})
+}
+
+// await blocks until the local delivery of op id produces its output.
+func (s *Station) await(id uint64) spec.Output {
+	s.mu.Lock()
+	for {
+		if out, ok := s.outs[id]; ok {
+			delete(s.outs, id)
+			s.mu.Unlock()
+			return out
+		}
+		s.outCond.Wait()
+	}
+}
+
+// onDeliver handles FIFO/Reliable deliveries (PC, EC).
+func (s *Station) onDeliver(origin int, payload any) {
+	s.apply(origin, 0, payload)
+}
+
+// onDeliverVC handles causal deliveries (CC, CCv) carrying the stamp.
+func (s *Station) onDeliverVC(origin int, vc vclock.VC, payload any) {
+	vt := 0
+	if s.mode == ModeCCv {
+		for _, v := range vc {
+			vt += v
+		}
+	}
+	s.apply(origin, vt, payload)
+}
+
+// apply folds one delivered batch into the local states. ccvVT is the
+// causal-stamp coordinate sum (CCv mode only).
+func (s *Station) apply(origin, ccvVT int, payload any) {
+	m, ok := payload.(batchMsg)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	woke := false
+	for i, op := range m.Ops {
+		o := s.ensureLocked(op.Obj, op.ADT)
+		if o == nil {
+			continue
+		}
+		var out spec.Output
+		switch s.mode {
+		case ModeCC, ModePC:
+			o.state, out = o.t.Step(o.state, op.In)
+		case ModeEC, ModeCCv:
+			ts := totalTS{VT: op.VT, Seq: i, PID: origin}
+			if s.mode == ModeCCv {
+				ts.VT = ccvVT
+			}
+			if ts.VT > s.tsHigh {
+				s.tsHigh = ts.VT // Lamport witness (EC)
+			}
+			if ts.VT > s.lastVT[origin] {
+				s.lastVT[origin] = ts.VT
+			}
+			pos := o.tl.insert(ts, op.In)
+			if origin == s.id {
+				// The op's own output is computed in the state reached by
+				// the updates preceding it in the shared total order.
+				q := o.tl.replay(pos)
+				_, out = o.t.Step(q, op.In)
+			}
+		}
+		s.stats.Applied++
+		if origin == s.id {
+			s.outs[op.ID] = out
+			woke = true
+		}
+	}
+	if woke {
+		s.outCond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// queryStateLocked returns the state a query observes.
+func (o *stObject) queryStateLocked(mode Mode) spec.State {
+	if mode == ModeCC || mode == ModePC {
+		return o.state
+	}
+	return o.tl.state()
+}
+
+// StateKey returns the canonical key of the named object's current
+// local state; equal keys across a group mean convergence.
+func (s *Station) StateKey(obj string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objs[obj]
+	if !ok {
+		return "", false
+	}
+	return o.queryStateLocked(s.mode).Key(), true
+}
+
+// Compact garbage-collects the stable prefix of every object's
+// timestamp log, returning the total number of entries folded away.
+// Only CCv compacts: causal delivery is per-origin FIFO, so an entry
+// is stable once every origin has been heard from with a strictly
+// larger timestamp (see Replica.CompactLog). EC's unordered
+// dissemination gives no such guarantee — a slow flood may deliver an
+// old timestamp after arbitrarily newer ones — so EC logs are left
+// intact.
+func (s *Station) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode != ModeCCv {
+		return 0
+	}
+	stable := s.lastVT[0]
+	for _, vt := range s.lastVT[1:] {
+		if vt < stable {
+			stable = vt
+		}
+	}
+	total := 0
+	for _, o := range s.objs {
+		total += o.tl.compact(func(ts totalTS) bool { return ts.VT <= stable })
+	}
+	return total
+}
+
+// Close flushes the pending batch and stops accepting updates. Safe to
+// call before or after the transport's own Close; either way every
+// in-flight invoker is released (local delivery does not need the
+// network).
+func (s *Station) Close() {
+	s.batchMu.Lock()
+	if s.closed {
+		s.batchMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.batchMu.Unlock()
+	s.Flush()
+}

@@ -35,19 +35,21 @@ type Transport interface {
 }
 
 // Live is a goroutine-based Transport: each process owns a mailbox
-// goroutine draining a queue, so handlers of one process run
-// sequentially while processes run genuinely in parallel. It is used by
-// the examples and the blocking SC/consensus implementations; the
-// deterministic experiments use internal/sim instead.
+// goroutine draining an unbounded queue, so handlers of one process
+// run sequentially while processes run genuinely in parallel. Send
+// never blocks (asynchronous system) and every method is safe against
+// every other concurrently — including Close, which the serving layer
+// exercises under full load.
 type Live struct {
 	n      int
 	mu     sync.Mutex
 	idle   *sync.Cond
-	inbox  []chan liveMsg
+	boxes  []*mailbox
 	hs     []Handler
 	dead   []bool
 	inFly  int
 	closed bool
+	wg     sync.WaitGroup
 }
 
 type liveMsg struct {
@@ -55,17 +57,85 @@ type liveMsg struct {
 	payload any
 }
 
+// mailbox is one process's unbounded inbox. It has its own lock so a
+// push never contends with other processes' traffic, and so shutdown
+// can be flagged without closing a channel out from under concurrent
+// senders (the seed transport's Send/Close panic).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []liveMsg
+	head   int
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// push enqueues a message unless the mailbox is shut down; it reports
+// whether the message was accepted. It never blocks.
+func (b *mailbox) push(m liveMsg) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	b.queue = append(b.queue, m)
+	b.cond.Signal()
+	b.mu.Unlock()
+	return true
+}
+
+// pop blocks until a message is available or the mailbox shuts down;
+// ok reports a message (false means the drainer should exit).
+func (b *mailbox) pop() (liveMsg, bool) {
+	b.mu.Lock()
+	for b.head == len(b.queue) && !b.closed {
+		b.cond.Wait()
+	}
+	if b.head == len(b.queue) {
+		b.mu.Unlock()
+		return liveMsg{}, false
+	}
+	m := b.queue[b.head]
+	b.queue[b.head] = liveMsg{}
+	b.head++
+	if b.head == len(b.queue) {
+		b.queue, b.head = b.queue[:0], 0
+	}
+	b.mu.Unlock()
+	return m, true
+}
+
+// drain discards every queued message and returns how many were
+// dropped; when terminal, the mailbox also stops accepting pushes and
+// wakes its drainer to exit.
+func (b *mailbox) drain(terminal bool) int {
+	b.mu.Lock()
+	dropped := len(b.queue) - b.head
+	b.queue, b.head = nil, 0
+	if terminal {
+		b.closed = true
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	return dropped
+}
+
 // NewLive creates a live transport for n processes.
 func NewLive(n int) *Live {
 	l := &Live{
 		n:     n,
-		inbox: make([]chan liveMsg, n),
+		boxes: make([]*mailbox, n),
 		hs:    make([]Handler, n),
 		dead:  make([]bool, n),
 	}
 	l.idle = sync.NewCond(&l.mu)
-	for i := range l.inbox {
-		l.inbox[i] = make(chan liveMsg, 1024)
+	for i := range l.boxes {
+		l.boxes[i] = newMailbox()
 	}
 	return l
 }
@@ -82,26 +152,43 @@ func (l *Live) Register(id int, h Handler) {
 		panic(fmt.Sprintf("net: process %d registered twice", id))
 	}
 	l.hs[id] = h
+	l.wg.Add(1)
 	l.mu.Unlock()
 	go func() {
-		for m := range l.inbox[id] {
+		defer l.wg.Done()
+		for {
+			m, ok := l.boxes[id].pop()
+			if !ok {
+				return
+			}
 			l.mu.Lock()
 			dead := l.dead[id]
 			l.mu.Unlock()
 			if !dead {
 				h(m.from, m.payload)
 			}
-			l.mu.Lock()
-			l.inFly--
-			if l.inFly == 0 {
-				l.idle.Broadcast()
-			}
-			l.mu.Unlock()
+			l.settle(1)
 		}
 	}()
 }
 
-// Send implements Transport.
+// settle removes k messages from the in-flight count, waking Quiesce
+// when the network goes idle.
+func (l *Live) settle(k int) {
+	if k == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.inFly -= k
+	if l.inFly == 0 {
+		l.idle.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// Send implements Transport. It never blocks and never panics: a
+// message racing a concurrent Close or Crash of the destination is
+// silently discarded, exactly as if it were dropped in flight.
 func (l *Live) Send(from, to int, payload any) {
 	l.mu.Lock()
 	if l.closed || l.dead[from] || l.dead[to] {
@@ -110,14 +197,26 @@ func (l *Live) Send(from, to int, payload any) {
 	}
 	l.inFly++
 	l.mu.Unlock()
-	l.inbox[to] <- liveMsg{from: from, payload: payload}
+	if !l.boxes[to].push(liveMsg{from: from, payload: payload}) {
+		// Lost the race with Close: the message is dropped, so it must
+		// leave the in-flight count or Quiesce would hang.
+		l.settle(1)
+	}
 }
 
-// Crash implements Transport.
+// Crash implements Transport. The process's queued messages are
+// discarded (a crashed process handles nothing further, even under a
+// backlog); a handler already running is allowed to finish, matching
+// crash-stop at handler granularity.
 func (l *Live) Crash(id int) {
 	l.mu.Lock()
+	if l.dead[id] {
+		l.mu.Unlock()
+		return
+	}
 	l.dead[id] = true
 	l.mu.Unlock()
+	l.settle(l.boxes[id].drain(false))
 }
 
 // Crashed implements Transport.
@@ -138,7 +237,10 @@ func (l *Live) Quiesce() {
 	l.mu.Unlock()
 }
 
-// Close shuts the mailboxes down. Pending messages are discarded.
+// Close shuts the mailboxes down and waits for the drainer goroutines
+// (and thus any in-flight handler) to finish. Pending messages are
+// discarded. Close is idempotent and safe against concurrent Sends,
+// which become no-ops.
 func (l *Live) Close() {
 	l.mu.Lock()
 	if l.closed {
@@ -147,7 +249,10 @@ func (l *Live) Close() {
 	}
 	l.closed = true
 	l.mu.Unlock()
-	for _, ch := range l.inbox {
-		close(ch)
+	dropped := 0
+	for _, b := range l.boxes {
+		dropped += b.drain(true)
 	}
+	l.settle(dropped)
+	l.wg.Wait()
 }

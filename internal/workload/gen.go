@@ -16,9 +16,12 @@ type OpGen func(rng *rand.Rand, step int) spec.Input
 
 // GeneratorFor returns a random-operation generator for any ADT
 // produced by adt.Lookup. writeRatio is the probability of choosing
-// an update operation where the type has a pure-update/pure-query
-// split; types whose operations are inherently mixed (queues) use it
-// to bias between producing and consuming.
+// an update operation, realized exactly: each generated operation
+// draws one uniform variate and branches on sub-ranges of it, so the
+// expected update fraction equals writeRatio for every type with a
+// pure-update/pure-query split. The one exception is Queue, whose two
+// operations (push, pop) are both updates; there writeRatio biases
+// between producing and consuming instead.
 func GeneratorFor(t spec.ADT, writeRatio float64) (OpGen, error) {
 	switch a := t.(type) {
 	case adt.Register:
@@ -30,10 +33,10 @@ func GeneratorFor(t spec.ADT, writeRatio float64) (OpGen, error) {
 		}, nil
 	case adt.CASRegister:
 		return func(rng *rand.Rand, step int) spec.Input {
-			switch {
-			case rng.Float64() < writeRatio/2:
+			switch u := rng.Float64(); {
+			case u < writeRatio/2:
 				return spec.NewInput("w", step+1)
-			case rng.Float64() < writeRatio:
+			case u < writeRatio:
 				return spec.NewInput("cas", rng.Intn(step+1), step+1)
 			default:
 				return spec.NewInput("r")
@@ -65,13 +68,13 @@ func GeneratorFor(t spec.ADT, writeRatio float64) (OpGen, error) {
 		}, nil
 	case adt.Counter:
 		return func(rng *rand.Rand, step int) spec.Input {
-			switch {
-			case rng.Float64() >= writeRatio:
-				return spec.NewInput("get")
-			case rng.Intn(2) == 0:
+			switch u := rng.Float64(); {
+			case u < writeRatio/2:
 				return spec.NewInput("inc", 1+rng.Intn(3))
-			default:
+			case u < writeRatio:
 				return spec.NewInput("dec", 1+rng.Intn(2))
+			default:
+				return spec.NewInput("get")
 			}
 		}, nil
 	case adt.GSet:
@@ -86,16 +89,15 @@ func GeneratorFor(t spec.ADT, writeRatio float64) (OpGen, error) {
 		}, nil
 	case adt.RWSet:
 		return func(rng *rand.Rand, step int) spec.Input {
-			switch {
-			case rng.Float64() >= writeRatio:
-				if rng.Intn(2) == 0 {
-					return spec.NewInput("has", rng.Intn(8))
-				}
-				return spec.NewInput("elems")
-			case rng.Intn(3) == 0:
+			switch u := rng.Float64(); {
+			case u < writeRatio/3:
 				return spec.NewInput("rem", rng.Intn(8))
-			default:
+			case u < writeRatio:
 				return spec.NewInput("add", rng.Intn(8))
+			case rng.Intn(2) == 0:
+				return spec.NewInput("has", rng.Intn(8))
+			default:
+				return spec.NewInput("elems")
 			}
 		}, nil
 	case adt.Queue:
@@ -107,34 +109,34 @@ func GeneratorFor(t spec.ADT, writeRatio float64) (OpGen, error) {
 		}, nil
 	case adt.Queue2:
 		return func(rng *rand.Rand, step int) spec.Input {
-			switch {
-			case rng.Float64() < writeRatio:
+			switch u := rng.Float64(); {
+			case u < writeRatio/2:
 				return spec.NewInput("push", step+1)
-			case rng.Intn(2) == 0:
-				return spec.NewInput("hd")
-			default:
+			case u < writeRatio:
 				// rh of a small value: usually a no-op unless it
 				// matches the head, which is the type's point.
 				return spec.NewInput("rh", rng.Intn(step+1))
+			default:
+				return spec.NewInput("hd")
 			}
 		}, nil
 	case adt.Stack:
 		return func(rng *rand.Rand, step int) spec.Input {
-			switch {
-			case rng.Float64() < writeRatio:
+			switch u := rng.Float64(); {
+			case u < writeRatio/2:
 				return spec.NewInput("push", step+1)
-			case rng.Intn(2) == 0:
-				return spec.NewInput("top")
-			default:
+			case u < writeRatio:
 				return spec.NewInput("pop")
+			default:
+				return spec.NewInput("top")
 			}
 		}, nil
 	case adt.Sequence:
 		return func(rng *rand.Rand, step int) spec.Input {
-			switch {
-			case rng.Float64() < writeRatio:
+			switch u := rng.Float64(); {
+			case u < 2*writeRatio/3:
 				return spec.NewInput("ins", rng.Intn(step+1), 'a'+rng.Intn(26))
-			case rng.Intn(3) == 0:
+			case u < writeRatio:
 				return spec.NewInput("del", rng.Intn(step+1))
 			default:
 				return spec.NewInput("read")
@@ -142,5 +144,39 @@ func GeneratorFor(t spec.ADT, writeRatio float64) (OpGen, error) {
 		}, nil
 	default:
 		return nil, fmt.Errorf("workload: no generator for ADT %s", t.Name())
+	}
+}
+
+// QuiescentReads returns the query inputs that together observe the
+// full quiescent state of t — the reads an experiment repeats (and
+// flags ω) once the network has settled, turning a finite run into a
+// checkable "limit" history for the convergence criteria. ok is false
+// when t has no pure query to quiesce with (Queue: pop mutates).
+func QuiescentReads(t spec.ADT) (ins []spec.Input, ok bool) {
+	switch a := t.(type) {
+	case adt.Register, adt.CASRegister, adt.WindowStream:
+		return []spec.Input{spec.NewInput("r")}, true
+	case adt.WindowArray:
+		for x := 0; x < a.Streams; x++ {
+			ins = append(ins, spec.NewInput("r", x))
+		}
+		return ins, true
+	case adt.Memory:
+		for _, reg := range a.Registers() {
+			ins = append(ins, spec.NewInput("r"+reg))
+		}
+		return ins, true
+	case adt.Counter:
+		return []spec.Input{spec.NewInput("get")}, true
+	case adt.GSet, adt.RWSet:
+		return []spec.Input{spec.NewInput("elems")}, true
+	case adt.Queue2:
+		return []spec.Input{spec.NewInput("hd")}, true
+	case adt.Stack:
+		return []spec.Input{spec.NewInput("top")}, true
+	case adt.Sequence:
+		return []spec.Input{spec.NewInput("read")}, true
+	default:
+		return nil, false
 	}
 }

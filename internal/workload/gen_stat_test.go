@@ -1,0 +1,103 @@
+package workload
+
+// Statistical test for GeneratorFor: the realized update fraction of
+// every registered ADT's generator must match the requested writeRatio
+// within binomial sampling noise. This pins the seed bug where a
+// second rng.Float64() draw in the branch chain (CAS and friends)
+// skewed the realized mix away from the documented ratio.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/paper-repro/ccbm/internal/adt"
+)
+
+// statADTs lists every adt.Lookup spelling the generator supports,
+// with the expected realized update fraction as a function of the
+// requested ratio. Queue is the documented exception: push and pop are
+// both updates, so the ratio biases producing (push) instead.
+var statADTs = []struct {
+	name    string
+	measure string // "update" or "push"
+}{
+	{"Register", "update"},
+	{"CAS", "update"},
+	{"W2", "update"},
+	{"W2^4", "update"},
+	{"M[a-c]", "update"},
+	{"Counter", "update"},
+	{"GSet", "update"},
+	{"RWSet", "update"},
+	{"Queue", "push"},
+	{"Queue2", "update"},
+	{"Stack", "update"},
+	{"Sequence", "update"},
+}
+
+func TestGeneratorRealizedWriteRatio(t *testing.T) {
+	const draws = 40000
+	for _, tc := range statADTs {
+		typ, err := adt.Lookup(tc.name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", tc.name, err)
+		}
+		for _, ratio := range []float64{0.2, 0.5, 0.8} {
+			gen, err := GeneratorFor(typ, ratio)
+			if err != nil {
+				t.Fatalf("GeneratorFor(%s): %v", tc.name, err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(tc.name))*1e6 + int64(ratio*100)))
+			hits := 0
+			for i := 0; i < draws; i++ {
+				in := gen(rng, i)
+				switch tc.measure {
+				case "update":
+					if typ.IsUpdate(in) {
+						hits++
+					}
+				case "push":
+					if in.Method == "push" {
+						hits++
+					}
+				}
+			}
+			realized := float64(hits) / draws
+			// 4.5 sigma of a Binomial(draws, ratio) proportion: a false
+			// failure is ~1e-5 per cell even across the whole grid.
+			tol := 4.5 * math.Sqrt(ratio*(1-ratio)/draws)
+			if math.Abs(realized-ratio) > tol {
+				t.Errorf("%s ratio=%.1f: realized %s fraction %.4f, want within %.4f",
+					tc.name, ratio, tc.measure, realized, tol)
+			}
+		}
+	}
+}
+
+// TestQuiescentReadsAreQueries pins that every quiescent read is a
+// pure query of its type, and that only Queue lacks one.
+func TestQuiescentReadsAreQueries(t *testing.T) {
+	for _, tc := range statADTs {
+		typ, err := adt.Lookup(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins, ok := QuiescentReads(typ)
+		if tc.name == "Queue" {
+			if ok {
+				t.Errorf("QuiescentReads(Queue) = %v, want none (pop mutates)", ins)
+			}
+			continue
+		}
+		if !ok || len(ins) == 0 {
+			t.Errorf("QuiescentReads(%s): no quiescent query", tc.name)
+			continue
+		}
+		for _, in := range ins {
+			if typ.IsUpdate(in) {
+				t.Errorf("QuiescentReads(%s) includes update %v", tc.name, in)
+			}
+		}
+	}
+}

@@ -5,10 +5,12 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/paper-repro/ccbm/internal/adt"
 	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/spec"
 )
 
 // Config parameterizes a window-stream-array workload.
@@ -26,12 +28,23 @@ type Config struct {
 	MaxStepsBetween int
 }
 
-// Result summarizes a driven run.
+// Result summarizes a driven run. Writes and Reads are the realized
+// operation counts (updates vs queries actually generated), so tools
+// report the achieved mix rather than the requested one.
 type Result struct {
 	Cluster  *core.Cluster
 	Writes   int
 	Reads    int
 	Messages int64
+}
+
+// RealizedWriteRatio returns the update fraction actually generated,
+// Writes/(Writes+Reads); 0 on an empty run.
+func (r Result) RealizedWriteRatio() float64 {
+	if r.Writes+r.Reads == 0 {
+		return 0
+	}
+	return float64(r.Writes) / float64(r.Writes+r.Reads)
 }
 
 // Run builds a cluster in the given mode and drives the workload,
@@ -79,4 +92,21 @@ func FinalReads(c *core.Cluster, streams int) {
 		}
 		c.Recorder.MarkOmega(p)
 	}
+}
+
+// FinalReadsFor is FinalReads for an arbitrary ADT: every process
+// performs t's quiescent queries (QuiescentReads) and flags the last
+// one ω. It returns an error for types with no pure query.
+func FinalReadsFor(c *core.Cluster, t spec.ADT) error {
+	ins, ok := QuiescentReads(t)
+	if !ok {
+		return fmt.Errorf("workload: ADT %s has no pure query to quiesce with", t.Name())
+	}
+	for p := range c.Replicas {
+		for _, in := range ins {
+			c.Replicas[p].Invoke(in)
+		}
+		c.Recorder.MarkOmega(p)
+	}
+	return nil
 }

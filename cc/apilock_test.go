@@ -1,11 +1,14 @@
 package cc_test
 
 // The API-lock test: the exported surface of the public facade (cc,
-// cc/checker, cc/histories) is rendered to a canonical text and
-// compared against testdata/api.golden. Any addition, removal or
-// signature change fails the test until the golden file is
-// regenerated — run with UPDATE_APILOCK=1 to rewrite it — making API
-// drift a reviewed, deliberate act rather than an accident.
+// cc/checker, cc/histories, cc/client, cc/cluster/wire) is rendered
+// to a canonical text and compared against testdata/api.golden. Any
+// addition, removal or signature change fails the test until the
+// golden file is regenerated — run with UPDATE_APILOCK=1 to rewrite
+// it — making API drift a reviewed, deliberate act rather than an
+// accident. The wire package's lock doubles as the protocol lock:
+// renaming a wire struct field is a protocol change and shows up
+// here.
 
 import (
 	"bytes"
@@ -23,7 +26,7 @@ import (
 
 // facadeDirs lists the locked packages, relative to this file's
 // directory (the cc package root).
-var facadeDirs = []string{".", "checker", "histories"}
+var facadeDirs = []string{".", "checker", "histories", "client", "cluster/wire"}
 
 // apiSurface renders the exported declarations of one package
 // directory, one line per identifier, deterministically sorted.

@@ -1,0 +1,223 @@
+package client
+
+// The client-side batcher: asynchronous invocations queue per
+// session, coalesce into wire.BatchRequests (one group per session,
+// ops in submission order), and flush when maxOps are pending or
+// maxDelay has passed since the first — the same size+delay policy as
+// the server's own broadcast batching (core.Station). Up to
+// maxInflight batch RPCs pipeline concurrently; a session whose ops
+// are in flight contributes nothing to the next batch until they
+// resolve, so one session's ops never race each other across
+// requests while independent sessions pipeline freely.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+// batchOp is one queued invocation.
+type batchOp struct {
+	obj    string
+	in     cc.Input
+	target wire.ReadTarget
+	fut    *Future
+}
+
+// sessQueue is one session's pending ops.
+type sessQueue struct {
+	ops      []batchOp
+	inflight bool // some of this session's ops are in an unresolved batch
+}
+
+type batcher struct {
+	tr          Transport
+	maxOps      int
+	maxDelay    time.Duration
+	maxInflight int
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled when a batch resolves (close waits on it)
+	queues   map[int]*sessQueue
+	order    []int // sessions with queued ops, in arrival order
+	queued   int   // total queued ops across sessions
+	inflight int   // batch RPCs in flight
+	timer    *time.Timer
+	closed   bool
+}
+
+func newBatcher(tr Transport, maxOps int, maxDelay time.Duration, maxInflight int) *batcher {
+	b := &batcher{
+		tr:          tr,
+		maxOps:      maxOps,
+		maxDelay:    maxDelay,
+		maxInflight: maxInflight,
+		queues:      make(map[int]*sessQueue),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// enqueue appends one op to its session's queue and flushes when the
+// size threshold is reached (or arms the delay timer when the queue
+// just opened).
+func (b *batcher) enqueue(sess int, op batchOp) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		op.fut.reject(ErrClosed)
+		return
+	}
+	q, ok := b.queues[sess]
+	if !ok {
+		q = &sessQueue{}
+		b.queues[sess] = q
+	}
+	if len(q.ops) == 0 {
+		b.order = append(b.order, sess)
+	}
+	q.ops = append(q.ops, op)
+	b.queued++
+	if b.queued >= b.maxOps {
+		b.flushLocked()
+	} else if b.timer == nil {
+		b.timer = time.AfterFunc(b.maxDelay, b.timedFlush)
+	}
+	b.mu.Unlock()
+}
+
+func (b *batcher) timedFlush() {
+	b.mu.Lock()
+	b.timer = nil
+	b.flushLocked()
+	b.mu.Unlock()
+}
+
+// flushLocked dispatches as many batches as the inflight budget
+// allows. Caller holds b.mu.
+func (b *batcher) flushLocked() {
+	for b.inflight < b.maxInflight {
+		req, futs, sessions := b.buildLocked()
+		if req == nil {
+			break
+		}
+		b.inflight++
+		go b.send(req, futs, sessions)
+	}
+	switch {
+	case b.queued == 0 && b.timer != nil:
+		b.timer.Stop()
+		b.timer = nil
+	case b.queued > 0 && b.timer == nil:
+		// Ops remain (their sessions are in flight, or the inflight
+		// budget is spent); make sure a flush is scheduled for them.
+		b.timer = time.AfterFunc(b.maxDelay, b.timedFlush)
+	}
+}
+
+// buildLocked assembles one batch from the sessions that are not in
+// flight: per session, the longest prefix run with a uniform read
+// target (a group carries one target), capped at maxOps total. It
+// returns nil when nothing is dispatchable.
+func (b *batcher) buildLocked() (*wire.BatchRequest, [][]*Future, []int) {
+	var (
+		req      wire.BatchRequest
+		futs     [][]*Future
+		sessions []int
+		budget   = b.maxOps
+	)
+	keep := b.order[:0]
+	for _, sess := range b.order {
+		q := b.queues[sess]
+		if len(q.ops) == 0 {
+			continue // fully drained earlier; drop from order
+		}
+		if q.inflight || budget == 0 {
+			keep = append(keep, sess)
+			continue
+		}
+		target := q.ops[0].target
+		n := 0
+		for n < len(q.ops) && n < budget && q.ops[n].target == target {
+			n++
+		}
+		group := wire.BatchGroup{Session: sess, Target: target}
+		gf := make([]*Future, n)
+		for i, op := range q.ops[:n] {
+			group.Ops = append(group.Ops, wire.BatchOp{Object: op.obj, Method: op.in.Method, Args: op.in.Args})
+			gf[i] = op.fut
+		}
+		q.ops = q.ops[n:]
+		b.queued -= n
+		budget -= n
+		q.inflight = true
+		req.Groups = append(req.Groups, group)
+		futs = append(futs, gf)
+		sessions = append(sessions, sess)
+		if len(q.ops) > 0 {
+			keep = append(keep, sess)
+		}
+	}
+	b.order = keep
+	if len(req.Groups) == 0 {
+		return nil, nil, nil
+	}
+	return &req, futs, sessions
+}
+
+// send performs one batch RPC and resolves its futures. A transport
+// error fails every op of the batch; a malformed response fails the
+// affected group.
+func (b *batcher) send(req *wire.BatchRequest, futs [][]*Future, sessions []int) {
+	resp, err := b.tr.Batch(context.Background(), req)
+	b.mu.Lock()
+	b.inflight--
+	for gi, sess := range sessions {
+		if q := b.queues[sess]; q != nil {
+			q.inflight = false
+			if len(q.ops) == 0 {
+				// Idle session: drop its entry, or the map grows by one
+				// dead sessQueue per session id ever used (enqueue
+				// recreates it on demand).
+				delete(b.queues, sess)
+			}
+		}
+		for i, f := range futs[gi] {
+			switch {
+			case err != nil:
+				f.reject(err)
+			case gi >= len(resp.Groups) || len(resp.Groups[gi].Results) != len(futs[gi]):
+				f.reject(wire.Errf(wire.CodeInternal, "malformed batch response for session %d", sess))
+			default:
+				r := resp.Groups[gi].Results[i]
+				if r.Err != nil {
+					f.reject(r.Err)
+				} else {
+					f.resolve(outputFromWire(r.Output))
+				}
+			}
+		}
+	}
+	b.flushLocked()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// close flushes and waits until every queued and in-flight op has
+// resolved. New enqueues are rejected with ErrClosed.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.flushLocked()
+	for b.inflight > 0 || b.queued > 0 {
+		b.cond.Wait()
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,444 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/client"
+	"github.com/paper-repro/ccbm/cc/cluster"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+// newMonitoredCluster builds a CCv cluster whose monitor samples
+// every object and whose windows only finalize at Close (WindowOps
+// far above the traffic), so both per-op and batched runs submit
+// identical complete windows.
+func newMonitoredCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Shards:    2,
+		Replicas:  3,
+		Criterion: "CCv",
+		BatchOps:  8,
+		Monitor: cluster.MonitorConfig{
+			SampleEvery: 1,
+			WindowOps:   10_000,
+			Timeout:     10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// verdictKey is the comparable part of a verdict: what was checked
+// and what came out (timings and explored counts legitimately vary).
+type verdictKey struct {
+	Object    string
+	Criterion string
+	Satisfied bool
+	Ops       int
+	Sessions  int
+}
+
+func verdictKeys(t *testing.T, vs []wire.Verdict) []verdictKey {
+	t.Helper()
+	keys := make([]verdictKey, 0, len(vs))
+	for _, v := range vs {
+		if v.Err != "" || v.Exhausted != "" {
+			t.Fatalf("verdict neither clean nor decided: %+v", v)
+		}
+		keys = append(keys, verdictKey{v.Object, v.Criterion, v.Satisfied, v.Ops, v.Sessions})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Object != keys[j].Object {
+			return keys[i].Object < keys[j].Object
+		}
+		return keys[i].Criterion < keys[j].Criterion
+	})
+	return keys
+}
+
+// driveRegisters runs the deterministic per-session workload —
+// session i owns register "reg-i" and alternates w(k)/r — and
+// returns the observed read values per session. The workload and its
+// expected outputs are identical whether cli batches or not.
+func driveRegisters(t *testing.T, cli *client.Client, sessions, rounds int) [][]int {
+	t.Helper()
+	ctx := context.Background()
+	got := make([][]int, sessions)
+	var wg sync.WaitGroup
+	for sess := 0; sess < sessions; sess++ {
+		wg.Add(1)
+		go func(sess int) {
+			defer wg.Done()
+			s := cli.Session(sess)
+			name := fmt.Sprintf("reg-%d", sess)
+			reg, err := s.Register(ctx, name)
+			if err != nil {
+				t.Errorf("session %d: %v", sess, err)
+				return
+			}
+			for k := 1; k <= rounds; k++ {
+				reg.WriteAsync(k) // pipelined under batching
+				v, err := reg.Read(ctx)
+				if err != nil {
+					t.Errorf("session %d read: %v", sess, err)
+					return
+				}
+				got[sess] = append(got[sess], v)
+			}
+		}(sess)
+	}
+	wg.Wait()
+	return got
+}
+
+// TestBatchMatchesPerOp is the batch-semantics round trip: the same
+// deterministic workload driven per-op and batched/pipelined must
+// yield the same outputs (per-session ordering: every read observes
+// the session's latest write) and the same monitor verdicts on
+// identical complete windows.
+func TestBatchMatchesPerOp(t *testing.T) {
+	const sessions, rounds = 4, 25
+	run := func(batched bool) ([][]int, []verdictKey) {
+		c := newMonitoredCluster(t)
+		var opts []client.Option
+		if batched {
+			opts = append(opts, client.WithBatching(16, 200*time.Microsecond))
+		}
+		cli, err := client.New(client.NewLoopback(c), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := driveRegisters(t, cli, sessions, rounds)
+		if err := cli.Close(); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		sum := c.Monitor().Summary()
+		if sum.Verdicts == 0 {
+			t.Fatal("monitor produced no verdicts")
+		}
+		return got, verdictKeys(t, c.Monitor().Verdicts())
+	}
+
+	perOp, perOpVerdicts := run(false)
+	batched, batchedVerdicts := run(true)
+
+	for sess := 0; sess < sessions; sess++ {
+		for k := 1; k <= rounds; k++ {
+			if perOp[sess][k-1] != k {
+				t.Fatalf("per-op: session %d read %d after writing %d", sess, perOp[sess][k-1], k)
+			}
+			if batched[sess][k-1] != k {
+				t.Fatalf("batched: session %d read %d after writing %d", sess, batched[sess][k-1], k)
+			}
+		}
+	}
+	if len(perOpVerdicts) != len(batchedVerdicts) {
+		t.Fatalf("verdict count differs: per-op %d, batched %d", len(perOpVerdicts), len(batchedVerdicts))
+	}
+	for i := range perOpVerdicts {
+		if perOpVerdicts[i] != batchedVerdicts[i] {
+			t.Fatalf("verdict %d differs:\nper-op  %+v\nbatched %+v", i, perOpVerdicts[i], batchedVerdicts[i])
+		}
+	}
+	for _, v := range batchedVerdicts {
+		if !v.Satisfied {
+			t.Fatalf("batched run violated its criterion: %+v", v)
+		}
+		if v.Ops != 2*rounds || v.Sessions != 1 {
+			t.Fatalf("window shape drifted: %+v", v)
+		}
+	}
+}
+
+// TestPipelinedSessionOrdering hammers one session with deeply
+// pipelined async ops across many small batches: every read future
+// must return the session's latest preceding write, proving program
+// order survives batching across batch boundaries.
+func TestPipelinedSessionOrdering(t *testing.T) {
+	c := newMonitoredCluster(t)
+	defer c.Close()
+	cli, err := client.New(client.NewLoopback(c),
+		client.WithBatching(4, 100*time.Microsecond), client.WithMaxInflight(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cli.Session(1)
+	if _, err := s.Object(context.Background(), "r", "Register"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	reads := make([]*client.Future, 0, n)
+	for i := 1; i <= n; i++ {
+		s.CallAsync("r", "w", i)
+		reads = append(reads, s.CallAsync("r", "r"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, f := range reads {
+		out, err := f.Get(ctx)
+		if err != nil {
+			t.Fatalf("read %d: %v", i+1, err)
+		}
+		if !out.Equal(cc.IntOutput(i + 1)) {
+			t.Fatalf("read %d returned %s, want %d", i+1, out.String(), i+1)
+		}
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedObjectReadYourWrites drives one shared counter from many
+// batched sessions concurrently: each session's read must be at least
+// the sum of its own completed increments, and the monitor's CCv
+// verdict on the shared window must be satisfied.
+func TestSharedObjectReadYourWrites(t *testing.T) {
+	c := newMonitoredCluster(t)
+	cli, err := client.New(client.NewLoopback(c), client.WithBatching(32, 200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const sessions, rounds = 4, 10
+	var wg sync.WaitGroup
+	for sess := 0; sess < sessions; sess++ {
+		wg.Add(1)
+		go func(sess int) {
+			defer wg.Done()
+			s := cli.Session(sess)
+			cnt, err := s.Counter(ctx, "shared")
+			if err != nil {
+				t.Errorf("session %d: %v", sess, err)
+				return
+			}
+			mine := 0
+			for i := 0; i < rounds; i++ {
+				cnt.IncAsync(1)
+				mine++
+				got, err := cnt.Get(ctx)
+				if err != nil {
+					t.Errorf("session %d get: %v", sess, err)
+					return
+				}
+				if got < mine {
+					t.Errorf("session %d read %d below its own %d increments", sess, got, mine)
+					return
+				}
+			}
+		}(sess)
+	}
+	wg.Wait()
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	sum := c.Monitor().Summary()
+	if sum.Verdicts == 0 {
+		t.Fatal("monitor produced no verdicts")
+	}
+	if len(sum.Violations) > 0 {
+		t.Fatalf("monitor violations under batching: %+v", sum.Violations)
+	}
+}
+
+// TestHTTPTransportEndToEnd runs the SDK over real HTTP (httptest):
+// typed handles, batching, typed errors, the protocol handshake and
+// the NDJSON verdict stream.
+func TestHTTPTransportEndToEnd(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Criterion: "CC",
+		Replicas:  2,
+		Monitor:   cluster.MonitorConfig{SampleEvery: 1, WindowOps: 6, Grace: 20 * time.Millisecond, Timeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cluster.NewHTTPHandler(c))
+	defer srv.Close()
+	defer c.Close()
+
+	cli, err := client.New(client.NewHTTPTransport(srv.URL), client.WithBatching(8, 200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	h, err := cli.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.Protocol != wire.ProtocolVersion || h.Criterion != "CC" {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	s := cli.Session(1)
+	cnt, err := s.Counter(ctx, "hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		cnt.IncAsync(2)
+	}
+	n, err := cnt.Get(ctx)
+	if err != nil || n != 12 {
+		t.Fatalf("get = %d, %v; want 12", n, err)
+	}
+
+	q, err := s.Queue(ctx, "jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := q.Pop(ctx)
+	if err != nil || !ok || v != 7 {
+		t.Fatalf("pop = %d, %v, %v; want 7", v, ok, err)
+	}
+	if _, ok, err := q.Pop(ctx); err != nil || ok {
+		t.Fatalf("pop on empty = ok=%v err=%v", ok, err)
+	}
+
+	// Typed errors survive the wire.
+	_, err = s.Call(ctx, "ghost", "get")
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeNotFound {
+		t.Fatalf("ghost invoke error = %v, want wire.CodeNotFound", err)
+	}
+	if _, err := s.Object(ctx, "hits", "Register"); !errors.As(err, &we) || we.Code != wire.CodeConflict {
+		t.Fatalf("conflicting create error = %v, want wire.CodeConflict", err)
+	}
+	if _, err := s.Call(ctx, "hits", "frobnicate"); !errors.As(err, &we) || we.Code != wire.CodeBadRequest {
+		t.Fatalf("unknown method error = %v, want wire.CodeBadRequest", err)
+	}
+
+	// The stats round trip reports the traffic.
+	st, err := cli.Stats(ctx)
+	if err != nil || st.Invocations == 0 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+
+	// The verdict stream replays and then follows live verdicts; the
+	// 6-op window on "hits" has filled, so at least one verdict must
+	// arrive without closing the cluster.
+	streamCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	ch, err := cli.WatchVerdicts(streamCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v, ok := <-ch:
+		if !ok {
+			t.Fatal("verdict stream closed without a verdict")
+		}
+		if v.Object == "" || v.Criterion != "CC" {
+			t.Fatalf("stream verdict = %+v", v)
+		}
+	case <-streamCtx.Done():
+		t.Fatal("no verdict on the stream within the deadline")
+	}
+}
+
+// TestReadAnyTarget pins the ReadAny contract: the read is served
+// (possibly stale), and it leaves the session's monitored history —
+// the sampled window holds only the affinity ops.
+func TestReadAnyTarget(t *testing.T) {
+	c := newMonitoredCluster(t)
+	cli, err := client.New(client.NewLoopback(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s := cli.Session(3)
+	reg, err := s.Register(ctx, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		if err := reg.Write(ctx, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := reg.Read(ctx); err != nil || v != 3 {
+		t.Fatalf("affinity read = %d, %v; want 3", v, err)
+	}
+	any := s.WithTarget(wire.ReadAny)
+	for i := 0; i < 9; i++ {
+		if _, err := any.Call(ctx, "r", "r"); err != nil {
+			t.Fatalf("ReadAny read: %v", err)
+		}
+	}
+	// An unknown target is rejected with a typed error.
+	var we *wire.Error
+	if _, err := s.WithTarget("bogus").Call(ctx, "r", "r"); !errors.As(err, &we) || we.Code != wire.CodeBadRequest {
+		t.Fatalf("bogus target error = %v", err)
+	}
+	cli.Close()
+	c.Close()
+	vs := c.Monitor().Verdicts()
+	if len(vs) == 0 {
+		t.Fatal("no verdicts")
+	}
+	for _, v := range vs {
+		if v.Ops != 4 { // 3 writes + 1 affinity read; the 9 ReadAny reads are excluded
+			t.Fatalf("window ops = %d, want 4 (ReadAny reads must not be recorded): %+v", v.Ops, v)
+		}
+		if !v.Satisfied {
+			t.Fatalf("violation: %+v", v)
+		}
+	}
+}
+
+// TestClientValidationAndClose pins option validation and the closed
+// client's behavior.
+func TestClientValidationAndClose(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Monitor: cluster.MonitorConfig{Disable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := client.New(client.NewLoopback(c), client.WithReadTarget("bogus")); err == nil {
+		t.Fatal("bogus read target accepted")
+	}
+	if _, err := client.New(client.NewLoopback(c), client.WithBatching(0, time.Millisecond)); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+	if _, err := client.New(client.NewLoopback(c), client.WithMaxInflight(0)); err == nil {
+		t.Fatal("zero inflight accepted")
+	}
+	cli, err := client.New(client.NewLoopback(c), client.WithBatching(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s := cli.Session(0)
+	if _, err := s.Counter(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal("second close must be a no-op")
+	}
+	if _, err := s.Call(ctx, "x", "get"); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("invoke after close = %v, want ErrClosed", err)
+	}
+	if _, err := s.CallAsync("x", "inc", 1).Get(ctx); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("async invoke after close = %v, want ErrClosed", err)
+	}
+}

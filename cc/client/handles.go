@@ -1,0 +1,308 @@
+package client
+
+// Typed object handles over the ADT registry: each handle pairs a
+// Session with a named object whose ADT was validated against
+// cc.LookupADT at construction, and exposes the registry type's
+// methods ("inc", "w", "push", ...) as Go methods. The generic
+// Object handle covers any registered type — including the textual
+// families like "W2^4" and "M[a-c]" — and the named wrappers below it
+// are the ergonomic layer for the common types.
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/paper-repro/ccbm/cc"
+)
+
+// Object is a session's handle on one named object of a registered
+// ADT. Construction (Session.Object) creates the object on the
+// cluster if needed and fails if the name is taken by another type.
+type Object struct {
+	sess *Session
+	name string
+	adt  cc.ADT
+}
+
+// Object validates adtName against the registry, creates the object
+// (idempotent when the type matches) and returns the handle.
+func (s *Session) Object(ctx context.Context, name, adtName string) (*Object, error) {
+	t, err := cc.LookupADT(adtName)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.c.CreateObject(ctx, name, adtName); err != nil {
+		return nil, err
+	}
+	return &Object{sess: s, name: name, adt: t}, nil
+}
+
+// Name returns the object's cluster-wide name.
+func (o *Object) Name() string { return o.name }
+
+// ADT returns the object's sequential specification.
+func (o *Object) ADT() cc.ADT { return o.adt }
+
+// Session returns the session the handle operates through (derive a
+// different read target with sess.WithTarget and re-open the handle).
+func (o *Object) Session() *Session { return o.sess }
+
+// Call invokes one method synchronously.
+func (o *Object) Call(ctx context.Context, method string, args ...int) (cc.Output, error) {
+	return o.sess.Call(ctx, o.name, method, args...)
+}
+
+// CallAsync invokes one method asynchronously (pipelined under
+// batching; see Session.InvokeAsync).
+func (o *Object) CallAsync(method string, args ...int) *Future {
+	return o.sess.CallAsync(o.name, method, args...)
+}
+
+// intVal extracts a single-integer output.
+func intVal(out cc.Output, err error) (int, error) {
+	if err != nil {
+		return 0, err
+	}
+	if out.Bot || len(out.Vals) == 0 {
+		return 0, fmt.Errorf("client: no integer in output %s", out.String())
+	}
+	return out.Vals[0], nil
+}
+
+// boolVal extracts a 0/1 output.
+func boolVal(out cc.Output, err error) (bool, error) {
+	v, err := intVal(out, err)
+	return v != 0, err
+}
+
+// Counter is the registry's "Counter": a commutative integer counter.
+type Counter struct{ Object }
+
+// Counter opens a Counter handle on name.
+func (s *Session) Counter(ctx context.Context, name string) (*Counter, error) {
+	o, err := s.Object(ctx, name, "Counter")
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{*o}, nil
+}
+
+// Inc adds delta to the counter.
+func (c *Counter) Inc(ctx context.Context, delta int) error {
+	_, err := c.Call(ctx, "inc", delta)
+	return err
+}
+
+// IncAsync adds delta asynchronously.
+func (c *Counter) IncAsync(delta int) *Future { return c.CallAsync("inc", delta) }
+
+// Dec subtracts delta from the counter.
+func (c *Counter) Dec(ctx context.Context, delta int) error {
+	_, err := c.Call(ctx, "dec", delta)
+	return err
+}
+
+// Get reads the counter.
+func (c *Counter) Get(ctx context.Context) (int, error) {
+	return intVal(c.Call(ctx, "get"))
+}
+
+// Register is the registry's "Register": a last-writer integer
+// register.
+type Register struct{ Object }
+
+// Register opens a Register handle on name.
+func (s *Session) Register(ctx context.Context, name string) (*Register, error) {
+	o, err := s.Object(ctx, name, "Register")
+	if err != nil {
+		return nil, err
+	}
+	return &Register{*o}, nil
+}
+
+// Write stores v.
+func (r *Register) Write(ctx context.Context, v int) error {
+	_, err := r.Call(ctx, "w", v)
+	return err
+}
+
+// WriteAsync stores v asynchronously.
+func (r *Register) WriteAsync(v int) *Future { return r.CallAsync("w", v) }
+
+// Read returns the current value.
+func (r *Register) Read(ctx context.Context) (int, error) {
+	return intVal(r.Call(ctx, "r"))
+}
+
+// Queue is the registry's "Queue": the paper's FIFO queue whose pop
+// is both update and query.
+type Queue struct{ Object }
+
+// Queue opens a Queue handle on name.
+func (s *Session) Queue(ctx context.Context, name string) (*Queue, error) {
+	o, err := s.Object(ctx, name, "Queue")
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{*o}, nil
+}
+
+// Push appends v.
+func (q *Queue) Push(ctx context.Context, v int) error {
+	_, err := q.Call(ctx, "push", v)
+	return err
+}
+
+// PushAsync appends v asynchronously.
+func (q *Queue) PushAsync(v int) *Future { return q.CallAsync("push", v) }
+
+// Pop removes and returns the oldest element; ok is false on an
+// empty queue (the paper's pop/⊥).
+func (q *Queue) Pop(ctx context.Context) (v int, ok bool, err error) {
+	out, err := q.Call(ctx, "pop")
+	if err != nil || out.Bot || len(out.Vals) == 0 {
+		return 0, false, err
+	}
+	return out.Vals[0], true, nil
+}
+
+// Stack is the registry's "Stack".
+type Stack struct{ Object }
+
+// Stack opens a Stack handle on name.
+func (s *Session) Stack(ctx context.Context, name string) (*Stack, error) {
+	o, err := s.Object(ctx, name, "Stack")
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{*o}, nil
+}
+
+// Push pushes v.
+func (s *Stack) Push(ctx context.Context, v int) error {
+	_, err := s.Call(ctx, "push", v)
+	return err
+}
+
+// Pop removes and returns the top element; ok is false on an empty
+// stack.
+func (s *Stack) Pop(ctx context.Context) (v int, ok bool, err error) {
+	out, err := s.Call(ctx, "pop")
+	if err != nil || out.Bot || len(out.Vals) == 0 {
+		return 0, false, err
+	}
+	return out.Vals[0], true, nil
+}
+
+// Top reads the top element without removing it; ok is false on an
+// empty stack.
+func (s *Stack) Top(ctx context.Context) (v int, ok bool, err error) {
+	out, err := s.Call(ctx, "top")
+	if err != nil || out.Bot || len(out.Vals) == 0 {
+		return 0, false, err
+	}
+	return out.Vals[0], true, nil
+}
+
+// GSet is the registry's "GSet": a grow-only set.
+type GSet struct{ Object }
+
+// GSet opens a GSet handle on name.
+func (s *Session) GSet(ctx context.Context, name string) (*GSet, error) {
+	o, err := s.Object(ctx, name, "GSet")
+	if err != nil {
+		return nil, err
+	}
+	return &GSet{*o}, nil
+}
+
+// Add inserts v.
+func (g *GSet) Add(ctx context.Context, v int) error {
+	_, err := g.Call(ctx, "add", v)
+	return err
+}
+
+// AddAsync inserts v asynchronously.
+func (g *GSet) AddAsync(v int) *Future { return g.CallAsync("add", v) }
+
+// Has reports membership of v.
+func (g *GSet) Has(ctx context.Context, v int) (bool, error) {
+	return boolVal(g.Call(ctx, "has", v))
+}
+
+// Elems returns the members, sorted.
+func (g *GSet) Elems(ctx context.Context) ([]int, error) {
+	out, err := g.Call(ctx, "elems")
+	if err != nil {
+		return nil, err
+	}
+	return out.Vals, nil
+}
+
+// RWSet is the registry's "RWSet": an add/remove set with
+// remove-wins conflict resolution.
+type RWSet struct{ Object }
+
+// RWSet opens an RWSet handle on name.
+func (s *Session) RWSet(ctx context.Context, name string) (*RWSet, error) {
+	o, err := s.Object(ctx, name, "RWSet")
+	if err != nil {
+		return nil, err
+	}
+	return &RWSet{*o}, nil
+}
+
+// Add inserts v.
+func (r *RWSet) Add(ctx context.Context, v int) error {
+	_, err := r.Call(ctx, "add", v)
+	return err
+}
+
+// Remove deletes v.
+func (r *RWSet) Remove(ctx context.Context, v int) error {
+	_, err := r.Call(ctx, "rem", v)
+	return err
+}
+
+// Has reports membership of v.
+func (r *RWSet) Has(ctx context.Context, v int) (bool, error) {
+	return boolVal(r.Call(ctx, "has", v))
+}
+
+// Elems returns the members, sorted.
+func (r *RWSet) Elems(ctx context.Context) ([]int, error) {
+	out, err := r.Call(ctx, "elems")
+	if err != nil {
+		return nil, err
+	}
+	return out.Vals, nil
+}
+
+// CAS is the registry's "CAS": a register with compare-and-swap.
+type CAS struct{ Object }
+
+// CAS opens a CAS handle on name.
+func (s *Session) CAS(ctx context.Context, name string) (*CAS, error) {
+	o, err := s.Object(ctx, name, "CAS")
+	if err != nil {
+		return nil, err
+	}
+	return &CAS{*o}, nil
+}
+
+// Write stores v unconditionally.
+func (c *CAS) Write(ctx context.Context, v int) error {
+	_, err := c.Call(ctx, "w", v)
+	return err
+}
+
+// Read returns the current value.
+func (c *CAS) Read(ctx context.Context) (int, error) {
+	return intVal(c.Call(ctx, "r"))
+}
+
+// CompareAndSwap installs next if the register holds old, reporting
+// whether it did.
+func (c *CAS) CompareAndSwap(ctx context.Context, old, next int) (bool, error) {
+	return boolVal(c.Call(ctx, "cas", old, next))
+}

@@ -1,0 +1,313 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/paper-repro/ccbm/cc/cluster"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+// Transport carries wire requests to a cluster. Two implementations
+// ship with the SDK: NewHTTPTransport speaks the versioned HTTP
+// protocol of cc/cluster's front-end, and NewLoopback short-circuits
+// an in-process *cluster.Cluster through exactly the same wire entry
+// points (so tests and embedded uses exercise the protocol semantics
+// without a socket). Errors returned by a transport are *wire.Error
+// where the server produced one.
+type Transport interface {
+	CreateObject(ctx context.Context, req *wire.CreateObjectRequest) error
+	Invoke(ctx context.Context, req *wire.InvokeRequest) (*wire.InvokeResponse, error)
+	Batch(ctx context.Context, req *wire.BatchRequest) (*wire.BatchResponse, error)
+	Crash(ctx context.Context, req *wire.CrashRequest) error
+	Stats(ctx context.Context) (*wire.StatsResponse, error)
+	Monitor(ctx context.Context, verdicts bool) (*wire.MonitorResponse, error)
+	// MonitorStream subscribes to the monitor's verdict stream: every
+	// verdict so far, then new ones live. The channel closes when the
+	// context is cancelled, the stream fails, or the server's monitor
+	// closes.
+	MonitorStream(ctx context.Context) (<-chan wire.Verdict, error)
+	Healthz(ctx context.Context) (*wire.HealthzResponse, error)
+	// Close releases transport resources. It does not close a server.
+	Close() error
+}
+
+// HTTPTransport speaks the wire protocol over HTTP against a ccserved
+// base URL.
+type HTTPTransport struct {
+	base string
+	hc   *http.Client
+}
+
+// HTTPOption configures an HTTPTransport.
+type HTTPOption func(*HTTPTransport)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// proxies, connection limits).
+func WithHTTPClient(hc *http.Client) HTTPOption {
+	return func(t *HTTPTransport) { t.hc = hc }
+}
+
+// NewHTTPTransport builds the HTTP transport for a server base URL
+// such as "http://127.0.0.1:8344".
+func NewHTTPTransport(baseURL string, opts ...HTTPOption) *HTTPTransport {
+	t := &HTTPTransport{
+		base: baseURL,
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+		}},
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// decodeError turns a non-2xx response into a *wire.Error, falling
+// back to the status-derived code when the body carries no typed
+// error (a proxy page, a pre-wire server).
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var er wire.ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Err != nil {
+		return er.Err
+	}
+	return wire.Errf(wire.CodeForStatus(resp.StatusCode), "http %s", resp.Status)
+}
+
+// roundTrip posts (or gets, when body is nil) one wire value and
+// decodes the response into out. The body is always drained so the
+// connection returns to the idle pool.
+func (t *HTTPTransport) roundTrip(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.base+wire.PathPrefix+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func (t *HTTPTransport) CreateObject(ctx context.Context, req *wire.CreateObjectRequest) error {
+	return t.roundTrip(ctx, http.MethodPost, "/objects", req, nil)
+}
+
+func (t *HTTPTransport) Invoke(ctx context.Context, req *wire.InvokeRequest) (*wire.InvokeResponse, error) {
+	var resp wire.InvokeResponse
+	if err := t.roundTrip(ctx, http.MethodPost, "/invoke", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Batch(ctx context.Context, req *wire.BatchRequest) (*wire.BatchResponse, error) {
+	var resp wire.BatchResponse
+	if err := t.roundTrip(ctx, http.MethodPost, "/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Crash(ctx context.Context, req *wire.CrashRequest) error {
+	return t.roundTrip(ctx, http.MethodPost, "/crash", req, nil)
+}
+
+func (t *HTTPTransport) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	var resp wire.StatsResponse
+	if err := t.roundTrip(ctx, http.MethodGet, "/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Monitor(ctx context.Context, verdicts bool) (*wire.MonitorResponse, error) {
+	path := "/monitor"
+	if verdicts {
+		path += "?verdicts=1"
+	}
+	var resp wire.MonitorResponse
+	if err := t.roundTrip(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) MonitorStream(ctx context.Context) (<-chan wire.Verdict, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+wire.PathPrefix+"/monitor/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	ch := make(chan wire.Verdict, 64)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var v wire.Verdict
+			if err := dec.Decode(&v); err != nil {
+				return // stream ended or ctx cancelled (the transport closes the body)
+			}
+			select {
+			case ch <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+func (t *HTTPTransport) Healthz(ctx context.Context) (*wire.HealthzResponse, error) {
+	var resp wire.HealthzResponse
+	if err := t.roundTrip(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close releases the transport's idle connections.
+func (t *HTTPTransport) Close() error {
+	t.hc.CloseIdleConnections()
+	return nil
+}
+
+// Loopback is the in-process transport: wire requests execute
+// directly against a *cluster.Cluster through the same entry points
+// the HTTP front-end uses (ExecuteBatch, InvokeWire), so semantics —
+// batch group ordering, read targets, typed errors — are identical to
+// the networked path, minus the socket.
+type Loopback struct {
+	c *cluster.Cluster
+}
+
+// NewLoopback wraps an in-process cluster. The caller keeps ownership
+// of the cluster (Loopback.Close does not close it).
+func NewLoopback(c *cluster.Cluster) *Loopback { return &Loopback{c: c} }
+
+func (l *Loopback) CreateObject(_ context.Context, req *wire.CreateObjectRequest) error {
+	if req.Name == "" || req.ADT == "" {
+		return wire.Errf(wire.CodeBadRequest, "need name and adt")
+	}
+	if err := l.c.CreateObject(req.Name, req.ADT); err != nil {
+		return cluster.WireError(err)
+	}
+	return nil
+}
+
+func (l *Loopback) Invoke(_ context.Context, req *wire.InvokeRequest) (*wire.InvokeResponse, error) {
+	resp, e := l.c.InvokeWire(req)
+	if e != nil {
+		return nil, e
+	}
+	return resp, nil
+}
+
+func (l *Loopback) Batch(_ context.Context, req *wire.BatchRequest) (*wire.BatchResponse, error) {
+	resp, e := l.c.ExecuteBatch(req)
+	if e != nil {
+		return nil, e
+	}
+	return resp, nil
+}
+
+func (l *Loopback) Crash(_ context.Context, req *wire.CrashRequest) error {
+	if err := l.c.CrashReplica(req.Shard, req.Replica); err != nil {
+		return cluster.WireError(err)
+	}
+	return nil
+}
+
+func (l *Loopback) Stats(context.Context) (*wire.StatsResponse, error) {
+	return l.c.StatsWire(), nil
+}
+
+func (l *Loopback) Monitor(_ context.Context, verdicts bool) (*wire.MonitorResponse, error) {
+	resp := &wire.MonitorResponse{Summary: l.c.Monitor().Summary()}
+	if verdicts {
+		resp.Verdicts = l.c.Monitor().Verdicts()
+	}
+	return resp, nil
+}
+
+func (l *Loopback) MonitorStream(ctx context.Context) (<-chan wire.Verdict, error) {
+	in, cancel := l.c.Monitor().Subscribe()
+	out := make(chan wire.Verdict, 64)
+	go func() {
+		defer close(out)
+		defer cancel()
+		for {
+			select {
+			case v, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case out <- v:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+func (l *Loopback) Healthz(context.Context) (*wire.HealthzResponse, error) {
+	return &wire.HealthzResponse{OK: true, Criterion: l.c.Criterion(), Protocol: wire.ProtocolVersion}, nil
+}
+
+// Close is a no-op: the wrapped cluster stays up.
+func (l *Loopback) Close() error { return nil }
+
+// compile-time interface checks
+var (
+	_ Transport = (*HTTPTransport)(nil)
+	_ Transport = (*Loopback)(nil)
+)
+
+// protocolCheck rejects a healthz whose protocol version is not the
+// one this SDK speaks.
+func protocolCheck(h *wire.HealthzResponse) error {
+	if h.Protocol != wire.ProtocolVersion {
+		return fmt.Errorf("client: server speaks protocol v%d, this SDK speaks v%d", h.Protocol, wire.ProtocolVersion)
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package cluster
+
+// The wire-facing execution engine: per-request read targets, ordered
+// per-session batch groups, and the classification of cluster errors
+// into their typed wire form. Both front-ends — the HTTP handler in
+// http.go and cc/client's in-process loopback transport — run on
+// these entry points, so the two speak byte-for-byte the same
+// protocol semantics.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+	"github.com/paper-repro/ccbm/internal/core"
+)
+
+// WireError classifies a cluster error into its typed wire form: a
+// shutdown in progress is retryable (CodeUnavailable), an unknown
+// object is CodeNotFound, an object/ADT clash is CodeConflict, and
+// everything else the client asked for wrongly is CodeBadRequest.
+// A nil error maps to nil.
+func WireError(err error) *wire.Error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrClosed), errors.Is(err, core.ErrClosed):
+		return wire.Errf(wire.CodeUnavailable, "%v", err)
+	case errors.Is(err, ErrUnknownObject):
+		return wire.Errf(wire.CodeNotFound, "%v", err)
+	case errors.Is(err, ErrTypeConflict):
+		return wire.Errf(wire.CodeConflict, "%v", err)
+	default:
+		return wire.Errf(wire.CodeBadRequest, "%v", err)
+	}
+}
+
+// outputToWire renders one operation result in its wire form.
+func outputToWire(out cc.Output) *wire.InvokeResponse {
+	return &wire.InvokeResponse{Output: out.String(), Bot: out.Bot, Vals: out.Vals}
+}
+
+// validateInput rejects inputs the object's ADT does not define
+// before they reach a station. The spec contract makes Step total
+// only over well-formed inputs — an unknown method or wrong arity
+// panics — and a panic on the serving path would wedge the station
+// (queries step under its mutex) or kill the delivery goroutine
+// (updates step on delivery). The trial step runs against the initial
+// state, which catches exactly the method/arity panics the registry
+// ADTs throw, without touching live state.
+func validateInput(t cc.ADT, in cc.Input) (err error) {
+	if !t.IsUpdate(in) && !t.IsQuery(in) {
+		return fmt.Errorf("cluster: ADT %s has no method %q", t.Name(), in.Method)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: invalid input %s for ADT %s: %v", in, t.Name(), r)
+		}
+	}()
+	t.Step(t.Init(), in)
+	return nil
+}
+
+// station routes one operation: updates and affinity reads go to the
+// session's pinned replica, ReadAny reads round-robin over the
+// object's shard (crashed replicas included — they still serve
+// wait-free from their partitioned local state, which is exactly the
+// weak read ReadAny buys).
+func (c *Cluster) station(o *object, affinity int, target wire.ReadTarget, isUpdate bool) *core.Station {
+	sts := c.shards[o.shard].stations
+	if isUpdate || target != wire.ReadAny {
+		return sts[affinity]
+	}
+	return sts[int(c.rr.Add(1)%uint32(len(sts)))]
+}
+
+// InvokeTarget executes one operation with a per-request read target
+// (Pileus-style). ReadAffinity is Invoke; ReadAny routes a query to
+// any replica of the object's shard, trading the session's
+// read-your-writes for load spread — such a read abandons the
+// session's ordering, so it is also excluded from the session's
+// monitored history. Updates always run at the pinned replica
+// regardless of target (program order is not negotiable).
+func (s *Session) InvokeTarget(object string, in cc.Input, target wire.ReadTarget) (cc.Output, error) {
+	if !target.Valid() {
+		return cc.Output{}, fmt.Errorf("cluster: unknown read target %q", target)
+	}
+	c := s.c
+	c.mu.RLock()
+	o, ok := c.objects[object]
+	c.mu.RUnlock()
+	if !ok {
+		return cc.Output{}, fmt.Errorf("%w %q", ErrUnknownObject, object)
+	}
+	if err := validateInput(o.t, in); err != nil {
+		return cc.Output{}, err
+	}
+	isUpdate := o.t.IsUpdate(in)
+	st := c.station(o, s.replica, target, isUpdate)
+	if o.rec == nil || (!isUpdate && target == wire.ReadAny) {
+		return st.Invoke(object, in)
+	}
+	inv := time.Since(c.start).Seconds()
+	out, err := st.Invoke(object, in)
+	if err == nil {
+		o.rec.record(s.id, cc.NewOp(in, out), inv, time.Since(c.start).Seconds())
+	}
+	return out, err
+}
+
+// groupPend is one in-flight update of a batch group.
+type groupPend struct {
+	idx  int
+	wait func() cc.Output
+	o    *object
+	in   cc.Input
+	inv  float64
+}
+
+// InvokeGroup executes one session's ordered run of operations — the
+// server side of one wire.BatchGroup. Semantics are exactly those of
+// calling InvokeTarget once per op in order, but updates are
+// pipelined: each is submitted to its station without waiting (origin
+// FIFO keeps their order), and the group only blocks when a query
+// needs the session's earlier updates applied (read-your-writes) or
+// when the group ends. A failed operation carries its own typed error
+// and does not abort the rest of the group.
+func (s *Session) InvokeGroup(ops []wire.BatchOp, target wire.ReadTarget) []wire.BatchResult {
+	results := make([]wire.BatchResult, len(ops))
+	if !target.Valid() {
+		e := wire.Errf(wire.CodeBadRequest, "unknown read target %q", target)
+		for i := range results {
+			results[i].Err = e
+		}
+		return results
+	}
+	c := s.c
+	pending := make(map[*core.Station][]groupPend)
+	// resolve collects a station's pipelined updates in submission
+	// order, recording each in the monitor with its true submit time —
+	// so the recorded per-session, per-object order is identical to
+	// per-op calls (TimedToHistory orders a process's ops by Inv).
+	resolve := func(st *core.Station) {
+		for _, p := range pending[st] {
+			out := p.wait()
+			if p.o.rec != nil {
+				p.o.rec.record(s.id, cc.NewOp(p.in, out), p.inv, time.Since(c.start).Seconds())
+			}
+			results[p.idx] = wire.BatchResult{Output: outputToWire(out)}
+		}
+		delete(pending, st)
+	}
+	for i, bop := range ops {
+		in := cc.NewInput(bop.Method, bop.Args...)
+		c.mu.RLock()
+		o, ok := c.objects[bop.Object]
+		c.mu.RUnlock()
+		if !ok {
+			results[i].Err = wire.Errf(wire.CodeNotFound, "%v %q", ErrUnknownObject, bop.Object)
+			continue
+		}
+		if err := validateInput(o.t, in); err != nil {
+			results[i].Err = WireError(err)
+			continue
+		}
+		isUpdate := o.t.IsUpdate(in)
+		st := c.station(o, s.replica, target, isUpdate)
+		if isUpdate {
+			inv := time.Since(c.start).Seconds()
+			wait, err := st.InvokeAsync(bop.Object, in)
+			if err != nil {
+				results[i].Err = WireError(err)
+				continue
+			}
+			pending[st] = append(pending[st], groupPend{idx: i, wait: wait, o: o, in: in, inv: inv})
+			continue
+		}
+		// A same-station query must observe the session's pipelined
+		// updates (an object's updates and its affinity reads share a
+		// station, so this preserves read-your-writes). A ReadAny query
+		// waives that ordering, so it skips the barrier too.
+		anyRead := target == wire.ReadAny
+		if !anyRead {
+			resolve(st)
+		}
+		inv := time.Since(c.start).Seconds()
+		out, err := st.Invoke(bop.Object, in)
+		if err != nil {
+			results[i].Err = WireError(err)
+			continue
+		}
+		if o.rec != nil && !anyRead {
+			o.rec.record(s.id, cc.NewOp(in, out), inv, time.Since(c.start).Seconds())
+		}
+		results[i] = wire.BatchResult{Output: outputToWire(out)}
+	}
+	for st := range pending {
+		resolve(st)
+	}
+	return results
+}
+
+// InvokeWire executes one wire invocation — the single-op entry point
+// shared by the HTTP front-end and the loopback transport.
+func (c *Cluster) InvokeWire(req *wire.InvokeRequest) (*wire.InvokeResponse, *wire.Error) {
+	out, err := c.Session(req.Session).InvokeTarget(req.Object, cc.NewInput(req.Method, req.Args...), req.Target)
+	if err != nil {
+		return nil, WireError(err)
+	}
+	return outputToWire(out), nil
+}
+
+// ExecuteBatch runs one wire batch: groups are independent sessions
+// and execute concurrently (their invocations commute in the paper's
+// session-based causal model); each group's ops run in order under
+// the session's sequential discipline. A session id may appear in at
+// most one group — two groups would race one session's program order,
+// so duplicates are rejected outright.
+func (c *Cluster) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchResponse, *wire.Error) {
+	if len(req.Groups) == 0 {
+		return nil, wire.Errf(wire.CodeBadRequest, "batch has no groups")
+	}
+	seen := make(map[int]bool, len(req.Groups))
+	for _, g := range req.Groups {
+		if seen[g.Session] {
+			return nil, wire.Errf(wire.CodeBadRequest, "session %d appears in more than one group", g.Session)
+		}
+		seen[g.Session] = true
+		if !g.Target.Valid() {
+			return nil, wire.Errf(wire.CodeBadRequest, "unknown read target %q", g.Target)
+		}
+	}
+	resp := &wire.BatchResponse{Groups: make([]wire.BatchGroupResult, len(req.Groups))}
+	var wg sync.WaitGroup
+	for i, g := range req.Groups {
+		wg.Add(1)
+		go func(i int, g wire.BatchGroup) {
+			defer wg.Done()
+			resp.Groups[i] = wire.BatchGroupResult{
+				Session: g.Session,
+				Results: c.Session(g.Session).InvokeGroup(g.Ops, g.Target),
+			}
+		}(i, g)
+	}
+	wg.Wait()
+	return resp, nil
+}
+
+// StatsWire renders a stats snapshot in its wire form.
+func (c *Cluster) StatsWire() *wire.StatsResponse {
+	st := c.Stats()
+	resp := &wire.StatsResponse{
+		UptimeSeconds: st.Uptime.Seconds(),
+		Objects:       st.Objects,
+		Criterion:     st.Criteria,
+		Invocations:   st.Totals.Invocations,
+		Updates:       st.Totals.Updates,
+		Queries:       st.Totals.Queries,
+		Applied:       st.Totals.Applied,
+		Broadcasts:    st.Totals.Broadcasts,
+		BatchedOps:    st.Totals.BatchedOps,
+	}
+	for _, sh := range st.Shards {
+		resp.Shards = append(resp.Shards, wire.ShardStats{Crashed: sh.Crashed})
+	}
+	return resp
+}

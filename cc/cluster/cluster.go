@@ -29,9 +29,11 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
 	"github.com/paper-repro/ccbm/internal/core"
 	"github.com/paper-repro/ccbm/internal/net"
 )
@@ -39,6 +41,14 @@ import (
 // ErrClosed reports an operation against a cluster that has been
 // Closed — a shutdown-in-progress condition, not a data error.
 var ErrClosed = errors.New("cluster: closed")
+
+// ErrUnknownObject reports an operation on an object no CreateObject
+// registered. Wire mapping: wire.CodeNotFound.
+var ErrUnknownObject = errors.New("cluster: unknown object")
+
+// ErrTypeConflict reports a CreateObject whose name is already taken
+// by another ADT. Wire mapping: wire.CodeConflict.
+var ErrTypeConflict = errors.New("cluster: object type conflict")
 
 // Config parameterizes a Cluster.
 type Config struct {
@@ -110,6 +120,9 @@ type Cluster struct {
 	mon    *Monitor
 	start  time.Time
 
+	// rr spreads ReadAny queries across a shard's replicas.
+	rr atomic.Uint32
+
 	mu      sync.RWMutex
 	objects map[string]*object
 	closed  bool
@@ -168,7 +181,7 @@ func (c *Cluster) CreateObject(name, adtName string) error {
 	}
 	if o, ok := c.objects[name]; ok {
 		if o.adtName != adtName {
-			return fmt.Errorf("cluster: object %q already exists with ADT %s", name, o.adtName)
+			return fmt.Errorf("%w: %q already exists with ADT %s", ErrTypeConflict, name, o.adtName)
 		}
 		return nil
 	}
@@ -220,25 +233,10 @@ type Session struct {
 // ID returns the session id.
 func (s *Session) ID() int { return s.id }
 
-// Invoke executes one operation on a named object.
+// Invoke executes one operation on a named object at the session's
+// pinned replica (the ReadAffinity target).
 func (s *Session) Invoke(object string, in cc.Input) (cc.Output, error) {
-	c := s.c
-	c.mu.RLock()
-	o, ok := c.objects[object]
-	c.mu.RUnlock()
-	if !ok {
-		return cc.Output{}, fmt.Errorf("cluster: unknown object %q", object)
-	}
-	st := c.shards[o.shard].stations[s.replica]
-	if o.rec == nil {
-		return st.Invoke(object, in)
-	}
-	inv := time.Since(c.start).Seconds()
-	out, err := st.Invoke(object, in)
-	if err == nil {
-		o.rec.record(s.id, cc.NewOp(in, out), inv, time.Since(c.start).Seconds())
-	}
-	return out, err
+	return s.InvokeTarget(object, in, wire.ReadAffinity)
 }
 
 // Call is Invoke with the method/args convenience.

@@ -2,142 +2,173 @@ package cluster
 
 import (
 	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
 
-	"github.com/paper-repro/ccbm/cc"
-	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
 )
 
-// NewHTTPHandler exposes a cluster over HTTP/JSON — the wire surface
-// cmd/ccserved serves and cmd/ccload drives:
-//
-//	POST /v1/objects  {"name":"cart:1","adt":"Counter"}
-//	POST /v1/invoke   {"session":7,"object":"cart:1","method":"inc","args":[1]}
-//	POST /v1/crash    {"shard":0,"replica":1}
-//	GET  /v1/stats
-//	GET  /v1/monitor            (full verdict list: /v1/monitor?verdicts=1)
-//	GET  /v1/healthz
-//
-// Sessions are identified by the client-chosen "session" integer; all
-// requests carrying the same id must come from one sequential client
-// (see Session).
+// httpServer is the server side of the cc/cluster/wire protocol — the
+// HTTP surface cmd/ccserved serves and cc/client's HTTP transport
+// speaks. Every request and response body is a wire struct; every
+// failure is a typed wire.Error at its pinned status.
 type httpServer struct {
 	c *Cluster
 }
 
-// NewHTTPHandler builds the HTTP/JSON front-end for c.
+// NewHTTPHandler builds the versioned HTTP front-end for c:
+//
+//	POST /v1/objects         create an object             (wire.CreateObjectRequest → wire.OKResponse)
+//	POST /v1/invoke          one operation                (wire.InvokeRequest → wire.InvokeResponse)
+//	POST /v1/batch           per-session op groups        (wire.BatchRequest → wire.BatchResponse)
+//	POST /v1/crash           crash-stop a replica         (wire.CrashRequest → wire.OKResponse)
+//	GET  /v1/stats           activity snapshot            (wire.StatsResponse)
+//	GET  /v1/monitor         monitor summary              (wire.MonitorResponse; ?verdicts=1 adds the full list)
+//	GET  /v1/monitor/stream  NDJSON verdict stream        (one wire.Verdict per line, replay then live)
+//	GET  /v1/healthz         liveness + protocol version  (wire.HealthzResponse)
+//
+// Request bodies are capped (wire.MaxRequestBytes, wire.MaxBatchBytes
+// for the batch endpoint), unknown JSON fields are rejected, and all
+// requests carrying the same session id must come from one sequential
+// client (see Session).
 func NewHTTPHandler(c *Cluster) http.Handler {
 	s := &httpServer{c: c}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/objects", s.createObject)
-	mux.HandleFunc("POST /v1/invoke", s.invoke)
-	mux.HandleFunc("POST /v1/crash", s.crash)
-	mux.HandleFunc("GET /v1/stats", s.stats)
-	mux.HandleFunc("GET /v1/monitor", s.monitor)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "criterion": c.Criterion()})
+	mux.HandleFunc("POST "+wire.PathPrefix+"/objects", s.createObject)
+	mux.HandleFunc("POST "+wire.PathPrefix+"/invoke", s.invoke)
+	mux.HandleFunc("POST "+wire.PathPrefix+"/batch", s.batch)
+	mux.HandleFunc("POST "+wire.PathPrefix+"/crash", s.crash)
+	mux.HandleFunc("GET "+wire.PathPrefix+"/stats", s.stats)
+	mux.HandleFunc("GET "+wire.PathPrefix+"/monitor", s.monitor)
+	mux.HandleFunc("GET "+wire.PathPrefix+"/monitor/stream", s.monitorStream)
+	mux.HandleFunc("GET "+wire.PathPrefix+"/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, wire.HealthzResponse{
+			OK: true, Criterion: c.Criterion(), Protocol: wire.ProtocolVersion,
+		})
 	})
 	return mux
 }
 
+// writeJSON marshals first and only then writes, so an encoding
+// failure becomes a proper 500 instead of a silently truncated 200
+// body. A write error after a successful marshal means the client
+// went away; there is no one left to tell.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		e := wire.Errf(wire.CodeInternal, "encode response: %v", err)
+		b, _ = json.Marshal(wire.ErrorResponse{Err: e})
+		code = e.Code.HTTPStatus()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	w.Write(append(b, '\n'))
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeErr writes a typed wire error at its pinned status.
+func writeErr(w http.ResponseWriter, e *wire.Error) {
+	writeJSON(w, e.Code.HTTPStatus(), wire.ErrorResponse{Err: e})
 }
 
 func (s *httpServer) createObject(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Name string `json:"name"`
-		ADT  string `json:"adt"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	var req wire.CreateObjectRequest
+	if e := wire.DecodeJSON(w, r, &req, wire.MaxRequestBytes); e != nil {
+		writeErr(w, e)
 		return
 	}
 	if req.Name == "" || req.ADT == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("need name and adt"))
-		return
-	}
-	if _, err := cc.LookupADT(req.ADT); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, wire.Errf(wire.CodeBadRequest, "need name and adt"))
 		return
 	}
 	if err := s.c.CreateObject(req.Name, req.ADT); err != nil {
-		// A valid request can still fail two ways: the cluster is
-		// draining (retryable) or the name is taken by another type.
-		code := http.StatusConflict
-		if errors.Is(err, ErrClosed) {
-			code = http.StatusServiceUnavailable
-		}
-		writeErr(w, code, err)
+		writeErr(w, WireError(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-}
-
-// InvokeResponse is the wire form of one operation's result.
-type InvokeResponse struct {
-	Output string `json:"output"`
-	Bot    bool   `json:"bot"`
-	Vals   []int  `json:"vals,omitempty"`
+	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})
 }
 
 func (s *httpServer) invoke(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Session int    `json:"session"`
-		Object  string `json:"object"`
-		Method  string `json:"method"`
-		Args    []int  `json:"args"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	var req wire.InvokeRequest
+	if e := wire.DecodeJSON(w, r, &req, wire.MaxRequestBytes); e != nil {
+		writeErr(w, e)
 		return
 	}
-	out, err := s.c.Session(req.Session).Invoke(req.Object, cc.NewInput(req.Method, req.Args...))
-	if err != nil {
-		// Shutdown in progress is retryable and not the client's fault;
-		// everything else here is an unknown object.
-		code := http.StatusNotFound
-		if errors.Is(err, core.ErrClosed) {
-			code = http.StatusServiceUnavailable
-		}
-		writeErr(w, code, err)
+	resp, e := s.c.InvokeWire(&req)
+	if e != nil {
+		writeErr(w, e)
 		return
 	}
-	writeJSON(w, http.StatusOK, InvokeResponse{Output: out.String(), Bot: out.Bot, Vals: out.Vals})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *httpServer) batch(w http.ResponseWriter, r *http.Request) {
+	var req wire.BatchRequest
+	if e := wire.DecodeJSON(w, r, &req, wire.MaxBatchBytes); e != nil {
+		writeErr(w, e)
+		return
+	}
+	resp, e := s.c.ExecuteBatch(&req)
+	if e != nil {
+		writeErr(w, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *httpServer) crash(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Shard   int `json:"shard"`
-		Replica int `json:"replica"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	var req wire.CrashRequest
+	if e := wire.DecodeJSON(w, r, &req, wire.MaxRequestBytes); e != nil {
+		writeErr(w, e)
 		return
 	}
 	if err := s.c.CrashReplica(req.Shard, req.Replica); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, WireError(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})
 }
 
 func (s *httpServer) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.c.Stats())
+	writeJSON(w, http.StatusOK, s.c.StatsWire())
 }
 
 func (s *httpServer) monitor(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{"summary": s.c.Monitor().Summary()}
+	resp := wire.MonitorResponse{Summary: s.c.Monitor().Summary()}
 	if r.URL.Query().Get("verdicts") != "" {
-		resp["verdicts"] = s.c.Monitor().Verdicts()
+		resp.Verdicts = s.c.Monitor().Verdicts()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// monitorStream streams verdicts as NDJSON — every verdict so far,
+// then new ones live as the classifier emits them — until the client
+// disconnects or the monitor closes.
+func (s *httpServer) monitorStream(w http.ResponseWriter, r *http.Request) {
+	ch, cancel := s.c.Monitor().Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out before the first verdict exists, so a
+		// subscriber to a quiet monitor gets a live stream instead of
+		// blocking on buffered headers.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(v); err != nil {
+				return // client gone
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }

@@ -1,0 +1,174 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/paper-repro/ccbm/cc/cluster"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+// TestHTTPStatusTable is the table-driven pin of the wire protocol's
+// HTTP status mapping, end to end through the real handler: per error
+// class the status and the typed error code can't silently change.
+func TestHTTPStatusTable(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Shards:   1,
+		Replicas: 2,
+		Monitor:  cluster.MonitorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateObject("k", "Counter"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cluster.NewHTTPHandler(c))
+	defer srv.Close()
+
+	closed, err := cluster.New(cluster.Config{Monitor: cluster.MonitorConfig{Disable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed.Close()
+	closedSrv := httptest.NewServer(cluster.NewHTTPHandler(closed))
+	defer closedSrv.Close()
+
+	hugeBody := `{"name":"` + strings.Repeat("x", wire.MaxRequestBytes+4096) + `","adt":"Counter"}`
+
+	cases := []struct {
+		name       string
+		server     *httptest.Server
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   wire.ErrorCode // "" for success responses
+	}{
+		{"healthz ok", srv, "GET", "/v1/healthz", "", 200, ""},
+		{"create ok", srv, "POST", "/v1/objects", `{"name":"fresh","adt":"Register"}`, 200, ""},
+		{"invoke ok", srv, "POST", "/v1/invoke", `{"session":1,"object":"k","method":"inc","args":[1]}`, 200, ""},
+		{"batch ok", srv, "POST", "/v1/batch", `{"groups":[{"session":1,"ops":[{"object":"k","method":"get"}]}]}`, 200, ""},
+		{"crash ok", srv, "POST", "/v1/crash", `{"shard":0,"replica":1}`, 200, ""},
+
+		{"invalid json", srv, "POST", "/v1/objects", `{"name":`, 400, wire.CodeBadRequest},
+		{"unknown field", srv, "POST", "/v1/objects", `{"name":"x","adt":"Counter","bogus":1}`, 400, wire.CodeBadRequest},
+		{"trailing data", srv, "POST", "/v1/objects", `{"name":"x","adt":"Counter"}{"again":1}`, 400, wire.CodeBadRequest},
+		{"missing fields", srv, "POST", "/v1/objects", `{"name":"x"}`, 400, wire.CodeBadRequest},
+		{"unknown adt", srv, "POST", "/v1/objects", `{"name":"x","adt":"NoSuchADT"}`, 400, wire.CodeBadRequest},
+		{"oversized body", srv, "POST", "/v1/objects", hugeBody, 413, wire.CodeTooLarge},
+		{"type conflict", srv, "POST", "/v1/objects", `{"name":"k","adt":"Register"}`, 409, wire.CodeConflict},
+
+		{"invoke unknown object", srv, "POST", "/v1/invoke", `{"session":1,"object":"ghost","method":"get"}`, 404, wire.CodeNotFound},
+		{"invoke unknown method", srv, "POST", "/v1/invoke", `{"session":1,"object":"k","method":"frobnicate"}`, 400, wire.CodeBadRequest},
+		{"invoke bad arity", srv, "POST", "/v1/invoke", `{"session":1,"object":"k","method":"inc","args":[1,2]}`, 400, wire.CodeBadRequest},
+		{"invoke bad target", srv, "POST", "/v1/invoke", `{"session":1,"object":"k","method":"get","target":"bogus"}`, 400, wire.CodeBadRequest},
+
+		{"batch no groups", srv, "POST", "/v1/batch", `{"groups":[]}`, 400, wire.CodeBadRequest},
+		{"batch duplicate session", srv, "POST", "/v1/batch",
+			`{"groups":[{"session":1,"ops":[{"object":"k","method":"get"}]},{"session":1,"ops":[{"object":"k","method":"get"}]}]}`,
+			400, wire.CodeBadRequest},
+		{"batch bad target", srv, "POST", "/v1/batch", `{"groups":[{"session":1,"target":"bogus","ops":[]}]}`, 400, wire.CodeBadRequest},
+
+		{"crash bad shard", srv, "POST", "/v1/crash", `{"shard":9,"replica":0}`, 400, wire.CodeBadRequest},
+		{"crash bad replica", srv, "POST", "/v1/crash", `{"shard":0,"replica":9}`, 400, wire.CodeBadRequest},
+
+		{"create on closed cluster", closedSrv, "POST", "/v1/objects", `{"name":"x","adt":"Counter"}`, 503, wire.CodeUnavailable},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var (
+				resp *http.Response
+				err  error
+			)
+			if tc.method == "GET" {
+				resp, err = tc.server.Client().Get(tc.server.URL + tc.path)
+			} else {
+				resp, err = tc.server.Client().Post(tc.server.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("content-type = %q", ct)
+			}
+			if tc.wantCode == "" {
+				return
+			}
+			var er wire.ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatalf("decode error body: %v", err)
+			}
+			if er.Err == nil || er.Err.Code != tc.wantCode {
+				t.Fatalf("error body = %+v, want code %s", er.Err, tc.wantCode)
+			}
+			if er.Err.Message == "" {
+				t.Fatal("error body carries no message")
+			}
+			if er.Err.Code.HTTPStatus() != tc.wantStatus {
+				t.Fatalf("code %s pins status %d but response was %d", er.Err.Code, er.Err.Code.HTTPStatus(), tc.wantStatus)
+			}
+		})
+	}
+	c.Close()
+}
+
+// TestBatchEndpointSemantics pins per-op error isolation inside a
+// group and the response's group/result mirroring.
+func TestBatchEndpointSemantics(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Monitor: cluster.MonitorConfig{Disable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateObject("cnt", "Counter"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cluster.NewHTTPHandler(c))
+	defer srv.Close()
+
+	body := `{"groups":[
+		{"session":1,"ops":[
+			{"object":"cnt","method":"inc","args":[5]},
+			{"object":"ghost","method":"get"},
+			{"object":"cnt","method":"get"}]},
+		{"session":2,"ops":[{"object":"cnt","method":"inc","args":[1]}]}]}`
+	resp, err := srv.Client().Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var br wire.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Groups) != 2 || br.Groups[0].Session != 1 || br.Groups[1].Session != 2 {
+		t.Fatalf("groups = %+v", br.Groups)
+	}
+	g := br.Groups[0].Results
+	if len(g) != 3 {
+		t.Fatalf("group 0 results = %d", len(g))
+	}
+	if g[0].Err != nil || g[0].Output == nil || !g[0].Output.Bot {
+		t.Fatalf("inc result = %+v", g[0])
+	}
+	if g[1].Err == nil || g[1].Err.Code != wire.CodeNotFound {
+		t.Fatalf("ghost result = %+v", g[1])
+	}
+	// The failed op did not abort the group: the read still ran and
+	// observed the session's earlier inc (read-your-writes).
+	if g[2].Err != nil || g[2].Output == nil || len(g[2].Output.Vals) != 1 || g[2].Output.Vals[0] < 5 {
+		t.Fatalf("get result = %+v", g[2])
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/paper-repro/ccbm/cc"
 	"github.com/paper-repro/ccbm/cc/checker"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
 )
 
 // MonitorConfig tunes the online consistency monitor.
@@ -56,34 +57,19 @@ func (m *MonitorConfig) fill(criterion string) {
 	}
 }
 
-// Verdict is the outcome of one criterion on one sampled window.
-type Verdict struct {
-	Object    string        `json:"object"`
-	Criterion string        `json:"criterion"`
-	Satisfied bool          `json:"satisfied"`
-	Exhausted checker.Cause `json:"exhausted,omitempty"`
-	Err       string        `json:"err,omitempty"`
-	Ops       int           `json:"ops"`
-	Sessions  int           `json:"sessions"`
-	Explored  int64         `json:"explored"`
-	ElapsedMS float64       `json:"elapsed_ms"`
-}
+// Verdict is the outcome of one criterion on one sampled window. Its
+// definition lives in cc/cluster/wire (it is also the NDJSON line
+// type of the monitor stream endpoint); this alias keeps the Go API
+// where the monitor is.
+type Verdict = wire.Verdict
 
-// Summary aggregates the monitor's output so far.
-type Summary struct {
-	SampledObjects   int       `json:"sampled_objects"`
-	WindowsSubmitted int       `json:"windows_submitted"`
-	WindowsDropped   int       `json:"windows_dropped"`
-	Verdicts         int       `json:"verdicts"`
-	Satisfied        int       `json:"satisfied"`
-	Violations       []Verdict `json:"violations,omitempty"`
-	// Exhausted counts verdict-less outcomes whose search ran out of
-	// budget or time; Errors counts hard checker failures. The two are
-	// different signals: many Exhausted means the windows are too
-	// expensive, any Errors means the monitor hookup is broken.
-	Exhausted int `json:"exhausted"`
-	Errors    int `json:"errors"`
-}
+// Summary aggregates the monitor's output so far (wire form:
+// wire.MonitorSummary). Exhausted counts verdict-less outcomes whose
+// search ran out of budget or time; Errors counts hard checker
+// failures. The two are different signals: many Exhausted means the
+// windows are too expensive, any Errors means the monitor hookup is
+// broken.
+type Summary = wire.MonitorSummary
 
 // Monitor spot-checks the criterion the cluster claims, online: a
 // sample of objects is designated at creation, each sampled object's
@@ -127,6 +113,8 @@ type Monitor struct {
 	created   int // objects seen by maybeSample
 	recs      []*objRecorder
 	verdicts  []Verdict
+	subs      []chan Verdict
+	ended     bool // collect finished; no further verdicts will appear
 	submitted int
 	dropped   int
 	closed    bool
@@ -167,7 +155,8 @@ func newMonitor(cfg MonitorConfig, criterion string) *Monitor {
 	return m
 }
 
-// collect folds classifier results into verdicts.
+// collect folds classifier results into verdicts and fans them out to
+// stream subscribers.
 func (m *Monitor) collect(out <-chan checker.ItemResult) {
 	defer close(m.done)
 	for r := range out {
@@ -191,8 +180,62 @@ func (m *Monitor) collect(out <-chan checker.ItemResult) {
 				v.Err = res.Err.Error()
 			}
 			m.verdicts = append(m.verdicts, v)
+			for _, ch := range m.subs {
+				select {
+				case ch <- v:
+				default: // a stalled subscriber misses verdicts, never blocks the monitor
+				}
+			}
 		}
 		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	m.ended = true
+	for _, ch := range m.subs {
+		close(ch)
+	}
+	m.subs = nil
+	m.mu.Unlock()
+}
+
+// Subscribe returns a channel that replays every verdict produced so
+// far and then streams new ones live, plus a cancel function
+// releasing the subscription (after which the channel is closed). The
+// channel is also closed when the monitor closes. Sends to a
+// subscriber that stops draining are dropped rather than ever
+// blocking the monitor; the buffer absorbs bursts. A disabled monitor
+// returns an already-closed channel.
+func (m *Monitor) Subscribe() (<-chan Verdict, func()) {
+	if m.disabled {
+		ch := make(chan Verdict)
+		close(ch)
+		return ch, func() {}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan Verdict, len(m.verdicts)+256)
+	for _, v := range m.verdicts {
+		ch <- v
+	}
+	if m.ended {
+		close(ch)
+		return ch, func() {}
+	}
+	m.subs = append(m.subs, ch)
+	return ch, func() { m.unsubscribe(ch) }
+}
+
+// unsubscribe removes one subscriber; idempotent (collect's own close
+// at stream end removes the whole list first).
+func (m *Monitor) unsubscribe(ch chan Verdict) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, s := range m.subs {
+		if s == ch {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			close(ch)
+			return
+		}
 	}
 }
 

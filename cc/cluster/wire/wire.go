@@ -1,0 +1,322 @@
+// Package wire is the versioned wire contract between a cluster
+// server (cc/cluster's HTTP front-end, cmd/ccserved) and its clients
+// (cc/client, cmd/ccload): every request and response struct, the
+// typed error codes with their pinned HTTP status mapping, the
+// per-request read targets, and the hardened JSON decoding rules.
+//
+// The contract is part of the public cc facade and follows its
+// compatibility rules (the API-lock test pins the surface): within a
+// protocol version, fields are only added, never removed or renamed,
+// and the status mapping of an error code never changes.
+//
+// # Protocol versions
+//
+//	v0  (PR 4)   ad-hoc JSON inline in cc/cluster: one round-trip per
+//	             operation, errors as {"error":"message"} strings.
+//	             Superseded; no longer served.
+//	v1  (this)   this package: typed {"error":{"code","message"}}
+//	             errors, POST /v1/batch with ordered per-session
+//	             invocation groups, per-request read targets, and
+//	             NDJSON verdict streaming on GET /v1/monitor/stream.
+//
+// GET /v1/healthz reports the protocol version a server speaks, so a
+// client can refuse a mismatched server instead of misparsing it.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/paper-repro/ccbm/cc/checker"
+)
+
+// ProtocolVersion is the wire protocol version this package defines.
+// It is carried by HealthzResponse and bumped on any change an
+// existing client could misparse.
+const ProtocolVersion = 1
+
+// PathPrefix is the URL prefix of every versioned endpoint.
+const PathPrefix = "/v1"
+
+// Body-size limits enforced by the server (http.MaxBytesReader).
+// Single-operation requests are tiny; only the batch endpoint carries
+// real payloads.
+const (
+	// MaxRequestBytes bounds every non-batch request body.
+	MaxRequestBytes = 1 << 20
+	// MaxBatchBytes bounds a POST /v1/batch body.
+	MaxBatchBytes = 16 << 20
+)
+
+// ErrorCode classifies a request failure. Codes are part of the wire
+// contract: clients dispatch on them (retry on CodeUnavailable, fail
+// fast otherwise), so a code, once shipped, keeps its meaning and its
+// HTTP status.
+type ErrorCode string
+
+const (
+	// CodeBadRequest: the request is malformed — undecodable JSON,
+	// unknown fields, missing required fields, an unknown ADT or read
+	// target, or an out-of-range shard/replica index.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeTooLarge: the request body exceeded the server's limit.
+	CodeTooLarge ErrorCode = "too_large"
+	// CodeNotFound: the named object does not exist.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeConflict: the object exists with a different ADT.
+	CodeConflict ErrorCode = "conflict"
+	// CodeUnavailable: the cluster is draining or closed; the request
+	// was valid and may be retried against a live server.
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInternal: the server failed to produce a response.
+	CodeInternal ErrorCode = "internal"
+)
+
+// httpStatus pins the HTTP status of every error code. The table-
+// driven status suite in cc/cluster asserts this mapping end to end,
+// so the wire package cannot silently change a code's status.
+var httpStatus = map[ErrorCode]int{
+	CodeBadRequest:  http.StatusBadRequest,            // 400
+	CodeTooLarge:    http.StatusRequestEntityTooLarge, // 413
+	CodeNotFound:    http.StatusNotFound,              // 404
+	CodeConflict:    http.StatusConflict,              // 409
+	CodeUnavailable: http.StatusServiceUnavailable,    // 503
+	CodeInternal:    http.StatusInternalServerError,   // 500
+}
+
+// HTTPStatus returns the pinned HTTP status of the code (500 for an
+// unknown code: an unrecognized failure is an internal one).
+func (c ErrorCode) HTTPStatus() int {
+	if s, ok := httpStatus[c]; ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeForStatus is the client-side fallback mapping for responses
+// whose body carried no typed error (a proxy error page, a v0
+// server): the inverse of HTTPStatus where it is one, CodeInternal
+// otherwise.
+func CodeForStatus(status int) ErrorCode {
+	for c, s := range httpStatus {
+		if s == status {
+			return c
+		}
+	}
+	return CodeInternal
+}
+
+// Error is the typed wire error: a stable code plus a human-readable
+// message. It implements error, so clients can errors.As on it.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Errf builds an Error with a formatted message.
+func Errf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return string(e.Code) + ": " + e.Message }
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Err *Error `json:"error"`
+}
+
+// ReadTarget is the per-request consistency target of a query
+// (Pileus-style): how strongly the read is tied to its session.
+type ReadTarget string
+
+const (
+	// ReadAffinity (the default, also the meaning of an empty target)
+	// routes the query to the session's pinned replica, preserving the
+	// paper's sequential-process view: the session reads its own
+	// completed updates.
+	ReadAffinity ReadTarget = "affinity"
+	// ReadAny routes the query to any replica of the object's shard
+	// (round-robin), trading the session guarantees for load spread:
+	// the read may miss the session's own recent updates, and it is
+	// excluded from the session's monitored history (it deliberately
+	// left the session ordering the monitor checks).
+	ReadAny ReadTarget = "any"
+)
+
+// Valid reports whether the target is one the protocol defines (the
+// empty string counts as ReadAffinity).
+func (t ReadTarget) Valid() bool {
+	return t == "" || t == ReadAffinity || t == ReadAny
+}
+
+// CreateObjectRequest registers a named object of a registered ADT.
+// POST /v1/objects; idempotent when the ADT matches.
+type CreateObjectRequest struct {
+	Name string `json:"name"`
+	ADT  string `json:"adt"`
+}
+
+// OKResponse acknowledges a request with no payload (create, crash).
+type OKResponse struct {
+	OK bool `json:"ok"`
+}
+
+// HealthzResponse reports liveness, the cluster's criterion, and the
+// protocol version the server speaks. GET /v1/healthz.
+type HealthzResponse struct {
+	OK        bool   `json:"ok"`
+	Criterion string `json:"criterion"`
+	Protocol  int    `json:"protocol"`
+}
+
+// InvokeRequest executes one operation. POST /v1/invoke. All requests
+// carrying the same session id must come from one sequential client.
+type InvokeRequest struct {
+	Session int        `json:"session"`
+	Object  string     `json:"object"`
+	Method  string     `json:"method"`
+	Args    []int      `json:"args,omitempty"`
+	Target  ReadTarget `json:"target,omitempty"`
+}
+
+// InvokeResponse is the wire form of one operation's result. Output
+// is the display rendering; Bot/Vals carry the structured value.
+type InvokeResponse struct {
+	Output string `json:"output"`
+	Bot    bool   `json:"bot"`
+	Vals   []int  `json:"vals,omitempty"`
+}
+
+// CrashRequest crash-stops one replica of one shard. POST /v1/crash.
+type CrashRequest struct {
+	Shard   int `json:"shard"`
+	Replica int `json:"replica"`
+}
+
+// BatchOp is one operation inside a batch group.
+type BatchOp struct {
+	Object string `json:"object"`
+	Method string `json:"method"`
+	Args   []int  `json:"args,omitempty"`
+}
+
+// BatchGroup is one session's ordered run of operations. The server
+// executes a group's operations in slice order under the session's
+// sequential discipline; distinct groups are independent sessions and
+// execute concurrently (their operations commute in the paper's
+// session-based causal model).
+type BatchGroup struct {
+	Session int        `json:"session"`
+	Target  ReadTarget `json:"target,omitempty"`
+	Ops     []BatchOp  `json:"ops"`
+}
+
+// BatchRequest is an ordered set of per-session invocation groups.
+// POST /v1/batch. A session id may appear in at most one group (two
+// groups for one session would race its program order); the server
+// rejects duplicates with CodeBadRequest.
+type BatchRequest struct {
+	Groups []BatchGroup `json:"groups"`
+}
+
+// BatchResult is one operation's outcome: exactly one of Output and
+// Err is set. A failed operation does not abort its group; later
+// operations still run (each carries its own result).
+type BatchResult struct {
+	Output *InvokeResponse `json:"output,omitempty"`
+	Err    *Error          `json:"error,omitempty"`
+}
+
+// BatchGroupResult mirrors one BatchGroup: Results[i] is Ops[i]'s
+// outcome.
+type BatchGroupResult struct {
+	Session int           `json:"session"`
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResponse mirrors the request: Groups[i] answers request group
+// i.
+type BatchResponse struct {
+	Groups []BatchGroupResult `json:"groups"`
+}
+
+// ShardStats is the per-shard slice of a StatsResponse.
+type ShardStats struct {
+	Crashed []bool `json:"crashed"`
+}
+
+// StatsResponse is a point-in-time snapshot of the cluster's
+// activity. GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Objects       int          `json:"objects"`
+	Criterion     string       `json:"criterion"`
+	Invocations   int64        `json:"invocations"`
+	Updates       int64        `json:"updates"`
+	Queries       int64        `json:"queries"`
+	Applied       int64        `json:"applied"`
+	Broadcasts    int64        `json:"broadcasts"`
+	BatchedOps    int64        `json:"batched_ops"`
+	Shards        []ShardStats `json:"shards"`
+}
+
+// Verdict is the outcome of one criterion on one sampled monitor
+// window (see cc/cluster.Monitor for the precise contract of a
+// sampled verdict). Also the NDJSON line type of /v1/monitor/stream.
+type Verdict struct {
+	Object    string        `json:"object"`
+	Criterion string        `json:"criterion"`
+	Satisfied bool          `json:"satisfied"`
+	Exhausted checker.Cause `json:"exhausted,omitempty"`
+	Err       string        `json:"err,omitempty"`
+	Ops       int           `json:"ops"`
+	Sessions  int           `json:"sessions"`
+	Explored  int64         `json:"explored"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+// MonitorSummary aggregates the monitor's output so far. Exhausted
+// counts verdict-less outcomes whose search ran out of budget or
+// time; Errors counts hard checker failures.
+type MonitorSummary struct {
+	SampledObjects   int       `json:"sampled_objects"`
+	WindowsSubmitted int       `json:"windows_submitted"`
+	WindowsDropped   int       `json:"windows_dropped"`
+	Verdicts         int       `json:"verdicts"`
+	Satisfied        int       `json:"satisfied"`
+	Violations       []Verdict `json:"violations,omitempty"`
+	Exhausted        int       `json:"exhausted"`
+	Errors           int       `json:"errors"`
+}
+
+// MonitorResponse answers GET /v1/monitor; Verdicts is populated only
+// when the request asked for it (?verdicts=1).
+type MonitorResponse struct {
+	Summary  MonitorSummary `json:"summary"`
+	Verdicts []Verdict      `json:"verdicts,omitempty"`
+}
+
+// DecodeJSON reads one JSON value from an HTTP request body under the
+// protocol's hardening rules: the body is capped at maxBytes
+// (http.MaxBytesReader), unknown fields are rejected, and trailing
+// data after the value is rejected. A nil return means dst is
+// populated.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, dst any, maxBytes int64) *Error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return Errf(CodeTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		}
+		return Errf(CodeBadRequest, "invalid JSON: %v", err)
+	}
+	if dec.More() {
+		return Errf(CodeBadRequest, "trailing data after JSON value")
+	}
+	return nil
+}

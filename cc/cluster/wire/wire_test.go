@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestStatusMapping pins every error code's HTTP status — the wire
+// contract says a shipped code never changes its status.
+func TestStatusMapping(t *testing.T) {
+	want := map[ErrorCode]int{
+		CodeBadRequest:  400,
+		CodeTooLarge:    413,
+		CodeNotFound:    404,
+		CodeConflict:    409,
+		CodeUnavailable: 503,
+		CodeInternal:    500,
+	}
+	if len(want) != len(httpStatus) {
+		t.Fatalf("status table has %d codes, test pins %d — pin the new code", len(httpStatus), len(want))
+	}
+	for code, status := range want {
+		if got := code.HTTPStatus(); got != status {
+			t.Errorf("%s.HTTPStatus() = %d, want %d", code, got, status)
+		}
+		if got := CodeForStatus(status); got != code {
+			t.Errorf("CodeForStatus(%d) = %s, want %s", status, got, code)
+		}
+	}
+	if got := ErrorCode("no_such_code").HTTPStatus(); got != http.StatusInternalServerError {
+		t.Errorf("unknown code status = %d, want 500", got)
+	}
+	if got := CodeForStatus(418); got != CodeInternal {
+		t.Errorf("CodeForStatus(418) = %s, want internal", got)
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := Errf(CodeNotFound, "object %q", "x")
+	if e.Error() != `not_found: object "x"` {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestReadTargetValid(t *testing.T) {
+	for _, tc := range []struct {
+		t  ReadTarget
+		ok bool
+	}{
+		{"", true}, {ReadAffinity, true}, {ReadAny, true},
+		{"bogus", false}, {"Affinity", false},
+	} {
+		if got := tc.t.Valid(); got != tc.ok {
+			t.Errorf("ReadTarget(%q).Valid() = %v, want %v", tc.t, got, tc.ok)
+		}
+	}
+}

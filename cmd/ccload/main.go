@@ -1,48 +1,171 @@
-// Command ccload is the closed-loop load generator for ccserved: N
-// client goroutines, each with its own session, drive a mixed-ADT
-// object population over HTTP — optionally with a Zipf-skewed object
-// popularity, the workload shape that separates batched from unbatched
-// hot paths — and report sustained throughput, latency percentiles,
-// the realized write ratio, and the server's online monitor summary.
+// Command ccload is the closed-loop load generator for ccserved,
+// built entirely on the public cc/client SDK and the cc/cluster/wire
+// protocol (it hand-rolls no request or response structs): N client
+// goroutines, each with its own session, drive a mixed-ADT object
+// population over HTTP — optionally with a Zipf-skewed object
+// popularity, the workload shape that separates batched from
+// unbatched hot paths — and report sustained throughput, latency
+// percentiles, the realized write ratio, and the server's online
+// monitor summary.
 //
 // Usage:
 //
 //	ccload -addr http://127.0.0.1:8344 -clients 8 -duration 5s \
 //	       -objects 16 -adt mixed -write-ratio 0.3 -skew 1.1 \
+//	       [-batch] [-pipeline 32] [-batch-ops 64] [-batch-wait 500us] \
+//	       [-read-target affinity|any] \
 //	       [-bench-out BENCH_runtime.json -label "..."] [-require-verdicts]
 //
-// -bench-out appends a labelled entry (BENCH_checkers.json style) so a
-// run becomes a recorded, comparable measurement. -require-verdicts
+// The default mode is one round trip per operation (the per-op
+// baseline). -batch turns on client-side batching: each client keeps
+// -pipeline asynchronous invocations in flight and the SDK coalesces
+// them — across all clients — into POST /v1/batch round trips
+// (size -batch-ops, delay -batch-wait), while every session's ops
+// stay in program order. -read-target any issues Pileus-style weak
+// reads (round-robin over replicas, no read-your-writes).
+//
+// -bench-out appends a labelled entry (BENCH_checkers.json style) so
+// a run becomes a recorded, comparable measurement. -require-verdicts
 // exits non-zero unless the server's monitor produced at least one
 // verdict during the run — the CI smoke contract.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
-	"net/http"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"github.com/paper-repro/ccbm/internal/adt"
-	"github.com/paper-repro/ccbm/internal/benchrec"
-	"github.com/paper-repro/ccbm/internal/spec"
-	"github.com/paper-repro/ccbm/internal/stats"
-	"github.com/paper-repro/ccbm/internal/workload"
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/client"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
 )
 
 // mixedADTs is the default object population for -adt mixed.
 var mixedADTs = []string{"Counter", "Register", "GSet", "RWSet", "Queue2", "Stack"}
 
+// opGen produces a random invocation: step is a monotone counter the
+// generator uses to make written values distinct (distinct values
+// keep the exact checkers sharp).
+type opGen func(rng *rand.Rand, step int) cc.Input
+
+// generatorFor returns the operation mix for a registry ADT name.
+// writeRatio is the probability of an update, realized exactly (one
+// uniform draw, branched on sub-ranges); Queue is the exception —
+// push and pop are both updates, so writeRatio biases producing vs
+// consuming instead.
+func generatorFor(adtName string, writeRatio float64) (opGen, error) {
+	w := writeRatio
+	switch adtName {
+	case "Register":
+		return func(rng *rand.Rand, step int) cc.Input {
+			if rng.Float64() < w {
+				return cc.NewInput("w", step+1)
+			}
+			return cc.NewInput("r")
+		}, nil
+	case "CAS":
+		return func(rng *rand.Rand, step int) cc.Input {
+			switch u := rng.Float64(); {
+			case u < w/2:
+				return cc.NewInput("w", step+1)
+			case u < w:
+				return cc.NewInput("cas", rng.Intn(step+1), step+1)
+			default:
+				return cc.NewInput("r")
+			}
+		}, nil
+	case "Counter":
+		return func(rng *rand.Rand, step int) cc.Input {
+			switch u := rng.Float64(); {
+			case u < w/2:
+				return cc.NewInput("inc", 1+rng.Intn(3))
+			case u < w:
+				return cc.NewInput("dec", 1+rng.Intn(2))
+			default:
+				return cc.NewInput("get")
+			}
+		}, nil
+	case "GSet":
+		return func(rng *rand.Rand, step int) cc.Input {
+			if rng.Float64() < w {
+				return cc.NewInput("add", rng.Intn(8))
+			}
+			if rng.Intn(2) == 0 {
+				return cc.NewInput("has", rng.Intn(8))
+			}
+			return cc.NewInput("elems")
+		}, nil
+	case "RWSet":
+		return func(rng *rand.Rand, step int) cc.Input {
+			switch u := rng.Float64(); {
+			case u < w/3:
+				return cc.NewInput("rem", rng.Intn(8))
+			case u < w:
+				return cc.NewInput("add", rng.Intn(8))
+			case rng.Intn(2) == 0:
+				return cc.NewInput("has", rng.Intn(8))
+			default:
+				return cc.NewInput("elems")
+			}
+		}, nil
+	case "Queue":
+		return func(rng *rand.Rand, step int) cc.Input {
+			if rng.Float64() < w {
+				return cc.NewInput("push", step+1)
+			}
+			return cc.NewInput("pop")
+		}, nil
+	case "Queue2":
+		return func(rng *rand.Rand, step int) cc.Input {
+			switch u := rng.Float64(); {
+			case u < w/2:
+				return cc.NewInput("push", step+1)
+			case u < w:
+				return cc.NewInput("rh", rng.Intn(step+1))
+			default:
+				return cc.NewInput("hd")
+			}
+		}, nil
+	case "Stack":
+		return func(rng *rand.Rand, step int) cc.Input {
+			switch u := rng.Float64(); {
+			case u < w/2:
+				return cc.NewInput("push", step+1)
+			case u < w:
+				return cc.NewInput("pop")
+			default:
+				return cc.NewInput("top")
+			}
+		}, nil
+	case "Sequence":
+		return func(rng *rand.Rand, step int) cc.Input {
+			switch u := rng.Float64(); {
+			case u < 2*w/3:
+				return cc.NewInput("ins", rng.Intn(step+1), 'a'+rng.Intn(26))
+			case u < w:
+				return cc.NewInput("del", rng.Intn(step+1))
+			default:
+				return cc.NewInput("read")
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("no generator for ADT %q (try one of %v, Queue, CAS, Sequence)", adtName, mixedADTs)
+	}
+}
+
 type target struct {
 	name string
-	t    spec.ADT
-	gen  workload.OpGen
+	t    cc.ADT
+	gen  opGen
 }
 
 func main() {
@@ -54,6 +177,11 @@ func main() {
 	writeRatio := flag.Float64("write-ratio", 0.3, "update fraction of the generated mix")
 	skew := flag.Float64("skew", 1.1, "Zipf exponent for object popularity (0 = uniform)")
 	seed := flag.Int64("seed", 1, "random seed")
+	batch := flag.Bool("batch", false, "client-side batching over POST /v1/batch")
+	pipeline := flag.Int("pipeline", 32, "async invocations in flight per client (with -batch)")
+	batchOps := flag.Int("batch-ops", 64, "client batch flush size (with -batch)")
+	batchWait := flag.Duration("batch-wait", 500*time.Microsecond, "client batch flush delay (with -batch)")
+	readTarget := flag.String("read-target", "affinity", "per-request read target: affinity or any")
 	benchOut := flag.String("bench-out", "", "append a labelled result entry to this JSON file")
 	label := flag.String("label", "", "label for the bench entry")
 	requireVerdicts := flag.Bool("require-verdicts", false, "exit non-zero unless the monitor produced verdicts")
@@ -68,17 +196,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccload: -skew must be 0 (uniform) or > 1 (Zipf exponent)")
 		os.Exit(2)
 	}
+	tgt := wire.ReadTarget(*readTarget)
+	if !tgt.Valid() {
+		fmt.Fprintln(os.Stderr, "ccload: -read-target must be affinity or any")
+		os.Exit(2)
+	}
+	pipelineSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "pipeline" {
+			pipelineSet = true
+		}
+	})
+	if pipelineSet && !*batch {
+		fmt.Fprintln(os.Stderr, "ccload: -pipeline needs -batch (per-op mode is a closed loop)")
+		os.Exit(2)
+	}
+	if *batch && (*pipeline < 1 || *batchOps < 1) {
+		fmt.Fprintln(os.Stderr, "ccload: -pipeline and -batch-ops must be at least 1")
+		os.Exit(2)
+	}
 
-	httpc := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        *clients * 2,
-		MaxIdleConnsPerHost: *clients * 2,
-	}}
+	var opts []client.Option
+	if *batch {
+		opts = append(opts, client.WithBatching(*batchOps, *batchWait))
+	}
+	opts = append(opts, client.WithReadTarget(tgt))
+	cli, err := client.New(client.NewHTTPTransport(*addr), opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccload:", err)
+		os.Exit(2)
+	}
+	defer cli.Close()
 
-	// Wait for the server, then create the object population.
-	if err := waitHealthy(httpc, *addr, 10*time.Second); err != nil {
+	// Wait for the server (and the protocol handshake), then create
+	// the object population.
+	if err := waitHealthy(cli, 10*time.Second); err != nil {
 		fmt.Fprintln(os.Stderr, "ccload:", err)
 		os.Exit(1)
 	}
+	ctx := context.Background()
 	targets := make([]target, *objects)
 	for i := range targets {
 		name := fmt.Sprintf("obj-%03d", i)
@@ -86,25 +242,26 @@ func main() {
 		if adtName == "mixed" {
 			adtName = mixedADTs[i%len(mixedADTs)]
 		}
-		t, err := adt.Lookup(adtName)
+		t, err := cc.LookupADT(adtName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccload:", err)
 			os.Exit(2)
 		}
-		gen, err := workload.GeneratorFor(t, *writeRatio)
+		gen, err := generatorFor(adtName, *writeRatio)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccload:", err)
 			os.Exit(2)
 		}
-		if err := postJSON(httpc, *addr+"/v1/objects", map[string]string{"name": name, "adt": adtName}, nil); err != nil {
+		if err := cli.CreateObject(ctx, name, adtName); err != nil {
 			fmt.Fprintln(os.Stderr, "ccload: create:", err)
 			os.Exit(1)
 		}
 		targets[i] = target{name: name, t: t, gen: gen}
 	}
 
-	// Closed loop: every client owns one session and waits for each
-	// response before sending the next operation.
+	// Each client owns one session. Per-op mode is a closed loop; with
+	// -batch each client keeps up to -pipeline futures in flight and a
+	// collector goroutine retires them in submission order.
 	var (
 		ops, writes, reads, errs atomic.Int64
 		mu                       sync.Mutex
@@ -116,12 +273,45 @@ func main() {
 		wg.Add(1)
 		go func(cl int) {
 			defer wg.Done()
+			sess := cli.Session(cl)
 			rng := rand.New(rand.NewSource(*seed*7919 + int64(cl)))
 			var zipf *rand.Zipf
 			if *skew > 1 {
 				zipf = rand.NewZipf(rng, *skew, 1, uint64(len(targets)-1))
 			}
 			var local []float64
+
+			type inflight struct {
+				fut     *client.Future
+				t0      time.Time
+				update  bool
+				sampled bool
+			}
+			var window chan inflight
+			var cwg sync.WaitGroup
+			if *batch {
+				window = make(chan inflight, *pipeline)
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					for fl := range window {
+						if _, err := fl.fut.Get(ctx); err != nil {
+							errs.Add(1)
+							continue
+						}
+						ops.Add(1)
+						if fl.update {
+							writes.Add(1)
+						} else {
+							reads.Add(1)
+						}
+						if fl.sampled {
+							local = append(local, float64(time.Since(fl.t0).Microseconds()))
+						}
+					}
+				}()
+			}
+
 			for step := 0; time.Now().Before(deadline); step++ {
 				var tg target
 				if zipf != nil {
@@ -130,23 +320,30 @@ func main() {
 					tg = targets[rng.Intn(len(targets))]
 				}
 				in := tg.gen(rng, step)
-				req := map[string]any{"session": cl, "object": tg.name, "method": in.Method, "args": in.Args}
+				update := tg.t.IsUpdate(in)
 				t0 := time.Now()
-				err := postJSON(httpc, *addr+"/v1/invoke", req, nil)
-				lat := time.Since(t0)
-				if err != nil {
+				if *batch {
+					fut := sess.InvokeAsync(tg.name, in)
+					window <- inflight{fut: fut, t0: t0, update: update, sampled: step%16 == 0}
+					continue
+				}
+				if _, err := sess.Invoke(ctx, tg.name, in); err != nil {
 					errs.Add(1)
 					continue
 				}
 				ops.Add(1)
-				if tg.t.IsUpdate(in) {
+				if update {
 					writes.Add(1)
 				} else {
 					reads.Add(1)
 				}
 				if step%16 == 0 {
-					local = append(local, float64(lat.Microseconds()))
+					local = append(local, float64(time.Since(t0).Microseconds()))
 				}
+			}
+			if *batch {
+				close(window)
+				cwg.Wait()
 			}
 			mu.Lock()
 			latencies = append(latencies, local...)
@@ -159,40 +356,41 @@ func main() {
 
 	total := ops.Load()
 	opsPerSec := float64(total) / elapsed.Seconds()
-	lat := stats.Summarize(latencies)
+	lat := summarize(latencies)
 	realized := 0.0
 	if total > 0 {
 		realized = float64(writes.Load()) / float64(total)
 	}
 
-	var mon struct {
-		Summary map[string]any `json:"summary"`
-	}
-	if err := getJSON(httpc, *addr+"/v1/monitor", &mon); err != nil {
+	sum, err := cli.MonitorSummary(ctx)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccload: monitor:", err)
+		sum = &wire.MonitorSummary{}
 	}
 
-	fmt.Printf("ccload: %d ops in %v (%.0f ops/s), %d errors\n", total, elapsed.Round(time.Millisecond), opsPerSec, errs.Load())
-	fmt.Printf("mix     w=%d r=%d (realized write ratio %.3f of requested %.2f)\n",
-		writes.Load(), reads.Load(), realized, *writeRatio)
-	fmt.Printf("latency sampled %s µs\n", lat.String())
-	monJSON, _ := json.Marshal(mon.Summary)
+	mode := "perop"
+	if *batch {
+		mode = fmt.Sprintf("batch(ops=%d,wait=%v,pipeline=%d)", *batchOps, *batchWait, *pipeline)
+	}
+	fmt.Printf("ccload: %d ops in %v (%.0f ops/s), %d errors, mode %s\n",
+		total, elapsed.Round(time.Millisecond), opsPerSec, errs.Load(), mode)
+	fmt.Printf("mix     w=%d r=%d (realized write ratio %.3f of requested %.2f), read-target %s\n",
+		writes.Load(), reads.Load(), realized, *writeRatio, tgt)
+	fmt.Printf("latency sampled n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f µs\n",
+		lat.Count, lat.Mean, lat.P50, lat.P95, lat.P99, lat.Max)
+	monJSON, _ := json.Marshal(sum)
 	fmt.Printf("monitor %s\n", monJSON)
 
-	verdicts := monFloat(mon.Summary, "verdicts")
-	violations := 0
-	if vs, ok := mon.Summary["violations"].([]any); ok {
-		violations = len(vs)
-	}
 	if *benchOut != "" {
 		lbl := *label
 		if lbl == "" {
 			lbl = "ccload run"
 		}
-		entry := benchrec.New(lbl, map[string]any{
+		n, err := appendBench(*benchOut, newBenchEntry(lbl, map[string]any{
 			"config": map[string]any{
 				"clients": *clients, "objects": *objects, "adt": *adtFlag,
 				"write_ratio": *writeRatio, "skew": *skew, "duration": duration.String(),
+				"mode": mode, "read_target": string(tgt),
 			},
 			"ops":                  total,
 			"ops_per_sec":          round1(opsPerSec),
@@ -201,20 +399,20 @@ func main() {
 			"latency_us": map[string]any{
 				"p50": lat.P50, "p95": lat.P95, "p99": lat.P99, "mean": round1(lat.Mean),
 			},
-			"monitor": mon.Summary,
-		})
-		if _, err := benchrec.Append(*benchOut, entry); err != nil {
+			"monitor": sum,
+		}))
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccload: bench-out:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("recorded %s\n", *benchOut)
+		fmt.Printf("recorded %s (%d entries)\n", *benchOut, n)
 	}
-	if *requireVerdicts && verdicts == 0 {
+	if *requireVerdicts && sum.Verdicts == 0 {
 		fmt.Fprintln(os.Stderr, "ccload: monitor produced no verdicts")
 		os.Exit(1)
 	}
-	if violations > 0 {
-		fmt.Fprintf(os.Stderr, "ccload: monitor reported %d violations\n", violations)
+	if len(sum.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "ccload: monitor reported %d violations\n", len(sum.Violations))
 		os.Exit(1)
 	}
 	if total == 0 {
@@ -223,65 +421,96 @@ func main() {
 	}
 }
 
-func monFloat(m map[string]any, key string) float64 {
-	if m == nil {
-		return 0
-	}
-	f, _ := m[key].(float64)
-	return f
-}
-
 func round1(f float64) float64 { return float64(int64(f*10)) / 10 }
 func round3(f float64) float64 { return float64(int64(f*1000)) / 1000 }
 
-func waitHealthy(c *http.Client, addr string, within time.Duration) error {
+func waitHealthy(cli *client.Client, within time.Duration) error {
 	deadline := time.Now().Add(within)
 	for {
-		resp, err := c.Get(addr + "/v1/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		h, err := cli.Health(ctx)
+		cancel()
+		if err == nil && h.OK {
+			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("server at %s not healthy within %v: %v", addr, within, err)
+			return fmt.Errorf("server not healthy within %v: %v", within, err)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
 }
 
-func postJSON(c *http.Client, url string, body any, out any) error {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := c.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
-	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	return nil
+// latSummary and summarize are the tool's own percentile helpers (the
+// serving tools import only the public cc surface).
+type latSummary struct {
+	Count                    int
+	Mean, P50, P95, P99, Max float64
 }
 
-func getJSON(c *http.Client, url string, out any) error {
-	resp, err := c.Get(url)
+func summarize(xs []float64) latSummary {
+	if len(xs) == 0 {
+		return latSummary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	pct := func(p float64) float64 {
+		rank := int(math.Ceil(p*float64(len(s)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		return s[min(rank, len(s)-1)]
+	}
+	return latSummary{
+		Count: len(s), Mean: sum / float64(len(s)), Max: s[len(s)-1],
+		P50: pct(0.50), P95: pct(0.95), P99: pct(0.99),
+	}
+}
+
+// benchEntry mirrors the repo's BENCH_*.json record shape (see
+// internal/benchrec, which server-side tools use; this tool keeps to
+// the public surface and writes the same format itself).
+type benchEntry struct {
+	Label    string `json:"label"`
+	Date     string `json:"date"`
+	Go       string `json:"go"`
+	Platform string `json:"platform"`
+	Results  any    `json:"results"`
+}
+
+func newBenchEntry(label string, results any) benchEntry {
+	return benchEntry{
+		Label:    label,
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		Go:       runtime.Version(),
+		Platform: runtime.GOOS + "/" + runtime.GOARCH,
+		Results:  results,
+	}
+}
+
+func appendBench(path string, e benchEntry) (int, error) {
+	var entries []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return 0, fmt.Errorf("%s is not a JSON array of runs: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	raw, err := json.Marshal(e)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s", url, resp.Status)
+	entries = append(entries, raw)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return 0, err
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(entries), nil
 }

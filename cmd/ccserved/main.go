@@ -8,12 +8,16 @@
 //	         -batch-ops 32 -batch-wait 200us \
 //	         -monitor-sample 4 -monitor-window 24 -monitor-timeout 2s
 //
-// Endpoints (see cluster.NewHTTPHandler): POST /v1/objects, POST
-// /v1/invoke, POST /v1/crash, GET /v1/stats, GET /v1/monitor, GET
-// /v1/healthz. On SIGINT/SIGTERM the server drains, closes the
-// cluster (flushing batches and finalizing sampled windows) and
-// prints the monitor summary; a monitor violation makes the exit
-// status non-zero so harnesses notice.
+// The server speaks the versioned cc/cluster/wire protocol (see
+// cluster.NewHTTPHandler): POST /v1/objects, POST /v1/invoke, POST
+// /v1/batch (pipelined per-session invocation groups), POST
+// /v1/crash, GET /v1/stats, GET /v1/monitor, GET /v1/monitor/stream
+// (NDJSON verdicts), GET /v1/healthz (reports the protocol version).
+// Drive it with the cc/client SDK or cmd/ccload. On SIGINT/SIGTERM
+// the server drains, closes the cluster (flushing batches and
+// finalizing sampled windows) and prints the monitor summary; a
+// monitor violation makes the exit status non-zero so harnesses
+// notice.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"github.com/paper-repro/ccbm/cc/cluster"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
 )
 
 func main() {
@@ -85,8 +90,8 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("ccserved: criterion=%s shards=%d replicas=%d batch=%d addr=%s\n",
-		c.Criterion(), *shards, *replicas, *batchOps, *addr)
+	fmt.Printf("ccserved: criterion=%s shards=%d replicas=%d batch=%d addr=%s protocol=v%d\n",
+		c.Criterion(), *shards, *replicas, *batchOps, *addr, wire.ProtocolVersion)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

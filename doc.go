@@ -36,14 +36,30 @@
 //     the criterion it claims. cmd/ccserved serves it over HTTP and
 //     cmd/ccload load-tests it (BENCH_runtime.json records measured
 //     runs); see the package docs for the exact verdict contract.
+//   - cc/cluster/wire: the versioned wire protocol of the serving
+//     layer — request/response structs, typed error codes with a
+//     pinned HTTP status table, per-request read targets, batch
+//     groups, NDJSON verdict streaming. Protocol v1; v0 (the ad-hoc
+//     PR 4 JSON surface) is no longer served. GET /v1/healthz reports
+//     the version a server speaks.
+//   - cc/client: the serving-layer SDK — Client over a pluggable
+//     Transport (HTTP or in-process loopback), sequential Session
+//     handles with asynchronous Invoke futures, client-side batching
+//     that pipelines independent sessions into POST /v1/batch while
+//     preserving each session's program order, per-request read
+//     targets (ReadAffinity vs ReadAny, Pileus-style), and typed
+//     object handles over the ADT registry (Counter, Register, Queue,
+//     Stack, GSet, RWSet, CAS, generic Object).
 //
 // Cancellation is idiomatic context.Context end to end: every search
 // polls ctx at a bounded node cadence and unwinds promptly on
 // cancellation or deadline. The exported surface is pinned by the
 // API-lock test (cc/testdata/api.golden).
 //
-// All cmd/ tools and all seven examples/ programs are built on
-// the facade; see README.md for the architecture, the benchmark
+// All cmd/ tools and all eight examples/ programs are built on
+// the facade (the serving tools ccserved and ccload import only the
+// public cc/... surface, enforced in CI); see README.md for the
+// architecture, the benchmark
 // workflow and the BENCH_checkers.json performance record. The
 // benchmarks in bench_test.go and bench_extra_test.go regenerate the
 // performance-shape results for every figure of the paper; cmd/ccbench

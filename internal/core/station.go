@@ -238,11 +238,27 @@ func (s *Station) Stats() StationStats {
 // remote progress — wait-freedom is preserved, batching only delays
 // the local flush by at most BatchWait).
 func (s *Station) Invoke(obj string, in spec.Input) (spec.Output, error) {
+	wait, err := s.InvokeAsync(obj, in)
+	if err != nil {
+		return spec.Output{}, err
+	}
+	return wait(), nil
+}
+
+// InvokeAsync begins one operation and returns the function that
+// waits for its output — the per-op routing primitive batch groups
+// pipeline on. A query's wait function returns immediately (the state
+// was read at the call); an update's blocks until the local delivery
+// applies it. Updates submitted by one caller complete in submission
+// order (origin FIFO through the batcher and the broadcast layer), so
+// a caller may hold many update handles and collect them at the end
+// without reordering its program order.
+func (s *Station) InvokeAsync(obj string, in spec.Input) (func() spec.Output, error) {
 	s.mu.Lock()
 	o, ok := s.objs[obj]
 	if !ok {
 		s.mu.Unlock()
-		return spec.Output{}, fmt.Errorf("core: unknown object %q", obj)
+		return nil, fmt.Errorf("core: unknown object %q", obj)
 	}
 	if !o.t.IsUpdate(in) {
 		q := o.queryStateLocked(s.mode)
@@ -250,7 +266,7 @@ func (s *Station) Invoke(obj string, in spec.Input) (spec.Output, error) {
 		s.stats.Invocations++
 		s.stats.Queries++
 		s.mu.Unlock()
-		return out, nil
+		return func() spec.Output { return out }, nil
 	}
 	s.stats.Invocations++
 	s.stats.Updates++
@@ -258,9 +274,9 @@ func (s *Station) Invoke(obj string, in spec.Input) (spec.Output, error) {
 
 	id, err := s.enqueue(wireOp{Obj: obj, ADT: o.adtName, In: in})
 	if err != nil {
-		return spec.Output{}, err
+		return nil, err
 	}
-	return s.await(id), nil
+	return func() spec.Output { return s.await(id) }, nil
 }
 
 // enqueue adds an update to the pending batch, flushing when full (or

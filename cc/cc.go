@@ -15,6 +15,19 @@
 //   - cc/checker: the consistency criteria themselves — a string-keyed
 //     registry of checkers, context-aware single-history checking, and
 //     the streaming batch classifier.
+//   - cc/cluster: the serving runtime — a sharded replicated object
+//     store with pluggable replication backends ("broadcast" or
+//     anti-entropy gossip, Config.Replication), scripted fault
+//     injection (partition/heal, crash/restart, link degradation via
+//     ApplyFault), convergence fingerprints, and an online monitor
+//     streaming live windows into the checkers.
+//   - cc/cluster/wire: the versioned wire protocol — request/response
+//     structs, typed error codes with pinned HTTP statuses, fault and
+//     readiness messages.
+//   - cc/client: the client SDK — sessions, futures, batching, and
+//     self-healing (bounded jittered retry, per-session failover that
+//     re-attaches the causal frontier so read-your-writes survives the
+//     move, per-replica circuit breakers).
 //
 // # Quickstart
 //
@@ -38,7 +51,7 @@ import (
 // follows the usual compatibility contract: exported identifiers are
 // only added, never removed or re-typed, within a major version (the
 // API-lock test pins the surface).
-const Version = "v0.4.0"
+const Version = "v0.5.0"
 
 // The sequential-specification model (Sec. 2.1 of the paper): an ADT
 // is a deterministic transition system over immutable states, an

@@ -19,22 +19,27 @@ import (
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
 )
 
-// batchOp is one queued invocation.
+// batchOp is one queued invocation. attempt counts self-healing
+// re-submissions of this op (0 on first enqueue).
 type batchOp struct {
-	obj    string
-	in     cc.Input
-	target wire.ReadTarget
-	fut    *Future
+	obj     string
+	in      cc.Input
+	target  wire.ReadTarget
+	fut     *Future
+	attempt int
 }
 
-// sessQueue is one session's pending ops.
+// sessQueue is one session's pending ops. notBefore delays the next
+// dispatch of this session's ops (retry backoff after a failure).
 type sessQueue struct {
-	ops      []batchOp
-	inflight bool // some of this session's ops are in an unresolved batch
+	ops       []batchOp
+	inflight  bool // some of this session's ops are in an unresolved batch
+	notBefore time.Time
 }
 
 type batcher struct {
 	tr          Transport
+	cli         *Client // self-healing hooks; nil-safe (plain batching)
 	maxOps      int
 	maxDelay    time.Duration
 	maxInflight int
@@ -119,15 +124,20 @@ func (b *batcher) flushLocked() {
 }
 
 // buildLocked assembles one batch from the sessions that are not in
-// flight: per session, the longest prefix run with a uniform read
-// target (a group carries one target), capped at maxOps total. It
-// returns nil when nothing is dispatchable.
-func (b *batcher) buildLocked() (*wire.BatchRequest, [][]*Future, []int) {
+// flight (and not in a retry-backoff window): per session, the
+// longest prefix run with a uniform read target (a group carries one
+// target), capped at maxOps total. Each group carries its session's
+// failover routing (replica pin + causal frontier); a session whose
+// replica's circuit breaker is open has its queued ops failed fast
+// with the typed error instead of being dispatched. It returns nil
+// when nothing is dispatchable.
+func (b *batcher) buildLocked() (*wire.BatchRequest, [][]batchOp, []int) {
 	var (
 		req      wire.BatchRequest
-		futs     [][]*Future
+		sent     [][]batchOp
 		sessions []int
 		budget   = b.maxOps
+		now      = time.Now()
 	)
 	keep := b.order[:0]
 	for _, sess := range b.order {
@@ -135,27 +145,41 @@ func (b *batcher) buildLocked() (*wire.BatchRequest, [][]*Future, []int) {
 		if len(q.ops) == 0 {
 			continue // fully drained earlier; drop from order
 		}
-		if q.inflight || budget == 0 {
+		if q.inflight || budget == 0 || now.Before(q.notBefore) {
 			keep = append(keep, sess)
 			continue
+		}
+		var rep *int
+		var fronts []wire.ShardFrontier
+		if b.cli != nil {
+			var fastErr error
+			rep, fronts, fastErr = b.cli.route(sess)
+			if fastErr != nil {
+				for _, op := range q.ops {
+					op.fut.reject(fastErr)
+				}
+				b.queued -= len(q.ops)
+				q.ops = nil
+				continue
+			}
 		}
 		target := q.ops[0].target
 		n := 0
 		for n < len(q.ops) && n < budget && q.ops[n].target == target {
 			n++
 		}
-		group := wire.BatchGroup{Session: sess, Target: target}
-		gf := make([]*Future, n)
+		group := wire.BatchGroup{Session: sess, Target: target, Replica: rep, Frontiers: fronts}
+		gf := make([]batchOp, n)
 		for i, op := range q.ops[:n] {
 			group.Ops = append(group.Ops, wire.BatchOp{Object: op.obj, Method: op.in.Method, Args: op.in.Args})
-			gf[i] = op.fut
+			gf[i] = op
 		}
 		q.ops = q.ops[n:]
 		b.queued -= n
 		budget -= n
 		q.inflight = true
 		req.Groups = append(req.Groups, group)
-		futs = append(futs, gf)
+		sent = append(sent, gf)
 		sessions = append(sessions, sess)
 		if len(q.ops) > 0 {
 			keep = append(keep, sess)
@@ -165,40 +189,108 @@ func (b *batcher) buildLocked() (*wire.BatchRequest, [][]*Future, []int) {
 	if len(req.Groups) == 0 {
 		return nil, nil, nil
 	}
-	return &req, futs, sessions
+	return &req, sent, sessions
 }
 
-// send performs one batch RPC and resolves its futures. A transport
-// error fails every op of the batch; a malformed response fails the
-// affected group.
-func (b *batcher) send(req *wire.BatchRequest, futs [][]*Future, sessions []int) {
-	resp, err := b.tr.Batch(context.Background(), req)
-	b.mu.Lock()
-	b.inflight--
-	for gi, sess := range sessions {
-		if q := b.queues[sess]; q != nil {
-			q.inflight = false
-			if len(q.ops) == 0 {
-				// Idle session: drop its entry, or the map grows by one
-				// dead sessQueue per session id ever used (enqueue
-				// recreates it on demand).
-				delete(b.queues, sess)
-			}
-		}
-		for i, f := range futs[gi] {
-			switch {
-			case err != nil:
-				f.reject(err)
-			case gi >= len(resp.Groups) || len(resp.Groups[gi].Results) != len(futs[gi]):
-				f.reject(wire.Errf(wire.CodeInternal, "malformed batch response for session %d", sess))
-			default:
-				r := resp.Groups[gi].Results[i]
-				if r.Err != nil {
-					f.reject(r.Err)
-				} else {
-					f.resolve(outputFromWire(r.Output))
+// send performs one batch RPC and resolves its futures. A retryable
+// transport-level failure retries the whole RPC under the client's
+// backoff budget (re-routing each group first, since a failover may
+// have moved its session); a non-retryable one fails every op. After
+// a served RPC, ops that failed retryably (their replica drained,
+// crashed, or lagged the frontier) are re-queued at the front of
+// their session's queue — order within the session preserved — with
+// a backoff window, until their attempt budget runs out.
+//
+// Over HTTP a transport-level retry is at-least-once: the server may
+// have applied the batch before the connection died, and the retry
+// re-applies it. The loopback transport never has that window. The
+// chaos harness asserts over loopback for exactly this reason; HTTP
+// callers enabling WithRetry accept at-least-once updates under
+// connection loss (idempotent ops, or dedup above the SDK).
+func (b *batcher) send(req *wire.BatchRequest, sent [][]batchOp, sessions []int) {
+	attempts := 1
+	if b.cli != nil {
+		attempts = b.cli.heal.attempts()
+	}
+	var resp *wire.BatchResponse
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			b.cli.met.retries.Add(1)
+			time.Sleep(b.cli.backoff(a - 1))
+			for gi, sess := range sessions {
+				rep, fronts, fastErr := b.cli.route(sess)
+				if fastErr == nil {
+					req.Groups[gi].Replica, req.Groups[gi].Frontiers = rep, fronts
 				}
 			}
+		}
+		resp, err = b.tr.Batch(context.Background(), req)
+		if err == nil || !retryable(err) {
+			break
+		}
+		for _, sess := range sessions {
+			b.cli.noteFailure(sess, err)
+		}
+	}
+	b.mu.Lock()
+	b.inflight--
+	now := time.Now()
+	for gi, sess := range sessions {
+		q := b.queues[sess]
+		if q != nil {
+			q.inflight = false
+		}
+		var requeue []batchOp
+		var groupErr error // worst per-op failure, for the breaker/failover
+		for i, op := range sent[gi] {
+			switch {
+			case err != nil:
+				op.fut.reject(err)
+			case gi >= len(resp.Groups) || len(resp.Groups[gi].Results) != len(sent[gi]):
+				op.fut.reject(wire.Errf(wire.CodeInternal, "malformed batch response for session %d", sess))
+			default:
+				r := resp.Groups[gi].Results[i]
+				if r.Err == nil {
+					op.fut.resolve(outputFromWire(r.Output))
+					continue
+				}
+				if breakerWorthy(r.Err) || groupErr == nil && retryable(r.Err) {
+					groupErr = r.Err
+				}
+				if b.cli != nil && retryable(r.Err) && op.attempt+1 < attempts {
+					op.attempt++
+					requeue = append(requeue, op)
+					continue
+				}
+				op.fut.reject(r.Err)
+			}
+		}
+		if b.cli != nil && err == nil && resp != nil && gi < len(resp.Groups) {
+			b.cli.mergeFronts(sess, resp.Groups[gi].Frontiers)
+			if groupErr != nil {
+				b.cli.noteFailure(sess, groupErr)
+			} else {
+				b.cli.noteSuccess(sess, nil)
+			}
+		}
+		switch {
+		case len(requeue) > 0:
+			if q == nil {
+				q = &sessQueue{}
+				b.queues[sess] = q
+			}
+			if len(q.ops) == 0 {
+				b.order = append(b.order, sess)
+			}
+			q.ops = append(requeue, q.ops...)
+			b.queued += len(requeue)
+			q.notBefore = now.Add(b.cli.backoff(requeue[0].attempt - 1))
+		case q != nil && len(q.ops) == 0:
+			// Idle session: drop its entry, or the map grows by one dead
+			// sessQueue per session id ever used (enqueue recreates it on
+			// demand).
+			delete(b.queues, sess)
 		}
 	}
 	b.flushLocked()

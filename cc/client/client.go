@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/paper-repro/ccbm/cc"
@@ -49,6 +50,7 @@ type config struct {
 	batchDelay  time.Duration
 	maxInflight int
 	target      wire.ReadTarget
+	heal        healConfig
 }
 
 // Option configures a Client.
@@ -88,6 +90,17 @@ type Client struct {
 	target wire.ReadTarget
 	batch  *batcher // nil when batching is disabled
 
+	// Self-healing state (see selfheal.go): per-session failover pins
+	// and causal frontiers, per-replica circuit breakers, and the
+	// learned replica count for rotation. All no-ops when no
+	// self-healing option is set.
+	heal     healConfig
+	replicas atomic.Int32
+	healMu   sync.Mutex
+	sessHeal map[int]*healState
+	breakers map[int]*breaker
+	met      metCounters
+
 	mu     sync.Mutex
 	seq    map[int]*seqState // per-session FIFO for unbatched async ops
 	closed bool
@@ -105,7 +118,14 @@ func New(tr Transport, opts ...Option) (*Client, error) {
 	if cfg.maxInflight < 1 {
 		return nil, fmt.Errorf("client: max inflight must be at least 1, got %d", cfg.maxInflight)
 	}
-	c := &Client{tr: tr, target: cfg.target, seq: make(map[int]*seqState)}
+	c := &Client{
+		tr:       tr,
+		target:   cfg.target,
+		heal:     cfg.heal,
+		seq:      make(map[int]*seqState),
+		sessHeal: make(map[int]*healState),
+		breakers: make(map[int]*breaker),
+	}
 	if cfg.batchOps != 0 || cfg.batchDelay != 0 {
 		if cfg.batchOps < 1 {
 			return nil, fmt.Errorf("client: batch size must be at least 1, got %d", cfg.batchOps)
@@ -114,6 +134,7 @@ func New(tr Transport, opts ...Option) (*Client, error) {
 			cfg.batchDelay = 500 * time.Microsecond
 		}
 		c.batch = newBatcher(tr, cfg.batchOps, cfg.batchDelay, cfg.maxInflight)
+		c.batch.cli = c
 	}
 	return c, nil
 }
@@ -294,7 +315,7 @@ func (s *Session) InvokeAsync(object string, in cc.Input) *Future {
 		if prev != nil {
 			<-prev
 		}
-		resp, err := s.c.tr.Invoke(context.Background(), &wire.InvokeRequest{
+		resp, err := s.c.invokeHealed(context.Background(), s.id, &wire.InvokeRequest{
 			Session: s.id, Object: object, Method: in.Method, Args: in.Args, Target: s.wireTarget(),
 		})
 		if err != nil {

@@ -1,0 +1,459 @@
+package client
+
+// Self-healing: bounded retry with jittered exponential backoff,
+// per-session failover to a live replica, and a per-replica circuit
+// breaker. All three are opt-in (WithRetry, WithFailover,
+// WithBreaker) and compose: a retryable failure counts against the
+// replica's breaker and may rotate the session to the next replica
+// before the next attempt; an open breaker fails fast with a typed
+// wire error instead of queuing work against a dead replica.
+//
+// Failover preserves read-your-writes in the causal criteria: the
+// client accumulates the causal frontier echoed on its update
+// responses (per session, per shard, componentwise max), and when a
+// session is re-attached to another replica it sends the frontier
+// back — the server serves only once the new replica has delivered
+// everything the session already saw. PC and EC have no frontier to
+// carry, which is the paper's hierarchy made operational: failing
+// over under those criteria simply re-reads weaker state.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+// healConfig collects the self-healing options.
+type healConfig struct {
+	retryMax     int // total attempts per op; 0 = no retry (one attempt)
+	retryBase    time.Duration
+	retryCap     time.Duration
+	failover     bool
+	brkThreshold int // consecutive failures tripping the breaker; 0 = off
+	brkCooldown  time.Duration
+}
+
+func (h healConfig) enabled() bool {
+	return h.retryMax > 0 || h.failover || h.brkThreshold > 0
+}
+
+// attempts is the per-op attempt budget (at least one).
+func (h healConfig) attempts() int {
+	if h.retryMax > 1 {
+		return h.retryMax
+	}
+	return 1
+}
+
+// WithRetry enables bounded retry: an operation failing retryably
+// (wire code unavailable or conflict, or a transport-level failure)
+// is re-attempted up to maxAttempts times in total, sleeping a
+// jittered exponential backoff between attempts (base doubling up to
+// cap, each delay drawn uniformly from [delay/2, delay)). Zero values
+// default to 4 attempts, 5ms base, 250ms cap.
+func WithRetry(maxAttempts int, base, cap time.Duration) Option {
+	return func(c *config) {
+		if maxAttempts <= 0 {
+			maxAttempts = 4
+		}
+		if base <= 0 {
+			base = 5 * time.Millisecond
+		}
+		if cap <= 0 {
+			cap = 250 * time.Millisecond
+		}
+		c.heal.retryMax = maxAttempts
+		c.heal.retryBase = base
+		c.heal.retryCap = cap
+	}
+}
+
+// WithFailover enables per-session replica failover: when a session's
+// operation fails retryably, the session re-attaches to the next
+// replica (round-robin over the count learned from the server's
+// healthz) for its subsequent attempts and operations, carrying its
+// accumulated causal frontier so read-your-writes survives the move
+// in the causal criteria. Most useful combined with WithRetry.
+func WithFailover() Option {
+	return func(c *config) { c.heal.failover = true }
+}
+
+// WithBreaker enables a per-replica circuit breaker: after threshold
+// consecutive retryable failures against one replica, operations
+// routed to it fail fast with a typed wire error (CodeUnavailable)
+// instead of waiting out timeouts against a dead replica — futures
+// resolve to errors, they never hang. After cooldown one probe
+// attempt is let through; its success closes the breaker. Zero
+// values default to 5 failures and 1s cooldown.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *config) {
+		if threshold <= 0 {
+			threshold = 5
+		}
+		if cooldown <= 0 {
+			cooldown = time.Second
+		}
+		c.heal.brkThreshold = threshold
+		c.heal.brkCooldown = cooldown
+	}
+}
+
+// Metrics counts the self-healing machinery's interventions.
+type Metrics struct {
+	// Retries counts re-attempts after a retryable failure.
+	Retries int64
+	// Failovers counts session re-attachments to another replica.
+	Failovers int64
+	// BreakerOpens counts breaker trips (closed/half-open → open).
+	BreakerOpens int64
+	// BreakerFastFails counts operations failed fast by an open
+	// breaker without touching the wire.
+	BreakerFastFails int64
+}
+
+// Metrics snapshots the self-healing counters (all zero when no
+// self-healing option is enabled).
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		Retries:          c.met.retries.Load(),
+		Failovers:        c.met.failovers.Load(),
+		BreakerOpens:     c.met.breakerOpens.Load(),
+		BreakerFastFails: c.met.fastFails.Load(),
+	}
+}
+
+// metCounters is the internal atomic mirror of Metrics.
+type metCounters struct {
+	retries, failovers, breakerOpens, fastFails atomic.Int64
+}
+
+// healState is one session's failover state.
+type healState struct {
+	replica   *int          // explicit replica pin; nil = server default
+	frontiers map[int][]int // shard → causal frontier (componentwise max)
+}
+
+// breaker is one replica's circuit state. Guarded by Client.healMu.
+type breaker struct {
+	fails    int
+	open     bool
+	openedAt time.Time
+}
+
+// jitter draws a uniform delay in [d/2, d]; the top-level math/rand
+// functions are safe for concurrent use.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// backoff is the jittered exponential delay before retry attempt
+// number attempt (0-based: the delay between the first failure and
+// the second attempt is attempt 0).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.heal.retryBase
+	if d <= 0 {
+		d = 5 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < c.heal.retryCap; i++ {
+		d *= 2
+	}
+	if c.heal.retryCap > 0 && d > c.heal.retryCap {
+		d = c.heal.retryCap
+	}
+	return jitter(d)
+}
+
+// retryable classifies an error as worth another attempt: the typed
+// retry codes (unavailable — drain, crash-stop, frontier timeout —
+// and conflict, which a racing create resolves), and transport-level
+// failures (connection refused, reset) where the op may not have
+// reached a serving replica. Context cancellation and a closed client
+// are the caller's decision, never retried.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we.Code == wire.CodeUnavailable || we.Code == wire.CodeConflict
+	}
+	return !errors.Is(err, ErrClosed) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// breakerWorthy is the subset of retryable failures that indict the
+// replica itself (a conflict is a data race, not a dead replica).
+func breakerWorthy(err error) bool {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we.Code == wire.CodeUnavailable
+	}
+	return retryable(err)
+}
+
+// sessHealLocked resolves (creating on demand) one session's failover
+// state. Caller holds healMu.
+func (c *Client) sessHealLocked(sess int) *healState {
+	hs, ok := c.sessHeal[sess]
+	if !ok {
+		hs = &healState{frontiers: make(map[int][]int)}
+		c.sessHeal[sess] = hs
+	}
+	return hs
+}
+
+// effReplica computes the replica a session's next RPC lands on: the
+// explicit pin if any, else the server's default (session id mod the
+// learned replica count, Euclidean), else -1 when the count is
+// unknown (breaker bypassed until healthz teaches it).
+func (c *Client) effReplica(sess int, pin *int) int {
+	if pin != nil {
+		return *pin
+	}
+	n := int(c.replicas.Load())
+	if n <= 0 {
+		return -1
+	}
+	r := sess % n
+	if r < 0 {
+		r += n
+	}
+	return r
+}
+
+// learnTopology caches the server's replica count for failover
+// rotation, fetching healthz once on demand.
+func (c *Client) learnTopology() int {
+	if n := int(c.replicas.Load()); n > 0 {
+		return n
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	h, err := c.tr.Healthz(ctx)
+	if err != nil || h.Replicas <= 0 {
+		return 0
+	}
+	c.replicas.Store(int32(h.Replicas))
+	return h.Replicas
+}
+
+// breakerAllowLocked reports whether the replica's breaker admits an
+// attempt, transitioning open → half-open after the cooldown (the
+// probe's failure re-opens it). Caller holds healMu.
+func (c *Client) breakerAllowLocked(replica int) bool {
+	b, ok := c.breakers[replica]
+	if !ok || !b.open {
+		return true
+	}
+	if time.Since(b.openedAt) >= c.heal.brkCooldown {
+		b.open = false
+		b.fails = c.heal.brkThreshold - 1 // one more failure re-opens
+		return true
+	}
+	return false
+}
+
+// route prepares the failover fields for one session's next RPC:
+// its replica pin (nil until a failover happened) and, when pinned,
+// the accumulated causal frontier to re-attach with. When the target
+// replica's breaker is open the RPC is refused outright with a typed
+// fast-fail error — unless failover can rotate to a replica whose
+// breaker admits traffic.
+func (c *Client) route(sess int) (*int, []wire.ShardFrontier, error) {
+	if !c.heal.enabled() {
+		return nil, nil, nil
+	}
+	c.healMu.Lock()
+	defer c.healMu.Unlock()
+	hs := c.sessHealLocked(sess)
+	if c.heal.brkThreshold > 0 {
+		r := c.effReplica(sess, hs.replica)
+		if r >= 0 && !c.breakerAllowLocked(r) {
+			rotated := false
+			if c.heal.failover {
+				if n := int(c.replicas.Load()); n > 1 {
+					for i := 1; i < n; i++ {
+						cand := ((r + i) % n)
+						if c.breakerAllowLocked(cand) {
+							hs.replica = &cand
+							c.met.failovers.Add(1)
+							rotated = true
+							break
+						}
+					}
+				}
+			}
+			if !rotated {
+				c.met.fastFails.Add(1)
+				return nil, nil, wire.Errf(wire.CodeUnavailable,
+					"client: circuit open for replica %d", r)
+			}
+		}
+	}
+	return hs.replica, hs.wireFrontiers(), nil
+}
+
+// wireFrontiers renders the session's accumulated frontier for the
+// wire — only once the session has been re-attached (an unpinned
+// session is still talking to the replica that produced the
+// frontier, which trivially dominates it).
+func (hs *healState) wireFrontiers() []wire.ShardFrontier {
+	if hs.replica == nil || len(hs.frontiers) == 0 {
+		return nil
+	}
+	fs := make([]wire.ShardFrontier, 0, len(hs.frontiers))
+	for sh, vc := range hs.frontiers {
+		fs = append(fs, wire.ShardFrontier{Shard: sh, VC: vc})
+	}
+	return fs
+}
+
+// mergeLocked folds one echoed frontier into the session's state
+// (componentwise max: frontiers from different replicas may each
+// know updates the other misses). Caller holds healMu.
+func (hs *healState) mergeLocked(f *wire.ShardFrontier) {
+	if f == nil {
+		return
+	}
+	have := hs.frontiers[f.Shard]
+	for len(have) < len(f.VC) {
+		have = append(have, 0)
+	}
+	for i, v := range f.VC {
+		if v > have[i] {
+			have[i] = v
+		}
+	}
+	hs.frontiers[f.Shard] = have
+}
+
+// mergeFronts folds echoed frontiers into the session's state without
+// touching the breaker (the batcher judges the breaker from its per-op
+// results separately — a served RPC can still carry failed ops).
+func (c *Client) mergeFronts(sess int, fronts []wire.ShardFrontier) {
+	if !c.heal.enabled() || len(fronts) == 0 {
+		return
+	}
+	c.healMu.Lock()
+	defer c.healMu.Unlock()
+	hs := c.sessHealLocked(sess)
+	for i := range fronts {
+		hs.mergeLocked(&fronts[i])
+	}
+}
+
+// noteSuccess records a served RPC: echoed frontiers accumulate and
+// the serving replica's breaker resets.
+func (c *Client) noteSuccess(sess int, fronts []wire.ShardFrontier) {
+	if !c.heal.enabled() {
+		return
+	}
+	c.healMu.Lock()
+	defer c.healMu.Unlock()
+	hs := c.sessHealLocked(sess)
+	for i := range fronts {
+		hs.mergeLocked(&fronts[i])
+	}
+	r := c.effReplica(sess, hs.replica)
+	if b, ok := c.breakers[r]; ok {
+		b.fails = 0
+		b.open = false
+	}
+}
+
+// noteFailure records a failed RPC against the session's current
+// replica: the breaker counts it (and may trip), and with failover
+// enabled the session rotates to the next replica for its subsequent
+// attempts, re-attaching its causal frontier there.
+func (c *Client) noteFailure(sess int, err error) {
+	if !c.heal.enabled() || !retryable(err) {
+		return
+	}
+	indicts := breakerWorthy(err)
+	n := 0
+	if c.heal.failover && indicts {
+		n = c.learnTopology() // outside healMu: it may do a healthz RPC
+	}
+	c.healMu.Lock()
+	defer c.healMu.Unlock()
+	hs := c.sessHealLocked(sess)
+	r := c.effReplica(sess, hs.replica)
+	if c.heal.brkThreshold > 0 && r >= 0 && indicts {
+		b, ok := c.breakers[r]
+		if !ok {
+			b = &breaker{}
+			c.breakers[r] = b
+		}
+		b.fails++
+		if b.fails >= c.heal.brkThreshold && !b.open {
+			b.open = true
+			b.openedAt = time.Now()
+			c.met.breakerOpens.Add(1)
+		}
+	}
+	if c.heal.failover && indicts && n > 1 && r >= 0 {
+		next := (r + 1) % n
+		hs.replica = &next
+		c.met.failovers.Add(1)
+	}
+}
+
+// invokeHealed runs one invoke RPC under the self-healing policy:
+// breaker fast-fail, bounded jittered-exponential retry, per-session
+// failover with frontier re-attach. With no self-healing options it
+// is exactly one transport call.
+func (c *Client) invokeHealed(ctx context.Context, sess int, req *wire.InvokeRequest) (*wire.InvokeResponse, error) {
+	attempts := c.heal.attempts()
+	var last error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.met.retries.Add(1)
+			select {
+			case <-time.After(c.backoff(a - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		rep, fronts, fastErr := c.route(sess)
+		if fastErr != nil {
+			return nil, fastErr
+		}
+		req.Replica, req.Frontiers = rep, fronts
+		resp, err := c.tr.Invoke(ctx, req)
+		if err == nil {
+			var fs []wire.ShardFrontier
+			if resp.Frontier != nil {
+				fs = []wire.ShardFrontier{*resp.Frontier}
+			}
+			c.noteSuccess(sess, fs)
+			return resp, nil
+		}
+		last = err
+		c.noteFailure(sess, err)
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, last
+}
+
+// Fault injects one scripted fault into the cluster (partition, heal,
+// crash, restart, link degradation) — the chaos harness's control
+// channel. See wire.FaultRequest.
+func (c *Client) Fault(ctx context.Context, req *wire.FaultRequest) error {
+	return c.tr.Fault(ctx, req)
+}
+
+// Ready reports the server's readiness: Ready=false while it drains
+// (the response itself arrives even when the server answers 503).
+func (c *Client) Ready(ctx context.Context) (*wire.ReadyzResponse, error) {
+	return c.tr.Readyz(ctx)
+}

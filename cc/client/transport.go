@@ -24,6 +24,9 @@ type Transport interface {
 	Invoke(ctx context.Context, req *wire.InvokeRequest) (*wire.InvokeResponse, error)
 	Batch(ctx context.Context, req *wire.BatchRequest) (*wire.BatchResponse, error)
 	Crash(ctx context.Context, req *wire.CrashRequest) error
+	// Fault injects one scripted fault (partition/heal/crash/restart,
+	// per-link degradation) — the chaos harness's control channel.
+	Fault(ctx context.Context, req *wire.FaultRequest) error
 	Stats(ctx context.Context) (*wire.StatsResponse, error)
 	Monitor(ctx context.Context, verdicts bool) (*wire.MonitorResponse, error)
 	// MonitorStream subscribes to the monitor's verdict stream: every
@@ -32,6 +35,9 @@ type Transport interface {
 	// closes.
 	MonitorStream(ctx context.Context) (<-chan wire.Verdict, error)
 	Healthz(ctx context.Context) (*wire.HealthzResponse, error)
+	// Readyz reports readiness (the response arrives even when the
+	// server answers 503-draining; only a transport failure errors).
+	Readyz(ctx context.Context) (*wire.ReadyzResponse, error)
 	// Close releases transport resources. It does not close a server.
 	Close() error
 }
@@ -138,6 +144,34 @@ func (t *HTTPTransport) Batch(ctx context.Context, req *wire.BatchRequest) (*wir
 
 func (t *HTTPTransport) Crash(ctx context.Context, req *wire.CrashRequest) error {
 	return t.roundTrip(ctx, http.MethodPost, "/crash", req, nil)
+}
+
+func (t *HTTPTransport) Fault(ctx context.Context, req *wire.FaultRequest) error {
+	return t.roundTrip(ctx, http.MethodPost, "/fault", req, nil)
+}
+
+// Readyz decodes the readiness body at any status: a 503 while
+// draining still carries a wire.ReadyzResponse, which the caller
+// wants (Ready=false) rather than an error.
+func (t *HTTPTransport) Readyz(ctx context.Context) (*wire.ReadyzResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+wire.PathPrefix+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var r wire.ReadyzResponse
+	if json.Unmarshal(body, &r) == nil && r.Protocol != 0 {
+		return &r, nil
+	}
+	return nil, wire.Errf(wire.CodeForStatus(resp.StatusCode), "http %s", resp.Status)
 }
 
 func (t *HTTPTransport) Stats(ctx context.Context) (*wire.StatsResponse, error) {
@@ -253,6 +287,18 @@ func (l *Loopback) Crash(_ context.Context, req *wire.CrashRequest) error {
 	return nil
 }
 
+func (l *Loopback) Fault(_ context.Context, req *wire.FaultRequest) error {
+	if e := l.c.ApplyFault(req); e != nil {
+		return e
+	}
+	return nil
+}
+
+func (l *Loopback) Readyz(context.Context) (*wire.ReadyzResponse, error) {
+	draining := l.c.Draining()
+	return &wire.ReadyzResponse{Ready: !draining, Draining: draining, Protocol: wire.ProtocolVersion}, nil
+}
+
 func (l *Loopback) Stats(context.Context) (*wire.StatsResponse, error) {
 	return l.c.StatsWire(), nil
 }
@@ -291,7 +337,10 @@ func (l *Loopback) MonitorStream(ctx context.Context) (<-chan wire.Verdict, erro
 }
 
 func (l *Loopback) Healthz(context.Context) (*wire.HealthzResponse, error) {
-	return &wire.HealthzResponse{OK: true, Criterion: l.c.Criterion(), Protocol: wire.ProtocolVersion}, nil
+	return &wire.HealthzResponse{
+		OK: true, Criterion: l.c.Criterion(), Protocol: wire.ProtocolVersion,
+		Shards: l.c.Shards(), Replicas: l.c.Replicas(), Replication: l.c.Replication(),
+	}, nil
 }
 
 // Close is a no-op: the wrapped cluster stays up.

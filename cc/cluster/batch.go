@@ -10,6 +10,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,15 +20,15 @@ import (
 )
 
 // WireError classifies a cluster error into its typed wire form: a
-// shutdown in progress is retryable (CodeUnavailable), an unknown
-// object is CodeNotFound, an object/ADT clash is CodeConflict, and
-// everything else the client asked for wrongly is CodeBadRequest.
-// A nil error maps to nil.
+// shutdown in progress or a crash-stopped replica is retryable
+// (CodeUnavailable), an unknown object is CodeNotFound, an object/ADT
+// clash is CodeConflict, and everything else the client asked for
+// wrongly is CodeBadRequest. A nil error maps to nil.
 func WireError(err error) *wire.Error {
 	switch {
 	case err == nil:
 		return nil
-	case errors.Is(err, ErrClosed), errors.Is(err, core.ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, core.ErrClosed), errors.Is(err, core.ErrDown):
 		return wire.Errf(wire.CodeUnavailable, "%v", err)
 	case errors.Is(err, ErrUnknownObject):
 		return wire.Errf(wire.CodeNotFound, "%v", err)
@@ -66,15 +67,23 @@ func validateInput(t cc.ADT, in cc.Input) (err error) {
 
 // station routes one operation: updates and affinity reads go to the
 // session's pinned replica, ReadAny reads round-robin over the
-// object's shard (crashed replicas included — they still serve
-// wait-free from their partitioned local state, which is exactly the
-// weak read ReadAny buys).
+// object's shard (transport-crashed replicas included — they still
+// serve wait-free from their partitioned local state, which is
+// exactly the weak read ReadAny buys — but fault-stopped replicas are
+// skipped: they refuse service outright, and routing a weak read into
+// a guaranteed error helps no one).
 func (c *Cluster) station(o *object, affinity int, target wire.ReadTarget, isUpdate bool) *core.Station {
 	sts := c.shards[o.shard].stations
 	if isUpdate || target != wire.ReadAny {
 		return sts[affinity]
 	}
-	return sts[int(c.rr.Add(1)%uint32(len(sts)))]
+	for range sts {
+		st := sts[int(c.rr.Add(1)%uint32(len(sts)))]
+		if !st.Down() {
+			return st
+		}
+	}
+	return sts[affinity]
 }
 
 // InvokeTarget executes one operation with a per-request read target
@@ -203,14 +212,76 @@ func (s *Session) InvokeGroup(ops []wire.BatchOp, target wire.ReadTarget) []wire
 	return results
 }
 
+// frontierWait bounds how long a request carrying a session frontier
+// may block for the serving replica to catch up; past it the request
+// fails retryably (CodeUnavailable) instead of wedging the client.
+const frontierWait = 2 * time.Second
+
+// sessionFor opens the session a wire request names, honoring its
+// failover fields: an explicit Replica pin overrides the default
+// (session id mod replica count), and any carried Frontiers are
+// waited for — the serving replica must have delivered everything the
+// session has already seen before it serves (read-your-writes across
+// failover). A replica that cannot catch up within frontierWait
+// yields CodeUnavailable.
+func (c *Cluster) sessionFor(id int, replica *int, frontiers []wire.ShardFrontier) (*Session, *wire.Error) {
+	s := c.Session(id)
+	if replica != nil {
+		if err := c.checkReplica(*replica); err != nil {
+			return nil, wire.Errf(wire.CodeBadRequest, "%v", err)
+		}
+		s.replica = *replica
+	}
+	for _, f := range frontiers {
+		st := c.frontierStation(f.Shard, s.replica)
+		if st == nil {
+			return nil, wire.Errf(wire.CodeBadRequest, "frontier names no shard %d", f.Shard)
+		}
+		if !st.WaitFrontier(f.VC, frontierWait) {
+			return nil, wire.Errf(wire.CodeUnavailable,
+				"replica %d of shard %d behind the session frontier", s.replica, f.Shard)
+		}
+	}
+	return s, nil
+}
+
+// frontier reads the serving replica's causal frontier for one
+// shard, in wire form; nil in criteria with no frontier (PC, EC).
+func (c *Cluster) frontier(shardIdx, replica int) *wire.ShardFrontier {
+	st := c.frontierStation(shardIdx, replica)
+	if st == nil {
+		return nil
+	}
+	vc := st.Frontier()
+	if vc == nil {
+		return nil
+	}
+	return &wire.ShardFrontier{Shard: shardIdx, VC: vc}
+}
+
 // InvokeWire executes one wire invocation — the single-op entry point
 // shared by the HTTP front-end and the loopback transport.
 func (c *Cluster) InvokeWire(req *wire.InvokeRequest) (*wire.InvokeResponse, *wire.Error) {
-	out, err := c.Session(req.Session).InvokeTarget(req.Object, cc.NewInput(req.Method, req.Args...), req.Target)
+	s, e := c.sessionFor(req.Session, req.Replica, req.Frontiers)
+	if e != nil {
+		return nil, e
+	}
+	in := cc.NewInput(req.Method, req.Args...)
+	out, err := s.InvokeTarget(req.Object, in, req.Target)
 	if err != nil {
 		return nil, WireError(err)
 	}
-	return outputToWire(out), nil
+	resp := outputToWire(out)
+	c.mu.RLock()
+	o := c.objects[req.Object]
+	c.mu.RUnlock()
+	if o != nil && o.t.IsUpdate(in) {
+		// Echo the frontier reached after the update applied locally: a
+		// conservative snapshot (it may include concurrent deliveries),
+		// which only ever makes a failover wait longer, never unsound.
+		resp.Frontier = c.frontier(o.shard, s.replica)
+	}
+	return resp, nil
 }
 
 // ExecuteBatch runs one wire batch: groups are independent sessions
@@ -239,14 +310,54 @@ func (c *Cluster) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchResponse, *wi
 		wg.Add(1)
 		go func(i int, g wire.BatchGroup) {
 			defer wg.Done()
+			s, e := c.sessionFor(g.Session, g.Replica, g.Frontiers)
+			if e != nil {
+				// A failover precondition failure (bad pin, frontier
+				// timeout) fails the whole group: its ops never ran, and
+				// each result says why, retryably where the code allows.
+				results := make([]wire.BatchResult, len(g.Ops))
+				for j := range results {
+					results[j].Err = e
+				}
+				resp.Groups[i] = wire.BatchGroupResult{Session: g.Session, Results: results}
+				return
+			}
+			results := s.InvokeGroup(g.Ops, g.Target)
 			resp.Groups[i] = wire.BatchGroupResult{
-				Session: g.Session,
-				Results: c.Session(g.Session).InvokeGroup(g.Ops, g.Target),
+				Session:   g.Session,
+				Results:   results,
+				Frontiers: c.groupFrontiers(s, g.Ops, results),
 			}
 		}(i, g)
 	}
 	wg.Wait()
 	return resp, nil
+}
+
+// groupFrontiers reads the serving replica's causal frontier for
+// every shard the group successfully updated (empty in criteria with
+// no frontier), sorted by shard for a stable wire form.
+func (c *Cluster) groupFrontiers(s *Session, ops []wire.BatchOp, results []wire.BatchResult) []wire.ShardFrontier {
+	shards := make(map[int]bool)
+	for i, op := range ops {
+		if results[i].Err != nil {
+			continue
+		}
+		c.mu.RLock()
+		o := c.objects[op.Object]
+		c.mu.RUnlock()
+		if o != nil && o.t.IsUpdate(cc.NewInput(op.Method, op.Args...)) {
+			shards[o.shard] = true
+		}
+	}
+	var fs []wire.ShardFrontier
+	for sh := range shards {
+		if f := c.frontier(sh, s.replica); f != nil {
+			fs = append(fs, *f)
+		}
+	}
+	sort.Slice(fs, func(a, b int) bool { return fs[a].Shard < fs[b].Shard })
+	return fs
 }
 
 // StatsWire renders a stats snapshot in its wire form.
@@ -264,7 +375,7 @@ func (c *Cluster) StatsWire() *wire.StatsResponse {
 		BatchedOps:    st.Totals.BatchedOps,
 	}
 	for _, sh := range st.Shards {
-		resp.Shards = append(resp.Shards, wire.ShardStats{Crashed: sh.Crashed})
+		resp.Shards = append(resp.Shards, wire.ShardStats{Crashed: sh.Crashed, Down: sh.Down})
 	}
 	return resp
 }

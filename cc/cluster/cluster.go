@@ -66,6 +66,20 @@ type Config struct {
 	// BatchWait bounds how long an update waits for its batch to fill;
 	// default 200µs.
 	BatchWait time.Duration
+	// Replication selects the dissemination backend: "broadcast" (the
+	// default — reliable causal/FIFO/unordered broadcast, assumes
+	// eventually reliable links) or "antientropy" (gossip with
+	// version-vector digests and batched delta shipping — partitions
+	// merely pause convergence).
+	Replication string
+	// GossipInterval is the anti-entropy round period; default 10ms.
+	// Anti-entropy backend only.
+	GossipInterval time.Duration
+	// Resync keeps the broadcast backend's envelope log so Heal and
+	// RestartReplica can retransmit what a partition or crash lost
+	// (memory grows with the communication history). The anti-entropy
+	// backend always can — its sync state is the log.
+	Resync bool
 	// Monitor configures the online consistency monitor.
 	Monitor MonitorConfig
 }
@@ -88,6 +102,11 @@ func (c *Config) fill() error {
 	// to the checker registry, whose keys are case-sensitive ("CCv");
 	// an uncanonicalized "ccv" would silently disable the monitor.
 	c.Criterion = mode.String()
+	repl, err := core.ParseReplication(c.Replication)
+	if err != nil {
+		return err
+	}
+	c.Replication = repl.String()
 	if c.BatchOps == 0 {
 		c.BatchOps = 32
 	}
@@ -116,12 +135,17 @@ type object struct {
 type Cluster struct {
 	cfg    Config
 	mode   core.Mode
+	repl   core.Replication
 	shards []*shard
 	mon    *Monitor
 	start  time.Time
 
 	// rr spreads ReadAny queries across a shard's replicas.
 	rr atomic.Uint32
+
+	// draining marks a graceful shutdown in progress: /v1/readyz
+	// reports not-ready while in-flight work finishes.
+	draining atomic.Bool
 
 	mu      sync.RWMutex
 	objects map[string]*object
@@ -134,9 +158,11 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	mode, _ := core.ParseMode(cfg.Criterion)
+	repl, _ := core.ParseReplication(cfg.Replication)
 	c := &Cluster{
 		cfg:     cfg,
 		mode:    mode,
+		repl:    repl,
 		objects: make(map[string]*object),
 		start:   time.Now(),
 	}
@@ -144,7 +170,13 @@ func New(cfg Config) (*Cluster, error) {
 		sh := &shard{net: net.NewLive(cfg.Replicas)}
 		for r := 0; r < cfg.Replicas; r++ {
 			sh.stations = append(sh.stations, core.NewStation(sh.net, r, mode,
-				core.StationConfig{BatchOps: cfg.BatchOps, BatchWait: cfg.BatchWait}))
+				core.StationConfig{
+					BatchOps:       cfg.BatchOps,
+					BatchWait:      cfg.BatchWait,
+					Replication:    repl,
+					GossipInterval: cfg.GossipInterval,
+					Retain:         cfg.Resync,
+				}))
 		}
 		c.shards = append(c.shards, sh)
 	}
@@ -274,9 +306,12 @@ func (c *Cluster) Compact() int {
 	return total
 }
 
-// ShardStats is the per-shard slice of a Stats snapshot.
+// ShardStats is the per-shard slice of a Stats snapshot. Crashed
+// marks transport-level crashes (CrashReplica); Down marks
+// fault-injected crash-stops (StopReplica).
 type ShardStats struct {
 	Crashed  []bool
+	Down     []bool
 	Stations []core.StationStats
 }
 
@@ -309,6 +344,7 @@ func (c *Cluster) Stats() Stats {
 			t := st.Stats()
 			ss.Stations = append(ss.Stations, t)
 			ss.Crashed = append(ss.Crashed, sh.net.Crashed(r))
+			ss.Down = append(ss.Down, st.Down())
 			s.Totals.Invocations += t.Invocations
 			s.Totals.Updates += t.Updates
 			s.Totals.Queries += t.Queries

@@ -1,0 +1,299 @@
+package cluster
+
+// Scripted fault injection and the convergence probes the chaos
+// harness (cmd/ccchaos) drives. Every injected fault is a legal
+// behavior of the paper's asynchronous system — arbitrary finite
+// delays, message loss, crash-stop failures — so nothing here can
+// make a correct criterion implementation produce a violation; it
+// only makes the adversary schedulable.
+//
+// Two crash notions coexist deliberately. CrashReplica (PR 4) is a
+// transport-level crash: the process stops receiving and sending but
+// keeps serving its partitioned local state wait-free — the paper's
+// crash model at serving granularity. StopReplica is an operational
+// crash-stop: the replica also refuses service (CodeUnavailable), so
+// clients retry or fail over instead of reading a corpse; RestartReplica
+// revives it and triggers the replication backend's repair path.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/xhash"
+)
+
+// AllShards selects every shard in the fault methods taking a shard
+// index.
+const AllShards = -1
+
+// eachShard runs f over the selected shards (AllShards = every one).
+func (c *Cluster) eachShard(shardIdx int, f func(*shard)) error {
+	if shardIdx == AllShards {
+		for _, sh := range c.shards {
+			f(sh)
+		}
+		return nil
+	}
+	if shardIdx < 0 || shardIdx >= len(c.shards) {
+		return fmt.Errorf("cluster: no shard %d", shardIdx)
+	}
+	f(c.shards[shardIdx])
+	return nil
+}
+
+func (c *Cluster) checkReplica(replica int) error {
+	if replica < 0 || replica >= c.cfg.Replicas {
+		return fmt.Errorf("cluster: no replica %d", replica)
+	}
+	return nil
+}
+
+// PartitionReplicas cuts every link between the given replica groups
+// (both directions) on the selected shards. Groups need not cover all
+// replicas; cuts accumulate across calls until Heal. Messages lost to
+// a cut are recovered by the backend's repair path at Heal, if it has
+// one (anti-entropy always; broadcast only with Config.Resync).
+func (c *Cluster) PartitionReplicas(shardIdx int, groups [][]int) error {
+	for _, g := range groups {
+		for _, r := range g {
+			if err := c.checkReplica(r); err != nil {
+				return err
+			}
+		}
+	}
+	return c.eachShard(shardIdx, func(sh *shard) {
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				sh.net.Partition(groups[i], groups[j])
+			}
+		}
+	})
+}
+
+// Heal removes every partition cut on the selected shards and
+// triggers the repair path on every replica, so the groups reconverge
+// (gossip digests pull what was missed; a retained broadcast log is
+// re-flooded). It reports whether every station had a repair path —
+// false means links are restored but convergence on lost messages is
+// not guaranteed (broadcast backend without Config.Resync).
+func (c *Cluster) Heal(shardIdx int) (repaired bool, err error) {
+	repaired = true
+	err = c.eachShard(shardIdx, func(sh *shard) {
+		sh.net.Heal()
+		for _, st := range sh.stations {
+			if !st.Resync() {
+				repaired = false
+			}
+		}
+	})
+	return repaired, err
+}
+
+// StopReplica crash-stops one replica of the selected shards
+// (AllShards = that replica index on every shard): its transport
+// stops receiving, queued deliveries drop, and it refuses service
+// with an error the wire layer maps to CodeUnavailable.
+func (c *Cluster) StopReplica(shardIdx, replica int) error {
+	if err := c.checkReplica(replica); err != nil {
+		return err
+	}
+	return c.eachShard(shardIdx, func(sh *shard) {
+		sh.stations[replica].SetDown(true)
+		sh.net.Crash(replica)
+	})
+}
+
+// RestartReplica revives a stopped replica on the selected shards:
+// the transport delivers to it again, service resumes, and every
+// replica's repair path runs so the restarted copy catches up on what
+// it missed while down.
+func (c *Cluster) RestartReplica(shardIdx, replica int) error {
+	if err := c.checkReplica(replica); err != nil {
+		return err
+	}
+	return c.eachShard(shardIdx, func(sh *shard) {
+		sh.net.Restart(replica)
+		sh.stations[replica].SetDown(false)
+		for _, st := range sh.stations {
+			st.Resync()
+		}
+	})
+}
+
+// SetLinkFault degrades the from→to link on the selected shards:
+// every message waits delay plus a uniform draw in [0, jitter), and
+// is dropped with probability drop. Zero values clear the fault.
+func (c *Cluster) SetLinkFault(shardIdx, from, to int, delay, jitter time.Duration, drop float64) error {
+	if err := c.checkReplica(from); err != nil {
+		return err
+	}
+	if err := c.checkReplica(to); err != nil {
+		return err
+	}
+	if drop < 0 || drop > 1 {
+		return fmt.Errorf("cluster: drop probability %v out of [0,1]", drop)
+	}
+	return c.eachShard(shardIdx, func(sh *shard) {
+		sh.net.SetLinkFault(from, to, delay, jitter, drop)
+	})
+}
+
+// ClearLinkFaults removes every per-link degradation on the selected
+// shards.
+func (c *Cluster) ClearLinkFaults(shardIdx int) error {
+	return c.eachShard(shardIdx, func(sh *shard) { sh.net.ClearLinkFaults() })
+}
+
+// ReplicaDown reports whether the replica is fault-stopped
+// (StopReplica without a matching RestartReplica).
+func (c *Cluster) ReplicaDown(shardIdx, replica int) bool {
+	if shardIdx < 0 || shardIdx >= len(c.shards) || c.checkReplica(replica) != nil {
+		return false
+	}
+	return c.shards[shardIdx].stations[replica].Down()
+}
+
+// StartDrain marks a graceful shutdown in progress: /v1/readyz turns
+// not-ready while in-flight requests keep being served, so load
+// balancers route around the process before it goes away.
+func (c *Cluster) StartDrain() { c.draining.Store(true) }
+
+// Draining reports whether a graceful shutdown is in progress.
+func (c *Cluster) Draining() bool { return c.draining.Load() }
+
+// Replicas returns the per-shard replica count.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Replication returns the canonical name of the dissemination
+// backend ("broadcast" or "antientropy").
+func (c *Cluster) Replication() string { return c.repl.String() }
+
+// Fingerprints returns, per shard, each replica's state fingerprint
+// (core.Station.Fingerprint): equal values within a shard mean that
+// shard's replicas hold identical states for every object.
+func (c *Cluster) Fingerprints() [][]uint64 {
+	fps := make([][]uint64, len(c.shards))
+	for i, sh := range c.shards {
+		fps[i] = make([]uint64, len(sh.stations))
+		for r, st := range sh.stations {
+			fps[i][r] = st.Fingerprint()
+		}
+	}
+	return fps
+}
+
+// Converged reports whether every shard's replicas currently hold
+// identical states (equal fingerprints). Replicas that are down or
+// transport-crashed are excluded — a stopped replica is behind by
+// design until its restart resyncs it.
+func (c *Cluster) Converged() bool {
+	for _, sh := range c.shards {
+		have := false
+		var fp uint64
+		for r, st := range sh.stations {
+			if st.Down() || sh.net.Crashed(r) {
+				continue
+			}
+			f := st.Fingerprint()
+			if have && f != fp {
+				return false
+			}
+			have, fp = true, f
+		}
+	}
+	return true
+}
+
+// AwaitConvergence flushes every pending batch, triggers the repair
+// path once, and polls until every shard's live replicas agree on
+// every object's state (halfway through the timeout it triggers
+// repair once more, covering a round that raced the flush). It is the
+// chaos harness's post-heal assertion; call it only while traffic is
+// paused — convergence is a quiescent property.
+func (c *Cluster) AwaitConvergence(timeout time.Duration) error {
+	resync := func() {
+		for _, sh := range c.shards {
+			for _, st := range sh.stations {
+				st.Flush()
+				st.Resync()
+			}
+		}
+	}
+	resync()
+	deadline := time.Now().Add(timeout)
+	rekicked := false
+	for {
+		if c.Converged() {
+			return nil
+		}
+		now := time.Now()
+		if now.After(deadline) {
+			return fmt.Errorf("cluster: replicas not converged after %v", timeout)
+		}
+		if !rekicked && now.After(deadline.Add(-timeout/2)) {
+			rekicked = true
+			resync()
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// frontierStation resolves one replica of one shard, or nil when out
+// of range — the frontier-wait path's lookup.
+func (c *Cluster) frontierStation(shardIdx, replica int) *core.Station {
+	if shardIdx < 0 || shardIdx >= len(c.shards) || c.checkReplica(replica) != nil {
+		return nil
+	}
+	return c.shards[shardIdx].stations[replica]
+}
+
+// ApplyFault dispatches one wire-form fault request — the shared
+// entry point of the HTTP front-end (POST /v1/fault) and the loopback
+// transport, so both speak identical fault semantics. A nil return
+// means the fault is in effect.
+func (c *Cluster) ApplyFault(req *wire.FaultRequest) *wire.Error {
+	shardIdx := AllShards
+	if req.Shard != nil {
+		shardIdx = *req.Shard
+	}
+	var err error
+	switch req.Action {
+	case wire.FaultPartition:
+		if len(req.Groups) < 2 {
+			return wire.Errf(wire.CodeBadRequest, "partition needs at least two groups")
+		}
+		err = c.PartitionReplicas(shardIdx, req.Groups)
+	case wire.FaultHeal:
+		_, err = c.Heal(shardIdx)
+	case wire.FaultCrash:
+		err = c.StopReplica(shardIdx, req.Replica)
+	case wire.FaultRestart:
+		err = c.RestartReplica(shardIdx, req.Replica)
+	case wire.FaultLink:
+		err = c.SetLinkFault(shardIdx, req.From, req.To,
+			time.Duration(req.DelayUS)*time.Microsecond,
+			time.Duration(req.JitterUS)*time.Microsecond, req.Drop)
+	case wire.FaultLinkClear:
+		err = c.ClearLinkFaults(shardIdx)
+	default:
+		return wire.Errf(wire.CodeBadRequest, "unknown fault action %q", req.Action)
+	}
+	return WireError(err)
+}
+
+// FingerprintAll folds every shard's fingerprints into one value — a
+// convenient single number for logs and bench records.
+func (c *Cluster) FingerprintAll() uint64 {
+	h := xhash.Seed
+	for _, fps := range c.Fingerprints() {
+		for _, f := range fps {
+			h = xhash.Mix(h, f)
+		}
+	}
+	return h
+}

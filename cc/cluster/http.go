@@ -21,10 +21,12 @@ type httpServer struct {
 //	POST /v1/invoke          one operation                (wire.InvokeRequest → wire.InvokeResponse)
 //	POST /v1/batch           per-session op groups        (wire.BatchRequest → wire.BatchResponse)
 //	POST /v1/crash           crash-stop a replica         (wire.CrashRequest → wire.OKResponse)
+//	POST /v1/fault           scripted fault injection     (wire.FaultRequest → wire.OKResponse)
 //	GET  /v1/stats           activity snapshot            (wire.StatsResponse)
 //	GET  /v1/monitor         monitor summary              (wire.MonitorResponse; ?verdicts=1 adds the full list)
 //	GET  /v1/monitor/stream  NDJSON verdict stream        (one wire.Verdict per line, replay then live)
 //	GET  /v1/healthz         liveness + protocol version  (wire.HealthzResponse)
+//	GET  /v1/readyz          readiness: 503 while draining (wire.ReadyzResponse)
 //
 // Request bodies are capped (wire.MaxRequestBytes, wire.MaxBatchBytes
 // for the batch endpoint), unknown JSON fields are rejected, and all
@@ -37,12 +39,24 @@ func NewHTTPHandler(c *Cluster) http.Handler {
 	mux.HandleFunc("POST "+wire.PathPrefix+"/invoke", s.invoke)
 	mux.HandleFunc("POST "+wire.PathPrefix+"/batch", s.batch)
 	mux.HandleFunc("POST "+wire.PathPrefix+"/crash", s.crash)
+	mux.HandleFunc("POST "+wire.PathPrefix+"/fault", s.fault)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/stats", s.stats)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/monitor", s.monitor)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/monitor/stream", s.monitorStream)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, wire.HealthzResponse{
 			OK: true, Criterion: c.Criterion(), Protocol: wire.ProtocolVersion,
+			Shards: c.Shards(), Replicas: c.Replicas(), Replication: c.Replication(),
+		})
+	})
+	mux.HandleFunc("GET "+wire.PathPrefix+"/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		draining := c.Draining()
+		status := http.StatusOK
+		if draining {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, wire.ReadyzResponse{
+			Ready: !draining, Draining: draining, Protocol: wire.ProtocolVersion,
 		})
 	})
 	return mux
@@ -122,6 +136,21 @@ func (s *httpServer) crash(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.c.CrashReplica(req.Shard, req.Replica); err != nil {
 		writeErr(w, WireError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})
+}
+
+// fault dispatches one scripted fault (see the fault API in fault.go
+// and wire.FaultAction). FaultRequest.Shard nil targets every shard.
+func (s *httpServer) fault(w http.ResponseWriter, r *http.Request) {
+	var req wire.FaultRequest
+	if e := wire.DecodeJSON(w, r, &req, wire.MaxRequestBytes); e != nil {
+		writeErr(w, e)
+		return
+	}
+	if e := s.c.ApplyFault(&req); e != nil {
+		writeErr(w, e)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})

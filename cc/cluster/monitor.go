@@ -109,16 +109,17 @@ type Monitor struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu        sync.Mutex
-	created   int // objects seen by maybeSample
-	recs      []*objRecorder
-	verdicts  []Verdict
-	subs      []chan Verdict
-	ended     bool // collect finished; no further verdicts will appear
-	submitted int
-	dropped   int
-	closed    bool
-	seq       int
+	mu            sync.Mutex
+	created       int // objects seen by maybeSample
+	recs          []*objRecorder
+	verdicts      []Verdict
+	subs          []chan Verdict
+	ended         bool // collect finished; no further verdicts will appear
+	submitted     int
+	dropped       int
+	streamDropped int // verdicts stalled stream subscribers missed
+	closed        bool
+	seq           int
 }
 
 func newMonitor(cfg MonitorConfig, criterion string) *Monitor {
@@ -183,7 +184,12 @@ func (m *Monitor) collect(out <-chan checker.ItemResult) {
 			for _, ch := range m.subs {
 				select {
 				case ch <- v:
-				default: // a stalled subscriber misses verdicts, never blocks the monitor
+				default:
+					// A stalled subscriber misses verdicts rather than ever
+					// blocking the monitor — but the miss is counted, so a
+					// consumer asserting on the stream can detect it was
+					// incomplete instead of reporting clean-by-omission.
+					m.streamDropped++
 				}
 			}
 		}
@@ -295,6 +301,7 @@ func (m *Monitor) Summary() Summary {
 		SampledObjects:   len(m.recs),
 		WindowsSubmitted: m.submitted,
 		WindowsDropped:   m.dropped,
+		StreamDropped:    m.streamDropped,
 		Verdicts:         len(m.verdicts),
 	}
 	for _, v := range m.verdicts {

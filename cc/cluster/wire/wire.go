@@ -18,6 +18,19 @@
 //	             errors, POST /v1/batch with ordered per-session
 //	             invocation groups, per-request read targets, and
 //	             NDJSON verdict streaming on GET /v1/monitor/stream.
+//	v1 (PR 6)    additive, same version: POST /v1/fault (scripted
+//	             partition/heal/crash/restart and per-link
+//	             delay/jitter/drop), GET /v1/readyz (readiness split
+//	             from liveness: 503 while draining), session failover
+//	             fields (InvokeRequest.Replica / BatchGroup.Replica
+//	             pin a replica; Frontiers re-attach a session's causal
+//	             frontier, preserving read-your-writes across
+//	             failover), frontier echoes on update responses,
+//	             HealthzResponse.{Shards,Replicas,Replication}, and
+//	             MonitorSummary.StreamDropped. Old v1 clients ignore
+//	             the new response fields; old servers reject the new
+//	             request fields as unknown, which a client treats as
+//	             "no failover support".
 //
 // GET /v1/healthz reports the protocol version a server speaks, so a
 // client can refuse a mismatched server instead of misparsing it.
@@ -67,8 +80,10 @@ const (
 	CodeNotFound ErrorCode = "not_found"
 	// CodeConflict: the object exists with a different ADT.
 	CodeConflict ErrorCode = "conflict"
-	// CodeUnavailable: the cluster is draining or closed; the request
-	// was valid and may be retried against a live server.
+	// CodeUnavailable: the cluster is draining or closed, the routed
+	// replica is crash-stopped, or the replica could not catch up to
+	// the request's frontier in time; the request was valid and may be
+	// retried (possibly against another replica).
 	CodeUnavailable ErrorCode = "unavailable"
 	// CodeInternal: the server failed to produce a response.
 	CodeInternal ErrorCode = "internal"
@@ -164,12 +179,45 @@ type OKResponse struct {
 	OK bool `json:"ok"`
 }
 
-// HealthzResponse reports liveness, the cluster's criterion, and the
-// protocol version the server speaks. GET /v1/healthz.
+// HealthzResponse reports liveness, the cluster's criterion and
+// topology, and the protocol version the server speaks. GET
+// /v1/healthz. Liveness only — a draining server still answers OK
+// here; readiness is GET /v1/readyz.
 type HealthzResponse struct {
 	OK        bool   `json:"ok"`
 	Criterion string `json:"criterion"`
 	Protocol  int    `json:"protocol"`
+	// Shards and Replicas describe the topology (a failover client
+	// rotates its replica pin modulo Replicas); Replication names the
+	// dissemination backend ("broadcast" or "antientropy"). Zero/empty
+	// on pre-PR-6 servers.
+	Shards      int    `json:"shards,omitempty"`
+	Replicas    int    `json:"replicas,omitempty"`
+	Replication string `json:"replication,omitempty"`
+}
+
+// ReadyzResponse reports readiness to take traffic. GET /v1/readyz:
+// status 200 with Ready=true while serving, 503 with Ready=false
+// while draining (SIGTERM received, in-flight requests finishing) —
+// so a load balancer or chaos harness can tell drain from death
+// (a dead process answers neither endpoint).
+type ReadyzResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	Protocol int  `json:"protocol"`
+}
+
+// ShardFrontier is one shard's causal delivery frontier: the
+// per-origin count of delivered updates at the replica that served
+// the request. A server echoes it on update responses in the causal
+// criteria (CC, CCv); a client hands its accumulated frontiers back
+// when re-attaching the session to another replica, and the new
+// replica serves only once its own frontier dominates — preserving
+// read-your-writes across failover. Non-causal criteria (PC, EC)
+// have no frontier to exchange.
+type ShardFrontier struct {
+	Shard int   `json:"shard"`
+	VC    []int `json:"vc"`
 }
 
 // InvokeRequest executes one operation. POST /v1/invoke. All requests
@@ -180,6 +228,14 @@ type InvokeRequest struct {
 	Method  string     `json:"method"`
 	Args    []int      `json:"args,omitempty"`
 	Target  ReadTarget `json:"target,omitempty"`
+	// Replica pins the session to an explicit replica instead of the
+	// default (session id mod replica count) — the failover hook. Nil
+	// keeps the default.
+	Replica *int `json:"replica,omitempty"`
+	// Frontiers re-attaches the session's causal frontier (see
+	// ShardFrontier); the server waits until the serving replica has
+	// caught up, or fails with CodeUnavailable.
+	Frontiers []ShardFrontier `json:"frontiers,omitempty"`
 }
 
 // InvokeResponse is the wire form of one operation's result. Output
@@ -188,12 +244,60 @@ type InvokeResponse struct {
 	Output string `json:"output"`
 	Bot    bool   `json:"bot"`
 	Vals   []int  `json:"vals,omitempty"`
+	// Frontier is the serving replica's causal frontier after an
+	// update, in the causal criteria; nil otherwise.
+	Frontier *ShardFrontier `json:"frontier,omitempty"`
 }
 
 // CrashRequest crash-stops one replica of one shard. POST /v1/crash.
 type CrashRequest struct {
 	Shard   int `json:"shard"`
 	Replica int `json:"replica"`
+}
+
+// FaultAction names one scripted fault of a FaultRequest.
+type FaultAction string
+
+const (
+	// FaultPartition cuts every link between the replica groups in
+	// Groups (both directions; cuts accumulate until a heal). Messages
+	// lost to the cut are recovered by the replication backend's
+	// repair path after FaultHeal, if it has one (anti-entropy always;
+	// broadcast only with resync enabled).
+	FaultPartition FaultAction = "partition"
+	// FaultHeal removes every partition cut and triggers the
+	// backend's repair path on every replica.
+	FaultHeal FaultAction = "heal"
+	// FaultCrash crash-stops one replica: it stops receiving, its
+	// queued deliveries drop, and it refuses service with
+	// CodeUnavailable until restarted.
+	FaultCrash FaultAction = "crash"
+	// FaultRestart revives a crashed replica and triggers the repair
+	// path so it catches up on what it missed.
+	FaultRestart FaultAction = "restart"
+	// FaultLink degrades one link: delay plus uniform jitter plus a
+	// drop probability. Zero values clear the link's fault.
+	FaultLink FaultAction = "link"
+	// FaultLinkClear removes every per-link degradation.
+	FaultLinkClear FaultAction = "link_clear"
+)
+
+// FaultRequest injects one scripted fault. POST /v1/fault. Every
+// injected fault is a legal behavior of the paper's asynchronous
+// system (arbitrary finite delays, message loss, crash-stop) — the
+// endpoint only makes the adversary schedulable, which is what the
+// chaos harness drives. Shard selects one shard; nil applies the
+// fault to every shard.
+type FaultRequest struct {
+	Action   FaultAction `json:"action"`
+	Shard    *int        `json:"shard,omitempty"`
+	Replica  int         `json:"replica,omitempty"`   // crash, restart
+	Groups   [][]int     `json:"groups,omitempty"`    // partition: replica groups to separate
+	From     int         `json:"from,omitempty"`      // link
+	To       int         `json:"to,omitempty"`        // link
+	DelayUS  int64       `json:"delay_us,omitempty"`  // link: fixed delay, microseconds
+	JitterUS int64       `json:"jitter_us,omitempty"` // link: uniform extra delay bound
+	Drop     float64     `json:"drop,omitempty"`      // link: drop probability in [0,1]
 }
 
 // BatchOp is one operation inside a batch group.
@@ -212,6 +316,11 @@ type BatchGroup struct {
 	Session int        `json:"session"`
 	Target  ReadTarget `json:"target,omitempty"`
 	Ops     []BatchOp  `json:"ops"`
+	// Replica and Frontiers are the session failover hook (see
+	// InvokeRequest): pin the serving replica and wait for it to reach
+	// the session's causal frontier before the group runs.
+	Replica   *int            `json:"replica,omitempty"`
+	Frontiers []ShardFrontier `json:"frontiers,omitempty"`
 }
 
 // BatchRequest is an ordered set of per-session invocation groups.
@@ -231,10 +340,12 @@ type BatchResult struct {
 }
 
 // BatchGroupResult mirrors one BatchGroup: Results[i] is Ops[i]'s
-// outcome.
+// outcome. Frontiers carries the serving replica's causal frontier
+// for every shard the group updated (causal criteria only).
 type BatchGroupResult struct {
-	Session int           `json:"session"`
-	Results []BatchResult `json:"results"`
+	Session   int             `json:"session"`
+	Results   []BatchResult   `json:"results"`
+	Frontiers []ShardFrontier `json:"frontiers,omitempty"`
 }
 
 // BatchResponse mirrors the request: Groups[i] answers request group
@@ -243,9 +354,14 @@ type BatchResponse struct {
 	Groups []BatchGroupResult `json:"groups"`
 }
 
-// ShardStats is the per-shard slice of a StatsResponse.
+// ShardStats is the per-shard slice of a StatsResponse. Crashed marks
+// transport-level crashes (CrashReplica: the replica keeps serving
+// its partitioned state wait-free); Down marks fault-injected
+// crash-stops (the replica refuses service with CodeUnavailable until
+// restarted).
 type ShardStats struct {
 	Crashed []bool `json:"crashed"`
+	Down    []bool `json:"down,omitempty"`
 }
 
 // StatsResponse is a point-in-time snapshot of the cluster's
@@ -280,7 +396,10 @@ type Verdict struct {
 
 // MonitorSummary aggregates the monitor's output so far. Exhausted
 // counts verdict-less outcomes whose search ran out of budget or
-// time; Errors counts hard checker failures.
+// time; Errors counts hard checker failures. StreamDropped counts
+// verdicts a stalled stream subscriber missed (the monitor never
+// blocks on a subscriber) — a chaos run that asserts on streamed
+// verdicts must check it to rule out clean-by-omission.
 type MonitorSummary struct {
 	SampledObjects   int       `json:"sampled_objects"`
 	WindowsSubmitted int       `json:"windows_submitted"`
@@ -290,6 +409,7 @@ type MonitorSummary struct {
 	Violations       []Verdict `json:"violations,omitempty"`
 	Exhausted        int       `json:"exhausted"`
 	Errors           int       `json:"errors"`
+	StreamDropped    int       `json:"stream_dropped"`
 }
 
 // MonitorResponse answers GET /v1/monitor; Verdicts is populated only

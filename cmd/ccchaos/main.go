@@ -1,0 +1,497 @@
+// Command ccchaos is the partition/churn chaos harness: it runs an
+// in-process cluster (loopback transport, so the run is deterministic
+// in shape and free of socket noise), drives mixed-ADT load through
+// self-healing cc/client sessions, injects a scripted fault schedule
+// — partitions, crash-stops, restarts, link degradation — and asserts
+// the paper's promises hold through it:
+//
+//   - after every heal/restart, all live replicas of every shard
+//     converge to identical state fingerprints (EC's convergence,
+//     checked quiescently with traffic paused);
+//   - the online monitor reports no violated CC/CCv windows in the
+//     causal modes;
+//   - with retry+failover on, no client operation fails and no future
+//     hangs — crash-stops surface as typed unavailable errors that
+//     the SDK heals around, never as stuck calls.
+//
+// Usage:
+//
+//	ccchaos -criterion CC -replication antientropy -shards 2 -replicas 3 \
+//	        [-schedule "300ms partition 0 1,2; 900ms heal; ..."] \
+//	        [-schedule-file chaos.sched] [-batch] \
+//	        [-bench-out BENCH_runtime.json -label "..."] [-require-verdicts]
+//
+// The built-in schedule runs two partition/heal rounds and two
+// crash/restart rounds (see schedule.go for the DSL). The harness
+// exits non-zero on any failed assertion and, with -bench-out,
+// appends a labelled entry recording steady-state vs under-fault
+// throughput and latency for the chosen replication backend.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/client"
+	"github.com/paper-repro/ccbm/cc/cluster"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+	"github.com/paper-repro/ccbm/internal/benchrec"
+)
+
+// mixedADTs is the object population: one exact-checkable type per
+// family (commutative, register, sets, window'd queue, stack).
+var mixedADTs = []string{"Counter", "Register", "GSet", "RWSet", "Queue2", "Stack"}
+
+// genInput draws one operation for an ADT; step keeps written values
+// distinct so the checkers stay sharp.
+func genInput(adt string, rng *rand.Rand, step int, w float64) cc.Input {
+	switch adt {
+	case "Counter":
+		switch u := rng.Float64(); {
+		case u < w/2:
+			return cc.NewInput("inc", 1+rng.Intn(3))
+		case u < w:
+			return cc.NewInput("dec", 1)
+		default:
+			return cc.NewInput("get")
+		}
+	case "Register":
+		if rng.Float64() < w {
+			return cc.NewInput("w", step+1)
+		}
+		return cc.NewInput("r")
+	case "GSet":
+		if rng.Float64() < w {
+			return cc.NewInput("add", rng.Intn(8))
+		}
+		return cc.NewInput("has", rng.Intn(8))
+	case "RWSet":
+		switch u := rng.Float64(); {
+		case u < w/3:
+			return cc.NewInput("rem", rng.Intn(8))
+		case u < w:
+			return cc.NewInput("add", rng.Intn(8))
+		default:
+			return cc.NewInput("elems")
+		}
+	case "Queue2":
+		switch u := rng.Float64(); {
+		case u < w/2:
+			return cc.NewInput("push", step+1)
+		case u < w:
+			return cc.NewInput("rh", rng.Intn(step+1))
+		default:
+			return cc.NewInput("hd")
+		}
+	default: // Stack
+		switch u := rng.Float64(); {
+		case u < w/2:
+			return cc.NewInput("push", step+1)
+		case u < w:
+			return cc.NewInput("pop")
+		default:
+			return cc.NewInput("top")
+		}
+	}
+}
+
+// phaseStats accumulates one phase's throughput and latency.
+type phaseStats struct {
+	ops, errs int64
+	lat       []float64 // µs, sampled 1 in 8
+}
+
+// tracker splits the run's wall clock and per-op outcomes into the
+// steady and under-fault phases; convergence pauses are excluded from
+// both (traffic is stopped, throughput there would measure nothing).
+type tracker struct {
+	mu                  sync.Mutex
+	steady, fault       phaseStats
+	steadyDur, faultDur time.Duration
+	inFault, paused     bool
+	since               time.Time
+}
+
+func (t *tracker) accumLocked(now time.Time) {
+	if t.paused {
+		return
+	}
+	d := now.Sub(t.since)
+	if t.inFault {
+		t.faultDur += d
+	} else {
+		t.steadyDur += d
+	}
+	t.since = now
+}
+
+func (t *tracker) start(now time.Time) { t.since = now }
+
+func (t *tracker) setFault(f bool) {
+	t.mu.Lock()
+	t.accumLocked(time.Now())
+	t.inFault = f
+	t.mu.Unlock()
+}
+
+func (t *tracker) pause() {
+	t.mu.Lock()
+	t.accumLocked(time.Now())
+	t.paused = true
+	t.mu.Unlock()
+}
+
+func (t *tracker) resume(fault bool) {
+	t.mu.Lock()
+	t.paused = false
+	t.inFault = fault
+	t.since = time.Now()
+	t.mu.Unlock()
+}
+
+func (t *tracker) stop() { t.pause() }
+
+func (t *tracker) record(fault, errored, sampled bool, us float64) {
+	t.mu.Lock()
+	ph := &t.steady
+	if fault {
+		ph = &t.fault
+	}
+	if errored {
+		ph.errs++
+	} else {
+		ph.ops++
+	}
+	if sampled && !errored {
+		ph.lat = append(ph.lat, us)
+	}
+	t.mu.Unlock()
+}
+
+// healResult records one repair event's convergence assertion.
+type healResult struct {
+	event string
+	took  time.Duration
+	err   error
+}
+
+func main() {
+	criterion := flag.String("criterion", "CC", "consistency criterion: CC, CCv, PC, EC")
+	shards := flag.Int("shards", 2, "shards (replica groups)")
+	replicas := flag.Int("replicas", 3, "replicas per shard")
+	replication := flag.String("replication", "broadcast", "replication backend: broadcast or antientropy")
+	gossip := flag.Duration("gossip-interval", 5*time.Millisecond, "anti-entropy round interval")
+	clients := flag.Int("clients", 6, "concurrent closed-loop clients (one session each)")
+	objects := flag.Int("objects", 12, "objects across the mixed-ADT population")
+	writeRatio := flag.Float64("write-ratio", 0.4, "update fraction of the generated mix")
+	seed := flag.Int64("seed", 1, "random seed")
+	scheduleFlag := flag.String("schedule", "", "inline fault schedule (';'-separated events; empty = built-in)")
+	scheduleFile := flag.String("schedule-file", "", "fault schedule file (one event per line)")
+	tail := flag.Duration("tail", 400*time.Millisecond, "steady traffic after the last event")
+	convergeTimeout := flag.Duration("converge-timeout", 10*time.Second, "bound per post-heal convergence wait")
+	opTimeout := flag.Duration("op-timeout", 5*time.Second, "per-op wait before its future counts as hung")
+	retries := flag.Int("retries", 6, "client retry attempts (self-healing)")
+	noHeal := flag.Bool("no-selfheal", false, "disable client retry/failover/breaker (op errors under faults become tolerated)")
+	batch := flag.Bool("batch", false, "drive ops through the client-side batcher")
+	requireVerdicts := flag.Bool("require-verdicts", false, "exit non-zero unless the monitor produced verdicts")
+	benchOut := flag.String("bench-out", "", "append a labelled result entry to this JSON file")
+	label := flag.String("label", "", "label for the bench entry")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ccchaos:", err)
+		os.Exit(2)
+	}
+	text := defaultSchedule
+	switch {
+	case *scheduleFlag != "" && *scheduleFile != "":
+		fail(fmt.Errorf("-schedule and -schedule-file are mutually exclusive"))
+	case *scheduleFlag != "":
+		text = *scheduleFlag
+	case *scheduleFile != "":
+		data, err := os.ReadFile(*scheduleFile)
+		if err != nil {
+			fail(err)
+		}
+		text = string(data)
+	}
+	sched, err := parseSchedule(text)
+	if err != nil {
+		fail(err)
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Shards: *shards, Replicas: *replicas, Criterion: *criterion,
+		Replication: *replication, GossipInterval: *gossip,
+		Resync:  true, // chaos without a repair path cannot converge
+		Monitor: cluster.MonitorConfig{SampleEvery: 2, WindowOps: 16, Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	opts := []client.Option{}
+	if !*noHeal {
+		opts = append(opts,
+			client.WithRetry(*retries, 2*time.Millisecond, 100*time.Millisecond),
+			client.WithFailover(),
+			client.WithBreaker(8, 300*time.Millisecond),
+		)
+	}
+	if *batch {
+		opts = append(opts, client.WithBatching(64, 300*time.Microsecond))
+	}
+	cli, err := client.New(client.NewLoopback(c), opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer cli.Close()
+
+	ctx := context.Background()
+	names := make([]string, *objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("obj-%02d", i)
+		if err := cli.CreateObject(ctx, names[i], mixedADTs[i%len(mixedADTs)]); err != nil {
+			fail(err)
+		}
+	}
+
+	var (
+		gate  sync.RWMutex // write-held while convergence is asserted
+		depth atomic.Int32 // active faults (traffic tags ops by it)
+		hung  atomic.Int64
+		trk   tracker
+	)
+	last := sched[len(sched)-1].at
+	start := time.Now()
+	deadline := start.Add(last + *tail)
+	trk.start(start)
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < *clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			sess := cli.Session(cl)
+			rng := rand.New(rand.NewSource(*seed*7919 + int64(cl)))
+			for step := 0; ; step++ {
+				// Pause barrier: repair events hold the write lock while
+				// they assert convergence, stopping new ops. In-flight
+				// ops are left to drain on their own — a crash-stuck op
+				// (its session's frontier lives only on the crashed
+				// replica) is unblocked by the restart itself, so the
+				// repair path must never wait for it.
+				gate.RLock()
+				gate.RUnlock()
+				if !time.Now().Before(deadline) {
+					return
+				}
+				oi := rng.Intn(len(names))
+				name := names[oi]
+				in := genInput(mixedADTs[oi%len(mixedADTs)], rng, step, *writeRatio)
+				inFault := depth.Load() > 0
+				t0 := time.Now()
+				fut := sess.InvokeAsync(name, in)
+				octx, cancel := context.WithTimeout(ctx, *opTimeout)
+				_, err := fut.Get(octx)
+				cancel()
+				if errors.Is(err, context.DeadlineExceeded) {
+					// The future never resolved within the bound: the
+					// hung-call failure mode the breaker exists to prevent.
+					hung.Add(1)
+					trk.record(inFault, true, false, 0)
+					return
+				}
+				trk.record(inFault, err != nil, step%8 == 0, float64(time.Since(t0).Microseconds()))
+			}
+		}(cl)
+	}
+
+	// Fault executor: walk the schedule, tagging phases; repair events
+	// (heal, restart) pause traffic and assert convergence.
+	var (
+		partitions, crashed, links int
+		heals                      []healResult
+	)
+	for i := range sched {
+		ev := &sched[i]
+		if d := time.Until(start.Add(ev.at)); d > 0 {
+			time.Sleep(d)
+		}
+		repair := ev.verb == wire.FaultHeal || ev.verb == wire.FaultRestart
+		if repair {
+			gate.Lock()
+			trk.pause()
+		}
+		ferr := cli.Fault(ctx, ev.wire())
+		switch ev.verb {
+		case wire.FaultPartition:
+			partitions++
+		case wire.FaultHeal:
+			partitions = 0
+		case wire.FaultCrash:
+			crashed++
+		case wire.FaultRestart:
+			crashed--
+		case wire.FaultLink:
+			links++
+		case wire.FaultLinkClear:
+			links = 0
+		}
+		depth.Store(int32(partitions + crashed + links))
+		faulty := partitions+crashed+links > 0
+		if repair {
+			t0 := time.Now()
+			cerr := ferr
+			if cerr == nil {
+				cerr = c.AwaitConvergence(*convergeTimeout)
+			}
+			heals = append(heals, healResult{event: ev.raw, took: time.Since(t0), err: cerr})
+			trk.resume(faulty)
+			gate.Unlock()
+			status := "converged"
+			if cerr != nil {
+				status = "FAILED: " + cerr.Error()
+			}
+			fmt.Printf("ccchaos: %8s  %-24s %s in %v\n", ev.at, ev.raw, status, time.Since(t0).Round(time.Millisecond))
+		} else {
+			if ferr != nil {
+				heals = append(heals, healResult{event: ev.raw, err: ferr})
+			}
+			trk.setFault(faulty)
+			fmt.Printf("ccchaos: %8s  %s\n", ev.at, ev.raw)
+		}
+	}
+
+	wg.Wait()
+	trk.stop()
+
+	// Final quiescent convergence + verdict sweep.
+	finalErr := c.AwaitConvergence(*convergeTimeout)
+	sum, merr := cli.MonitorSummary(ctx)
+	if merr != nil {
+		fail(merr)
+	}
+	met := cli.Metrics()
+
+	steadyRate := rate(trk.steady.ops, trk.steadyDur)
+	faultRate := rate(trk.fault.ops, trk.faultDur)
+	sLat, fLat := summarize(trk.steady.lat), summarize(trk.fault.lat)
+	totalErrs := trk.steady.errs + trk.fault.errs
+	fmt.Printf("ccchaos: steady %d ops in %v (%.0f ops/s) p50=%.0f p99=%.0f µs\n",
+		trk.steady.ops, trk.steadyDur.Round(time.Millisecond), steadyRate, sLat.p50, sLat.p99)
+	fmt.Printf("ccchaos: fault  %d ops in %v (%.0f ops/s) p50=%.0f p99=%.0f µs\n",
+		trk.fault.ops, trk.faultDur.Round(time.Millisecond), faultRate, fLat.p50, fLat.p99)
+	fmt.Printf("ccchaos: errors=%d hung=%d retries=%d failovers=%d breaker_opens=%d fast_fails=%d\n",
+		totalErrs, hung.Load(), met.Retries, met.Failovers, met.BreakerOpens, met.BreakerFastFails)
+	monJSON, _ := json.Marshal(sum)
+	fmt.Printf("ccchaos: monitor %s\n", monJSON)
+
+	bad := 0
+	complain := func(format string, args ...any) {
+		bad++
+		fmt.Fprintf(os.Stderr, "ccchaos: FAIL: "+format+"\n", args...)
+	}
+	for _, h := range heals {
+		if h.err != nil {
+			complain("%s: %v", h.event, h.err)
+		}
+	}
+	if finalErr != nil {
+		complain("final convergence: %v", finalErr)
+	}
+	if len(sum.Violations) > 0 {
+		complain("monitor reported %d violated windows under %s", len(sum.Violations), *criterion)
+	}
+	if *requireVerdicts && sum.Verdicts == 0 {
+		complain("monitor produced no verdicts")
+	}
+	if hung.Load() > 0 {
+		complain("%d futures hung past %v", hung.Load(), *opTimeout)
+	}
+	if !*noHeal && totalErrs > 0 {
+		complain("%d client ops failed despite retry+failover", totalErrs)
+	}
+	if trk.fault.ops == 0 {
+		complain("no operation completed under fault (schedule too short?)")
+	}
+
+	if *benchOut != "" {
+		lbl := *label
+		if lbl == "" {
+			lbl = fmt.Sprintf("ccchaos %s/%s", *criterion, c.Replication())
+		}
+		n, err := benchrec.Append(*benchOut, benchrec.New(lbl, map[string]any{
+			"config": map[string]any{
+				"criterion": *criterion, "replication": c.Replication(),
+				"shards": *shards, "replicas": *replicas, "clients": *clients,
+				"objects": *objects, "write_ratio": *writeRatio,
+				"batch": *batch, "selfheal": !*noHeal, "schedule": text,
+			},
+			"steady": map[string]any{
+				"ops": trk.steady.ops, "ops_per_sec": math.Round(steadyRate),
+				"p50_us": sLat.p50, "p99_us": sLat.p99,
+			},
+			"fault": map[string]any{
+				"ops": trk.fault.ops, "ops_per_sec": math.Round(faultRate),
+				"p50_us": fLat.p50, "p99_us": fLat.p99,
+			},
+			"errors": totalErrs, "hung": hung.Load(),
+			"selfheal_metrics": map[string]any{
+				"retries": met.Retries, "failovers": met.Failovers,
+				"breaker_opens": met.BreakerOpens, "breaker_fast_fails": met.BreakerFastFails,
+			},
+			"converge_events": len(heals),
+			"monitor":         sum,
+			"passed":          bad == 0,
+		}))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("ccchaos: recorded %s (%d entries)\n", *benchOut, n)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("ccchaos: PASS")
+}
+
+func rate(ops int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}
+
+type latSummary struct{ p50, p99 float64 }
+
+func summarize(xs []float64) latSummary {
+	if len(xs) == 0 {
+		return latSummary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pct := func(p float64) float64 {
+		rank := int(math.Ceil(p*float64(len(s)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(s) {
+			rank = len(s) - 1
+		}
+		return s[rank]
+	}
+	return latSummary{p50: pct(0.50), p99: pct(0.99)}
+}

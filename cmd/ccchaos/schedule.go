@@ -1,0 +1,162 @@
+package main
+
+// The chaos schedule DSL: a schedule is a list of timed fault events,
+// one per line (or ';'-separated in the -schedule flag), each
+//
+//	<offset> <verb> [args...]
+//
+// where offset is a Go duration from traffic start and verb is one of
+//
+//	partition <group> <group>...   cut links between replica groups
+//	                               (groups are comma-separated replica
+//	                               indices: "partition 0 1,2" isolates
+//	                               replica 0 from 1 and 2)
+//	heal                           undo every partition, trigger repair
+//	crash <replica>                stop a replica (serves nothing, wire
+//	                               code unavailable) and cut its links
+//	restart <replica>              revive a crashed replica and resync
+//	link <from> <to> <delay> [jitter] [drop]
+//	                               degrade one direction of one link
+//	link_clear                     undo every link degradation
+//
+// '#' starts a comment. Events apply to every shard (chaos is
+// symmetric across the hash space). Heal and restart pause traffic
+// and assert convergence before resuming.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+// event is one parsed schedule entry.
+type event struct {
+	at      time.Duration
+	verb    wire.FaultAction
+	groups  [][]int // partition
+	replica int     // crash, restart
+	from    int     // link
+	to      int
+	delay   time.Duration
+	jitter  time.Duration
+	drop    float64
+	raw     string
+}
+
+// faulty reports whether the event begins a degraded period (its
+// counterpart heal/restart/link_clear ends one).
+func (e *event) faulty() bool {
+	return e.verb == wire.FaultPartition || e.verb == wire.FaultCrash || e.verb == wire.FaultLink
+}
+
+// wire renders the event as the fault request both transports speak.
+// Shard stays nil: every event targets all shards.
+func (e *event) wire() *wire.FaultRequest {
+	return &wire.FaultRequest{
+		Action: e.verb, Replica: e.replica, Groups: e.groups,
+		From: e.from, To: e.to,
+		DelayUS: e.delay.Microseconds(), JitterUS: e.jitter.Microseconds(),
+		Drop: e.drop,
+	}
+}
+
+// defaultSchedule is the built-in churn script: two partition/heal
+// rounds and two crash/restart rounds against a 3-replica shard,
+// interleaved so the second partition lands on already-restarted
+// state.
+const defaultSchedule = `
+300ms  partition 0 1,2
+900ms  heal
+1300ms crash 1
+1900ms restart 1
+2300ms partition 0,1 2
+2900ms heal
+3300ms crash 2
+3900ms restart 2
+`
+
+// parseSchedule parses the DSL. Events come back sorted by offset.
+func parseSchedule(text string) ([]event, error) {
+	var evs []event
+	for _, line := range strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' }) {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("schedule: %q: need <offset> <verb>", line)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("schedule: %q: bad offset %q", line, fields[0])
+		}
+		ev := event{at: at, verb: wire.FaultAction(fields[1]), raw: strings.Join(fields[1:], " ")}
+		args := fields[2:]
+		switch ev.verb {
+		case wire.FaultPartition:
+			if len(args) < 2 {
+				return nil, fmt.Errorf("schedule: %q: partition needs at least two groups", line)
+			}
+			for _, g := range args {
+				var group []int
+				for _, s := range strings.Split(g, ",") {
+					id, err := strconv.Atoi(s)
+					if err != nil {
+						return nil, fmt.Errorf("schedule: %q: bad replica %q", line, s)
+					}
+					group = append(group, id)
+				}
+				ev.groups = append(ev.groups, group)
+			}
+		case wire.FaultCrash, wire.FaultRestart:
+			if len(args) != 1 {
+				return nil, fmt.Errorf("schedule: %q: %s needs exactly one replica", line, ev.verb)
+			}
+			if ev.replica, err = strconv.Atoi(args[0]); err != nil {
+				return nil, fmt.Errorf("schedule: %q: bad replica %q", line, args[0])
+			}
+		case wire.FaultLink:
+			if len(args) < 3 || len(args) > 5 {
+				return nil, fmt.Errorf("schedule: %q: link needs <from> <to> <delay> [jitter] [drop]", line)
+			}
+			if ev.from, err = strconv.Atoi(args[0]); err != nil {
+				return nil, fmt.Errorf("schedule: %q: bad replica %q", line, args[0])
+			}
+			if ev.to, err = strconv.Atoi(args[1]); err != nil {
+				return nil, fmt.Errorf("schedule: %q: bad replica %q", line, args[1])
+			}
+			if ev.delay, err = time.ParseDuration(args[2]); err != nil {
+				return nil, fmt.Errorf("schedule: %q: bad delay %q", line, args[2])
+			}
+			if len(args) > 3 {
+				if ev.jitter, err = time.ParseDuration(args[3]); err != nil {
+					return nil, fmt.Errorf("schedule: %q: bad jitter %q", line, args[3])
+				}
+			}
+			if len(args) > 4 {
+				if ev.drop, err = strconv.ParseFloat(args[4], 64); err != nil || ev.drop < 0 || ev.drop > 1 {
+					return nil, fmt.Errorf("schedule: %q: bad drop %q (want 0..1)", line, args[4])
+				}
+			}
+		case wire.FaultHeal, wire.FaultLinkClear:
+			if len(args) != 0 {
+				return nil, fmt.Errorf("schedule: %q: %s takes no arguments", line, ev.verb)
+			}
+		default:
+			return nil, fmt.Errorf("schedule: %q: unknown verb %q", line, ev.verb)
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("schedule: no events")
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	return evs, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+func TestParseScheduleDefault(t *testing.T) {
+	evs, err := parseSchedule(defaultSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 8 {
+		t.Fatalf("default schedule has %d events, want 8", len(evs))
+	}
+	want := []wire.FaultAction{
+		wire.FaultPartition, wire.FaultHeal, wire.FaultCrash, wire.FaultRestart,
+		wire.FaultPartition, wire.FaultHeal, wire.FaultCrash, wire.FaultRestart,
+	}
+	for i, ev := range evs {
+		if ev.verb != want[i] {
+			t.Fatalf("event %d verb = %q, want %q", i, ev.verb, want[i])
+		}
+		if i > 0 && ev.at < evs[i-1].at {
+			t.Fatalf("events not sorted: %v after %v", ev.at, evs[i-1].at)
+		}
+	}
+	if g := evs[0].groups; len(g) != 2 || len(g[1]) != 2 || g[1][1] != 2 {
+		t.Fatalf("partition groups = %v, want [[0] [1 2]]", g)
+	}
+}
+
+func TestParseScheduleForms(t *testing.T) {
+	evs, err := parseSchedule("10ms link 0 1 2ms 1ms 0.5; 5ms crash 2 # trailing comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("parsed %d events, want 2", len(evs))
+	}
+	// Sorted: the crash (5ms) precedes the link (10ms).
+	if evs[0].verb != wire.FaultCrash || evs[0].replica != 2 {
+		t.Fatalf("first event = %+v, want crash 2", evs[0])
+	}
+	l := evs[1]
+	if l.verb != wire.FaultLink || l.from != 0 || l.to != 1 ||
+		l.delay != 2*time.Millisecond || l.jitter != time.Millisecond || l.drop != 0.5 {
+		t.Fatalf("link event = %+v", l)
+	}
+	fr := l.wire()
+	if fr.DelayUS != 2000 || fr.JitterUS != 1000 || fr.Drop != 0.5 || fr.Shard != nil {
+		t.Fatalf("wire form = %+v", fr)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                      // no events
+		"10ms",                  // no verb
+		"xms heal",              // bad offset
+		"10ms explode",          // unknown verb
+		"10ms partition 0",      // one group
+		"10ms crash",            // missing replica
+		"10ms crash one",        // bad replica
+		"10ms heal now",         // heal takes no args
+		"10ms link 0 1",         // missing delay
+		"10ms link 0 1 2ms 0 7", // drop out of range
+	} {
+		if _, err := parseSchedule(bad); err == nil {
+			t.Errorf("parseSchedule(%q) accepted bad input", bad)
+		}
+	}
+}

@@ -11,13 +11,18 @@
 // The server speaks the versioned cc/cluster/wire protocol (see
 // cluster.NewHTTPHandler): POST /v1/objects, POST /v1/invoke, POST
 // /v1/batch (pipelined per-session invocation groups), POST
-// /v1/crash, GET /v1/stats, GET /v1/monitor, GET /v1/monitor/stream
-// (NDJSON verdicts), GET /v1/healthz (reports the protocol version).
-// Drive it with the cc/client SDK or cmd/ccload. On SIGINT/SIGTERM
-// the server drains, closes the cluster (flushing batches and
-// finalizing sampled windows) and prints the monitor summary; a
-// monitor violation makes the exit status non-zero so harnesses
-// notice.
+// /v1/crash, POST /v1/fault (scripted chaos: partition, heal,
+// crash/restart, link degradation), GET /v1/stats, GET /v1/monitor,
+// GET /v1/monitor/stream (NDJSON verdicts), GET /v1/healthz (reports
+// the protocol version and topology), GET /v1/readyz (503 while
+// draining). Drive it with the cc/client SDK or cmd/ccload.
+// -replication selects the backend: "broadcast" (the default causal
+// broadcast stack) or "antientropy" (periodic gossip rounds,
+// -gossip-interval). On SIGINT/SIGTERM the server flips /v1/readyz
+// to 503 and keeps serving for -drain-wait, then shuts down, closes
+// the cluster (flushing batches and finalizing sampled windows) and
+// prints the monitor summary; a monitor violation makes the exit
+// status non-zero so harnesses notice.
 package main
 
 import (
@@ -47,14 +52,21 @@ func main() {
 	monTimeout := flag.Duration("monitor-timeout", 2*time.Second, "wall-clock bound per online check")
 	monBudget := flag.Int("monitor-budget", 0, "search-node bound per online check (0 = checker default)")
 	compactEvery := flag.Duration("compact-every", 5*time.Second, "CCv log compaction interval (0 disables)")
+	replication := flag.String("replication", "broadcast", "replication backend: broadcast or antientropy (gossip)")
+	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy round interval (0 = backend default)")
+	resync := flag.Bool("resync", false, "retain delivered broadcasts so healed partitions repair (broadcast backend)")
+	drainWait := flag.Duration("drain-wait", 2*time.Second, "readiness drain window before shutdown (readyz answers 503)")
 	flag.Parse()
 
 	cfg := cluster.Config{
-		Shards:    *shards,
-		Replicas:  *replicas,
-		Criterion: *criterion,
-		BatchOps:  *batchOps,
-		BatchWait: *batchWait,
+		Shards:         *shards,
+		Replicas:       *replicas,
+		Criterion:      *criterion,
+		BatchOps:       *batchOps,
+		BatchWait:      *batchWait,
+		Replication:    *replication,
+		GossipInterval: *gossipInterval,
+		Resync:         *resync,
 		Monitor: cluster.MonitorConfig{
 			Disable:     *monSample <= 0,
 			SampleEvery: *monSample,
@@ -90,8 +102,8 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("ccserved: criterion=%s shards=%d replicas=%d batch=%d addr=%s protocol=v%d\n",
-		c.Criterion(), *shards, *replicas, *batchOps, *addr, wire.ProtocolVersion)
+	fmt.Printf("ccserved: criterion=%s shards=%d replicas=%d batch=%d repl=%s addr=%s protocol=v%d\n",
+		c.Criterion(), *shards, *replicas, *batchOps, c.Replication(), *addr, wire.ProtocolVersion)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -101,6 +113,14 @@ func main() {
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "ccserved:", err)
 		os.Exit(1)
+	}
+
+	// Flip readiness first and keep serving through the drain window,
+	// so load balancers watching /v1/readyz stop routing new work
+	// (503) while /v1/healthz stays 200 and in-flight requests finish.
+	c.StartDrain()
+	if *drainWait > 0 {
+		time.Sleep(*drainWait)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

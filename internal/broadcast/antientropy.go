@@ -1,0 +1,378 @@
+package broadcast
+
+// Anti-entropy dissemination: the second replication backend. Where
+// the relCore layers flood every envelope eagerly and assume the
+// transport eventually delivers it (reliable links), the AntiEntropy
+// layer treats the network as lossy: every process keeps a per-origin
+// contiguous log of the operations it knows, and periodic gossip
+// rounds exchange version vectors ("how much of each origin I have")
+// so any two connected processes converge by shipping exactly the
+// batched delta the other is missing. A partition merely pauses
+// convergence between the sides; the first round after a heal repairs
+// it, and a crashed-then-restarted process pulls everything it missed
+// the same way. Causal delivery order is reconstructed on replay from
+// the vector-clock stamp each operation carries, so the CC/CCv
+// delivery discipline survives arbitrary loss and reordering.
+
+import (
+	"sync"
+	"time"
+
+	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
+)
+
+// AEOrdering selects the delivery discipline an AntiEntropy layer
+// reconstructs on replay.
+type AEOrdering int
+
+const (
+	// AECausal delivers in causal order, reconstructed from the VC
+	// stamp each envelope carries (the CC/CCv backends).
+	AECausal AEOrdering = iota
+	// AEFIFO delivers each origin's envelopes in broadcast order with
+	// no cross-origin constraint (the PC/EC backends; for EC any order
+	// would do, and per-origin order is the one the log gives for free).
+	AEFIFO
+)
+
+// AEConfig tunes an AntiEntropy layer.
+type AEConfig struct {
+	// Ordering is the reconstructed delivery discipline.
+	Ordering AEOrdering
+	// Interval is the gossip round period; default 10ms. Each round
+	// sends this process's version vector to one peer (round-robin),
+	// which answers with the batched delta of everything missing — and
+	// gossips back its own digest when the digest reveals it is behind,
+	// making every exchange a push-pull pair.
+	Interval time.Duration
+	// MaxDelta caps the number of envelopes shipped per delta message
+	// (batched delta shipping); default 512. A process far behind
+	// catches up over several messages rather than one huge one.
+	MaxDelta int
+	// EagerPush also sends each new broadcast to every peer immediately,
+	// best-effort (no retransmission — repair stays the rounds' job).
+	// On healthy links this keeps steady-state delivery latency at one
+	// hop instead of half a round; default on in NewAntiEntropy.
+	EagerPush bool
+}
+
+func (c *AEConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.MaxDelta <= 0 {
+		c.MaxDelta = 512
+	}
+}
+
+// aeMsg is the gossip wire format: a digest carries the sender's
+// version vector, a delta carries envelopes the receiver was missing.
+type aeMsg struct {
+	Digest vclock.VC
+	Envs   []envelope
+}
+
+// AntiEntropy is the gossip-and-heal broadcast layer for one process.
+// It satisfies Broadcaster; deliveries run through the same serialized
+// outQueue as the relCore layers.
+type AntiEntropy struct {
+	cfg AEConfig
+	t   net.Transport
+	id  int
+	out *outQueue
+
+	mu    sync.Mutex
+	seq   int                // own broadcast count
+	logs  [][]envelope       // logs[o][k] = origin o's (k+1)-th envelope
+	pend  []map[int]envelope // out-of-order arrivals awaiting their gap
+	know  vclock.VC          // know[o] = contiguous envelopes of origin o held
+	deliv vclock.VC          // deliv[o] = envelopes of origin o delivered
+	peer  int                // round-robin gossip cursor
+	stats AEStats
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+// AEStats counts a layer's gossip activity.
+type AEStats struct {
+	Rounds     int64 // gossip rounds initiated
+	Digests    int64 // digests received
+	DeltasSent int64 // delta messages sent
+	DeltasRecv int64 // delta messages received
+	EnvsSent   int64 // envelopes shipped in deltas
+	EnvsRecv   int64 // envelopes ingested from deltas (deduped arrivals excluded)
+}
+
+// NewAntiEntropy creates the layer for process id, registers it with
+// the transport, and starts its gossip loop (stop it with Stop).
+func NewAntiEntropy(t net.Transport, id int, cfg AEConfig, d DeliverVC) *AntiEntropy {
+	cfg.EagerPush = true
+	return newAntiEntropy(t, id, cfg, d)
+}
+
+// NewAntiEntropyLazy is NewAntiEntropy without eager push: every
+// envelope travels only in gossip rounds. Tests use it to pin
+// round-driven convergence; servers want NewAntiEntropy.
+func NewAntiEntropyLazy(t net.Transport, id int, cfg AEConfig, d DeliverVC) *AntiEntropy {
+	cfg.EagerPush = false
+	return newAntiEntropy(t, id, cfg, d)
+}
+
+func newAntiEntropy(t net.Transport, id int, cfg AEConfig, d DeliverVC) *AntiEntropy {
+	cfg.fill()
+	n := t.N()
+	a := &AntiEntropy{
+		cfg:   cfg,
+		t:     t,
+		id:    id,
+		out:   &outQueue{out: d},
+		logs:  make([][]envelope, n),
+		pend:  make([]map[int]envelope, n),
+		know:  vclock.New(n),
+		deliv: vclock.New(n),
+		peer:  id, // start the rotation at a per-process offset
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	t.Register(id, a.onReceive)
+	go a.loop()
+	return a
+}
+
+// Broadcast implements Broadcaster: the envelope is stamped with the
+// causal frontier, appended to the local log, delivered locally at
+// once (wait-free — Sec. 6.1's immediate local delivery), and pushed
+// eagerly when configured; gossip rounds carry it to anyone the push
+// misses.
+func (a *AntiEntropy) Broadcast(payload any) {
+	a.mu.Lock()
+	a.seq++
+	stamp := a.deliv.Clone().Incr(a.id)
+	env := envelope{ID: msgID{Origin: a.id, Seq: a.seq}, VC: stamp, Payload: payload}
+	a.ingestLocked(env)
+	a.releaseLocked()
+	eager := a.cfg.EagerPush
+	a.mu.Unlock()
+	a.out.drain()
+	if eager {
+		for q := 0; q < a.t.N(); q++ {
+			if q != a.id {
+				a.t.Send(a.id, q, aeMsg{Envs: []envelope{env}})
+			}
+		}
+	}
+}
+
+// VC returns a snapshot of the delivered-count vector — the causal
+// frontier consumers use for read-your-writes re-attachment.
+func (a *AntiEntropy) VC() vclock.VC {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.deliv.Clone()
+}
+
+// Stats returns a snapshot of the gossip counters.
+func (a *AntiEntropy) Stats() AEStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// SyncNow gossips this process's digest to every peer immediately —
+// the repair accelerator a harness calls right after healing a
+// partition instead of waiting out the round timer.
+func (a *AntiEntropy) SyncNow() {
+	a.mu.Lock()
+	dig := a.know.Clone()
+	a.mu.Unlock()
+	for q := 0; q < a.t.N(); q++ {
+		if q != a.id {
+			a.t.Send(a.id, q, aeMsg{Digest: dig})
+		}
+	}
+}
+
+// Stop ends the gossip loop. The layer keeps delivering envelopes
+// that still arrive (peers may gossip at it); it just stops initiating
+// rounds. Idempotent.
+func (a *AntiEntropy) Stop() {
+	a.once.Do(func() { close(a.stop) })
+	<-a.done
+}
+
+func (a *AntiEntropy) loop() {
+	defer close(a.done)
+	tick := time.NewTicker(a.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-tick.C:
+			a.round()
+		}
+	}
+}
+
+// round sends this process's digest to the next peer in the rotation.
+func (a *AntiEntropy) round() {
+	n := a.t.N()
+	if n <= 1 {
+		return
+	}
+	a.mu.Lock()
+	a.peer = (a.peer + 1) % n
+	if a.peer == a.id {
+		a.peer = (a.peer + 1) % n
+	}
+	peer := a.peer
+	dig := a.know.Clone()
+	a.stats.Rounds++
+	a.mu.Unlock()
+	a.t.Send(a.id, peer, aeMsg{Digest: dig})
+}
+
+// onReceive handles one gossip message: a digest answers with deltas
+// (and a pull-back digest when the sender is ahead), a delta ingests.
+func (a *AntiEntropy) onReceive(from int, payload any) {
+	m, ok := payload.(aeMsg)
+	if !ok {
+		return
+	}
+	if m.Digest != nil {
+		a.onDigest(from, m.Digest)
+	}
+	if len(m.Envs) > 0 {
+		a.onDelta(m.Envs)
+	}
+}
+
+// onDigest ships the envelopes the peer is missing, in MaxDelta-sized
+// batches, and gossips back this process's own digest when the peer's
+// vector shows it knows more (push-pull: one exchange heals both
+// directions).
+func (a *AntiEntropy) onDigest(from int, theirs vclock.VC) {
+	a.mu.Lock()
+	a.stats.Digests++
+	var delta []envelope
+	var deltas [][]envelope
+	for o := range a.logs {
+		have := a.know[o]
+		start := 0
+		if o < len(theirs) {
+			start = theirs[o]
+		}
+		for s := start; s < have; s++ {
+			delta = append(delta, a.logs[o][s])
+			if len(delta) >= a.cfg.MaxDelta {
+				deltas = append(deltas, delta)
+				delta = nil
+			}
+		}
+	}
+	if len(delta) > 0 {
+		deltas = append(deltas, delta)
+	}
+	behind := false
+	for o := range a.know {
+		if o < len(theirs) && theirs[o] > a.know[o] {
+			behind = true
+			break
+		}
+	}
+	var pull vclock.VC
+	if behind {
+		pull = a.know.Clone()
+	}
+	for _, d := range deltas {
+		a.stats.DeltasSent++
+		a.stats.EnvsSent += int64(len(d))
+	}
+	a.mu.Unlock()
+	for _, d := range deltas {
+		a.t.Send(a.id, from, aeMsg{Envs: d})
+	}
+	if pull != nil {
+		a.t.Send(a.id, from, aeMsg{Digest: pull})
+	}
+}
+
+// onDelta ingests shipped envelopes and releases whatever the ordering
+// discipline now allows.
+func (a *AntiEntropy) onDelta(envs []envelope) {
+	a.mu.Lock()
+	a.stats.DeltasRecv++
+	for _, env := range envs {
+		a.ingestLocked(env)
+	}
+	a.releaseLocked()
+	a.mu.Unlock()
+	a.out.drain()
+}
+
+// ingestLocked adds one envelope to the per-origin log. Arrivals are
+// deduplicated by sequence number; a gap (possible when deltas from
+// different peers interleave with injected link delays) parks the
+// envelope until its predecessors arrive.
+func (a *AntiEntropy) ingestLocked(env envelope) {
+	o := env.ID.Origin
+	if o < 0 || o >= len(a.logs) {
+		return
+	}
+	switch {
+	case env.ID.Seq <= a.know[o]:
+		return // already known
+	case env.ID.Seq == a.know[o]+1:
+		a.logs[o] = append(a.logs[o], env)
+		a.know[o]++
+		a.stats.EnvsRecv++
+		// Promote any parked successors the gap was hiding.
+		for a.pend[o] != nil {
+			nxt, ok := a.pend[o][a.know[o]+1]
+			if !ok {
+				break
+			}
+			delete(a.pend[o], a.know[o]+1)
+			a.logs[o] = append(a.logs[o], nxt)
+			a.know[o]++
+			a.stats.EnvsRecv++
+		}
+	default:
+		if a.pend[o] == nil {
+			a.pend[o] = make(map[int]envelope)
+		}
+		a.pend[o][env.ID.Seq] = env
+	}
+}
+
+// releaseLocked enqueues every envelope the ordering discipline now
+// admits. Per-origin logs are contiguous, so FIFO release is a scan;
+// causal release re-scans until no origin can advance (the classical
+// hold-back loop, here over log positions instead of a buffer).
+// Deliveries are enqueued under the state lock so their order cannot
+// invert across racing ingests; the caller drains after unlocking.
+func (a *AntiEntropy) releaseLocked() {
+	var ready []delivery
+	for {
+		progress := false
+		for o := range a.logs {
+			for a.deliv[o] < a.know[o] {
+				env := a.logs[o][a.deliv[o]]
+				if a.cfg.Ordering == AECausal && !vclock.CausallyReady(env.VC, a.deliv, o) {
+					break
+				}
+				a.deliv[o]++
+				ready = append(ready, delivery{origin: o, vc: env.VC, payload: env.Payload})
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if len(ready) > 0 {
+		a.out.enqueue(ready)
+	}
+}

@@ -75,11 +75,20 @@ type delivery struct {
 	payload any
 }
 
-// dispatch enqueues deliveries and drains the queue unless another
-// goroutine already is.
-func (q *outQueue) dispatch(ds []delivery) {
+// enqueue appends deliveries without draining. Layers that compute
+// ready-lists from more than one goroutine call it while still holding
+// their state lock — so the outQueue order always matches the order
+// the ordering decision was made — and drain afterwards.
+func (q *outQueue) enqueue(ds []delivery) {
 	q.mu.Lock()
 	q.queue = append(q.queue, ds...)
+	q.mu.Unlock()
+}
+
+// drain invokes the callback for every queued delivery, in enqueue
+// order, unless another goroutine already is.
+func (q *outQueue) drain() {
+	q.mu.Lock()
 	if q.draining {
 		q.mu.Unlock()
 		return
@@ -94,6 +103,12 @@ func (q *outQueue) dispatch(ds []delivery) {
 	}
 	q.draining = false
 	q.mu.Unlock()
+}
+
+// dispatch enqueues deliveries and drains the queue.
+func (q *outQueue) dispatch(ds []delivery) {
+	q.enqueue(ds)
+	q.drain()
 }
 
 // envelope is the wire format shared by all layers.

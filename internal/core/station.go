@@ -30,12 +30,55 @@ import (
 	"github.com/paper-repro/ccbm/internal/net"
 	"github.com/paper-repro/ccbm/internal/spec"
 	"github.com/paper-repro/ccbm/internal/vclock"
+	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
 // ErrClosed reports an update submitted to a closed station — a
 // shutdown-in-progress condition, distinct from data errors like an
 // unknown object.
 var ErrClosed = errors.New("core: station closed")
+
+// ErrDown reports an operation routed to a replica that has been
+// crash-stopped by fault injection: the process refuses service until
+// restarted. The wire layer maps it to "unavailable" (503), so clients
+// retry or fail over instead of reading a corpse.
+var ErrDown = errors.New("core: replica down")
+
+// Replication selects the dissemination backend of a station group.
+type Replication int
+
+const (
+	// ReplBroadcast is the reliable-broadcast stack of Sec. 6.1
+	// (flooding relCore + ordering layer): assumes eventually reliable
+	// links; a partition silently loses messages unless Retain is set
+	// and Resync is called after the heal.
+	ReplBroadcast Replication = iota
+	// ReplAntiEntropy is the gossip backend: per-pair version-vector
+	// exchange with batched delta shipping in periodic rounds
+	// (broadcast.AntiEntropy). Partitions merely pause convergence;
+	// causal order is reconstructed from VC stamps on replay, so
+	// CC/CCv delivery survives loss and reordering.
+	ReplAntiEntropy
+)
+
+// String names the backend the way flags spell it.
+func (r Replication) String() string {
+	if r == ReplAntiEntropy {
+		return "antientropy"
+	}
+	return "broadcast"
+}
+
+// ParseReplication resolves a backend name.
+func ParseReplication(s string) (Replication, error) {
+	switch s {
+	case "", "broadcast":
+		return ReplBroadcast, nil
+	case "antientropy", "anti-entropy", "gossip":
+		return ReplAntiEntropy, nil
+	}
+	return 0, fmt.Errorf("core: unknown replication backend %q (want broadcast or antientropy)", s)
+}
 
 // StationConfig tunes a station's hot path.
 type StationConfig struct {
@@ -47,6 +90,17 @@ type StationConfig struct {
 	// batch to fill before it is flushed anyway. Ignored when batching
 	// is disabled; 0 defaults to 200µs.
 	BatchWait time.Duration
+	// Replication selects the dissemination backend (default
+	// ReplBroadcast).
+	Replication Replication
+	// GossipInterval is the anti-entropy round period (default 10ms;
+	// ReplAntiEntropy only).
+	GossipInterval time.Duration
+	// Retain keeps the broadcast backend's envelope log so Resync can
+	// retransmit after a partition heals (memory grows with the
+	// communication history; ReplBroadcast only — anti-entropy always
+	// retains, that is its sync state).
+	Retain bool
 }
 
 // totalTS orders updates in the timestamp modes (EC, CCv): time, then
@@ -114,12 +168,19 @@ type Station struct {
 	mode Mode
 	bc   broadcast.Broadcaster
 
+	repl   Replication
+	ae     *broadcast.AntiEntropy // ReplAntiEntropy backend
+	causal *broadcast.Causal      // ReplBroadcast causal layer (CC/CCv)
+	resync func()                 // backend repair hook; nil when unavailable
+
 	mu      sync.Mutex
 	objs    map[string]*stObject
 	outs    map[uint64]spec.Output
 	outCond *sync.Cond
-	tsHigh  int   // EC: Lamport high-water (assigned ∨ witnessed)
-	lastVT  []int // per-origin largest timestamp seen, for compaction
+	down    bool   // fault-injected crash-stop: refuse service until Restart
+	delivFP uint64 // XOR of delivered-op hashes (set convergence witness)
+	tsHigh  int    // EC: Lamport high-water (assigned ∨ witnessed)
+	lastVT  []int  // per-origin largest timestamp seen, for compaction
 	stats   StationStats
 
 	batchMu  sync.Mutex
@@ -152,13 +213,44 @@ func NewStation(tr net.Transport, id int, mode Mode, cfg StationConfig) *Station
 		s.wait = 200 * time.Microsecond
 	}
 	s.outCond = sync.NewCond(&s.mu)
+	s.repl = cfg.Replication
+	if s.repl == ReplAntiEntropy {
+		aeCfg := broadcast.AEConfig{Interval: cfg.GossipInterval}
+		switch mode {
+		case ModeCC, ModeCCv:
+			aeCfg.Ordering = broadcast.AECausal
+		case ModePC, ModeEC:
+			aeCfg.Ordering = broadcast.AEFIFO
+		default:
+			panic(fmt.Sprintf("core: unknown mode %v", mode))
+		}
+		s.ae = broadcast.NewAntiEntropy(tr, id, aeCfg, s.onDeliverVC)
+		s.bc = s.ae
+		s.resync = s.ae.SyncNow
+		return s
+	}
 	switch mode {
 	case ModeCC, ModeCCv:
-		s.bc = broadcast.NewCausalVC(tr, id, s.onDeliverVC)
+		s.causal = broadcast.NewCausalVC(tr, id, s.onDeliverVC)
+		s.bc = s.causal
+		if cfg.Retain {
+			s.causal.EnableResync()
+			s.resync = s.causal.Resync
+		}
 	case ModePC:
-		s.bc = broadcast.NewFIFO(tr, id, s.onDeliver)
+		f := broadcast.NewFIFO(tr, id, s.onDeliver)
+		s.bc = f
+		if cfg.Retain {
+			f.EnableResync()
+			s.resync = f.Resync
+		}
 	case ModeEC:
-		s.bc = broadcast.NewReliable(tr, id, s.onDeliver)
+		r := broadcast.NewReliable(tr, id, s.onDeliver)
+		s.bc = r
+		if cfg.Retain {
+			r.EnableResync()
+			s.resync = r.Resync
+		}
 	default:
 		panic(fmt.Sprintf("core: unknown mode %v", mode))
 	}
@@ -170,6 +262,118 @@ func (s *Station) ID() int { return s.id }
 
 // Mode returns the group's consistency mode.
 func (s *Station) Mode() Mode { return s.mode }
+
+// Replication returns the group's dissemination backend.
+func (s *Station) Replication() Replication { return s.repl }
+
+// SetDown flips the station's fault-injected crash-stop state. While
+// down, Invoke and InvokeAsync refuse with ErrDown; replicated state
+// and the delivery plumbing stay intact, so a later SetDown(false)
+// resumes service exactly where the transport-level catch-up
+// (gossip or resync) has brought the local copy.
+func (s *Station) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// Down reports whether the station is refusing service.
+func (s *Station) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// Resync triggers the backend's repair path: a gossip round to every
+// peer (anti-entropy) or a full retransmission of the retained
+// envelope log (broadcast with Retain). It reports false when the
+// backend has no repair path (broadcast without Retain) — convergence
+// after a heal is then not guaranteed.
+func (s *Station) Resync() bool {
+	if s.resync == nil {
+		return false
+	}
+	s.resync()
+	return true
+}
+
+// Frontier returns the station's causal delivery frontier — the
+// vector of delivered-message counts per origin — or nil for the
+// non-causal modes (PC, EC), whose backends make no causal promise a
+// frontier could carry. A session that re-attaches to another replica
+// with its last-seen frontier preserves read-your-writes: once the
+// new replica's frontier dominates it, every update the session saw
+// applied is applied there too.
+func (s *Station) Frontier() vclock.VC {
+	switch {
+	case s.ae != nil && (s.mode == ModeCC || s.mode == ModeCCv):
+		return s.ae.VC()
+	case s.causal != nil:
+		return s.causal.VC()
+	}
+	return nil
+}
+
+// WaitFrontier blocks until the station's causal frontier dominates
+// want, or the timeout lapses; it reports whether the wait succeeded.
+// Stations without a frontier (PC, EC) succeed trivially — there is
+// no causal promise to wait for.
+func (s *Station) WaitFrontier(want vclock.VC, timeout time.Duration) bool {
+	if len(want) == 0 {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		have := s.Frontier()
+		if have == nil || want.LessEq(have) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Fingerprint summarizes the station's replicated knowledge in one
+// 64-bit value; equal fingerprints across a replica group mean the
+// group has converged — the chaos harness's post-heal assertion.
+// What converges depends on the mode. EC and CCv arbitrate delivered
+// updates into one total order, so their states themselves converge:
+// the fingerprint folds every hosted object's canonical state key
+// (object names in sorted order, then keys). CC and PC apply updates
+// in delivery order, and causal delivery lets replicas interleave
+// concurrent non-commuting updates differently — their states may
+// legitimately differ forever, which is exactly the paper's point in
+// separating the criteria. There convergence means equal delivered
+// sets, witnessed by the order-insensitive XOR of delivered-op
+// hashes (delivery is exactly-once: the FIFO/causal layers and the
+// anti-entropy logs dedup by per-origin sequence).
+func (s *Station) Fingerprint() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeCC || s.mode == ModePC {
+		return s.delivFP
+	}
+	names := make([]string, 0, len(s.objs))
+	for n := range s.objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := xhash.Seed
+	for _, n := range names {
+		h = xhash.Ints(h, []int{len(n)})
+		for _, c := range []byte(n) {
+			h = xhash.Mix(h, uint64(c))
+		}
+		key := s.objs[n].queryStateLocked(s.mode).Key()
+		h = xhash.Ints(h, []int{len(key)})
+		for _, c := range []byte(key) {
+			h = xhash.Mix(h, uint64(c))
+		}
+	}
+	return h
+}
 
 // EnsureObject creates the named object locally if it does not exist.
 // Call it on every station of the group before routing traffic for the
@@ -255,6 +459,10 @@ func (s *Station) Invoke(obj string, in spec.Input) (spec.Output, error) {
 // without reordering its program order.
 func (s *Station) InvokeAsync(obj string, in spec.Input) (func() spec.Output, error) {
 	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("station %d: %w", s.id, ErrDown)
+	}
 	o, ok := s.objs[obj]
 	if !ok {
 		s.mu.Unlock()
@@ -393,6 +601,14 @@ func (s *Station) apply(origin, ccvVT int, payload any) {
 		if o == nil {
 			continue
 		}
+		fp := xhash.Ints(xhash.Seed, []int{origin, int(op.ID)})
+		for _, c := range []byte(op.Obj) {
+			fp = xhash.Mix(fp, uint64(c))
+		}
+		for _, c := range []byte(op.In.Method) {
+			fp = xhash.Mix(fp, uint64(c))
+		}
+		s.delivFP ^= xhash.Ints(fp, op.In.Args)
 		var out spec.Output
 		switch s.mode {
 		case ModeCC, ModePC:
@@ -488,4 +704,7 @@ func (s *Station) Close() {
 	s.closed = true
 	s.batchMu.Unlock()
 	s.Flush()
+	if s.ae != nil {
+		s.ae.Stop()
+	}
 }

@@ -8,7 +8,9 @@ package net
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 )
 
 // Handler consumes a message delivered to a process. Handlers of a
@@ -40,6 +42,13 @@ type Transport interface {
 // never blocks (asynchronous system) and every method is safe against
 // every other concurrently — including Close, which the serving layer
 // exercises under full load.
+//
+// Live also carries the fault-injection surface the chaos harness
+// drives: Partition/Heal cut and restore links, Restart revives a
+// crashed process, and SetLinkFault adds per-link delay/jitter/drop.
+// Every injected fault is a legal behavior of the paper's asynchronous
+// system (arbitrary finite delays, message loss on cut links, crash-
+// stop) — the fault API only makes the adversary schedulable.
 type Live struct {
 	n      int
 	mu     sync.Mutex
@@ -47,9 +56,19 @@ type Live struct {
 	boxes  []*mailbox
 	hs     []Handler
 	dead   []bool
+	cut    map[[2]int]bool      // severed links (both directions recorded)
+	faults map[[2]int]linkFault // per-link delay/jitter/drop
+	rng    *rand.Rand           // drop/jitter draws, guarded by mu
 	inFly  int
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// linkFault is the per-link degradation applied to Send.
+type linkFault struct {
+	delay  time.Duration
+	jitter time.Duration
+	drop   float64
 }
 
 type liveMsg struct {
@@ -128,10 +147,13 @@ func (b *mailbox) drain(terminal bool) int {
 // NewLive creates a live transport for n processes.
 func NewLive(n int) *Live {
 	l := &Live{
-		n:     n,
-		boxes: make([]*mailbox, n),
-		hs:    make([]Handler, n),
-		dead:  make([]bool, n),
+		n:      n,
+		boxes:  make([]*mailbox, n),
+		hs:     make([]Handler, n),
+		dead:   make([]bool, n),
+		cut:    make(map[[2]int]bool),
+		faults: make(map[[2]int]linkFault),
+		rng:    rand.New(rand.NewSource(1)),
 	}
 	l.idle = sync.NewCond(&l.mu)
 	for i := range l.boxes {
@@ -189,19 +211,110 @@ func (l *Live) settle(k int) {
 // Send implements Transport. It never blocks and never panics: a
 // message racing a concurrent Close or Crash of the destination is
 // silently discarded, exactly as if it were dropped in flight.
+// Messages on a cut link are dropped (a partition is message loss);
+// a faulted link may drop the message or defer its delivery.
 func (l *Live) Send(from, to int, payload any) {
 	l.mu.Lock()
-	if l.closed || l.dead[from] || l.dead[to] {
+	if l.closed || l.dead[from] || l.dead[to] || l.cut[[2]int{from, to}] {
 		l.mu.Unlock()
 		return
 	}
+	var lag time.Duration
+	if f, ok := l.faults[[2]int{from, to}]; ok {
+		if f.drop > 0 && l.rng.Float64() < f.drop {
+			l.mu.Unlock()
+			return
+		}
+		lag = f.delay
+		if f.jitter > 0 {
+			lag += time.Duration(l.rng.Int63n(int64(f.jitter)))
+		}
+	}
 	l.inFly++
 	l.mu.Unlock()
+	if lag > 0 {
+		// A delayed message stays in flight (Quiesce waits for it); it
+		// re-checks liveness at delivery time, so a crash or cut that
+		// lands during the lag drops it exactly like an in-network loss.
+		time.AfterFunc(lag, func() {
+			l.mu.Lock()
+			dropped := l.closed || l.dead[from] || l.dead[to] || l.cut[[2]int{from, to}]
+			l.mu.Unlock()
+			if dropped || !l.boxes[to].push(liveMsg{from: from, payload: payload}) {
+				l.settle(1)
+			}
+		})
+		return
+	}
 	if !l.boxes[to].push(liveMsg{from: from, payload: payload}) {
 		// Lost the race with Close: the message is dropped, so it must
 		// leave the in-flight count or Quiesce would hang.
 		l.settle(1)
 	}
+}
+
+// Partition cuts both directions of every link between group a and
+// group b. Messages already queued at a destination are delivered
+// (they were "in the network" before the cut); messages sent across a
+// cut link are lost, exactly as the asynchronous model allows. Cuts
+// accumulate across calls; Heal removes them all.
+func (l *Live) Partition(a, b []int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range a {
+		for _, q := range b {
+			l.cut[[2]int{p, q}] = true
+			l.cut[[2]int{q, p}] = true
+		}
+	}
+}
+
+// Heal removes every partition cut. It does not resurrect lost
+// messages — recovering them is the anti-entropy layer's job.
+func (l *Live) Heal() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cut = make(map[[2]int]bool)
+}
+
+// Partitioned reports whether the from→to link is currently cut.
+func (l *Live) Partitioned(from, to int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cut[[2]int{from, to}]
+}
+
+// SetLinkFault degrades the from→to link: every message waits delay
+// plus a uniform draw in [0, jitter), and is dropped with probability
+// drop. Zero values clear the fault. Degraded links model the slow,
+// lossy paths a real deployment sees without a full partition.
+func (l *Live) SetLinkFault(from, to int, delay, jitter time.Duration, drop float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := [2]int{from, to}
+	if delay <= 0 && jitter <= 0 && drop <= 0 {
+		delete(l.faults, k)
+		return
+	}
+	l.faults[k] = linkFault{delay: delay, jitter: jitter, drop: drop}
+}
+
+// ClearLinkFaults removes every per-link delay/jitter/drop fault.
+func (l *Live) ClearLinkFaults() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.faults = make(map[[2]int]linkFault)
+}
+
+// Restart revives a crashed process: it receives messages again from
+// the moment of the call. Its pre-crash backlog stays lost (Crash
+// discarded it) and nothing is replayed — a restarted process
+// resynchronizes through the replication layer above (gossip rounds
+// or an explicit resync), not through the transport.
+func (l *Live) Restart(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dead[id] = false
 }
 
 // Crash implements Transport. The process's queued messages are

@@ -138,6 +138,144 @@ func TestLiveQuiesceDuringClose(t *testing.T) {
 	}
 }
 
+// TestLiveChaosCycle hammers the fault-injection surface under the
+// race detector: concurrent senders race repeated partition/heal and
+// crash/restart cycles plus link-fault churn. The transport must
+// neither panic nor corrupt its in-flight accounting (Quiesce must
+// return), and after the final heal+restart every link must carry
+// messages again.
+func TestLiveChaosCycle(t *testing.T) {
+	const n = 6
+	lv := net.NewLive(n)
+	defer lv.Close()
+	var handled [n]atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		lv.Register(i, func(int, any) { handled[i].Add(1) })
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lv.Send(s, (s+1+i)%n, i)
+			}
+		}(s)
+	}
+	for cycle := 0; cycle < 30; cycle++ {
+		lv.Partition([]int{0, 1, 2}, []int{3, 4, 5})
+		lv.SetLinkFault(0, 1, 50*time.Microsecond, 20*time.Microsecond, 0.2)
+		victim := 3 + cycle%3
+		lv.Crash(victim)
+		if !lv.Crashed(victim) {
+			t.Fatalf("cycle %d: Crashed(%d) = false after Crash", cycle, victim)
+		}
+		if !lv.Partitioned(0, 3) {
+			t.Fatalf("cycle %d: Partitioned(0,3) = false after Partition", cycle)
+		}
+		lv.Restart(victim)
+		lv.ClearLinkFaults()
+		lv.Heal()
+		if lv.Partitioned(0, 3) {
+			t.Fatalf("cycle %d: Partitioned(0,3) = true after Heal", cycle)
+		}
+		if lv.Crashed(victim) {
+			t.Fatalf("cycle %d: Crashed(%d) = true after Restart", cycle, victim)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	lv.Quiesce()
+	// Healed and restarted: every process must be reachable again.
+	before := [n]int64{}
+	for i := 0; i < n; i++ {
+		before[i] = handled[i].Load()
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				lv.Send(s, d, "post-heal")
+			}
+		}
+	}
+	lv.Quiesce()
+	for i := 0; i < n; i++ {
+		if handled[i].Load() != before[i]+int64(n-1) {
+			t.Fatalf("process %d handled %d post-heal messages, want %d",
+				i, handled[i].Load()-before[i], n-1)
+		}
+	}
+}
+
+// TestLivePartitionDropsAcross pins the partition semantics: messages
+// across the cut are dropped (without wedging Quiesce), messages
+// within a side flow, and Heal restores the cut links.
+func TestLivePartitionDropsAcross(t *testing.T) {
+	lv := net.NewLive(4)
+	defer lv.Close()
+	var handled [4]atomic.Int64
+	for i := 0; i < 4; i++ {
+		i := i
+		lv.Register(i, func(int, any) { handled[i].Add(1) })
+	}
+	lv.Partition([]int{0, 1}, []int{2, 3})
+	lv.Send(0, 2, "cut")    // dropped
+	lv.Send(2, 0, "cut")    // dropped
+	lv.Send(0, 1, "intact") // delivered
+	lv.Send(2, 3, "intact") // delivered
+	lv.Quiesce()
+	if got := handled[2].Load(); got != 0 {
+		t.Fatalf("process 2 handled %d messages across the cut, want 0", got)
+	}
+	if got := handled[1].Load(); got != 1 {
+		t.Fatalf("process 1 handled %d messages within its side, want 1", got)
+	}
+	lv.Heal()
+	lv.Send(0, 2, "healed")
+	lv.Quiesce()
+	if got := handled[2].Load(); got != 1 {
+		t.Fatalf("process 2 handled %d messages after heal, want 1", got)
+	}
+}
+
+// TestLiveLinkFaultDropAll pins drop=1.0: the link loses everything
+// while the reverse direction still delivers, and ClearLinkFaults
+// restores it.
+func TestLiveLinkFaultDropAll(t *testing.T) {
+	lv := net.NewLive(2)
+	defer lv.Close()
+	var handled [2]atomic.Int64
+	for i := 0; i < 2; i++ {
+		i := i
+		lv.Register(i, func(int, any) { handled[i].Add(1) })
+	}
+	lv.SetLinkFault(0, 1, 0, 0, 1.0)
+	for i := 0; i < 20; i++ {
+		lv.Send(0, 1, i)
+		lv.Send(1, 0, i)
+	}
+	lv.Quiesce()
+	if got := handled[1].Load(); got != 0 {
+		t.Fatalf("faulted link delivered %d messages, want 0", got)
+	}
+	if got := handled[0].Load(); got != 20 {
+		t.Fatalf("reverse link delivered %d messages, want 20", got)
+	}
+	lv.ClearLinkFaults()
+	lv.Send(0, 1, "restored")
+	lv.Quiesce()
+	if got := handled[1].Load(); got != 1 {
+		t.Fatalf("cleared link delivered %d messages, want 1", got)
+	}
+}
+
 // TestLiveCrashDropsBacklog pins the crash semantics under load: a
 // crashed process's queued messages are discarded, not handled.
 func TestLiveCrashDropsBacklog(t *testing.T) {

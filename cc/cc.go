@@ -17,12 +17,16 @@
 //     the streaming batch classifier.
 //   - cc/cluster: the serving runtime — a sharded replicated object
 //     store with pluggable replication backends ("broadcast" or
-//     anti-entropy gossip, Config.Replication), scripted fault
-//     injection (partition/heal, crash/restart, link degradation via
-//     ApplyFault), convergence fingerprints, and an online monitor
-//     streaming live windows into the checkers.
+//     anti-entropy gossip, Config.Replication), elastic topology
+//     (objects placed on a bounded-load consistent-hash ring;
+//     AddShard/DrainShard migrate them live without breaking causal
+//     session guarantees), scripted fault injection (partition/heal,
+//     crash/restart, link degradation via ApplyFault), convergence
+//     fingerprints, and an online monitor streaming live windows into
+//     the checkers.
 //   - cc/cluster/wire: the versioned wire protocol — request/response
-//     structs, typed error codes with pinned HTTP statuses, fault and
+//     structs, typed error codes with pinned HTTP statuses, fault,
+//     ring-topology (epoch'd placement; stale_ring redirects), and
 //     readiness messages.
 //   - cc/client: the client SDK — sessions, futures, batching, and
 //     self-healing (bounded jittered retry, per-session failover that
@@ -51,7 +55,7 @@ import (
 // follows the usual compatibility contract: exported identifiers are
 // only added, never removed or re-typed, within a major version (the
 // API-lock test pins the surface).
-const Version = "v0.5.0"
+const Version = "v0.6.0"
 
 // The sequential-specification model (Sec. 2.1 of the paper): an ADT
 // is a deterministic transition system over immutable states, an

@@ -225,9 +225,18 @@ func (b *batcher) send(req *wire.BatchRequest, sent [][]batchOp, sessions []int)
 				}
 			}
 		}
+		if b.cli != nil {
+			req.Epoch = b.cli.ringEpoch.Load()
+		}
 		resp, err = b.tr.Batch(context.Background(), req)
 		if err == nil || !retryable(err) {
 			break
+		}
+		if isStaleRing(err) {
+			// Topology change, not a replica failure: refresh the ring and
+			// retry with the current epoch (the batch never ran).
+			b.cli.refreshRing(context.Background())
+			continue
 		}
 		for _, sess := range sessions {
 			b.cli.noteFailure(sess, err)

@@ -96,10 +96,16 @@ type Client struct {
 	// self-healing option is set.
 	heal     healConfig
 	replicas atomic.Int32
-	healMu   sync.Mutex
-	sessHeal map[int]*healState
-	breakers map[int]*breaker
-	met      metCounters
+	// ringEpoch caches the server's ring epoch once Ring has been
+	// called (0 = never fetched: requests carry no epoch and the server
+	// serves them unconditionally). Requests echo it so the server can
+	// answer CodeStaleRing when the topology moves on; the retry path
+	// then refreshes the ring and re-attempts transparently.
+	ringEpoch atomic.Int64
+	healMu    sync.Mutex
+	sessHeal  map[int]*healState
+	breakers  map[int]*breaker
+	met       metCounters
 
 	mu     sync.Mutex
 	seq    map[int]*seqState // per-session FIFO for unbatched async ops
@@ -179,6 +185,34 @@ func (c *Client) Health(ctx context.Context) (*wire.HealthzResponse, error) {
 		return nil, err
 	}
 	return h, protocolCheck(h)
+}
+
+// Ring fetches the server's consistent-hash ring description —
+// topology, per-shard loads, current epoch — and caches the epoch:
+// from then on the client's requests carry it, so a topology change
+// (shard added or drained) surfaces as a stale-ring redirect that the
+// retry machinery answers with a refresh instead of the client
+// silently routing on a dead view.
+func (c *Client) Ring(ctx context.Context) (*wire.RingResponse, error) {
+	r, err := c.tr.Ring(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.ringEpoch.Store(r.Epoch)
+	return r, nil
+}
+
+// refreshRing re-learns the ring after a stale-ring redirect. If the
+// fetch fails the cached epoch resets to 0 — serve unconditionally —
+// so the client degrades to epoch-less requests rather than wedging
+// on a topology it can no longer describe.
+func (c *Client) refreshRing(ctx context.Context) {
+	r, err := c.tr.Ring(ctx)
+	if err != nil {
+		c.ringEpoch.Store(0)
+		return
+	}
+	c.ringEpoch.Store(r.Epoch)
 }
 
 // Stats snapshots the cluster's activity counters.

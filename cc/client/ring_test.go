@@ -1,0 +1,127 @@
+package client_test
+
+// The stale-ring redirect: a client that cached the placement ring
+// keeps working transparently across a server-side topology change.
+// Its next request carries the old epoch, the server answers the
+// typed stale_ring error, and the SDK refreshes the ring and retries
+// — the caller sees only a successful call (plus a retry in the
+// metrics), never the redirect.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/client"
+	"github.com/paper-repro/ccbm/cc/cluster"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+func TestStaleRingRedirect(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Shards: 2, Replicas: 3, Criterion: "CCv", BatchOps: 4,
+		Monitor: cluster.MonitorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli, err := client.New(client.NewLoopback(c),
+		client.WithRetry(4, time.Millisecond, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx := context.Background()
+	var names []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		if err := cli.CreateObject(ctx, name, "Counter"); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	ring, err := cli.Ring(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Epoch == 0 || ring.Protocol != wire.ProtocolVersion {
+		t.Fatalf("ring handshake: %+v", ring)
+	}
+	s := cli.Session(0)
+	for _, name := range names {
+		if _, err := s.Call(ctx, name, "inc", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Topology change behind the client's back: its cached epoch is now
+	// stale, so the next invoke is redirected and must self-heal.
+	if _, err := c.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		out, err := s.Call(ctx, name, "get")
+		if err != nil {
+			t.Fatalf("%s after rebalance: %v", name, err)
+		}
+		if !out.Equal(cc.IntOutput(1)) {
+			t.Fatalf("%s reads %v after rebalance, want 1", name, out)
+		}
+	}
+	if got := cli.Metrics().Retries; got < 1 {
+		t.Fatalf("no retry recorded across the stale-ring redirect (retries=%d)", got)
+	}
+	refreshed, err := cli.Ring(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refreshed.Epoch != ring.Epoch+1 {
+		t.Fatalf("ring epoch %d after AddShard, want %d", refreshed.Epoch, ring.Epoch+1)
+	}
+}
+
+// TestStaleRingWithoutEpochCheck pins back-compat: a client that never
+// fetched the ring sends epoch 0, which the server must not reject —
+// epoch checking is opt-in by handshake.
+func TestStaleRingWithoutEpochCheck(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Shards: 2, Replicas: 3, Criterion: "CC",
+		Monitor: cluster.MonitorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli, err := client.New(client.NewLoopback(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+	if err := cli.CreateObject(ctx, "o", "Counter"); err != nil {
+		t.Fatal(err)
+	}
+	s := cli.Session(0)
+	if _, err := s.Call(ctx, "o", "inc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	// No Ring() handshake, no retry option: the call must still succeed
+	// on the first attempt (epoch 0 bypasses the check).
+	out, err := s.Call(ctx, "o", "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(cc.IntOutput(1)) {
+		t.Fatalf("read %v, want 1", out)
+	}
+	if got := cli.Metrics().Retries; got != 0 {
+		t.Fatalf("epoch-less client retried %d times", got)
+	}
+}

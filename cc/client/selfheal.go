@@ -172,17 +172,19 @@ func (c *Client) backoff(attempt int) time.Duration {
 
 // retryable classifies an error as worth another attempt: the typed
 // retry codes (unavailable — drain, crash-stop, frontier timeout —
-// and conflict, which a racing create resolves), and transport-level
-// failures (connection refused, reset) where the op may not have
-// reached a serving replica. Context cancellation and a closed client
-// are the caller's decision, never retried.
+// conflict, which a racing create resolves, and stale_ring, which a
+// ring refresh resolves), and transport-level failures (connection
+// refused, reset) where the op may not have reached a serving
+// replica. Context cancellation and a closed client are the caller's
+// decision, never retried.
 func retryable(err error) bool {
 	if err == nil {
 		return false
 	}
 	var we *wire.Error
 	if errors.As(err, &we) {
-		return we.Code == wire.CodeUnavailable || we.Code == wire.CodeConflict
+		return we.Code == wire.CodeUnavailable || we.Code == wire.CodeConflict ||
+			we.Code == wire.CodeStaleRing
 	}
 	return !errors.Is(err, ErrClosed) &&
 		!errors.Is(err, context.Canceled) &&
@@ -190,7 +192,8 @@ func retryable(err error) bool {
 }
 
 // breakerWorthy is the subset of retryable failures that indict the
-// replica itself (a conflict is a data race, not a dead replica).
+// replica itself (a conflict is a data race, a stale ring a topology
+// change — neither means a dead replica).
 func breakerWorthy(err error) bool {
 	var we *wire.Error
 	if errors.As(err, &we) {
@@ -427,6 +430,7 @@ func (c *Client) invokeHealed(ctx context.Context, sess int, req *wire.InvokeReq
 			return nil, fastErr
 		}
 		req.Replica, req.Frontiers = rep, fronts
+		req.Epoch = c.ringEpoch.Load()
 		resp, err := c.tr.Invoke(ctx, req)
 		if err == nil {
 			var fs []wire.ShardFrontier
@@ -441,8 +445,19 @@ func (c *Client) invokeHealed(ctx context.Context, sess int, req *wire.InvokeReq
 		if !retryable(err) {
 			return nil, err
 		}
+		if isStaleRing(err) {
+			// The topology moved on under us: refresh the ring before the
+			// next attempt so it carries the current epoch.
+			c.refreshRing(ctx)
+		}
 	}
 	return nil, last
+}
+
+// isStaleRing reports whether the error is the stale-ring redirect.
+func isStaleRing(err error) bool {
+	var we *wire.Error
+	return errors.As(err, &we) && we.Code == wire.CodeStaleRing
 }
 
 // Fault injects one scripted fault into the cluster (partition, heal,

@@ -57,6 +57,9 @@ func (f *fakeTransport) Batch(context.Context, *wire.BatchRequest) (*wire.BatchR
 }
 func (f *fakeTransport) Crash(context.Context, *wire.CrashRequest) error { return nil }
 func (f *fakeTransport) Fault(context.Context, *wire.FaultRequest) error { return nil }
+func (f *fakeTransport) Ring(context.Context) (*wire.RingResponse, error) {
+	return &wire.RingResponse{Epoch: 1, Protocol: wire.ProtocolVersion}, nil
+}
 func (f *fakeTransport) Stats(context.Context) (*wire.StatsResponse, error) {
 	return &wire.StatsResponse{}, nil
 }

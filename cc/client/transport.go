@@ -27,6 +27,9 @@ type Transport interface {
 	// Fault injects one scripted fault (partition/heal/crash/restart,
 	// per-link degradation) — the chaos harness's control channel.
 	Fault(ctx context.Context, req *wire.FaultRequest) error
+	// Ring fetches the server's consistent-hash ring description:
+	// topology, per-shard loads, and the current ring epoch.
+	Ring(ctx context.Context) (*wire.RingResponse, error)
 	Stats(ctx context.Context) (*wire.StatsResponse, error)
 	Monitor(ctx context.Context, verdicts bool) (*wire.MonitorResponse, error)
 	// MonitorStream subscribes to the monitor's verdict stream: every
@@ -174,6 +177,14 @@ func (t *HTTPTransport) Readyz(ctx context.Context) (*wire.ReadyzResponse, error
 	return nil, wire.Errf(wire.CodeForStatus(resp.StatusCode), "http %s", resp.Status)
 }
 
+func (t *HTTPTransport) Ring(ctx context.Context) (*wire.RingResponse, error) {
+	var resp wire.RingResponse
+	if err := t.roundTrip(ctx, http.MethodGet, "/ring", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 func (t *HTTPTransport) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 	var resp wire.StatsResponse
 	if err := t.roundTrip(ctx, http.MethodGet, "/stats", nil, &resp); err != nil {
@@ -297,6 +308,10 @@ func (l *Loopback) Fault(_ context.Context, req *wire.FaultRequest) error {
 func (l *Loopback) Readyz(context.Context) (*wire.ReadyzResponse, error) {
 	draining := l.c.Draining()
 	return &wire.ReadyzResponse{Ready: !draining, Draining: draining, Protocol: wire.ProtocolVersion}, nil
+}
+
+func (l *Loopback) Ring(context.Context) (*wire.RingResponse, error) {
+	return l.c.RingWire(), nil
 }
 
 func (l *Loopback) Stats(context.Context) (*wire.StatsResponse, error) {

@@ -1,0 +1,137 @@
+package cluster_test
+
+// Pins for the two serving-path fixes that rode along with elastic
+// sharding: ReadAny's per-shard round-robin must spread queries
+// uniformly (the old shared counter skewed under multi-shard
+// interleaving), and AwaitConvergence must behave sanely at both ends
+// of the timeout range (fast nil when already converged, prompt typed
+// error when convergence is impossible).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/cluster"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+// TestReadAnyUniformSpread drives ReadAny queries at objects on every
+// shard and asserts each shard's replicas served an equal share —
+// round-robin must stay uniform per shard even when queries interleave
+// across shards.
+func TestReadAnyUniformSpread(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Shards: 2, Replicas: 3, Criterion: "CC", BatchOps: 1,
+		Monitor: cluster.MonitorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var names []string
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		if err := c.CreateObject(name, "Counter"); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	s := c.Session(0)
+	for _, name := range names {
+		if _, err := s.Call(name, "inc", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ReadAny trades read-your-writes for spread; converge first so
+	// every replica answers 1.
+	if err := c.AwaitConvergence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 120
+	for i := 0; i < rounds; i++ {
+		// Interleave shards on purpose: cycling the object list
+		// alternates which shard the next ReadAny lands on.
+		name := names[i%len(names)]
+		out, err := s.InvokeTarget(name, cc.NewInput("get"), wire.ReadAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(cc.IntOutput(1)) {
+			t.Fatalf("ReadAny on %s read %v, want 1", name, out)
+		}
+	}
+	for si, sh := range c.Stats().Shards {
+		var min, max int64 = 1 << 62, 0
+		for _, st := range sh.Stations {
+			if st.Queries < min {
+				min = st.Queries
+			}
+			if st.Queries > max {
+				max = st.Queries
+			}
+		}
+		// Perfect round-robin within a shard differs by at most one
+		// query between replicas; allow one more for the crash-skip path.
+		if max-min > 2 {
+			t.Errorf("shard %d ReadAny skew: replica queries range %d..%d", si, min, max)
+		}
+		if max == 0 {
+			t.Errorf("shard %d served no queries", si)
+		}
+	}
+}
+
+// TestAwaitConvergenceTimeoutBehavior pins the backoff rework: an
+// already-converged cluster returns nil fast even at a sub-2ms timeout
+// (where the mid-flight re-kick is skipped entirely), and a cluster
+// that cannot converge (partition, no resync history) reports the
+// typed failure promptly after the bound instead of hanging.
+func TestAwaitConvergenceTimeoutBehavior(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Shards: 1, Replicas: 3, Criterion: "CC", BatchOps: 1,
+		Monitor: cluster.MonitorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateObject("o", "Counter"); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Session(0)
+	if _, err := s.Call("o", "inc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitConvergence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := c.AwaitConvergence(time.Millisecond); err != nil {
+		t.Fatalf("converged cluster failed a 1ms wait: %v", err)
+	}
+	if d := time.Since(t0); d > 100*time.Millisecond {
+		t.Fatalf("converged fast path took %v", d)
+	}
+
+	// Isolate the pinned replica and diverge it; without resync history
+	// the cluster cannot converge, so the wait must fail at ~timeout.
+	if err := c.PartitionReplicas(0, [][]int{{0}, {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Call("o", "inc", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t0 = time.Now()
+	err = c.AwaitConvergence(200 * time.Millisecond)
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("diverged partitioned cluster reported convergence")
+	}
+	if elapsed < 200*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("failed wait took %v, want ~200ms bound", elapsed)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/paper-repro/ccbm/cc"
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
 	"github.com/paper-repro/ccbm/internal/core"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // WireError classifies a cluster error into its typed wire form: a
@@ -72,13 +73,13 @@ func validateInput(t cc.ADT, in cc.Input) (err error) {
 // exactly the weak read ReadAny buys — but fault-stopped replicas are
 // skipped: they refuse service outright, and routing a weak read into
 // a guaranteed error helps no one).
-func (c *Cluster) station(o *object, affinity int, target wire.ReadTarget, isUpdate bool) *core.Station {
-	sts := c.shards[o.shard].stations
+func (c *Cluster) station(sh *shard, affinity int, target wire.ReadTarget, isUpdate bool) *core.Station {
+	sts := sh.stations
 	if isUpdate || target != wire.ReadAny {
 		return sts[affinity]
 	}
 	for range sts {
-		st := sts[int(c.rr.Add(1)%uint32(len(sts)))]
+		st := sts[int(sh.rr.Add(1)%uint32(len(sts)))]
 		if !st.Down() {
 			return st
 		}
@@ -94,30 +95,48 @@ func (c *Cluster) station(o *object, affinity int, target wire.ReadTarget, isUpd
 // monitored history. Updates always run at the pinned replica
 // regardless of target (program order is not negotiable).
 func (s *Session) InvokeTarget(object string, in cc.Input, target wire.ReadTarget) (cc.Output, error) {
+	out, _, err := s.invokeTarget(object, in, target)
+	return out, err
+}
+
+// invokeTarget is InvokeTarget plus the shard index the operation ran
+// on — the wire layer echoes a frontier for that shard, and reading it
+// under the object's gate is the only race-free way to learn it (a
+// migration may flip o.shard the instant the gate releases).
+func (s *Session) invokeTarget(object string, in cc.Input, target wire.ReadTarget) (cc.Output, int, error) {
 	if !target.Valid() {
-		return cc.Output{}, fmt.Errorf("cluster: unknown read target %q", target)
+		return cc.Output{}, 0, fmt.Errorf("cluster: unknown read target %q", target)
 	}
 	c := s.c
 	c.mu.RLock()
 	o, ok := c.objects[object]
 	c.mu.RUnlock()
 	if !ok {
-		return cc.Output{}, fmt.Errorf("%w %q", ErrUnknownObject, object)
+		return cc.Output{}, 0, fmt.Errorf("%w %q", ErrUnknownObject, object)
 	}
 	if err := validateInput(o.t, in); err != nil {
-		return cc.Output{}, err
+		return cc.Output{}, 0, err
 	}
 	isUpdate := o.t.IsUpdate(in)
-	st := c.station(o, s.replica, target, isUpdate)
+	// The gate's read side pins the object to its shard for the whole
+	// invocation: a concurrent migration blocks (and queues every later
+	// arrival) until the operation has fully submitted, so nothing slips
+	// between the quiescence snapshot and the snapshot shipping.
+	o.gate.RLock()
+	shardIdx := o.shard
+	st := c.station(c.shardList()[shardIdx], s.replica, target, isUpdate)
 	if o.rec == nil || (!isUpdate && target == wire.ReadAny) {
-		return st.Invoke(object, in)
+		out, err := st.Invoke(object, in)
+		o.gate.RUnlock()
+		return out, shardIdx, err
 	}
 	inv := time.Since(c.start).Seconds()
 	out, err := st.Invoke(object, in)
+	o.gate.RUnlock()
 	if err == nil {
 		o.rec.record(s.id, cc.NewOp(in, out), inv, time.Since(c.start).Seconds())
 	}
-	return out, err
+	return out, shardIdx, err
 }
 
 // groupPend is one in-flight update of a batch group.
@@ -138,13 +157,23 @@ type groupPend struct {
 // when the group ends. A failed operation carries its own typed error
 // and does not abort the rest of the group.
 func (s *Session) InvokeGroup(ops []wire.BatchOp, target wire.ReadTarget) []wire.BatchResult {
+	results, _ := s.invokeGroup(ops, target)
+	return results
+}
+
+// invokeGroup is InvokeGroup plus the set of shards the group
+// successfully updated, read under each object's gate at submission
+// time — the wire layer echoes frontiers for those shards, and
+// re-resolving the shard after the fact would race a migration.
+func (s *Session) invokeGroup(ops []wire.BatchOp, target wire.ReadTarget) ([]wire.BatchResult, map[int]bool) {
 	results := make([]wire.BatchResult, len(ops))
+	updated := make(map[int]bool)
 	if !target.Valid() {
 		e := wire.Errf(wire.CodeBadRequest, "unknown read target %q", target)
 		for i := range results {
 			results[i].Err = e
 		}
-		return results
+		return results, updated
 	}
 	c := s.c
 	pending := make(map[*core.Station][]groupPend)
@@ -176,14 +205,22 @@ func (s *Session) InvokeGroup(ops []wire.BatchOp, target wire.ReadTarget) []wire
 			continue
 		}
 		isUpdate := o.t.IsUpdate(in)
-		st := c.station(o, s.replica, target, isUpdate)
+		// Gate held per op: the shard read and the submission are atomic
+		// with respect to migration (see invokeTarget). The pipelined
+		// wait() runs gate-free — the output was recorded at local apply,
+		// which a migration's quiescence already waited for.
+		o.gate.RLock()
+		shardIdx := o.shard
+		st := c.station(c.shardList()[shardIdx], s.replica, target, isUpdate)
 		if isUpdate {
 			inv := time.Since(c.start).Seconds()
 			wait, err := st.InvokeAsync(bop.Object, in)
+			o.gate.RUnlock()
 			if err != nil {
 				results[i].Err = WireError(err)
 				continue
 			}
+			updated[shardIdx] = true
 			pending[st] = append(pending[st], groupPend{idx: i, wait: wait, o: o, in: in, inv: inv})
 			continue
 		}
@@ -197,6 +234,7 @@ func (s *Session) InvokeGroup(ops []wire.BatchOp, target wire.ReadTarget) []wire
 		}
 		inv := time.Since(c.start).Seconds()
 		out, err := st.Invoke(bop.Object, in)
+		o.gate.RUnlock()
 		if err != nil {
 			results[i].Err = WireError(err)
 			continue
@@ -209,7 +247,7 @@ func (s *Session) InvokeGroup(ops []wire.BatchOp, target wire.ReadTarget) []wire
 	for st := range pending {
 		resolve(st)
 	}
-	return results
+	return results, updated
 }
 
 // frontierWait bounds how long a request carrying a session frontier
@@ -233,6 +271,20 @@ func (c *Cluster) sessionFor(id int, replica *int, frontiers []wire.ShardFrontie
 		s.replica = *replica
 	}
 	for _, f := range frontiers {
+		// A frontier naming a drained shard is answered from the recorded
+		// handoff frontier: everything up to the handoff is baked into the
+		// snapshots the migration shipped, so a dominated frontier is
+		// satisfied everywhere the objects now live; anything beyond it
+		// cannot exist (the shard quiesced before it closed), so a
+		// non-dominated frontier is a stale client retrying forever —
+		// refuse it retryably and let the ring refresh reroute it.
+		if final, drained := c.drainedFrontier(f.Shard); drained {
+			if vclock.VC(f.VC).LessEq(final) {
+				continue
+			}
+			return nil, wire.Errf(wire.CodeUnavailable,
+				"shard %d drained behind the session frontier", f.Shard)
+		}
 		st := c.frontierStation(f.Shard, s.replica)
 		if st == nil {
 			return nil, wire.Errf(wire.CodeBadRequest, "frontier names no shard %d", f.Shard)
@@ -259,15 +311,33 @@ func (c *Cluster) frontier(shardIdx, replica int) *wire.ShardFrontier {
 	return &wire.ShardFrontier{Shard: shardIdx, VC: vc}
 }
 
+// checkEpoch rejects a request carrying a stale ring epoch with the
+// retryable redirect (CodeStaleRing): the client refreshes its ring
+// view (GET /v1/ring) and retries. Epoch 0 means "no epoch attached"
+// — pre-elastic clients keep working, they just never learn about
+// topology changes proactively.
+func (c *Cluster) checkEpoch(epoch int64) *wire.Error {
+	if epoch == 0 {
+		return nil
+	}
+	if cur := c.epoch.Load(); epoch != cur {
+		return wire.Errf(wire.CodeStaleRing, "ring epoch %d is stale (current %d)", epoch, cur)
+	}
+	return nil
+}
+
 // InvokeWire executes one wire invocation — the single-op entry point
 // shared by the HTTP front-end and the loopback transport.
 func (c *Cluster) InvokeWire(req *wire.InvokeRequest) (*wire.InvokeResponse, *wire.Error) {
+	if e := c.checkEpoch(req.Epoch); e != nil {
+		return nil, e
+	}
 	s, e := c.sessionFor(req.Session, req.Replica, req.Frontiers)
 	if e != nil {
 		return nil, e
 	}
 	in := cc.NewInput(req.Method, req.Args...)
-	out, err := s.InvokeTarget(req.Object, in, req.Target)
+	out, shardIdx, err := s.invokeTarget(req.Object, in, req.Target)
 	if err != nil {
 		return nil, WireError(err)
 	}
@@ -279,7 +349,9 @@ func (c *Cluster) InvokeWire(req *wire.InvokeRequest) (*wire.InvokeResponse, *wi
 		// Echo the frontier reached after the update applied locally: a
 		// conservative snapshot (it may include concurrent deliveries),
 		// which only ever makes a failover wait longer, never unsound.
-		resp.Frontier = c.frontier(o.shard, s.replica)
+		// The shard is the one the op actually ran on (read under the
+		// object's gate) — o.shard may already point elsewhere.
+		resp.Frontier = c.frontier(shardIdx, s.replica)
 	}
 	return resp, nil
 }
@@ -291,6 +363,9 @@ func (c *Cluster) InvokeWire(req *wire.InvokeRequest) (*wire.InvokeResponse, *wi
 // most one group — two groups would race one session's program order,
 // so duplicates are rejected outright.
 func (c *Cluster) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchResponse, *wire.Error) {
+	if e := c.checkEpoch(req.Epoch); e != nil {
+		return nil, e
+	}
 	if len(req.Groups) == 0 {
 		return nil, wire.Errf(wire.CodeBadRequest, "batch has no groups")
 	}
@@ -322,11 +397,11 @@ func (c *Cluster) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchResponse, *wi
 				resp.Groups[i] = wire.BatchGroupResult{Session: g.Session, Results: results}
 				return
 			}
-			results := s.InvokeGroup(g.Ops, g.Target)
+			results, updated := s.invokeGroup(g.Ops, g.Target)
 			resp.Groups[i] = wire.BatchGroupResult{
 				Session:   g.Session,
 				Results:   results,
-				Frontiers: c.groupFrontiers(s, g.Ops, results),
+				Frontiers: c.groupFrontiers(s, updated),
 			}
 		}(i, g)
 	}
@@ -336,22 +411,13 @@ func (c *Cluster) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchResponse, *wi
 
 // groupFrontiers reads the serving replica's causal frontier for
 // every shard the group successfully updated (empty in criteria with
-// no frontier), sorted by shard for a stable wire form.
-func (c *Cluster) groupFrontiers(s *Session, ops []wire.BatchOp, results []wire.BatchResult) []wire.ShardFrontier {
-	shards := make(map[int]bool)
-	for i, op := range ops {
-		if results[i].Err != nil {
-			continue
-		}
-		c.mu.RLock()
-		o := c.objects[op.Object]
-		c.mu.RUnlock()
-		if o != nil && o.t.IsUpdate(cc.NewInput(op.Method, op.Args...)) {
-			shards[o.shard] = true
-		}
-	}
+// no frontier), sorted by shard for a stable wire form. The shard set
+// was recorded at submission time under each object's gate, so it
+// names the shards the updates actually ran on even across a
+// concurrent migration.
+func (c *Cluster) groupFrontiers(s *Session, updated map[int]bool) []wire.ShardFrontier {
 	var fs []wire.ShardFrontier
-	for sh := range shards {
+	for sh := range updated {
 		if f := c.frontier(sh, s.replica); f != nil {
 			fs = append(fs, *f)
 		}
@@ -375,7 +441,7 @@ func (c *Cluster) StatsWire() *wire.StatsResponse {
 		BatchedOps:    st.Totals.BatchedOps,
 	}
 	for _, sh := range st.Shards {
-		resp.Shards = append(resp.Shards, wire.ShardStats{Crashed: sh.Crashed, Down: sh.Down})
+		resp.Shards = append(resp.Shards, wire.ShardStats{Crashed: sh.Crashed, Down: sh.Down, Drained: sh.Drained})
 	}
 	return resp
 }

@@ -26,7 +26,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,6 +35,7 @@ import (
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
 	"github.com/paper-repro/ccbm/internal/core"
 	"github.com/paper-repro/ccbm/internal/net"
+	"github.com/paper-repro/ccbm/internal/vclock"
 )
 
 // ErrClosed reports an operation against a cluster that has been
@@ -80,6 +80,18 @@ type Config struct {
 	// (memory grows with the communication history). The anti-entropy
 	// backend always can — its sync state is the log.
 	Resync bool
+	// VirtualNodes is the number of ring positions per shard on the
+	// consistent-hash ring; default 64. More virtual nodes smooth the
+	// hash-space split at the cost of a larger ring.
+	VirtualNodes int
+	// LoadFactor bounds placement imbalance: no shard is assigned more
+	// than ceil(average × LoadFactor) objects (consistent hashing with
+	// bounded loads). Default 1.25; must exceed 1.
+	LoadFactor float64
+	// MigrateTimeout bounds each per-object migration's quiescence wait
+	// during AddShard/DrainShard; past it the migration fails cleanly
+	// and the object keeps serving from its source shard. Default 10s.
+	MigrateTimeout time.Duration
 	// Monitor configures the online consistency monitor.
 	Monitor MonitorConfig
 }
@@ -113,13 +125,48 @@ func (c *Config) fill() error {
 	if c.BatchWait <= 0 {
 		c.BatchWait = 200 * time.Microsecond
 	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 1.25
+	}
+	if c.LoadFactor <= 1 {
+		return fmt.Errorf("cluster: load factor %v must exceed 1", c.LoadFactor)
+	}
+	if c.MigrateTimeout <= 0 {
+		c.MigrateTimeout = 10 * time.Second
+	}
 	return nil
 }
 
-// shard is one replica group over its own transport.
+// shard is one replica group over its own transport. A drained shard
+// keeps its slot in the cluster's shard slice — shard indices stay
+// stable for session frontiers and stats — but its transports are
+// closed and routing never selects it.
 type shard struct {
+	idx      int
 	net      *net.Live
 	stations []*core.Station
+
+	// rr spreads ReadAny queries across this shard's replicas. It is
+	// per-shard deliberately: a cluster-global counter shared by every
+	// shard lets interleaved cross-shard traffic stride over one
+	// shard's replicas unevenly (e.g. two shards × two replicas pins
+	// every ReadAny of each shard to a single replica).
+	rr atomic.Uint32
+
+	drained   atomic.Bool
+	closeOnce sync.Once
+}
+
+func (sh *shard) close() {
+	sh.closeOnce.Do(func() {
+		for _, st := range sh.stations {
+			st.Close()
+		}
+		sh.net.Close()
+	})
 }
 
 // object is the cluster-level record of a named object.
@@ -127,29 +174,48 @@ type object struct {
 	name    string
 	adtName string
 	t       cc.ADT
-	shard   int
 	rec     *objRecorder // non-nil when the monitor sampled it
+
+	// gate freezes the object during migration: every invocation holds
+	// the read side while it reads shard and submits to a station; the
+	// migration holds the write side, so new operations queue (Go's
+	// RWMutex blocks new readers once a writer waits) until the object
+	// has moved. shard is read under the gate (or c.mu for map walks).
+	gate  sync.RWMutex
+	shard int
 }
 
 // Cluster is a live, sharded multi-object service.
 type Cluster struct {
-	cfg    Config
-	mode   core.Mode
-	repl   core.Replication
-	shards []*shard
-	mon    *Monitor
-	start  time.Time
+	cfg   Config
+	mode  core.Mode
+	repl  core.Replication
+	mon   *Monitor
+	start time.Time
 
-	// rr spreads ReadAny queries across a shard's replicas.
-	rr atomic.Uint32
+	// epoch is the ring epoch: starts at 1 and bumps on every topology
+	// change (AddShard, DrainShard). Clients carrying a stale epoch get
+	// a retryable redirect (wire.CodeStaleRing) telling them to refresh.
+	epoch atomic.Int64
 
 	// draining marks a graceful shutdown in progress: /v1/readyz
 	// reports not-ready while in-flight work finishes.
 	draining atomic.Bool
 
+	// rebalMu serializes topology changes (one AddShard/DrainShard at a
+	// time); it is never held while serving traffic.
+	rebalMu sync.Mutex
+
 	mu      sync.RWMutex
+	shards  []*shard // append-only; snapshots via shardList are immutable
+	ring    *ring
 	objects map[string]*object
-	closed  bool
+	// drainFinal records, per drained shard, the final causal frontier
+	// at handoff: a session frontier naming a drained shard is satisfied
+	// iff it is dominated by this value (everything up to it is baked
+	// into the migrated snapshots), and unservable otherwise.
+	drainFinal map[int]vclock.VC
+	closed     bool
 }
 
 // New builds and starts a cluster.
@@ -160,35 +226,61 @@ func New(cfg Config) (*Cluster, error) {
 	mode, _ := core.ParseMode(cfg.Criterion)
 	repl, _ := core.ParseReplication(cfg.Replication)
 	c := &Cluster{
-		cfg:     cfg,
-		mode:    mode,
-		repl:    repl,
-		objects: make(map[string]*object),
-		start:   time.Now(),
+		cfg:        cfg,
+		mode:       mode,
+		repl:       repl,
+		ring:       newRing(cfg.VirtualNodes, cfg.LoadFactor),
+		objects:    make(map[string]*object),
+		drainFinal: make(map[int]vclock.VC),
+		start:      time.Now(),
 	}
+	c.epoch.Store(1)
 	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{net: net.NewLive(cfg.Replicas)}
-		for r := 0; r < cfg.Replicas; r++ {
-			sh.stations = append(sh.stations, core.NewStation(sh.net, r, mode,
-				core.StationConfig{
-					BatchOps:       cfg.BatchOps,
-					BatchWait:      cfg.BatchWait,
-					Replication:    repl,
-					GossipInterval: cfg.GossipInterval,
-					Retain:         cfg.Resync,
-				}))
-		}
-		c.shards = append(c.shards, sh)
+		c.shards = append(c.shards, c.newShard(i))
+		c.ring.addShard(i)
 	}
 	c.mon = newMonitor(cfg.Monitor, cfg.Criterion)
 	return c, nil
 }
 
-// shardOf hashes an object name onto a shard.
-func (c *Cluster) shardOf(name string) int {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return int(h.Sum32() % uint32(len(c.shards)))
+// newShard builds one replica group.
+func (c *Cluster) newShard(idx int) *shard {
+	sh := &shard{idx: idx, net: net.NewLive(c.cfg.Replicas)}
+	for r := 0; r < c.cfg.Replicas; r++ {
+		sh.stations = append(sh.stations, core.NewStation(sh.net, r, c.mode,
+			core.StationConfig{
+				BatchOps:       c.cfg.BatchOps,
+				BatchWait:      c.cfg.BatchWait,
+				Replication:    c.repl,
+				GossipInterval: c.cfg.GossipInterval,
+				Retain:         c.cfg.Resync,
+			}))
+	}
+	return sh
+}
+
+// shardList snapshots the shard slice. The slice is append-only under
+// c.mu (AddShard copies before appending), so a snapshot is immutable
+// and safe to iterate without the lock.
+func (c *Cluster) shardList() []*shard {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shards
+}
+
+// RingEpoch returns the current ring epoch (bumped on every AddShard
+// and DrainShard).
+func (c *Cluster) RingEpoch() int64 { return c.epoch.Load() }
+
+// ObjectShard reports the shard currently hosting the named object.
+func (c *Cluster) ObjectShard(name string) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	o, ok := c.objects[name]
+	if !ok {
+		return 0, false
+	}
+	return o.shard, true
 }
 
 // Criterion returns the configured consistency criterion.
@@ -217,12 +309,17 @@ func (c *Cluster) CreateObject(name, adtName string) error {
 		}
 		return nil
 	}
-	o := &object{name: name, adtName: adtName, t: t, shard: c.shardOf(name)}
-	for _, st := range c.shards[o.shard].stations {
+	target := c.ring.place(name)
+	if target < 0 {
+		return fmt.Errorf("cluster: no shard accepts %q (empty ring)", name)
+	}
+	o := &object{name: name, adtName: adtName, t: t, shard: target}
+	for _, st := range c.shards[target].stations {
 		if err := st.EnsureObject(name, adtName); err != nil {
 			return err
 		}
 	}
+	c.ring.assign(target)
 	o.rec = c.mon.maybeSample(name, t)
 	c.objects[name] = o
 	return nil
@@ -282,13 +379,17 @@ func (s *Session) Call(object, method string, args ...int) (cc.Output, error) {
 // now-partitioned local state (the paper's crash model at serving
 // granularity). There is no heal; crash testing is the point.
 func (c *Cluster) CrashReplica(shardIdx, replica int) error {
-	if shardIdx < 0 || shardIdx >= len(c.shards) {
+	shs := c.shardList()
+	if shardIdx < 0 || shardIdx >= len(shs) {
 		return fmt.Errorf("cluster: no shard %d", shardIdx)
 	}
 	if replica < 0 || replica >= c.cfg.Replicas {
 		return fmt.Errorf("cluster: no replica %d", replica)
 	}
-	c.shards[shardIdx].net.Crash(replica)
+	if shs[shardIdx].drained.Load() {
+		return fmt.Errorf("cluster: shard %d is drained", shardIdx)
+	}
+	shs[shardIdx].net.Crash(replica)
 	return nil
 }
 
@@ -298,7 +399,10 @@ func (c *Cluster) CrashReplica(shardIdx, replica int) error {
 // clusters; other criteria return 0.
 func (c *Cluster) Compact() int {
 	total := 0
-	for _, sh := range c.shards {
+	for _, sh := range c.shardList() {
+		if sh.drained.Load() {
+			continue
+		}
 		for _, st := range sh.stations {
 			total += st.Compact()
 		}
@@ -312,6 +416,7 @@ func (c *Cluster) Compact() int {
 type ShardStats struct {
 	Crashed  []bool
 	Down     []bool
+	Drained  bool
 	Stations []core.StationStats
 }
 
@@ -338,8 +443,8 @@ func (c *Cluster) Stats() Stats {
 		Criteria: c.cfg.Criterion,
 	}
 	s.Totals.Objects = nobj
-	for _, sh := range c.shards {
-		var ss ShardStats
+	for _, sh := range c.shardList() {
+		ss := ShardStats{Drained: sh.drained.Load()}
 		for r, st := range sh.stations {
 			t := st.Stats()
 			ss.Stations = append(ss.Stations, t)
@@ -367,14 +472,10 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
+	shs := c.shards
 	c.mu.Unlock()
-	for _, sh := range c.shards {
-		for _, st := range sh.stations {
-			st.Close()
-		}
-	}
-	for _, sh := range c.shards {
-		sh.net.Close()
+	for _, sh := range shs {
+		sh.close()
 	}
 	c.mon.Close()
 	return nil

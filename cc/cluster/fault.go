@@ -28,18 +28,27 @@ import (
 // index.
 const AllShards = -1
 
-// eachShard runs f over the selected shards (AllShards = every one).
+// eachShard runs f over the selected shards (AllShards = every active
+// one). Drained shards are skipped on AllShards — their transports are
+// gone, there is nothing left to fault — and naming one explicitly is
+// an error.
 func (c *Cluster) eachShard(shardIdx int, f func(*shard)) error {
+	shs := c.shardList()
 	if shardIdx == AllShards {
-		for _, sh := range c.shards {
-			f(sh)
+		for _, sh := range shs {
+			if !sh.drained.Load() {
+				f(sh)
+			}
 		}
 		return nil
 	}
-	if shardIdx < 0 || shardIdx >= len(c.shards) {
+	if shardIdx < 0 || shardIdx >= len(shs) {
 		return fmt.Errorf("cluster: no shard %d", shardIdx)
 	}
-	f(c.shards[shardIdx])
+	if shs[shardIdx].drained.Load() {
+		return fmt.Errorf("cluster: shard %d is drained", shardIdx)
+	}
+	f(shs[shardIdx])
 	return nil
 }
 
@@ -149,10 +158,11 @@ func (c *Cluster) ClearLinkFaults(shardIdx int) error {
 // ReplicaDown reports whether the replica is fault-stopped
 // (StopReplica without a matching RestartReplica).
 func (c *Cluster) ReplicaDown(shardIdx, replica int) bool {
-	if shardIdx < 0 || shardIdx >= len(c.shards) || c.checkReplica(replica) != nil {
+	shs := c.shardList()
+	if shardIdx < 0 || shardIdx >= len(shs) || c.checkReplica(replica) != nil {
 		return false
 	}
-	return c.shards[shardIdx].stations[replica].Down()
+	return shs[shardIdx].stations[replica].Down()
 }
 
 // StartDrain marks a graceful shutdown in progress: /v1/readyz turns
@@ -166,8 +176,9 @@ func (c *Cluster) Draining() bool { return c.draining.Load() }
 // Replicas returns the per-shard replica count.
 func (c *Cluster) Replicas() int { return c.cfg.Replicas }
 
-// Shards returns the shard count.
-func (c *Cluster) Shards() int { return len(c.shards) }
+// Shards returns the shard count, drained slots included (shard
+// indices are stable; see ShardStats.Drained for liveness).
+func (c *Cluster) Shards() int { return len(c.shardList()) }
 
 // Replication returns the canonical name of the dissemination
 // backend ("broadcast" or "antientropy").
@@ -176,9 +187,15 @@ func (c *Cluster) Replication() string { return c.repl.String() }
 // Fingerprints returns, per shard, each replica's state fingerprint
 // (core.Station.Fingerprint): equal values within a shard mean that
 // shard's replicas hold identical states for every object.
+// Drained shards contribute an empty slice, keeping indices aligned.
 func (c *Cluster) Fingerprints() [][]uint64 {
-	fps := make([][]uint64, len(c.shards))
-	for i, sh := range c.shards {
+	shs := c.shardList()
+	fps := make([][]uint64, len(shs))
+	for i, sh := range shs {
+		if sh.drained.Load() {
+			fps[i] = []uint64{}
+			continue
+		}
 		fps[i] = make([]uint64, len(sh.stations))
 		for r, st := range sh.stations {
 			fps[i][r] = st.Fingerprint()
@@ -192,7 +209,10 @@ func (c *Cluster) Fingerprints() [][]uint64 {
 // transport-crashed are excluded — a stopped replica is behind by
 // design until its restart resyncs it.
 func (c *Cluster) Converged() bool {
-	for _, sh := range c.shards {
+	for _, sh := range c.shardList() {
+		if sh.drained.Load() {
+			continue
+		}
 		have := false
 		var fp uint64
 		for r, st := range sh.stations {
@@ -210,14 +230,22 @@ func (c *Cluster) Converged() bool {
 }
 
 // AwaitConvergence flushes every pending batch, triggers the repair
-// path once, and polls until every shard's live replicas agree on
-// every object's state (halfway through the timeout it triggers
+// path once, and polls until every active shard's live replicas agree
+// on every object's state (halfway through the timeout it triggers
 // repair once more, covering a round that raced the flush). It is the
 // chaos harness's post-heal assertion; call it only while traffic is
 // paused — convergence is a quiescent property.
+//
+// The poll backs off exponentially (100µs doubling to a 10ms cap)
+// instead of spinning at a fixed 1ms: on a single-CPU box a tight
+// sleep-poll loop starves the very delivery goroutines it is waiting
+// on, turning the wait it measures into the wait it causes.
 func (c *Cluster) AwaitConvergence(timeout time.Duration) error {
 	resync := func() {
-		for _, sh := range c.shards {
+		for _, sh := range c.shardList() {
+			if sh.drained.Load() {
+				continue
+			}
 			for _, st := range sh.stations {
 				st.Flush()
 				st.Resync()
@@ -225,8 +253,18 @@ func (c *Cluster) AwaitConvergence(timeout time.Duration) error {
 		}
 	}
 	resync()
-	deadline := time.Now().Add(timeout)
-	rekicked := false
+	start := time.Now()
+	deadline := start.Add(timeout)
+	// One mid-flight repair re-kick, at start+timeout/2. The old form —
+	// deadline.Add(-timeout/2) — is the same instant, but combined with
+	// the "not yet rekicked" flag it fired on the FIRST poll for any
+	// timeout short enough that the first wakeup landed past the
+	// midpoint, wasting the one re-kick immediately; anchoring on start
+	// and skipping the re-kick entirely for sub-2ms timeouts (the first
+	// backoff steps alone overshoot such a midpoint) keeps it meaningful.
+	rekickAt := start.Add(timeout / 2)
+	rekicked := timeout < 2*time.Millisecond
+	delay := 100 * time.Microsecond
 	for {
 		if c.Converged() {
 			return nil
@@ -235,21 +273,25 @@ func (c *Cluster) AwaitConvergence(timeout time.Duration) error {
 		if now.After(deadline) {
 			return fmt.Errorf("cluster: replicas not converged after %v", timeout)
 		}
-		if !rekicked && now.After(deadline.Add(-timeout/2)) {
+		if !rekicked && now.After(rekickAt) {
 			rekicked = true
 			resync()
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(delay)
+		if delay < 10*time.Millisecond {
+			delay *= 2
+		}
 	}
 }
 
 // frontierStation resolves one replica of one shard, or nil when out
 // of range — the frontier-wait path's lookup.
 func (c *Cluster) frontierStation(shardIdx, replica int) *core.Station {
-	if shardIdx < 0 || shardIdx >= len(c.shards) || c.checkReplica(replica) != nil {
+	shs := c.shardList()
+	if shardIdx < 0 || shardIdx >= len(shs) || c.checkReplica(replica) != nil {
 		return nil
 	}
-	return c.shards[shardIdx].stations[replica]
+	return shs[shardIdx].stations[replica]
 }
 
 // ApplyFault dispatches one wire-form fault request — the shared

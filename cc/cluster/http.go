@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
 )
@@ -22,6 +23,7 @@ type httpServer struct {
 //	POST /v1/batch           per-session op groups        (wire.BatchRequest → wire.BatchResponse)
 //	POST /v1/crash           crash-stop a replica         (wire.CrashRequest → wire.OKResponse)
 //	POST /v1/fault           scripted fault injection     (wire.FaultRequest → wire.OKResponse)
+//	GET  /v1/ring            consistent-hash ring + epoch (wire.RingResponse)
 //	GET  /v1/stats           activity snapshot            (wire.StatsResponse)
 //	GET  /v1/monitor         monitor summary              (wire.MonitorResponse; ?verdicts=1 adds the full list)
 //	GET  /v1/monitor/stream  NDJSON verdict stream        (one wire.Verdict per line, replay then live)
@@ -32,6 +34,10 @@ type httpServer struct {
 // for the batch endpoint), unknown JSON fields are rejected, and all
 // requests carrying the same session id must come from one sequential
 // client (see Session).
+//
+// Every response additionally carries the current ring epoch in the
+// wire.RingEpochHeader header, so a client notices topology changes
+// from any response without polling GET /v1/ring.
 func NewHTTPHandler(c *Cluster) http.Handler {
 	s := &httpServer{c: c}
 	mux := http.NewServeMux()
@@ -40,6 +46,7 @@ func NewHTTPHandler(c *Cluster) http.Handler {
 	mux.HandleFunc("POST "+wire.PathPrefix+"/batch", s.batch)
 	mux.HandleFunc("POST "+wire.PathPrefix+"/crash", s.crash)
 	mux.HandleFunc("POST "+wire.PathPrefix+"/fault", s.fault)
+	mux.HandleFunc("GET "+wire.PathPrefix+"/ring", s.ring)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/stats", s.stats)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/monitor", s.monitor)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/monitor/stream", s.monitorStream)
@@ -59,7 +66,15 @@ func NewHTTPHandler(c *Cluster) http.Handler {
 			Ready: !draining, Draining: draining, Protocol: wire.ProtocolVersion,
 		})
 	})
-	return mux
+	return epochHeader(c, mux)
+}
+
+// epochHeader stamps the current ring epoch on every response.
+func epochHeader(c *Cluster, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(wire.RingEpochHeader, strconv.FormatInt(c.RingEpoch(), 10))
+		next.ServeHTTP(w, r)
+	})
 }
 
 // writeJSON marshals first and only then writes, so an encoding
@@ -154,6 +169,10 @@ func (s *httpServer) fault(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.OKResponse{OK: true})
+}
+
+func (s *httpServer) ring(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.c.RingWire())
 }
 
 func (s *httpServer) stats(w http.ResponseWriter, _ *http.Request) {

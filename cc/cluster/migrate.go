@@ -1,0 +1,301 @@
+package cluster
+
+// Elastic sharding: live object migration behind AddShard/DrainShard.
+//
+// A migration is freeze → quiesce → ship → flip → drop:
+//
+//  1. Freeze. The object's gate is write-locked, so no new operation
+//     can submit to any station for it; operations already submitted
+//     are in the shard's broadcast pipeline.
+//  2. Quiesce. Every source station flushes its pending batch, the
+//     per-origin broadcast counts are snapshotted, and the migration
+//     waits until every source replica's DeliveredBatches vector
+//     dominates the snapshot — at that point every update of the
+//     frozen object (and everything causally before it) is applied at
+//     every source replica, in all four modes. Traffic for OTHER
+//     objects on the shard keeps flowing throughout; its counts only
+//     grow past the snapshot, never under it.
+//  3. Ship. Each source replica's folded state for the object is
+//     exported and imported replica-by-replica on the destination as
+//     that replica's new fold base (core.Station.ImportObject). No log
+//     entries travel: everything migrated is strictly in the past of
+//     any timestamp the destination later assigns, so CCv's total
+//     order extends causality across the move by construction, and a
+//     session's own writes are in every destination replica's base —
+//     read-your-writes survives without any frontier wait. Replica r
+//     ships to replica r, preserving CC/PC's legitimate per-replica
+//     divergence.
+//  4. Flip + drop. The object's shard index flips to the destination,
+//     the gate opens (queued operations proceed against the new
+//     shard), and the source copies are dropped.
+//
+// A quiesce that cannot complete (a crashed source replica holds the
+// count back) fails the migration after Config.MigrateTimeout: the
+// object unfreezes untouched and keeps serving from the source shard;
+// repair the replica and retry. DrainShard records the drained
+// shard's final causal frontier so session frontiers naming it remain
+// answerable (see drainedFrontier).
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+	"github.com/paper-repro/ccbm/internal/vclock"
+)
+
+// AddShard grows the cluster by one replica group, rebalances the
+// object population onto the enlarged ring (bounded loads), and
+// migrates every re-placed object live. It returns the new shard's
+// index. The ring epoch bumps immediately, so clients refresh their
+// topology; objects keep serving throughout (each is frozen only for
+// its own quiesce-and-ship window).
+func (c *Cluster) AddShard() (int, error) {
+	c.rebalMu.Lock()
+	defer c.rebalMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	idx := len(c.shards)
+	sh := c.newShard(idx)
+	shs := make([]*shard, idx+1)
+	copy(shs, c.shards)
+	shs[idx] = sh
+	c.shards = shs
+	c.ring.addShard(idx)
+	moves := c.rebalanceLocked()
+	c.epoch.Add(1)
+	c.mu.Unlock()
+	if err := c.migrateAll(moves); err != nil {
+		return idx, err
+	}
+	return idx, nil
+}
+
+// DrainShard removes one replica group: its objects migrate live to
+// the remaining shards, the shard's final causal frontier is recorded
+// for session re-attachment, and its transports shut down. The slot
+// keeps its index (stable shard numbering); routing never selects a
+// drained shard again. Draining the last active shard is refused.
+func (c *Cluster) DrainShard(idx int) error {
+	c.rebalMu.Lock()
+	defer c.rebalMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if idx < 0 || idx >= len(c.shards) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no shard %d", idx)
+	}
+	sh := c.shards[idx]
+	if sh.drained.Load() {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: shard %d already drained", idx)
+	}
+	// Refuse to drain the last active shard — unless idx already left
+	// the ring (a prior attempt failed mid-migration and this call is
+	// resuming the partial drain).
+	if _, member := c.ring.loads[idx]; member && len(c.ring.loads) <= 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot drain the last active shard")
+	}
+	if len(c.ring.loads) == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no active shard to migrate to")
+	}
+	c.ring.removeShard(idx)
+	moves := c.rebalanceLocked()
+	c.epoch.Add(1)
+	c.mu.Unlock()
+	if err := c.migrateAll(moves); err != nil {
+		// Partial drain: the ring no longer places onto idx, but objects
+		// that failed to move keep serving there. Retry after repair.
+		return err
+	}
+	// Record the handoff frontier before the transports close: a session
+	// frontier naming this shard is answerable forever after.
+	final := vclock.New(c.cfg.Replicas)
+	for _, st := range sh.stations {
+		st.Flush()
+		if vc := st.Frontier(); vc != nil {
+			final.Merge(vc)
+		}
+	}
+	c.mu.Lock()
+	c.drainFinal[idx] = final
+	c.mu.Unlock()
+	sh.drained.Store(true)
+	sh.close()
+	return nil
+}
+
+// rebalanceLocked re-places the whole population against the current
+// ring members and returns the objects that must move, sorted by name
+// for a deterministic migration order. Caller holds c.mu.
+func (c *Cluster) rebalanceLocked() []move {
+	cur := make(map[string]int, len(c.objects))
+	for name, o := range c.objects {
+		cur[name] = o.shard
+	}
+	moved := c.ring.rebalance(cur)
+	moves := make([]move, 0, len(moved))
+	for name, to := range moved {
+		moves = append(moves, move{name: name, to: to})
+	}
+	sort.Slice(moves, func(a, b int) bool { return moves[a].name < moves[b].name })
+	return moves
+}
+
+// move is one planned object migration.
+type move struct {
+	name string
+	to   int
+}
+
+// migrateAll runs the planned migrations one object at a time (each
+// freezes only its own object; the rest of the population serves).
+func (c *Cluster) migrateAll(moves []move) error {
+	for _, mv := range moves {
+		if err := c.migrate(mv.name, mv.to); err != nil {
+			return fmt.Errorf("migrate %q to shard %d: %w", mv.name, mv.to, err)
+		}
+	}
+	return nil
+}
+
+// migrate moves one object between shards: freeze, quiesce the source
+// group, ship per-replica snapshots, flip the routing, drop the
+// source copies. On error the object is untouched and still serves
+// from its source shard.
+func (c *Cluster) migrate(name string, to int) error {
+	c.mu.RLock()
+	o := c.objects[name]
+	shs := c.shards
+	c.mu.RUnlock()
+	if o == nil {
+		return nil // deleted concurrently; nothing to move
+	}
+	o.gate.Lock()
+	defer o.gate.Unlock()
+	from := o.shard
+	if from == to || to < 0 || to >= len(shs) {
+		return nil
+	}
+	src, dst := shs[from], shs[to]
+	if err := c.quiesceShard(src, c.cfg.MigrateTimeout); err != nil {
+		return err
+	}
+	for r, st := range dst.stations {
+		state, ok := src.stations[r].ExportObject(name)
+		if !ok {
+			// The replica never hosted the object (no update ever reached
+			// it before the freeze); create it at the initial state.
+			if err := st.ImportObject(name, o.adtName, o.t.Init()); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := st.ImportObject(name, o.adtName, state); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	o.shard = to
+	c.mu.Unlock()
+	for _, st := range src.stations {
+		st.DropObject(name)
+	}
+	return nil
+}
+
+// quiesceShard blocks until every station of the group has applied
+// every batch any member had broadcast by the time of the call: flush
+// all pending batches, snapshot the per-origin broadcast counts, and
+// wait (capped exponential backoff) for each station's delivered
+// vector to dominate the snapshot. Concurrent traffic on the shard
+// only pushes the delivered vectors further; a crashed or partitioned
+// replica makes the wait time out, failing the caller cleanly.
+func (c *Cluster) quiesceShard(sh *shard, timeout time.Duration) error {
+	for _, st := range sh.stations {
+		st.Flush()
+	}
+	need := make([]int64, len(sh.stations))
+	for i, st := range sh.stations {
+		need[i] = st.Stats().Broadcasts
+	}
+	deadline := time.Now().Add(timeout)
+	delay := 100 * time.Microsecond
+	for {
+		if c.shardQuietAt(sh, need) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: shard %d did not quiesce within %v", sh.idx, timeout)
+		}
+		time.Sleep(delay)
+		if delay < 5*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// shardQuietAt reports whether every station's delivered-batch vector
+// dominates need.
+func (c *Cluster) shardQuietAt(sh *shard, need []int64) bool {
+	for _, st := range sh.stations {
+		got := st.DeliveredBatches()
+		for i, n := range need {
+			if i >= len(got) || got[i] < n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// drainedFrontier resolves a drained shard's recorded handoff
+// frontier; ok reports whether the shard is drained.
+func (c *Cluster) drainedFrontier(shardIdx int) (vclock.VC, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	vc, ok := c.drainFinal[shardIdx]
+	return vc, ok
+}
+
+// RingWire renders the ring's current topology and load accounting in
+// wire form — the body of GET /v1/ring. Placement loads count hosted
+// objects; Invocations reports each shard's served operations from
+// core.Station stats, so a hot shard shows even when object counts
+// are level.
+func (c *Cluster) RingWire() *wire.RingResponse {
+	c.mu.RLock()
+	resp := &wire.RingResponse{
+		Epoch:      c.epoch.Load(),
+		LoadFactor: c.cfg.LoadFactor,
+		VNodes:     c.cfg.VirtualNodes,
+		Protocol:   wire.ProtocolVersion,
+	}
+	loads := make(map[int]int, len(c.ring.loads))
+	for idx, l := range c.ring.loads {
+		loads[idx] = l
+	}
+	shs := c.shards
+	c.mu.RUnlock()
+	for _, sh := range shs {
+		rs := wire.RingShard{Shard: sh.idx, Drained: sh.drained.Load()}
+		if !rs.Drained {
+			rs.Active = true
+			rs.Objects = loads[sh.idx]
+		}
+		for _, st := range sh.stations {
+			rs.Invocations += st.Stats().Invocations
+		}
+		resp.Shards = append(resp.Shards, rs)
+	}
+	return resp
+}

@@ -1,0 +1,286 @@
+package cluster_test
+
+// Live-migration correctness: elastic topology changes must preserve
+// every session guarantee the static cluster gave — read-your-writes
+// across a drain, per-shard replica convergence in all four modes and
+// both replication backends, and clean failure (object untouched,
+// retry succeeds) when a crashed replica blocks the quiesce.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/cluster"
+)
+
+func migrationObjects(t *testing.T, c *cluster.Cluster, n int) []string {
+	t.Helper()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("obj-%02d", i)
+		if err := c.CreateObject(names[i], "Counter"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+// TestAddShardLiveMigration grows a serving cluster by one shard and
+// pins that the rebalance actually moved objects, the ring epoch
+// advanced, and every migrated counter still reads the total its
+// session wrote before the move.
+func TestAddShardLiveMigration(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Shards: 2, Replicas: 3, Criterion: "CCv", BatchOps: 4,
+		Monitor: cluster.MonitorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	names := migrationObjects(t, c, 16)
+	s := c.Session(0)
+	for i, name := range names {
+		for k := 0; k <= i; k++ {
+			if _, err := s.Call(name, "inc", 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := make(map[string]int)
+	for _, name := range names {
+		sh, ok := c.ObjectShard(name)
+		if !ok {
+			t.Fatalf("%s has no shard", name)
+		}
+		before[name] = sh
+	}
+	epoch0 := c.RingEpoch()
+
+	idx, err := c.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("new shard index %d, want 2", idx)
+	}
+	if got := c.RingEpoch(); got != epoch0+1 {
+		t.Fatalf("ring epoch %d after AddShard, want %d", got, epoch0+1)
+	}
+	if got := c.Shards(); got != 3 {
+		t.Fatalf("Shards() = %d, want 3", got)
+	}
+	// The deterministic global re-placement may shuffle objects between
+	// the old shards too; what must hold is that the new shard took on
+	// real load.
+	moved, onNew := 0, 0
+	for _, name := range names {
+		sh, _ := c.ObjectShard(name)
+		if sh != before[name] {
+			moved++
+		}
+		if sh == idx {
+			onNew++
+		}
+	}
+	if moved == 0 || onNew == 0 {
+		t.Fatalf("AddShard moved %d objects, %d onto the new shard", moved, onNew)
+	}
+	// Read-your-writes across the move: the same session sees exactly
+	// the totals it wrote, wherever each object lives now.
+	for i, name := range names {
+		out, err := s.Call(name, "get")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(cc.IntOutput(i + 1)) {
+			t.Fatalf("%s reads %v after migration, want %d", name, out, i+1)
+		}
+	}
+	if err := c.AwaitConvergence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("moved %d/%d objects onto shard %d", moved, len(names), idx)
+}
+
+// TestDrainShardReadYourWrites empties one shard live and pins that
+// its objects survive with session guarantees intact, shard numbering
+// stays stable, and a second drain of the same shard is refused.
+func TestDrainShardReadYourWrites(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Shards: 3, Replicas: 3, Criterion: "CC", BatchOps: 4,
+		Monitor: cluster.MonitorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	names := migrationObjects(t, c, 18)
+	s := c.Session(0)
+	for i, name := range names {
+		if _, err := s.Call(name, "inc", i+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.DrainShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Shards(); got != 3 {
+		t.Fatalf("Shards() = %d after drain, want 3 (stable numbering)", got)
+	}
+	for _, name := range names {
+		sh, ok := c.ObjectShard(name)
+		if !ok {
+			t.Fatalf("%s lost its shard", name)
+		}
+		if sh == 1 {
+			t.Fatalf("%s still routed to drained shard 1", name)
+		}
+	}
+	// The drained session keeps its guarantees: reads see prior writes,
+	// and new writes land.
+	for i, name := range names {
+		out, err := s.Call(name, "get")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(cc.IntOutput(i + 7)) {
+			t.Fatalf("%s reads %v after drain, want %d", name, out, i+7)
+		}
+		if _, err := s.Call(name, "inc", 1); err != nil {
+			t.Fatalf("%s rejects writes after drain: %v", name, err)
+		}
+	}
+	if err := c.DrainShard(1); err == nil {
+		t.Fatal("second drain of shard 1 accepted")
+	}
+	if err := c.DrainShard(99); err == nil {
+		t.Fatal("drain of unknown shard accepted")
+	}
+	if err := c.AwaitConvergence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrationFingerprintEquality runs traffic, grows the cluster,
+// runs more traffic, and asserts per-shard replica fingerprints agree
+// — in all four modes, under both replication backends.
+func TestMigrationFingerprintEquality(t *testing.T) {
+	for _, repl := range []string{"broadcast", "antientropy"} {
+		for _, crit := range []string{"CC", "CCv", "PC", "EC"} {
+			t.Run(repl+"/"+crit, func(t *testing.T) {
+				c, err := cluster.New(cluster.Config{
+					Shards: 2, Replicas: 3, Criterion: crit, BatchOps: 4,
+					Replication: repl, GossipInterval: time.Millisecond,
+					Monitor: cluster.MonitorConfig{Disable: true},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				names := migrationObjects(t, c, 10)
+				for sess := 0; sess < 3; sess++ {
+					s := c.Session(sess)
+					for i, name := range names {
+						if _, err := s.Call(name, "inc", sess+i+1); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if _, err := c.AddShard(); err != nil {
+					t.Fatal(err)
+				}
+				for sess := 0; sess < 3; sess++ {
+					s := c.Session(sess)
+					for _, name := range names {
+						if _, err := s.Call(name, "inc", 1); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if err := c.AwaitConvergence(10 * time.Second); err != nil {
+					t.Fatalf("%v (fingerprints %v)", err, c.Fingerprints())
+				}
+				for si, fps := range c.Fingerprints() {
+					for r := 1; r < len(fps); r++ {
+						if fps[r] != fps[0] {
+							t.Fatalf("shard %d replica %d fingerprint %x != replica 0 %x", si, r, fps[r], fps[0])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMigrationCrashRecovery pins the failure path: a crashed source
+// replica blocks the quiesce, the drain fails cleanly with the object
+// population untouched and serving, and the same drain retried after
+// repair succeeds.
+func TestMigrationCrashRecovery(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Shards: 2, Replicas: 3, Criterion: "CC", BatchOps: 2,
+		MigrateTimeout: 150 * time.Millisecond,
+		Resync:         true, // the restarted replica must repair missed batches
+		Monitor:        cluster.MonitorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	names := migrationObjects(t, c, 12)
+	s := c.Session(0) // pinned to replica 0: keeps serving through the stop
+	for i, name := range names {
+		if _, err := s.Call(name, "inc", i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.StopReplica(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh updates after the stop: the live replicas broadcast batches
+	// the stopped replica can never apply, so shard 1 cannot quiesce.
+	for _, name := range names {
+		if _, err := s.Call(name, "inc", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.DrainShard(1); err == nil {
+		t.Fatal("drain succeeded with a crashed source replica")
+	}
+	// Clean failure: everything still serves with the values intact.
+	for i, name := range names {
+		out, err := s.Call(name, "get")
+		if err != nil {
+			t.Fatalf("%s unavailable after failed drain: %v", name, err)
+		}
+		if !out.Equal(cc.IntOutput(i + 2)) {
+			t.Fatalf("%s reads %v after failed drain, want %d", name, out, i+2)
+		}
+	}
+	if err := c.RestartReplica(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DrainShard(1); err != nil {
+		t.Fatalf("drain retry after repair: %v", err)
+	}
+	for _, name := range names {
+		if sh, _ := c.ObjectShard(name); sh == 1 {
+			t.Fatalf("%s still on drained shard after retry", name)
+		}
+	}
+	for i, name := range names {
+		out, err := s.Call(name, "get")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(cc.IntOutput(i + 2)) {
+			t.Fatalf("%s reads %v after recovered drain, want %d", name, out, i+2)
+		}
+	}
+	if err := c.AwaitConvergence(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

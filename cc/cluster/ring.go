@@ -1,0 +1,185 @@
+package cluster
+
+// The bounded-load consistent-hash ring that replaced the static
+// mod-hash placement: each shard owns a set of virtual nodes on a
+// 64-bit ring, an object lands on the first shard clockwise from its
+// hash whose load stays under the bound ceil((total+1)/shards ×
+// factor) — consistent hashing with bounded loads (Mirrokni et al.),
+// the same discipline as the CHWBL scheme in SNIPPETS. Topology
+// changes (AddShard, DrainShard) re-place the whole population
+// deterministically against a freshly built load table, so the set of
+// moved objects is a pure function of the member set — no hidden
+// history dependence.
+//
+// The ring's placement loads count objects; the serving-side load the
+// operator sees (RingWire) additionally reports each shard's served
+// invocations from core.Station stats, so a hot shard is visible even
+// when object counts are level.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// hash64 is FNV-1a over the string bytes, inlined so a ring lookup
+// allocates nothing (hash/fnv's New32a costs one allocation per call,
+// which the old shardOf paid on every placement).
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// vnode is one virtual node: a ring position owned by a shard.
+type vnode struct {
+	hash  uint64
+	shard int
+}
+
+// ring is the placement state. Not safe for concurrent use; the
+// cluster guards it with its own mutex.
+type ring struct {
+	vper   int     // virtual nodes per shard
+	factor float64 // load bound multiplier (> 1)
+	vnodes []vnode // sorted by hash
+	loads  map[int]int
+	total  int // sum of loads
+}
+
+func newRing(vper int, factor float64) *ring {
+	return &ring{vper: vper, factor: factor, loads: make(map[int]int)}
+}
+
+// addShard inserts the shard's virtual nodes; no-op when present.
+func (r *ring) addShard(idx int) {
+	if _, ok := r.loads[idx]; ok {
+		return
+	}
+	r.loads[idx] = 0
+	for v := 0; v < r.vper; v++ {
+		r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("shard-%d/vnode-%d", idx, v)), shard: idx})
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].hash < r.vnodes[b].hash })
+}
+
+// removeShard deletes the shard's virtual nodes and load slot; no-op
+// when absent. Objects still assigned to it are the caller's to
+// migrate (place never returns a removed shard).
+func (r *ring) removeShard(idx int) {
+	if _, ok := r.loads[idx]; !ok {
+		return
+	}
+	r.total -= r.loads[idx]
+	delete(r.loads, idx)
+	keep := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.shard != idx {
+			keep = append(keep, v)
+		}
+	}
+	r.vnodes = keep
+}
+
+// members returns the shard indices on the ring, sorted.
+func (r *ring) members() []int {
+	ms := make([]int, 0, len(r.loads))
+	for idx := range r.loads {
+		ms = append(ms, idx)
+	}
+	sort.Ints(ms)
+	return ms
+}
+
+// bound is the load ceiling for the next placement: the average load
+// after it lands, scaled by the factor and rounded up.
+func (r *ring) bound() int {
+	n := len(r.loads)
+	if n == 0 {
+		return 0
+	}
+	return int(math.Ceil(float64(r.total+1) / float64(n) * r.factor))
+}
+
+// place returns the shard the key lands on under the current loads:
+// the first shard clockwise from hash64(key) whose load admits one
+// more object, falling back to the least-loaded shard if a full lap
+// found none (possible only at factor ≤ 1, which the config rejects).
+// place does not mutate the ring (assign records the landing) and
+// performs no allocation — it is the hot-path lookup.
+func (r *ring) place(key string) int {
+	if len(r.vnodes) == 0 {
+		return -1
+	}
+	h := hash64(key)
+	b := r.bound()
+	// First vnode at or clockwise of h (binary search, wrapping).
+	lo, hi := 0, len(r.vnodes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.vnodes[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := 0; i < len(r.vnodes); i++ {
+		v := r.vnodes[(lo+i)%len(r.vnodes)]
+		if r.loads[v.shard]+1 <= b {
+			return v.shard
+		}
+	}
+	best, bestLoad := -1, math.MaxInt
+	for idx, l := range r.loads {
+		if l < bestLoad || (l == bestLoad && idx < best) {
+			best, bestLoad = idx, l
+		}
+	}
+	return best
+}
+
+// assign records one object landing on the shard.
+func (r *ring) assign(shard int) {
+	r.loads[shard]++
+	r.total++
+}
+
+// unassign records one object leaving the shard.
+func (r *ring) unassign(shard int) {
+	if r.loads[shard] > 0 {
+		r.loads[shard]--
+		r.total--
+	}
+}
+
+// rebalance re-places every key deterministically: loads reset to
+// zero, keys place in sorted order against the incrementally growing
+// load table, and the returned map holds exactly the keys whose shard
+// changed from cur. The ring's loads afterwards reflect the new
+// assignment.
+func (r *ring) rebalance(cur map[string]int) map[string]int {
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for idx := range r.loads {
+		r.loads[idx] = 0
+	}
+	r.total = 0
+	moves := make(map[string]int)
+	for _, k := range keys {
+		to := r.place(k)
+		if to < 0 {
+			continue
+		}
+		r.assign(to)
+		if to != cur[k] {
+			moves[k] = to
+		}
+	}
+	return moves
+}

@@ -1,0 +1,149 @@
+package cluster
+
+// White-box tests for the bounded-load consistent-hash ring: the load
+// bound is a hard invariant, rebalance is a pure function of the
+// member set, and the hot-path lookup allocates nothing.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func ringWithShards(n int) *ring {
+	r := newRing(64, 1.25)
+	for i := 0; i < n; i++ {
+		r.addShard(i)
+	}
+	return r
+}
+
+// TestRingBoundedLoad places a large population and asserts no shard
+// ever exceeds the bound ceil(average × factor) — the consistent-
+// hashing-with-bounded-loads guarantee, which plain consistent hashing
+// does not give.
+func TestRingBoundedLoad(t *testing.T) {
+	for _, shards := range []int{2, 3, 5, 8} {
+		r := ringWithShards(shards)
+		const n = 1000
+		for i := 0; i < n; i++ {
+			s := r.place(fmt.Sprintf("obj-%04d", i))
+			if s < 0 || s >= shards {
+				t.Fatalf("%d shards: place returned %d", shards, s)
+			}
+			r.assign(s)
+		}
+		bound := int(math.Ceil(float64(n) / float64(shards) * 1.25))
+		for idx, l := range r.loads {
+			if l > bound {
+				t.Errorf("%d shards: shard %d load %d exceeds bound %d", shards, idx, l, bound)
+			}
+		}
+		if r.total != n {
+			t.Errorf("%d shards: total %d, want %d", shards, r.total, n)
+		}
+	}
+}
+
+// TestRingRebalanceDeterministic pins that re-placement is a pure
+// function of the member set and population: two rings walked through
+// the same topology changes produce identical assignments, and a
+// rebalance against an unchanged member set moves nothing.
+func TestRingRebalanceDeterministic(t *testing.T) {
+	build := func() (*ring, map[string]int) {
+		r := ringWithShards(3)
+		cur := make(map[string]int)
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("obj-%03d", i)
+			s := r.place(k)
+			r.assign(s)
+			cur[k] = s
+		}
+		r.addShard(3)
+		moves := r.rebalance(cur)
+		for k, to := range moves {
+			cur[k] = to
+		}
+		return r, cur
+	}
+	r1, cur1 := build()
+	_, cur2 := build()
+	for k, s := range cur1 {
+		if cur2[k] != s {
+			t.Fatalf("non-deterministic rebalance: %s on %d vs %d", k, s, cur2[k])
+		}
+	}
+	// Idempotence: same members, same population → no moves.
+	if again := r1.rebalance(cur1); len(again) != 0 {
+		t.Fatalf("rebalance against unchanged members moved %d objects", len(again))
+	}
+}
+
+// TestRingRemovedShardNeverPlaced pins that place and rebalance never
+// select a removed shard, and that removal forces every resident
+// object to move.
+func TestRingRemovedShardNeverPlaced(t *testing.T) {
+	r := ringWithShards(4)
+	cur := make(map[string]int)
+	for i := 0; i < 160; i++ {
+		k := fmt.Sprintf("obj-%03d", i)
+		s := r.place(k)
+		r.assign(s)
+		cur[k] = s
+	}
+	r.removeShard(2)
+	moves := r.rebalance(cur)
+	for k, was := range cur {
+		to, moved := moves[k]
+		if moved && to == 2 {
+			t.Fatalf("%s rebalanced onto removed shard 2", k)
+		}
+		if was == 2 && !moved {
+			t.Fatalf("%s stranded on removed shard 2", k)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if s := r.place(fmt.Sprintf("new-%03d", i)); s == 2 {
+			t.Fatal("place selected a removed shard")
+		}
+	}
+}
+
+// TestRingPlaceZeroAlloc pins the hot path: a placement lookup must
+// not allocate (the old mod-hash path paid one fnv.New32a allocation
+// per routing decision).
+func TestRingPlaceZeroAlloc(t *testing.T) {
+	r := ringWithShards(4)
+	for i := 0; i < 64; i++ {
+		r.assign(r.place(fmt.Sprintf("obj-%03d", i)))
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = r.place("obj-042")
+	})
+	if allocs != 0 {
+		t.Fatalf("place allocates %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func BenchmarkRingPlace(b *testing.B) {
+	r := ringWithShards(8)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj-%04d", i)
+		r.assign(r.place(keys[i]))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.place(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hash64("obj-0042")
+	}
+}

@@ -31,6 +31,18 @@
 //	             the new response fields; old servers reject the new
 //	             request fields as unknown, which a client treats as
 //	             "no failover support".
+//	v1 (PR 7)    additive, same version: elastic sharding. GET
+//	             /v1/ring describes the consistent-hash ring
+//	             (RingResponse); requests may carry the ring epoch
+//	             they were routed under (InvokeRequest.Epoch,
+//	             BatchRequest.Epoch), and a server whose topology has
+//	             moved on answers CodeStaleRing (421) — a retryable
+//	             redirect telling the client to refresh its ring and
+//	             retry; every response carries the current epoch in
+//	             the X-CCBM-Ring-Epoch header; ShardStats.Drained
+//	             marks shards whose objects have migrated away. A
+//	             request with no epoch (0) is served unconditionally,
+//	             so pre-elastic clients keep working.
 //
 // GET /v1/healthz reports the protocol version a server speaks, so a
 // client can refuse a mismatched server instead of misparsing it.
@@ -85,6 +97,11 @@ const (
 	// the request's frontier in time; the request was valid and may be
 	// retried (possibly against another replica).
 	CodeUnavailable ErrorCode = "unavailable"
+	// CodeStaleRing: the request carried a ring epoch older than the
+	// server's current topology (a shard was added or drained since the
+	// client last looked). Retryable after a ring refresh (GET
+	// /v1/ring); the operation itself never ran.
+	CodeStaleRing ErrorCode = "stale_ring"
 	// CodeInternal: the server failed to produce a response.
 	CodeInternal ErrorCode = "internal"
 )
@@ -98,6 +115,7 @@ var httpStatus = map[ErrorCode]int{
 	CodeNotFound:    http.StatusNotFound,              // 404
 	CodeConflict:    http.StatusConflict,              // 409
 	CodeUnavailable: http.StatusServiceUnavailable,    // 503
+	CodeStaleRing:   http.StatusMisdirectedRequest,    // 421 — keeps CodeForStatus bijective
 	CodeInternal:    http.StatusInternalServerError,   // 500
 }
 
@@ -207,6 +225,36 @@ type ReadyzResponse struct {
 	Protocol int  `json:"protocol"`
 }
 
+// RingEpochHeader is the response header every versioned endpoint
+// carries: the server's current ring epoch, so a client can notice a
+// topology change from any response without polling GET /v1/ring.
+const RingEpochHeader = "X-CCBM-Ring-Epoch"
+
+// RingShard is one shard's slot in a RingResponse. Drained slots stay
+// listed (indices are stable) but take no placements.
+type RingShard struct {
+	Shard   int  `json:"shard"`
+	Active  bool `json:"active"`
+	Drained bool `json:"drained,omitempty"`
+	// Objects is the shard's placement load (hosted objects);
+	// Invocations its served operations since start — together they
+	// show both placement balance and traffic balance.
+	Objects     int   `json:"objects"`
+	Invocations int64 `json:"invocations"`
+}
+
+// RingResponse describes the server's consistent-hash ring. GET
+// /v1/ring. Epoch bumps on every topology change (shard added or
+// drained); a client echoes it on requests (InvokeRequest.Epoch) to
+// be told — via CodeStaleRing — when its view goes stale.
+type RingResponse struct {
+	Epoch      int64       `json:"epoch"`
+	VNodes     int         `json:"vnodes"`
+	LoadFactor float64     `json:"load_factor"`
+	Shards     []RingShard `json:"shards"`
+	Protocol   int         `json:"protocol"`
+}
+
 // ShardFrontier is one shard's causal delivery frontier: the
 // per-origin count of delivered updates at the replica that served
 // the request. A server echoes it on update responses in the causal
@@ -236,6 +284,10 @@ type InvokeRequest struct {
 	// ShardFrontier); the server waits until the serving replica has
 	// caught up, or fails with CodeUnavailable.
 	Frontiers []ShardFrontier `json:"frontiers,omitempty"`
+	// Epoch is the ring epoch the client routed under; a server whose
+	// topology has moved on answers CodeStaleRing instead of serving.
+	// 0 (or absent) serves unconditionally.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // InvokeResponse is the wire form of one operation's result. Output
@@ -329,6 +381,10 @@ type BatchGroup struct {
 // rejects duplicates with CodeBadRequest.
 type BatchRequest struct {
 	Groups []BatchGroup `json:"groups"`
+	// Epoch is the ring epoch the client routed under (see
+	// InvokeRequest.Epoch); stale epochs fail the whole batch with
+	// CodeStaleRing before any group runs.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // BatchResult is one operation's outcome: exactly one of Output and
@@ -362,6 +418,9 @@ type BatchResponse struct {
 type ShardStats struct {
 	Crashed []bool `json:"crashed"`
 	Down    []bool `json:"down,omitempty"`
+	// Drained marks a shard whose objects have migrated away
+	// (DrainShard): the slot keeps its index, but nothing serves there.
+	Drained bool `json:"drained,omitempty"`
 }
 
 // StatsResponse is a point-in-time snapshot of the cluster's

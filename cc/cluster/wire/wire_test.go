@@ -14,6 +14,7 @@ func TestStatusMapping(t *testing.T) {
 		CodeNotFound:    404,
 		CodeConflict:    409,
 		CodeUnavailable: 503,
+		CodeStaleRing:   421,
 		CodeInternal:    500,
 	}
 	if len(want) != len(httpStatus) {

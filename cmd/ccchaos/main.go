@@ -18,14 +18,18 @@
 //
 //	ccchaos -criterion CC -replication antientropy -shards 2 -replicas 3 \
 //	        [-schedule "300ms partition 0 1,2; 900ms heal; ..."] \
-//	        [-schedule-file chaos.sched] [-batch] \
+//	        [-schedule-file chaos.sched] [-storm] [-batch] \
 //	        [-bench-out BENCH_runtime.json -label "..."] [-require-verdicts]
 //
 // The built-in schedule runs two partition/heal rounds and two
-// crash/restart rounds (see schedule.go for the DSL). The harness
-// exits non-zero on any failed assertion and, with -bench-out,
-// appends a labelled entry recording steady-state vs under-fault
-// throughput and latency for the chosen replication backend.
+// crash/restart rounds (see schedule.go for the DSL). -storm swaps in
+// the rebalance storm instead: repeated addshard/drainshard topology
+// changes with traffic flowing, asserting convergence and causal
+// session guarantees across every live migration. The harness exits
+// non-zero on any failed assertion and, with -bench-out, appends a
+// labelled entry recording steady-state vs under-fault (and, under
+// -storm, under-migration) throughput and latency for the chosen
+// replication backend.
 package main
 
 import (
@@ -113,14 +117,16 @@ type phaseStats struct {
 }
 
 // tracker splits the run's wall clock and per-op outcomes into the
-// steady and under-fault phases; convergence pauses are excluded from
-// both (traffic is stopped, throughput there would measure nothing).
+// steady, under-fault, and under-migration phases; convergence pauses
+// are excluded from all three (traffic is stopped, throughput there
+// would measure nothing). Migration outranks fault when both apply —
+// the elastic phase is the one the storm run wants isolated.
 type tracker struct {
-	mu                  sync.Mutex
-	steady, fault       phaseStats
-	steadyDur, faultDur time.Duration
-	inFault, paused     bool
-	since               time.Time
+	mu                           sync.Mutex
+	steady, fault, migr          phaseStats
+	steadyDur, faultDur, migrDur time.Duration
+	inFault, inMigr, paused      bool
+	since                        time.Time
 }
 
 func (t *tracker) accumLocked(now time.Time) {
@@ -128,9 +134,12 @@ func (t *tracker) accumLocked(now time.Time) {
 		return
 	}
 	d := now.Sub(t.since)
-	if t.inFault {
+	switch {
+	case t.inMigr:
+		t.migrDur += d
+	case t.inFault:
 		t.faultDur += d
-	} else {
+	default:
 		t.steadyDur += d
 	}
 	t.since = now
@@ -145,6 +154,13 @@ func (t *tracker) setFault(f bool) {
 	t.mu.Unlock()
 }
 
+func (t *tracker) setMigration(m bool) {
+	t.mu.Lock()
+	t.accumLocked(time.Now())
+	t.inMigr = m
+	t.mu.Unlock()
+}
+
 func (t *tracker) pause() {
 	t.mu.Lock()
 	t.accumLocked(time.Now())
@@ -156,16 +172,20 @@ func (t *tracker) resume(fault bool) {
 	t.mu.Lock()
 	t.paused = false
 	t.inFault = fault
+	t.inMigr = false
 	t.since = time.Now()
 	t.mu.Unlock()
 }
 
 func (t *tracker) stop() { t.pause() }
 
-func (t *tracker) record(fault, errored, sampled bool, us float64) {
+func (t *tracker) record(migrating, fault, errored, sampled bool, us float64) {
 	t.mu.Lock()
 	ph := &t.steady
-	if fault {
+	switch {
+	case migrating:
+		ph = &t.migr
+	case fault:
 		ph = &t.fault
 	}
 	if errored {
@@ -198,6 +218,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	scheduleFlag := flag.String("schedule", "", "inline fault schedule (';'-separated events; empty = built-in)")
 	scheduleFile := flag.String("schedule-file", "", "fault schedule file (one event per line)")
+	storm := flag.Bool("storm", false, "run the built-in rebalance storm (addshard/drainshard under load) instead of the fault schedule")
 	tail := flag.Duration("tail", 400*time.Millisecond, "steady traffic after the last event")
 	convergeTimeout := flag.Duration("converge-timeout", 10*time.Second, "bound per post-heal convergence wait")
 	opTimeout := flag.Duration("op-timeout", 5*time.Second, "per-op wait before its future counts as hung")
@@ -214,9 +235,14 @@ func main() {
 		os.Exit(2)
 	}
 	text := defaultSchedule
+	if *storm {
+		text = stormSchedule
+	}
 	switch {
 	case *scheduleFlag != "" && *scheduleFile != "":
 		fail(fmt.Errorf("-schedule and -schedule-file are mutually exclusive"))
+	case *storm && (*scheduleFlag != "" || *scheduleFile != ""):
+		fail(fmt.Errorf("-storm and -schedule/-schedule-file are mutually exclusive"))
 	case *scheduleFlag != "":
 		text = *scheduleFlag
 	case *scheduleFile != "":
@@ -229,6 +255,11 @@ func main() {
 	sched, err := parseSchedule(text)
 	if err != nil {
 		fail(err)
+	}
+	var hasFaults, hasTopology bool
+	for i := range sched {
+		hasFaults = hasFaults || sched[i].faulty()
+		hasTopology = hasTopology || sched[i].topology()
 	}
 
 	c, err := cluster.New(cluster.Config{
@@ -267,12 +298,19 @@ func main() {
 			fail(err)
 		}
 	}
+	// Learn the ring epoch up front so topology events exercise the
+	// stale-epoch redirect path: every in-flight request carries the old
+	// epoch, gets the typed stale_ring error, refreshes, and retries.
+	if _, err := cli.Ring(ctx); err != nil {
+		fail(err)
+	}
 
 	var (
-		gate  sync.RWMutex // write-held while convergence is asserted
-		depth atomic.Int32 // active faults (traffic tags ops by it)
-		hung  atomic.Int64
-		trk   tracker
+		gate      sync.RWMutex // write-held while convergence is asserted
+		depth     atomic.Int32 // active faults (traffic tags ops by it)
+		migrating atomic.Int32 // topology changes in flight
+		hung      atomic.Int64
+		trk       tracker
 	)
 	last := sched[len(sched)-1].at
 	start := time.Now()
@@ -301,6 +339,7 @@ func main() {
 				oi := rng.Intn(len(names))
 				name := names[oi]
 				in := genInput(mixedADTs[oi%len(mixedADTs)], rng, step, *writeRatio)
+				inMigr := migrating.Load() > 0
 				inFault := depth.Load() > 0
 				t0 := time.Now()
 				fut := sess.InvokeAsync(name, in)
@@ -311,10 +350,10 @@ func main() {
 					// The future never resolved within the bound: the
 					// hung-call failure mode the breaker exists to prevent.
 					hung.Add(1)
-					trk.record(inFault, true, false, 0)
+					trk.record(inMigr, inFault, true, false, 0)
 					return
 				}
-				trk.record(inFault, err != nil, step%8 == 0, float64(time.Since(t0).Microseconds()))
+				trk.record(inMigr, inFault, err != nil, step%8 == 0, float64(time.Since(t0).Microseconds()))
 			}
 		}(cl)
 	}
@@ -329,6 +368,41 @@ func main() {
 		ev := &sched[i]
 		if d := time.Until(start.Add(ev.at)); d > 0 {
 			time.Sleep(d)
+		}
+		if ev.topology() {
+			// Topology events run WITH traffic flowing — live migration
+			// under load is exactly what they exercise — then pause and
+			// assert convergence quiescently before moving on.
+			migrating.Add(1)
+			trk.setMigration(true)
+			t0 := time.Now()
+			var terr error
+			detail := ev.raw
+			if ev.verb == verbAddShard {
+				var idx int
+				if idx, terr = c.AddShard(); terr == nil {
+					detail = fmt.Sprintf("%s -> shard %d", ev.raw, idx)
+				}
+			} else {
+				terr = c.DrainShard(ev.shard)
+			}
+			migrating.Add(-1)
+			trk.setMigration(false)
+			gate.Lock()
+			trk.pause()
+			if terr == nil {
+				terr = c.AwaitConvergence(*convergeTimeout)
+			}
+			heals = append(heals, healResult{event: ev.raw, took: time.Since(t0), err: terr})
+			trk.resume(partitions+crashed+links > 0)
+			gate.Unlock()
+			status := "converged"
+			if terr != nil {
+				status = "FAILED: " + terr.Error()
+			}
+			fmt.Printf("ccchaos: %8s  %-24s %s in %v (epoch %d)\n",
+				ev.at, detail, status, time.Since(t0).Round(time.Millisecond), c.RingEpoch())
+			continue
 		}
 		repair := ev.verb == wire.FaultHeal || ev.verb == wire.FaultRestart
 		if repair {
@@ -388,12 +462,17 @@ func main() {
 
 	steadyRate := rate(trk.steady.ops, trk.steadyDur)
 	faultRate := rate(trk.fault.ops, trk.faultDur)
-	sLat, fLat := summarize(trk.steady.lat), summarize(trk.fault.lat)
-	totalErrs := trk.steady.errs + trk.fault.errs
+	migrRate := rate(trk.migr.ops, trk.migrDur)
+	sLat, fLat, mLat := summarize(trk.steady.lat), summarize(trk.fault.lat), summarize(trk.migr.lat)
+	totalErrs := trk.steady.errs + trk.fault.errs + trk.migr.errs
 	fmt.Printf("ccchaos: steady %d ops in %v (%.0f ops/s) p50=%.0f p99=%.0f µs\n",
 		trk.steady.ops, trk.steadyDur.Round(time.Millisecond), steadyRate, sLat.p50, sLat.p99)
 	fmt.Printf("ccchaos: fault  %d ops in %v (%.0f ops/s) p50=%.0f p99=%.0f µs\n",
 		trk.fault.ops, trk.faultDur.Round(time.Millisecond), faultRate, fLat.p50, fLat.p99)
+	if hasTopology {
+		fmt.Printf("ccchaos: migr   %d ops in %v (%.0f ops/s) p50=%.0f p99=%.0f µs  (ring epoch %d)\n",
+			trk.migr.ops, trk.migrDur.Round(time.Millisecond), migrRate, mLat.p50, mLat.p99, c.RingEpoch())
+	}
 	fmt.Printf("ccchaos: errors=%d hung=%d retries=%d failovers=%d breaker_opens=%d fast_fails=%d\n",
 		totalErrs, hung.Load(), met.Retries, met.Failovers, met.BreakerOpens, met.BreakerFastFails)
 	monJSON, _ := json.Marshal(sum)
@@ -424,8 +503,11 @@ func main() {
 	if !*noHeal && totalErrs > 0 {
 		complain("%d client ops failed despite retry+failover", totalErrs)
 	}
-	if trk.fault.ops == 0 {
+	if hasFaults && trk.fault.ops == 0 {
 		complain("no operation completed under fault (schedule too short?)")
+	}
+	if hasTopology && trk.migr.ops == 0 {
+		complain("no operation completed during a migration (schedule too short?)")
 	}
 
 	if *benchOut != "" {
@@ -439,6 +521,7 @@ func main() {
 				"shards": *shards, "replicas": *replicas, "clients": *clients,
 				"objects": *objects, "write_ratio": *writeRatio,
 				"batch": *batch, "selfheal": !*noHeal, "schedule": text,
+				"storm": *storm, "ring_epoch": c.RingEpoch(),
 			},
 			"steady": map[string]any{
 				"ops": trk.steady.ops, "ops_per_sec": math.Round(steadyRate),
@@ -447,6 +530,10 @@ func main() {
 			"fault": map[string]any{
 				"ops": trk.fault.ops, "ops_per_sec": math.Round(faultRate),
 				"p50_us": fLat.p50, "p99_us": fLat.p99,
+			},
+			"migration": map[string]any{
+				"ops": trk.migr.ops, "ops_per_sec": math.Round(migrRate),
+				"p50_us": mLat.p50, "p99_us": mLat.p99,
 			},
 			"errors": totalErrs, "hung": hung.Load(),
 			"selfheal_metrics": map[string]any{

@@ -18,10 +18,17 @@ package main
 //	link <from> <to> <delay> [jitter] [drop]
 //	                               degrade one direction of one link
 //	link_clear                     undo every link degradation
+//	addshard                       grow the cluster by one shard and
+//	                               live-migrate re-placed objects
+//	drainshard <shard>             migrate a shard's objects away and
+//	                               shut it down
 //
-// '#' starts a comment. Events apply to every shard (chaos is
+// '#' starts a comment. Fault events apply to every shard (chaos is
 // symmetric across the hash space). Heal and restart pause traffic
-// and assert convergence before resuming.
+// and assert convergence before resuming. The topology verbs
+// (addshard, drainshard) run WITH traffic flowing — live migration
+// under load is exactly what they test — and assert convergence
+// quiescently right after.
 
 import (
 	"fmt"
@@ -33,18 +40,33 @@ import (
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
 )
 
+// Topology verbs: not wire faults — the harness calls the cluster's
+// AddShard/DrainShard directly (they are operator actions, not
+// injected failures), so event.wire() is never built for them.
+const (
+	verbAddShard   = wire.FaultAction("addshard")
+	verbDrainShard = wire.FaultAction("drainshard")
+)
+
 // event is one parsed schedule entry.
 type event struct {
 	at      time.Duration
 	verb    wire.FaultAction
 	groups  [][]int // partition
 	replica int     // crash, restart
+	shard   int     // drainshard
 	from    int     // link
 	to      int
 	delay   time.Duration
 	jitter  time.Duration
 	drop    float64
 	raw     string
+}
+
+// topology reports whether the event is a shard add/drain rather than
+// an injected fault.
+func (e *event) topology() bool {
+	return e.verb == verbAddShard || e.verb == verbDrainShard
 }
 
 // faulty reports whether the event begins a degraded period (its
@@ -77,6 +99,20 @@ const defaultSchedule = `
 2900ms heal
 3300ms crash 2
 3900ms restart 2
+`
+
+// stormSchedule is the rebalance storm (-storm): repeated elastic
+// topology changes under live load — grow, drain one of the original
+// shards, grow again, drain the first expansion — so every migration
+// path (onto a fresh shard, off a seasoned one) runs while clients
+// keep invoking. Assumes at least two starting shards (drainshard 1
+// names the second original shard; shard 2 is the one addshard just
+// created).
+const stormSchedule = `
+300ms  addshard
+900ms  drainshard 1
+1500ms addshard
+2100ms drainshard 2
 `
 
 // parseSchedule parses the DSL. Events come back sorted by offset.
@@ -145,9 +181,16 @@ func parseSchedule(text string) ([]event, error) {
 					return nil, fmt.Errorf("schedule: %q: bad drop %q (want 0..1)", line, args[4])
 				}
 			}
-		case wire.FaultHeal, wire.FaultLinkClear:
+		case wire.FaultHeal, wire.FaultLinkClear, verbAddShard:
 			if len(args) != 0 {
 				return nil, fmt.Errorf("schedule: %q: %s takes no arguments", line, ev.verb)
+			}
+		case verbDrainShard:
+			if len(args) != 1 {
+				return nil, fmt.Errorf("schedule: %q: drainshard needs exactly one shard index", line)
+			}
+			if ev.shard, err = strconv.Atoi(args[0]); err != nil || ev.shard < 0 {
+				return nil, fmt.Errorf("schedule: %q: bad shard %q", line, args[0])
 			}
 		default:
 			return nil, fmt.Errorf("schedule: %q: unknown verb %q", line, ev.verb)

@@ -235,6 +235,13 @@ func main() {
 		os.Exit(1)
 	}
 	ctx := context.Background()
+	// Learn the placement ring (and cache its epoch, so a server-side
+	// rebalance mid-run surfaces as a retryable stale_ring redirect
+	// rather than a silent misroute).
+	if ringInfo, err := cli.Ring(ctx); err == nil {
+		fmt.Printf("ccload: ring epoch=%d vnodes=%d load=%.2f shards=%d\n",
+			ringInfo.Epoch, ringInfo.VNodes, ringInfo.LoadFactor, len(ringInfo.Shards))
+	}
 	targets := make([]target, *objects)
 	for i := range targets {
 		name := fmt.Sprintf("obj-%03d", i)

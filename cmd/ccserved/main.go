@@ -12,7 +12,8 @@
 // cluster.NewHTTPHandler): POST /v1/objects, POST /v1/invoke, POST
 // /v1/batch (pipelined per-session invocation groups), POST
 // /v1/crash, POST /v1/fault (scripted chaos: partition, heal,
-// crash/restart, link degradation), GET /v1/stats, GET /v1/monitor,
+// crash/restart, link degradation), GET /v1/ring (placement ring and
+// epoch), GET /v1/stats, GET /v1/monitor,
 // GET /v1/monitor/stream (NDJSON verdicts), GET /v1/healthz (reports
 // the protocol version and topology), GET /v1/readyz (503 while
 // draining). Drive it with the cc/client SDK or cmd/ccload.
@@ -55,6 +56,8 @@ func main() {
 	replication := flag.String("replication", "broadcast", "replication backend: broadcast or antientropy (gossip)")
 	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy round interval (0 = backend default)")
 	resync := flag.Bool("resync", false, "retain delivered broadcasts so healed partitions repair (broadcast backend)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the placement ring (0 = default)")
+	loadFactor := flag.Float64("load-factor", 0, "bounded-load factor for ring placement (0 = default)")
 	drainWait := flag.Duration("drain-wait", 2*time.Second, "readiness drain window before shutdown (readyz answers 503)")
 	flag.Parse()
 
@@ -67,6 +70,8 @@ func main() {
 		Replication:    *replication,
 		GossipInterval: *gossipInterval,
 		Resync:         *resync,
+		VirtualNodes:   *vnodes,
+		LoadFactor:     *loadFactor,
 		Monitor: cluster.MonitorConfig{
 			Disable:     *monSample <= 0,
 			SampleEvery: *monSample,
@@ -102,8 +107,10 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("ccserved: criterion=%s shards=%d replicas=%d batch=%d repl=%s addr=%s protocol=v%d\n",
-		c.Criterion(), *shards, *replicas, *batchOps, c.Replication(), *addr, wire.ProtocolVersion)
+	ringInfo := c.RingWire()
+	fmt.Printf("ccserved: criterion=%s shards=%d replicas=%d batch=%d repl=%s addr=%s protocol=v%d ring(epoch=%d vnodes=%d load=%.2f)\n",
+		c.Criterion(), *shards, *replicas, *batchOps, c.Replication(), *addr, wire.ProtocolVersion,
+		ringInfo.Epoch, ringInfo.VNodes, ringInfo.LoadFactor)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -177,10 +177,11 @@ type Station struct {
 	objs    map[string]*stObject
 	outs    map[uint64]spec.Output
 	outCond *sync.Cond
-	down    bool   // fault-injected crash-stop: refuse service until Restart
-	delivFP uint64 // XOR of delivered-op hashes (set convergence witness)
-	tsHigh  int    // EC: Lamport high-water (assigned ∨ witnessed)
-	lastVT  []int  // per-origin largest timestamp seen, for compaction
+	down    bool    // fault-injected crash-stop: refuse service until Restart
+	delivFP uint64  // XOR of delivered-op hashes (set convergence witness)
+	delivB  []int64 // per-origin delivered-batch counts (quiescence probe)
+	tsHigh  int     // EC: Lamport high-water (assigned ∨ witnessed)
+	lastVT  []int   // per-origin largest timestamp seen, for compaction
 	stats   StationStats
 
 	batchMu  sync.Mutex
@@ -205,6 +206,7 @@ func NewStation(tr net.Transport, id int, mode Mode, cfg StationConfig) *Station
 		mode:     mode,
 		objs:     make(map[string]*stObject),
 		outs:     make(map[uint64]spec.Output),
+		delivB:   make([]int64, tr.N()),
 		lastVT:   make([]int, tr.N()),
 		batchOps: cfg.BatchOps,
 		wait:     cfg.BatchWait,
@@ -595,6 +597,9 @@ func (s *Station) apply(origin, ccvVT int, payload any) {
 		return
 	}
 	s.mu.Lock()
+	if origin >= 0 && origin < len(s.delivB) {
+		s.delivB[origin]++
+	}
 	woke := false
 	for i, op := range m.Ops {
 		o := s.ensureLocked(op.Obj, op.ADT)
@@ -662,6 +667,65 @@ func (s *Station) StateKey(obj string) (string, bool) {
 		return "", false
 	}
 	return o.queryStateLocked(s.mode).Key(), true
+}
+
+// DeliveredBatches returns the per-origin counts of update batches
+// this station has applied. Together with every peer's Broadcasts
+// stat it forms a quiescence probe that works in all four modes: once
+// each station's vector dominates a snapshot of the group's per-origin
+// broadcast counts, every batch counted in that snapshot has been
+// applied everywhere (delivery is exactly-once per origin sequence,
+// so counts cannot be satisfied by other origins' later traffic).
+func (s *Station) DeliveredBatches() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.delivB...)
+}
+
+// ExportObject returns the named object's current local query state —
+// the migration snapshot. Callers must have quiesced the group first
+// (see DeliveredBatches); the export is then the fold of every update
+// the object will ever see on this group.
+func (s *Station) ExportObject(name string) (spec.State, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objs[name]
+	if !ok {
+		return nil, false
+	}
+	return o.queryStateLocked(s.mode), true
+}
+
+// ImportObject installs a migrated object with the given state as its
+// local base: the apply-on-delivery modes (CC, PC) adopt it as the
+// live state, the timestamp-ordered modes (EC, CCv) seed the log's
+// fold base with it. Everything baked into the base is strictly "in
+// the past" of any update this group later delivers for the object —
+// the causal handoff is by construction, no log entries travel.
+func (s *Station) ImportObject(name, adtName string, state spec.State) error {
+	t, err := adt.Lookup(adtName)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objs[name]
+	if !ok {
+		o = s.createLocked(name, adtName, t)
+	}
+	o.state = state
+	o.tl.seed(state)
+	return nil
+}
+
+// DropObject removes the local copy of a migrated-away object. Safe
+// while traffic for other objects continues; the caller guarantees no
+// further operations or deliveries route the dropped object here.
+func (s *Station) DropObject(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objs, name)
+	s.stats.Objects = len(s.objs)
 }
 
 // Compact garbage-collects the stable prefix of every object's

@@ -74,6 +74,16 @@ func (l *tsLog[TS]) state() spec.State { return l.replay(len(l.log)) }
 // size returns the number of live log entries.
 func (l *tsLog[TS]) size() int { return len(l.log) }
 
+// seed resets the log to an externally produced base state with no
+// live entries — the migration import path. Every update folded into
+// base is strictly "in the past" of any entry inserted later, the same
+// invariant compact establishes for its folded prefix.
+func (l *tsLog[TS]) seed(base spec.State) {
+	l.base = base
+	l.log = nil
+	l.cacheState, l.cacheLen = base, 0
+}
+
 // compact folds away the longest prefix of entries satisfying stable
 // (which must be downward closed in the log order: once false, false
 // for every later entry) and returns how many were removed. The

@@ -20,13 +20,30 @@ import (
 )
 
 // batchOp is one queued invocation. attempt counts self-healing
-// re-submissions of this op (0 on first enqueue).
+// re-submissions of this op (0 on first enqueue). readRep names the
+// serving replica of a ReadReplica-target read; sc is non-nil for
+// SLA-routed reads, whose route is re-planned at every dispatch and
+// whose delivered consistency is judged at resolution.
 type batchOp struct {
 	obj     string
 	in      cc.Input
 	target  wire.ReadTarget
+	readRep *int
+	sc      *slaCall
 	fut     *Future
 	attempt int
+}
+
+// sameRoute reports whether two ops can share a batch group: one
+// group carries one read target and one explicit read replica.
+func sameRoute(a, b batchOp) bool {
+	if a.target != b.target {
+		return false
+	}
+	if (a.readRep == nil) != (b.readRep == nil) {
+		return false
+	}
+	return a.readRep == nil || *a.readRep == *b.readRep
 }
 
 // sessQueue is one session's pending ops. notBefore delays the next
@@ -162,13 +179,21 @@ func (b *batcher) buildLocked() (*wire.BatchRequest, [][]batchOp, []int) {
 				q.ops = nil
 				continue
 			}
+			// Re-plan queued SLA reads against current conditions: the
+			// route chosen at enqueue time may predate a failure or a
+			// staleness change.
+			for i := range q.ops {
+				if sc := q.ops[i].sc; sc != nil {
+					q.ops[i].target, q.ops[i].readRep = b.cli.slaPlan(sess, sc)
+				}
+			}
 		}
-		target := q.ops[0].target
+		head := q.ops[0]
 		n := 0
-		for n < len(q.ops) && n < budget && q.ops[n].target == target {
+		for n < len(q.ops) && n < budget && sameRoute(q.ops[n], head) {
 			n++
 		}
-		group := wire.BatchGroup{Session: sess, Target: target, Replica: rep, Frontiers: fronts}
+		group := wire.BatchGroup{Session: sess, Target: head.target, Replica: rep, Frontiers: fronts, ReadReplica: head.readRep}
 		gf := make([]batchOp, n)
 		for i, op := range q.ops[:n] {
 			group.Ops = append(group.Ops, wire.BatchOp{Object: op.obj, Method: op.in.Method, Args: op.in.Args})
@@ -214,6 +239,7 @@ func (b *batcher) send(req *wire.BatchRequest, sent [][]batchOp, sessions []int)
 	}
 	var resp *wire.BatchResponse
 	var err error
+	var rpcStart time.Time
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			b.cli.met.retries.Add(1)
@@ -228,6 +254,7 @@ func (b *batcher) send(req *wire.BatchRequest, sent [][]batchOp, sessions []int)
 		if b.cli != nil {
 			req.Epoch = b.cli.ringEpoch.Load()
 		}
+		rpcStart = time.Now()
 		resp, err = b.tr.Batch(context.Background(), req)
 		if err == nil || !retryable(err) {
 			break
@@ -252,15 +279,31 @@ func (b *batcher) send(req *wire.BatchRequest, sent [][]batchOp, sessions []int)
 		}
 		var requeue []batchOp
 		var groupErr error // worst per-op failure, for the breaker/failover
+		elapsed := time.Since(rpcStart)
 		for i, op := range sent[gi] {
 			switch {
 			case err != nil:
+				if op.sc != nil && b.cli != nil {
+					b.cli.slaObserve(op.sc, nil, elapsed, err)
+				}
 				op.fut.reject(err)
 			case gi >= len(resp.Groups) || len(resp.Groups[gi].Results) != len(sent[gi]):
-				op.fut.reject(wire.Errf(wire.CodeInternal, "malformed batch response for session %d", sess))
+				e := wire.Errf(wire.CodeInternal, "malformed batch response for session %d", sess)
+				if op.sc != nil && b.cli != nil {
+					b.cli.slaObserve(op.sc, nil, elapsed, e)
+				}
+				op.fut.reject(e)
 			default:
 				r := resp.Groups[gi].Results[i]
 				if r.Err == nil {
+					if op.sc != nil && b.cli != nil {
+						// Judge before the group's frontiers merge below, or
+						// the read's own echo would vacuously dominate.
+						b.cli.slaJudgeRMW(sess, op.sc, r.Output)
+						b.cli.slaObserve(op.sc, r.Output, elapsed, nil)
+					} else if b.cli != nil {
+						b.cli.slaNoteHighWater(r.Output)
+					}
 					op.fut.resolve(outputFromWire(r.Output))
 					continue
 				}
@@ -271,6 +314,9 @@ func (b *batcher) send(req *wire.BatchRequest, sent [][]batchOp, sessions []int)
 					op.attempt++
 					requeue = append(requeue, op)
 					continue
+				}
+				if op.sc != nil && b.cli != nil {
+					b.cli.slaObserve(op.sc, nil, elapsed, r.Err)
 				}
 				op.fut.reject(r.Err)
 			}

@@ -39,6 +39,7 @@ import (
 
 	"github.com/paper-repro/ccbm/cc"
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
+	"github.com/paper-repro/ccbm/cc/sla"
 )
 
 // ErrClosed reports an operation submitted after Client.Close.
@@ -51,6 +52,8 @@ type config struct {
 	maxInflight int
 	target      wire.ReadTarget
 	heal        healConfig
+	sla         sla.SLA
+	slaRouter   sla.Router
 }
 
 // Option configures a Client.
@@ -96,6 +99,13 @@ type Client struct {
 	// self-healing option is set.
 	heal     healConfig
 	replicas atomic.Int32
+	// Consistency-SLA state (see sla.go): the per-replica condition
+	// tracker, delivered-verdict counters, and the object → ADT cache
+	// that classifies reads. defSLA/defRouter seed new sessions.
+	sla       *slaState
+	defSLA    sla.SLA
+	defRouter sla.Router
+	adts      sync.Map // object name → cc.ADT
 	// ringEpoch caches the server's ring epoch once Ring has been
 	// called (0 = never fetched: requests carry no epoch and the server
 	// serves them unconditionally). Requests echo it so the server can
@@ -124,13 +134,21 @@ func New(tr Transport, opts ...Option) (*Client, error) {
 	if cfg.maxInflight < 1 {
 		return nil, fmt.Errorf("client: max inflight must be at least 1, got %d", cfg.maxInflight)
 	}
+	if cfg.sla != nil {
+		if err := cfg.sla.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	c := &Client{
-		tr:       tr,
-		target:   cfg.target,
-		heal:     cfg.heal,
-		seq:      make(map[int]*seqState),
-		sessHeal: make(map[int]*healState),
-		breakers: make(map[int]*breaker),
+		tr:        tr,
+		target:    cfg.target,
+		heal:      cfg.heal,
+		sla:       newSLAState(),
+		defSLA:    cfg.sla,
+		defRouter: cfg.slaRouter,
+		seq:       make(map[int]*seqState),
+		sessHeal:  make(map[int]*healState),
+		breakers:  make(map[int]*breaker),
 	}
 	if cfg.batchOps != 0 || cfg.batchDelay != 0 {
 		if cfg.batchOps < 1 {
@@ -167,14 +185,18 @@ func (c *Client) Close() error {
 // values share it — must come from one logical sequential client;
 // give each concurrent actor its own id.
 func (c *Client) Session(id int) *Session {
-	return &Session{c: c, id: id, target: c.target}
+	return &Session{c: c, id: id, target: c.target, sla: c.defSLA, slaRouter: c.defRouter}
 }
 
 // CreateObject registers a named object of a registered ADT
 // ("Counter", "Register", "W2^4", ...); idempotent when the ADT
 // matches.
 func (c *Client) CreateObject(ctx context.Context, name, adtName string) error {
-	return c.tr.CreateObject(ctx, &wire.CreateObjectRequest{Name: name, ADT: adtName})
+	if err := c.tr.CreateObject(ctx, &wire.CreateObjectRequest{Name: name, ADT: adtName}); err != nil {
+		return err
+	}
+	c.rememberADT(name, adtName)
+	return nil
 }
 
 // Health checks the server and verifies it speaks this SDK's
@@ -297,6 +319,10 @@ type Session struct {
 	c      *Client
 	id     int
 	target wire.ReadTarget
+	// Consistency SLA (nil = none): pure-query invocations are routed
+	// adaptively under it (see sla.go). slaRouter nil = sla.MaxUtility.
+	sla       sla.SLA
+	slaRouter sla.Router
 }
 
 // ID returns the session id.
@@ -310,7 +336,9 @@ func (s *Session) Target() wire.ReadTarget { return s.target }
 // handle shares the session id and its program order, only the
 // routing of its queries changes.
 func (s *Session) WithTarget(t wire.ReadTarget) *Session {
-	return &Session{c: s.c, id: s.id, target: t}
+	d := *s
+	d.target = t
+	return &d
 }
 
 // Invoke executes one operation and waits for its result — exactly
@@ -340,8 +368,13 @@ func (s *Session) InvokeAsync(object string, in cc.Input) *Future {
 		f.reject(err)
 		return f
 	}
+	sc := s.slaStart(object, in)
 	if b := s.c.batch; b != nil {
-		b.enqueue(s.id, batchOp{obj: object, in: in, target: s.wireTarget(), fut: f})
+		op := batchOp{obj: object, in: in, target: s.wireTarget(), fut: f, sc: sc}
+		if sc != nil {
+			op.target, op.readRep = s.c.slaPlan(s.id, sc)
+		}
+		b.enqueue(s.id, op)
 		return f
 	}
 	prev, done := s.c.seqPush(s.id)
@@ -349,9 +382,13 @@ func (s *Session) InvokeAsync(object string, in cc.Input) *Future {
 		if prev != nil {
 			<-prev
 		}
+		start := time.Now()
 		resp, err := s.c.invokeHealed(context.Background(), s.id, &wire.InvokeRequest{
 			Session: s.id, Object: object, Method: in.Method, Args: in.Args, Target: s.wireTarget(),
-		})
+		}, sc)
+		if sc != nil {
+			s.c.slaObserve(sc, resp, time.Since(start), err)
+		}
 		if err != nil {
 			f.reject(err)
 		} else {

@@ -113,16 +113,20 @@ type Metrics struct {
 	// BreakerFastFails counts operations failed fast by an open
 	// breaker without touching the wire.
 	BreakerFastFails int64
+	// SLA counts the adaptive-read machinery's decisions and delivered
+	// verdicts (all zero until a session with an SLA reads).
+	SLA SLAMetrics
 }
 
 // Metrics snapshots the self-healing counters (all zero when no
-// self-healing option is enabled).
+// self-healing option is enabled) and the SLA routing counters.
 func (c *Client) Metrics() Metrics {
 	return Metrics{
 		Retries:          c.met.retries.Load(),
 		Failovers:        c.met.failovers.Load(),
 		BreakerOpens:     c.met.breakerOpens.Load(),
 		BreakerFastFails: c.met.fastFails.Load(),
+		SLA:              c.slaMetrics(),
 	}
 }
 
@@ -338,11 +342,19 @@ func (hs *healState) mergeLocked(f *wire.ShardFrontier) {
 	hs.frontiers[f.Shard] = have
 }
 
+// frontTracking reports whether session frontiers are worth
+// accumulating: self-healing needs them to re-attach after failover,
+// and SLA routing needs them to judge whether a weak read delivered
+// read-my-writes anyway.
+func (c *Client) frontTracking() bool {
+	return c.heal.enabled() || c.sla.used.Load()
+}
+
 // mergeFronts folds echoed frontiers into the session's state without
 // touching the breaker (the batcher judges the breaker from its per-op
 // results separately — a served RPC can still carry failed ops).
 func (c *Client) mergeFronts(sess int, fronts []wire.ShardFrontier) {
-	if !c.heal.enabled() || len(fronts) == 0 {
+	if !c.frontTracking() || len(fronts) == 0 {
 		return
 	}
 	c.healMu.Lock()
@@ -356,7 +368,7 @@ func (c *Client) mergeFronts(sess int, fronts []wire.ShardFrontier) {
 // noteSuccess records a served RPC: echoed frontiers accumulate and
 // the serving replica's breaker resets.
 func (c *Client) noteSuccess(sess int, fronts []wire.ShardFrontier) {
-	if !c.heal.enabled() {
+	if !c.frontTracking() {
 		return
 	}
 	c.healMu.Lock()
@@ -412,8 +424,12 @@ func (c *Client) noteFailure(sess int, err error) {
 // invokeHealed runs one invoke RPC under the self-healing policy:
 // breaker fast-fail, bounded jittered-exponential retry, per-session
 // failover with frontier re-attach. With no self-healing options it
-// is exactly one transport call.
-func (c *Client) invokeHealed(ctx context.Context, sess int, req *wire.InvokeRequest) (*wire.InvokeResponse, error) {
+// is exactly one transport call. A non-nil sc makes the op an
+// SLA-routed read: every attempt re-plans the route against current
+// conditions (the failure that caused a retry may have changed them),
+// and the delivered-consistency verdict is judged on the response
+// before its frontier merges into the session state.
+func (c *Client) invokeHealed(ctx context.Context, sess int, req *wire.InvokeRequest, sc *slaCall) (*wire.InvokeResponse, error) {
 	attempts := c.heal.attempts()
 	var last error
 	for a := 0; a < attempts; a++ {
@@ -431,8 +447,16 @@ func (c *Client) invokeHealed(ctx context.Context, sess int, req *wire.InvokeReq
 		}
 		req.Replica, req.Frontiers = rep, fronts
 		req.Epoch = c.ringEpoch.Load()
+		if sc != nil {
+			req.Target, req.ReadReplica = c.slaPlan(sess, sc)
+		}
 		resp, err := c.tr.Invoke(ctx, req)
 		if err == nil {
+			if sc != nil {
+				c.slaJudgeRMW(sess, sc, resp)
+			} else {
+				c.slaNoteHighWater(resp)
+			}
 			var fs []wire.ShardFrontier
 			if resp.Frontier != nil {
 				fs = []wire.ShardFrontier{*resp.Frontier}
@@ -442,6 +466,9 @@ func (c *Client) invokeHealed(ctx context.Context, sess int, req *wire.InvokeReq
 		}
 		last = err
 		c.noteFailure(sess, err)
+		if sc != nil {
+			c.sla.trk.ObserveFailure(sc.attemptReplica(c, sess))
+		}
 		if !retryable(err) {
 			return nil, err
 		}

@@ -17,11 +17,12 @@ import (
 // each Invoke is answered by the next step function, which sees the
 // request the healing layer actually built (replica pin, frontiers).
 type fakeTransport struct {
-	mu       sync.Mutex
-	steps    []func(*wire.InvokeRequest) (*wire.InvokeResponse, error)
-	calls    int
-	pins     []*int // req.Replica per call, copied
-	replicas int    // Healthz topology
+	mu        sync.Mutex
+	steps     []func(*wire.InvokeRequest) (*wire.InvokeResponse, error)
+	calls     int
+	pins      []*int // req.Replica per call, copied
+	replicas  int    // Healthz topology
+	ringCalls int    // Ring fetches (stale-ring refresh probe)
 }
 
 func (f *fakeTransport) Invoke(_ context.Context, req *wire.InvokeRequest) (*wire.InvokeResponse, error) {
@@ -56,8 +57,14 @@ func (f *fakeTransport) Batch(context.Context, *wire.BatchRequest) (*wire.BatchR
 	return nil, errors.New("fake: no batch")
 }
 func (f *fakeTransport) Crash(context.Context, *wire.CrashRequest) error { return nil }
+func (f *fakeTransport) Staleness(context.Context) (*wire.StalenessResponse, error) {
+	return &wire.StalenessResponse{Protocol: wire.ProtocolVersion}, nil
+}
 func (f *fakeTransport) Fault(context.Context, *wire.FaultRequest) error { return nil }
 func (f *fakeTransport) Ring(context.Context) (*wire.RingResponse, error) {
+	f.mu.Lock()
+	f.ringCalls++
+	f.mu.Unlock()
 	return &wire.RingResponse{Epoch: 1, Protocol: wire.ProtocolVersion}, nil
 }
 func (f *fakeTransport) Stats(context.Context) (*wire.StatsResponse, error) {

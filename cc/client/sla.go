@@ -1,0 +1,367 @@
+package client
+
+// Consistency-SLA support: a session declares a ranked sla.SLA, and
+// every pure-query invocation through it is routed adaptively — the
+// client tracks per-replica conditions (EWMA latency from served ops,
+// staleness from the high-water vectors replicas piggyback on
+// responses) and asks an sla.Router for the sub-SLA × replica pair
+// with the highest expected utility. The chosen route rides the
+// existing wire machinery: affinity reads stay the session read,
+// bounded/eventual choices travel as ReadAny or ReadReplica targets.
+//
+// Every SLA-routed read's delivered consistency is judged at response
+// time — an affinity read delivers read-my-writes by construction; a
+// weak read delivers it anyway when the serving replica's echoed
+// frontier dominates the session's accumulated frontier — and the
+// verdict (achieved sub-SLA, utility, miss) lands in SLAMetrics.
+// Updates and mixed ops are never SLA-routed: they keep the session's
+// default path.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+	"github.com/paper-repro/ccbm/cc/sla"
+)
+
+// slaRefreshEvery bounds how often the client polls GET /v1/staleness
+// in the background: adaptive routing steers reads away from a stale
+// replica, which starves the piggyback channel of fresh observations
+// about it; the periodic poll keeps the avoided replica's estimate
+// live so the router notices when it catches back up.
+const slaRefreshEvery = 250 * time.Millisecond
+
+// WithSLA sets a default consistency SLA on every session the client
+// hands out (sessions override per-handle with Session.WithSLA). The
+// SLA must validate.
+func WithSLA(s sla.SLA) Option {
+	return func(c *config) { c.sla = s }
+}
+
+// WithSLARouter substitutes the routing policy used for SLA-routed
+// reads (default sla.MaxUtility). The static baselines
+// sla.StaticAffinity and sla.StaticAny plug in here for comparison
+// runs.
+func WithSLARouter(r sla.Router) Option {
+	return func(c *config) { c.slaRouter = r }
+}
+
+// WithSLA derives a view of the same session whose pure-query
+// invocations are routed adaptively under the SLA: the handle shares
+// the session id and its program order; only the routing and
+// accounting of its reads change.
+func (s *Session) WithSLA(sl sla.SLA) *Session {
+	d := *s
+	d.sla = sl
+	return &d
+}
+
+// WithSLARouter derives a view of the same session using the given
+// routing policy for its SLA reads (default sla.MaxUtility).
+func (s *Session) WithSLARouter(r sla.Router) *Session {
+	d := *s
+	d.slaRouter = r
+	return &d
+}
+
+// SLA returns the session's SLA (nil when none is attached).
+func (s *Session) SLA() sla.SLA { return s.sla }
+
+// slaState is the client's SLA bookkeeping: the condition tracker and
+// the delivered-verdict counters behind SLAMetrics.
+type slaState struct {
+	trk *sla.Tracker
+	// used latches once any SLA read has been planned: it extends the
+	// frontier-accumulation gate (see mergeFronts) to clients that
+	// enabled no self-healing option, since delivered-consistency
+	// verdicts need the session frontier.
+	used       atomic.Bool
+	refreshing atomic.Bool
+	lastPoll   atomic.Int64 // unix nanos of the last staleness poll
+
+	mu        sync.Mutex
+	reads     int64
+	byReplica map[int]int64
+	bySub     map[int]int64
+	misses    int64
+	latMisses int64
+	utilSum   float64
+}
+
+func newSLAState() *slaState {
+	return &slaState{
+		trk:       sla.NewTracker(0),
+		byReplica: make(map[int]int64),
+		bySub:     make(map[int]int64),
+	}
+}
+
+// SLAMetrics counts the adaptive-read machinery's decisions and
+// delivered verdicts. All zero until a session with an SLA reads.
+type SLAMetrics struct {
+	// Reads counts SLA-routed reads that resolved (success or failure).
+	Reads int64
+	// ByReplica counts resolved reads per serving replica (the replica
+	// that actually answered, from the response piggyback; -1 when the
+	// read failed before any replica answered).
+	ByReplica map[int]int64
+	// BySubSLA counts reads per chosen sub-SLA rank (the promise the
+	// router was trying to deliver, not necessarily what arrived).
+	BySubSLA map[int]int64
+	// Misses counts reads whose chosen sub-SLA's consistency promise
+	// was not delivered — the downgrade verdicts.
+	Misses int64
+	// LatencyMisses counts reads that beat their consistency promise
+	// but blew the chosen sub-SLA's latency target.
+	LatencyMisses int64
+	// MeanUtility is the mean delivered utility per resolved read
+	// (sla.SLA.Achieved over the delivered conditions).
+	MeanUtility float64
+	// Conditions is the tracker's current per-replica view (EWMA
+	// latency and staleness), for operator eyes.
+	Conditions []sla.Condition
+}
+
+// slaFor resolves the session's effective SLA and router; the SLA is
+// nil when the session has none.
+func (s *Session) slaFor() (sla.SLA, sla.Router) {
+	if len(s.sla) == 0 {
+		return nil, nil
+	}
+	r := s.slaRouter
+	if r == nil {
+		r = sla.MaxUtility{Explore: sla.DefaultExplore}
+	}
+	return s.sla, r
+}
+
+// slaCall is one SLA-routed read's plan and verdict, threaded through
+// the retry loop (each attempt re-plans against current conditions)
+// and into the observation at resolution.
+type slaCall struct {
+	sla    sla.SLA
+	router sla.Router
+	choice sla.Choice
+	rmw    bool // delivered read-my-writes, judged pre-merge at response time
+}
+
+// slaPlan picks the route for one read right before it is dispatched:
+// snapshot the tracker's conditions, ask the router, and render the
+// choice as wire routing. It never does an RPC (learnTopology is the
+// caller's job, once, outside any batcher lock).
+func (c *Client) slaPlan(sess int, sc *slaCall) (target wire.ReadTarget, readRep *int) {
+	c.slaMaybeRefresh()
+	n := int(c.replicas.Load())
+	conds := c.sla.trk.Conditions(n)
+	c.healMu.Lock()
+	pin := c.sessHealLocked(sess).replica
+	c.healMu.Unlock()
+	affinity := c.effReplica(sess, pin)
+	sc.choice = sc.router.Choose(sc.sla, affinity, conds)
+	switch sc.choice.Route {
+	case sla.RouteAny:
+		return wire.ReadAny, nil
+	case sla.RouteReplica:
+		rep := sc.choice.Replica
+		return wire.ReadReplica, &rep
+	}
+	return "", nil // affinity: the wire default
+}
+
+// slaAttemptReplica is the replica a failed attempt indicts: the
+// explicit choice when the route named one, else -1 (a server-routed
+// ReadAny failure blames nobody in particular).
+func (sc *slaCall) attemptReplica(c *Client, sess int) int {
+	switch sc.choice.Route {
+	case sla.RouteReplica:
+		return sc.choice.Replica
+	case sla.RouteAffinity:
+		c.healMu.Lock()
+		pin := c.sessHealLocked(sess).replica
+		c.healMu.Unlock()
+		return c.effReplica(sess, pin)
+	}
+	return -1
+}
+
+// slaJudgeRMW decides, at response time and before the echoed frontier
+// is merged into the session state, whether the read delivered
+// read-my-writes: an affinity read does by construction; a weak read
+// does when the serving replica's echoed frontier dominates the
+// session's accumulated frontier on that shard.
+func (c *Client) slaJudgeRMW(sess int, sc *slaCall, resp *wire.InvokeResponse) {
+	if sc.choice.Route == sla.RouteAffinity {
+		sc.rmw = true
+		return
+	}
+	f := resp.Frontier
+	if f == nil {
+		sc.rmw = false
+		return
+	}
+	c.healMu.Lock()
+	defer c.healMu.Unlock()
+	hs, ok := c.sessHeal[sess]
+	if !ok {
+		sc.rmw = true // session has seen nothing yet; anything dominates
+		return
+	}
+	for i, v := range hs.frontiers[f.Shard] {
+		if i >= len(f.VC) || f.VC[i] < v {
+			sc.rmw = false
+			return
+		}
+	}
+	sc.rmw = true
+}
+
+// slaObserve records one resolved SLA read: condition samples for the
+// tracker and a delivered verdict for the metrics.
+func (c *Client) slaObserve(sc *slaCall, resp *wire.InvokeResponse, elapsed time.Duration, err error) {
+	st := c.sla
+	rep := -1
+	var staleness time.Duration
+	if err == nil && resp != nil && resp.HighWater != nil {
+		rep = resp.HighWater.Replica
+		st.trk.ObserveLatency(rep, elapsed)
+		staleness = st.trk.ObserveHighWater(resp.HighWater.Shard, rep, resp.HighWater.HW)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.reads++
+	st.byReplica[rep]++
+	if sc.choice.Sub >= 0 {
+		st.bySub[sc.choice.Sub]++
+	}
+	if err != nil {
+		st.misses++
+		return
+	}
+	if !sc.sla.Met(sc.choice.Sub, sc.rmw, staleness) {
+		st.misses++
+	} else if sc.choice.Sub >= 0 && sc.choice.Sub < len(sc.sla) {
+		if t := sc.sla[sc.choice.Sub].TargetLatency; t > 0 && elapsed > t {
+			st.latMisses++
+		}
+	}
+	_, util := sc.sla.Achieved(sc.rmw, staleness, elapsed)
+	st.utilSum += util
+}
+
+// slaNoteHighWater feeds a non-SLA response's piggybacked high-water
+// vector to the tracker. Updates are the primary freshness signal: a
+// session that keeps writing at its affinity replica advances the
+// known-max vector even while the router sends every read elsewhere —
+// without this, a partitioned-but-reachable replica looks fresh
+// forever because only its own frozen vector is ever observed.
+func (c *Client) slaNoteHighWater(resp *wire.InvokeResponse) {
+	if resp == nil || resp.HighWater == nil || !c.sla.used.Load() {
+		return
+	}
+	c.sla.trk.ObserveHighWater(resp.HighWater.Shard, resp.HighWater.Replica, resp.HighWater.HW)
+}
+
+// slaMetrics snapshots the SLA counters for Metrics.
+func (c *Client) slaMetrics() SLAMetrics {
+	st := c.sla
+	st.mu.Lock()
+	m := SLAMetrics{
+		Reads:         st.reads,
+		ByReplica:     make(map[int]int64, len(st.byReplica)),
+		BySubSLA:      make(map[int]int64, len(st.bySub)),
+		Misses:        st.misses,
+		LatencyMisses: st.latMisses,
+	}
+	for k, v := range st.byReplica {
+		m.ByReplica[k] = v
+	}
+	for k, v := range st.bySub {
+		m.BySubSLA[k] = v
+	}
+	if st.reads > 0 {
+		m.MeanUtility = st.utilSum / float64(st.reads)
+	}
+	st.mu.Unlock()
+	if n := int(c.replicas.Load()); n > 0 && st.used.Load() {
+		m.Conditions = st.trk.Conditions(n)
+	}
+	return m
+}
+
+// slaMaybeRefresh starts one background staleness poll when the last
+// one is old enough — the channel that keeps avoided replicas'
+// estimates live (piggybacks only cover replicas the router still
+// sends reads to).
+func (c *Client) slaMaybeRefresh() {
+	st := c.sla
+	now := time.Now().UnixNano()
+	last := st.lastPoll.Load()
+	if now-last < int64(slaRefreshEvery) || !st.lastPoll.CompareAndSwap(last, now) {
+		return
+	}
+	if !st.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer st.refreshing.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		resp, err := c.tr.Staleness(ctx)
+		if err != nil {
+			return
+		}
+		for _, sh := range resp.Shards {
+			for r, rs := range sh.Replicas {
+				st.trk.ObserveHighWater(sh.Shard, r, rs.HW)
+			}
+		}
+	}()
+}
+
+// Staleness fetches every replica's high-water vector and replication
+// lag — the body of GET /v1/staleness.
+func (c *Client) Staleness(ctx context.Context) (*wire.StalenessResponse, error) {
+	return c.tr.Staleness(ctx)
+}
+
+// adtFor resolves the cached sequential spec of a named object. The
+// cache fills when the object passes through Client.CreateObject or
+// Session.Object; operations on objects the client never created are
+// not SLA-routed (their update/query split is unknown).
+func (c *Client) adtFor(object string) (cc.ADT, bool) {
+	v, ok := c.adts.Load(object)
+	if !ok {
+		return nil, false
+	}
+	return v.(cc.ADT), true
+}
+
+// rememberADT caches an object's spec for read classification.
+func (c *Client) rememberADT(object, adtName string) {
+	if t, err := cc.LookupADT(adtName); err == nil {
+		c.adts.Store(object, t)
+	}
+}
+
+// slaStart builds the slaCall for one invocation when the session has
+// an SLA and the op is a pure query (classifiable and not an update);
+// nil otherwise. It also latches frontier accumulation and makes sure
+// the replica count is learned (one healthz, cached) so planning has
+// candidates.
+func (s *Session) slaStart(object string, in cc.Input) *slaCall {
+	sl, router := s.slaFor()
+	if sl == nil {
+		return nil
+	}
+	t, ok := s.c.adtFor(object)
+	if !ok || t.IsUpdate(in) || !t.IsQuery(in) {
+		return nil
+	}
+	s.c.sla.used.Store(true)
+	s.c.learnTopology()
+	return &slaCall{sla: sl, router: router}
+}

@@ -31,6 +31,10 @@ type Transport interface {
 	// topology, per-shard loads, and the current ring epoch.
 	Ring(ctx context.Context) (*wire.RingResponse, error)
 	Stats(ctx context.Context) (*wire.StatsResponse, error)
+	// Staleness fetches every replica's high-water vector and
+	// replication lag — the SLA machinery's bulk condition source
+	// (per-query piggybacks cover only replicas reads still land on).
+	Staleness(ctx context.Context) (*wire.StalenessResponse, error)
 	Monitor(ctx context.Context, verdicts bool) (*wire.MonitorResponse, error)
 	// MonitorStream subscribes to the monitor's verdict stream: every
 	// verdict so far, then new ones live. The channel closes when the
@@ -193,6 +197,14 @@ func (t *HTTPTransport) Stats(ctx context.Context) (*wire.StatsResponse, error) 
 	return &resp, nil
 }
 
+func (t *HTTPTransport) Staleness(ctx context.Context) (*wire.StalenessResponse, error) {
+	var resp wire.StalenessResponse
+	if err := t.roundTrip(ctx, http.MethodGet, "/staleness", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 func (t *HTTPTransport) Monitor(ctx context.Context, verdicts bool) (*wire.MonitorResponse, error) {
 	path := "/monitor"
 	if verdicts {
@@ -316,6 +328,10 @@ func (l *Loopback) Ring(context.Context) (*wire.RingResponse, error) {
 
 func (l *Loopback) Stats(context.Context) (*wire.StatsResponse, error) {
 	return l.c.StatsWire(), nil
+}
+
+func (l *Loopback) Staleness(context.Context) (*wire.StalenessResponse, error) {
+	return l.c.StalenessWire(), nil
 }
 
 func (l *Loopback) Monitor(_ context.Context, verdicts bool) (*wire.MonitorResponse, error) {

@@ -67,24 +67,49 @@ func validateInput(t cc.ADT, in cc.Input) (err error) {
 }
 
 // station routes one operation: updates and affinity reads go to the
-// session's pinned replica, ReadAny reads round-robin over the
-// object's shard (transport-crashed replicas included — they still
-// serve wait-free from their partitioned local state, which is
-// exactly the weak read ReadAny buys — but fault-stopped replicas are
-// skipped: they refuse service outright, and routing a weak read into
-// a guaranteed error helps no one).
-func (c *Cluster) station(sh *shard, affinity int, target wire.ReadTarget, isUpdate bool) *core.Station {
+// session's pinned replica, ReadReplica reads to the session's
+// explicit read replica (the SLA router's choice), and ReadAny reads
+// round-robin over the object's shard (transport-crashed replicas
+// included — they still serve wait-free from their partitioned local
+// state, which is exactly the weak read ReadAny buys — but
+// fault-stopped replicas are skipped: they refuse service outright,
+// and routing a weak read into a guaranteed error helps no one).
+func (c *Cluster) station(sh *shard, affinity int, target wire.ReadTarget, readRep *int, isUpdate bool) *core.Station {
 	sts := sh.stations
-	if isUpdate || target != wire.ReadAny {
+	if isUpdate {
 		return sts[affinity]
 	}
-	for range sts {
-		st := sts[int(sh.rr.Add(1)%uint32(len(sts)))]
-		if !st.Down() {
-			return st
+	switch target {
+	case wire.ReadReplica:
+		if readRep != nil {
+			return sts[*readRep]
+		}
+	case wire.ReadAny:
+		for range sts {
+			st := sts[int(sh.rr.Add(1)%uint32(len(sts)))]
+			if !st.Down() {
+				return st
+			}
 		}
 	}
 	return sts[affinity]
+}
+
+// sleepReplica applies the replica's injected serving delay, if any
+// (SetReplicaDelay). Called with no locks held.
+func (c *Cluster) sleepReplica(replica int) {
+	if replica < 0 || replica >= len(c.delays) {
+		return
+	}
+	if d := c.delays[replica].Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// highWater snapshots a serving station's high-water vector in wire
+// form — the per-query staleness piggyback.
+func highWater(shardIdx int, st *core.Station) *wire.HighWater {
+	return &wire.HighWater{Shard: shardIdx, Replica: st.ID(), HW: st.HighWater()}
 }
 
 // InvokeTarget executes one operation with a per-request read target
@@ -95,27 +120,31 @@ func (c *Cluster) station(sh *shard, affinity int, target wire.ReadTarget, isUpd
 // monitored history. Updates always run at the pinned replica
 // regardless of target (program order is not negotiable).
 func (s *Session) InvokeTarget(object string, in cc.Input, target wire.ReadTarget) (cc.Output, error) {
-	out, _, err := s.invokeTarget(object, in, target)
+	out, _, _, err := s.invokeTarget(object, in, target)
 	return out, err
 }
 
 // invokeTarget is InvokeTarget plus the shard index the operation ran
-// on — the wire layer echoes a frontier for that shard, and reading it
-// under the object's gate is the only race-free way to learn it (a
-// migration may flip o.shard the instant the gate releases).
-func (s *Session) invokeTarget(object string, in cc.Input, target wire.ReadTarget) (cc.Output, int, error) {
+// on and the station that served it — the wire layer echoes a frontier
+// and a high-water vector for that (shard, replica), and reading the
+// shard under the object's gate is the only race-free way to learn it
+// (a migration may flip o.shard the instant the gate releases).
+func (s *Session) invokeTarget(object string, in cc.Input, target wire.ReadTarget) (cc.Output, int, *core.Station, error) {
 	if !target.Valid() {
-		return cc.Output{}, 0, fmt.Errorf("cluster: unknown read target %q", target)
+		return cc.Output{}, 0, nil, fmt.Errorf("cluster: unknown read target %q", target)
+	}
+	if target == wire.ReadReplica && s.readRep == nil {
+		return cc.Output{}, 0, nil, fmt.Errorf("cluster: read target %q needs a read replica", target)
 	}
 	c := s.c
 	c.mu.RLock()
 	o, ok := c.objects[object]
 	c.mu.RUnlock()
 	if !ok {
-		return cc.Output{}, 0, fmt.Errorf("%w %q", ErrUnknownObject, object)
+		return cc.Output{}, 0, nil, fmt.Errorf("%w %q", ErrUnknownObject, object)
 	}
 	if err := validateInput(o.t, in); err != nil {
-		return cc.Output{}, 0, err
+		return cc.Output{}, 0, nil, err
 	}
 	isUpdate := o.t.IsUpdate(in)
 	// The gate's read side pins the object to its shard for the whole
@@ -124,28 +153,34 @@ func (s *Session) invokeTarget(object string, in cc.Input, target wire.ReadTarge
 	// between the quiescence snapshot and the snapshot shipping.
 	o.gate.RLock()
 	shardIdx := o.shard
-	st := c.station(c.shardList()[shardIdx], s.replica, target, isUpdate)
-	if o.rec == nil || (!isUpdate && target == wire.ReadAny) {
+	st := c.station(c.shardList()[shardIdx], s.replica, target, s.readRep, isUpdate)
+	if o.rec == nil || (!isUpdate && target.Weak()) {
+		if !isUpdate && target.Weak() {
+			c.weakReads.Add(1)
+		}
 		out, err := st.Invoke(object, in)
 		o.gate.RUnlock()
-		return out, shardIdx, err
+		c.sleepReplica(st.ID())
+		return out, shardIdx, st, err
 	}
 	inv := time.Since(c.start).Seconds()
 	out, err := st.Invoke(object, in)
 	o.gate.RUnlock()
+	c.sleepReplica(st.ID())
 	if err == nil {
 		o.rec.record(s.id, cc.NewOp(in, out), inv, time.Since(c.start).Seconds())
 	}
-	return out, shardIdx, err
+	return out, shardIdx, st, err
 }
 
 // groupPend is one in-flight update of a batch group.
 type groupPend struct {
-	idx  int
-	wait func() cc.Output
-	o    *object
-	in   cc.Input
-	inv  float64
+	idx   int
+	wait  func() cc.Output
+	o     *object
+	in    cc.Input
+	inv   float64
+	shard int
 }
 
 // InvokeGroup executes one session's ordered run of operations — the
@@ -175,21 +210,44 @@ func (s *Session) invokeGroup(ops []wire.BatchOp, target wire.ReadTarget) ([]wir
 		}
 		return results, updated
 	}
+	if target == wire.ReadReplica && s.readRep == nil {
+		e := wire.Errf(wire.CodeBadRequest, "read target %q needs a read_replica", target)
+		for i := range results {
+			results[i].Err = e
+		}
+		return results, updated
+	}
 	c := s.c
 	pending := make(map[*core.Station][]groupPend)
 	// resolve collects a station's pipelined updates in submission
 	// order, recording each in the monitor with its true submit time —
 	// so the recorded per-session, per-object order is identical to
 	// per-op calls (TimedToHistory orders a process's ops by Inv).
+	// The station's injected delay (SetReplicaDelay) applies once per
+	// barrier, not per pipelined op: the barrier is one logical answer,
+	// the way a far replica's batch RPC pays one round trip.
 	resolve := func(st *core.Station) {
-		for _, p := range pending[st] {
+		ps := pending[st]
+		delete(pending, st)
+		if len(ps) == 0 {
+			return
+		}
+		c.sleepReplica(st.ID())
+		for _, p := range ps {
 			out := p.wait()
 			if p.o.rec != nil {
 				p.o.rec.record(s.id, cc.NewOp(p.in, out), p.inv, time.Since(c.start).Seconds())
 			}
 			results[p.idx] = wire.BatchResult{Output: outputToWire(out)}
 		}
-		delete(pending, st)
+		// One high-water snapshot serves every update of the barrier: the
+		// client only needs the vector to advance its known-freshest view.
+		hw := st.HighWater()
+		for _, p := range ps {
+			if results[p.idx].Output != nil {
+				results[p.idx].Output.HighWater = &wire.HighWater{Shard: p.shard, Replica: st.ID(), HW: hw}
+			}
+		}
 	}
 	for i, bop := range ops {
 		in := cc.NewInput(bop.Method, bop.Args...)
@@ -211,7 +269,7 @@ func (s *Session) invokeGroup(ops []wire.BatchOp, target wire.ReadTarget) ([]wir
 		// which a migration's quiescence already waited for.
 		o.gate.RLock()
 		shardIdx := o.shard
-		st := c.station(c.shardList()[shardIdx], s.replica, target, isUpdate)
+		st := c.station(c.shardList()[shardIdx], s.replica, target, s.readRep, isUpdate)
 		if isUpdate {
 			inv := time.Since(c.start).Seconds()
 			wait, err := st.InvokeAsync(bop.Object, in)
@@ -221,28 +279,45 @@ func (s *Session) invokeGroup(ops []wire.BatchOp, target wire.ReadTarget) ([]wir
 				continue
 			}
 			updated[shardIdx] = true
-			pending[st] = append(pending[st], groupPend{idx: i, wait: wait, o: o, in: in, inv: inv})
+			pending[st] = append(pending[st], groupPend{idx: i, wait: wait, o: o, in: in, inv: inv, shard: shardIdx})
 			continue
 		}
 		// A same-station query must observe the session's pipelined
 		// updates (an object's updates and its affinity reads share a
-		// station, so this preserves read-your-writes). A ReadAny query
-		// waives that ordering, so it skips the barrier too.
-		anyRead := target == wire.ReadAny
-		if !anyRead {
+		// station, so this preserves read-your-writes). A weak query
+		// (ReadAny, ReadReplica) waives that ordering, so it skips the
+		// barrier too.
+		weak := target.Weak()
+		if !weak {
 			resolve(st)
+		} else {
+			c.weakReads.Add(1)
 		}
 		inv := time.Since(c.start).Seconds()
 		out, err := st.Invoke(bop.Object, in)
+		var frontier *wire.ShardFrontier
+		if weak {
+			// Snapshot the serving replica's frontier under the gate: the
+			// client compares it against the session's accumulated frontier
+			// to learn whether this weak read delivered read-my-writes
+			// anyway (the SLA delivered-consistency verdict).
+			if vc := st.Frontier(); vc != nil {
+				frontier = &wire.ShardFrontier{Shard: shardIdx, VC: vc}
+			}
+		}
 		o.gate.RUnlock()
+		c.sleepReplica(st.ID())
 		if err != nil {
 			results[i].Err = WireError(err)
 			continue
 		}
-		if o.rec != nil && !anyRead {
+		if o.rec != nil && !weak {
 			o.rec.record(s.id, cc.NewOp(in, out), inv, time.Since(c.start).Seconds())
 		}
-		results[i] = wire.BatchResult{Output: outputToWire(out)}
+		resp := outputToWire(out)
+		resp.Frontier = frontier
+		resp.HighWater = highWater(shardIdx, st)
+		results[i] = wire.BatchResult{Output: resp}
 	}
 	for st := range pending {
 		resolve(st)
@@ -257,18 +332,25 @@ const frontierWait = 2 * time.Second
 
 // sessionFor opens the session a wire request names, honoring its
 // failover fields: an explicit Replica pin overrides the default
-// (session id mod replica count), and any carried Frontiers are
+// (session id mod replica count), readRep names the serving replica
+// of ReadReplica-target queries, and any carried Frontiers are
 // waited for — the serving replica must have delivered everything the
 // session has already seen before it serves (read-your-writes across
 // failover). A replica that cannot catch up within frontierWait
 // yields CodeUnavailable.
-func (c *Cluster) sessionFor(id int, replica *int, frontiers []wire.ShardFrontier) (*Session, *wire.Error) {
+func (c *Cluster) sessionFor(id int, replica, readRep *int, frontiers []wire.ShardFrontier) (*Session, *wire.Error) {
 	s := c.Session(id)
 	if replica != nil {
 		if err := c.checkReplica(*replica); err != nil {
 			return nil, wire.Errf(wire.CodeBadRequest, "%v", err)
 		}
 		s.replica = *replica
+	}
+	if readRep != nil {
+		if err := c.checkReplica(*readRep); err != nil {
+			return nil, wire.Errf(wire.CodeBadRequest, "%v", err)
+		}
+		s.readRep = readRep
 	}
 	for _, f := range frontiers {
 		// A frontier naming a drained shard is answered from the recorded
@@ -332,26 +414,36 @@ func (c *Cluster) InvokeWire(req *wire.InvokeRequest) (*wire.InvokeResponse, *wi
 	if e := c.checkEpoch(req.Epoch); e != nil {
 		return nil, e
 	}
-	s, e := c.sessionFor(req.Session, req.Replica, req.Frontiers)
+	s, e := c.sessionFor(req.Session, req.Replica, req.ReadReplica, req.Frontiers)
 	if e != nil {
 		return nil, e
 	}
 	in := cc.NewInput(req.Method, req.Args...)
-	out, shardIdx, err := s.invokeTarget(req.Object, in, req.Target)
+	out, shardIdx, st, err := s.invokeTarget(req.Object, in, req.Target)
 	if err != nil {
 		return nil, WireError(err)
 	}
 	resp := outputToWire(out)
+	resp.HighWater = highWater(shardIdx, st)
 	c.mu.RLock()
 	o := c.objects[req.Object]
 	c.mu.RUnlock()
-	if o != nil && o.t.IsUpdate(in) {
+	switch {
+	case o != nil && o.t.IsUpdate(in):
 		// Echo the frontier reached after the update applied locally: a
 		// conservative snapshot (it may include concurrent deliveries),
 		// which only ever makes a failover wait longer, never unsound.
 		// The shard is the one the op actually ran on (read under the
 		// object's gate) — o.shard may already point elsewhere.
 		resp.Frontier = c.frontier(shardIdx, s.replica)
+	case req.Target.Weak():
+		// Echo the serving replica's frontier on a weak read, so the
+		// client can tell whether the read delivered read-my-writes
+		// anyway (frontier comparison at response time — the SLA
+		// delivered-consistency verdict).
+		if vc := st.Frontier(); vc != nil {
+			resp.Frontier = &wire.ShardFrontier{Shard: shardIdx, VC: vc}
+		}
 	}
 	return resp, nil
 }
@@ -385,7 +477,7 @@ func (c *Cluster) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchResponse, *wi
 		wg.Add(1)
 		go func(i int, g wire.BatchGroup) {
 			defer wg.Done()
-			s, e := c.sessionFor(g.Session, g.Replica, g.Frontiers)
+			s, e := c.sessionFor(g.Session, g.Replica, g.ReadReplica, g.Frontiers)
 			if e != nil {
 				// A failover precondition failure (bad pin, frontier
 				// timeout) fails the whole group: its ops never ran, and
@@ -433,6 +525,7 @@ func (c *Cluster) StatsWire() *wire.StatsResponse {
 		UptimeSeconds: st.Uptime.Seconds(),
 		Objects:       st.Objects,
 		Criterion:     st.Criteria,
+		WeakReads:     st.WeakReads,
 		Invocations:   st.Totals.Invocations,
 		Updates:       st.Totals.Updates,
 		Queries:       st.Totals.Queries,

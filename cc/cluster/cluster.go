@@ -206,6 +206,17 @@ type Cluster struct {
 	// time); it is never held while serving traffic.
 	rebalMu sync.Mutex
 
+	// delays[r] is the injected serving delay of replica index r across
+	// every shard, in nanoseconds (SetReplicaDelay): each operation
+	// served by that replica sleeps the delay before answering — the
+	// asymmetric-latency topology the SLA router routes around.
+	delays []atomic.Int64
+
+	// weakReads counts queries served outside their session's ordering
+	// (wire.ReadTarget.Weak): the monitor excludes them from its checked
+	// histories, so they are tallied separately for operators.
+	weakReads atomic.Int64
+
 	mu      sync.RWMutex
 	shards  []*shard // append-only; snapshots via shardList are immutable
 	ring    *ring
@@ -233,6 +244,7 @@ func New(cfg Config) (*Cluster, error) {
 		objects:    make(map[string]*object),
 		drainFinal: make(map[int]vclock.VC),
 		start:      time.Now(),
+		delays:     make([]atomic.Int64, cfg.Replicas),
 	}
 	c.epoch.Store(1)
 	for i := 0; i < cfg.Shards; i++ {
@@ -246,6 +258,7 @@ func New(cfg Config) (*Cluster, error) {
 // newShard builds one replica group.
 func (c *Cluster) newShard(idx int) *shard {
 	sh := &shard{idx: idx, net: net.NewLive(c.cfg.Replicas)}
+	birth := time.Now().UnixNano() // shared: see core.StationConfig.Birth
 	for r := 0; r < c.cfg.Replicas; r++ {
 		sh.stations = append(sh.stations, core.NewStation(sh.net, r, c.mode,
 			core.StationConfig{
@@ -254,6 +267,7 @@ func (c *Cluster) newShard(idx int) *shard {
 				Replication:    c.repl,
 				GossipInterval: c.cfg.GossipInterval,
 				Retain:         c.cfg.Resync,
+				Birth:          birth,
 			}))
 	}
 	return sh
@@ -357,6 +371,11 @@ type Session struct {
 	c       *Cluster
 	id      int
 	replica int
+	// readRep is the explicit serving replica of ReadReplica-target
+	// queries (wire.InvokeRequest.ReadReplica); nil until a wire
+	// request sets it. It moves only those queries — updates and
+	// affinity reads stay at the pinned replica.
+	readRep *int
 }
 
 // ID returns the session id.
@@ -424,12 +443,15 @@ type ShardStats struct {
 // Totals sums every station's counters; its Objects field is the
 // cluster-level count of distinct objects (the per-station Objects
 // gauges would multiply-count each object once per replica).
+// WeakReads counts queries served outside their session's ordering
+// (ReadAny, ReadReplica).
 type Stats struct {
-	Uptime   time.Duration
-	Objects  int
-	Criteria string
-	Totals   core.StationStats
-	Shards   []ShardStats
+	Uptime    time.Duration
+	Objects   int
+	Criteria  string
+	WeakReads int64
+	Totals    core.StationStats
+	Shards    []ShardStats
 }
 
 // Stats snapshots every station's counters.
@@ -438,9 +460,10 @@ func (c *Cluster) Stats() Stats {
 	nobj := len(c.objects)
 	c.mu.RUnlock()
 	s := Stats{
-		Uptime:   time.Since(c.start),
-		Objects:  nobj,
-		Criteria: c.cfg.Criterion,
+		Uptime:    time.Since(c.start),
+		Objects:   nobj,
+		Criteria:  c.cfg.Criterion,
+		WeakReads: c.weakReads.Load(),
 	}
 	s.Totals.Objects = nobj
 	for _, sh := range c.shardList() {

@@ -155,6 +155,33 @@ func (c *Cluster) ClearLinkFaults(shardIdx int) error {
 	return c.eachShard(shardIdx, func(sh *shard) { sh.net.ClearLinkFaults() })
 }
 
+// SetReplicaDelay injects a fixed serving delay on one replica index,
+// across every shard: each operation served by that replica sleeps
+// the delay before answering (pipelined batch updates pay it once per
+// flush barrier — the barrier is one logical answer). It models an
+// asymmetric topology — a replica placed far from the client — which
+// is what the SLA router's latency axis routes around; replication
+// lag between replicas is modeled separately by SetLinkFault. Zero
+// clears the delay.
+func (c *Cluster) SetReplicaDelay(replica int, d time.Duration) error {
+	if err := c.checkReplica(replica); err != nil {
+		return err
+	}
+	if d < 0 {
+		return fmt.Errorf("cluster: negative replica delay %v", d)
+	}
+	c.delays[replica].Store(int64(d))
+	return nil
+}
+
+// ReplicaDelay reports the replica's injected serving delay.
+func (c *Cluster) ReplicaDelay(replica int) time.Duration {
+	if replica < 0 || replica >= len(c.delays) {
+		return 0
+	}
+	return time.Duration(c.delays[replica].Load())
+}
+
 // ReplicaDown reports whether the replica is fault-stopped
 // (StopReplica without a matching RestartReplica).
 func (c *Cluster) ReplicaDown(shardIdx, replica int) bool {
@@ -322,6 +349,8 @@ func (c *Cluster) ApplyFault(req *wire.FaultRequest) *wire.Error {
 			time.Duration(req.JitterUS)*time.Microsecond, req.Drop)
 	case wire.FaultLinkClear:
 		err = c.ClearLinkFaults(shardIdx)
+	case wire.FaultReplicaDelay:
+		err = c.SetReplicaDelay(req.Replica, time.Duration(req.DelayUS)*time.Microsecond)
 	default:
 		return wire.Errf(wire.CodeBadRequest, "unknown fault action %q", req.Action)
 	}

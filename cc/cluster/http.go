@@ -24,6 +24,7 @@ type httpServer struct {
 //	POST /v1/crash           crash-stop a replica         (wire.CrashRequest → wire.OKResponse)
 //	POST /v1/fault           scripted fault injection     (wire.FaultRequest → wire.OKResponse)
 //	GET  /v1/ring            consistent-hash ring + epoch (wire.RingResponse)
+//	GET  /v1/staleness       per-replica high-water marks (wire.StalenessResponse)
 //	GET  /v1/stats           activity snapshot            (wire.StatsResponse)
 //	GET  /v1/monitor         monitor summary              (wire.MonitorResponse; ?verdicts=1 adds the full list)
 //	GET  /v1/monitor/stream  NDJSON verdict stream        (one wire.Verdict per line, replay then live)
@@ -47,6 +48,7 @@ func NewHTTPHandler(c *Cluster) http.Handler {
 	mux.HandleFunc("POST "+wire.PathPrefix+"/crash", s.crash)
 	mux.HandleFunc("POST "+wire.PathPrefix+"/fault", s.fault)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/ring", s.ring)
+	mux.HandleFunc("GET "+wire.PathPrefix+"/staleness", s.staleness)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/stats", s.stats)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/monitor", s.monitor)
 	mux.HandleFunc("GET "+wire.PathPrefix+"/monitor/stream", s.monitorStream)
@@ -64,6 +66,7 @@ func NewHTTPHandler(c *Cluster) http.Handler {
 		}
 		writeJSON(w, status, wire.ReadyzResponse{
 			Ready: !draining, Draining: draining, Protocol: wire.ProtocolVersion,
+			MaxLagUS: c.MaxLagUS(),
 		})
 	})
 	return epochHeader(c, mux)
@@ -173,6 +176,10 @@ func (s *httpServer) fault(w http.ResponseWriter, r *http.Request) {
 
 func (s *httpServer) ring(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.c.RingWire())
+}
+
+func (s *httpServer) staleness(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.c.StalenessWire())
 }
 
 func (s *httpServer) stats(w http.ResponseWriter, _ *http.Request) {

@@ -291,6 +291,11 @@ func (c *Cluster) RingWire() *wire.RingResponse {
 		if !rs.Drained {
 			rs.Active = true
 			rs.Objects = loads[sh.idx]
+			hws := make([][]int64, len(sh.stations))
+			for r, st := range sh.stations {
+				hws[r] = st.HighWater()
+			}
+			rs.ReplicaLagUS = shardLagUS(hws)
 		}
 		for _, st := range sh.stations {
 			rs.Invocations += st.Stats().Invocations

@@ -1,0 +1,89 @@
+package cluster
+
+// Staleness exposure: every replica keeps per-origin high-water
+// timestamps (core.Station.HighWater — the wall-clock send stamp of
+// the latest update batch delivered from each origin). The snapshot
+// here is what GET /v1/staleness serves and what the readyz/ring
+// replication-lag fields are computed from; the per-query piggyback
+// (wire.InvokeResponse.HighWater) is taken on the serving path in
+// batch.go. A replica's lag is its worst per-origin deficit against
+// the freshest vector in its shard — how far behind its delivery
+// (broadcast or anti-entropy gossip) is running, in time units.
+
+import (
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+// shardLagUS computes each replica's replication lag in microseconds
+// from the shard's high-water vectors: the worst componentwise
+// deficit against the shard-wide maximum.
+func shardLagUS(hws [][]int64) []int64 {
+	if len(hws) == 0 {
+		return nil
+	}
+	freshest := append([]int64(nil), hws[0]...)
+	for _, hw := range hws[1:] {
+		for o, v := range hw {
+			if o < len(freshest) && v > freshest[o] {
+				freshest[o] = v
+			}
+		}
+	}
+	lags := make([]int64, len(hws))
+	for r, hw := range hws {
+		var worst int64
+		for o, v := range hw {
+			if o < len(freshest) {
+				if d := freshest[o] - v; d > worst {
+					worst = d
+				}
+			}
+		}
+		lags[r] = worst / 1000 // nanoseconds → microseconds
+	}
+	return lags
+}
+
+// StalenessWire snapshots every replica's high-water vector and lag —
+// the body of GET /v1/staleness. Drained shards keep their slot with
+// no replicas, so shard indices stay aligned with the ring.
+func (c *Cluster) StalenessWire() *wire.StalenessResponse {
+	resp := &wire.StalenessResponse{Protocol: wire.ProtocolVersion}
+	for _, sh := range c.shardList() {
+		ss := wire.ShardStaleness{Shard: sh.idx, Drained: sh.drained.Load()}
+		if !ss.Drained {
+			hws := make([][]int64, len(sh.stations))
+			for r, st := range sh.stations {
+				hws[r] = st.HighWater()
+			}
+			lags := shardLagUS(hws)
+			for r := range hws {
+				ss.Replicas = append(ss.Replicas, wire.ReplicaStaleness{HW: hws[r], LagUS: lags[r]})
+			}
+		}
+		resp.Shards = append(resp.Shards, ss)
+	}
+	return resp
+}
+
+// MaxLagUS returns the worst per-replica replication lag across the
+// cluster, in microseconds — the readyz-level convergence gauge. 0
+// when every replica has delivered everything its shard has sent.
+func (c *Cluster) MaxLagUS() int64 {
+	var worst int64
+	for _, sh := range c.shardList() {
+		if sh.drained.Load() {
+			continue
+		}
+		hws := make([][]int64, len(sh.stations))
+		for r, st := range sh.stations {
+			hws[r] = st.HighWater()
+		}
+		for _, lag := range shardLagUS(hws) {
+			if lag > worst {
+				worst = lag
+			}
+		}
+	}
+	return worst
+}

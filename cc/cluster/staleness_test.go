@@ -1,0 +1,206 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc/cluster"
+	"github.com/paper-repro/ccbm/cc/cluster/wire"
+)
+
+func newStalenessCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Shards: 1, Replicas: 3, Criterion: "CCv", BatchOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.CreateObject("x", "Counter"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStalenessSnapshotConverges checks the high-water plumbing end to
+// end: updates advance the origin's stamp everywhere, and once every
+// replica has delivered everything, the per-replica lag is zero.
+func TestStalenessSnapshotConverges(t *testing.T) {
+	c := newStalenessCluster(t)
+	s := c.Session(0)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Call("x", "inc", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AwaitConvergence(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resp := c.StalenessWire()
+	if len(resp.Shards) != 1 || len(resp.Shards[0].Replicas) != 3 {
+		t.Fatalf("unexpected staleness shape: %+v", resp)
+	}
+	var stamp int64
+	for r, rs := range resp.Shards[0].Replicas {
+		if len(rs.HW) != 3 {
+			t.Fatalf("replica %d: hw len %d, want 3", r, len(rs.HW))
+		}
+		if rs.LagUS != 0 {
+			t.Errorf("replica %d: lag %dus after convergence, want 0", r, rs.LagUS)
+		}
+		if r == 0 {
+			stamp = rs.HW[0]
+		} else if rs.HW[0] != stamp {
+			t.Errorf("replica %d: origin-0 stamp %d, want %d (converged)", r, rs.HW[0], stamp)
+		}
+	}
+	if got := c.MaxLagUS(); got != 0 {
+		t.Errorf("MaxLagUS = %d after convergence, want 0", got)
+	}
+}
+
+// TestInvokepiggybacksHighWater checks that both update and query
+// responses carry the serving replica's high-water vector, and that a
+// weak query additionally echoes the replica's frontier.
+func TestInvokePiggybacksHighWater(t *testing.T) {
+	c := newStalenessCluster(t)
+	upd, e := c.InvokeWire(&wire.InvokeRequest{Session: 0, Object: "x", Method: "inc", Args: []int{1}})
+	if e != nil {
+		t.Fatal(e)
+	}
+	if upd.HighWater == nil || upd.HighWater.Replica != 0 || len(upd.HighWater.HW) != 3 {
+		t.Fatalf("update high-water = %+v", upd.HighWater)
+	}
+	rr := 2
+	q, e := c.InvokeWire(&wire.InvokeRequest{
+		Session: 0, Object: "x", Method: "get", Target: wire.ReadReplica, ReadReplica: &rr,
+	})
+	if e != nil {
+		t.Fatal(e)
+	}
+	if q.HighWater == nil || q.HighWater.Replica != 2 {
+		t.Fatalf("read-replica high-water = %+v, want replica 2", q.HighWater)
+	}
+	if q.Frontier == nil {
+		t.Fatal("weak query should echo the serving replica's frontier")
+	}
+	if got := c.StatsWire().WeakReads; got != 1 {
+		t.Errorf("WeakReads = %d, want 1", got)
+	}
+}
+
+// TestReadReplicaValidation checks the explicit-replica target's error
+// paths: the replica must be named and in range.
+func TestReadReplicaValidation(t *testing.T) {
+	c := newStalenessCluster(t)
+	if _, e := c.InvokeWire(&wire.InvokeRequest{
+		Session: 0, Object: "x", Method: "get", Target: wire.ReadReplica,
+	}); e == nil {
+		t.Error("read_replica missing: expected error")
+	}
+	bad := 9
+	if _, e := c.InvokeWire(&wire.InvokeRequest{
+		Session: 0, Object: "x", Method: "get", Target: wire.ReadReplica, ReadReplica: &bad,
+	}); e == nil {
+		t.Error("read_replica out of range: expected error")
+	}
+}
+
+// TestReplicaDelayFault checks the per-replica serving delay: the
+// fault dispatch route, the getter, validation, and that a delayed
+// replica actually serves slower than an undelayed one.
+func TestReplicaDelayFault(t *testing.T) {
+	c := newStalenessCluster(t)
+	if err := c.SetReplicaDelay(1, -time.Millisecond); err == nil {
+		t.Error("negative delay: expected error")
+	}
+	if err := c.SetReplicaDelay(9, time.Millisecond); err == nil {
+		t.Error("replica out of range: expected error")
+	}
+	if e := c.ApplyFault(&wire.FaultRequest{
+		Action: wire.FaultReplicaDelay, Replica: 1, DelayUS: 30_000,
+	}); e != nil {
+		t.Fatal(e)
+	}
+	if got := c.ReplicaDelay(1); got != 30*time.Millisecond {
+		t.Fatalf("ReplicaDelay(1) = %v, want 30ms", got)
+	}
+	rr := 1
+	start := time.Now()
+	if _, e := c.InvokeWire(&wire.InvokeRequest{
+		Session: 0, Object: "x", Method: "get", Target: wire.ReadReplica, ReadReplica: &rr,
+	}); e != nil {
+		t.Fatal(e)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("delayed read took %v, want >= 30ms", elapsed)
+	}
+	// Clearing the delay restores fast serving.
+	if err := c.SetReplicaDelay(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, e := c.InvokeWire(&wire.InvokeRequest{
+		Session: 0, Object: "x", Method: "get", Target: wire.ReadReplica, ReadReplica: &rr,
+	}); e != nil {
+		t.Fatal(e)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("undelayed read took %v, want fast", elapsed)
+	}
+}
+
+// TestStalenessUnderPartition checks the staleness signal itself: a
+// replica cut off from the broadcast falls behind (its lag grows with
+// wall time), and readyz/ring surface it.
+func TestStalenessUnderPartition(t *testing.T) {
+	// Anti-entropy: a partition merely pauses convergence, so the heal
+	// at the end actually drains the lag (broadcast would need Resync).
+	c, err := cluster.New(cluster.Config{
+		Shards: 1, Replicas: 3, Criterion: "CCv", BatchOps: 1,
+		Replication: "antientropy", GossipInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.CreateObject("x", "Counter"); err != nil {
+		t.Fatal(err)
+	}
+	// Partition replica 2 away from {0, 1}.
+	if err := c.PartitionReplicas(0, [][]int{{0, 1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Session(0)
+	if _, err := s.Call("x", "inc", 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the deficit become visible in wall time
+	if _, err := s.Call("x", "inc", 1); err != nil {
+		t.Fatal(err)
+	}
+	resp := c.StalenessWire()
+	lag2 := resp.Shards[0].Replicas[2].LagUS
+	if lag2 < 10_000 {
+		t.Errorf("partitioned replica lag = %dus, want >= 10ms", lag2)
+	}
+	if got := c.MaxLagUS(); got < lag2 {
+		t.Errorf("MaxLagUS = %d < partitioned replica's %d", got, lag2)
+	}
+	ring := c.RingWire()
+	if len(ring.Shards) != 1 || len(ring.Shards[0].ReplicaLagUS) != 3 {
+		t.Fatalf("ring lag shape: %+v", ring.Shards[0])
+	}
+	if ring.Shards[0].ReplicaLagUS[2] < 10_000 {
+		t.Errorf("ring lag for replica 2 = %dus, want >= 10ms", ring.Shards[0].ReplicaLagUS[2])
+	}
+	// Heal and converge: the lag drains back to zero.
+	if _, err := c.Heal(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitConvergence(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxLagUS(); got != 0 {
+		t.Errorf("MaxLagUS = %d after heal+convergence, want 0", got)
+	}
+}

@@ -43,6 +43,20 @@
 //	             marks shards whose objects have migrated away. A
 //	             request with no epoch (0) is served unconditionally,
 //	             so pre-elastic clients keep working.
+//	v1 (PR 8)    additive, same version: consistency SLAs. GET
+//	             /v1/staleness reports per-replica per-origin
+//	             high-water timestamps (StalenessResponse); query
+//	             responses piggyback the serving replica's high-water
+//	             vector (InvokeResponse.HighWater) so SLA clients
+//	             track staleness for free on the hot path; the
+//	             ReadReplica target plus InvokeRequest.ReadReplica /
+//	             BatchGroup.ReadReplica route one query to an explicit
+//	             replica without moving the session (the
+//	             bounded-staleness read); FaultReplicaDelay injects a
+//	             per-replica serving delay (asymmetric topologies);
+//	             ReadyzResponse.MaxLagUS and RingShard.ReplicaLagUS
+//	             expose replication lag; StatsResponse.WeakReads
+//	             counts session-unordered reads distinctly.
 //
 // GET /v1/healthz reports the protocol version a server speaks, so a
 // client can refuse a mismatched server instead of misparsing it.
@@ -177,12 +191,26 @@ const (
 	// excluded from the session's monitored history (it deliberately
 	// left the session ordering the monitor checks).
 	ReadAny ReadTarget = "any"
+	// ReadReplica routes the query to the explicit replica named by
+	// the request's ReadReplica field, without moving the session's
+	// updates off its pinned replica — the SLA router's primitive for
+	// bounded-staleness and eventual reads against a chosen replica.
+	// Like ReadAny it abandons the session ordering: the read is
+	// excluded from the monitored history, and counted as a weak read.
+	ReadReplica ReadTarget = "replica"
 )
 
 // Valid reports whether the target is one the protocol defines (the
 // empty string counts as ReadAffinity).
 func (t ReadTarget) Valid() bool {
-	return t == "" || t == ReadAffinity || t == ReadAny
+	return t == "" || t == ReadAffinity || t == ReadAny || t == ReadReplica
+}
+
+// Weak reports whether the target abandons the session ordering
+// (ReadAny, ReadReplica): such reads are excluded from the monitored
+// history and counted in StatsResponse.WeakReads.
+func (t ReadTarget) Weak() bool {
+	return t == ReadAny || t == ReadReplica
 }
 
 // CreateObjectRequest registers a named object of a registered ADT.
@@ -223,6 +251,12 @@ type ReadyzResponse struct {
 	Ready    bool `json:"ready"`
 	Draining bool `json:"draining"`
 	Protocol int  `json:"protocol"`
+	// MaxLagUS is the largest per-replica replication lag across the
+	// cluster, in microseconds: the worst componentwise deficit of any
+	// replica's high-water vector against its shard's freshest — how
+	// far behind the slowest replica's anti-entropy/broadcast delivery
+	// is running. 0 when fully converged.
+	MaxLagUS int64 `json:"max_lag_us,omitempty"`
 }
 
 // RingEpochHeader is the response header every versioned endpoint
@@ -241,6 +275,10 @@ type RingShard struct {
 	// show both placement balance and traffic balance.
 	Objects     int   `json:"objects"`
 	Invocations int64 `json:"invocations"`
+	// ReplicaLagUS is the per-replica replication lag (microseconds):
+	// each replica's worst per-origin high-water deficit against the
+	// shard-wide freshest vector. Empty on drained shards.
+	ReplicaLagUS []int64 `json:"replica_lag_us,omitempty"`
 }
 
 // RingResponse describes the server's consistent-hash ring. GET
@@ -288,6 +326,23 @@ type InvokeRequest struct {
 	// topology has moved on answers CodeStaleRing instead of serving.
 	// 0 (or absent) serves unconditionally.
 	Epoch int64 `json:"epoch,omitempty"`
+	// ReadReplica names the serving replica of a ReadReplica-target
+	// query. Required (and in range) when Target is ReadReplica;
+	// ignored otherwise. Unlike Replica it moves only this query, not
+	// the session.
+	ReadReplica *int `json:"read_replica,omitempty"`
+}
+
+// HighWater is a replica's per-origin high-water vector: HW[o] is the
+// wall-clock send stamp (unix nanos) of the latest update batch the
+// replica has delivered from origin o, initialized to the replica's
+// birth. Piggybacked on query responses; the componentwise deficit
+// against the freshest vector seen anywhere is the replica's
+// staleness, which bounded-staleness SLAs compare against.
+type HighWater struct {
+	Shard   int     `json:"shard"`
+	Replica int     `json:"replica"`
+	HW      []int64 `json:"hw"`
 }
 
 // InvokeResponse is the wire form of one operation's result. Output
@@ -297,8 +352,17 @@ type InvokeResponse struct {
 	Bot    bool   `json:"bot"`
 	Vals   []int  `json:"vals,omitempty"`
 	// Frontier is the serving replica's causal frontier after an
-	// update, in the causal criteria; nil otherwise.
+	// update, in the causal criteria — and after a weak query (ReadAny,
+	// ReadReplica), where it lets the client compare the session's
+	// accumulated frontier against the serving replica's at response
+	// time: dominance means the weak read delivered read-my-writes
+	// anyway, the upgrade the SLA verdict machinery records. Nil
+	// otherwise.
 	Frontier *ShardFrontier `json:"frontier,omitempty"`
+	// HighWater is the serving replica's high-water vector, piggybacked
+	// on every successful operation so SLA clients track per-replica
+	// staleness for free on the hot path.
+	HighWater *HighWater `json:"hw,omitempty"`
 }
 
 // CrashRequest crash-stops one replica of one shard. POST /v1/crash.
@@ -332,6 +396,12 @@ const (
 	FaultLink FaultAction = "link"
 	// FaultLinkClear removes every per-link degradation.
 	FaultLinkClear FaultAction = "link_clear"
+	// FaultReplicaDelay injects a fixed serving delay (DelayUS) on one
+	// replica index, across every shard: each operation served by that
+	// replica sleeps the delay before answering — the asymmetric-
+	// latency topology the SLA router is built to exploit. 0 clears
+	// the replica's delay.
+	FaultReplicaDelay FaultAction = "replica_delay"
 )
 
 // FaultRequest injects one scripted fault. POST /v1/fault. Every
@@ -350,6 +420,33 @@ type FaultRequest struct {
 	DelayUS  int64       `json:"delay_us,omitempty"`  // link: fixed delay, microseconds
 	JitterUS int64       `json:"jitter_us,omitempty"` // link: uniform extra delay bound
 	Drop     float64     `json:"drop,omitempty"`      // link: drop probability in [0,1]
+}
+
+// ReplicaStaleness is one replica's slice of a ShardStaleness: its
+// high-water vector (see HighWater) and its lag — the worst
+// per-origin deficit against the shard-wide freshest vector, in
+// microseconds.
+type ReplicaStaleness struct {
+	HW    []int64 `json:"hw"`
+	LagUS int64   `json:"lag_us"`
+}
+
+// ShardStaleness is one shard's slice of a StalenessResponse:
+// Replicas[r] is replica r's high-water state. Drained shards keep
+// their slot with no replicas.
+type ShardStaleness struct {
+	Shard    int                `json:"shard"`
+	Drained  bool               `json:"drained,omitempty"`
+	Replicas []ReplicaStaleness `json:"replicas,omitempty"`
+}
+
+// StalenessResponse is the cluster-wide staleness snapshot. GET
+// /v1/staleness. An SLA client refreshes it periodically to re-learn
+// conditions at replicas its router has been avoiding (their
+// piggybacked vectors stop arriving once no reads route there).
+type StalenessResponse struct {
+	Shards   []ShardStaleness `json:"shards"`
+	Protocol int              `json:"protocol"`
 }
 
 // BatchOp is one operation inside a batch group.
@@ -373,6 +470,10 @@ type BatchGroup struct {
 	// the session's causal frontier before the group runs.
 	Replica   *int            `json:"replica,omitempty"`
 	Frontiers []ShardFrontier `json:"frontiers,omitempty"`
+	// ReadReplica names the serving replica of the group's queries when
+	// Target is ReadReplica (see InvokeRequest.ReadReplica). Updates in
+	// the group still run at the session's pinned replica.
+	ReadReplica *int `json:"read_replica,omitempty"`
 }
 
 // BatchRequest is an ordered set of per-session invocation groups.
@@ -426,16 +527,21 @@ type ShardStats struct {
 // StatsResponse is a point-in-time snapshot of the cluster's
 // activity. GET /v1/stats.
 type StatsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Objects       int          `json:"objects"`
-	Criterion     string       `json:"criterion"`
-	Invocations   int64        `json:"invocations"`
-	Updates       int64        `json:"updates"`
-	Queries       int64        `json:"queries"`
-	Applied       int64        `json:"applied"`
-	Broadcasts    int64        `json:"broadcasts"`
-	BatchedOps    int64        `json:"batched_ops"`
-	Shards        []ShardStats `json:"shards"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Objects       int     `json:"objects"`
+	Criterion     string  `json:"criterion"`
+	Invocations   int64   `json:"invocations"`
+	Updates       int64   `json:"updates"`
+	Queries       int64   `json:"queries"`
+	Applied       int64   `json:"applied"`
+	Broadcasts    int64   `json:"broadcasts"`
+	BatchedOps    int64   `json:"batched_ops"`
+	// WeakReads counts queries served outside their session's ordering
+	// (ReadAny, ReadReplica) — reads the monitor deliberately excludes
+	// from its checked histories, so operators can see how much of the
+	// read traffic carries the weaker guarantee.
+	WeakReads int64        `json:"weak_reads,omitempty"`
+	Shards    []ShardStats `json:"shards"`
 }
 
 // Verdict is the outcome of one criterion on one sampled monitor

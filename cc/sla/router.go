@@ -1,0 +1,215 @@
+package sla
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Route is how a chosen read reaches its replica, in cluster terms.
+type Route int
+
+const (
+	// RouteAffinity is the session's affinity read (read_target
+	// "affinity"): the replica holding the session's own updates.
+	RouteAffinity Route = iota
+	// RouteReplica pins the read to Choice.Replica (read_target
+	// "replica") without moving the session.
+	RouteReplica
+	// RouteAny lets the server pick (read_target "any").
+	RouteAny
+)
+
+// String renders the route as its wire read-target spelling.
+func (r Route) String() string {
+	switch r {
+	case RouteAffinity:
+		return "affinity"
+	case RouteReplica:
+		return "replica"
+	case RouteAny:
+		return "any"
+	}
+	return "unknown"
+}
+
+// Choice is a router's decision for one read: which sub-SLA it is
+// trying to deliver, through which route, and the expected utility it
+// priced the pair at. Sub is an index into the SLA; -1 means the
+// choice was not made against a ranked SLA (the static baselines).
+type Choice struct {
+	Sub     int
+	Route   Route
+	Replica int
+	EU      float64
+}
+
+// Router picks a sub-SLA × replica pair for one read. affinity is the
+// session's current affinity replica; conds is the Tracker's snapshot
+// of every replica.
+type Router interface {
+	Choose(s SLA, affinity int, conds []Condition) Choice
+}
+
+// pLatency estimates the probability the replica serves within
+// target: target/(target+ewma). No target or no observation yet → 1
+// (optimistic cold start: unknown replicas get explored).
+func pLatency(target time.Duration, c Condition) float64 {
+	if target <= 0 || !c.LatencyKnown || c.Latency <= 0 {
+		return 1
+	}
+	return float64(target) / float64(target+c.Latency)
+}
+
+// pBounded estimates the probability the replica delivers within the
+// staleness bound d: 1 − s/(2d), clamped to [0, 1] — certain at
+// staleness 0, even odds at the bound, hopeless at twice the bound.
+// Unknown staleness → 1 (optimistic cold start).
+func pBounded(d time.Duration, c Condition) float64 {
+	if !c.StalenessKnown || d <= 0 {
+		return 1
+	}
+	p := 1 - float64(c.Staleness)/float64(2*d)
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// MaxUtility is the Pileus-style adaptive router: for every (sub-SLA,
+// candidate replica) pair it computes the expected utility
+//
+//	P(consistency met) × P(latency met) × utility
+//
+// and picks the maximum; strict improvement is required to displace an
+// earlier (stronger) sub-SLA or a lower replica, so ties resolve to
+// the strongest promise. ReadMyWrites candidates are {affinity} only;
+// Bounded and Eventual consider every replica not in failure
+// cooldown. If every candidate of every sub-SLA is failed, it falls
+// back to the last (weakest) sub-SLA at the affinity replica — the
+// read must go somewhere, and affinity is where retry machinery
+// already points.
+type MaxUtility struct {
+	// Explore is the probability a read is routed to a uniformly
+	// random non-failed replica (through the strongest non-RMW
+	// sub-SLA) instead of the argmax. Greedy routing starves the
+	// condition monitor: replicas the router abandons stop producing
+	// samples, so a pessimistic estimate could otherwise pin the
+	// router on a worse path forever. 0 disables exploration (fully
+	// deterministic — what the unit tests use); clients default to
+	// DefaultExplore.
+	Explore float64
+}
+
+// DefaultExplore is the exploration rate cc/client wires in when the
+// application does not pick its own router.
+const DefaultExplore = 0.05
+
+// Choose implements Router.
+func (m MaxUtility) Choose(s SLA, affinity int, conds []Condition) Choice {
+	if m.Explore > 0 && rand.Float64() < m.Explore {
+		if c, ok := explore(s, affinity, conds); ok {
+			return c
+		}
+	}
+	best := Choice{Sub: -1, Replica: -1, EU: -1}
+	for i, sub := range s {
+		var cands []Condition
+		if sub.Consistency == ReadMyWrites {
+			if affinity >= 0 && affinity < len(conds) {
+				cands = conds[affinity : affinity+1]
+			}
+		} else {
+			cands = conds
+		}
+		for _, c := range cands {
+			if c.Failed {
+				continue
+			}
+			eu := pLatency(sub.TargetLatency, c)
+			if sub.Consistency == Bounded {
+				eu *= pBounded(sub.MaxStaleness, c)
+			}
+			eu *= sub.Utility
+			if eu > best.EU {
+				best = Choice{Sub: i, Replica: c.Replica, EU: eu}
+			}
+		}
+	}
+	if best.Sub < 0 {
+		// Everything is failed; send the weakest promise to affinity and
+		// let the client's retry/failover machinery sort it out.
+		return Choice{Sub: len(s) - 1, Route: RouteAffinity, Replica: affinity, EU: 0}
+	}
+	switch {
+	case s[best.Sub].Consistency == ReadMyWrites:
+		best.Route = RouteAffinity
+	case best.Replica == affinity:
+		// Affinity already serves the strongest view of the session's own
+		// writes; asking for it by name buys nothing over the affinity
+		// read, and the affinity read also delivers read-my-writes.
+		best.Route = RouteAffinity
+	default:
+		best.Route = RouteReplica
+	}
+	return best
+}
+
+// explore builds the exploration choice: the strongest sub-SLA that
+// may legally be served off-affinity (anything but ReadMyWrites — an
+// RMW promise cannot be kept by a random replica), at a uniformly
+// random non-failed replica. ok is false when the SLA has no such sub
+// or every replica is in cooldown.
+func explore(s SLA, affinity int, conds []Condition) (Choice, bool) {
+	sub := -1
+	for i := range s {
+		if s[i].Consistency != ReadMyWrites {
+			sub = i
+			break
+		}
+	}
+	if sub < 0 {
+		return Choice{}, false
+	}
+	live := make([]Condition, 0, len(conds))
+	for _, c := range conds {
+		if !c.Failed {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return Choice{}, false
+	}
+	c := live[rand.Intn(len(live))]
+	eu := pLatency(s[sub].TargetLatency, c)
+	if s[sub].Consistency == Bounded {
+		eu *= pBounded(s[sub].MaxStaleness, c)
+	}
+	ch := Choice{Sub: sub, Route: RouteReplica, Replica: c.Replica, EU: eu * s[sub].Utility}
+	if ch.Replica == affinity {
+		ch.Route = RouteAffinity
+	}
+	return ch, true
+}
+
+// StaticAffinity is the non-adaptive baseline that always reads at
+// the session's affinity replica (the cluster's default read). Sub is
+// -1: it promises nothing from the SLA, so delivered utility is
+// whatever SLA.Achieved credits it with.
+type StaticAffinity struct{}
+
+// Choose implements Router.
+func (StaticAffinity) Choose(_ SLA, affinity int, _ []Condition) Choice {
+	return Choice{Sub: -1, Route: RouteAffinity, Replica: affinity}
+}
+
+// StaticAny is the non-adaptive baseline that always issues the
+// server-routed any-replica read.
+type StaticAny struct{}
+
+// Choose implements Router.
+func (StaticAny) Choose(_ SLA, _ int, _ []Condition) Choice {
+	return Choice{Sub: -1, Route: RouteAny, Replica: -1}
+}

@@ -1,0 +1,216 @@
+// Package sla makes the paper's consistency hierarchy operational the
+// way Pileus does (Terry et al., SOSP'13): a client declares a ranked
+// list of {consistency, staleness bound, latency target, utility}
+// alternatives, and an adaptive router picks, per read, the sub-SLA ×
+// replica pair with the highest expected utility given the observed
+// per-replica conditions — EWMA latency and staleness derived from the
+// high-water timestamps replicas piggyback on responses.
+//
+// The consistency levels are the serving-side rendering of the zone
+// lattice (Fig. 2 of the paper): ReadMyWrites keeps the session's
+// sequential-process view (the session reads its own completed
+// updates — the cluster's affinity read), Bounded tolerates a bounded
+// replication lag at any replica, Eventual reads any replica's local
+// state unconditionally. Weaker levels are strictly cheaper to serve
+// (any replica qualifies), which is exactly the trade the utilities
+// price.
+//
+// The package is transport-agnostic: cc/client owns the wire plumbing
+// and feeds a Tracker from response piggybacks; everything here is
+// pure bookkeeping and policy, usable against any source of replica
+// conditions.
+package sla
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Consistency is a declared read guarantee, ordered ReadMyWrites >
+// Bounded > Eventual (each level implies the ones below it).
+type Consistency string
+
+const (
+	// ReadMyWrites guarantees the read observes every update the
+	// session has completed: it routes to the session's affinity
+	// replica (or an explicitly frontier-synced one). The strongest
+	// level an SLA can ask for — the paper's session/causal view.
+	ReadMyWrites Consistency = "read-my-writes"
+	// Bounded guarantees the serving replica's high-water marks are
+	// within the sub-SLA's MaxStaleness of the freshest known state:
+	// bounded-staleness(d). Any sufficiently caught-up replica
+	// qualifies.
+	Bounded Consistency = "bounded"
+	// Eventual takes any replica's local state as-is — the weakest,
+	// cheapest read.
+	Eventual Consistency = "eventual"
+)
+
+// Valid reports whether the level is one the package defines.
+func (c Consistency) Valid() bool {
+	return c == ReadMyWrites || c == Bounded || c == Eventual
+}
+
+// SubSLA is one ranked alternative of an SLA.
+type SubSLA struct {
+	// Consistency is the promised read guarantee.
+	Consistency Consistency
+	// MaxStaleness is the d of bounded-staleness(d); Bounded only.
+	MaxStaleness time.Duration
+	// TargetLatency is the read-latency goal; 0 means no latency
+	// target (always met).
+	TargetLatency time.Duration
+	// Utility is the value of a read delivered at this level within
+	// the target latency. Must be positive; ranking by declaration
+	// order breaks expected-utility ties, so utilities need not be
+	// distinct.
+	Utility float64
+}
+
+// String renders the sub-SLA in the Parse grammar.
+func (s SubSLA) String() string {
+	var b strings.Builder
+	switch s.Consistency {
+	case ReadMyWrites:
+		b.WriteString("rmw")
+	case Bounded:
+		fmt.Fprintf(&b, "bounded:%v", s.MaxStaleness)
+	default:
+		b.WriteString(string(s.Consistency))
+	}
+	if s.TargetLatency > 0 {
+		fmt.Fprintf(&b, "@%v", s.TargetLatency)
+	}
+	fmt.Fprintf(&b, "=%v", s.Utility)
+	return b.String()
+}
+
+// SLA is an ordered list of alternatives, strongest first. Order is
+// the rank: when two choices tie on expected utility, the earlier
+// sub-SLA wins.
+type SLA []SubSLA
+
+// Validate checks the SLA is well-formed: non-empty, known
+// consistency levels, a positive staleness bound where Bounded asks
+// for one, positive utilities.
+func (s SLA) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("sla: empty SLA")
+	}
+	for i, sub := range s {
+		if !sub.Consistency.Valid() {
+			return fmt.Errorf("sla: sub-SLA %d: unknown consistency %q", i, sub.Consistency)
+		}
+		if sub.Consistency == Bounded && sub.MaxStaleness <= 0 {
+			return fmt.Errorf("sla: sub-SLA %d: bounded needs a positive staleness bound", i)
+		}
+		if sub.Utility <= 0 {
+			return fmt.Errorf("sla: sub-SLA %d: utility %v must be positive", i, sub.Utility)
+		}
+		if sub.TargetLatency < 0 || sub.MaxStaleness < 0 {
+			return fmt.Errorf("sla: sub-SLA %d: negative duration", i)
+		}
+	}
+	return nil
+}
+
+// String renders the SLA in the Parse grammar.
+func (s SLA) String() string {
+	parts := make([]string, len(s))
+	for i, sub := range s {
+		parts[i] = sub.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse reads an SLA from its flag spelling: comma-separated
+// sub-SLAs, each
+//
+//	<consistency>[:<staleness>][@<latency>]=<utility>
+//
+// where consistency is rmw (or read-my-writes), bounded (staleness
+// bound required), or eventual; durations use Go syntax. Example —
+// the canonical Pileus-style declaration:
+//
+//	rmw@5ms=1.0,bounded:100ms@2ms=0.5,eventual=0.1
+func Parse(spec string) (SLA, error) {
+	var s SLA
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		head, util, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("sla: %q: missing =utility", part)
+		}
+		u, err := strconv.ParseFloat(util, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sla: %q: bad utility %q", part, util)
+		}
+		var sub SubSLA
+		sub.Utility = u
+		if levelPart, lat, ok := strings.Cut(head, "@"); ok {
+			head = levelPart
+			if sub.TargetLatency, err = time.ParseDuration(lat); err != nil {
+				return nil, fmt.Errorf("sla: %q: bad latency %q", part, lat)
+			}
+		}
+		cons, stale, hasStale := strings.Cut(head, ":")
+		switch cons {
+		case "rmw", "read-my-writes":
+			sub.Consistency = ReadMyWrites
+		case "bounded":
+			sub.Consistency = Bounded
+		case "eventual":
+			sub.Consistency = Eventual
+		default:
+			return nil, fmt.Errorf("sla: %q: unknown consistency %q", part, cons)
+		}
+		if hasStale {
+			if sub.MaxStaleness, err = time.ParseDuration(stale); err != nil {
+				return nil, fmt.Errorf("sla: %q: bad staleness bound %q", part, stale)
+			}
+		}
+		s = append(s, sub)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Met reports whether the delivered conditions satisfy sub-SLA i's
+// consistency promise (the latency axis is judged separately): a read
+// that delivered read-my-writes satisfies every level, a read within
+// the staleness bound satisfies Bounded, anything satisfies Eventual.
+func (s SLA) Met(i int, rmw bool, staleness time.Duration) bool {
+	if i < 0 || i >= len(s) {
+		return true // nothing was promised
+	}
+	switch s[i].Consistency {
+	case ReadMyWrites:
+		return rmw
+	case Bounded:
+		return rmw || staleness <= s[i].MaxStaleness
+	}
+	return true
+}
+
+// Achieved returns the rank and utility of the strongest (earliest)
+// sub-SLA the read's delivered conditions satisfy on BOTH axes —
+// consistency and latency. (-1, 0) when no alternative was met; a
+// trailing Eventual with no latency target makes that impossible.
+func (s SLA) Achieved(rmw bool, staleness, latency time.Duration) (int, float64) {
+	for i, sub := range s {
+		if sub.TargetLatency > 0 && latency > sub.TargetLatency {
+			continue
+		}
+		if s.Met(i, rmw, staleness) {
+			return i, sub.Utility
+		}
+	}
+	return -1, 0
+}

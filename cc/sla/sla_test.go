@@ -1,0 +1,283 @@
+package sla
+
+import (
+	"testing"
+	"time"
+)
+
+func canonical() SLA {
+	return SLA{
+		{Consistency: ReadMyWrites, TargetLatency: 5 * time.Millisecond, Utility: 1.0},
+		{Consistency: Bounded, MaxStaleness: 100 * time.Millisecond, TargetLatency: 2 * time.Millisecond, Utility: 0.5},
+		{Consistency: Eventual, Utility: 0.1},
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "rmw@5ms=1,bounded:100ms@2ms=0.5,eventual=0.1"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	want := canonical()
+	if len(s) != len(want) {
+		t.Fatalf("got %d sub-SLAs, want %d", len(s), len(want))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("sub %d = %+v, want %+v", i, s[i], want[i])
+		}
+	}
+	back, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", s.String(), err)
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Errorf("roundtrip sub %d = %+v, want %+v", i, back[i], s[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                // empty
+		"rmw",             // no utility
+		"rmw=x",           // bad utility
+		"rmw=0",           // zero utility
+		"bounded=0.5",     // bounded without a bound
+		"bounded:zzz=0.5", // bad bound
+		"rmw@zzz=1",       // bad latency
+		"strong=1",        // unknown level
+		"eventual=-1",     // negative utility
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}
+
+func TestMetAndAchieved(t *testing.T) {
+	s := canonical()
+	if !s.Met(0, true, time.Hour) {
+		t.Error("rmw delivered should meet sub 0 regardless of staleness")
+	}
+	if s.Met(0, false, 0) {
+		t.Error("sub 0 without rmw should miss")
+	}
+	if !s.Met(1, false, 50*time.Millisecond) {
+		t.Error("staleness 50ms should meet bounded:100ms")
+	}
+	if s.Met(1, false, 200*time.Millisecond) {
+		t.Error("staleness 200ms should miss bounded:100ms")
+	}
+	if !s.Met(1, true, 200*time.Millisecond) {
+		t.Error("delivered rmw should meet bounded at any staleness")
+	}
+	if !s.Met(2, false, time.Hour) || !s.Met(-1, false, 0) {
+		t.Error("eventual and no-promise always met")
+	}
+
+	// Fast rmw read: full utility.
+	if i, u := s.Achieved(true, 0, time.Millisecond); i != 0 || u != 1.0 {
+		t.Errorf("Achieved(rmw, fast) = (%d, %v), want (0, 1)", i, u)
+	}
+	// rmw but slow (10ms > both latency targets): only eventual's
+	// no-target sub is met.
+	if i, u := s.Achieved(true, 0, 10*time.Millisecond); i != 2 || u != 0.1 {
+		t.Errorf("Achieved(rmw, slow) = (%d, %v), want (2, 0.1)", i, u)
+	}
+	// Fresh-enough weak read within 2ms: bounded.
+	if i, u := s.Achieved(false, 50*time.Millisecond, time.Millisecond); i != 1 || u != 0.5 {
+		t.Errorf("Achieved(bounded-fresh) = (%d, %v), want (1, 0.5)", i, u)
+	}
+	// Too stale: eventual.
+	if i, u := s.Achieved(false, time.Second, time.Millisecond); i != 2 || u != 0.1 {
+		t.Errorf("Achieved(stale) = (%d, %v), want (2, 0.1)", i, u)
+	}
+}
+
+func cond(r int, lat, stal time.Duration, failed bool) Condition {
+	c := Condition{Replica: r, Failed: failed}
+	if lat >= 0 {
+		c.Latency, c.LatencyKnown = lat, true
+	}
+	if stal >= 0 {
+		c.Staleness, c.StalenessKnown = stal, true
+	}
+	return c
+}
+
+func TestMaxUtilityPrefersFreshFastAffinity(t *testing.T) {
+	s := canonical()
+	// Affinity (0) is fast and fresh; 1 and 2 are slow.
+	conds := []Condition{
+		cond(0, 500*time.Microsecond, 0, false),
+		cond(1, 20*time.Millisecond, 0, false),
+		cond(2, 20*time.Millisecond, 0, false),
+	}
+	ch := MaxUtility{}.Choose(s, 0, conds)
+	if ch.Sub != 0 || ch.Route != RouteAffinity {
+		t.Fatalf("choice = %+v, want sub 0 via affinity", ch)
+	}
+}
+
+func TestMaxUtilityDowngradesWhenAffinitySlow(t *testing.T) {
+	s := canonical()
+	// Affinity is 1 (slow, 20ms); replica 0 is fast and fresh. The rmw
+	// sub's EU collapses (5/(5+20)×1 = 0.2) and bounded at replica 0
+	// (≈ 2/2.5 × 0.5 = 0.4) wins.
+	conds := []Condition{
+		cond(0, 500*time.Microsecond, 0, false),
+		cond(1, 20*time.Millisecond, 0, false),
+		cond(2, 20*time.Millisecond, 0, false),
+	}
+	ch := MaxUtility{}.Choose(s, 1, conds)
+	if ch.Sub != 1 || ch.Route != RouteReplica || ch.Replica != 0 {
+		t.Fatalf("choice = %+v, want sub 1 via replica 0", ch)
+	}
+}
+
+func TestMaxUtilityAvoidsStaleReplica(t *testing.T) {
+	s := canonical()
+	// Replica 0 is fast but hopelessly stale (≥ 2×bound ⇒ P(bounded)=0);
+	// affinity 1 is slow but certain. rmw at affinity (EU 0.2) must beat
+	// bounded at 0 (EU 0) and eventual anywhere (≤ 0.1).
+	conds := []Condition{
+		cond(0, 500*time.Microsecond, time.Second, false),
+		cond(1, 20*time.Millisecond, 0, false),
+	}
+	ch := MaxUtility{}.Choose(s, 1, conds)
+	if ch.Sub != 0 || ch.Route != RouteAffinity {
+		t.Fatalf("choice = %+v, want sub 0 via affinity", ch)
+	}
+}
+
+func TestMaxUtilitySkipsFailedAndFallsBack(t *testing.T) {
+	s := canonical()
+	conds := []Condition{
+		cond(0, time.Millisecond, 0, true), // failed
+		cond(1, time.Millisecond, 0, false),
+	}
+	ch := MaxUtility{}.Choose(s, 0, conds)
+	if ch.Replica != 1 || ch.Route != RouteReplica {
+		t.Fatalf("choice = %+v, want replica 1", ch)
+	}
+	// Everything failed: weakest promise at affinity.
+	all := []Condition{cond(0, 0, 0, true), cond(1, 0, 0, true)}
+	ch = MaxUtility{}.Choose(s, 0, all)
+	if ch.Sub != len(s)-1 || ch.Route != RouteAffinity {
+		t.Fatalf("fallback choice = %+v, want last sub via affinity", ch)
+	}
+}
+
+func TestMaxUtilityColdStartExplores(t *testing.T) {
+	s := canonical()
+	// No observations at all: every probability is 1, so the strongest
+	// sub wins at its first candidate — the affinity read.
+	conds := []Condition{{Replica: 0}, {Replica: 1}}
+	ch := MaxUtility{}.Choose(s, 1, conds)
+	if ch.Sub != 0 || ch.Route != RouteAffinity {
+		t.Fatalf("cold-start choice = %+v, want sub 0 via affinity", ch)
+	}
+}
+
+func TestStaticRouters(t *testing.T) {
+	s := canonical()
+	if ch := (StaticAffinity{}).Choose(s, 3, nil); ch.Sub != -1 || ch.Route != RouteAffinity || ch.Replica != 3 {
+		t.Fatalf("StaticAffinity = %+v", ch)
+	}
+	if ch := (StaticAny{}).Choose(s, 3, nil); ch.Sub != -1 || ch.Route != RouteAny {
+		t.Fatalf("StaticAny = %+v", ch)
+	}
+}
+
+func TestTrackerHighWaterAndConditions(t *testing.T) {
+	trk := NewTracker(1) // alpha 1: samples pass through undamped
+	base := time.Now().UnixNano()
+	// Replica 0 is the freshest view; replica 1 trails origin 0. The
+	// first observation of the miss reads as ~0 staleness — the miss
+	// clock starts at detection, not at the stamp gap (a stamp gap
+	// after an idle stretch is delivery lag, not staleness).
+	trk.ObserveHighWater(0, 0, []int64{base, base + 1})
+	stal := trk.ObserveHighWater(0, 1, []int64{base - 40_000_000, base + 1})
+	if stal > 10*time.Millisecond {
+		t.Fatalf("fresh miss staleness = %v, want ~0", stal)
+	}
+	// While the replica stays behind, staleness grows with wall time.
+	time.Sleep(20 * time.Millisecond)
+	stal = trk.ObserveHighWater(0, 1, []int64{base - 40_000_000, base + 1})
+	if stal < 20*time.Millisecond {
+		t.Fatalf("persistent miss staleness = %v, want >= 20ms", stal)
+	}
+	// Catching up collapses it back to zero.
+	if s := trk.ObserveHighWater(0, 1, []int64{base, base + 1}); s != 0 {
+		t.Fatalf("caught-up staleness = %v, want 0", s)
+	}
+	trk.ObserveLatency(0, 2*time.Millisecond)
+	trk.ObserveFailure(1)
+	conds := trk.Conditions(3)
+	if !conds[0].LatencyKnown || conds[0].Latency != 2*time.Millisecond {
+		t.Errorf("replica 0 latency = %+v", conds[0])
+	}
+	if !conds[1].StalenessKnown || conds[1].Staleness != 0 {
+		t.Errorf("replica 1 staleness = %+v, want known 0", conds[1])
+	}
+	if !conds[1].Failed {
+		t.Error("replica 1 should be in failure cooldown")
+	}
+	if conds[2].LatencyKnown || conds[2].StalenessKnown || conds[2].Failed {
+		t.Errorf("replica 2 should be unknown, got %+v", conds[2])
+	}
+	// A served op clears the cooldown.
+	trk.ObserveLatency(1, time.Millisecond)
+	if trk.Conditions(2)[1].Failed {
+		t.Error("success should clear the failure cooldown")
+	}
+	// The freshest-known vector is monotone: feeding replica 0 an older
+	// view marks IT as missing rather than regressing the baseline.
+	trk.ObserveHighWater(0, 0, []int64{base - 100_000_000, base + 1})
+	time.Sleep(5 * time.Millisecond)
+	if s := trk.ObserveHighWater(0, 0, []int64{base - 100_000_000, base + 1}); s < 5*time.Millisecond {
+		t.Errorf("regressed vector should read as stale itself, got %v", s)
+	}
+}
+
+func TestTrackerLatencyDecay(t *testing.T) {
+	trk := NewTracker(1)
+	trk.ObserveLatency(0, 40*time.Millisecond)
+	if got := trk.Conditions(1)[0].Latency; got != 40*time.Millisecond {
+		t.Fatalf("fresh estimate = %v, want 40ms (no decay yet)", got)
+	}
+	// Backdate the sample two half-lives: the reported estimate decays
+	// toward optimism so an abandoned replica gets re-probed.
+	trk.mu.Lock()
+	trk.latAt[0] = time.Now().Add(-2 * latencyHalfLife)
+	trk.mu.Unlock()
+	got := trk.Conditions(1)[0].Latency
+	if got > 20*time.Millisecond || got < 5*time.Millisecond {
+		t.Fatalf("decayed estimate = %v, want roughly 10-20ms", got)
+	}
+}
+
+func TestProbabilityModels(t *testing.T) {
+	// pLatency: equal target and EWMA → 0.5; unknown → 1.
+	c := cond(0, 5*time.Millisecond, -1, false)
+	if p := pLatency(5*time.Millisecond, c); p != 0.5 {
+		t.Errorf("pLatency = %v, want 0.5", p)
+	}
+	if p := pLatency(5*time.Millisecond, Condition{}); p != 1 {
+		t.Errorf("pLatency unknown = %v, want 1", p)
+	}
+	// pBounded: 0 at twice the bound, 0.5 at the bound, 1 when fresh.
+	d := 100 * time.Millisecond
+	if p := pBounded(d, cond(0, -1, 200*time.Millisecond, false)); p != 0 {
+		t.Errorf("pBounded(2d) = %v, want 0", p)
+	}
+	if p := pBounded(d, cond(0, -1, 100*time.Millisecond, false)); p != 0.5 {
+		t.Errorf("pBounded(d) = %v, want 0.5", p)
+	}
+	if p := pBounded(d, cond(0, -1, 0, false)); p != 1 {
+		t.Errorf("pBounded(0) = %v, want 1", p)
+	}
+}

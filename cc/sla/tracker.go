@@ -1,0 +1,203 @@
+package sla
+
+import (
+	"sync"
+	"time"
+)
+
+// FailureCooldown is how long a replica stays disfavored after a
+// failed operation: the router treats it as unavailable until the
+// cooldown lapses or a success clears it, so reads stop piling onto a
+// crashed replica while the estimate is cold.
+const FailureCooldown = time.Second
+
+// latencyHalfLife is the decay schedule for latency estimates that
+// stop receiving samples: after latencyHalfLife without an
+// observation, the reported estimate starts halving per further
+// half-life. Without decay, one latency spike at the best replica
+// would push the router away permanently — abandoned replicas get no
+// new samples, so a stale pessimistic estimate could never recover.
+// Decay is the probe: the estimate shrinks until the replica wins a
+// read again and gets resampled.
+const latencyHalfLife = 500 * time.Millisecond
+
+// Condition is the tracker's current view of one replica — the inputs
+// a Router prices.
+type Condition struct {
+	Replica int
+	// Latency is the EWMA round-trip latency of operations served by
+	// the replica; LatencyKnown is false until one is observed (an
+	// unknown replica is priced optimistically, which is what makes
+	// the router explore it).
+	Latency      time.Duration
+	LatencyKnown bool
+	// Staleness is the EWMA staleness: how far the replica's
+	// high-water vector trailed the freshest state known to this
+	// client, worst across shards. StalenessKnown is false until a
+	// high-water observation arrives.
+	Staleness      time.Duration
+	StalenessKnown bool
+	// Failed marks a replica inside its failure cooldown.
+	Failed bool
+}
+
+// Tracker is the client-side condition monitor: per-replica EWMA
+// latency and staleness, fed by response observations (cc/client
+// wires it to the high-water piggybacks) or bulk staleness snapshots
+// (GET /v1/staleness). Safe for concurrent use.
+type Tracker struct {
+	alpha float64
+
+	mu       sync.Mutex
+	lat      map[int]time.Duration          // replica → EWMA latency
+	latAt    map[int]time.Time              // replica → last latency sample (decay clock)
+	stal     map[shardReplica]time.Duration // (shard, replica) → EWMA staleness
+	known    map[int][]int64                // shard → freshest high-water vector seen anywhere
+	missAt   map[shardReplica][]int64       // per origin: unix ns the current miss was first seen (0 = caught up)
+	failedAt map[int]time.Time              // replica → last failure
+}
+
+type shardReplica struct{ shard, replica int }
+
+// NewTracker builds a tracker. alpha is the EWMA weight of a new
+// sample in (0, 1]; 0 defaults to 0.3 — fresh enough to follow a
+// partition within a handful of reads, smooth enough to ignore one
+// slow outlier.
+func NewTracker(alpha float64) *Tracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &Tracker{
+		alpha:    alpha,
+		lat:      make(map[int]time.Duration),
+		latAt:    make(map[int]time.Time),
+		stal:     make(map[shardReplica]time.Duration),
+		known:    make(map[int][]int64),
+		missAt:   make(map[shardReplica][]int64),
+		failedAt: make(map[int]time.Time),
+	}
+}
+
+func ewma(old, sample time.Duration, alpha float64, known bool) time.Duration {
+	if !known {
+		return sample
+	}
+	return time.Duration(alpha*float64(sample) + (1-alpha)*float64(old))
+}
+
+// ObserveLatency feeds one served operation's round-trip latency and
+// clears the replica's failure cooldown (it answered).
+func (t *Tracker) ObserveLatency(replica int, d time.Duration) {
+	if replica < 0 {
+		return
+	}
+	t.mu.Lock()
+	old, ok := t.lat[replica]
+	t.lat[replica] = ewma(old, d, t.alpha, ok)
+	t.latAt[replica] = time.Now()
+	delete(t.failedAt, replica)
+	t.mu.Unlock()
+}
+
+// ObserveFailure marks a failed operation at the replica, starting
+// its cooldown.
+func (t *Tracker) ObserveFailure(replica int) {
+	if replica < 0 {
+		return
+	}
+	t.mu.Lock()
+	t.failedAt[replica] = time.Now()
+	t.mu.Unlock()
+}
+
+// ObserveHighWater feeds one replica's piggybacked high-water vector:
+// it advances the freshest-known vector for the shard and returns the
+// replica's instantaneous staleness — how long the replica has been
+// known to be missing deliveries, worst across origins — which also
+// updates the replica's staleness EWMA. The return value is what
+// delivered-consistency verdicts compare against the promised bound.
+//
+// Staleness is deliberately NOT the raw high-water timestamp deficit
+// (known[o] − hw[o]). After an idle stretch, the first new write
+// would make every replica that has not delivered it yet look stale
+// by the entire idle gap — a phantom of minutes for a delivery lag of
+// microseconds. Instead the tracker clocks each miss from the moment
+// it was first observed: a replica's staleness grows with wall time
+// only while it stays behind, which is exactly the partition signal,
+// and collapses to zero the moment it catches up.
+func (t *Tracker) ObserveHighWater(shard, replica int, hw []int64) time.Duration {
+	if replica < 0 || len(hw) == 0 {
+		return 0
+	}
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	known := t.known[shard]
+	if len(known) < len(hw) {
+		known = append(known, make([]int64, len(hw)-len(known))...)
+	}
+	k := shardReplica{shard, replica}
+	miss := t.missAt[k]
+	if len(miss) < len(hw) {
+		miss = append(miss, make([]int64, len(hw)-len(miss))...)
+	}
+	var worst int64
+	for o, v := range hw {
+		if v > known[o] {
+			known[o] = v
+		}
+		switch {
+		case v >= known[o]:
+			miss[o] = 0 // caught up with everything known from this origin
+		case miss[o] == 0:
+			miss[o] = now // miss starts now: the clock, not the stamp gap
+		}
+		if miss[o] != 0 {
+			if d := now - miss[o]; d > worst {
+				worst = d
+			}
+		}
+	}
+	t.known[shard] = known
+	t.missAt[k] = miss
+	sample := time.Duration(worst)
+	old, ok := t.stal[k]
+	t.stal[k] = ewma(old, sample, t.alpha, ok)
+	t.mu.Unlock()
+	return sample
+}
+
+// Conditions snapshots the view of replicas 0..n-1. A replica's
+// staleness is its worst EWMA across shards (a read may land on any
+// shard, so the router prices the pessimistic one).
+func (t *Tracker) Conditions(n int) []Condition {
+	now := time.Now()
+	out := make([]Condition, n)
+	t.mu.Lock()
+	for r := range out {
+		out[r].Replica = r
+		if l, ok := t.lat[r]; ok {
+			if age := now.Sub(t.latAt[r]); age > latencyHalfLife {
+				// No recent samples: decay toward optimism so the
+				// replica eventually wins a read and gets re-probed.
+				for age > latencyHalfLife && l > 0 {
+					l, age = l/2, age-latencyHalfLife
+				}
+			}
+			out[r].Latency, out[r].LatencyKnown = l, true
+		}
+		if at, ok := t.failedAt[r]; ok && now.Sub(at) < FailureCooldown {
+			out[r].Failed = true
+		}
+	}
+	for k, s := range t.stal {
+		if k.replica < 0 || k.replica >= n {
+			continue
+		}
+		c := &out[k.replica]
+		if !c.StalenessKnown || s > c.Staleness {
+			c.Staleness, c.StalenessKnown = s, true
+		}
+	}
+	t.mu.Unlock()
+	return out
+}

@@ -18,6 +18,9 @@ package main
 //	link <from> <to> <delay> [jitter] [drop]
 //	                               degrade one direction of one link
 //	link_clear                     undo every link degradation
+//	delay <replica> <duration>     inject a fixed serving delay on one
+//	                               replica (0 clears it) — the knob the
+//	                               SLA router's latency model reacts to
 //	addshard                       grow the cluster by one shard and
 //	                               live-migrate re-placed objects
 //	drainshard <shard>             migrate a shard's objects away and
@@ -134,6 +137,9 @@ func parseSchedule(text string) ([]event, error) {
 			return nil, fmt.Errorf("schedule: %q: bad offset %q", line, fields[0])
 		}
 		ev := event{at: at, verb: wire.FaultAction(fields[1]), raw: strings.Join(fields[1:], " ")}
+		if ev.verb == "delay" { // DSL shorthand for the wire action
+			ev.verb = wire.FaultReplicaDelay
+		}
 		args := fields[2:]
 		switch ev.verb {
 		case wire.FaultPartition:
@@ -180,6 +186,16 @@ func parseSchedule(text string) ([]event, error) {
 				if ev.drop, err = strconv.ParseFloat(args[4], 64); err != nil || ev.drop < 0 || ev.drop > 1 {
 					return nil, fmt.Errorf("schedule: %q: bad drop %q (want 0..1)", line, args[4])
 				}
+			}
+		case wire.FaultReplicaDelay:
+			if len(args) != 2 {
+				return nil, fmt.Errorf("schedule: %q: delay needs <replica> <duration>", line)
+			}
+			if ev.replica, err = strconv.Atoi(args[0]); err != nil {
+				return nil, fmt.Errorf("schedule: %q: bad replica %q", line, args[0])
+			}
+			if ev.delay, err = time.ParseDuration(args[1]); err != nil || ev.delay < 0 {
+				return nil, fmt.Errorf("schedule: %q: bad delay %q", line, args[1])
 			}
 		case wire.FaultHeal, wire.FaultLinkClear, verbAddShard:
 			if len(args) != 0 {

@@ -55,6 +55,27 @@ func TestParseScheduleForms(t *testing.T) {
 	}
 }
 
+func TestParseScheduleDelay(t *testing.T) {
+	evs, err := parseSchedule("10ms delay 1 20ms; 50ms delay 1 0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("parsed %d events, want 2", len(evs))
+	}
+	d := evs[0]
+	if d.verb != wire.FaultReplicaDelay || d.replica != 1 || d.delay != 20*time.Millisecond {
+		t.Fatalf("delay event = %+v", d)
+	}
+	if fr := d.wire(); fr.Action != wire.FaultReplicaDelay || fr.Replica != 1 || fr.DelayUS != 20_000 {
+		t.Fatalf("wire form = %+v", fr)
+	}
+	// The 0s form clears the delay.
+	if evs[1].delay != 0 {
+		t.Fatalf("clear event delay = %v, want 0", evs[1].delay)
+	}
+}
+
 func TestParseScheduleErrors(t *testing.T) {
 	for _, bad := range []string{
 		"",                      // no events
@@ -67,6 +88,8 @@ func TestParseScheduleErrors(t *testing.T) {
 		"10ms heal now",         // heal takes no args
 		"10ms link 0 1",         // missing delay
 		"10ms link 0 1 2ms 0 7", // drop out of range
+		"10ms delay 1",          // missing duration
+		"10ms delay 1 -5ms",     // negative delay
 	} {
 		if _, err := parseSchedule(bad); err == nil {
 			t.Errorf("parseSchedule(%q) accepted bad input", bad)

@@ -13,7 +13,8 @@
 //	ccload -addr http://127.0.0.1:8344 -clients 8 -duration 5s \
 //	       -objects 16 -adt mixed -write-ratio 0.3 -skew 1.1 \
 //	       [-batch] [-pipeline 32] [-batch-ops 64] [-batch-wait 500us] \
-//	       [-read-target affinity|any] \
+//	       [-read-target affinity|any] [-read-target-mix "affinity=0.8,any=0.2"] \
+//	       [-sla] [-sla-spec "rmw@5ms=1,..."] [-sla-slow 20ms] [-sla-partition 0] \
 //	       [-bench-out BENCH_runtime.json -label "..."] [-require-verdicts]
 //
 // The default mode is one round trip per operation (the per-op
@@ -22,7 +23,14 @@
 // them — across all clients — into POST /v1/batch round trips
 // (size -batch-ops, delay -batch-wait), while every session's ops
 // stay in program order. -read-target any issues Pileus-style weak
-// reads (round-robin over replicas, no read-your-writes).
+// reads (round-robin over replicas, no read-your-writes);
+// -read-target-mix draws the target per operation instead
+// ("affinity=0.8,any=0.2").
+//
+// -sla switches to the consistency-SLA scenario (see sla.go): skew
+// the topology with per-replica serving delays, then compare the
+// adaptive utility-maximizing read router against static affinity and
+// static any baselines under the SLA given by -sla-spec.
 //
 // -bench-out appends a labelled entry (BENCH_checkers.json style) so
 // a run becomes a recorded, comparable measurement. -require-verdicts
@@ -40,6 +48,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +57,7 @@ import (
 	"github.com/paper-repro/ccbm/cc"
 	"github.com/paper-repro/ccbm/cc/client"
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
+	"github.com/paper-repro/ccbm/cc/sla"
 )
 
 // mixedADTs is the default object population for -adt mixed.
@@ -168,6 +179,59 @@ type target struct {
 	gen  opGen
 }
 
+// buildTargets resolves the object population (names, ADTs, operation
+// generators) without touching the server.
+func buildTargets(objects int, adtFlag string, writeRatio float64) ([]target, error) {
+	targets := make([]target, objects)
+	for i := range targets {
+		adtName := adtFlag
+		if adtName == "mixed" {
+			adtName = mixedADTs[i%len(mixedADTs)]
+		}
+		t, err := cc.LookupADT(adtName)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := generatorFor(adtName, writeRatio)
+		if err != nil {
+			return nil, err
+		}
+		targets[i] = target{name: fmt.Sprintf("obj-%03d", i), t: t, gen: gen}
+	}
+	return targets, nil
+}
+
+// parseTargetMix parses "-read-target-mix affinity=0.8,any=0.2" and
+// returns the probability of drawing the any target per operation.
+// Both weights must be named and sum to 1.
+func parseTargetMix(text string) (float64, error) {
+	weights := map[string]float64{}
+	for _, part := range strings.Split(text, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, fmt.Errorf(`-read-target-mix: %q: want "<target>=<weight>"`, part)
+		}
+		if k != string(wire.ReadAffinity) && k != string(wire.ReadAny) {
+			return 0, fmt.Errorf("-read-target-mix: unknown target %q (want affinity or any)", k)
+		}
+		if _, dup := weights[k]; dup {
+			return 0, fmt.Errorf("-read-target-mix: duplicate target %q", k)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 {
+			return 0, fmt.Errorf("-read-target-mix: bad weight %q", v)
+		}
+		weights[k] = w
+	}
+	if len(weights) != 2 {
+		return 0, fmt.Errorf("-read-target-mix: name both affinity and any")
+	}
+	if sum := weights[string(wire.ReadAffinity)] + weights[string(wire.ReadAny)]; math.Abs(sum-1) > 1e-6 {
+		return 0, fmt.Errorf("-read-target-mix: weights sum to %v, want 1", sum)
+	}
+	return weights[string(wire.ReadAny)], nil
+}
+
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8344", "ccserved base URL")
 	clients := flag.Int("clients", 8, "concurrent closed-loop clients (one session each)")
@@ -182,6 +246,11 @@ func main() {
 	batchOps := flag.Int("batch-ops", 64, "client batch flush size (with -batch)")
 	batchWait := flag.Duration("batch-wait", 500*time.Microsecond, "client batch flush delay (with -batch)")
 	readTarget := flag.String("read-target", "affinity", "per-request read target: affinity or any")
+	readTargetMix := flag.String("read-target-mix", "", `per-op probabilistic read target, e.g. "affinity=0.8,any=0.2"`)
+	slaMode := flag.Bool("sla", false, "run the consistency-SLA scenario (adaptive vs static read routing)")
+	slaSpec := flag.String("sla-spec", "rmw@5ms=1,bounded:100ms@2ms=0.5,eventual=0.1", "consistency SLA for -sla (see cc/sla grammar)")
+	slaSlow := flag.Duration("sla-slow", 20*time.Millisecond, "serving delay injected on every replica except 0 (with -sla)")
+	slaPartition := flag.Duration("sla-partition", 0, "cut the fast replica off for this window mid-phase to force downgrades (with -sla)")
 	benchOut := flag.String("bench-out", "", "append a labelled result entry to this JSON file")
 	label := flag.String("label", "", "label for the bench entry")
 	requireVerdicts := flag.Bool("require-verdicts", false, "exit non-zero unless the monitor produced verdicts")
@@ -201,12 +270,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccload: -read-target must be affinity or any")
 		os.Exit(2)
 	}
-	pipelineSet := false
+	pipelineSet, targetSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "pipeline" {
+		switch f.Name {
+		case "pipeline":
 			pipelineSet = true
+		case "read-target":
+			targetSet = true
 		}
 	})
+	mixAny := 0.0
+	if *readTargetMix != "" {
+		if targetSet {
+			fmt.Fprintln(os.Stderr, "ccload: -read-target and -read-target-mix are mutually exclusive")
+			os.Exit(2)
+		}
+		if *slaMode {
+			fmt.Fprintln(os.Stderr, "ccload: -sla plans its own read targets; drop -read-target-mix")
+			os.Exit(2)
+		}
+		var err error
+		if mixAny, err = parseTargetMix(*readTargetMix); err != nil {
+			fmt.Fprintln(os.Stderr, "ccload:", err)
+			os.Exit(2)
+		}
+	}
 	if pipelineSet && !*batch {
 		fmt.Fprintln(os.Stderr, "ccload: -pipeline needs -batch (per-op mode is a closed loop)")
 		os.Exit(2)
@@ -214,6 +302,30 @@ func main() {
 	if *batch && (*pipeline < 1 || *batchOps < 1) {
 		fmt.Fprintln(os.Stderr, "ccload: -pipeline and -batch-ops must be at least 1")
 		os.Exit(2)
+	}
+	targets, err := buildTargets(*objects, *adtFlag, *writeRatio)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccload:", err)
+		os.Exit(2)
+	}
+
+	if *slaMode {
+		spec, err := sla.Parse(*slaSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccload: -sla-spec:", err)
+			os.Exit(2)
+		}
+		if *slaSlow <= 0 {
+			fmt.Fprintln(os.Stderr, "ccload: -sla-slow must be positive (the scenario needs a skewed topology)")
+			os.Exit(2)
+		}
+		os.Exit(runSLA(slaCfg{
+			addr: *addr, clients: *clients, duration: *duration, targets: targets,
+			seed: *seed, batch: *batch, pipeline: *pipeline, batchOps: *batchOps,
+			batchWait: *batchWait, spec: spec, specText: *slaSpec, slow: *slaSlow,
+			partition: *slaPartition, benchOut: *benchOut, label: *label,
+			require: *requireVerdicts, skew: *skew,
+		}))
 	}
 
 	var opts []client.Option
@@ -242,28 +354,11 @@ func main() {
 		fmt.Printf("ccload: ring epoch=%d vnodes=%d load=%.2f shards=%d\n",
 			ringInfo.Epoch, ringInfo.VNodes, ringInfo.LoadFactor, len(ringInfo.Shards))
 	}
-	targets := make([]target, *objects)
-	for i := range targets {
-		name := fmt.Sprintf("obj-%03d", i)
-		adtName := *adtFlag
-		if adtName == "mixed" {
-			adtName = mixedADTs[i%len(mixedADTs)]
-		}
-		t, err := cc.LookupADT(adtName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ccload:", err)
-			os.Exit(2)
-		}
-		gen, err := generatorFor(adtName, *writeRatio)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ccload:", err)
-			os.Exit(2)
-		}
-		if err := cli.CreateObject(ctx, name, adtName); err != nil {
+	for _, tg := range targets {
+		if err := cli.CreateObject(ctx, tg.name, tg.t.Name()); err != nil {
 			fmt.Fprintln(os.Stderr, "ccload: create:", err)
 			os.Exit(1)
 		}
-		targets[i] = target{name: name, t: t, gen: gen}
 	}
 
 	// Each client owns one session. Per-op mode is a closed loop; with
@@ -271,6 +366,7 @@ func main() {
 	// collector goroutine retires them in submission order.
 	var (
 		ops, writes, reads, errs atomic.Int64
+		anyOps                   atomic.Int64 // ops issued with the any target (-read-target-mix)
 		mu                       sync.Mutex
 		latencies                []float64 // µs, sampled 1 in 16
 	)
@@ -281,6 +377,7 @@ func main() {
 		go func(cl int) {
 			defer wg.Done()
 			sess := cli.Session(cl)
+			sessAny := sess.WithTarget(wire.ReadAny)
 			rng := rand.New(rand.NewSource(*seed*7919 + int64(cl)))
 			var zipf *rand.Zipf
 			if *skew > 1 {
@@ -328,13 +425,18 @@ func main() {
 				}
 				in := tg.gen(rng, step)
 				update := tg.t.IsUpdate(in)
+				s := sess
+				if mixAny > 0 && rng.Float64() < mixAny {
+					s = sessAny
+					anyOps.Add(1)
+				}
 				t0 := time.Now()
 				if *batch {
-					fut := sess.InvokeAsync(tg.name, in)
+					fut := s.InvokeAsync(tg.name, in)
 					window <- inflight{fut: fut, t0: t0, update: update, sampled: step%16 == 0}
 					continue
 				}
-				if _, err := sess.Invoke(ctx, tg.name, in); err != nil {
+				if _, err := s.Invoke(ctx, tg.name, in); err != nil {
 					errs.Add(1)
 					continue
 				}
@@ -381,8 +483,16 @@ func main() {
 	}
 	fmt.Printf("ccload: %d ops in %v (%.0f ops/s), %d errors, mode %s\n",
 		total, elapsed.Round(time.Millisecond), opsPerSec, errs.Load(), mode)
+	targetDesc := string(tgt)
+	if *readTargetMix != "" {
+		realizedAny := 0.0
+		if issued := total + errs.Load(); issued > 0 {
+			realizedAny = float64(anyOps.Load()) / float64(issued)
+		}
+		targetDesc = fmt.Sprintf("mix(%s, realized any=%.3f)", *readTargetMix, realizedAny)
+	}
 	fmt.Printf("mix     w=%d r=%d (realized write ratio %.3f of requested %.2f), read-target %s\n",
-		writes.Load(), reads.Load(), realized, *writeRatio, tgt)
+		writes.Load(), reads.Load(), realized, *writeRatio, targetDesc)
 	fmt.Printf("latency sampled n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f µs\n",
 		lat.Count, lat.Mean, lat.P50, lat.P95, lat.P99, lat.Max)
 	monJSON, _ := json.Marshal(sum)
@@ -397,7 +507,7 @@ func main() {
 			"config": map[string]any{
 				"clients": *clients, "objects": *objects, "adt": *adtFlag,
 				"write_ratio": *writeRatio, "skew": *skew, "duration": duration.String(),
-				"mode": mode, "read_target": string(tgt),
+				"mode": mode, "read_target": targetDesc,
 			},
 			"ops":                  total,
 			"ops_per_sec":          round1(opsPerSec),

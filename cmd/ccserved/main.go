@@ -12,11 +12,14 @@
 // cluster.NewHTTPHandler): POST /v1/objects, POST /v1/invoke, POST
 // /v1/batch (pipelined per-session invocation groups), POST
 // /v1/crash, POST /v1/fault (scripted chaos: partition, heal,
-// crash/restart, link degradation), GET /v1/ring (placement ring and
-// epoch), GET /v1/stats, GET /v1/monitor,
-// GET /v1/monitor/stream (NDJSON verdicts), GET /v1/healthz (reports
-// the protocol version and topology), GET /v1/readyz (503 while
-// draining). Drive it with the cc/client SDK or cmd/ccload.
+// crash/restart, link degradation, per-replica serving delay),
+// GET /v1/ring (placement ring, epoch, per-replica replication lag),
+// GET /v1/stats, GET /v1/monitor,
+// GET /v1/monitor/stream (NDJSON verdicts), GET /v1/staleness
+// (per-replica high-water vectors and lag — what SLA-routing clients
+// poll), GET /v1/healthz (reports the protocol version and topology),
+// GET /v1/readyz (503 while draining, also reports replication lag).
+// Drive it with the cc/client SDK or cmd/ccload.
 // -replication selects the backend: "broadcast" (the default causal
 // broadcast stack) or "antientropy" (periodic gossip rounds,
 // -gossip-interval). On SIGINT/SIGTERM the server flips /v1/readyz

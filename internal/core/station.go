@@ -101,6 +101,11 @@ type StationConfig struct {
 	// communication history; ReplBroadcast only — anti-entropy always
 	// retains, that is its sync state).
 	Retain bool
+	// Birth seeds the per-origin high-water stamps (unix nanos). A
+	// replica group must share one birth, or the construction-time
+	// skew between its members reads as a permanent phantom lag. 0
+	// defaults to the station's own construction time.
+	Birth int64
 }
 
 // totalTS orders updates in the timestamp modes (EC, CCv): time, then
@@ -131,9 +136,15 @@ type wireOp struct {
 }
 
 // batchMsg is the broadcast payload: a batch of updates applied in
-// order on delivery.
+// order on delivery. SentAt is the origin's wall-clock send stamp
+// (unix nanos); receivers keep, per origin, the largest stamp
+// delivered — the per-origin high-water mark that staleness-bounded
+// reads compare against (Pileus-style). Replicas of one shard share a
+// clock domain in this runtime (one process), so cross-replica stamp
+// comparison needs no clock-sync caveats.
 type batchMsg struct {
-	Ops []wireOp
+	Ops    []wireOp
+	SentAt int64
 }
 
 // stObject is the per-object replicated state.
@@ -180,6 +191,7 @@ type Station struct {
 	down    bool    // fault-injected crash-stop: refuse service until Restart
 	delivFP uint64  // XOR of delivered-op hashes (set convergence witness)
 	delivB  []int64 // per-origin delivered-batch counts (quiescence probe)
+	hw      []int64 // per-origin high-water: latest delivered send stamp (unix ns)
 	tsHigh  int     // EC: Lamport high-water (assigned ∨ witnessed)
 	lastVT  []int   // per-origin largest timestamp seen, for compaction
 	stats   StationStats
@@ -207,12 +219,24 @@ func NewStation(tr net.Transport, id int, mode Mode, cfg StationConfig) *Station
 		objs:     make(map[string]*stObject),
 		outs:     make(map[uint64]spec.Output),
 		delivB:   make([]int64, tr.N()),
+		hw:       make([]int64, tr.N()),
 		lastVT:   make([]int, tr.N()),
 		batchOps: cfg.BatchOps,
 		wait:     cfg.BatchWait,
 	}
 	if s.wait <= 0 {
 		s.wait = 200 * time.Microsecond
+	}
+	// High-water marks start at the group's birth: "everything up to
+	// now" is vacuously delivered from every origin (the group starts
+	// together with empty histories), so an origin that never writes
+	// contributes zero staleness instead of an unbounded one.
+	birth := cfg.Birth
+	if birth == 0 {
+		birth = time.Now().UnixNano()
+	}
+	for i := range s.hw {
+		s.hw[i] = birth
 	}
 	s.outCond = sync.NewCond(&s.mu)
 	s.repl = cfg.Replication
@@ -557,7 +581,7 @@ func (s *Station) broadcast(ops []wireOp) {
 	s.stats.Broadcasts++
 	s.stats.BatchedOps += int64(len(ops))
 	s.mu.Unlock()
-	s.bc.Broadcast(batchMsg{Ops: ops})
+	s.bc.Broadcast(batchMsg{Ops: ops, SentAt: time.Now().UnixNano()})
 }
 
 // await blocks until the local delivery of op id produces its output.
@@ -599,6 +623,9 @@ func (s *Station) apply(origin, ccvVT int, payload any) {
 	s.mu.Lock()
 	if origin >= 0 && origin < len(s.delivB) {
 		s.delivB[origin]++
+		if m.SentAt > s.hw[origin] {
+			s.hw[origin] = m.SentAt
+		}
 	}
 	woke := false
 	for i, op := range m.Ops {
@@ -680,6 +707,20 @@ func (s *Station) DeliveredBatches() []int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]int64(nil), s.delivB...)
+}
+
+// HighWater returns the station's per-origin high-water marks: for
+// each origin, the wall-clock send stamp (unix nanos) of the latest
+// update batch delivered from it, initialized to the station's birth
+// time. A replica whose vector componentwise matches the freshest
+// vector in the group has delivered every batch the group has sent;
+// the componentwise deficit against the group-wide maximum, in time
+// units, is the replica's replication lag — what bounded-staleness
+// reads and the /v1/staleness endpoint report.
+func (s *Station) HighWater() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.hw...)
 }
 
 // ExportObject returns the named object's current local query state —

@@ -51,6 +51,12 @@ type Params struct {
 	// Criteria selects the criteria a Classifier runs, by registered
 	// name; nil means all registered. Ignored by Check.
 	Criteria []string
+	// Pruning enables the DPOR-style pruners of the causal-family
+	// searches (canonical state fingerprints, sleep-set exclusion,
+	// symmetry quotient). Verdicts are identical to the exhaustive
+	// search; witnesses may be renamed equivalents when the history has
+	// identical-program processes.
+	Pruning bool
 
 	stats *check.Stats
 }
@@ -81,6 +87,15 @@ func WithCriteria(names ...string) Option {
 	return func(p *Params) { p.Criteria = append([]string(nil), names...) }
 }
 
+// WithPruning toggles the DPOR-style pruning layer of the
+// causal-family searches (default off). Pruned searches return the
+// same verdicts as exhaustive ones while exploring fewer nodes;
+// per-pruner counters are surfaced as Result.Pruned. Witnesses are
+// bit-identical except when the history has identical-program
+// processes, where the symmetry quotient may return a renamed (still
+// valid) equivalent.
+func WithPruning(on bool) Option { return func(p *Params) { p.Pruning = on } }
+
 // CountNodes adds n to the invocation's explored-node statistic
 // (surfaced as Result.Explored). The built-in criteria report
 // automatically; user-defined CheckFuncs may call it to participate.
@@ -92,7 +107,11 @@ func (p Params) CountNodes(n int64) {
 
 // engine translates the public parameters into engine options.
 func (p Params) engine() check.Options {
-	return check.Options{MaxNodes: p.Budget, Parallelism: p.Parallelism, Stats: p.stats}
+	opt := check.Options{MaxNodes: p.Budget, Parallelism: p.Parallelism, Stats: p.stats}
+	if p.Pruning {
+		opt.Prune = check.PruneAll()
+	}
+	return opt
 }
 
 func newParams(opts []Option) Params {
@@ -129,6 +148,9 @@ type Result struct {
 	Witness *Witness
 	// Explored is the number of search-tree nodes visited.
 	Explored int64
+	// Pruned counts the frames and branches each pruner cut, when
+	// pruning was enabled (WithPruning); zero otherwise.
+	Pruned PruneStats
 	// Elapsed is the check's wall-clock time.
 	Elapsed time.Duration
 	// Exhausted is non-empty when the search ended without a verdict:
@@ -186,6 +208,7 @@ func runCriterion(ctx context.Context, c Criterion, h *histories.History, p Para
 		Satisfied: ok,
 		Witness:   w,
 		Explored:  stats.Nodes,
+		Pruned:    stats.Prune,
 		Elapsed:   time.Since(start),
 		Err:       err,
 	}

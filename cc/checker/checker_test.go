@@ -260,3 +260,52 @@ p1: wb(1) wc(3) we(1) ra/0 rd/1 rc/3`)
 		t.Fatalf("timed-out check: res = %+v, want Exhausted = timeout", res)
 	}
 }
+
+// The hardest Fig. 3 history (3h): CC holds but takes the search deep
+// into backtracking territory, so pruning has something to cut.
+const fig3h = `adt: M[a-e]
+p0: wa(1) wc(2) wd(1) rb/0 re/1 rc/3
+p1: wb(1) wc(3) we(1) ra/0 rd/1 rc/3`
+
+func TestCheckWithPruning(t *testing.T) {
+	h := histories.MustParse(fig3h)
+	ctx := context.Background()
+	for _, criterion := range []string{"WCC", "CC", "CCv"} {
+		plain, err := checker.Check(ctx, criterion, h)
+		if err != nil {
+			t.Fatalf("Check(%s): %v", criterion, err)
+		}
+		pruned, err := checker.Check(ctx, criterion, h, checker.WithPruning(true))
+		if err != nil {
+			t.Fatalf("Check(%s, pruning): %v", criterion, err)
+		}
+		if plain.Satisfied != pruned.Satisfied {
+			t.Errorf("Check(%s): verdict flipped under pruning: %v vs %v",
+				criterion, plain.Satisfied, pruned.Satisfied)
+		}
+		if plain.Pruned.Total() != 0 {
+			t.Errorf("Check(%s): pruning counters nonzero without WithPruning: %+v",
+				criterion, plain.Pruned)
+		}
+		if pruned.Explored > plain.Explored {
+			t.Errorf("Check(%s): pruned search explored more nodes: %d vs %d",
+				criterion, pruned.Explored, plain.Explored)
+		}
+		if pruned.Satisfied {
+			if err := checker.ValidateWitness(h, criterion, pruned.Witness); err != nil {
+				t.Errorf("Check(%s): pruned witness invalid: %v", criterion, err)
+			}
+		}
+	}
+	// CC is the backtracking-heavy criterion on 3h: pruning must cut
+	// the exploration by well over 2× and say so in the counters.
+	plain, _ := checker.Check(ctx, "CC", h)
+	pruned, _ := checker.Check(ctx, "CC", h, checker.WithPruning(true))
+	if pruned.Explored*2 > plain.Explored {
+		t.Errorf("CC on 3h: pruning reduced exploration only %d → %d (< 2×)",
+			plain.Explored, pruned.Explored)
+	}
+	if pruned.Pruned.Total() == 0 {
+		t.Error("CC on 3h: pruning counters all zero")
+	}
+}

@@ -124,7 +124,7 @@ func (cl *Classifier) Stream(ctx context.Context, items <-chan Item) (<-chan Ite
 		}
 	}()
 	results := check.ClassifyAll(ctx, in, check.BatchOptions{
-		Options:  check.Options{MaxNodes: cl.p.Budget, Parallelism: cl.p.Parallelism},
+		Options:  cl.p.engine(),
 		Workers:  cl.p.Workers,
 		Timeout:  cl.p.Timeout,
 		Criteria: builtins,
@@ -199,6 +199,7 @@ func outcomeResult(name string, o check.CriterionOutcome) *Result {
 		Criterion: name,
 		Satisfied: o.Satisfied,
 		Explored:  o.Explored,
+		Pruned:    o.Pruned,
 		Elapsed:   o.Elapsed,
 		Err:       o.Err,
 	}

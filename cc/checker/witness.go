@@ -14,6 +14,35 @@ import (
 // order with per-event linearizations (WCC, CC, CCv).
 type Witness = check.Witness
 
+// PruneStats counts the work each DPOR-style pruner did during a
+// pruned search (WithPruning): frames cut through canonical state
+// fingerprints, branches excluded by sleep sets, and frontier events
+// skipped by the symmetry quotient.
+type PruneStats = check.PruneStats
+
+// ValidateWitness re-derives a positive verdict from first
+// principles: it checks, independently of the search that produced
+// it, that w is genuine evidence that h satisfies the named
+// criterion. It covers the criteria whose witnesses carry enough
+// structure (the causal family and SC); useful as a safety net over
+// pruned searches.
+func ValidateWitness(h *histories.History, criterion string, w *Witness) error {
+	var crit check.Criterion
+	switch criterion {
+	case check.CritWCC.String():
+		crit = check.CritWCC
+	case check.CritCC.String():
+		crit = check.CritCC
+	case check.CritCCv.String():
+		crit = check.CritCCv
+	case check.CritSC.String():
+		crit = check.CritSC
+	default:
+		return fmt.Errorf("checker: no independent validator for %q", criterion)
+	}
+	return check.ValidateWitness(h, crit, w)
+}
+
 // FormatLin renders a witness order as the paper's dot-separated word
 // with every output visible.
 func FormatLin(h *histories.History, order []int) string {

@@ -10,6 +10,12 @@ import (
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
 )
 
+// DefaultWindowOps is the default size of a sampled object's checked
+// window. The DPOR-style pruned searches (on by default, see NoPrune)
+// keep exact checking tractable at this size; it was 24 when the
+// monitor ran the exhaustive searches.
+const DefaultWindowOps = 40
+
 // MonitorConfig tunes the online consistency monitor.
 type MonitorConfig struct {
 	// Disable turns the monitor off entirely.
@@ -18,8 +24,8 @@ type MonitorConfig struct {
 	// default 4.
 	SampleEvery int
 	// WindowOps is the number of operations a sampled object's checked
-	// window holds; default 24. Windows much larger than this make the
-	// exact checkers the bottleneck.
+	// window holds; default DefaultWindowOps. Windows much larger than
+	// this make the exact checkers the bottleneck even with pruning.
 	WindowOps int
 	// Grace is how long a full window keeps accepting the operations
 	// that were already in flight at its cutoff; default 250ms.
@@ -34,6 +40,11 @@ type MonitorConfig struct {
 	// Workers bounds concurrent checks; default 1 (keep the monitor off
 	// the serving path's cores).
 	Workers int
+	// NoPrune disables the DPOR-style pruners of the exact checkers.
+	// The monitor prunes by default: verdicts are identical to the
+	// exhaustive searches, and the node reduction is what makes
+	// DefaultWindowOps-sized windows affordable online.
+	NoPrune bool
 }
 
 func (m *MonitorConfig) fill(criterion string) {
@@ -41,7 +52,7 @@ func (m *MonitorConfig) fill(criterion string) {
 		m.SampleEvery = 4
 	}
 	if m.WindowOps <= 0 {
-		m.WindowOps = 24
+		m.WindowOps = DefaultWindowOps
 	}
 	if m.Grace <= 0 {
 		m.Grace = 250 * time.Millisecond
@@ -136,6 +147,7 @@ func newMonitor(cfg MonitorConfig, criterion string) *Monitor {
 		checker.WithCriteria(cfg.Criteria...),
 		checker.WithTimeout(cfg.Timeout),
 		checker.WithWorkers(cfg.Workers),
+		checker.WithPruning(!cfg.NoPrune),
 	}
 	if cfg.Budget > 0 {
 		opts = append(opts, checker.WithBudget(cfg.Budget))
@@ -351,7 +363,8 @@ type objRecorder struct {
 
 	mu     sync.Mutex
 	ops    []checker.TimedOp
-	cutoff float64 // 0 until the window fills
+	filled bool    // the window reached WindowOps; cutoff is final
+	cutoff float64 // meaningful once filled
 	done   bool
 }
 
@@ -365,7 +378,7 @@ func (r *objRecorder) record(session int, op cc.Operation, inv, res float64) {
 	if r.done {
 		return
 	}
-	if r.cutoff > 0 {
+	if r.filled {
 		isUpdate := r.t.IsUpdate(op.In)
 		if (isUpdate && inv > r.cutoff) || (!isUpdate && res > r.cutoff) {
 			return
@@ -384,7 +397,13 @@ func (r *objRecorder) record(session int, op cc.Operation, inv, res float64) {
 		}
 	}
 	r.ops = append(r.ops, checker.TimedOp{Proc: session, Op: op, Inv: inv, Res: res})
-	if r.cutoff == 0 && len(r.ops) >= r.m.cfg.WindowOps {
+	if !r.filled && len(r.ops) >= r.m.cfg.WindowOps {
+		// The window fills exactly once; a boolean, not a cutoff
+		// sentinel, records it (a window whose recorded res times are
+		// all zero — e.g. a clock starting at the first operation —
+		// must still close, and must not re-arm the grace timer on
+		// every later record).
+		r.filled = true
 		// The cutoff must cover every operation already recorded: record
 		// calls can land out of res order (a session may be descheduled
 		// between computing res and acquiring the lock), and a cutoff
@@ -403,7 +422,7 @@ func (r *objRecorder) record(session int, op cc.Operation, inv, res float64) {
 // submits even a half-filled window, as long as it has two operations.
 func (r *objRecorder) finalize(force bool) {
 	r.mu.Lock()
-	if r.done || (r.cutoff == 0 && !force) {
+	if r.done || (!r.filled && !force) {
 		r.mu.Unlock()
 		return
 	}

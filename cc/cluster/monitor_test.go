@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/paper-repro/ccbm/cc"
+)
+
+// Internal regression tests for the window-closing machinery: the
+// "window filled" state must be a boolean set exactly once, not a
+// cutoff-is-zero sentinel. Before the fix, a window whose recorded
+// res times were all zero (a clock starting at the first operation)
+// never engaged the grace filter, re-armed the grace timer on every
+// later record, and was only ever submitted by Close's force path.
+
+func monitorADT(t *testing.T) cc.ADT {
+	t.Helper()
+	a, err := cc.LookupADT("Register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func waitSubmitted(t *testing.T, m *Monitor, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		m.mu.Lock()
+		got := m.submitted
+		m.mu.Unlock()
+		if got >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("window was never submitted")
+}
+
+// TestMonitorWindowClosesAtZeroRes: a window whose operations all
+// carry res == 0 must still fill, pass its grace period and submit —
+// without waiting for Close.
+func TestMonitorWindowClosesAtZeroRes(t *testing.T) {
+	m := newMonitor(MonitorConfig{SampleEvery: 1, WindowOps: 4, Grace: 10 * time.Millisecond}, "CC")
+	defer m.Close()
+	rec := m.maybeSample("obj", monitorADT(t))
+	if rec == nil {
+		t.Fatal("SampleEvery=1 did not sample")
+	}
+	w := cc.NewOp(cc.NewInput("w", 1), cc.Bot)
+	for i := 0; i < 4; i++ {
+		rec.record(0, w, 0, 0)
+	}
+	waitSubmitted(t, m, 1)
+	rec.mu.Lock()
+	filled, done := rec.filled, rec.done
+	rec.mu.Unlock()
+	if !filled || !done {
+		t.Fatalf("recorder state after grace: filled=%v done=%v, want both", filled, done)
+	}
+}
+
+// TestMonitorNoDuplicateWindowAtGraceBoundary: operations landing
+// while the grace period runs keep len(ops) ≥ WindowOps true; the
+// fill branch must not re-arm the grace timer for them, and the
+// window must be submitted exactly once.
+func TestMonitorNoDuplicateWindowAtGraceBoundary(t *testing.T) {
+	m := newMonitor(MonitorConfig{SampleEvery: 1, WindowOps: 4, Grace: 30 * time.Millisecond}, "CC")
+	rec := m.maybeSample("obj", monitorADT(t))
+	w := cc.NewOp(cc.NewInput("w", 1), cc.Bot)
+	for i := 0; i < 4; i++ {
+		rec.record(0, w, 0, 0)
+	}
+	rec.mu.Lock()
+	cutoff := rec.cutoff
+	rec.mu.Unlock()
+	// In-flight operations during grace (res ≤ cutoff ⇒ admitted).
+	for i := 0; i < 6; i++ {
+		rec.record(1, w, cutoff, cutoff)
+		time.Sleep(time.Millisecond)
+	}
+	waitSubmitted(t, m, 1)
+	// Give any (buggy) re-armed grace timers time to fire, then close.
+	time.Sleep(60 * time.Millisecond)
+	m.Close()
+	sum := m.Summary()
+	if sum.WindowsSubmitted != 1 {
+		t.Fatalf("window submitted %d times, want exactly 1", sum.WindowsSubmitted)
+	}
+	if sum.Errors > 0 {
+		t.Fatalf("monitor errors: %+v", sum)
+	}
+}
+
+// TestMonitorGraceCutoffCoversRecordedOps: the cutoff computed when
+// the window fills must cover the maximum recorded res, even when the
+// filling operation is not the latest one (out-of-order record calls).
+func TestMonitorGraceCutoffCoversRecordedOps(t *testing.T) {
+	m := newMonitor(MonitorConfig{SampleEvery: 1, WindowOps: 3, Grace: 10 * time.Millisecond}, "CC")
+	defer m.Close()
+	rec := m.maybeSample("obj", monitorADT(t))
+	w := cc.NewOp(cc.NewInput("w", 1), cc.Bot)
+	rec.record(0, w, 1, 2)
+	rec.record(0, w, 3, 9) // latest res, recorded before the filling op
+	rec.record(1, w, 4, 5) // fills the window
+	rec.mu.Lock()
+	cutoff, filled := rec.cutoff, rec.filled
+	rec.mu.Unlock()
+	if !filled {
+		t.Fatal("window did not fill at WindowOps operations")
+	}
+	if cutoff != 9 {
+		t.Fatalf("cutoff = %v, want the recorded max res 9", cutoff)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -226,6 +227,7 @@ func main() {
 	noHeal := flag.Bool("no-selfheal", false, "disable client retry/failover/breaker (op errors under faults become tolerated)")
 	batch := flag.Bool("batch", false, "drive ops through the client-side batcher")
 	requireVerdicts := flag.Bool("require-verdicts", false, "exit non-zero unless the monitor produced verdicts")
+	monWindow := flag.Int("monitor-window", 16, "operations per sampled monitor window")
 	benchOut := flag.String("bench-out", "", "append a labelled result entry to this JSON file")
 	label := flag.String("label", "", "label for the bench entry")
 	flag.Parse()
@@ -266,7 +268,7 @@ func main() {
 		Shards: *shards, Replicas: *replicas, Criterion: *criterion,
 		Replication: *replication, GossipInterval: *gossip,
 		Resync:  true, // chaos without a repair path cannot converge
-		Monitor: cluster.MonitorConfig{SampleEvery: 2, WindowOps: 16, Timeout: 2 * time.Second},
+		Monitor: cluster.MonitorConfig{SampleEvery: 2, WindowOps: *monWindow, Timeout: 2 * time.Second},
 	})
 	if err != nil {
 		fail(err)
@@ -515,7 +517,7 @@ func main() {
 		if lbl == "" {
 			lbl = fmt.Sprintf("ccchaos %s/%s", *criterion, c.Replication())
 		}
-		n, err := benchrec.Append(*benchOut, benchrec.New(lbl, map[string]any{
+		entry := benchrec.New(lbl, map[string]any{
 			"config": map[string]any{
 				"criterion": *criterion, "replication": c.Replication(),
 				"shards": *shards, "replicas": *replicas, "clients": *clients,
@@ -543,7 +545,10 @@ func main() {
 			"converge_events": len(heals),
 			"monitor":         sum,
 			"passed":          bad == 0,
-		}))
+		})
+		entry.Procs = runtime.GOMAXPROCS(0)
+		entry.Cores = runtime.NumCPU()
+		n, err := benchrec.Append(*benchOut, entry)
 		if err != nil {
 			fail(err)
 		}

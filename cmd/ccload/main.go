@@ -595,6 +595,8 @@ type benchEntry struct {
 	Date     string `json:"date"`
 	Go       string `json:"go"`
 	Platform string `json:"platform"`
+	Procs    int    `json:"procs,omitempty"`
+	Cores    int    `json:"cores,omitempty"`
 	Results  any    `json:"results"`
 }
 
@@ -604,6 +606,8 @@ func newBenchEntry(label string, results any) benchEntry {
 		Date:     time.Now().UTC().Format(time.RFC3339),
 		Go:       runtime.Version(),
 		Platform: runtime.GOOS + "/" + runtime.GOARCH,
+		Procs:    runtime.GOMAXPROCS(0),
+		Cores:    runtime.NumCPU(),
 		Results:  results,
 	}
 }

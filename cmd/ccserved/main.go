@@ -6,7 +6,7 @@
 //
 //	ccserved -addr :8344 -criterion CCv -shards 4 -replicas 3 \
 //	         -batch-ops 32 -batch-wait 200us \
-//	         -monitor-sample 4 -monitor-window 24 -monitor-timeout 2s
+//	         -monitor-sample 4 -window-ops 40 -monitor-timeout 2s
 //
 // The server speaks the versioned cc/cluster/wire protocol (see
 // cluster.NewHTTPHandler): POST /v1/objects, POST /v1/invoke, POST
@@ -52,9 +52,11 @@ func main() {
 	batchOps := flag.Int("batch-ops", 32, "max updates per broadcast batch (1 disables batching)")
 	batchWait := flag.Duration("batch-wait", 200*time.Microsecond, "max time an update waits for its batch")
 	monSample := flag.Int("monitor-sample", 4, "monitor samples 1 in N objects (0 disables the monitor)")
-	monWindow := flag.Int("monitor-window", 24, "operations per sampled window")
+	monWindow := flag.Int("window-ops", cluster.DefaultWindowOps, "operations per sampled monitor window")
+	flag.IntVar(monWindow, "monitor-window", cluster.DefaultWindowOps, "alias of -window-ops (kept for older harnesses)")
 	monTimeout := flag.Duration("monitor-timeout", 2*time.Second, "wall-clock bound per online check")
 	monBudget := flag.Int("monitor-budget", 0, "search-node bound per online check (0 = checker default)")
+	monNoPrune := flag.Bool("monitor-noprune", false, "run the monitor's exact checkers without DPOR-style pruning")
 	compactEvery := flag.Duration("compact-every", 5*time.Second, "CCv log compaction interval (0 disables)")
 	replication := flag.String("replication", "broadcast", "replication backend: broadcast or antientropy (gossip)")
 	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy round interval (0 = backend default)")
@@ -81,6 +83,7 @@ func main() {
 			WindowOps:   *monWindow,
 			Timeout:     *monTimeout,
 			Budget:      *monBudget,
+			NoPrune:     *monNoPrune,
 		},
 	}
 	c, err := cluster.New(cfg)

@@ -24,9 +24,9 @@
 //     (checker.Register / Lookup / All) dispatching built-in and
 //     user-defined criteria uniformly, context-aware checking
 //     (checker.Check(ctx, "CC", h, opts...) with WithBudget,
-//     WithParallelism, WithTimeout), a unified Result (verdict,
-//     witness, explored nodes, wall time, exhaustion cause), and the
-//     streaming batch Classifier.
+//     WithParallelism, WithPruning, WithTimeout), a unified Result
+//     (verdict, witness, explored nodes, wall time, exhaustion cause,
+//     pruning counters), and the streaming batch Classifier.
 //   - cc/cluster: the serving layer — a live, sharded multi-object
 //     service over the Sec. 6 runtime (named objects of any registered
 //     ADT, hash-sharded replica groups, batched causal broadcast,
@@ -65,10 +65,15 @@
 // performance-shape results for every figure of the paper; cmd/ccbench
 // snapshots the checker numbers into BENCH_checkers.json.
 //
-// Classification scales out along two axes: WithParallelism forks the
-// causal-family searches of a single history into deterministic
-// subtree tasks, and the Classifier streams batches of histories
-// through a bounded worker pool with per-criterion timeouts —
-// cmd/ccclassify is the batch front end emitting one JSON object per
-// history.
+// Classification scales along three axes: WithPruning turns on the
+// DPOR-style pruners of the layered exploration engine (canonical
+// frame fingerprints, sleep sets, a symmetry quotient — verdicts are
+// provably unchanged; the online monitor runs pruned by default),
+// WithParallelism forks the causal-family searches of a single history
+// into deterministic subtree tasks sharing their pruning tables, and
+// the Classifier streams batches of histories through a bounded worker
+// pool with per-criterion timeouts — cmd/ccclassify is the batch front
+// end emitting one JSON object per history. See README.md's "Checker
+// internals" section and the internal/check package docs for the
+// engine's layering.
 package ccbm

@@ -21,6 +21,7 @@ type Entry struct {
 	Go       string `json:"go"`
 	Platform string `json:"platform"`
 	Procs    int    `json:"procs,omitempty"` // GOMAXPROCS of the run, when relevant
+	Cores    int    `json:"cores,omitempty"` // physical core count (runtime.NumCPU)
 	Results  any    `json:"results"`
 }
 

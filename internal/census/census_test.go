@@ -171,3 +171,48 @@ func TestFormatTable(t *testing.T) {
 		t.Errorf("table reports violations:\n%s", out)
 	}
 }
+
+// TestCensusPrunedEquivalent runs the same census with and without the
+// DPOR-style pruners and requires identical aggregates: totals,
+// per-criterion counts, profile vectors and separation witnesses.
+// Pruning must be invisible to everything but the node counters.
+func TestCensusPrunedEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	base := regConfig([]int{2, 2})
+	pruned := regConfig([]int{2, 2})
+	pruned.Options.Prune = check.PruneAll()
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Fatalf("totals differ: %d vs %d", a.Total, b.Total)
+	}
+	if !reflect.DeepEqual(a.Counts, b.Counts) {
+		t.Fatalf("per-criterion counts differ:\nexhaustive: %v\npruned:     %v", a.Counts, b.Counts)
+	}
+	if len(b.Violations) != 0 {
+		t.Fatalf("pruned census violated the hierarchy on %d histories", len(b.Violations))
+	}
+	if len(a.Profiles) != len(b.Profiles) {
+		t.Fatalf("profile sets differ: %d vs %d", len(a.Profiles), len(b.Profiles))
+	}
+	for i := range a.Profiles {
+		if a.Profiles[i].Key != b.Profiles[i].Key || a.Profiles[i].Count != b.Profiles[i].Count {
+			t.Fatalf("profile %d differs: %s×%d vs %s×%d", i,
+				a.Profiles[i].Key, a.Profiles[i].Count, b.Profiles[i].Key, b.Profiles[i].Count)
+		}
+	}
+	for i := range a.Seps {
+		if i >= len(b.Seps) || a.Seps[i].Stronger != b.Seps[i].Stronger ||
+			a.Seps[i].Weaker != b.Seps[i].Weaker || a.Seps[i].Index != b.Seps[i].Index {
+			t.Fatalf("separation witnesses diverged at %d", i)
+		}
+	}
+}

@@ -43,6 +43,9 @@ type CriterionOutcome struct {
 	Err error
 	// Explored is the number of search-tree nodes the checker visited.
 	Explored int64
+	// Pruned counts the frames and branches each pruner cut when
+	// Options.Prune enabled any (zero otherwise).
+	Pruned PruneStats
 	// Elapsed is the checker's wall-clock time.
 	Elapsed time.Duration
 }
@@ -200,6 +203,7 @@ func checkWithTimeout(ctx context.Context, opt Options, timeout time.Duration, f
 		BudgetExceeded: errors.Is(err, ErrBudget),
 		Err:            err,
 		Explored:       stats.Nodes,
+		Pruned:         stats.Prune,
 		Elapsed:        time.Since(start),
 	}
 }

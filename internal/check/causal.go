@@ -2,14 +2,13 @@ package check
 
 import (
 	"context"
-	"math/bits"
 
 	"github.com/paper-repro/ccbm/internal/history"
 	"github.com/paper-repro/ccbm/internal/porder"
-	"github.com/paper-repro/ccbm/internal/xhash"
 )
 
-// The causal-family checkers (WCC, CC, CCv) share one search skeleton.
+// The causal-family checkers (WCC, CC, CCv) share one search skeleton,
+// the exploration engine of explore.go.
 //
 // A causal order → is searched as follows: events are "committed" one
 // at a time in a dynamically chosen order; when an event e is
@@ -36,11 +35,11 @@ import (
 // committed once all updates are committed, and their visibility set is
 // forced to include all of them.
 //
-// The search loop is allocation-free in steady state: the failed-state
-// memo is keyed by an incrementally maintained 64-bit fingerprint,
-// visibility subsets are enumerated lazily with Gosper's hack, and all
-// per-node working sets live in per-depth scratch frames sized once at
-// construction.
+// This file holds the criterion layer: which per-event admissibility
+// check each kind runs (checkEvent), and the WCC/CC/CCv entry points.
+// The engine (frame loop, frontier and visibility enumeration, memo,
+// slab allocation) lives in explore.go, the optional pruning layer in
+// prune.go, and the parallel pipeline in parallel.go.
 
 // causalKind selects which criterion the shared search decides.
 type causalKind int
@@ -50,346 +49,6 @@ const (
 	kindCC
 	kindCCv
 )
-
-// maxSubsetCands bounds the width of one commit's visibility-subset
-// enumeration. Enumeration is lazy over uint64 masks, so the bound is
-// the word width (with margin for Gosper's carry), not a memory cap —
-// a search that wide is hopeless anyway and surfaces as ErrBudget.
-const maxSubsetCands = 62
-
-// eagerFrameLimit bounds the history size for which the per-depth int
-// scratch (candidate lists, witness buffers — O(n²) ints in total) is
-// preallocated in one slab; larger histories grow those buffers lazily
-// per reached depth.
-const eagerFrameLimit = 256
-
-// csFrame is the per-depth scratch of tryCommit: the forced visibility
-// set, the candidate past under construction, the candidate update
-// list and the subset currently tried. Depth d commits at most one
-// event at a time, so one frame per depth suffices; pasts[e] of a
-// committed event aliases its frame's past buffer until uncommit.
-type csFrame struct {
-	forced porder.Bitset
-	past   porder.Bitset
-	cand   []int
-	x      []int
-	lin    []int // witness linearization buffer for the event committed here
-}
-
-type causalSearcher struct {
-	h       *history.History
-	kind    causalKind
-	budget  *int
-	n       int
-	updates porder.Bitset
-	omega   porder.Bitset
-	// progPreds[e] = all strict program-order predecessors of e.
-	progPreds []porder.Bitset
-
-	committed porder.Bitset
-	order     []int           // commit order (the total order ≤ for CCv)
-	pos       []int           // commit position per event (-1 if not committed)
-	pasts     []porder.Bitset // ⌊e⌋ \ {e} for committed events
-	perEvent  [][]int         // witness linearization per event
-
-	// memo holds fingerprints of failed states; stateHash is the
-	// current state's fingerprint, maintained incrementally across
-	// commit/uncommit (hashStack saves the pre-commit value per depth).
-	// In parallel mode the commit-level entries live in shard instead —
-	// a lock-sharded table the subtree tasks share — while memo keeps
-	// serving the (epoch-mixed, task-private) per-event lin queries.
-	memo      map[uint64]struct{}
-	shard     *shardedMemo
-	stateHash uint64
-	hashStack []uint64
-
-	// feed, when non-nil, refills the budget in chunks from a shared
-	// pool and carries interrupt/cancel signals (see parallel.go).
-	feed *feeder
-
-	// next is the continuation commitWith invokes after a successful
-	// commit: cs.run for the ordinary recursive search, or the
-	// frontier expander's depth-limited descent in parallel mode.
-	// Routing the recursion through one field keeps tryCommit the
-	// single source of the (event, visibility subset) enumeration
-	// order, which the parallel determinism guarantee depends on.
-	next func() bool
-
-	frames []csFrame
-
-	// Reusable per-event check machinery: one linearization engine for
-	// the whole search (epoch-separated memo), plus scratch for the
-	// include/visible projections. The engine's preds slice is cs.pasts
-	// itself: commitWith publishes the tentative past in pasts[e] before
-	// checkEvent runs, so no per-event predecessor indirection exists.
-	ls      linSearcher
-	include porder.Bitset
-	visible porder.Bitset
-
-	budgetVal int // backing store for budget when the caller has none
-}
-
-func newCausalSearcher(h *history.History, kind causalKind, maxNodes int) *causalSearcher {
-	n := h.N()
-	cs := &causalSearcher{
-		h:         h,
-		kind:      kind,
-		n:         n,
-		updates:   h.UpdatesView(),
-		omega:     h.OmegaView(),
-		progPreds: h.ProgPreds(),
-		pasts:     make([]porder.Bitset, n),
-		perEvent:  make([][]int, n),
-		memo:      make(map[uint64]struct{}),
-		stateHash: xhash.Seed,
-		frames:    make([]csFrame, n),
-		budgetVal: maxNodes,
-	}
-	cs.budget = &cs.budgetVal
-	cs.ls = linSearcher{
-		t: h.ADT, events: h.Events, budget: cs.budget,
-		// The causal search issues one linearization query per candidate
-		// commit over overlapping pasts, so transition caching pays for
-		// itself (see linSearcher.steps). One failed-state memo serves
-		// both searches: the commit-level keys are order-sensitive folds
-		// and the per-event keys are epoch-mixed, so the two key
-		// populations cannot collide except by 64-bit accident.
-		memo:  cs.memo,
-		steps: make(map[stepKey]stepVal),
-	}
-	// All fixed-size working memory comes out of two slabs: one for
-	// every scratch bitset (per-depth frames plus the searcher's own),
-	// one for every scratch int slice. This keeps construction at a
-	// handful of allocations regardless of history size. The int slab
-	// is quadratic in n, so beyond eagerFrameLimit events the frames'
-	// int buffers start nil instead and grow on first use at each
-	// depth (append-amortized) — exact checking at that scale is only
-	// feasible for trivially-satisfiable histories anyway, and an
-	// upfront O(n²) allocation would dwarf the search's real footprint.
-	words := (n + 63) / 64
-	bitSlab := make(porder.Bitset, (2*n+5)*words+n)
-	cut := func(k int) porder.Bitset {
-		b := bitSlab[: k*words : k*words]
-		bitSlab = bitSlab[k*words:]
-		return b
-	}
-	cs.committed = cut(1)
-	cs.include = cut(1)
-	cs.visible = cut(1)
-	cs.ls.done = cut(1)
-	cs.ls.scratch = cut(1)
-	for i := range cs.frames {
-		cs.frames[i] = csFrame{forced: cut(1), past: cut(1)}
-	}
-	cs.hashStack = []uint64(bitSlab[:0:n]) // remaining slab words back the hash stack
-	if n <= eagerFrameLimit {
-		intSlab := make([]int, n*(3*n+1)+2*n)
-		cutInts := func(k int) []int {
-			s := intSlab[:0:k]
-			intSlab = intSlab[k:]
-			return s
-		}
-		for i := range cs.frames {
-			cs.frames[i].cand = cutInts(n)
-			cs.frames[i].x = cutInts(n)
-			cs.frames[i].lin = cutInts(n + 1)
-		}
-		cs.order = cutInts(n)
-		cs.pos = cutInts(n)[:n]
-	} else {
-		cs.order = make([]int, 0, n)
-		cs.pos = make([]int, n)
-	}
-	for i := range cs.pos {
-		cs.pos[i] = -1
-	}
-	cs.next = cs.run
-	return cs
-}
-
-// run performs the search and reports success.
-func (cs *causalSearcher) run() bool {
-	if len(cs.order) == cs.n {
-		return true
-	}
-	*cs.budget--
-	if *cs.budget < 0 && !cs.feed.refill() {
-		return false
-	}
-	// stateHash fingerprints the committed set plus each committed
-	// event's past, folded in commit order — the same information the
-	// memo used to key on as a built string. Two branches that
-	// committed the same events with the same pasts are interchangeable
-	// for the remaining search (for CCv the commit order also fixes
-	// past linearizations, but those are functions of the pasts and
-	// positions, which the order-sensitive fold captures).
-	key := cs.stateHash
-	if cs.shard != nil {
-		if cs.shard.failed(key) {
-			return false
-		}
-	} else if _, failed := cs.memo[key]; failed {
-		return false
-	}
-	allUpdatesIn := cs.updates.SubsetOf(cs.committed)
-	for e := 0; e < cs.n; e++ {
-		if cs.committed.Has(e) {
-			continue
-		}
-		if !cs.progPreds[e].SubsetOf(cs.committed) {
-			continue
-		}
-		if cs.omega.Has(e) && !allUpdatesIn {
-			continue // ω-events observe every update
-		}
-		if cs.tryCommit(e) {
-			return true
-		}
-		if *cs.budget < 0 {
-			return false
-		}
-	}
-	if *cs.budget >= 0 {
-		if cs.shard != nil {
-			cs.shard.add(key)
-		} else {
-			cs.memo[key] = struct{}{}
-		}
-	}
-	return false
-}
-
-// tryCommit enumerates visibility choices for e and recurses.
-func (cs *causalSearcher) tryCommit(e int) bool {
-	fr := &cs.frames[len(cs.order)]
-
-	// forced = program predecessors and their pasts.
-	forced := fr.forced
-	forced.ClearAll()
-	for wi, w := range cs.progPreds[e] {
-		for w != 0 {
-			pr := wi*64 + bits.TrailingZeros64(w)
-			w &= w - 1
-			forced.Set(pr)
-			forced.UnionWith(cs.pasts[pr])
-		}
-	}
-
-	// Candidate extra updates: committed updates not already forced.
-	fr.cand = fr.cand[:0]
-	for wi := range cs.committed {
-		w := cs.committed[wi] & cs.updates[wi] &^ forced[wi]
-		for w != 0 {
-			fr.cand = append(fr.cand, wi*64+bits.TrailingZeros64(w))
-			w &= w - 1
-		}
-	}
-
-	if cs.omega.Has(e) {
-		// Forced full visibility of all updates.
-		return cs.commitWith(e, fr, fr.cand)
-	}
-
-	// Enumerate subsets of the candidates lazily, smallest first:
-	// minimal visibility is most often sufficient and keeps later
-	// events freer. Within each popcount class, Gosper's hack yields
-	// the masks in increasing numeric order, so the enumeration order
-	// is identical to the materialized popcount-sorted enumeration it
-	// replaces — without the 2^k mask slice.
-	k := len(fr.cand)
-	if k > maxSubsetCands {
-		// Unrealistically wide; treat as budget exhaustion.
-		cs.exhaust()
-		return false
-	}
-	limit := uint64(1) << k
-	for c := 0; c <= k; c++ {
-		m := uint64(1)<<c - 1 // smallest mask with popcount c
-		for {
-			*cs.budget--
-			if *cs.budget < 0 && !cs.feed.refill() {
-				return false
-			}
-			fr.x = fr.x[:0]
-			for mm := m; mm != 0; mm &= mm - 1 {
-				fr.x = append(fr.x, fr.cand[bits.TrailingZeros64(mm)])
-			}
-			if cs.commitWith(e, fr, fr.x) {
-				return true
-			}
-			if m == 0 {
-				break
-			}
-			// Gosper's hack: next mask with the same popcount.
-			u := m & -m
-			w := m + u
-			m = w | (((m ^ w) / u) >> 2)
-			if m >= limit {
-				break
-			}
-		}
-	}
-	return false
-}
-
-// commitWith builds e's past from the forced set plus the chosen extra
-// updates x, checks the criterion, and recurses on success. The
-// tentative past is published in pasts[e] up front so that the
-// linearization engine can read predecessor sets straight from
-// cs.pasts (e is not yet committed, so nothing else reads it).
-func (cs *causalSearcher) commitWith(e int, fr *csFrame, x []int) bool {
-	past := fr.past
-	past.CopyFrom(fr.forced)
-	for _, u := range x {
-		past.Set(u)
-		past.UnionWith(cs.pasts[u])
-	}
-	cs.pasts[e] = past
-	lin, ok := cs.checkEvent(e, past, fr)
-	if !ok {
-		cs.pasts[e] = nil
-		return false
-	}
-	cs.push(e, past, lin)
-	if cs.next() {
-		return true
-	}
-	cs.pop(e)
-	return false
-}
-
-// push performs the commit bookkeeping for e once checkEvent accepted
-// it: pasts[e] must already hold the (frame-aliased) past. pop undoes
-// it. The pair is shared by the sequential recursion (commitWith), the
-// parallel frontier expansion and the per-task prefix replay, so all
-// three maintain the state — including the incremental fingerprint —
-// identically.
-func (cs *causalSearcher) push(e int, past porder.Bitset, lin []int) {
-	cs.committed.Set(e)
-	cs.pos[e] = len(cs.order)
-	cs.order = append(cs.order, e)
-	cs.perEvent[e] = lin
-	cs.hashStack = append(cs.hashStack, cs.stateHash)
-	cs.stateHash = xhash.Mix(xhash.Mix(cs.stateHash, uint64(e)), past.Hash64())
-}
-
-func (cs *causalSearcher) pop(e int) {
-	cs.stateHash = cs.hashStack[len(cs.hashStack)-1]
-	cs.hashStack = cs.hashStack[:len(cs.hashStack)-1]
-	cs.order = cs.order[:len(cs.order)-1]
-	cs.pos[e] = -1
-	cs.committed.Clear(e)
-	cs.pasts[e] = nil
-	cs.perEvent[e] = nil
-}
-
-// exhaust forces the search to unwind as budget-exhausted.
-func (cs *causalSearcher) exhaust() {
-	*cs.budget = -1
-	if cs.feed != nil {
-		cs.feed.exhausted = true
-	}
-}
 
 // checkEvent verifies the criterion's per-event requirement for e with
 // causal past `past` (not containing e), returning a witness
@@ -457,9 +116,12 @@ func runCausal(ctx context.Context, h *history.History, kind causalKind, opt Opt
 	if opt.parallelism() > 1 && h.N() >= minParallelEvents {
 		return runCausalParallel(ctx, h, kind, opt)
 	}
-	cs := newCausalSearcher(h, kind, opt.maxNodes())
+	cs := newCausalSearcher(h, kind, opt.maxNodes(), opt.Prune)
 	if opt.Stats != nil {
-		defer func() { opt.Stats.Nodes += cs.explored(opt.maxNodes()) }()
+		defer func() {
+			opt.Stats.Nodes += cs.explored(opt.maxNodes())
+			opt.Stats.Prune.Add(cs.pruneStats())
+		}()
 	}
 	if ctx != nil && ctx.Done() != nil {
 		// Route the budget through a chunked pool so the searcher polls
@@ -481,56 +143,6 @@ func runCausal(ctx context.Context, h *history.History, kind causalKind, opt Opt
 		return false, nil, nil
 	}
 	return true, cs.witness(), nil
-}
-
-// explored returns the number of nodes this searcher consumed out of
-// an initial budget of `total`, whether the countdown was local or
-// routed through a feeder's chunked pool.
-func (cs *causalSearcher) explored(total int) int64 {
-	var pool *budgetPool
-	if cs.feed != nil {
-		pool = cs.feed.pool
-	}
-	return spentNodes(total, pool, cs.budgetVal)
-}
-
-// witness clones the committed pasts and per-event linearizations out
-// of the searcher's scratch frames (via two slabs) so the returned
-// Witness owns its memory. It must only be called after a successful
-// run.
-func (cs *causalSearcher) witness() *Witness {
-	words := (cs.n + 63) / 64
-	pastSlab := make(porder.Bitset, cs.n*words)
-	pasts := make([]porder.Bitset, len(cs.pasts))
-	for i, p := range cs.pasts {
-		if p != nil {
-			row := pastSlab[:words:words]
-			pastSlab = pastSlab[words:]
-			copy(row, p)
-			pasts[i] = row
-		}
-	}
-	total := cs.n
-	for _, l := range cs.perEvent {
-		total += len(l)
-	}
-	linSlab := make([]int, total)
-	order := linSlab[:0:cs.n]
-	linSlab = linSlab[cs.n:]
-	perEvent := make([][]int, len(cs.perEvent))
-	for i, l := range cs.perEvent {
-		if l != nil {
-			row := linSlab[:len(l):len(l)]
-			linSlab = linSlab[len(l):]
-			copy(row, l)
-			perEvent[i] = row
-		}
-	}
-	return &Witness{
-		Order:    append(order, cs.order...),
-		Pasts:    pasts,
-		PerEvent: perEvent,
-	}
 }
 
 // WCC reports whether the history is weakly causally consistent with

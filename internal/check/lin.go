@@ -18,12 +18,41 @@
 // is therefore written to be allocation-free in steady state: memo
 // tables are keyed by 64-bit fingerprints (porder.Bitset.Hash64,
 // spec.State.Hash64) rather than built strings, scratch bitsets are
-// reused across nodes, and subset enumeration is lazy (see causal.go).
+// reused across nodes, and subset enumeration is lazy.
 // Fingerprint memoization is probabilistic — a 64-bit collision could
 // in principle prune a live branch — but over the ≤ DefaultMaxNodes
 // states a search can visit, the collision probability is ~10⁻¹²,
 // far below the chance of a hardware fault, and the census and
 // differential tests cross-check the checkers against each other.
+//
+// # The layered exploration engine
+//
+// The causal-family checkers (WCC, CC, CCv) share one engine, split
+// into layers:
+//
+//   - causal.go — the criterion layer: which visibility choices are
+//     admissible for a commit under each definition, and the extra
+//     total-order obligations CCv carries. The only layer that can
+//     tell the three criteria apart.
+//   - explore.go — the search core: frontier enumeration over the
+//     program order, visibility-choice enumeration, incremental
+//     fingerprints, commit memoization, per-depth scratch frames.
+//   - prune.go — the pruning layer: DPOR-style reduction behind the
+//     pruner interface, selected by Options.Prune. Three pruners —
+//     canonical frame fingerprints, sleep-set exclusion of adjacent
+//     commuting commits, and a symmetry quotient over
+//     identical-program sessions. Verdict-preserving by construction;
+//     see prune.go for each pruner's soundness conditions (notably:
+//     the CCv canonical key must keep the update suborder, and the
+//     symmetry quotient disables itself off chain-shaped program
+//     orders).
+//   - parallel.go — the parallel pipeline: the top of the commit tree
+//     forks into deterministically ordered subtree tasks; the shared
+//     lock-sharded failed-state table doubles as the shared canonical
+//     pruning table.
+//
+// The non-causal checkers (SC, PC, EC/UC, CM, the session guarantees)
+// predate the engine and keep their own specialized searches.
 package check
 
 import (
@@ -65,6 +94,13 @@ type Options struct {
 	// across histories instead).
 	Parallelism int
 
+	// Prune selects the DPOR-style pruners the causal-family checkers
+	// apply (see the Prune type); the zero value is the exhaustive,
+	// unpruned search. Verdicts are identical either way; witnesses
+	// are bit-identical unless Prune.Symmetry applies to the history.
+	// The non-causal checkers ignore the field.
+	Prune Prune
+
 	// Stats, when non-nil, accumulates search statistics across the
 	// checker invocations that receive this Options value. It must not
 	// be shared between concurrent invocations (the batch engine
@@ -76,6 +112,10 @@ type Options struct {
 type Stats struct {
 	// Nodes is the number of search-tree nodes explored.
 	Nodes int64
+
+	// Prune counts the frames and branches each enabled pruner cut
+	// (all zero when Options.Prune enables nothing).
+	Prune PruneStats
 }
 
 // DefaultMaxNodes is the default search budget.

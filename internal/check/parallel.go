@@ -20,7 +20,16 @@ import (
 // decisions on a private searcher (own scratch frames, own per-event
 // lin memo) and searches its subtree to completion; only the
 // commit-level failed-state memo is shared, through a lock-sharded
-// fingerprint table, so one task's dead ends prune the others.
+// fingerprint table, so one task's dead ends prune the others. With
+// canonical pruning enabled (Options.Prune.Canon) the shared table
+// holds the pruner's canonical frame keys instead, so the sharing
+// additionally collapses equivalent frames across tasks; the static
+// sleep-set and symmetry rules are deterministic per frame and apply
+// identically in the expansion, the prefix-admitted replays aside, and
+// the subtree searches, so verdict and witness equality with the
+// sequential pruned search is preserved (equivalent frames have
+// identical pruned continuations, hence canonical entries still only
+// ever prune branches that would fail).
 //
 // Determinism. Tasks are numbered in the exact order the sequential
 // DFS would enter their subtrees, and the parallel verdict is defined
@@ -213,6 +222,7 @@ type causalTask struct {
 	status int
 	feed   *feeder
 	cs     *causalSearcher // retained on success for witness extraction
+	prune  PruneStats      // the task searcher's pruning counters
 }
 
 // expander drives the frontier expansion by hijacking the searcher's
@@ -243,11 +253,14 @@ func (x *expander) descend() bool {
 	return ok
 }
 
-// level is the expansion counterpart of cs.run: the same eligibility
-// loop, but cut off at the fork depth (emitting a task instead of
+// level is the expansion counterpart of cs.run: the same frontier
+// enumeration (including the static sleep/symmetry pruning rules,
+// which must cut the same branches in expansion as in the subtree
+// searches), but cut off at the fork depth (emitting a task instead of
 // recursing further) and without the failed-state memo — a frontier
 // node's "failure" is not exhaustive, so nothing may be recorded, and
-// reads would never hit (the expansion searcher's memo starts empty).
+// reads would never hit (the expansion searcher's memo starts empty
+// and the shared canonical table only fills once tasks run).
 func (x *expander) level() bool {
 	cs := x.cs
 	if len(cs.order) == cs.n {
@@ -265,25 +278,7 @@ func (x *expander) level() bool {
 	if *cs.budget < 0 && !cs.feed.refill() {
 		return false
 	}
-	allUpdatesIn := cs.updates.SubsetOf(cs.committed)
-	for e := 0; e < cs.n; e++ {
-		if cs.committed.Has(e) {
-			continue
-		}
-		if !cs.progPreds[e].SubsetOf(cs.committed) {
-			continue
-		}
-		if cs.omega.Has(e) && !allUpdatesIn {
-			continue // ω-events observe every update
-		}
-		if cs.tryCommit(e) {
-			return true
-		}
-		if *cs.budget < 0 {
-			return false
-		}
-	}
-	return false
+	return cs.frontier()
 }
 
 // expandFrontier runs the search down to `levels` commit levels,
@@ -328,15 +323,24 @@ func runCausalParallel(ctx context.Context, h *history.History, kind causalKind,
 	par := opt.parallelism()
 	pool := newBudgetPool(opt.maxNodes())
 	shard := newShardedMemo()
+	root := newCausalSearcher(h, kind, 0, opt.Prune)
+	var tasks []*causalTask
 	if opt.Stats != nil {
 		// Every feeder releases its unspent chunk back to the pool, so
 		// at return time the pool deficit is exactly the explored count.
+		// Pruning counters come from the expansion searcher plus every
+		// task searcher that ran (workers record them before finishing,
+		// so reading after wg.Wait — or before dispatch — is safe).
 		defer func() {
 			left := int(pool.left.Load())
 			if left < 0 {
 				left = 0
 			}
 			opt.Stats.Nodes += int64(opt.maxNodes() - left)
+			opt.Stats.Prune.Add(root.pruneStats())
+			for _, t := range tasks {
+				opt.Stats.Prune.Add(t.prune)
+			}
 		}()
 	}
 
@@ -345,11 +349,9 @@ func runCausalParallel(ctx context.Context, h *history.History, kind causalKind,
 	// from scratch (the push/pop discipline restores the root searcher
 	// between rounds); the duplicated work is bounded by maxForkDepth
 	// levels of the top of the tree.
-	root := newCausalSearcher(h, kind, 0)
 	root.feed = newFeeder(pool, ctx, nil, root.budget)
 	root.ls.feed = root.feed
 	target := par * parallelForkFactor
-	var tasks []*causalTask
 	for depth := 1; ; depth++ {
 		tasks = tasks[:0]
 		if expandFrontier(root, depth, &tasks) {
@@ -402,7 +404,7 @@ func runCausalParallel(ctx context.Context, h *history.History, kind causalKind,
 					t.status = taskAborted // outrun by an earlier success
 					continue
 				}
-				cs := newCausalSearcher(h, kind, 0)
+				cs := newCausalSearcher(h, kind, 0, opt.Prune)
 				feed := newFeeder(pool, ctx, &t.cancel, cs.budget)
 				cs.feed = feed
 				cs.ls.feed = feed
@@ -425,6 +427,7 @@ func runCausalParallel(ctx context.Context, h *history.History, kind causalKind,
 				} else {
 					t.status = taskFailed
 				}
+				t.prune = cs.pruneStats()
 				feed.release()
 			}
 		}()

@@ -101,6 +101,20 @@ func ValidateCausalWitness(h *history.History, crit Criterion, w *Witness) error
 				}
 			}
 			lin = append(lin, e)
+			// When the checker recorded its per-event linearizations,
+			// cross-check them: Def. 12 forces the linearization, so a
+			// recorded one that differs from ⌊e⌋ sorted by the shared
+			// order betrays a search bug even if some other lin replays.
+			if len(w.PerEvent) == n && w.PerEvent[e] != nil {
+				if len(w.PerEvent[e]) != len(lin) {
+					return fmt.Errorf("check: event %d: recorded CCv linearization has %d events, want %d", e, len(w.PerEvent[e]), len(lin))
+				}
+				for i := range lin {
+					if w.PerEvent[e][i] != lin[i] {
+						return fmt.Errorf("check: event %d: recorded CCv linearization deviates from the shared order at position %d", e, i)
+					}
+				}
+			}
 		case CritWCC, CritCC:
 			if len(w.PerEvent) != n || w.PerEvent[e] == nil {
 				return fmt.Errorf("check: event %d: missing per-event linearization", e)
@@ -157,6 +171,22 @@ func replay(h *history.History, lin []int, visible porder.Bitset) error {
 		}
 	}
 	return nil
+}
+
+// ValidateWitness dispatches to the checker-independent validator for
+// crit. It covers the criteria whose witnesses carry enough structure
+// to re-derive the acceptance from first principles (the causal family
+// and SC); for the rest it reports that no independent validator
+// exists rather than vacuously succeeding.
+func ValidateWitness(h *history.History, crit Criterion, w *Witness) error {
+	switch crit {
+	case CritWCC, CritCC, CritCCv:
+		return ValidateCausalWitness(h, crit, w)
+	case CritSC:
+		return ValidateSCWitness(h, w)
+	default:
+		return fmt.Errorf("check: no independent validator for %v", crit)
+	}
 }
 
 // ValidateSCWitness checks an SC witness: a single admissible

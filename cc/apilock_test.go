@@ -26,7 +26,7 @@ import (
 
 // facadeDirs lists the locked packages, relative to this file's
 // directory (the cc package root).
-var facadeDirs = []string{".", "checker", "histories", "client", "cluster", "cluster/wire", "sla"}
+var facadeDirs = []string{".", "bench", "checker", "histories", "client", "cluster", "cluster/wire", "sla"}
 
 // apiSurface renders the exported declarations of one package
 // directory, one line per identifier, deterministically sorted.

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"github.com/paper-repro/ccbm/internal/benchrec"
+)
+
+// Percentiles is the rendered summary of a Histogram (µs), the shape
+// the BENCH_*.json records carry (internal/benchrec defines it; the
+// alias keeps the one definition).
+type Percentiles = benchrec.Percentiles
+
+// histSubBits fixes the histogram's relative precision: every bucket
+// spans at most a 2^-histSubBits ≈ 0.8% slice of its value, the
+// HDR-histogram trade (bounded relative error, constant-time record,
+// no per-sample allocation) that replaces the sorted-slice
+// percentiles the load tools used to keep privately.
+const histSubBits = 7
+
+const (
+	histSub     = 1 << histSubBits // linear sub-buckets per segment
+	histExact   = 2 * histSub      // values below this index exactly
+	histBuckets = (64-histSubBits-1)*histSub + histExact
+)
+
+// Histogram is a log-bucketed latency histogram safe for concurrent
+// recording: values below 2^8 ns index exactly, larger values index by
+// (exponent segment, 8 significant bits), so any recorded duration is
+// reconstructed within 0.8%. The zero value is NOT ready; use
+// NewHistogram.
+type Histogram struct {
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram. Values are recorded in
+// nanoseconds (RecordDuration) and summarized in microseconds.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, histBuckets)}
+}
+
+// bucketOf maps a non-negative value to its bucket index: values
+// below histExact index exactly, larger ones by (exponent segment,
+// top histSubBits+1 bits).
+func bucketOf(v int64) int {
+	if v < histExact {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - histSubBits - 1 // ≥ 1
+	return exp*histSub + int(v>>uint(exp))         // v>>exp in [histSub, 2*histSub)
+}
+
+// bucketMid reconstructs a bucket's representative value (midpoint).
+func bucketMid(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	exp := uint(i/histSub - 1)
+	mant := int64(i%histSub) + histSub
+	return mant<<exp + (int64(1)<<exp)/2
+}
+
+// Record adds one value in nanoseconds (negative values clamp to 0).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RecordDuration records a latency.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Max returns the exact maximum recorded value in nanoseconds.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the exact mean in nanoseconds (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the value at quantile q in [0,1] in nanoseconds,
+// within the histogram's relative precision (0 when empty). The
+// returned value is the representative of the bucket holding the
+// q-ranked sample, never above the exact recorded maximum.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			v := bucketMid(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// Merge folds other's recorded values into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Percentiles renders the standard summary in microseconds.
+func (h *Histogram) Percentiles() Percentiles {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	return Percentiles{
+		Count:  h.Count(),
+		MeanUS: h.Mean() / 1e3,
+		P50US:  us(h.Quantile(0.50)),
+		P95US:  us(h.Quantile(0.95)),
+		P99US:  us(h.Quantile(0.99)),
+		P999US: us(h.Quantile(0.999)),
+		MaxUS:  us(h.Max()),
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketsAreContiguous: every value maps to a valid
+// bucket, bucket indices are monotone in the value, and the
+// reconstructed midpoint stays within the promised relative error.
+func TestHistogramBucketsAreContiguous(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 127, 128, 255, 256, 257, 511, 512, 513,
+		1000, 4095, 4096, 1 << 20, (1 << 20) + 1, 1 << 40, math.MaxInt64 / 2} {
+		b := bucketOf(v)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", v, b, histBuckets)
+		}
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous bucket %d: not monotone", v, b, prev)
+		}
+		prev = b
+		mid := bucketMid(b)
+		if v < histExact {
+			if mid != v {
+				t.Fatalf("exact region: bucketMid(bucketOf(%d)) = %d", v, mid)
+			}
+			continue
+		}
+		if relErr := math.Abs(float64(mid-v)) / float64(v); relErr > 1.0/float64(histSub) {
+			t.Fatalf("value %d: midpoint %d, relative error %.4f > %.4f",
+				v, mid, relErr, 1.0/float64(histSub))
+		}
+	}
+}
+
+// TestHistogramQuantilesMatchExact compares the histogram's quantiles
+// against exact order statistics of a random sample, within the
+// bucketing precision.
+func TestHistogramQuantilesMatchExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	const n = 50000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform over ~6 decades, the shape latencies take.
+		v := int64(math.Exp(rng.Float64()*14)) + rng.Int63n(100)
+		vals[i] = v
+		h.Record(v)
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	sorted := append([]int64(nil), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := sorted[int(q*float64(n))]
+		got := h.Quantile(q)
+		if relErr := math.Abs(float64(got-exact)) / float64(exact); relErr > 2.0/float64(histSub) {
+			t.Errorf("q%.3f: histogram %d vs exact %d (rel err %.4f)", q, got, exact, relErr)
+		}
+	}
+	if got, want := h.Max(), sorted[n-1]; got != want {
+		t.Errorf("Max = %d, want exact %d", got, want)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	if mean := h.Mean(); math.Abs(mean-sum/n) > 1e-6*sum/n {
+		t.Errorf("Mean = %f, want exact %f", mean, sum/n)
+	}
+}
+
+// TestHistogramQuantileNeverExceedsMax: the reported quantile is
+// clamped to the exact recorded maximum (a bucket midpoint must not
+// invent a latency larger than anything observed).
+func TestHistogramQuantileNeverExceedsMax(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got > 1000 {
+			t.Fatalf("Quantile(%v) = %d > recorded max 1000", q, got)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord: concurrent recorders lose no counts.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.RecordDuration(time.Duration(rng.Intn(1_000_000)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestHistogramMerge: merging equals recording everything into one.
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.Intn(1 << 22))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Max() != all.Max() {
+		t.Fatalf("merge count/max = %d/%d, want %d/%d", a.Count(), a.Max(), all.Count(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q%v: merged %d != combined %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramEmpty: zero-sample summaries are all zero, not NaN.
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	p := h.Percentiles()
+	if p.Count != 0 || p.MeanUS != 0 || p.P99US != 0 || p.MaxUS != 0 {
+		t.Fatalf("empty percentiles = %+v, want zeros", p)
+	}
+}

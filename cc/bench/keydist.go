@@ -1,0 +1,64 @@
+package bench
+
+import "math/rand"
+
+// KeyDist names an object-popularity distribution.
+type KeyDist string
+
+const (
+	// KeyUniform draws every object equally often.
+	KeyUniform KeyDist = "uniform"
+	// KeyZipf skews popularity by a Zipf law (hot objects exist).
+	KeyZipf KeyDist = "zipf"
+	// KeyLatest skews popularity toward the most recently created
+	// object (the YCSB "latest" shape for growing keyspaces).
+	KeyLatest KeyDist = "latest"
+)
+
+// Chooser draws object indices in [0, n): the moving parameter n lets
+// growing-keyspace workloads widen the range mid-run. Choosers are
+// not safe for concurrent use (each worker owns one, like its rng).
+type Chooser func(n int) int
+
+// NewChooser builds a chooser over the distribution. skew is the Zipf
+// exponent for KeyZipf and KeyLatest (values <= 1 fall back to the
+// package defaults 1.1); KeyUniform ignores it. For KeyZipf the range
+// is fixed at the first call's n (matching rand.Zipf); KeyLatest
+// re-anchors on every call: index n-1 is the hottest.
+func NewChooser(d KeyDist, skew float64, rng *rand.Rand) Chooser {
+	if skew <= 1 {
+		skew = 1.1
+	}
+	switch d {
+	case KeyZipf:
+		var zipf *rand.Zipf
+		return func(n int) int {
+			if n <= 1 {
+				return 0
+			}
+			if zipf == nil {
+				zipf = rand.NewZipf(rng, skew, 1, uint64(n-1))
+			}
+			return int(zipf.Uint64()) % n
+		}
+	case KeyLatest:
+		// Zipf over recency: draw a backward offset from the newest
+		// index. The offset distribution is anchored wide once so the
+		// range can keep growing.
+		zipf := rand.NewZipf(rng, skew, 1, 1<<20)
+		return func(n int) int {
+			if n <= 1 {
+				return 0
+			}
+			off := int(zipf.Uint64()) % n
+			return n - 1 - off
+		}
+	default: // KeyUniform
+		return func(n int) int {
+			if n <= 1 {
+				return 0
+			}
+			return rng.Intn(n)
+		}
+	}
+}

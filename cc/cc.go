@@ -32,6 +32,16 @@
 //     self-healing (bounded jittered retry, per-session failover that
 //     re-attaches the causal frontier so read-your-writes survives the
 //     move, per-replica circuit breakers).
+//   - cc/sla: consistency SLAs — staleness tracking and
+//     utility-maximizing adaptive read routing over the criteria
+//     hierarchy.
+//   - cc/bench: the workload and load-measurement subsystem — a
+//     registry of named scenarios (read-heavy, write-heavy,
+//     session-cart, insert-grow, scan-range) each declaring its ADT
+//     mix, key distribution and op percentages; an open-loop driver
+//     whose latency clock starts at each op's *intended* arrival
+//     (coordinated-omission-safe); a log-bucketed histogram; and a
+//     knee-finding ramp controller.
 //
 // # Quickstart
 //
@@ -55,7 +65,7 @@ import (
 // follows the usual compatibility contract: exported identifiers are
 // only added, never removed or re-typed, within a major version (the
 // API-lock test pins the surface).
-const Version = "v0.8.0"
+const Version = "v0.9.0"
 
 // The sequential-specification model (Sec. 2.1 of the paper): an ADT
 // is a deterministic transition system over immutable states, an

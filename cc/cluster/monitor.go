@@ -45,6 +45,18 @@ type MonitorConfig struct {
 	// exhaustive searches, and the node reduction is what makes
 	// DefaultWindowOps-sized windows affordable online.
 	NoPrune bool
+	// MaxWindowSessions caps the distinct sessions admitted into one
+	// sampled window (default 3; -1 disables the cap). The exact
+	// checkers' cost grows with cross-session interleavings, so a
+	// window touched by a wide fan-in of sessions can exhaust any
+	// budget. Over-cap sessions are weakened, never mangled: their
+	// updates are recorded as hidden operations on their own proc —
+	// true program order and state effects stay, and a hidden output
+	// needs no justification — and their queries are skipped entirely.
+	// Both are pure weakenings of the recorded fragment, so the cap
+	// can never introduce a spurious violation, and a window that was
+	// satisfied uncapped stays satisfied capped.
+	MaxWindowSessions int
 }
 
 func (m *MonitorConfig) fill(criterion string) {
@@ -65,6 +77,9 @@ func (m *MonitorConfig) fill(criterion string) {
 	}
 	if m.Workers <= 0 {
 		m.Workers = 1
+	}
+	if m.MaxWindowSessions == 0 {
+		m.MaxWindowSessions = 3
 	}
 }
 
@@ -129,6 +144,7 @@ type Monitor struct {
 	submitted     int
 	dropped       int
 	streamDropped int // verdicts stalled stream subscribers missed
+	cappedOps     int // ops weakened/skipped by MaxWindowSessions
 	closed        bool
 	seq           int
 }
@@ -314,6 +330,7 @@ func (m *Monitor) Summary() Summary {
 		WindowsSubmitted: m.submitted,
 		WindowsDropped:   m.dropped,
 		StreamDropped:    m.streamDropped,
+		CappedOps:        m.cappedOps,
 		Verdicts:         len(m.verdicts),
 	}
 	for _, v := range m.verdicts {
@@ -355,28 +372,62 @@ func (m *Monitor) Close() {
 	<-m.done
 }
 
+// noteCapped counts one operation weakened or skipped by the
+// MaxWindowSessions cap. (Safe under an objRecorder's mu: the only
+// lock order is recorder → monitor, never the reverse.)
+func (m *Monitor) noteCapped() {
+	m.mu.Lock()
+	m.cappedOps++
+	m.mu.Unlock()
+}
+
 // objRecorder records one sampled object's window.
 type objRecorder struct {
 	m   *Monitor
 	obj string
 	t   cc.ADT
 
-	mu     sync.Mutex
-	ops    []checker.TimedOp
-	filled bool    // the window reached WindowOps; cutoff is final
-	cutoff float64 // meaningful once filled
-	done   bool
+	mu       sync.Mutex
+	ops      []checker.TimedOp
+	sessions map[int]struct{} // sessions admitted in full (visible ops)
+	filled   bool             // the window reached WindowOps; cutoff is final
+	cutoff   float64          // meaningful once filled
+	done     bool
 }
 
 // record appends one completed operation. Once the window has filled,
 // only operations already in flight at the cutoff are accepted —
 // updates by invocation time, queries by completion time — which keeps
-// the window causally closed (see Monitor).
+// the window causally closed (see Monitor). A window admits at most
+// MaxWindowSessions distinct sessions in full; later sessions are
+// weakened (updates hidden, queries skipped) so wide fan-in cannot
+// blow up the check — see the MonitorConfig field for why this is a
+// sound weakening.
 func (r *objRecorder) record(session int, op cc.Operation, inv, res float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.done {
 		return
+	}
+	if max := r.m.cfg.MaxWindowSessions; max > 0 {
+		if r.sessions == nil {
+			r.sessions = make(map[int]struct{}, max)
+		}
+		if _, in := r.sessions[session]; !in {
+			if len(r.sessions) < max {
+				r.sessions[session] = struct{}{}
+			} else if r.t.IsUpdate(op.In) {
+				// Over-cap update: keep its state effect and program
+				// order on its true proc, but hide its output (Def. 2) —
+				// no obligation added, no observation lost.
+				op = cc.HiddenOp(op.In)
+				r.m.noteCapped()
+			} else {
+				// Over-cap query: dropping it only removes obligations.
+				r.m.noteCapped()
+				return
+			}
+		}
 	}
 	if r.filled {
 		isUpdate := r.t.IsUpdate(op.In)

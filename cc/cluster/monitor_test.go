@@ -93,6 +93,89 @@ func TestMonitorNoDuplicateWindowAtGraceBoundary(t *testing.T) {
 	}
 }
 
+// TestMonitorSessionCapWeakensOverCapSessions pins the
+// MaxWindowSessions semantics deterministically: the first cap
+// distinct sessions are admitted in full; a later session's query is
+// skipped (never recorded) and its update is recorded hidden on its
+// true proc (program order and state effect stay, output obligation
+// dropped). Both weakened ops are counted in Summary.CappedOps.
+func TestMonitorSessionCapWeakensOverCapSessions(t *testing.T) {
+	m := newMonitor(MonitorConfig{
+		SampleEvery: 1, WindowOps: 32, Grace: 10 * time.Millisecond,
+		MaxWindowSessions: 2,
+	}, "CC")
+	defer m.Close()
+	rec := m.maybeSample("obj", monitorADT(t))
+	w := cc.NewOp(cc.NewInput("w", 1), cc.Bot)
+	r := cc.NewOp(cc.NewInput("r"), cc.IntOutput(1))
+
+	rec.record(0, w, 1, 2) // admits session 0
+	rec.record(1, w, 3, 4) // admits session 1
+	rec.record(2, r, 5, 6) // over cap: query, skipped
+	rec.record(2, w, 7, 8) // over cap: update, recorded hidden
+	rec.record(0, r, 9, 10)
+
+	type opView struct {
+		proc   int
+		hidden bool
+		method string
+	}
+	rec.mu.Lock()
+	var ops []opView
+	for _, o := range rec.ops {
+		ops = append(ops, opView{o.Proc, o.Op.Hidden, o.Op.In.Method})
+	}
+	rec.mu.Unlock()
+
+	want := []opView{
+		{0, false, "w"},
+		{1, false, "w"},
+		{2, true, "w"}, // over-cap update: true proc, hidden
+		{0, false, "r"},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("recorded %d ops %+v, want %d", len(ops), ops, len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+	if got := m.Summary().CappedOps; got != 2 {
+		t.Fatalf("CappedOps = %d, want 2 (one skipped query + one hidden update)", got)
+	}
+}
+
+// TestMonitorSessionCapDisabled: MaxWindowSessions -1 admits every
+// session in full (the pre-cap behavior).
+func TestMonitorSessionCapDisabled(t *testing.T) {
+	m := newMonitor(MonitorConfig{
+		SampleEvery: 1, WindowOps: 32, Grace: 10 * time.Millisecond,
+		MaxWindowSessions: -1,
+	}, "CC")
+	defer m.Close()
+	rec := m.maybeSample("obj", monitorADT(t))
+	w := cc.NewOp(cc.NewInput("w", 1), cc.Bot)
+	for s := 0; s < 6; s++ {
+		rec.record(s, w, float64(2*s), float64(2*s+1))
+	}
+	rec.mu.Lock()
+	n := len(rec.ops)
+	hidden := 0
+	for _, o := range rec.ops {
+		if o.Op.Hidden {
+			hidden++
+		}
+	}
+	rec.mu.Unlock()
+	if n != 6 || hidden != 0 {
+		t.Fatalf("uncapped recorder kept %d ops (%d hidden), want all 6 visible", n, hidden)
+	}
+	if got := m.Summary().CappedOps; got != 0 {
+		t.Fatalf("CappedOps = %d, want 0 when the cap is disabled", got)
+	}
+}
+
 // TestMonitorGraceCutoffCoversRecordedOps: the cutoff computed when
 // the window fills must cover the maximum recorded res, even when the
 // filling operation is not the latest one (out-of-order record calls).

@@ -575,6 +575,11 @@ type MonitorSummary struct {
 	Exhausted        int       `json:"exhausted"`
 	Errors           int       `json:"errors"`
 	StreamDropped    int       `json:"stream_dropped"`
+	// CappedOps counts operations weakened or skipped because their
+	// session arrived after a window already held its maximum distinct
+	// sessions (MonitorConfig.MaxWindowSessions): over-cap updates are
+	// recorded hidden, over-cap queries are not recorded.
+	CappedOps int `json:"capped_ops,omitempty"`
 }
 
 // MonitorResponse answers GET /v1/monitor; Verdicts is populated only

@@ -41,13 +41,12 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/bench"
 	"github.com/paper-repro/ccbm/cc/client"
 	"github.com/paper-repro/ccbm/cc/cluster"
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
@@ -111,10 +110,11 @@ func genInput(adt string, rng *rand.Rand, step int, w float64) cc.Input {
 	}
 }
 
-// phaseStats accumulates one phase's throughput and latency.
+// phaseStats accumulates one phase's throughput and latency (every
+// op, in the shared log-bucketed histogram).
 type phaseStats struct {
 	ops, errs int64
-	lat       []float64 // µs, sampled 1 in 8
+	lat       *bench.Histogram
 }
 
 // tracker splits the run's wall clock and per-op outcomes into the
@@ -128,6 +128,14 @@ type tracker struct {
 	steadyDur, faultDur, migrDur time.Duration
 	inFault, inMigr, paused      bool
 	since                        time.Time
+}
+
+func newTracker() *tracker {
+	t := &tracker{}
+	t.steady.lat = bench.NewHistogram()
+	t.fault.lat = bench.NewHistogram()
+	t.migr.lat = bench.NewHistogram()
+	return t
 }
 
 func (t *tracker) accumLocked(now time.Time) {
@@ -180,7 +188,7 @@ func (t *tracker) resume(fault bool) {
 
 func (t *tracker) stop() { t.pause() }
 
-func (t *tracker) record(migrating, fault, errored, sampled bool, us float64) {
+func (t *tracker) record(migrating, fault, errored bool, d time.Duration) {
 	t.mu.Lock()
 	ph := &t.steady
 	switch {
@@ -193,9 +201,7 @@ func (t *tracker) record(migrating, fault, errored, sampled bool, us float64) {
 		ph.errs++
 	} else {
 		ph.ops++
-	}
-	if sampled && !errored {
-		ph.lat = append(ph.lat, us)
+		ph.lat.RecordDuration(d)
 	}
 	t.mu.Unlock()
 }
@@ -216,6 +222,7 @@ func main() {
 	clients := flag.Int("clients", 6, "concurrent closed-loop clients (one session each)")
 	objects := flag.Int("objects", 12, "objects across the mixed-ADT population")
 	writeRatio := flag.Float64("write-ratio", 0.4, "update fraction of the generated mix")
+	scenario := flag.String("scenario", "", "drive a named cc/bench workload scenario instead of the ad-hoc mixed population")
 	seed := flag.Int64("seed", 1, "random seed")
 	scheduleFlag := flag.String("schedule", "", "inline fault schedule (';'-separated events; empty = built-in)")
 	scheduleFile := flag.String("schedule-file", "", "fault schedule file (one event per line)")
@@ -293,11 +300,45 @@ func main() {
 	defer cli.Close()
 
 	ctx := context.Background()
+	// The op source: a named cc/bench scenario (shared with ccload, so
+	// the same declared workload shapes run under faults), or the
+	// ad-hoc mixed-ADT population.
+	var wl bench.Workload
+	if *scenario != "" {
+		wl, err = bench.Lookup(*scenario)
+		if err == nil {
+			err = wl.Init(bench.Config{Objects: *objects, Workers: *clients, Seed: *seed})
+		}
+		if err != nil {
+			fail(err)
+		}
+		for _, o := range wl.Objects() {
+			if err := cli.CreateObject(ctx, o.Name, o.ADT); err != nil {
+				fail(err)
+			}
+		}
+	}
 	names := make([]string, *objects)
 	for i := range names {
 		names[i] = fmt.Sprintf("obj-%02d", i)
+		if wl != nil {
+			continue // scenario population already created
+		}
 		if err := cli.CreateObject(ctx, names[i], mixedADTs[i%len(mixedADTs)]); err != nil {
 			fail(err)
+		}
+	}
+	// makeGen builds one client's op stream: a scenario worker, or the
+	// classic uniform draw over the mixed population.
+	makeGen := func(cl int, rng *rand.Rand) func(step int) bench.Op {
+		if wl != nil {
+			w := wl.NewWorker(cl, rng)
+			return w.NextOp
+		}
+		return func(step int) bench.Op {
+			oi := rng.Intn(len(names))
+			adt := mixedADTs[oi%len(mixedADTs)]
+			return bench.Op{Object: names[oi], ADT: adt, Input: genInput(adt, rng, step, *writeRatio)}
 		}
 	}
 	// Learn the ring epoch up front so topology events exercise the
@@ -312,8 +353,8 @@ func main() {
 		depth     atomic.Int32 // active faults (traffic tags ops by it)
 		migrating atomic.Int32 // topology changes in flight
 		hung      atomic.Int64
-		trk       tracker
 	)
+	trk := newTracker()
 	last := sched[len(sched)-1].at
 	start := time.Now()
 	deadline := start.Add(last + *tail)
@@ -326,6 +367,7 @@ func main() {
 			defer wg.Done()
 			sess := cli.Session(cl)
 			rng := rand.New(rand.NewSource(*seed*7919 + int64(cl)))
+			gen := makeGen(cl, rng)
 			for step := 0; ; step++ {
 				// Pause barrier: repair events hold the write lock while
 				// they assert convergence, stopping new ops. In-flight
@@ -338,13 +380,19 @@ func main() {
 				if !time.Now().Before(deadline) {
 					return
 				}
-				oi := rng.Intn(len(names))
-				name := names[oi]
-				in := genInput(mixedADTs[oi%len(mixedADTs)], rng, step, *writeRatio)
+				op := gen(step)
 				inMigr := migrating.Load() > 0
 				inFault := depth.Load() > 0
+				if op.Create {
+					// Growing-keyspace scenarios mint objects mid-run;
+					// creation is idempotent on the server.
+					if err := cli.CreateObject(ctx, op.Object, op.ADT); err != nil {
+						trk.record(inMigr, inFault, true, 0)
+						continue
+					}
+				}
 				t0 := time.Now()
-				fut := sess.InvokeAsync(name, in)
+				fut := sess.InvokeAsync(op.Object, op.Input)
 				octx, cancel := context.WithTimeout(ctx, *opTimeout)
 				_, err := fut.Get(octx)
 				cancel()
@@ -352,10 +400,10 @@ func main() {
 					// The future never resolved within the bound: the
 					// hung-call failure mode the breaker exists to prevent.
 					hung.Add(1)
-					trk.record(inMigr, inFault, true, false, 0)
+					trk.record(inMigr, inFault, true, 0)
 					return
 				}
-				trk.record(inMigr, inFault, err != nil, step%8 == 0, float64(time.Since(t0).Microseconds()))
+				trk.record(inMigr, inFault, err != nil, time.Since(t0))
 			}
 		}(cl)
 	}
@@ -465,15 +513,15 @@ func main() {
 	steadyRate := rate(trk.steady.ops, trk.steadyDur)
 	faultRate := rate(trk.fault.ops, trk.faultDur)
 	migrRate := rate(trk.migr.ops, trk.migrDur)
-	sLat, fLat, mLat := summarize(trk.steady.lat), summarize(trk.fault.lat), summarize(trk.migr.lat)
+	sLat, fLat, mLat := trk.steady.lat.Percentiles(), trk.fault.lat.Percentiles(), trk.migr.lat.Percentiles()
 	totalErrs := trk.steady.errs + trk.fault.errs + trk.migr.errs
 	fmt.Printf("ccchaos: steady %d ops in %v (%.0f ops/s) p50=%.0f p99=%.0f µs\n",
-		trk.steady.ops, trk.steadyDur.Round(time.Millisecond), steadyRate, sLat.p50, sLat.p99)
+		trk.steady.ops, trk.steadyDur.Round(time.Millisecond), steadyRate, sLat.P50US, sLat.P99US)
 	fmt.Printf("ccchaos: fault  %d ops in %v (%.0f ops/s) p50=%.0f p99=%.0f µs\n",
-		trk.fault.ops, trk.faultDur.Round(time.Millisecond), faultRate, fLat.p50, fLat.p99)
+		trk.fault.ops, trk.faultDur.Round(time.Millisecond), faultRate, fLat.P50US, fLat.P99US)
 	if hasTopology {
 		fmt.Printf("ccchaos: migr   %d ops in %v (%.0f ops/s) p50=%.0f p99=%.0f µs  (ring epoch %d)\n",
-			trk.migr.ops, trk.migrDur.Round(time.Millisecond), migrRate, mLat.p50, mLat.p99, c.RingEpoch())
+			trk.migr.ops, trk.migrDur.Round(time.Millisecond), migrRate, mLat.P50US, mLat.P99US, c.RingEpoch())
 	}
 	fmt.Printf("ccchaos: errors=%d hung=%d retries=%d failovers=%d breaker_opens=%d fast_fails=%d\n",
 		totalErrs, hung.Load(), met.Retries, met.Failovers, met.BreakerOpens, met.BreakerFastFails)
@@ -517,25 +565,26 @@ func main() {
 		if lbl == "" {
 			lbl = fmt.Sprintf("ccchaos %s/%s", *criterion, c.Replication())
 		}
-		entry := benchrec.New(lbl, map[string]any{
+		entry := benchrec.NewHost(lbl, map[string]any{
 			"config": map[string]any{
 				"criterion": *criterion, "replication": c.Replication(),
 				"shards": *shards, "replicas": *replicas, "clients": *clients,
 				"objects": *objects, "write_ratio": *writeRatio,
-				"batch": *batch, "selfheal": !*noHeal, "schedule": text,
+				"scenario": *scenario,
+				"batch":    *batch, "selfheal": !*noHeal, "schedule": text,
 				"storm": *storm, "ring_epoch": c.RingEpoch(),
 			},
 			"steady": map[string]any{
 				"ops": trk.steady.ops, "ops_per_sec": math.Round(steadyRate),
-				"p50_us": sLat.p50, "p99_us": sLat.p99,
+				"p50_us": sLat.P50US, "p99_us": sLat.P99US,
 			},
 			"fault": map[string]any{
 				"ops": trk.fault.ops, "ops_per_sec": math.Round(faultRate),
-				"p50_us": fLat.p50, "p99_us": fLat.p99,
+				"p50_us": fLat.P50US, "p99_us": fLat.P99US,
 			},
 			"migration": map[string]any{
 				"ops": trk.migr.ops, "ops_per_sec": math.Round(migrRate),
-				"p50_us": mLat.p50, "p99_us": mLat.p99,
+				"p50_us": mLat.P50US, "p99_us": mLat.P99US,
 			},
 			"errors": totalErrs, "hung": hung.Load(),
 			"selfheal_metrics": map[string]any{
@@ -546,8 +595,6 @@ func main() {
 			"monitor":         sum,
 			"passed":          bad == 0,
 		})
-		entry.Procs = runtime.GOMAXPROCS(0)
-		entry.Cores = runtime.NumCPU()
 		n, err := benchrec.Append(*benchOut, entry)
 		if err != nil {
 			fail(err)
@@ -565,25 +612,4 @@ func rate(ops int64, d time.Duration) float64 {
 		return 0
 	}
 	return float64(ops) / d.Seconds()
-}
-
-type latSummary struct{ p50, p99 float64 }
-
-func summarize(xs []float64) latSummary {
-	if len(xs) == 0 {
-		return latSummary{}
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	pct := func(p float64) float64 {
-		rank := int(math.Ceil(p*float64(len(s)))) - 1
-		if rank < 0 {
-			rank = 0
-		}
-		if rank >= len(s) {
-			rank = len(s) - 1
-		}
-		return s[rank]
-	}
-	return latSummary{p50: pct(0.50), p99: pct(0.99)}
 }

@@ -1,12 +1,7 @@
-// Command ccload is the closed-loop load generator for ccserved,
-// built entirely on the public cc/client SDK and the cc/cluster/wire
-// protocol (it hand-rolls no request or response structs): N client
-// goroutines, each with its own session, drive a mixed-ADT object
-// population over HTTP — optionally with a Zipf-skewed object
-// popularity, the workload shape that separates batched from
-// unbatched hot paths — and report sustained throughput, latency
-// percentiles, the realized write ratio, and the server's online
-// monitor summary.
+// Command ccload is the load generator for ccserved, built entirely
+// on the public cc surface — the cc/client SDK, the cc/cluster/wire
+// protocol, and the cc/bench workload subsystem (it hand-rolls no
+// request structs, no op generators and no percentile math).
 //
 // Usage:
 //
@@ -14,28 +9,43 @@
 //	       -objects 16 -adt mixed -write-ratio 0.3 -skew 1.1 \
 //	       [-batch] [-pipeline 32] [-batch-ops 64] [-batch-wait 500us] \
 //	       [-read-target affinity|any] [-read-target-mix "affinity=0.8,any=0.2"] \
+//	       [-scenario read-heavy [-rate 500] [-arrival poisson|fixed] [-ramp ...]] \
 //	       [-sla] [-sla-spec "rmw@5ms=1,..."] [-sla-slow 20ms] [-sla-partition 0] \
 //	       [-bench-out BENCH_runtime.json -label "..."] [-require-verdicts]
 //
-// The default mode is one round trip per operation (the per-op
-// baseline). -batch turns on client-side batching: each client keeps
-// -pipeline asynchronous invocations in flight and the SDK coalesces
-// them — across all clients — into POST /v1/batch round trips
-// (size -batch-ops, delay -batch-wait), while every session's ops
-// stay in program order. -read-target any issues Pileus-style weak
-// reads (round-robin over replicas, no read-your-writes);
-// -read-target-mix draws the target per operation instead
-// ("affinity=0.8,any=0.2").
+// Three modes:
 //
-// -sla switches to the consistency-SLA scenario (see sla.go): skew
-// the topology with per-replica serving delays, then compare the
-// adaptive utility-maximizing read router against static affinity and
-// static any baselines under the SLA given by -sla-spec.
+//   - The default is the classic closed loop over an ad-hoc population:
+//     N client goroutines (one session each) drive -objects objects of
+//     -adt with a -write-ratio mix and optional Zipf-skewed popularity.
+//     -batch turns on client-side batching (the SDK coalesces async
+//     invocations into POST /v1/batch); -read-target any issues
+//     Pileus-style weak reads; -read-target-mix draws the target per
+//     operation.
 //
-// -bench-out appends a labelled entry (BENCH_checkers.json style) so
-// a run becomes a recorded, comparable measurement. -require-verdicts
-// exits non-zero unless the server's monitor produced at least one
-// verdict during the run — the CI smoke contract.
+//   - -scenario runs a named cc/bench workload (-list-scenarios
+//     enumerates them) instead; the scenario declares its own ADT mix,
+//     key distribution and op percentages, so -adt/-write-ratio/-skew
+//     are ignored. With -rate R the run is OPEN loop: arrivals come
+//     from a target-rate clock (-arrival poisson|fixed) and latency is
+//     measured from each op's intended start, so queueing delay during
+//     server stalls is charged instead of silently omitted
+//     (coordinated omission). -ramp steps the offered rate from
+//     -ramp-start by -ramp-factor until achieved/offered falls below
+//     -knee-floor or the intended p99 blows -knee-p99, and reports the
+//     last sustained step as the knee (-require-knee makes "no
+//     sustained step" a failure).
+//
+//   - -sla switches to the consistency-SLA scenario (see sla.go):
+//     skew the topology with per-replica serving delays, then compare
+//     the adaptive utility-maximizing read router against static
+//     affinity and static any baselines.
+//
+// -bench-out appends a labelled entry (internal benchrec format, via
+// cc/bench.AppendRecord) so a run becomes a recorded, comparable
+// measurement. -require-verdicts exits non-zero unless the server's
+// monitor produced at least one verdict during the run — the CI smoke
+// contract.
 package main
 
 import (
@@ -46,8 +56,6 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -55,6 +63,7 @@ import (
 	"time"
 
 	"github.com/paper-repro/ccbm/cc"
+	"github.com/paper-repro/ccbm/cc/bench"
 	"github.com/paper-repro/ccbm/cc/client"
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
 	"github.com/paper-repro/ccbm/cc/sla"
@@ -63,124 +72,15 @@ import (
 // mixedADTs is the default object population for -adt mixed.
 var mixedADTs = []string{"Counter", "Register", "GSet", "RWSet", "Queue2", "Stack"}
 
-// opGen produces a random invocation: step is a monotone counter the
-// generator uses to make written values distinct (distinct values
-// keep the exact checkers sharp).
-type opGen func(rng *rand.Rand, step int) cc.Input
-
-// generatorFor returns the operation mix for a registry ADT name.
-// writeRatio is the probability of an update, realized exactly (one
-// uniform draw, branched on sub-ranges); Queue is the exception —
-// push and pop are both updates, so writeRatio biases producing vs
-// consuming instead.
-func generatorFor(adtName string, writeRatio float64) (opGen, error) {
-	w := writeRatio
-	switch adtName {
-	case "Register":
-		return func(rng *rand.Rand, step int) cc.Input {
-			if rng.Float64() < w {
-				return cc.NewInput("w", step+1)
-			}
-			return cc.NewInput("r")
-		}, nil
-	case "CAS":
-		return func(rng *rand.Rand, step int) cc.Input {
-			switch u := rng.Float64(); {
-			case u < w/2:
-				return cc.NewInput("w", step+1)
-			case u < w:
-				return cc.NewInput("cas", rng.Intn(step+1), step+1)
-			default:
-				return cc.NewInput("r")
-			}
-		}, nil
-	case "Counter":
-		return func(rng *rand.Rand, step int) cc.Input {
-			switch u := rng.Float64(); {
-			case u < w/2:
-				return cc.NewInput("inc", 1+rng.Intn(3))
-			case u < w:
-				return cc.NewInput("dec", 1+rng.Intn(2))
-			default:
-				return cc.NewInput("get")
-			}
-		}, nil
-	case "GSet":
-		return func(rng *rand.Rand, step int) cc.Input {
-			if rng.Float64() < w {
-				return cc.NewInput("add", rng.Intn(8))
-			}
-			if rng.Intn(2) == 0 {
-				return cc.NewInput("has", rng.Intn(8))
-			}
-			return cc.NewInput("elems")
-		}, nil
-	case "RWSet":
-		return func(rng *rand.Rand, step int) cc.Input {
-			switch u := rng.Float64(); {
-			case u < w/3:
-				return cc.NewInput("rem", rng.Intn(8))
-			case u < w:
-				return cc.NewInput("add", rng.Intn(8))
-			case rng.Intn(2) == 0:
-				return cc.NewInput("has", rng.Intn(8))
-			default:
-				return cc.NewInput("elems")
-			}
-		}, nil
-	case "Queue":
-		return func(rng *rand.Rand, step int) cc.Input {
-			if rng.Float64() < w {
-				return cc.NewInput("push", step+1)
-			}
-			return cc.NewInput("pop")
-		}, nil
-	case "Queue2":
-		return func(rng *rand.Rand, step int) cc.Input {
-			switch u := rng.Float64(); {
-			case u < w/2:
-				return cc.NewInput("push", step+1)
-			case u < w:
-				return cc.NewInput("rh", rng.Intn(step+1))
-			default:
-				return cc.NewInput("hd")
-			}
-		}, nil
-	case "Stack":
-		return func(rng *rand.Rand, step int) cc.Input {
-			switch u := rng.Float64(); {
-			case u < w/2:
-				return cc.NewInput("push", step+1)
-			case u < w:
-				return cc.NewInput("pop")
-			default:
-				return cc.NewInput("top")
-			}
-		}, nil
-	case "Sequence":
-		return func(rng *rand.Rand, step int) cc.Input {
-			switch u := rng.Float64(); {
-			case u < 2*w/3:
-				return cc.NewInput("ins", rng.Intn(step+1), 'a'+rng.Intn(26))
-			case u < w:
-				return cc.NewInput("del", rng.Intn(step+1))
-			default:
-				return cc.NewInput("read")
-			}
-		}, nil
-	default:
-		return nil, fmt.Errorf("no generator for ADT %q (try one of %v, Queue, CAS, Sequence)", adtName, mixedADTs)
-	}
-}
-
 type target struct {
 	name string
 	t    cc.ADT
-	gen  opGen
+	gen  bench.OpGen
 }
 
-// buildTargets resolves the object population (names, ADTs, operation
-// generators) without touching the server.
+// buildTargets resolves the ad-hoc object population (names, ADTs,
+// operation generators) without touching the server. The generators
+// are the engine's own, re-exported through cc/bench.
 func buildTargets(objects int, adtFlag string, writeRatio float64) ([]target, error) {
 	targets := make([]target, objects)
 	for i := range targets {
@@ -192,7 +92,7 @@ func buildTargets(objects int, adtFlag string, writeRatio float64) ([]target, er
 		if err != nil {
 			return nil, err
 		}
-		gen, err := generatorFor(adtName, writeRatio)
+		gen, err := bench.GeneratorFor(adtName, writeRatio)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +134,7 @@ func parseTargetMix(text string) (float64, error) {
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8344", "ccserved base URL")
-	clients := flag.Int("clients", 8, "concurrent closed-loop clients (one session each)")
+	clients := flag.Int("clients", 8, "concurrent clients/workers (one session each)")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	objects := flag.Int("objects", 16, "number of objects to create and drive")
 	adtFlag := flag.String("adt", "mixed", `ADT for every object, or "mixed" to cycle a standard set`)
@@ -247,6 +147,18 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 500*time.Microsecond, "client batch flush delay (with -batch)")
 	readTarget := flag.String("read-target", "affinity", "per-request read target: affinity or any")
 	readTargetMix := flag.String("read-target-mix", "", `per-op probabilistic read target, e.g. "affinity=0.8,any=0.2"`)
+	scenario := flag.String("scenario", "", "named cc/bench workload scenario (see -list-scenarios)")
+	listScenarios := flag.Bool("list-scenarios", false, "list the registered workload scenarios and exit")
+	rate := flag.Float64("rate", 0, "open-loop offered rate, total ops/s (0 = closed loop; needs -scenario)")
+	arrival := flag.String("arrival", "poisson", "open-loop arrival process: poisson or fixed")
+	rampFlag := flag.Bool("ramp", false, "step the offered rate until the service breaks; report the knee (needs -scenario)")
+	rampStart := flag.Float64("ramp-start", 100, "first ramp step's offered rate (ops/s)")
+	rampFactor := flag.Float64("ramp-factor", 1.5, "multiplicative offered-rate step")
+	rampSteps := flag.Int("ramp-steps", 8, "maximum ramp steps")
+	rampStepDur := flag.Duration("ramp-step-dur", time.Second, "measurement window per ramp step")
+	kneeFloor := flag.Float64("knee-floor", 0.9, "a step is sustained when achieved/offered >= this")
+	kneeP99 := flag.Duration("knee-p99", 0, "a step is also unsustained when intended p99 exceeds this (0 = off)")
+	requireKnee := flag.Bool("require-knee", false, "exit non-zero when no ramp step was sustained")
 	slaMode := flag.Bool("sla", false, "run the consistency-SLA scenario (adaptive vs static read routing)")
 	slaSpec := flag.String("sla-spec", "rmw@5ms=1,bounded:100ms@2ms=0.5,eventual=0.1", "consistency SLA for -sla (see cc/sla grammar)")
 	slaSlow := flag.Duration("sla-slow", 20*time.Millisecond, "serving delay injected on every replica except 0 (with -sla)")
@@ -255,6 +167,18 @@ func main() {
 	label := flag.String("label", "", "label for the bench entry")
 	requireVerdicts := flag.Bool("require-verdicts", false, "exit non-zero unless the monitor produced verdicts")
 	flag.Parse()
+	if *listScenarios {
+		for _, s := range bench.Scenarios() {
+			fmt.Printf("%-13s %s\n", s.Name, s.Doc)
+			mix := make([]string, 0, len(s.Profile.Mix))
+			for _, m := range s.Profile.Mix {
+				mix = append(mix, fmt.Sprintf("%s=%.2f", m.Kind, m.Fraction))
+			}
+			fmt.Printf("%13s adts=%v dist=%s writes=%.2f mix %s\n",
+				"", s.Profile.ADTs, s.Profile.Dist, s.Profile.WriteFraction(), strings.Join(mix, " "))
+		}
+		return
+	}
 	if *clients < 1 || *objects < 1 {
 		fmt.Fprintln(os.Stderr, "ccload: -clients and -objects must be at least 1")
 		os.Exit(2)
@@ -302,6 +226,30 @@ func main() {
 	if *batch && (*pipeline < 1 || *batchOps < 1) {
 		fmt.Fprintln(os.Stderr, "ccload: -pipeline and -batch-ops must be at least 1")
 		os.Exit(2)
+	}
+	if *scenario == "" && (*rate != 0 || *rampFlag) {
+		fmt.Fprintln(os.Stderr, "ccload: -rate and -ramp need -scenario (the ad-hoc mode is a closed loop)")
+		os.Exit(2)
+	}
+	if *scenario != "" {
+		if *slaMode {
+			fmt.Fprintln(os.Stderr, "ccload: -scenario and -sla are mutually exclusive")
+			os.Exit(2)
+		}
+		arr := bench.Arrival(*arrival)
+		if arr != bench.ArrivalPoisson && arr != bench.ArrivalFixed {
+			fmt.Fprintln(os.Stderr, "ccload: -arrival must be poisson or fixed")
+			os.Exit(2)
+		}
+		os.Exit(runScenario(scenarioCfg{
+			addr: *addr, scenario: *scenario, workers: *clients, objects: *objects,
+			duration: *duration, seed: *seed, rate: *rate, arrival: arr,
+			batch: *batch, batchOps: *batchOps, batchWait: *batchWait,
+			ramp: *rampFlag, rampStart: *rampStart, rampFactor: *rampFactor,
+			rampSteps: *rampSteps, rampStepDur: *rampStepDur,
+			kneeFloor: *kneeFloor, kneeP99: *kneeP99, requireKnee: *requireKnee,
+			requireVerdicts: *requireVerdicts, benchOut: *benchOut, label: *label,
+		}))
 	}
 	targets, err := buildTargets(*objects, *adtFlag, *writeRatio)
 	if err != nil {
@@ -363,13 +311,17 @@ func main() {
 
 	// Each client owns one session. Per-op mode is a closed loop; with
 	// -batch each client keeps up to -pipeline futures in flight and a
-	// collector goroutine retires them in submission order.
+	// collector goroutine retires them in submission order. Latency
+	// goes to a shared lock-free histogram (every op, not a sample).
 	var (
 		ops, writes, reads, errs atomic.Int64
 		anyOps                   atomic.Int64 // ops issued with the any target (-read-target-mix)
-		mu                       sync.Mutex
-		latencies                []float64 // µs, sampled 1 in 16
 	)
+	hist := bench.NewHistogram()
+	dist := bench.KeyUniform
+	if *skew > 1 {
+		dist = bench.KeyZipf
+	}
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	for cl := 0; cl < *clients; cl++ {
@@ -379,17 +331,12 @@ func main() {
 			sess := cli.Session(cl)
 			sessAny := sess.WithTarget(wire.ReadAny)
 			rng := rand.New(rand.NewSource(*seed*7919 + int64(cl)))
-			var zipf *rand.Zipf
-			if *skew > 1 {
-				zipf = rand.NewZipf(rng, *skew, 1, uint64(len(targets)-1))
-			}
-			var local []float64
+			pick := bench.NewChooser(dist, *skew, rng)
 
 			type inflight struct {
-				fut     *client.Future
-				t0      time.Time
-				update  bool
-				sampled bool
+				fut    *client.Future
+				t0     time.Time
+				update bool
 			}
 			var window chan inflight
 			var cwg sync.WaitGroup
@@ -409,20 +356,13 @@ func main() {
 						} else {
 							reads.Add(1)
 						}
-						if fl.sampled {
-							local = append(local, float64(time.Since(fl.t0).Microseconds()))
-						}
+						hist.RecordDuration(time.Since(fl.t0))
 					}
 				}()
 			}
 
 			for step := 0; time.Now().Before(deadline); step++ {
-				var tg target
-				if zipf != nil {
-					tg = targets[zipf.Uint64()]
-				} else {
-					tg = targets[rng.Intn(len(targets))]
-				}
+				tg := targets[pick(len(targets))]
 				in := tg.gen(rng, step)
 				update := tg.t.IsUpdate(in)
 				s := sess
@@ -433,7 +373,7 @@ func main() {
 				t0 := time.Now()
 				if *batch {
 					fut := s.InvokeAsync(tg.name, in)
-					window <- inflight{fut: fut, t0: t0, update: update, sampled: step%16 == 0}
+					window <- inflight{fut: fut, t0: t0, update: update}
 					continue
 				}
 				if _, err := s.Invoke(ctx, tg.name, in); err != nil {
@@ -446,17 +386,12 @@ func main() {
 				} else {
 					reads.Add(1)
 				}
-				if step%16 == 0 {
-					local = append(local, float64(time.Since(t0).Microseconds()))
-				}
+				hist.RecordDuration(time.Since(t0))
 			}
 			if *batch {
 				close(window)
 				cwg.Wait()
 			}
-			mu.Lock()
-			latencies = append(latencies, local...)
-			mu.Unlock()
 		}(cl)
 	}
 	start := time.Now()
@@ -465,7 +400,7 @@ func main() {
 
 	total := ops.Load()
 	opsPerSec := float64(total) / elapsed.Seconds()
-	lat := summarize(latencies)
+	lat := hist.Percentiles()
 	realized := 0.0
 	if total > 0 {
 		realized = float64(writes.Load()) / float64(total)
@@ -493,8 +428,8 @@ func main() {
 	}
 	fmt.Printf("mix     w=%d r=%d (realized write ratio %.3f of requested %.2f), read-target %s\n",
 		writes.Load(), reads.Load(), realized, *writeRatio, targetDesc)
-	fmt.Printf("latency sampled n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f µs\n",
-		lat.Count, lat.Mean, lat.P50, lat.P95, lat.P99, lat.Max)
+	fmt.Printf("latency n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f µs\n",
+		lat.Count, lat.MeanUS, lat.P50US, lat.P95US, lat.P99US, lat.MaxUS)
 	monJSON, _ := json.Marshal(sum)
 	fmt.Printf("monitor %s\n", monJSON)
 
@@ -503,7 +438,7 @@ func main() {
 		if lbl == "" {
 			lbl = "ccload run"
 		}
-		n, err := appendBench(*benchOut, newBenchEntry(lbl, map[string]any{
+		n, err := bench.AppendRecord(*benchOut, lbl, map[string]any{
 			"config": map[string]any{
 				"clients": *clients, "objects": *objects, "adt": *adtFlag,
 				"write_ratio": *writeRatio, "skew": *skew, "duration": duration.String(),
@@ -514,10 +449,10 @@ func main() {
 			"errors":               errs.Load(),
 			"realized_write_ratio": round3(realized),
 			"latency_us": map[string]any{
-				"p50": lat.P50, "p95": lat.P95, "p99": lat.P99, "mean": round1(lat.Mean),
+				"p50": lat.P50US, "p95": lat.P95US, "p99": lat.P99US, "mean": round1(lat.MeanUS),
 			},
 			"monitor": sum,
-		}))
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccload: bench-out:", err)
 			os.Exit(1)
@@ -555,83 +490,4 @@ func waitHealthy(cli *client.Client, within time.Duration) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-}
-
-// latSummary and summarize are the tool's own percentile helpers (the
-// serving tools import only the public cc surface).
-type latSummary struct {
-	Count                    int
-	Mean, P50, P95, P99, Max float64
-}
-
-func summarize(xs []float64) latSummary {
-	if len(xs) == 0 {
-		return latSummary{}
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	sum := 0.0
-	for _, x := range s {
-		sum += x
-	}
-	pct := func(p float64) float64 {
-		rank := int(math.Ceil(p*float64(len(s)))) - 1
-		if rank < 0 {
-			rank = 0
-		}
-		return s[min(rank, len(s)-1)]
-	}
-	return latSummary{
-		Count: len(s), Mean: sum / float64(len(s)), Max: s[len(s)-1],
-		P50: pct(0.50), P95: pct(0.95), P99: pct(0.99),
-	}
-}
-
-// benchEntry mirrors the repo's BENCH_*.json record shape (see
-// internal/benchrec, which server-side tools use; this tool keeps to
-// the public surface and writes the same format itself).
-type benchEntry struct {
-	Label    string `json:"label"`
-	Date     string `json:"date"`
-	Go       string `json:"go"`
-	Platform string `json:"platform"`
-	Procs    int    `json:"procs,omitempty"`
-	Cores    int    `json:"cores,omitempty"`
-	Results  any    `json:"results"`
-}
-
-func newBenchEntry(label string, results any) benchEntry {
-	return benchEntry{
-		Label:    label,
-		Date:     time.Now().UTC().Format(time.RFC3339),
-		Go:       runtime.Version(),
-		Platform: runtime.GOOS + "/" + runtime.GOARCH,
-		Procs:    runtime.GOMAXPROCS(0),
-		Cores:    runtime.NumCPU(),
-		Results:  results,
-	}
-}
-
-func appendBench(path string, e benchEntry) (int, error) {
-	var entries []json.RawMessage
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &entries); err != nil {
-			return 0, fmt.Errorf("%s is not a JSON array of runs: %v", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return 0, err
-	}
-	raw, err := json.Marshal(e)
-	if err != nil {
-		return 0, err
-	}
-	entries = append(entries, raw)
-	data, err := json.MarshalIndent(entries, "", "  ")
-	if err != nil {
-		return 0, err
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return 0, err
-	}
-	return len(entries), nil
 }

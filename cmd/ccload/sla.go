@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/paper-repro/ccbm/cc/bench"
 	"github.com/paper-repro/ccbm/cc/client"
 	"github.com/paper-repro/ccbm/cc/cluster/wire"
 	"github.com/paper-repro/ccbm/cc/sla"
@@ -171,7 +172,7 @@ func runSLA(cfg slaCfg) int {
 				"mean_utility": round3(r.m.MeanUtility), "fast_share": round3(r.fastShare),
 			})
 		}
-		n, err := appendBench(cfg.benchOut, newBenchEntry(lbl, map[string]any{
+		n, err := bench.AppendRecord(cfg.benchOut, lbl, map[string]any{
 			"config": map[string]any{
 				"scenario": "sla", "clients": cfg.clients, "objects": len(cfg.targets),
 				"duration_per_phase": cfg.duration.String(), "replicas": replicas,
@@ -180,7 +181,7 @@ func runSLA(cfg slaCfg) int {
 			},
 			"phases":   phaseOut,
 			"verdicts": failures,
-		}))
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccload: bench-out:", err)
 			return 1
@@ -253,10 +254,11 @@ func runSLAPhase(ctx context.Context, cfg slaCfg, ph slaPhase, replicas int) (sl
 			slot, round := cl%(replicas-1), cl/(replicas-1)
 			sess := cli.Session(1 + slot + round*replicas)
 			rng := rand.New(rand.NewSource(cfg.seed*7919 + int64(cl)))
-			var zipf *rand.Zipf
+			dist := bench.KeyUniform
 			if cfg.skew > 1 {
-				zipf = rand.NewZipf(rng, cfg.skew, 1, uint64(len(cfg.targets)-1))
+				dist = bench.KeyZipf
 			}
+			pick := bench.NewChooser(dist, cfg.skew, rng)
 
 			var window chan *client.Future
 			var cwg sync.WaitGroup
@@ -275,12 +277,7 @@ func runSLAPhase(ctx context.Context, cfg slaCfg, ph slaPhase, replicas int) (sl
 				}()
 			}
 			for step := 0; time.Now().Before(deadline); step++ {
-				var tg target
-				if zipf != nil {
-					tg = cfg.targets[zipf.Uint64()]
-				} else {
-					tg = cfg.targets[rng.Intn(len(cfg.targets))]
-				}
+				tg := cfg.targets[pick(len(cfg.targets))]
 				in := tg.gen(rng, step)
 				if cfg.batch {
 					window <- sess.InvokeAsync(tg.name, in)

@@ -57,6 +57,7 @@ func main() {
 	monTimeout := flag.Duration("monitor-timeout", 2*time.Second, "wall-clock bound per online check")
 	monBudget := flag.Int("monitor-budget", 0, "search-node bound per online check (0 = checker default)")
 	monNoPrune := flag.Bool("monitor-noprune", false, "run the monitor's exact checkers without DPOR-style pruning")
+	monSessions := flag.Int("monitor-sessions", 0, "max distinct sessions admitted per monitor window (0 = default 3, -1 = uncapped)")
 	compactEvery := flag.Duration("compact-every", 5*time.Second, "CCv log compaction interval (0 disables)")
 	replication := flag.String("replication", "broadcast", "replication backend: broadcast or antientropy (gossip)")
 	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy round interval (0 = backend default)")
@@ -78,12 +79,13 @@ func main() {
 		VirtualNodes:   *vnodes,
 		LoadFactor:     *loadFactor,
 		Monitor: cluster.MonitorConfig{
-			Disable:     *monSample <= 0,
-			SampleEvery: *monSample,
-			WindowOps:   *monWindow,
-			Timeout:     *monTimeout,
-			Budget:      *monBudget,
-			NoPrune:     *monNoPrune,
+			Disable:           *monSample <= 0,
+			SampleEvery:       *monSample,
+			WindowOps:         *monWindow,
+			Timeout:           *monTimeout,
+			Budget:            *monBudget,
+			NoPrune:           *monNoPrune,
+			MaxWindowSessions: *monSessions,
 		},
 	}
 	c, err := cluster.New(cfg)

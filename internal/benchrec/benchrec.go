@@ -25,6 +25,59 @@ type Entry struct {
 	Results  any    `json:"results"`
 }
 
+// Percentiles is the full latency summary a load run records, in
+// microseconds, on the clock the producer declares (intended-start
+// for open-loop runs, stopwatch for closed-loop or service time).
+type Percentiles struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// RampStep is one measured step of a target-rate ramp.
+type RampStep struct {
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	P99US        float64 `json:"p99_us"`
+	Errors       int64   `json:"errors"`
+	Sustained    bool    `json:"sustained"`
+}
+
+// Knee is the ramp controller's verdict: the highest offered rate the
+// service sustained before the measured-vs-offered gap or the p99
+// blew past the configured thresholds.
+type Knee struct {
+	Rate     float64 `json:"rate_ops_per_sec"`
+	Achieved float64 `json:"achieved_ops_per_sec"`
+	P99US    float64 `json:"p99_us"`
+	Step     int     `json:"step"`
+	Reason   string  `json:"reason"` // why the ramp stopped
+}
+
+// LoadResult is the structured core of a workload-driven load run's
+// Results: which named scenario ran, in which loop mode, at what
+// offered vs achieved rate, with full percentile records on both the
+// intended-start (coordinated-omission-safe) and stopwatch clocks.
+type LoadResult struct {
+	Scenario     string             `json:"scenario"`
+	Mode         string             `json:"mode"`    // "open" or "closed"
+	Arrival      string             `json:"arrival"` // "poisson" or "fixed" (open loop)
+	Workers      int                `json:"workers"`
+	OfferedRate  float64            `json:"offered_rate,omitempty"`
+	AchievedRate float64            `json:"achieved_rate"`
+	Ops          int64              `json:"ops"`
+	Errors       int64              `json:"errors"`
+	Intended     *Percentiles       `json:"intended_latency,omitempty"`
+	Service      *Percentiles       `json:"service_latency,omitempty"`
+	Mix          map[string]float64 `json:"realized_mix,omitempty"`
+	Steps        []RampStep         `json:"ramp_steps,omitempty"`
+	Knee         *Knee              `json:"knee,omitempty"`
+}
+
 // New stamps an entry with the current time and toolchain.
 func New(label string, results any) Entry {
 	return Entry{
@@ -34,6 +87,15 @@ func New(label string, results any) Entry {
 		Platform: runtime.GOOS + "/" + runtime.GOARCH,
 		Results:  results,
 	}
+}
+
+// NewHost is New with the host's GOMAXPROCS and physical core count
+// stamped, for runs whose results depend on available parallelism.
+func NewHost(label string, results any) Entry {
+	e := New(label, results)
+	e.Procs = runtime.GOMAXPROCS(0)
+	e.Cores = runtime.NumCPU()
+	return e
 }
 
 // Append appends the entry to the JSON-array file, creating the file
